@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench runs at paper scale (the full 17 568-record CityPulse
+surrogate, 16 devices) and writes its printed series to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can quote the output
+verbatim even when pytest captures stdout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.datasets.citypulse import generate_citypulse
+
+#: Device count used across the benches (paper does not state k; 16 models
+#: a small urban deployment and keeps √(8k)/α volumes realistic).
+DEVICE_COUNT = 16
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def citypulse():
+    """The full paper-scale CityPulse surrogate (17 568 records)."""
+    return generate_citypulse()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Persist one bench's rendered table under benchmarks/results/."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{text}\n")
+
+    return _save

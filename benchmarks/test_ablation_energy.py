@@ -1,0 +1,70 @@
+"""Ablation A8: battery lifetime -- the communication claim in joules.
+
+Converts the Figure-4 style cost numbers into the deployment currency:
+collection rounds fundable by one coin-cell battery, as the accuracy
+target tightens, versus shipping the raw data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import DEVICE_COUNT
+from repro.analysis.reporting import format_table
+from repro.core.service import PrivateRangeCountingService
+from repro.estimators.calibration import required_sampling_rate
+from repro.iot.energy import DeviceBattery, EnergyModel
+from repro.iot.messages import VALUE_BYTES
+
+ALPHAS = [0.2, 0.1, 0.055, 0.02]
+DELTA = 0.5
+COIN_CELL_JOULES = 2340.0
+
+
+def test_ablation_energy_lifetime(citypulse, benchmark, save_result):
+    values = citypulse.values("ozone")
+    n = len(values)
+    model = EnergyModel()
+    raw_round = model.transmit_energy(n * VALUE_BYTES) + model.receive_energy(
+        n * VALUE_BYTES
+    )
+
+    def run():
+        rows = []
+        for alpha in ALPHAS:
+            p = required_sampling_rate(alpha, DELTA, DEVICE_COUNT, n)
+            service = PrivateRangeCountingService.from_values(
+                values, k=DEVICE_COUNT, seed=4
+            )
+            service.collect(p)
+            joules = model.round_energy(service.network.meter)
+            battery = DeviceBattery(capacity_joules=COIN_CELL_JOULES)
+            rows.append(
+                (
+                    alpha,
+                    p,
+                    joules,
+                    battery.rounds_supported(joules),
+                    raw_round / joules,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_energy",
+        "# ablation: coin-cell lifetime vs accuracy target "
+        f"(raw shipment costs {raw_round:.4g} J/round)\n"
+        + format_table(
+            ["alpha", "p", "joules_per_round", "rounds_per_coin_cell",
+             "saving_vs_raw"],
+            rows,
+        ),
+    )
+
+    # Tighter targets cost more energy per round ...
+    joules = [row[2] for row in rows]
+    assert all(a <= b for a, b in zip(joules, joules[1:]))
+    # ... but even the tightest swept target funds far more rounds than
+    # raw shipment would.
+    assert all(row[4] > 5 for row in rows)

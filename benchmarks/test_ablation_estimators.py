@@ -1,0 +1,119 @@
+"""Ablation A1: RankCounting vs BasicCounting (Section III-A discussion).
+
+The paper's argument for RankCounting: its variance bound 8k/p² does not
+grow with the queried range, while BasicCounting's γ(1 − p)/p does; and at
+the calibrated rate the per-node sample fits heartbeat packing
+(≤ 16 pairs ride for free).  This bench regenerates both comparisons.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import DEVICE_COUNT
+from repro.analysis.reporting import format_table
+from repro.analysis.sweeps import compare_estimators
+from repro.core.service import PrivateRangeCountingService
+from repro.datasets.partition import partition_even
+from repro.estimators.base import NodeData
+from repro.estimators.basic import BasicCountingEstimator
+from repro.estimators.rank import RankCountingEstimator
+from repro.iot.messages import HEARTBEAT_CAPACITY
+
+P_GRID = [0.05, 0.1, 0.2, 0.4]
+
+
+def test_ablation_error_comparison(citypulse, benchmark, save_result):
+    """Max error and variance bounds, side by side across p."""
+    values = citypulse.values("ozone")
+
+    def run():
+        return compare_estimators(
+            values, k=DEVICE_COUNT, ps=P_GRID, num_queries=20, trials=3,
+            seed=2014,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("ablation_estimators", result.table())
+
+    # On wide-range workloads the rank bound beats the basic bound once
+    # p is past the paper's |S| > 16k crossover.
+    for row in result.rows:
+        p, _, __, rank_bound, basic_bound = row
+        if len(values) * p > 16 * DEVICE_COUNT and 8 / p**2 < len(values) * (
+            1 - p
+        ) / p / DEVICE_COUNT:
+            assert rank_bound < basic_bound
+
+
+def test_ablation_measured_variance_wide_range(citypulse, benchmark, save_result):
+    """Measured estimator variance on the full-cover query (paper's
+    worst case for BasicCounting)."""
+    values = citypulse.values("ozone")
+    nodes = [
+        NodeData(node_id=i + 1, values=shard)
+        for i, shard in enumerate(partition_even(values, DEVICE_COUNT))
+    ]
+    rng = np.random.default_rng(7)
+    p = 0.2
+    # A wide band (2nd..98th percentile) -- near the worst case for
+    # BasicCounting's γ(1 − p)/p variance, while RankCounting still has
+    # boundary gaps to estimate (a full-cover query would be exact).
+    low, high = np.quantile(values, 0.02), np.quantile(values, 0.98)
+    rank_est, basic_est = RankCountingEstimator(), BasicCountingEstimator()
+
+    def run():
+        rank_draws, basic_draws = [], []
+        for _ in range(300):
+            samples = [node.sample(p, rng) for node in nodes]
+            rank_draws.append(rank_est.estimate(samples, low, high).estimate)
+            basic_draws.append(basic_est.estimate(samples, low, high).estimate)
+        return float(np.var(rank_draws)), float(np.var(basic_draws))
+
+    rank_var, basic_var = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_measured_variance",
+        format_table(
+            ["estimator", "measured_var", "analytic_bound"],
+            [
+                ("RankCounting", rank_var, 8 * DEVICE_COUNT / p**2),
+                ("BasicCounting", basic_var, len(values) * (1 - p) / p),
+            ],
+        ),
+    )
+    assert rank_var < basic_var
+    assert rank_var <= 8 * DEVICE_COUNT / p**2
+
+
+def test_ablation_heartbeat_packing(citypulse, benchmark, save_result):
+    """At strict-α calibrated rates the per-node shipment can ride
+    heartbeats; the simulated network then bills (almost) nothing extra."""
+    values = citypulse.values("ozone")
+    n, k = len(values), DEVICE_COUNT
+    # Choose α so n·p/k ≈ 8 pairs per node (inside heartbeat capacity).
+    p = 8 * k / n
+
+    def run():
+        service = PrivateRangeCountingService.from_values(values, k=k, seed=3)
+        service.collect(p)
+        meter = service.network.meter
+        samples = service.station.samples()
+        per_node = [len(s) for s in samples]
+        return per_node, meter.snapshot()
+
+    per_node, report = benchmark.pedantic(run, rounds=1, iterations=1)
+    packed = sum(1 for c in per_node if c <= HEARTBEAT_CAPACITY)
+    save_result(
+        "ablation_heartbeat_packing",
+        format_table(
+            ["metric", "value"],
+            [
+                ("nodes", k),
+                ("nodes_within_heartbeat", packed),
+                ("mean_pairs_per_node", float(np.mean(per_node))),
+                ("wire_bytes", report["wire_bytes"]),
+            ],
+        ),
+    )
+    # Most nodes fit the free heartbeat path at this rate.
+    assert packed >= k * 3 // 4

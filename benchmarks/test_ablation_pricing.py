@@ -1,0 +1,113 @@
+"""Ablation A2: arbitrage attacks vs pricing families (Example 4.1 / Thm 4.2).
+
+Runs the constructive averaging adversary against four price sheets and
+tabulates: Theorem 4.2 verdict, whether a working attack exists, and the
+attacker's discount.  Expected: only the inverse-variance family survives.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DEVICE_COUNT
+from repro.analysis.reporting import format_table
+from repro.pricing.arbitrage import check_arbitrage_avoiding, find_averaging_attack
+from repro.pricing.functions import (
+    InverseVariancePricing,
+    LinearAccuracyPricing,
+    PowerLawVariancePricing,
+    TieredPricing,
+)
+from repro.pricing.variance_model import VarianceModel
+
+TARGET = (0.05, 0.8)  # a strict, expensive product
+
+
+def _price_sheets(n):
+    model = VarianceModel(n=n)
+    v_mid = model.variance(0.3, 0.5)
+    return [
+        InverseVariancePricing(model, base_price=1e8),
+        PowerLawVariancePricing(model, base_price=1e8, exponent=2.0),
+        PowerLawVariancePricing(model, base_price=1e8, exponent=0.5),
+        LinearAccuracyPricing(model),
+        TieredPricing(model, tiers=[(v_mid / 10, 100.0), (v_mid, 10.0),
+                                    (v_mid * 100, 1.0)]),
+    ]
+
+
+def test_ablation_pricing_families(citypulse, benchmark, save_result):
+    """Checker verdict + attack outcome for every pricing family."""
+    n = len(citypulse)
+
+    def run():
+        rows = []
+        for pricing in _price_sheets(n):
+            report = check_arbitrage_avoiding(pricing)
+            attack = find_averaging_attack(pricing, *TARGET)
+            rows.append(
+                (
+                    pricing.name,
+                    report.arbitrage_avoiding,
+                    len(report.violations),
+                    attack is not None,
+                    attack.discount if attack is not None else 0.0,
+                    attack.copies if attack is not None else 0,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_pricing",
+        "# ablation: arbitrage resistance per pricing family\n"
+        + format_table(
+            [
+                "pricing",
+                "thm42_pass",
+                "violations",
+                "attack_found",
+                "attack_discount",
+                "attack_copies",
+            ],
+            rows,
+        ),
+    )
+
+    verdicts = {row[0]: row for row in rows}
+    assert verdicts["InverseVariance"][1] is True
+    assert verdicts["InverseVariance"][3] is False
+    assert verdicts["PowerLaw(s=2)"][1] is False
+    assert verdicts["PowerLaw(s=2)"][3] is True
+    assert verdicts["PowerLaw(s=0.5)"][1] is False  # property 2 fails
+    assert verdicts["LinearAccuracy"][1] is False
+    assert not verdicts["Tiered(3)"][1]
+
+
+def test_ablation_attack_cost_curve(citypulse, benchmark, save_result):
+    """Attacker's best discount vs the power-law exponent s.
+
+    The discount should be 0 at s <= 1 and grow with s beyond 1 -- the
+    sharper the bulk discount for inaccuracy, the cheaper the attack.
+    """
+    n = len(citypulse)
+    model = VarianceModel(n=n)
+    exponents = [0.5, 0.8, 1.0, 1.2, 1.5, 2.0, 3.0]
+
+    def run():
+        rows = []
+        for s in exponents:
+            pricing = PowerLawVariancePricing(model, base_price=1e8, exponent=s)
+            attack = find_averaging_attack(pricing, *TARGET)
+            rows.append((s, attack.discount if attack else 0.0))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_attack_cost_curve",
+        "# ablation: attack discount vs power-law exponent\n"
+        + format_table(["exponent", "best_discount"], rows),
+    )
+    discounts = dict(rows)
+    assert discounts[0.5] == 0.0
+    assert discounts[1.0] == 0.0
+    assert discounts[2.0] > 0.0
+    assert discounts[3.0] >= discounts[1.5]

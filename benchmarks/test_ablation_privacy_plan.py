@@ -1,0 +1,97 @@
+"""Ablation A3: optimizer internals -- sensitivity policy and amplification.
+
+Two design choices the paper calls out in Section III-B:
+
+* sensitivity Δγ̂ = 1/p (expectation) vs the worst case n_i, which "will
+  totally destroy the aggregation utility";
+* reporting the amplified ε' = ln(1 + p(e^ε − 1)) (Lemma 3.4) instead of
+  the raw Laplace ε.
+
+This bench sweeps p and tabulates the planned ε, ε', noise scale, and the
+worst-case-policy blowup.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import DEVICE_COUNT
+from repro.analysis.reporting import format_table
+from repro.privacy.optimizer import (
+    SensitivityPolicy,
+    optimize_privacy_plan,
+)
+
+N = 17568
+ALPHA, DELTA = 0.1, 0.5
+P_GRID = [0.1, 0.2, 0.4, 0.8]
+
+
+def test_ablation_privacy_plan(benchmark, save_result):
+    """Plan metrics across p for both sensitivity policies."""
+
+    def run():
+        rows = []
+        for p in P_GRID:
+            expected = optimize_privacy_plan(
+                ALPHA, DELTA, p, DEVICE_COUNT, N,
+                sensitivity_policy=SensitivityPolicy.EXPECTED,
+            )
+            worst = optimize_privacy_plan(
+                ALPHA, DELTA, p, DEVICE_COUNT, N,
+                sensitivity_policy=SensitivityPolicy.WORST_CASE,
+                max_node_size=N // DEVICE_COUNT,
+            )
+            rows.append(
+                (
+                    p,
+                    expected.epsilon,
+                    expected.epsilon_prime,
+                    expected.noise_scale,
+                    worst.epsilon,
+                    worst.noise_scale,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_privacy_plan",
+        "# ablation: privacy plan vs p (expected vs worst-case sensitivity)\n"
+        + format_table(
+            [
+                "p",
+                "eps_expected",
+                "eps_prime",
+                "noise_scale",
+                "eps_worst_case",
+                "noise_scale_worst",
+            ],
+            rows,
+        ),
+    )
+
+    for p, eps, eps_prime, scale, eps_worst, scale_worst in rows:
+        # Amplification always helps below full sampling.
+        assert eps_prime < eps
+        # Worst-case sensitivity inflates the required ε by ~n_i·p.
+        assert eps_worst > eps * 50
+
+
+def test_ablation_amplification_gain_curve(benchmark, save_result):
+    """Amplified ε' as a function of p for a fixed raw ε."""
+    from repro.privacy.amplification import amplified_epsilon
+
+    eps = 1.0
+    ps = [0.01, 0.05, 0.1, 0.2, 0.4, 0.8, 1.0]
+
+    def run():
+        return [(p, amplified_epsilon(eps, p)) for p in ps]
+
+    rows = benchmark(run)
+    save_result(
+        "ablation_amplification",
+        "# ablation: Lemma 3.4 amplification (raw eps = 1.0)\n"
+        + format_table(["p", "eps_prime"], rows),
+    )
+    values = [e for _, e in rows]
+    assert values == sorted(values)
+    assert values[-1] == eps

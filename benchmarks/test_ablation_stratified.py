@@ -1,0 +1,100 @@
+"""Ablation A9: stratified vs uniform Bernoulli sampling.
+
+Design-space probe beyond the paper: at the same expected shipment budget,
+equal-per-stratum allocation collapses the variance of counts inside
+sparse value bands (the regime that dominates Figures 2-3's max relative
+error), at a modest cost on dense-band queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import DEVICE_COUNT
+from repro.analysis.reporting import format_table
+from repro.datasets.partition import partition_even
+from repro.estimators.stratified import (
+    StratifiedCountingEstimator,
+    allocate_rates,
+    stratify_node,
+)
+
+EDGES = (0.0, 50.0, 100.0, 150.0, 200.0)
+BUDGET_FRACTION = 0.05  # expected 5% of records shipped
+TRIALS = 120
+
+
+def test_ablation_stratified_allocation(citypulse, benchmark, save_result):
+    values = citypulse.values("ozone")
+    shards = partition_even(values, DEVICE_COUNT)
+    estimator = StratifiedCountingEstimator()
+    rng = np.random.default_rng(17)
+
+    # Queries: one per stratum band, from dense to sparse.
+    queries = [(EDGES[b], EDGES[b + 1]) for b in range(len(EDGES) - 1)]
+    truths = [
+        int(np.count_nonzero((values >= lo) & (values <= hi)))
+        for lo, hi in queries
+    ]
+
+    def run():
+        rows = []
+        for mode in ("proportional", "equal", "sqrt"):
+            per_query_errors = [[] for _ in queries]
+            shipped = []
+            for _ in range(TRIALS):
+                samples = []
+                for node_id, shard in enumerate(shards, start=1):
+                    sizes = np.histogram(shard, bins=np.asarray(EDGES))[0]
+                    rates = allocate_rates(
+                        [int(s) for s in sizes],
+                        budget=BUDGET_FRACTION * len(shard),
+                        mode=mode,
+                    )
+                    samples.append(
+                        stratify_node(node_id, shard, EDGES, rates, rng)
+                    )
+                shipped.append(sum(s.sample_size for s in samples))
+                for qi, (lo, hi) in enumerate(queries):
+                    estimate = estimator.estimate(samples, lo, hi)
+                    per_query_errors[qi].append(estimate - truths[qi])
+            for qi, (lo, hi) in enumerate(queries):
+                errors = np.asarray(per_query_errors[qi])
+                rows.append(
+                    (
+                        mode,
+                        f"[{lo:.0f},{hi:.0f}]",
+                        truths[qi],
+                        float(np.sqrt(np.mean(errors**2))),
+                        float(np.mean(shipped)),
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(
+        "ablation_stratified",
+        "# ablation: stratified allocation at a 5% shipment budget\n"
+        + format_table(
+            ["allocation", "band", "true_count", "rmse", "shipped_pairs"],
+            rows,
+        ),
+    )
+
+    by_key = {(row[0], row[1]): row for row in rows}
+    # All allocations ship (nearly) the same budget.
+    budgets = [row[4] for row in rows]
+    assert max(budgets) < 1.15 * min(budgets)
+    # The sparsest band exists (CityPulse ozone rarely exceeds 150).
+    sparse_band = "[150,200]"
+    dense_band = "[50,100]"
+    if by_key[("proportional", sparse_band)][2] > 0:
+        assert (
+            by_key[("equal", sparse_band)][3]
+            <= by_key[("proportional", sparse_band)][3] + 1e-9
+        )
+    # Equal allocation pays on the dense band.
+    assert (
+        by_key[("equal", dense_band)][3]
+        >= by_key[("proportional", dense_band)][3] * 0.8
+    )

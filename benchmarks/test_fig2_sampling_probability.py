@@ -1,0 +1,72 @@
+"""Figure 2: querying accuracy vs sampling probability p.
+
+Paper setup: max relative error of range-counting queries on the CityPulse
+pollution data while p sweeps 0.0173 -> 0.4048.  Expected shape: the error
+is large (paper max ~27%) and oscillates below p ~ 0.12, drops under ~3%
+once >= 5% of the data is sampled, and is flat/stable above 15%.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import DEVICE_COUNT
+from repro.analysis.sweeps import sweep_sampling_probability
+from repro.estimators.rank import RankCountingEstimator
+
+#: The paper's p endpoints, filled to a 12-point grid.
+P_GRID = list(np.round(np.geomspace(0.0173, 0.4048, 12), 4))
+
+
+def test_fig2_series(citypulse, benchmark, save_result):
+    """Regenerate the Figure 2 series and time the full sweep."""
+    values = citypulse.values("ozone")
+
+    def run():
+        return sweep_sampling_probability(
+            values,
+            k=DEVICE_COUNT,
+            ps=P_GRID,
+            num_queries=20,
+            trials=3,
+            seed=2014,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.analysis.reporting import ascii_chart
+
+    save_result(
+        "fig2_sampling_probability",
+        result.table()
+        + "\n\n"
+        + ascii_chart(
+            result.column("p"),
+            result.column("max_rel_err"),
+            y_label="max_rel_err vs p",
+        ),
+    )
+
+    errors = result.column("max_rel_err")
+    # Shape assertions: sparse sampling is much worse than dense sampling,
+    # and the dense end is in the paper's "few percent" regime.
+    assert errors[0] > errors[-1]
+    assert errors[-1] < 0.05
+    assert max(errors) == errors[0] or max(errors) < 0.4
+
+
+def test_fig2_kernel_single_estimate(citypulse, benchmark):
+    """Micro-benchmark: one RankCounting estimate at paper scale."""
+    from repro.datasets.partition import partition_even
+    from repro.estimators.base import NodeData
+
+    values = citypulse.values("ozone")
+    rng = np.random.default_rng(0)
+    nodes = [
+        NodeData(node_id=i + 1, values=shard)
+        for i, shard in enumerate(partition_even(values, DEVICE_COUNT))
+    ]
+    samples = [node.sample(0.1, rng) for node in nodes]
+    estimator = RankCountingEstimator()
+
+    result = benchmark(lambda: estimator.estimate(samples, 70.0, 110.0))
+    assert result.node_count == DEVICE_COUNT

@@ -1,0 +1,83 @@
+"""Figure 4: sampling probability vs data size.
+
+Paper setup: α = 0.055 and δ = 0.5 fixed; the data size grows from 10% to
+100% of the dataset; the Theorem 3.3 sampling rate is recomputed at each
+size.  Expected shape: p decays like 1/n toward a small stable rate ("when
+data size is very large, the sampling probability can converge to a stable
+state with less data collected") while the expected transmitted sample
+volume stays flat at √(8k)/α-scale.
+
+The bench also verifies the claim against the *simulated network*: an
+actual collection round at the calibrated rate ships a sample volume close
+to the analytic expectation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import DEVICE_COUNT
+from repro.analysis.sweeps import sweep_data_size
+from repro.core.service import PrivateRangeCountingService
+from repro.estimators.calibration import required_sampling_rate
+
+FRACTIONS = list(np.round(np.linspace(0.1, 1.0, 10), 2))
+ALPHA, DELTA = 0.055, 0.5
+
+
+def test_fig4_series(citypulse, benchmark, save_result):
+    """Regenerate the Figure 4 series and time the sweep."""
+    values = citypulse.values("ozone")
+
+    def run():
+        return sweep_data_size(
+            values, k=DEVICE_COUNT, fractions=FRACTIONS, alpha=ALPHA,
+            delta=DELTA,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.analysis.reporting import ascii_chart
+
+    save_result(
+        "fig4_data_size",
+        result.table()
+        + "\n\n"
+        + ascii_chart(
+            [float(n) for n in result.column("n")],
+            result.column("p"),
+            y_label="calibrated p vs data size n",
+        ),
+    )
+
+    ps = result.column("p")
+    volumes = result.column("expected_samples")
+    # p decays monotonically with data size ...
+    assert all(ps[i] > ps[i + 1] for i in range(len(ps) - 1))
+    # ... while the expected shipped volume stays flat (1/n cancellation),
+    # unless the rate was clipped at 1 for tiny n.
+    unclipped = [v for p, v in zip(ps, volumes) if p < 1.0]
+    assert max(unclipped) - min(unclipped) < 0.02 * max(unclipped)
+
+
+def test_fig4_network_volume_matches_theory(citypulse, benchmark, save_result):
+    """A real collection round ships ~n·p pairs over the simulated radio."""
+    values = citypulse.values("ozone")
+    p = required_sampling_rate(ALPHA, DELTA, DEVICE_COUNT, len(values))
+
+    def run():
+        service = PrivateRangeCountingService.from_values(
+            values, k=DEVICE_COUNT, seed=4
+        )
+        service.collect(p)
+        return service.communication_report()
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    expected = len(values) * p
+    save_result(
+        "fig4_network_volume",
+        "# fig4: measured vs expected shipped sample pairs\n"
+        f"measured_pairs   {report['sample_pairs']}\n"
+        f"expected_pairs   {expected:.1f}\n"
+        f"wire_bytes       {report['wire_bytes']}",
+    )
+    assert 0.8 * expected < report["sample_pairs"] < 1.2 * expected

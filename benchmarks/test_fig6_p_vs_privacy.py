@@ -1,0 +1,74 @@
+"""Figure 6: querying accuracy vs sampling probability under ε budgets.
+
+Paper setup: p sweeps 0.0173 -> 0.25 for several privacy budgets ε; the
+noise scale is (1/p)/ε since the sensitivity of the sampled estimator is
+proportional to 1/p ("GS(γ̂) ∝ 1/p, and a larger p means smaller volume of
+differential privacy noise").  Expected shape: accuracy is poor below
+p ≈ 0.15 and improves as p rises; higher-ε curves dominate lower-ε ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.conftest import DEVICE_COUNT
+from repro.analysis.sweeps import sweep_p_privacy
+
+P_GRID = list(np.round(np.geomspace(0.0173, 0.25, 8), 4))
+EPSILONS = [0.1, 0.5, 2.0]
+
+
+def test_fig6_series(citypulse, benchmark, save_result):
+    """Regenerate the Figure 6 series and time the sweep."""
+    values = citypulse.values("ozone")
+
+    def run():
+        return sweep_p_privacy(
+            values,
+            k=DEVICE_COUNT,
+            ps=P_GRID,
+            epsilons=EPSILONS,
+            num_queries=10,
+            trials=3,
+            seed=2014,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.analysis.reporting import ascii_chart
+
+    mid_rows = [row for row in result.rows if row[0] == 0.5]
+    save_result(
+        "fig6_p_vs_privacy",
+        result.table()
+        + "\n\n"
+        + ascii_chart(
+            [row[1] for row in mid_rows],
+            [row[2] for row in mid_rows],
+            y_label="mean_rel_err vs p (epsilon=0.5)",
+        ),
+    )
+
+    for epsilon in EPSILONS:
+        errs = [row[2] for row in result.rows if row[0] == epsilon]
+        # Denser sampling improves accuracy (both sampling and noise shrink).
+        assert errs[-1] < errs[0]
+
+    # At the densest p, a larger budget gives at least as good accuracy.
+    final_errs = {
+        eps: [row[2] for row in result.rows if row[0] == eps][-1]
+        for eps in EPSILONS
+    }
+    assert final_errs[2.0] <= final_errs[0.1]
+
+
+def test_fig6_kernel_sensitivity_scaling(benchmark):
+    """Micro-benchmark + check: noise scale really is ∝ 1/p."""
+
+    def noise_scales():
+        return {p: (1.0 / p) / 0.5 for p in P_GRID}
+
+    scales = benchmark(noise_scales)
+    ps = sorted(scales)
+    for a, b in zip(ps, ps[1:]):
+        assert scales[a] > scales[b]
+        assert abs(scales[a] * a - scales[b] * b) < 1e-9  # 1/p proportionality

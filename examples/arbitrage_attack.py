@@ -1,0 +1,74 @@
+"""Arbitrage attack demo: Example 4.1 against two price sheets.
+
+The adversary wants a strict (α=0.05, δ=0.8) answer but tries to pay less
+by buying m cheap high-variance answers and averaging them (Formula (4)).
+Against the naive power-law sheet the attack succeeds and the broker loses
+revenue; against the Theorem 4.2 inverse-variance sheet every attack
+portfolio costs at least the list price.
+
+Run:  python examples/arbitrage_attack.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AccuracySpec,
+    ArbitrageConsumer,
+    PrivateRangeCountingService,
+    RangeQuery,
+)
+from repro.datasets import generate_citypulse
+from repro.pricing.functions import (
+    InverseVariancePricing,
+    PowerLawVariancePricing,
+)
+from repro.pricing.variance_model import VarianceModel
+
+TARGET = AccuracySpec(alpha=0.05, delta=0.8)
+
+
+def attack_run(label: str, pricing, values) -> None:
+    service = PrivateRangeCountingService.from_values(
+        values, k=16, dataset="ozone", seed=13, pricing=pricing
+    )
+    query = RangeQuery(low=80.0, high=110.0, dataset="ozone")
+    adversary = ArbitrageConsumer(name="eve")
+    truth = service.true_count(query.low, query.high)
+
+    print(f"== {label} ==")
+    print(f"  list price of the target product : {service.broker.quote(TARGET):.6g}")
+    outcome = adversary.attempt(service.broker, query, TARGET)
+    if outcome.attack is None:
+        print("  no profitable attack exists; adversary paid list price")
+    else:
+        attack = outcome.attack
+        print(
+            f"  ATTACK: buy {attack.copies} x (alpha={attack.purchase[0]}, "
+            f"delta={attack.purchase[1]}) and average"
+        )
+        print(f"  averaged variance {attack.achieved_variance:.4g} <= "
+              f"target {attack.target_variance:.4g}")
+    verdict = "SUCCEEDED" if outcome.succeeded else "failed"
+    print(f"  paid {outcome.paid:.6g} vs list {outcome.list_price:.6g} "
+          f"-> attack {verdict} (savings {outcome.savings:.6g})")
+    print(f"  adversary's estimate {outcome.estimate:.1f} (true {truth})")
+    print(f"  broker revenue from eve: "
+          f"{service.broker.ledger.spend_of('eve'):.6g}\n")
+
+
+def main() -> None:
+    data = generate_citypulse()
+    values = data.values("ozone")
+    n = len(values)
+
+    naive = PowerLawVariancePricing(
+        VarianceModel(n=n), base_price=1e10, exponent=2.0
+    )
+    attack_run("naive power-law pricing (pi = c / V^2)", naive, values)
+
+    safe = InverseVariancePricing(VarianceModel(n=n), base_price=1e8)
+    attack_run("arbitrage-avoiding pricing (pi = c / V)", safe, values)
+
+
+if __name__ == "__main__":
+    main()

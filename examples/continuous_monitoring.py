@@ -1,0 +1,54 @@
+"""Continuous monitoring: a standing query over streaming pollution data.
+
+A dashboard keeps a standing count of "ozone in the unhealthy band" as new
+readings arrive day by day.  Each daily window is collected, sampled at a
+freshly calibrated rate, and a private release is produced; the privacy
+accountant caps the monitor's lifetime.
+
+Run:  python examples/continuous_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import AccuracySpec, ContinuousMonitor, RangeQuery
+from repro.datasets import generate_citypulse
+from repro.datasets.streams import RecordStream
+from repro.errors import PrivacyBudgetExceededError
+from repro.privacy.budget import BudgetAccountant
+
+
+def main() -> None:
+    data = generate_citypulse()
+    stream = RecordStream(data.values("ozone"), batch_size=288 * 7)  # weekly
+
+    monitor = ContinuousMonitor(
+        query=RangeQuery(low=100.0, high=150.0, dataset="ozone"),
+        spec=AccuracySpec(alpha=0.1, delta=0.6),
+        k=8,
+        accountant=BudgetAccountant(capacity=0.05),
+    )
+
+    print("standing query: ozone in [100, 150], alpha=0.1, delta=0.6")
+    print("privacy capacity: eps' <= 0.05 over the monitor's lifetime\n")
+    week = 0
+    try:
+        for batch in stream.batches():
+            week += 1
+            p = monitor.ingest_window(batch)
+            release = monitor.release()
+            truth = monitor.true_count()
+            print(
+                f"week {week}: n={monitor.total_records:6d}  p={p:.4f}  "
+                f"released {release.value:8.1f}  (true {truth:5d})  "
+                f"eps' so far {monitor.privacy_spent():.4f}"
+            )
+    except PrivacyBudgetExceededError:
+        print(
+            f"\nweek {week}: privacy budget exhausted after "
+            f"{len(monitor.releases)} releases -- the monitor retires "
+            "rather than leak beyond its cap."
+        )
+
+
+if __name__ == "__main__":
+    main()

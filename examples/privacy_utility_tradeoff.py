@@ -1,0 +1,75 @@
+"""Privacy-utility trade-off: how the optimizer splits accuracy head-room.
+
+Sweeps the consumer's accuracy target and prints, for each, the optimizer's
+choice of intermediate (α', δ'), the Laplace budget ε, the amplified final
+guarantee ε' (Lemma 3.4), and the measured error of an actual release --
+the Section III-B machinery end to end.
+
+Run:  python examples/privacy_utility_tradeoff.py
+"""
+
+from __future__ import annotations
+
+from repro import PrivateRangeCountingService
+from repro.analysis.reporting import format_table
+from repro.datasets import generate_citypulse
+
+TARGETS = [
+    (0.05, 0.5),
+    (0.08, 0.6),
+    (0.10, 0.7),
+    (0.15, 0.8),
+    (0.25, 0.9),
+]
+
+
+def main() -> None:
+    data = generate_citypulse()
+    rows = []
+    for alpha, delta in TARGETS:
+        service = PrivateRangeCountingService.from_citypulse(
+            data, index="particulate_matter", k=16, seed=31
+        )
+        answer = service.answer(60.0, 95.0, alpha=alpha, delta=delta,
+                                consumer="analyst")
+        truth = service.true_count(60.0, 95.0)
+        plan = answer.plan
+        rows.append(
+            (
+                alpha,
+                delta,
+                plan.p,
+                plan.alpha_prime,
+                plan.delta_prime,
+                plan.epsilon,
+                plan.epsilon_prime,
+                abs(answer.value - truth) / service.n,
+                answer.price,
+            )
+        )
+    print("privacy-utility trade-off on particulate_matter, range [60, 95]:")
+    print(
+        format_table(
+            [
+                "alpha",
+                "delta",
+                "p",
+                "alpha'",
+                "delta'",
+                "eps",
+                "eps'",
+                "err/n",
+                "price",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nreading the table: stricter targets force denser sampling "
+        "(higher p) and cost more; eps' << eps is the Lemma 3.4 sampling "
+        "amplification bonus, largest when p is small."
+    )
+
+
+if __name__ == "__main__":
+    main()

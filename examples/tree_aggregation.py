@@ -1,0 +1,104 @@
+"""Tree-model aggregation: the paper's stated extension, end to end.
+
+Collects the same calibrated sample over three network organizations --
+the paper's flat model, a binary aggregation tree, and a chain -- and
+shows that accuracy is transport-independent while radio cost is not:
+bundling shipments in-network saves per-message headers, but deep trees
+re-transmit payloads once per relay edge.
+
+Run:  python examples/tree_aggregation.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.datasets import generate_citypulse
+from repro.datasets.partition import partition_even
+from repro.estimators.base import NodeData
+from repro.estimators.rank import RankCountingEstimator
+from repro.iot.aggregation import TreeCollector
+from repro.iot.base_station import BaseStation
+from repro.iot.channel import Channel
+from repro.iot.device import SmartDevice
+from repro.iot.network import Network
+from repro.iot.topology import FlatTopology, TreeTopology
+
+K = 16
+P = 0.05
+QUERY = (80.0, 110.0)
+
+
+def make_devices(values, seed=21):
+    shards = partition_even(values, K)
+    return {
+        node_id: SmartDevice(
+            node_id=node_id,
+            data=NodeData(node_id=node_id, values=shard),
+            rng=np.random.default_rng(seed * 101 + node_id),
+        )
+        for node_id, shard in enumerate(shards, start=1)
+    }
+
+
+def flat_run(values):
+    network = Network(
+        topology=FlatTopology.with_devices(K),
+        channel=Channel(rng=np.random.default_rng(5)),
+    )
+    station = BaseStation(network=network)
+    for device in make_devices(values).values():
+        station.register(device)
+    station.collect(P)
+    return station.samples(), network.meter.snapshot()
+
+
+def tree_run(values, fanout):
+    topology = TreeTopology.balanced(K, fanout=fanout)
+    network = Network(
+        topology=topology, channel=Channel(rng=np.random.default_rng(5))
+    )
+    collector = TreeCollector(
+        network=network, topology=topology, devices=make_devices(values)
+    )
+    collector.collect(P)
+    return collector.samples(), network.meter.snapshot()
+
+
+def main() -> None:
+    values = generate_citypulse().values("ozone")
+    truth = int(np.count_nonzero((values >= QUERY[0]) & (values <= QUERY[1])))
+    estimator = RankCountingEstimator()
+
+    rows = []
+    for label, runner in [
+        ("flat (paper default)", lambda: flat_run(values)),
+        ("tree fanout=2", lambda: tree_run(values, 2)),
+        ("tree fanout=4", lambda: tree_run(values, 4)),
+        ("chain (fanout=1)", lambda: tree_run(values, 1)),
+    ]:
+        samples, meter = runner()
+        estimate = estimator.estimate(samples, *QUERY).clamped()
+        rows.append(
+            (
+                label,
+                meter["messages"],
+                meter["wire_bytes"],
+                f"{estimate:.0f}",
+            )
+        )
+    print(f"query: ozone in [{QUERY[0]}, {QUERY[1]}], true count {truth}, "
+          f"p={P}, k={K}\n")
+    print(format_table(
+        ["organization", "messages", "wire_bytes", "estimate"], rows
+    ))
+    print(
+        "\nsame estimator, same guarantee -- the topology only moves the "
+        "radio bill. Bundled tree uplinks amortize headers; chains pay "
+        "payload re-transmission per relay edge."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+The canonical metadata lives in pyproject.toml; this file only enables
+legacy editable installs (`pip install -e . --no-use-pep517`) on offline
+machines where PEP-660 builds are unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""Analysis toolkit: metrics, experiment sweeps, ASCII reporting."""
+
+from repro.analysis.claims import (
+    CLAIMS,
+    Claim,
+    ClaimResult,
+    Scale,
+    claims_table,
+    run_claims,
+)
+from repro.analysis.metrics import (
+    QueryWorkload,
+    make_workload,
+    max_relative_error,
+    mean_relative_error,
+    relative_error,
+)
+from repro.analysis.reporting import (
+    ascii_chart,
+    format_series,
+    format_table,
+    format_value,
+)
+from repro.analysis.workloads import (
+    band_workload,
+    narrow_workload,
+    shifted_workload,
+    wide_workload,
+)
+from repro.analysis.sweeps import (
+    SweepResult,
+    compare_estimators,
+    sweep_alpha_delta,
+    sweep_data_size,
+    sweep_p_privacy,
+    sweep_privacy_budget,
+    sweep_sampling_probability,
+)
+
+__all__ = [
+    "CLAIMS",
+    "Claim",
+    "ClaimResult",
+    "Scale",
+    "claims_table",
+    "run_claims",
+    "QueryWorkload",
+    "make_workload",
+    "max_relative_error",
+    "mean_relative_error",
+    "relative_error",
+    "ascii_chart",
+    "format_series",
+    "format_table",
+    "format_value",
+    "SweepResult",
+    "band_workload",
+    "narrow_workload",
+    "shifted_workload",
+    "wide_workload",
+    "compare_estimators",
+    "sweep_alpha_delta",
+    "sweep_data_size",
+    "sweep_p_privacy",
+    "sweep_privacy_budget",
+    "sweep_sampling_probability",
+]

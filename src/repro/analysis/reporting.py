@@ -1,0 +1,108 @@
+"""ASCII reporting: the tables and series the benchmark harness prints.
+
+Benches regenerate the paper's figures as printed series; these helpers
+keep the formatting consistent (fixed-width columns, 4-significant-digit
+floats) so EXPERIMENTS.md can quote bench output verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+__all__ = ["format_value", "format_table", "format_series", "ascii_chart"]
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Render one cell: floats to ``precision`` significant digits."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    precision: int = 4,
+) -> str:
+    """Render an aligned ASCII table with a header rule."""
+    rendered: List[List[str]] = [
+        [format_value(cell, precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    rule = "  ".join("-" * w for w in widths)
+    body = [
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        for row in rendered
+    ]
+    return "\n".join([header_line, rule, *body])
+
+
+def format_series(
+    label: str,
+    xs: Sequence[object],
+    ys: Sequence[object],
+    x_name: str = "x",
+    y_name: str = "y",
+    precision: int = 4,
+) -> str:
+    """Render one figure series as a two-column table with a title line."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must be parallel")
+    table = format_table([x_name, y_name], zip(xs, ys), precision)
+    return f"# {label}\n{table}"
+
+
+def ascii_chart(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Render a terminal scatter/line chart of one series.
+
+    A dependency-free visual for bench output: x is mapped to columns, y to
+    rows, points marked with ``*``; the y-axis prints its min/max and the
+    x-axis its endpoints.  Not a plotting library -- just enough to see a
+    figure's shape in CI logs.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must be parallel")
+    if len(xs) == 0:
+        raise ValueError("need at least one point")
+    if width < 8 or height < 3:
+        raise ValueError("chart must be at least 8x3")
+    x_arr = [float(x) for x in xs]
+    y_arr = [float(y) for y in ys]
+    x_min, x_max = min(x_arr), max(x_arr)
+    y_min, y_max = min(y_arr), max(y_arr)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(x_arr, y_arr):
+        col = int(round((x - x_min) / x_span * (width - 1)))
+        row = int(round((y - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][col] = "*"
+
+    lines: List[str] = []
+    if y_label:
+        lines.append(y_label)
+    lines.append(f"{y_max:>10.4g} |" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_min:>10.4g} |" + "".join(grid[-1]))
+    lines.append(" " * 12 + "-" * width)
+    left = f"{x_min:.4g}"
+    right = f"{x_max:.4g}"
+    pad = max(1, width - len(left) - len(right))
+    lines.append(" " * 12 + left + " " * pad + right)
+    return "\n".join(lines)

@@ -1,0 +1,109 @@
+"""Named query-workload generators beyond the default quantile mix.
+
+Different consumers stress different estimator regimes; these generators
+make each regime a first-class, reproducible workload:
+
+* :func:`band_workload` -- fixed AQI-style pollution bands (the paper's
+  motivating queries: "moderate", "unhealthy", ...).
+* :func:`narrow_workload` -- low-selectivity slivers where relative error
+  is hardest (small true counts).
+* :func:`wide_workload` -- high-selectivity ranges where BasicCounting's
+  variance explodes but RankCounting's does not.
+* :func:`shifted_workload` -- one band swept across the value domain
+  (a dashboard panning through pollution levels).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import QueryWorkload, make_workload
+from repro.estimators.exact import SortedColumn
+
+__all__ = [
+    "band_workload",
+    "narrow_workload",
+    "wide_workload",
+    "shifted_workload",
+]
+
+
+def _finish(column: SortedColumn, ranges: List[Tuple[float, float]]) -> QueryWorkload:
+    truths = [column.count(low, high) for low, high in ranges]
+    return QueryWorkload(ranges=tuple(ranges), truths=tuple(truths))
+
+
+def band_workload(
+    values: np.ndarray,
+    bands: Sequence[Tuple[float, float]] = (
+        (0.0, 50.0),
+        (50.0, 100.0),
+        (100.0, 150.0),
+        (150.0, 200.0),
+    ),
+) -> QueryWorkload:
+    """Fixed value bands (default: the AQI-style pollution tiers)."""
+    column = SortedColumn(values)
+    if len(column) == 0:
+        raise ValueError("cannot build a workload over an empty column")
+    ranges = []
+    for low, high in bands:
+        if low > high:
+            raise ValueError(f"band ({low}, {high}) is inverted")
+        ranges.append((float(low), float(high)))
+    return _finish(column, ranges)
+
+
+def narrow_workload(
+    values: np.ndarray,
+    num_queries: int = 20,
+    selectivity: float = 0.01,
+    seed: int = 42,
+) -> QueryWorkload:
+    """Slivers of ~``selectivity`` mass at random positions."""
+    if not 0.0 < selectivity <= 0.2:
+        raise ValueError("narrow workloads need selectivity in (0, 0.2]")
+    return make_workload(
+        values,
+        num_queries=num_queries,
+        seed=seed,
+        min_selectivity=selectivity / 2,
+        max_selectivity=selectivity,
+    )
+
+
+def wide_workload(
+    values: np.ndarray,
+    num_queries: int = 20,
+    seed: int = 42,
+) -> QueryWorkload:
+    """Ranges covering 70–98% of the data."""
+    return make_workload(
+        values,
+        num_queries=num_queries,
+        seed=seed,
+        min_selectivity=0.7,
+        max_selectivity=0.98,
+    )
+
+
+def shifted_workload(
+    values: np.ndarray,
+    band_selectivity: float = 0.2,
+    steps: int = 16,
+) -> QueryWorkload:
+    """One fixed-mass band panned across the whole value domain."""
+    if not 0.0 < band_selectivity < 1.0:
+        raise ValueError("band_selectivity must be in (0, 1)")
+    if steps <= 0:
+        raise ValueError("steps must be positive")
+    column = SortedColumn(values)
+    if len(column) == 0:
+        raise ValueError("cannot build a workload over an empty column")
+    ranges = []
+    positions = np.linspace(0.0, 1.0 - band_selectivity, steps)
+    for start in positions:
+        ranges.append(column.quantile_range(start, start + band_selectivity))
+    return _finish(column, ranges)

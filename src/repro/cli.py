@@ -1,0 +1,337 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's everyday surfaces:
+
+* ``quote``       -- price an ``(α, δ)`` product from the published sheet.
+* ``answer``      -- build the full simulated stack over the CityPulse
+  surrogate and purchase one private range counting.
+* ``experiment``  -- regenerate one of the paper's figure series (fig2..
+  fig6, or the estimator-comparison ablation) at a configurable scale.
+* ``check-pricing`` -- run the Theorem 4.2 checker and the Example 4.1
+  attack search against a chosen pricing family.
+
+Every command prints plain ASCII tables (the same renderer the bench
+harness uses) and returns a process exit code: 0 on success, 2 on invalid
+arguments, 1 when a check fails (e.g. a pricing family is arbitrageable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import format_table
+from repro.analysis.sweeps import (
+    compare_estimators,
+    sweep_alpha_delta,
+    sweep_data_size,
+    sweep_p_privacy,
+    sweep_privacy_budget,
+    sweep_sampling_probability,
+)
+from repro.core.service import PrivateRangeCountingService
+from repro.datasets.citypulse import AIR_QUALITY_INDEXES, generate_citypulse
+from repro.pricing.arbitrage import check_arbitrage_avoiding, find_averaging_attack
+from repro.pricing.functions import (
+    InverseVariancePricing,
+    LinearAccuracyPricing,
+    PowerLawVariancePricing,
+    TieredPricing,
+)
+from repro.pricing.variance_model import VarianceModel
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trading private range counting over (simulated) IoT data",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    quote = sub.add_parser("quote", help="price an (alpha, delta) product")
+    quote.add_argument("--alpha", type=float, required=True)
+    quote.add_argument("--delta", type=float, required=True)
+    quote.add_argument("--records", type=int, default=17568)
+    quote.add_argument("--base-price", type=float, default=1.0)
+
+    answer = sub.add_parser(
+        "answer", help="purchase one private range counting end to end"
+    )
+    answer.add_argument("--index", choices=AIR_QUALITY_INDEXES, default="ozone")
+    answer.add_argument("--low", type=float, required=True)
+    answer.add_argument("--high", type=float, required=True)
+    answer.add_argument("--alpha", type=float, default=0.1)
+    answer.add_argument("--delta", type=float, default=0.5)
+    answer.add_argument("--records", type=int, default=17568)
+    answer.add_argument("--devices", type=int, default=16)
+    answer.add_argument("--seed", type=int, default=7)
+    answer.add_argument(
+        "--show-truth",
+        action="store_true",
+        help="also print the exact count (harness/debug use)",
+    )
+
+    experiment = sub.add_parser(
+        "experiment", help="regenerate one paper-figure series"
+    )
+    experiment.add_argument(
+        "name",
+        choices=["fig2", "fig3", "fig4", "fig5", "fig6", "estimators"],
+    )
+    experiment.add_argument("--records", type=int, default=17568)
+    experiment.add_argument("--devices", type=int, default=16)
+    experiment.add_argument("--queries", type=int, default=20)
+    experiment.add_argument("--trials", type=int, default=3)
+    experiment.add_argument("--seed", type=int, default=2014)
+
+    histogram = sub.add_parser(
+        "histogram", help="release a private banded histogram"
+    )
+    histogram.add_argument("--index", choices=AIR_QUALITY_INDEXES,
+                           default="ozone")
+    histogram.add_argument("--low", type=float, default=0.0)
+    histogram.add_argument("--high", type=float, default=200.0)
+    histogram.add_argument("--buckets", type=int, default=8)
+    histogram.add_argument("--epsilon", type=float, default=1.0)
+    histogram.add_argument("--records", type=int, default=17568)
+    histogram.add_argument("--devices", type=int, default=16)
+    histogram.add_argument("--seed", type=int, default=7)
+
+    quantile = sub.add_parser(
+        "quantile", help="release a private quantile"
+    )
+    quantile.add_argument("--index", choices=AIR_QUALITY_INDEXES,
+                          default="ozone")
+    quantile.add_argument("--q", type=float, required=True)
+    quantile.add_argument("--epsilon", type=float, default=5.0)
+    quantile.add_argument("--records", type=int, default=17568)
+    quantile.add_argument("--devices", type=int, default=16)
+    quantile.add_argument("--seed", type=int, default=7)
+
+    claims = sub.add_parser(
+        "verify-claims", help="re-check every paper claim programmatically"
+    )
+    claims.add_argument("--records", type=int, default=17568)
+    claims.add_argument("--devices", type=int, default=16)
+    claims.add_argument("--trials", type=int, default=1500)
+    claims.add_argument("--seed", type=int, default=2014)
+
+    pricing = sub.add_parser(
+        "check-pricing", help="audit a pricing family for arbitrage"
+    )
+    pricing.add_argument(
+        "family",
+        choices=["inverse", "power", "linear", "tiered"],
+    )
+    pricing.add_argument("--exponent", type=float, default=2.0,
+                         help="power-law exponent (family=power)")
+    pricing.add_argument("--records", type=int, default=17568)
+    pricing.add_argument("--base-price", type=float, default=1e8)
+
+    return parser
+
+
+def _cmd_quote(args: argparse.Namespace) -> int:
+    pricing = InverseVariancePricing(
+        VarianceModel(n=args.records), base_price=args.base_price
+    )
+    price = pricing.price(args.alpha, args.delta)
+    variance = pricing.variance_model.variance(args.alpha, args.delta)
+    print(
+        format_table(
+            ["alpha", "delta", "delivered_variance", "price"],
+            [(args.alpha, args.delta, variance, price)],
+        )
+    )
+    return 0
+
+
+def _cmd_answer(args: argparse.Namespace) -> int:
+    data = generate_citypulse(record_count=args.records)
+    service = PrivateRangeCountingService.from_citypulse(
+        data, args.index, k=args.devices, seed=args.seed
+    )
+    answer = service.answer(
+        args.low, args.high, alpha=args.alpha, delta=args.delta,
+        consumer="cli",
+    )
+    rows = [
+        ("released_count", answer.value),
+        ("tolerance", args.alpha * service.n),
+        ("confidence", args.delta),
+        ("price", answer.price),
+        ("epsilon", answer.plan.epsilon),
+        ("epsilon_prime", answer.epsilon_prime),
+        ("alpha_prime", answer.plan.alpha_prime),
+        ("delta_prime", answer.plan.delta_prime),
+        ("sampling_rate", answer.plan.p),
+        ("sample_pairs_shipped", service.communication_report()["sample_pairs"]),
+    ]
+    if args.show_truth:
+        rows.insert(1, ("true_count", service.true_count(args.low, args.high)))
+    print(format_table(["field", "value"], rows))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    data = generate_citypulse(record_count=args.records)
+    values = data.values("ozone")
+    k, queries, trials, seed = args.devices, args.queries, args.trials, args.seed
+    if args.name == "fig2":
+        result = sweep_sampling_probability(
+            values, k=k, ps=list(np.geomspace(0.0173, 0.4048, 12)),
+            num_queries=queries, trials=trials, seed=seed,
+        )
+    elif args.name == "fig3":
+        result = sweep_alpha_delta(
+            values, k=k, levels=list(np.linspace(0.08, 0.8, 10)),
+            num_queries=queries, trials=trials, seed=seed,
+        )
+    elif args.name == "fig4":
+        result = sweep_data_size(
+            values, k=k, fractions=list(np.linspace(0.1, 1.0, 10)),
+        )
+    elif args.name == "fig5":
+        columns = {name: data.values(name) for name in AIR_QUALITY_INDEXES}
+        result = sweep_privacy_budget(
+            columns, k=k, epsilons=list(np.geomspace(0.01, 8.0, 10)),
+            num_queries=max(4, queries // 2), trials=trials, seed=seed,
+        )
+    elif args.name == "fig6":
+        result = sweep_p_privacy(
+            values, k=k, ps=list(np.geomspace(0.0173, 0.25, 8)),
+            epsilons=[0.1, 0.5, 2.0],
+            num_queries=max(4, queries // 2), trials=trials, seed=seed,
+        )
+    else:
+        result = compare_estimators(
+            values, k=k, ps=[0.05, 0.1, 0.2, 0.4],
+            num_queries=queries, trials=trials, seed=seed,
+        )
+    print(result.table())
+    return 0
+
+
+def _cmd_histogram(args: argparse.Namespace) -> int:
+    data = generate_citypulse(record_count=args.records)
+    service = PrivateRangeCountingService.from_citypulse(
+        data, args.index, k=args.devices, seed=args.seed
+    )
+    release = service.histogram(
+        args.low, args.high, buckets=args.buckets, epsilon=args.epsilon
+    )
+    rows = [
+        (f"[{release.edges[b]:.4g}, {release.edges[b + 1]:.4g})",
+         release.counts[b])
+        for b in range(release.buckets)
+    ]
+    print(format_table(["bucket", "released_count"], rows))
+    print(
+        f"total eps' charged: {release.epsilon_prime:.6g} "
+        f"(parallel composition over {release.buckets} buckets)"
+    )
+    return 0
+
+
+def _cmd_quantile(args: argparse.Namespace) -> int:
+    data = generate_citypulse(record_count=args.records)
+    service = PrivateRangeCountingService.from_citypulse(
+        data, args.index, k=args.devices, seed=args.seed
+    )
+    release = service.private_quantile(args.q, epsilon=args.epsilon)
+    print(
+        format_table(
+            ["field", "value"],
+            [
+                ("q", release.q),
+                ("released_value", release.value),
+                ("epsilon", release.epsilon),
+                ("epsilon_prime", release.epsilon_prime),
+                ("probes", release.probes),
+            ],
+        )
+    )
+    return 0
+
+
+def _cmd_verify_claims(args: argparse.Namespace) -> int:
+    from repro.analysis.claims import Scale, claims_table, run_claims
+
+    results = run_claims(
+        Scale(n=args.records, k=args.devices, trials=args.trials,
+              seed=args.seed)
+    )
+    print(claims_table(results))
+    failed = [r for r in results if not r.passed]
+    print(f"\n{len(results) - len(failed)}/{len(results)} claims verified")
+    return 0 if not failed else 1
+
+
+def _build_pricing(args: argparse.Namespace):
+    model = VarianceModel(n=args.records)
+    if args.family == "inverse":
+        return InverseVariancePricing(model, base_price=args.base_price)
+    if args.family == "power":
+        return PowerLawVariancePricing(
+            model, base_price=args.base_price, exponent=args.exponent
+        )
+    if args.family == "linear":
+        return LinearAccuracyPricing(model)
+    v_mid = model.variance(0.3, 0.5)
+    return TieredPricing(
+        model,
+        tiers=[(v_mid / 10, 100.0), (v_mid, 10.0), (v_mid * 100, 1.0)],
+    )
+
+
+def _cmd_check_pricing(args: argparse.Namespace) -> int:
+    pricing = _build_pricing(args)
+    report = check_arbitrage_avoiding(pricing)
+    attack = find_averaging_attack(pricing, target_alpha=0.05, target_delta=0.8)
+    print(
+        format_table(
+            ["pricing", "thm42_pass", "violations", "attack_found"],
+            [(
+                pricing.name,
+                report.arbitrage_avoiding,
+                len(report.violations),
+                attack is not None,
+            )],
+        )
+    )
+    for violation in report.violations[:5]:
+        print("  " + violation.describe())
+    if len(report.violations) > 5:
+        print(f"  ... and {len(report.violations) - 5} more violations")
+    if attack is not None:
+        print("  attack: " + attack.describe())
+    return 0 if report.arbitrage_avoiding else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse uses exit code 2 for bad usage
+        return int(exc.code or 0)
+    handlers = {
+        "quote": _cmd_quote,
+        "answer": _cmd_answer,
+        "experiment": _cmd_experiment,
+        "histogram": _cmd_histogram,
+        "quantile": _cmd_quantile,
+        "verify-claims": _cmd_verify_claims,
+        "check-pricing": _cmd_check_pricing,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

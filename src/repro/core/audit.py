@@ -1,0 +1,192 @@
+"""Consumer-side auditing of purchased answers.
+
+A paying consumer receives a :class:`~repro.core.query.PrivateAnswer` whose
+provenance (plan, price, spec) the broker *claims* is consistent.  The
+auditor re-derives every checkable claim from public quantities:
+
+* **pricing** -- the charged price matches the published sheet;
+* **plan feasibility** -- the `(α', δ', ε)` triple satisfies every
+  constraint of optimization problem (3) against the advertised
+  ``(p, k, n)``;
+* **amplification** -- the reported ε′ equals ``ln(1 + p(e^ε − 1))``;
+* **consistency** -- the plan's target matches the purchased spec, and the
+  released value lies in the valid count range ``[0, n]``.
+
+What cannot be audited from one answer -- that the noise was *actually*
+drawn at the stated scale -- is flagged as out of scope rather than
+silently assumed; detecting under-noising requires repeated purchases
+(see :func:`audit_noise_scale`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.query import PrivateAnswer
+from repro.estimators.calibration import achieved_delta
+from repro.pricing.functions import PricingFunction
+from repro.privacy.amplification import amplified_epsilon
+from repro.privacy.laplace import laplace_tail_within
+
+__all__ = ["AuditFinding", "AuditReport", "audit_answer", "audit_noise_scale"]
+
+_REL_TOL = 1e-6
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One failed audit check."""
+
+    check: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting convenience
+        return f"[{self.check}] {self.detail}"
+
+
+@dataclass
+class AuditReport:
+    """All findings of one audit; empty means the answer checks out."""
+
+    findings: List[AuditFinding] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when no check failed."""
+        return not self.findings
+
+    def add(self, check: str, detail: str) -> None:
+        """Record a failed check."""
+        self.findings.append(AuditFinding(check=check, detail=detail))
+
+
+def audit_answer(
+    answer: PrivateAnswer,
+    pricing: Optional[PricingFunction] = None,
+) -> AuditReport:
+    """Audit one purchased answer against its own provenance.
+
+    Parameters
+    ----------
+    answer:
+        The purchased answer.
+    pricing:
+        The broker's *published* price sheet, when the consumer has it;
+        price checks are skipped otherwise.
+    """
+    report = AuditReport()
+    plan = answer.plan
+    spec = answer.spec
+
+    # Spec ↔ plan consistency.
+    if abs(plan.alpha - spec.alpha) > _REL_TOL * spec.alpha:
+        report.add(
+            "spec", f"plan targets alpha={plan.alpha}, purchased {spec.alpha}"
+        )
+    if abs(plan.delta - spec.delta) > _REL_TOL * spec.delta:
+        report.add(
+            "spec", f"plan targets delta={plan.delta}, purchased {spec.delta}"
+        )
+
+    # Released value must be a legal count.
+    if not 0.0 <= answer.value <= plan.n:
+        report.add("range", f"released value {answer.value} outside [0, {plan.n}]")
+
+    # Plan-internal constraints of optimization problem (3).
+    if not 0.0 < plan.alpha_prime < plan.alpha:
+        report.add(
+            "plan", f"alpha'={plan.alpha_prime} not inside (0, {plan.alpha})"
+        )
+    if not plan.delta < plan.delta_prime < 1.0:
+        report.add(
+            "plan", f"delta'={plan.delta_prime} not inside ({plan.delta}, 1)"
+        )
+    else:
+        certified = achieved_delta(plan.p, plan.alpha_prime, plan.k, plan.n)
+        if plan.delta_prime > certified + _REL_TOL:
+            report.add(
+                "plan",
+                f"delta'={plan.delta_prime} exceeds what p={plan.p} "
+                f"certifies ({certified:.6g})",
+            )
+        if plan.noise_tolerance > 0:
+            tail = laplace_tail_within(plan.noise_scale, plan.noise_tolerance)
+            if tail < plan.delta / plan.delta_prime - _REL_TOL:
+                report.add(
+                    "plan",
+                    f"noise tail {tail:.6g} below required "
+                    f"{plan.delta / plan.delta_prime:.6g}",
+                )
+
+    if plan.epsilon <= 0:
+        report.add("privacy", f"epsilon={plan.epsilon} not positive")
+    else:
+        expected = amplified_epsilon(plan.epsilon, plan.p)
+        if abs(plan.epsilon_prime - expected) > _REL_TOL * max(expected, 1e-12):
+            report.add(
+                "privacy",
+                f"epsilon'={plan.epsilon_prime} inconsistent with "
+                f"amplification of eps={plan.epsilon} at p={plan.p} "
+                f"({expected:.6g})",
+            )
+        scale = plan.sensitivity / plan.epsilon
+        if abs(plan.noise_scale - scale) > _REL_TOL * scale:
+            report.add(
+                "privacy",
+                f"noise scale {plan.noise_scale} != sensitivity/epsilon "
+                f"({scale:.6g})",
+            )
+
+    # Published-price check.
+    if pricing is not None:
+        listed = pricing.price(spec.alpha, spec.delta)
+        if abs(answer.price - listed) > _REL_TOL * max(listed, 1e-12):
+            report.add(
+                "price",
+                f"charged {answer.price:.6g}, sheet lists {listed:.6g}",
+            )
+    return report
+
+
+def audit_noise_scale(
+    answers: Sequence[PrivateAnswer],
+    significance: float = 4.0,
+) -> AuditReport:
+    """Statistically audit that repeated answers carry the claimed noise.
+
+    Given many purchases of the *same query at the same spec*, the raw
+    answers should scatter with variance at least the plan's Laplace noise
+    variance (sampling noise only adds more).  A broker that quietly
+    under-noises -- selling the same ε′ certificate while leaking more --
+    shows up as an implausibly small empirical variance.
+
+    ``significance`` scales the tolerance: the check fails when the
+    empirical variance is below ``noise_variance / significance``.
+    """
+    if len(answers) < 8:
+        raise ValueError("need at least 8 repeated answers for a noise audit")
+    report = AuditReport()
+    plans = {(
+        a.plan.noise_scale, a.spec.alpha, a.spec.delta, a.query.low,
+        a.query.high,
+    ) for a in answers}
+    if len(plans) != 1:
+        report.add(
+            "protocol",
+            "answers mix different queries, specs, or noise scales; "
+            "a noise audit needs identical repeated purchases",
+        )
+        return report
+    raw = np.array([a.raw_value for a in answers], dtype=np.float64)
+    empirical = float(raw.var(ddof=1))
+    claimed = answers[0].plan.noise_variance
+    if empirical < claimed / significance:
+        report.add(
+            "noise",
+            f"empirical variance {empirical:.6g} implausibly small vs "
+            f"claimed noise variance {claimed:.6g}",
+        )
+    return report

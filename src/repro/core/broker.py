@@ -1,0 +1,222 @@
+"""The data broker: the trading pipeline's orchestrator (Section II-A).
+
+For each purchased query the broker
+
+1. **plans** -- checks the stored sample supports the ``(α, δ)`` target,
+   triggering an incremental top-up collection when it does not;
+2. **estimates** -- runs RankCounting over the per-node samples to get an
+   ``(α', δ')``-range counting;
+3. **perturbs** -- adds Laplace noise at the optimizer's ε so the noisy
+   answer is still an ``(α, δ)``-range counting with the smallest amplified
+   budget ε′ (optimization problem (3));
+4. **charges** -- prices the product with the configured pricing function,
+   records the sale in the billing ledger and the ε′ in the privacy
+   accountant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.planner import QueryPlanner
+from repro.core.policy import BrokerPolicy, PolicyViolationError
+from repro.core.query import AccuracySpec, PrivateAnswer, RangeQuery
+from repro.errors import InfeasiblePlanError
+from repro.estimators.base import RangeCountingEstimator
+from repro.estimators.rank import RankCountingEstimator
+from repro.iot.base_station import BaseStation
+from repro.pricing.functions import PricingFunction
+from repro.pricing.ledger import BillingLedger
+from repro.privacy.budget import BudgetAccountant
+from repro.privacy.laplace import sample_laplace
+
+__all__ = ["DataBroker"]
+
+
+@dataclass
+class DataBroker:
+    """Answers priced, differentially private ``(α, δ)``-range counting.
+
+    Parameters
+    ----------
+    base_station:
+        Source of per-node samples (and the handle for top-up rounds).
+    pricing:
+        The price sheet; its variance model must be built for the same
+        ``n`` as the base station serves.
+    dataset:
+        Billing/budget key of the dataset this broker serves.
+    estimator:
+        The sampling estimator; RankCounting by default.
+    ledger, accountant:
+        Billing and privacy accounting; fresh unlimited instances by
+        default.
+    rng:
+        Noise randomness (seeded for reproducible experiments).
+    auto_top_up:
+        When True (default) an infeasible request triggers an incremental
+        collection round at the planner's recommended rate; when False the
+        request fails with :class:`InfeasiblePlanError` instead.
+    """
+
+    base_station: BaseStation
+    pricing: PricingFunction
+    dataset: str = "default"
+    estimator: RangeCountingEstimator = field(default_factory=RankCountingEstimator)
+    ledger: BillingLedger = field(default_factory=BillingLedger)
+    accountant: BudgetAccountant = field(default_factory=BudgetAccountant)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(7))
+    auto_top_up: bool = True
+    planner_grid_points: int = 512
+    policy: BrokerPolicy = field(default_factory=BrokerPolicy)
+    memoize_answers: bool = False
+
+    def __post_init__(self) -> None:
+        # Cache of released answers keyed by (query, spec, sample rate);
+        # see ``memoize_answers`` in :meth:`answer`.
+        self._answer_cache: "dict[tuple, PrivateAnswer]" = {}
+        self._planner = QueryPlanner(
+            k=self.base_station.k,
+            n=self.base_station.n,
+            grid_points=self.planner_grid_points,
+        )
+        if self.pricing.variance_model.n != self.base_station.n:
+            raise ValueError(
+                "pricing variance model is calibrated for "
+                f"n={self.pricing.variance_model.n}, but the base station "
+                f"serves n={self.base_station.n}"
+            )
+
+    @property
+    def planner(self) -> QueryPlanner:
+        """The planner bound to this broker's fleet shape."""
+        return self._planner
+
+    def quote(self, spec: AccuracySpec) -> float:
+        """List price of an ``(α, δ)`` product (no data is touched)."""
+        return self.pricing.price(spec.alpha, spec.delta)
+
+    def _ensure_feasible(self, spec: AccuracySpec) -> None:
+        p = self.base_station.sampling_rate
+        if p > 0.0 and self._planner.supports(spec, p):
+            return
+        if not self.auto_top_up:
+            raise InfeasiblePlanError(
+                f"stored sample (p={p:.6g}) cannot support "
+                f"(alpha={spec.alpha}, delta={spec.delta}) and auto_top_up "
+                "is disabled"
+            )
+        target = self._planner.required_rate(spec)
+        self.base_station.ensure_rate(max(target, p if p > 0 else target))
+
+    def answer(
+        self,
+        query: RangeQuery,
+        spec: AccuracySpec,
+        consumer: str = "anonymous",
+    ) -> PrivateAnswer:
+        """Run the full trade: plan, estimate, perturb, charge.
+
+        Returns the :class:`PrivateAnswer` released to the consumer.  Cost
+        of any triggered top-up round lands on the network meter; the
+        privacy cost ε′ is charged to the accountant under this broker's
+        dataset key.
+        """
+        if query.dataset not in ("default", self.dataset):
+            raise ValueError(
+                f"query targets dataset {query.dataset!r}, broker serves "
+                f"{self.dataset!r}"
+            )
+        self.policy.admit(consumer, spec)
+
+        cache_key = (query.low, query.high, spec.alpha, spec.delta)
+        if self.memoize_answers and cache_key in self._answer_cache:
+            # Re-releasing a previously released value is post-processing:
+            # it costs no privacy budget, and it starves averaging attacks
+            # (m identical answers average to themselves).  The sale is
+            # still billed at list price.
+            cached = self._answer_cache[cache_key]
+            price = self.pricing.price(spec.alpha, spec.delta)
+            self.policy.settle(consumer, 0.0)
+            txn = self.ledger.record(
+                consumer=consumer,
+                dataset=self.dataset,
+                alpha=spec.alpha,
+                delta=spec.delta,
+                price=price,
+                epsilon_prime=0.0,
+            )
+            return dataclasses.replace(
+                cached,
+                consumer=consumer,
+                price=price,
+                transaction_id=txn.transaction_id,
+            )
+
+        self._ensure_feasible(spec)
+        p = self.base_station.sampling_rate
+        plan = self._planner.plan(spec, p)
+        if not self.policy.can_release(consumer, plan.epsilon_prime):
+            raise PolicyViolationError(
+                f"consumer {consumer!r} would exceed the per-consumer "
+                "privacy cap"
+            )
+
+        samples = self.base_station.samples()
+        estimate = self.estimator.estimate(samples, query.low, query.high)
+        noise = float(sample_laplace(plan.noise_scale, self.rng))
+        raw_value = estimate.estimate + noise
+        released = float(min(max(raw_value, 0.0), float(self.base_station.n)))
+
+        price = self.pricing.price(spec.alpha, spec.delta)
+        self.policy.settle(consumer, plan.epsilon_prime)
+        self.accountant.charge(
+            self.dataset,
+            plan.epsilon_prime,
+            label=f"{consumer}:[{query.low},{query.high}]",
+        )
+        txn = self.ledger.record(
+            consumer=consumer,
+            dataset=self.dataset,
+            alpha=spec.alpha,
+            delta=spec.delta,
+            price=price,
+            epsilon_prime=plan.epsilon_prime,
+        )
+        answer = PrivateAnswer(
+            value=released,
+            raw_value=raw_value,
+            sample_estimate=estimate.estimate,
+            query=query,
+            spec=spec,
+            plan=plan,
+            price=price,
+            consumer=consumer,
+            transaction_id=txn.transaction_id,
+        )
+        if self.memoize_answers:
+            self._answer_cache[cache_key] = answer
+        return answer
+
+    def answer_batch(
+        self,
+        queries: "list[RangeQuery]",
+        spec: AccuracySpec,
+        consumer: str = "anonymous",
+    ) -> "list[PrivateAnswer]":
+        """Answer several queries at one accuracy tier.
+
+        Semantically identical to calling :meth:`answer` per query --
+        each release is separately noised and separately charged
+        (different ranges overlap, so sequential composition applies) --
+        but any needed top-up collection runs once up front, which is the
+        batch's efficiency point.
+        """
+        if not queries:
+            raise ValueError("at least one query is required")
+        self._ensure_feasible(spec)
+        return [self.answer(query, spec, consumer=consumer) for query in queries]

@@ -1,0 +1,134 @@
+"""Multi-dataset catalog: one marketplace front door over many brokers.
+
+The CityPulse feed carries five air-quality indexes; a real data platform
+sells all of them.  :class:`DataCatalog` manages one
+:class:`~repro.core.service.PrivateRangeCountingService` per dataset key,
+routes queries by key, and aggregates the platform-level views an
+operator needs: total revenue, privacy spend per dataset, and combined
+network cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.query import PrivateAnswer
+from repro.core.service import PrivateRangeCountingService
+from repro.datasets.citypulse import CityPulseDataset
+from repro.errors import ReproError
+
+__all__ = ["DataCatalog", "UnknownDatasetError"]
+
+
+class UnknownDatasetError(ReproError, KeyError):
+    """A query referenced a dataset the catalog does not carry."""
+
+
+@dataclass
+class DataCatalog:
+    """Keyed collection of trading services with platform-level views."""
+
+    services: Dict[str, PrivateRangeCountingService] = field(
+        default_factory=dict
+    )
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_citypulse(
+        cls,
+        data: CityPulseDataset,
+        k: int = 16,
+        seed: int = 7,
+        base_price: float = 1.0,
+    ) -> "DataCatalog":
+        """Build one service per air-quality index of a CityPulse dataset."""
+        catalog = cls()
+        for offset, index in enumerate(data.indexes):
+            catalog.add(
+                index,
+                PrivateRangeCountingService.from_citypulse(
+                    data, index, k=k, seed=seed + offset,
+                    base_price=base_price,
+                ),
+            )
+        return catalog
+
+    def add(self, key: str, service: PrivateRangeCountingService) -> None:
+        """Register a service under ``key``."""
+        if key in self.services:
+            raise ValueError(f"dataset {key!r} already in the catalog")
+        self.services[key] = service
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.services
+
+    def __len__(self) -> int:
+        return len(self.services)
+
+    def keys(self) -> Tuple[str, ...]:
+        """Dataset keys in insertion order."""
+        return tuple(self.services)
+
+    def service(self, key: str) -> PrivateRangeCountingService:
+        """The service for ``key``; raises :class:`UnknownDatasetError`."""
+        try:
+            return self.services[key]
+        except KeyError:
+            raise UnknownDatasetError(
+                f"dataset {key!r} not in catalog (carries {list(self.services)})"
+            ) from None
+
+    # ------------------------------------------------------------------
+    # routed operations
+    # ------------------------------------------------------------------
+    def quote(self, key: str, alpha: float, delta: float) -> float:
+        """Quote an ``(α, δ)`` product on one dataset."""
+        return self.service(key).quote(alpha, delta)
+
+    def answer(
+        self,
+        key: str,
+        low: float,
+        high: float,
+        alpha: float,
+        delta: float,
+        consumer: str = "anonymous",
+    ) -> PrivateAnswer:
+        """Purchase one private range counting on dataset ``key``."""
+        return self.service(key).answer(
+            low, high, alpha=alpha, delta=delta, consumer=consumer
+        )
+
+    # ------------------------------------------------------------------
+    # platform views
+    # ------------------------------------------------------------------
+    def total_revenue(self) -> float:
+        """Revenue across every dataset's billing ledger."""
+        return sum(
+            s.broker.ledger.total_revenue() for s in self.services.values()
+        )
+
+    def privacy_spend(self) -> Dict[str, float]:
+        """Cumulative ε′ per dataset key."""
+        return {key: s.privacy_spent() for key, s in self.services.items()}
+
+    def network_cost(self) -> Dict[str, int]:
+        """Summed communication counters across all services."""
+        totals = {"messages": 0, "wire_bytes": 0, "hop_bytes": 0,
+                  "sample_pairs": 0}
+        for service in self.services.values():
+            for name, value in service.communication_report().items():
+                totals[name] += value
+        return totals
+
+    def spend_of(self, consumer: str) -> float:
+        """One consumer's spend across every dataset."""
+        return sum(
+            s.broker.ledger.spend_of(consumer)
+            for s in self.services.values()
+        )

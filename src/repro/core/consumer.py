@@ -1,0 +1,141 @@
+"""Consumers: honest buyers and the arbitrage adversary of Example 4.1.
+
+:class:`HonestConsumer` buys products at list price.
+:class:`ArbitrageConsumer` is the paper's adversary: instead of paying for
+a low-variance ``(α, δ)`` product, it searches the price sheet for a
+cheaper high-variance product, buys ``m`` copies, and averages the raw
+answers (Formula (4)).  :meth:`ArbitrageConsumer.attempt` reports whether
+the attack actually undercut the list price -- against an
+arbitrage-avoiding sheet it never does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.broker import DataBroker
+from repro.core.query import AccuracySpec, PrivateAnswer, RangeQuery
+from repro.pricing.arbitrage import ArbitrageAttack, find_averaging_attack
+
+__all__ = ["HonestConsumer", "ArbitrageConsumer", "ArbitrageOutcome"]
+
+
+@dataclass
+class HonestConsumer:
+    """Buys exactly what it needs, at list price."""
+
+    name: str
+    purchases: List[PrivateAnswer] = field(default_factory=list)
+
+    def buy(
+        self, broker: DataBroker, query: RangeQuery, spec: AccuracySpec
+    ) -> PrivateAnswer:
+        """Purchase one product and keep the receipt."""
+        answer = broker.answer(query, spec, consumer=self.name)
+        self.purchases.append(answer)
+        return answer
+
+    @property
+    def total_spent(self) -> float:
+        """Sum of all purchase prices."""
+        return sum(a.price for a in self.purchases)
+
+
+@dataclass(frozen=True)
+class ArbitrageOutcome:
+    """Result of one attempted averaging attack.
+
+    ``succeeded`` is True when the adversary obtained target-grade variance
+    for strictly less money than the list price.  ``estimate`` is the
+    averaged answer (None when no candidate attack existed and the
+    adversary fell back to an honest purchase).
+    """
+
+    target_spec: AccuracySpec
+    list_price: float
+    paid: float
+    estimate: float
+    purchases: int
+    attack: Optional[ArbitrageAttack]
+
+    @property
+    def succeeded(self) -> bool:
+        """Whether money was saved relative to the list price."""
+        return self.attack is not None and self.paid < self.list_price
+
+    @property
+    def savings(self) -> float:
+        """List price minus actual spend (negative = attack overpaid)."""
+        return self.list_price - self.paid
+
+
+@dataclass
+class ArbitrageConsumer:
+    """The Example 4.1 adversary: buy cheap, average, undercut.
+
+    Parameters
+    ----------
+    name:
+        Billing identity (all attack purchases appear on the ledger).
+    candidate_alphas, candidate_deltas:
+        The menu of cheaper products the adversary considers; defaults to
+        a coarse interior grid.
+    max_copies:
+        Largest number of repeat purchases the adversary tolerates.
+    """
+
+    name: str = "arbitrageur"
+    candidate_alphas: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8)
+    candidate_deltas: Sequence[float] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8)
+    max_copies: int = 128
+
+    def plan_attack(
+        self, broker: DataBroker, spec: AccuracySpec
+    ) -> Optional[ArbitrageAttack]:
+        """Search the broker's price sheet for a profitable averaging attack."""
+        return find_averaging_attack(
+            broker.pricing,
+            target_alpha=spec.alpha,
+            target_delta=spec.delta,
+            candidate_alphas=self.candidate_alphas,
+            candidate_deltas=self.candidate_deltas,
+            max_copies=self.max_copies,
+        )
+
+    def attempt(
+        self, broker: DataBroker, query: RangeQuery, spec: AccuracySpec
+    ) -> ArbitrageOutcome:
+        """Execute the best available attack, or buy honestly if none exists.
+
+        When an attack exists the adversary buys ``m`` copies of the cheap
+        product and averages their *raw* (unclamped) answers -- clamping
+        would bias the average.  Otherwise it pays the list price once.
+        """
+        list_price = broker.quote(spec)
+        attack = self.plan_attack(broker, spec)
+        if attack is None:
+            answer = broker.answer(query, spec, consumer=self.name)
+            return ArbitrageOutcome(
+                target_spec=spec,
+                list_price=list_price,
+                paid=answer.price,
+                estimate=answer.value,
+                purchases=1,
+                attack=None,
+            )
+        cheap_spec = AccuracySpec(alpha=attack.purchase[0], delta=attack.purchase[1])
+        answers = [
+            broker.answer(query, cheap_spec, consumer=self.name)
+            for _ in range(attack.copies)
+        ]
+        paid = sum(a.price for a in answers)
+        averaged = sum(a.raw_value for a in answers) / len(answers)
+        return ArbitrageOutcome(
+            target_spec=spec,
+            list_price=list_price,
+            paid=paid,
+            estimate=averaged,
+            purchases=len(answers),
+            attack=attack,
+        )

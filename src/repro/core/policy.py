@@ -1,0 +1,127 @@
+"""Broker admission policies: who may buy what, and how much.
+
+A benefit-concerned broker (Section II-B's phrase) does more than price
+correctly -- it gates requests.  :class:`BrokerPolicy` bundles the
+admission rules a production deployment needs:
+
+* **spec bounds** -- refuse products stricter than the fleet can ever
+  serve (α below ``min_alpha``) or looser than worth selling;
+* **per-consumer privacy caps** -- bound the cumulative ε′ any single
+  consumer can extract, independent of the dataset-wide accountant
+  (defense in depth against one identity draining the budget);
+* **per-consumer purchase caps** -- a crude but effective damper on the
+  repeated-purchase behaviour every averaging attack needs.
+
+The policy is consulted by :class:`~repro.core.broker.DataBroker` before
+any data is touched; a refusal raises :class:`PolicyViolationError` and
+charges nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.core.query import AccuracySpec
+from repro.errors import ReproError
+
+__all__ = ["PolicyViolationError", "BrokerPolicy"]
+
+
+class PolicyViolationError(ReproError):
+    """A request was refused by the broker's admission policy."""
+
+
+@dataclass
+class BrokerPolicy:
+    """Configurable admission rules, all disabled by default.
+
+    Parameters
+    ----------
+    min_alpha, max_alpha:
+        Sellable tolerance band; requests outside are refused.
+    min_delta, max_delta:
+        Sellable confidence band.
+    max_epsilon_per_consumer:
+        Cap on cumulative ε′ released to one consumer.
+    max_purchases_per_consumer:
+        Cap on the number of answers sold to one consumer.
+    """
+
+    min_alpha: float = 0.0
+    max_alpha: float = 1.0
+    min_delta: float = 0.0
+    max_delta: float = 1.0
+    max_epsilon_per_consumer: float = float("inf")
+    max_purchases_per_consumer: int = 2**63 - 1
+
+    _epsilon_spent: Dict[str, float] = field(default_factory=dict)
+    _purchases: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_alpha <= self.max_alpha <= 1.0:
+            raise ValueError("need 0 <= min_alpha <= max_alpha <= 1")
+        if not 0.0 <= self.min_delta <= self.max_delta <= 1.0:
+            raise ValueError("need 0 <= min_delta <= max_delta <= 1")
+        if self.max_epsilon_per_consumer < 0:
+            raise ValueError("max_epsilon_per_consumer must be non-negative")
+        if self.max_purchases_per_consumer < 0:
+            raise ValueError("max_purchases_per_consumer must be non-negative")
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def admit(self, consumer: str, spec: AccuracySpec) -> None:
+        """Raise :class:`PolicyViolationError` unless the request may run."""
+        if not self.min_alpha <= spec.alpha <= self.max_alpha:
+            raise PolicyViolationError(
+                f"alpha={spec.alpha} outside sellable band "
+                f"[{self.min_alpha}, {self.max_alpha}]"
+            )
+        if not self.min_delta <= spec.delta <= self.max_delta:
+            raise PolicyViolationError(
+                f"delta={spec.delta} outside sellable band "
+                f"[{self.min_delta}, {self.max_delta}]"
+            )
+        if self._purchases.get(consumer, 0) >= self.max_purchases_per_consumer:
+            raise PolicyViolationError(
+                f"consumer {consumer!r} reached the purchase cap "
+                f"({self.max_purchases_per_consumer})"
+            )
+
+    def can_release(self, consumer: str, epsilon_prime: float) -> bool:
+        """Whether releasing ``epsilon_prime`` to ``consumer`` fits the cap."""
+        spent = self._epsilon_spent.get(consumer, 0.0)
+        return spent + epsilon_prime <= self.max_epsilon_per_consumer + 1e-12
+
+    def settle(self, consumer: str, epsilon_prime: float) -> None:
+        """Record a completed release against the consumer's caps.
+
+        Raises
+        ------
+        PolicyViolationError
+            If the release would overshoot the consumer's ε′ cap; callers
+            must check :meth:`can_release` *before* producing the answer.
+        """
+        if epsilon_prime < 0:
+            raise ValueError("epsilon_prime must be non-negative")
+        if not self.can_release(consumer, epsilon_prime):
+            raise PolicyViolationError(
+                f"consumer {consumer!r} would exceed the per-consumer "
+                f"privacy cap {self.max_epsilon_per_consumer}"
+            )
+        self._epsilon_spent[consumer] = (
+            self._epsilon_spent.get(consumer, 0.0) + epsilon_prime
+        )
+        self._purchases[consumer] = self._purchases.get(consumer, 0) + 1
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def epsilon_spent_by(self, consumer: str) -> float:
+        """Cumulative ε′ released to one consumer."""
+        return self._epsilon_spent.get(consumer, 0.0)
+
+    def purchases_by(self, consumer: str) -> int:
+        """Number of completed purchases by one consumer."""
+        return self._purchases.get(consumer, 0)

@@ -1,0 +1,148 @@
+"""Query and answer types of the trading pipeline.
+
+A consumer request is a :class:`RangeQuery` (which interval, over which
+dataset) plus an :class:`AccuracySpec` (the ``(α, δ)`` product tier).  The
+broker's response is a :class:`PrivateAnswer` bundling the released value
+with the full provenance a paying customer is owed: the privacy plan, the
+accuracy guarantee, and the price charged.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InvalidAccuracyError, InvalidQueryError
+from repro.privacy.optimizer import PrivacyPlan
+
+__all__ = ["RangeQuery", "AccuracySpec", "PrivateAnswer"]
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A range-counting request ``γ(low, high, ·)`` over one dataset.
+
+    ``dataset`` is a free-form key (e.g. the air-quality index name) used
+    for budget accounting and billing attribution.
+    """
+
+    low: float
+    high: float
+    dataset: str = "default"
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.low) and math.isfinite(self.high)):
+            raise InvalidQueryError(
+                f"range bounds must be finite, got [{self.low}, {self.high}]"
+            )
+        if self.low > self.high:
+            raise InvalidQueryError(
+                f"lower bound {self.low} exceeds upper bound {self.high}"
+            )
+
+    @property
+    def width(self) -> float:
+        """The queried interval width ``high − low``."""
+        return self.high - self.low
+
+
+@dataclass(frozen=True)
+class AccuracySpec:
+    """An ``(α, δ)`` accuracy product (Definition 2.2).
+
+    ``alpha`` is the relative tolerance (error at most ``α·n``) and
+    ``delta`` the confidence with which that tolerance holds.  Trading
+    requires both to be interior: ``0 < α < 1`` and ``0 < δ < 1`` --
+    boundary values correspond to exact counting or impossible guarantees
+    and cannot be priced or planned.
+    """
+
+    alpha: float
+    delta: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha < 1.0:
+            raise InvalidAccuracyError(
+                f"alpha must be in (0, 1), got {self.alpha}"
+            )
+        if not 0.0 < self.delta < 1.0:
+            raise InvalidAccuracyError(
+                f"delta must be in (0, 1), got {self.delta}"
+            )
+
+    def is_stricter_than(self, other: "AccuracySpec") -> bool:
+        """Whether this spec dominates ``other`` in both parameters."""
+        return self.alpha <= other.alpha and self.delta >= other.delta
+
+
+@dataclass(frozen=True)
+class PrivateAnswer:
+    """The broker's released answer with full provenance.
+
+    Attributes
+    ----------
+    value:
+        The released (noisy, clamped to ``[0, n]``) count.
+    raw_value:
+        The noisy count before clamping -- what the mechanism actually
+        produced; adversarial consumers average these.
+    sample_estimate:
+        The pre-noise sampling estimate (internal; exposed for tests and
+        benches only -- a real broker would never release it).
+    query, spec:
+        What was asked.
+    plan:
+        The privacy plan used (ε, ε′, α′, δ′, noise scale).
+    price:
+        The amount charged.
+    consumer:
+        Name of the purchasing consumer.
+    transaction_id:
+        Billing-ledger id, when the sale was recorded.
+    """
+
+    value: float
+    raw_value: float
+    sample_estimate: float
+    query: RangeQuery
+    spec: AccuracySpec
+    plan: PrivacyPlan
+    price: float
+    consumer: str = "anonymous"
+    transaction_id: Optional[int] = None
+
+    @property
+    def epsilon_prime(self) -> float:
+        """The final amplified privacy guarantee of this release."""
+        return self.plan.epsilon_prime
+
+    @property
+    def total_variance_bound(self) -> float:
+        """Upper bound on the release's variance: sampling + noise.
+
+        The sampling phase contributes at most ``8k/p²`` (Theorem 3.2) and
+        the Laplace noise exactly ``2b²``; the two are independent.
+        """
+        sampling = 8.0 * self.plan.k / (self.plan.p**2)
+        return sampling + self.plan.noise_variance
+
+    def chebyshev_interval(self, confidence: float) -> "tuple[float, float]":
+        """A distribution-free confidence interval around the release.
+
+        Chebyshev with the total variance bound: half-width
+        ``√(Var / (1 − confidence))``, clipped to the legal count range
+        ``[0, n]``.  Conservative by construction (A6 measures ~4–9× slack
+        in the sampling term alone).
+        """
+        if not 0.0 <= confidence < 1.0:
+            raise ValueError(f"confidence must be in [0, 1), got {confidence}")
+        half_width = (self.total_variance_bound / (1.0 - confidence)) ** 0.5
+        return (
+            max(0.0, self.value - half_width),
+            min(float(self.plan.n), self.value + half_width),
+        )
+
+    def within_tolerance(self, true_count: float) -> bool:
+        """Whether the release met its advertised ``α·n`` tolerance."""
+        return abs(self.value - true_count) <= self.spec.alpha * self.plan.n

@@ -1,0 +1,112 @@
+"""Operator reports: one screen of business + privacy + network state.
+
+A broker operator needs three dashboards -- money (who bought what),
+privacy (how much of each dataset's budget is gone), and radio (what the
+fleet paid in bytes).  :func:`operations_report` composes them from the
+live objects into the harness's ASCII format; :func:`price_sheet` renders
+the consumer-facing menu for a grid of products.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.analysis.reporting import format_table
+from repro.core.broker import DataBroker
+from repro.pricing.functions import PricingFunction
+
+__all__ = ["price_sheet", "operations_report"]
+
+
+def price_sheet(
+    pricing: PricingFunction,
+    alphas: Sequence[float] = (0.02, 0.05, 0.1, 0.2),
+    deltas: Sequence[float] = (0.5, 0.7, 0.9),
+) -> str:
+    """Render the consumer-facing price menu: one row per α, one column
+    per δ (prices rise left-to-right and bottom-to-top for sane sheets)."""
+    if not alphas or not deltas:
+        raise ValueError("need at least one alpha and one delta")
+    headers = ["alpha \\ delta"] + [f"{d:g}" for d in deltas]
+    rows: List[Tuple[object, ...]] = []
+    for alpha in alphas:
+        rows.append(
+            (f"{alpha:g}", *(pricing.price(alpha, delta) for delta in deltas))
+        )
+    return format_table(headers, rows)
+
+
+def operations_report(
+    broker: DataBroker,
+    budget_capacity: Optional[float] = None,
+) -> str:
+    """Compose the operator's one-screen status report.
+
+    Sections: sales summary, top consumers, privacy-budget utilization,
+    and network cost.  ``budget_capacity`` overrides the accountant's own
+    capacity for the utilization line (useful when the accountant is
+    uncapped but an operating target exists).
+    """
+    ledger = broker.ledger
+    station = broker.base_station
+    meter = station.network.meter
+
+    sections: List[str] = []
+
+    # --- sales ----------------------------------------------------------
+    sales_rows = [
+        ("answers_sold", len(ledger)),
+        ("total_revenue", ledger.total_revenue()),
+        ("datasets", ", ".join(sorted(ledger.revenue_by_dataset())) or "-"),
+    ]
+    sections.append("== sales ==\n" + format_table(["metric", "value"],
+                                                   sales_rows))
+
+    # --- top consumers ---------------------------------------------------
+    by_consumer = sorted(
+        ledger.revenue_by_consumer().items(),
+        key=lambda item: -item[1],
+    )[:5]
+    if by_consumer:
+        sections.append(
+            "== top consumers ==\n"
+            + format_table(["consumer", "spend"], by_consumer)
+        )
+
+    # --- privacy ----------------------------------------------------------
+    capacity = (
+        budget_capacity
+        if budget_capacity is not None
+        else broker.accountant.capacity
+    )
+    spent = broker.accountant.spent(broker.dataset)
+    utilization = (
+        f"{spent / capacity:.1%}" if capacity not in (0, float("inf"))
+        else "uncapped"
+    )
+    privacy_rows = [
+        ("dataset", broker.dataset),
+        ("eps_prime_spent", spent),
+        ("capacity", capacity),
+        ("utilization", utilization),
+        ("releases", len(broker.accountant.history(broker.dataset))),
+    ]
+    sections.append("== privacy ==\n" + format_table(["metric", "value"],
+                                                     privacy_rows))
+
+    # --- network ----------------------------------------------------------
+    snap = meter.snapshot()
+    per_answer = (
+        snap["sample_pairs"] / len(ledger) if len(ledger) else 0.0
+    )
+    network_rows = [
+        ("sampling_rate", station.sampling_rate),
+        ("messages", snap["messages"]),
+        ("wire_bytes", snap["wire_bytes"]),
+        ("sample_pairs", snap["sample_pairs"]),
+        ("pairs_per_answer", per_answer),
+    ]
+    sections.append("== network ==\n" + format_table(["metric", "value"],
+                                                     network_rows))
+
+    return "\n\n".join(sections)

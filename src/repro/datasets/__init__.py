@@ -1,0 +1,49 @@
+"""Dataset substrates: CityPulse surrogate, synthetic generators, partitioning.
+
+The paper evaluates on the 2014 CityPulse Smart City pollution dataset
+(17 568 records, five air-quality indexes).  The public endpoint is not
+reachable offline, so :mod:`repro.datasets.citypulse` generates a seeded,
+statistically faithful surrogate with the same shape and schema.  General
+synthetic value generators and node-partitioning strategies live alongside
+it so that every experiment and test can build reproducible workloads.
+"""
+
+from repro.datasets.citypulse import (
+    AIR_QUALITY_INDEXES,
+    CityPulseDataset,
+    PollutionRecord,
+    generate_citypulse,
+)
+from repro.datasets.csvio import load_csv, save_csv
+from repro.datasets.partition import (
+    partition_even,
+    partition_dirichlet,
+    partition_range_sharded,
+    partition_round_robin,
+)
+from repro.datasets.streams import RecordStream, sliding_windows
+from repro.datasets.synthetic import (
+    clustered_values,
+    gaussian_values,
+    uniform_values,
+    zipf_values,
+)
+
+__all__ = [
+    "AIR_QUALITY_INDEXES",
+    "CityPulseDataset",
+    "PollutionRecord",
+    "generate_citypulse",
+    "load_csv",
+    "save_csv",
+    "partition_even",
+    "partition_dirichlet",
+    "partition_range_sharded",
+    "partition_round_robin",
+    "RecordStream",
+    "sliding_windows",
+    "uniform_values",
+    "gaussian_values",
+    "zipf_values",
+    "clustered_values",
+]

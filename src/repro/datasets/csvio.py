@@ -1,0 +1,104 @@
+"""CSV interchange for pollution datasets.
+
+The genuine CityPulse pollution dumps ship as CSV; this module lets a user
+with the real files drop them straight into the pipeline (and lets the
+surrogate be exported for inspection in a spreadsheet).  The expected
+schema is one header row ``timestamp,ozone,particulate_matter,
+carbon_monoxide,sulfur_dioxide,nitrogen_dioxide`` followed by ISO-8601
+timestamps and float readings -- the layout of the 2014 dumps modulo
+column naming, which the loader normalizes case-insensitively.
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from datetime import datetime
+from typing import Dict, List, Union
+
+import numpy as np
+
+from repro.datasets.citypulse import AIR_QUALITY_INDEXES, CityPulseDataset
+
+__all__ = ["save_csv", "load_csv"]
+
+PathLike = Union[str, pathlib.Path]
+
+_TIMESTAMP_FORMATS = (
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y/%m/%d %H:%M",
+    "%Y-%m-%d %H:%M",
+)
+
+
+def _parse_timestamp(text: str) -> datetime:
+    for fmt in _TIMESTAMP_FORMATS:
+        try:
+            return datetime.strptime(text, fmt)
+        except ValueError:
+            continue
+    raise ValueError(f"unrecognized timestamp {text!r}")
+
+
+def save_csv(path: PathLike, data: CityPulseDataset) -> None:
+    """Write a dataset as a CityPulse-style CSV."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["timestamp", *AIR_QUALITY_INDEXES])
+        columns = [data.values(name) for name in AIR_QUALITY_INDEXES]
+        for i, ts in enumerate(data.timestamps):
+            writer.writerow(
+                [ts.strftime("%Y-%m-%d %H:%M:%S")]
+                + [f"{col[i]:.6f}" for col in columns]
+            )
+
+
+def load_csv(path: PathLike) -> CityPulseDataset:
+    """Load a CityPulse-style CSV into a :class:`CityPulseDataset`.
+
+    Header names are matched case-insensitively with spaces/dashes treated
+    as underscores; all five air-quality columns must be present.  Rows
+    with unparseable numbers raise (garbage in a paid data product should
+    fail loudly, not silently skew counts).
+    """
+    timestamps: List[datetime] = []
+    columns: Dict[str, List[float]] = {name: [] for name in AIR_QUALITY_INDEXES}
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV") from None
+        normalized = [
+            cell.strip().lower().replace(" ", "_").replace("-", "_")
+            for cell in header
+        ]
+        try:
+            ts_idx = normalized.index("timestamp")
+        except ValueError:
+            raise ValueError(f"{path}: missing 'timestamp' column") from None
+        index_positions = {}
+        for name in AIR_QUALITY_INDEXES:
+            try:
+                index_positions[name] = normalized.index(name)
+            except ValueError:
+                raise ValueError(f"{path}: missing column {name!r}") from None
+        for line_number, row in enumerate(reader, start=2):
+            if not row or all(not cell.strip() for cell in row):
+                continue  # blank trailing lines are tolerated
+            try:
+                timestamps.append(_parse_timestamp(row[ts_idx].strip()))
+                for name, pos in index_positions.items():
+                    columns[name].append(float(row[pos]))
+            except (ValueError, IndexError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed row ({exc})"
+                ) from None
+    return CityPulseDataset(
+        timestamps=np.array(timestamps, dtype=object),
+        columns={
+            name: np.asarray(values, dtype=np.float64)
+            for name, values in columns.items()
+        },
+    )

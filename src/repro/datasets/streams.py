@@ -1,0 +1,105 @@
+"""Record streams and windowing for long-running / continuous queries.
+
+The paper notes that collected samples are reused to answer future queries
+("one sample, multiple queries") and that the base station tops up samples
+when accuracy demands grow.  These helpers model the arrival side: a
+:class:`RecordStream` replays a value column in timestamp order in batches,
+and :func:`sliding_windows` derives per-window sub-datasets so examples and
+tests can drive the broker with evolving data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+__all__ = ["RecordStream", "sliding_windows"]
+
+
+@dataclass
+class RecordStream:
+    """Replays a value vector in order, in fixed-size batches.
+
+    Parameters
+    ----------
+    values:
+        The full value column to replay.
+    batch_size:
+        Records delivered per :meth:`next_batch` call.
+    """
+
+    values: np.ndarray
+    batch_size: int = 288  # one day of five-minute records
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self._cursor = 0
+
+    @property
+    def position(self) -> int:
+        """Number of records already delivered."""
+        return self._cursor
+
+    @property
+    def exhausted(self) -> bool:
+        """Whether every record has been delivered."""
+        return self._cursor >= len(self.values)
+
+    def next_batch(self) -> np.ndarray:
+        """Return the next batch (possibly short; empty when exhausted)."""
+        batch = self.values[self._cursor : self._cursor + self.batch_size]
+        self._cursor += len(batch)
+        return batch
+
+    def batches(self) -> Iterator[np.ndarray]:
+        """Iterate over all remaining batches."""
+        while not self.exhausted:
+            yield self.next_batch()
+
+    def reset(self) -> None:
+        """Rewind the stream to the beginning."""
+        self._cursor = 0
+
+
+def sliding_windows(
+    values: np.ndarray,
+    window: int,
+    step: Optional[int] = None,
+) -> List[np.ndarray]:
+    """Split ``values`` into (possibly overlapping) sliding windows.
+
+    Parameters
+    ----------
+    values:
+        The full value column.
+    window:
+        Window length in records.
+    step:
+        Stride between window starts; defaults to ``window`` (tumbling).
+
+    Returns
+    -------
+    list of numpy.ndarray
+        One array per window.  The final window may be shorter than
+        ``window`` when the data does not divide evenly.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if step is None:
+        step = window
+    if step <= 0:
+        raise ValueError("step must be positive")
+    windows: List[np.ndarray] = []
+    for start in range(0, max(len(values), 1), step):
+        chunk = values[start : start + window]
+        if len(chunk) == 0:
+            break
+        windows.append(chunk.copy())
+        if start + window >= len(values):
+            break
+    return windows

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can distinguish library failures from programming errors with a single
+``except`` clause.  Sub-hierarchies mirror the package layout: query
+validation, estimator calibration, privacy planning, pricing and IoT
+transport each get their own branch.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "InvalidQueryError",
+    "InvalidAccuracyError",
+    "CalibrationError",
+    "InfeasiblePlanError",
+    "PrivacyBudgetExceededError",
+    "PricingError",
+    "ArbitrageError",
+    "NetworkError",
+    "DeliveryError",
+    "InsufficientSamplesError",
+    "LedgerError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A range query is malformed (e.g. lower bound above upper bound)."""
+
+
+class InvalidAccuracyError(ReproError, ValueError):
+    """An ``(alpha, delta)`` accuracy specification is out of its domain."""
+
+
+class CalibrationError(ReproError, ValueError):
+    """Sampling-rate calibration failed (Theorem 3.3 preconditions broken)."""
+
+
+class InfeasiblePlanError(ReproError):
+    """The privacy optimizer found no feasible ``(alpha', delta', eps)``.
+
+    Raised by the planner when the collected sample is too sparse to meet the
+    requested ``(alpha, delta)`` target even before adding any noise, i.e.
+    the search space of optimization problem (3) in the paper is empty.
+    """
+
+
+class PrivacyBudgetExceededError(ReproError):
+    """A privacy accountant refused a query that would overspend epsilon."""
+
+
+class PricingError(ReproError, ValueError):
+    """A pricing function was constructed or evaluated outside its domain."""
+
+
+class ArbitrageError(ReproError):
+    """A pricing function failed an arbitrage-avoidance requirement."""
+
+
+class NetworkError(ReproError):
+    """Base class for simulated-network transport failures."""
+
+
+class DeliveryError(NetworkError):
+    """A message could not be delivered (node unknown or link down)."""
+
+
+class InsufficientSamplesError(ReproError):
+    """The base station holds too few samples for the requested accuracy.
+
+    Carries the sampling rate that *would* satisfy the request so callers
+    can trigger a top-up collection round (paper, Section III-A: "the base
+    station will inform the underlying nodes to collect more samples").
+    """
+
+    def __init__(self, message: str, required_rate: float | None = None):
+        super().__init__(message)
+        self.required_rate = required_rate
+
+
+class LedgerError(ReproError):
+    """A billing or budget ledger was used inconsistently."""

@@ -1,0 +1,82 @@
+"""Sampling-based range-counting estimators (paper Section III-A).
+
+* :class:`RankCountingEstimator` -- the paper's contribution: rank-assisted,
+  unbiased, variance at most ``8k/p²`` independent of the queried range.
+* :class:`BasicCountingEstimator` -- the Horvitz–Thompson baseline with
+  variance ``γ(1 − p)/p``.
+* :mod:`repro.estimators.calibration` -- Theorem 3.3 sampling-rate algebra.
+* :mod:`repro.estimators.variance` -- Chebyshev machinery and the delivered
+  variance model ``V(α, δ)`` used by pricing.
+"""
+
+from repro.estimators.base import (
+    EstimateResult,
+    NodeData,
+    NodeSample,
+    RangeCountingEstimator,
+    validate_range,
+)
+from repro.estimators.basic import BasicCountingEstimator, basic_counting_variance
+from repro.estimators.calibration import (
+    achieved_delta,
+    expected_sample_volume,
+    expected_transmitted_samples,
+    min_feasible_alpha,
+    required_sampling_rate,
+    validate_accuracy,
+)
+from repro.estimators.exact import SortedColumn, exact_count, exact_count_nodes
+from repro.estimators.quantile import (
+    cumulative_node_estimate,
+    estimate_cumulative,
+    estimate_quantile,
+)
+from repro.estimators.rank import RankCountingEstimator, rank_counting_node_estimate
+from repro.estimators.stratified import (
+    StratifiedCountingEstimator,
+    StratifiedNodeSample,
+    allocate_rates,
+    stratify_node,
+)
+from repro.estimators.variance import (
+    chebyshev_confidence,
+    chebyshev_tolerance,
+    delivered_variance,
+    empirical_max_relative_error,
+    empirical_variance,
+    rank_counting_variance_bound,
+)
+
+__all__ = [
+    "EstimateResult",
+    "NodeData",
+    "NodeSample",
+    "RangeCountingEstimator",
+    "validate_range",
+    "BasicCountingEstimator",
+    "basic_counting_variance",
+    "cumulative_node_estimate",
+    "estimate_cumulative",
+    "estimate_quantile",
+    "RankCountingEstimator",
+    "rank_counting_node_estimate",
+    "StratifiedCountingEstimator",
+    "StratifiedNodeSample",
+    "allocate_rates",
+    "stratify_node",
+    "SortedColumn",
+    "exact_count",
+    "exact_count_nodes",
+    "required_sampling_rate",
+    "achieved_delta",
+    "min_feasible_alpha",
+    "expected_sample_volume",
+    "expected_transmitted_samples",
+    "validate_accuracy",
+    "chebyshev_confidence",
+    "chebyshev_tolerance",
+    "delivered_variance",
+    "empirical_variance",
+    "empirical_max_relative_error",
+    "rank_counting_variance_bound",
+]

@@ -1,0 +1,237 @@
+"""Shared data model for sampling-based range-counting estimators.
+
+The paper's system model (Section II-A, III-A): each of ``k`` nodes holds a
+local dataset ``D_i`` and ships a Bernoulli(p) sample of it -- *with local
+ranks attached* -- to the base station.  This module defines the three
+objects that flow through that pipeline:
+
+* :class:`NodeData` -- a node's raw local values, with the stable ascending
+  rank assignment that makes duplicate values unambiguous.
+* :class:`NodeSample` -- what actually crosses the network: sampled values,
+  their local ranks, the node size ``n_i`` and the sampling rate ``p``.
+* :class:`EstimateResult` -- an estimator's answer plus its variance bound,
+  so downstream privacy planning and pricing can reason about accuracy.
+
+Estimators implement the :class:`RangeCountingEstimator` protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from repro.errors import InvalidQueryError
+
+__all__ = [
+    "NodeData",
+    "NodeSample",
+    "EstimateResult",
+    "RangeCountingEstimator",
+    "validate_range",
+]
+
+
+def validate_range(low: float, high: float) -> None:
+    """Raise :class:`InvalidQueryError` unless ``low <= high`` and both finite."""
+    if not (np.isfinite(low) and np.isfinite(high)):
+        raise InvalidQueryError(f"range bounds must be finite, got [{low}, {high}]")
+    if low > high:
+        raise InvalidQueryError(f"lower bound {low} exceeds upper bound {high}")
+
+
+@dataclass
+class NodeData:
+    """Raw values held by one IoT node, with stable ascending ranks.
+
+    Ranks are 1-based positions in the stable ascending sort of the values,
+    so every element -- including duplicates -- has a distinct rank.  The
+    rank of the first element (``fst``) is 1 and of the last (``lst``) is
+    ``n_i``, exactly as in the paper.
+    """
+
+    node_id: int
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if self.values.ndim != 1:
+            raise ValueError("node values must be one-dimensional")
+        if len(self.values) and not np.all(np.isfinite(self.values)):
+            # NaNs break rank semantics (they sort unpredictably) and
+            # infinities break range membership; reject at ingestion.
+            raise ValueError("node values must be finite (no NaN/inf)")
+        order = np.argsort(self.values, kind="stable")
+        self._sorted_values = self.values[order]
+
+    @property
+    def size(self) -> int:
+        """``n_i``: number of locally collected records."""
+        return len(self.values)
+
+    @property
+    def sorted_values(self) -> np.ndarray:
+        """Values in stable ascending order (rank ``j`` is element ``j-1``)."""
+        return self._sorted_values
+
+    def exact_count(self, low: float, high: float) -> int:
+        """Ground-truth ``γ(low, high, D_i)`` via binary search."""
+        validate_range(low, high)
+        lo = int(np.searchsorted(self._sorted_values, low, side="left"))
+        hi = int(np.searchsorted(self._sorted_values, high, side="right"))
+        return hi - lo
+
+    def sample(self, p: float, rng: np.random.Generator) -> "NodeSample":
+        """Bernoulli(p)-sample the local data, attaching local ranks.
+
+        Every element is kept independently with probability ``p``; kept
+        elements are reported as ``(value, rank)`` pairs ordered by rank.
+        This is the sampling step the device performs before transmitting
+        (paper, "The RankCounting Estimator" paragraph).
+        """
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"sampling probability must be in [0, 1], got {p}")
+        n = self.size
+        if n == 0 or p == 0.0:
+            kept = np.zeros(0, dtype=np.int64)
+        elif p == 1.0:
+            kept = np.arange(n, dtype=np.int64)
+        else:
+            mask = rng.random(n) < p
+            kept = np.nonzero(mask)[0].astype(np.int64)
+        return NodeSample(
+            node_id=self.node_id,
+            values=self._sorted_values[kept],
+            ranks=kept + 1,
+            node_size=n,
+            p=p,
+        )
+
+    def top_up(
+        self,
+        existing: "NodeSample",
+        new_p: float,
+        rng: np.random.Generator,
+    ) -> "NodeSample":
+        """Extend ``existing`` (drawn at rate ``existing.p``) to rate ``new_p``.
+
+        Implements the paper's re-collection step ("if the existing samples
+        are unable to satisfy the query accuracy requirement, more samples
+        should be drawn"): each element *not* already sampled is kept with
+        the residual probability ``(new_p - p) / (1 - p)`` so the union is a
+        Bernoulli(new_p) sample of the node data.
+        """
+        if existing.node_id != self.node_id:
+            raise ValueError("existing sample belongs to a different node")
+        if not existing.p <= new_p <= 1.0:
+            raise ValueError(
+                f"new rate {new_p} must lie in [{existing.p}, 1]"
+            )
+        if self.size == 0 or new_p == existing.p:
+            return existing
+        if existing.p >= 1.0:
+            return existing
+        residual = (new_p - existing.p) / (1.0 - existing.p)
+        already = np.zeros(self.size, dtype=bool)
+        already[existing.ranks - 1] = True
+        fresh_mask = (~already) & (rng.random(self.size) < residual)
+        kept = np.nonzero(already | fresh_mask)[0].astype(np.int64)
+        return NodeSample(
+            node_id=self.node_id,
+            values=self._sorted_values[kept],
+            ranks=kept + 1,
+            node_size=self.size,
+            p=new_p,
+        )
+
+
+@dataclass
+class NodeSample:
+    """A node's transmitted sample: values with local ranks.
+
+    ``values`` and ``ranks`` are parallel arrays ordered by rank (hence also
+    by value, since ranks come from a stable ascending sort).  ``node_size``
+    is ``n_i``, which the node reports alongside its sample; ``p`` is the
+    sampling rate in force when the sample was drawn.
+    """
+
+    node_id: int
+    values: np.ndarray
+    ranks: np.ndarray
+    node_size: int
+    p: float
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        self.ranks = np.asarray(self.ranks, dtype=np.int64)
+        if len(self.values) != len(self.ranks):
+            raise ValueError("values and ranks must be parallel arrays")
+        if self.node_size < len(self.values):
+            raise ValueError("sample cannot exceed the node size")
+        if not 0.0 <= self.p <= 1.0:
+            raise ValueError(f"sampling probability must be in [0, 1], got {self.p}")
+        if len(self.ranks) > 0:
+            if self.ranks.min() < 1 or self.ranks.max() > self.node_size:
+                raise ValueError("ranks must lie in [1, node_size]")
+            if np.any(np.diff(self.ranks) <= 0):
+                raise ValueError("ranks must be strictly increasing")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    @property
+    def sample_size(self) -> int:
+        """Number of transmitted ``(value, rank)`` pairs."""
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class EstimateResult:
+    """An estimator's output for one range query.
+
+    Attributes
+    ----------
+    estimate:
+        The (possibly fractional, possibly negative) estimated count.
+    variance_bound:
+        An a-priori upper bound on the estimator's variance, used by the
+        privacy planner and the pricing layer.
+    node_count:
+        Number of nodes whose samples contributed (``k``).
+    total_size:
+        ``n`` -- the total number of records across all nodes.
+    p:
+        Sampling rate of the samples used.
+    per_node:
+        Optional per-node estimates (summing to ``estimate``).
+    """
+
+    estimate: float
+    variance_bound: float
+    node_count: int
+    total_size: int
+    p: float
+    per_node: Optional[List[float]] = None
+
+    def clamped(self) -> float:
+        """The estimate projected onto the valid count range ``[0, n]``.
+
+        Unbiasedness is stated for the raw estimator; for *reporting*, a
+        count below zero or above ``n`` is never closer to the truth than
+        the clamp, so user-facing answers use this value.
+        """
+        return float(min(max(self.estimate, 0.0), float(self.total_size)))
+
+
+class RangeCountingEstimator(Protocol):
+    """Protocol all sampling-based range-counting estimators implement."""
+
+    #: Human-readable estimator name used in reports and benches.
+    name: str
+
+    def estimate(
+        self, samples: Sequence[NodeSample], low: float, high: float
+    ) -> EstimateResult:
+        """Estimate ``γ(low, high, D)`` from per-node samples."""
+        ...

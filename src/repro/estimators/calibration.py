@@ -1,0 +1,118 @@
+"""Sampling-rate calibration: Theorem 3.3 and its inverses.
+
+Theorem 3.3: with ``k`` nodes and ``n`` records, if the sampling rate
+satisfies ``p ≥ (√(2k) / (αn)) · (2 / √(1 − δ))`` then the RankCounting
+estimate is an ``(α, δ)``-range counting.  The broker uses this in two
+directions:
+
+* **forward** (:func:`required_sampling_rate`): given an accuracy target,
+  how densely must devices sample?
+* **inverse** (:func:`achieved_delta`, :func:`min_feasible_alpha`): given
+  samples already collected at rate ``p`` (the "one sample, multiple
+  queries" regime), which intermediate targets ``(α', δ')`` does the sample
+  support?  This inverse is what the privacy optimizer sweeps.
+
+The module also exposes the paper's communication-cost quantities:
+``|S| = n·p`` expected transmitted samples overall and ``√(8k)/α`` for a
+calibrated rate.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import CalibrationError
+
+__all__ = [
+    "required_sampling_rate",
+    "achieved_delta",
+    "min_feasible_alpha",
+    "expected_sample_volume",
+    "expected_transmitted_samples",
+    "validate_accuracy",
+]
+
+
+def validate_accuracy(alpha: float, delta: float) -> None:
+    """Validate an ``(α, δ)`` accuracy pair for calibration purposes.
+
+    Calibration needs ``0 < α ≤ 1`` (a zero tolerance forces exact
+    counting) and ``0 ≤ δ < 1`` (a probability-1 guarantee is impossible
+    for any sampling estimator).
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise CalibrationError(f"alpha must be in (0, 1], got {alpha}")
+    if not 0.0 <= delta < 1.0:
+        raise CalibrationError(f"delta must be in [0, 1), got {delta}")
+
+
+def required_sampling_rate(alpha: float, delta: float, k: int, n: int) -> float:
+    """Theorem 3.3's forward rate: ``p = (√(2k)/(αn)) · (2/√(1 − δ))``.
+
+    The value is clipped to 1.0; a result of exactly 1.0 means the accuracy
+    target effectively demands full data collection.
+    """
+    validate_accuracy(alpha, delta)
+    if k <= 0:
+        raise CalibrationError("k must be a positive node count")
+    if n <= 0:
+        raise CalibrationError("n must be a positive record count")
+    rate = (math.sqrt(2.0 * k) / (alpha * n)) * (2.0 / math.sqrt(1.0 - delta))
+    return min(1.0, rate)
+
+
+def achieved_delta(p: float, alpha: float, k: int, n: int) -> float:
+    """Invert Theorem 3.3: the δ′ guaranteed by existing samples at rate ``p``.
+
+    Setting ``(√(2k)/(α'n)) · (2/√(1 − δ')) = p`` and solving gives
+    ``δ' = 1 − 8k / (α'·n·p)²``.  The raw value is returned; it is negative
+    when the sample is too sparse to certify tolerance ``α'`` at all, and
+    callers must check it against their δ target.
+    """
+    validate_accuracy(alpha, 0.0)
+    if not 0.0 < p <= 1.0:
+        raise CalibrationError(f"sampling probability must be in (0, 1], got {p}")
+    if k <= 0:
+        raise CalibrationError("k must be a positive node count")
+    if n <= 0:
+        raise CalibrationError("n must be a positive record count")
+    return 1.0 - 8.0 * k / ((alpha * n * p) ** 2)
+
+
+def min_feasible_alpha(p: float, k: int, n: int, delta: float = 0.0) -> float:
+    """Smallest tolerance α′ certifiable at rate ``p`` with confidence δ.
+
+    From ``achieved_delta(p, α') > δ``:
+    ``α' > √(8k / (1 − δ)) / (n·p)``.  Returns that open lower bound.
+    """
+    if not 0.0 < p <= 1.0:
+        raise CalibrationError(f"sampling probability must be in (0, 1], got {p}")
+    if not 0.0 <= delta < 1.0:
+        raise CalibrationError(f"delta must be in [0, 1), got {delta}")
+    if k <= 0:
+        raise CalibrationError("k must be a positive node count")
+    if n <= 0:
+        raise CalibrationError("n must be a positive record count")
+    return math.sqrt(8.0 * k / (1.0 - delta)) / (n * p)
+
+
+def expected_sample_volume(n: int, p: float) -> float:
+    """Expected number of transmitted samples, ``|S| = n·p``."""
+    if n < 0:
+        raise CalibrationError("n must be non-negative")
+    if not 0.0 <= p <= 1.0:
+        raise CalibrationError(f"sampling probability must be in [0, 1], got {p}")
+    return n * p
+
+
+def expected_transmitted_samples(alpha: float, k: int) -> float:
+    """Paper's communication overhead at the calibrated rate: ``√(8k)/α``.
+
+    With ``p = √(8k)/(αn)`` (the constant-probability calibration), the
+    expected sample volume ``n·p`` is independent of ``n``.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise CalibrationError(f"alpha must be in (0, 1], got {alpha}")
+    if k <= 0:
+        raise CalibrationError("k must be a positive node count")
+    return math.sqrt(8.0 * k) / alpha

@@ -1,0 +1,78 @@
+"""Exact range counting -- the ground truth every experiment compares against.
+
+Definition 2.1 of the paper: ``γ(l, u, D) = |{x ∈ D : l ≤ x ≤ u}|``.  The
+:class:`SortedColumn` index answers repeated exact queries in ``O(log n)``
+via binary search over a sorted copy, and :func:`exact_count` is the one-shot
+convenience form.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.estimators.base import NodeData, validate_range
+
+__all__ = ["exact_count", "exact_count_nodes", "SortedColumn"]
+
+
+def exact_count(values: np.ndarray, low: float, high: float) -> int:
+    """Return ``γ(low, high, values)`` -- the exact inclusive range count."""
+    validate_range(low, high)
+    values = np.asarray(values, dtype=np.float64)
+    return int(np.count_nonzero((values >= low) & (values <= high)))
+
+
+def exact_count_nodes(nodes: Sequence[NodeData], low: float, high: float) -> int:
+    """Exact global count over distributed node data (sums local counts)."""
+    validate_range(low, high)
+    return sum(node.exact_count(low, high) for node in nodes)
+
+
+class SortedColumn:
+    """A sorted immutable index over one value column for repeated queries.
+
+    Building costs ``O(n log n)`` once; each :meth:`count` is two binary
+    searches.  Experiment sweeps issue hundreds of queries against the same
+    column, so this is the harness's ground-truth oracle.
+    """
+
+    def __init__(self, values: Iterable[float]):
+        arr = np.asarray(list(values) if not isinstance(values, np.ndarray) else values,
+                         dtype=np.float64)
+        if arr.ndim != 1:
+            raise ValueError("values must be one-dimensional")
+        self._sorted = np.sort(arr)
+
+    def __len__(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def values(self) -> np.ndarray:
+        """The sorted value vector (read-only view)."""
+        view = self._sorted.view()
+        view.flags.writeable = False
+        return view
+
+    def count(self, low: float, high: float) -> int:
+        """Exact inclusive count of values in ``[low, high]``."""
+        validate_range(low, high)
+        lo = int(np.searchsorted(self._sorted, low, side="left"))
+        hi = int(np.searchsorted(self._sorted, high, side="right"))
+        return hi - lo
+
+    def quantile_range(self, q_low: float, q_high: float) -> "tuple[float, float]":
+        """Value bounds ``(l, u)`` covering the ``[q_low, q_high]`` quantile band.
+
+        Workload generators use this to create queries of controlled
+        selectivity (e.g. the paper's "different ranges" of pollution
+        levels).
+        """
+        if not 0.0 <= q_low <= q_high <= 1.0:
+            raise ValueError("quantiles must satisfy 0 <= q_low <= q_high <= 1")
+        if len(self._sorted) == 0:
+            raise ValueError("cannot take quantiles of an empty column")
+        low = float(np.quantile(self._sorted, q_low))
+        high = float(np.quantile(self._sorted, q_high))
+        return low, high

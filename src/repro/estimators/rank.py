@@ -1,0 +1,187 @@
+"""RankCounting -- the paper's rank-assisted range-counting estimator.
+
+Section III-A, "The RankCounting Estimator".  Each node Bernoulli(p)-samples
+its data and transmits ``(value, local rank)`` pairs.  For a query
+``[l, u]`` the estimator looks only at the *boundary* samples:
+
+* ``p(l, i)`` -- the sampled element closest below ``l`` (the predecessor);
+* ``s(u, i)`` -- the sampled element closest above ``u`` (the successor);
+
+and reconstructs the in-range count from their ranks, applying a ``1/p``
+correction per existing boundary witness:
+
+====================  =============================================
+case                  estimate of ``γ(l, u, i)``
+====================  =============================================
+both exist            ``γ(p(l), s(u), i) − 2/p`` = ``r_s − r_p + 1 − 2/p``
+only predecessor      ``γ(p(l), lst, i) − 1/p`` = ``n_i − r_p + 1 − 1/p``
+only successor        ``γ(fst, s(u), i) − 1/p`` = ``r_s − 1/p``
+neither               ``γ(fst, lst, i)`` = ``n_i``
+====================  =============================================
+
+**Tie handling.**  Ranks come from a *stable* ascending sort, so duplicates
+get distinct consecutive ranks and every rank-interval count is exact.  The
+predecessor is chosen among sampled elements with value strictly below ``l``
+(the maximum-rank one), the successor among values strictly above ``u``
+(the minimum-rank one); elements equal to a bound are inside the range.
+With ``m`` elements strictly below ``l``, the boundary gap
+``r(l) − r_p`` is then a Geometric(p) variable truncated at ``m`` with an
+atom of mass ``(1 − p)^m`` at the no-witness case -- precisely the
+distribution that makes the four-case estimator unbiased (Theorem 3.1) with
+per-node variance at most ``8/p²`` and global variance at most ``8k/p²``
+(Theorem 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidQueryError
+from repro.estimators.base import EstimateResult, NodeSample, validate_range
+
+__all__ = ["RankCountingEstimator", "rank_counting_node_estimate"]
+
+
+def rank_counting_node_estimate(sample: NodeSample, low: float, high: float) -> float:
+    """Apply the four-case RankCounting rule to one node sample.
+
+    Returns the (possibly fractional or negative) estimate of
+    ``γ(low, high, D_i)``.  Requires ``sample.p > 0`` unless the node is
+    known to be empty, in which case the answer is exactly 0.
+    """
+    validate_range(low, high)
+    n_i = sample.node_size
+    if n_i == 0:
+        return 0.0
+    p = sample.p
+    if p <= 0.0:
+        raise ValueError("sampling probability must be positive to estimate")
+
+    values = sample.values
+    ranks = sample.ranks
+
+    # Sampled values are rank-ordered, hence value-ordered: binary search
+    # locates the boundary witnesses.  ``idx_low`` counts sampled values
+    # strictly below ``low``; ``idx_high`` counts those <= ``high``.
+    idx_low = int(np.searchsorted(values, low, side="left"))
+    idx_high = int(np.searchsorted(values, high, side="right"))
+
+    has_pred = idx_low > 0
+    has_succ = idx_high < len(values)
+
+    if has_pred and has_succ:
+        r_pred = int(ranks[idx_low - 1])
+        r_succ = int(ranks[idx_high])
+        return (r_succ - r_pred + 1) - 2.0 / p
+    if has_pred:
+        r_pred = int(ranks[idx_low - 1])
+        return (n_i - r_pred + 1) - 1.0 / p
+    if has_succ:
+        r_succ = int(ranks[idx_high])
+        return float(r_succ) - 1.0 / p
+    return float(n_i)
+
+
+class RankCountingEstimator:
+    """The paper's estimator: per-node four-case rule, summed over nodes.
+
+    The global estimate ``γ̂(l, u, S) = Σ_i γ̂(l, u, i)`` is unbiased for
+    ``γ(l, u, D)`` with variance at most ``8k/p²`` (Theorem 3.2) -- a bound
+    that, unlike BasicCounting's ``γ(1 − p)/p``, does not grow with the
+    queried range.
+    """
+
+    name = "RankCounting"
+
+    def estimate(
+        self, samples: Sequence[NodeSample], low: float, high: float
+    ) -> EstimateResult:
+        """Estimate ``γ(low, high, D)`` from per-node rank samples."""
+        validate_range(low, high)
+        if not samples:
+            raise ValueError("at least one node sample is required")
+        non_empty = [s for s in samples if s.node_size > 0]
+        p = non_empty[0].p if non_empty else samples[0].p
+        if any(abs(s.p - p) > 1e-12 for s in non_empty):
+            raise ValueError("all node samples must share one sampling rate")
+        if non_empty and p <= 0.0:
+            raise ValueError("sampling probability must be positive to estimate")
+
+        per_node: List[float] = [
+            rank_counting_node_estimate(s, low, high) for s in samples
+        ]
+        k = len(samples)
+        total_size = sum(s.node_size for s in samples)
+        variance_bound = 8.0 * k / (p * p) if p > 0 else 0.0
+        return EstimateResult(
+            estimate=float(sum(per_node)),
+            variance_bound=variance_bound,
+            node_count=k,
+            total_size=total_size,
+            p=p,
+            per_node=per_node,
+        )
+
+    def estimate_many(
+        self,
+        samples: Sequence[NodeSample],
+        ranges: Sequence[Tuple[float, float]],
+    ) -> np.ndarray:
+        """Vectorized batch estimation over many ``(low, high)`` ranges.
+
+        Returns one estimate per range, each exactly equal to what
+        :meth:`estimate` would produce -- the batch form exists because
+        workload sweeps issue hundreds of queries against one sample set,
+        and per-node binary searches vectorize cleanly over the query
+        axis.
+        """
+        if not samples:
+            raise ValueError("at least one node sample is required")
+        if len(ranges) == 0:
+            return np.zeros(0, dtype=np.float64)
+        lows = np.asarray([r[0] for r in ranges], dtype=np.float64)
+        highs = np.asarray([r[1] for r in ranges], dtype=np.float64)
+        if not (np.all(np.isfinite(lows)) and np.all(np.isfinite(highs))):
+            raise InvalidQueryError("range bounds must be finite")
+        if np.any(lows > highs):
+            raise InvalidQueryError("every range needs low <= high")
+
+        totals = np.zeros(len(ranges), dtype=np.float64)
+        for sample in samples:
+            n_i = sample.node_size
+            if n_i == 0:
+                continue
+            p = sample.p
+            if p <= 0.0:
+                raise ValueError(
+                    "sampling probability must be positive to estimate"
+                )
+            values = sample.values
+            ranks = sample.ranks
+            if len(values) == 0:
+                # No witnesses possible: the "neither" case for every range.
+                totals += float(n_i)
+                continue
+            idx_low = np.searchsorted(values, lows, side="left")
+            idx_high = np.searchsorted(values, highs, side="right")
+            has_pred = idx_low > 0
+            has_succ = idx_high < len(values)
+
+            estimates = np.full(len(ranges), float(n_i))
+            r_pred = np.where(has_pred, ranks[np.maximum(idx_low - 1, 0)], 0)
+            r_succ = np.where(
+                has_succ, ranks[np.minimum(idx_high, len(values) - 1)], 0
+            )
+
+            both = has_pred & has_succ
+            pred_only = has_pred & ~has_succ
+            succ_only = ~has_pred & has_succ
+            estimates[both] = (
+                r_succ[both] - r_pred[both] + 1 - 2.0 / p
+            )
+            estimates[pred_only] = (n_i - r_pred[pred_only] + 1) - 1.0 / p
+            estimates[succ_only] = r_succ[succ_only] - 1.0 / p
+            totals += estimates
+        return totals

@@ -1,0 +1,214 @@
+"""Stratified Bernoulli sampling -- an alternative design ablation.
+
+The paper's devices sample every element at one rate ``p``.  Workload
+regime analysis (ablation A7) shows relative error is dominated by sparse
+value bands: a band holding 1% of the data gets 1% of the sample.  A
+stratified design fixes that by giving each value *stratum* its own rate
+``p_s`` and applying per-stratum Horvitz–Thompson estimation:
+
+    γ̂(l, u) = Σ_s |{x ∈ S_s : l ≤ x ≤ u}| / p_s,
+
+which is unbiased with variance ``Σ_s γ_s(1 − p_s)/p_s`` (``γ_s`` the
+in-range count inside stratum ``s``).  Under *equal* allocation, sparse
+strata are heavily over-sampled, collapsing their relative error at the
+same total shipment budget -- the trade-off the A9 ablation measures.
+
+This module is self-contained (its sample type differs from
+:class:`~repro.estimators.base.NodeSample`, carrying per-stratum rates)
+and is deliberately *not* wired into the broker: it is a design-space
+probe, not part of the paper's protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.estimators.base import validate_range
+
+__all__ = [
+    "StratifiedNodeSample",
+    "stratify_node",
+    "allocate_rates",
+    "StratifiedCountingEstimator",
+]
+
+
+@dataclass
+class StratifiedNodeSample:
+    """One node's stratified sample.
+
+    ``edges`` are the ``S+1`` stratum boundaries (ascending; elements are
+    assigned by half-open bins, the last closed).  ``rates[s]`` is the
+    Bernoulli rate used inside stratum ``s``; ``stratum_sizes[s]`` the
+    node's total element count there.  ``values``/``strata`` are parallel
+    per-sampled-element arrays.
+    """
+
+    node_id: int
+    edges: Tuple[float, ...]
+    rates: Tuple[float, ...]
+    stratum_sizes: Tuple[int, ...]
+    values: np.ndarray
+    strata: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        self.strata = np.asarray(self.strata, dtype=np.int64)
+        strata_count = len(self.edges) - 1
+        if strata_count < 1:
+            raise ValueError("need at least two edges")
+        if any(b <= a for a, b in zip(self.edges, self.edges[1:])):
+            raise ValueError("edges must be strictly increasing")
+        if len(self.rates) != strata_count:
+            raise ValueError("one rate per stratum required")
+        if len(self.stratum_sizes) != strata_count:
+            raise ValueError("one size per stratum required")
+        for rate in self.rates:
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rates must be in [0, 1], got {rate}")
+        if len(self.values) != len(self.strata):
+            raise ValueError("values and strata must be parallel")
+        if len(self.strata) and (
+            self.strata.min() < 0 or self.strata.max() >= strata_count
+        ):
+            raise ValueError("stratum ids out of range")
+
+    @property
+    def node_size(self) -> int:
+        """Total elements held by the node."""
+        return int(sum(self.stratum_sizes))
+
+    @property
+    def sample_size(self) -> int:
+        """Transmitted element count."""
+        return len(self.values)
+
+
+def _assign_strata(values: np.ndarray, edges: Sequence[float]) -> np.ndarray:
+    """Bin values into strata (half-open bins, last closed)."""
+    idx = np.searchsorted(np.asarray(edges[1:-1], dtype=np.float64),
+                          values, side="right")
+    return idx.astype(np.int64)
+
+
+def stratify_node(
+    node_id: int,
+    values: np.ndarray,
+    edges: Sequence[float],
+    rates: Sequence[float],
+    rng: np.random.Generator,
+) -> StratifiedNodeSample:
+    """Draw a stratified Bernoulli sample of one node's data.
+
+    Values outside ``[edges[0], edges[-1]]`` land in the first/last
+    stratum (clamped binning), so the strata always partition the data.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    strata = _assign_strata(values, edges)
+    rates_arr = np.asarray(rates, dtype=np.float64)
+    keep = rng.random(len(values)) < rates_arr[strata]
+    sizes = np.bincount(strata, minlength=len(edges) - 1)
+    return StratifiedNodeSample(
+        node_id=node_id,
+        edges=tuple(float(e) for e in edges),
+        rates=tuple(float(r) for r in rates),
+        stratum_sizes=tuple(int(c) for c in sizes),
+        values=values[keep],
+        strata=strata[keep],
+    )
+
+
+def allocate_rates(
+    stratum_sizes: Sequence[int],
+    budget: float,
+    mode: str = "proportional",
+) -> List[float]:
+    """Split an expected-sample ``budget`` into per-stratum rates.
+
+    ``proportional`` reproduces uniform Bernoulli (every stratum gets rate
+    ``budget/N``); ``equal`` gives each stratum the same expected *count*,
+    over-sampling sparse strata; ``sqrt`` interpolates (allocation
+    proportional to ``√size``, the Neyman allocation under equal
+    within-stratum variance scales).  Rates are clipped to 1.
+    """
+    sizes = [int(s) for s in stratum_sizes]
+    if any(s < 0 for s in sizes):
+        raise ValueError("stratum sizes must be non-negative")
+    total = sum(sizes)
+    if total == 0:
+        raise ValueError("cannot allocate over empty strata")
+    if budget <= 0:
+        raise ValueError("budget must be positive")
+    if mode == "proportional":
+        rate = min(1.0, budget / total)
+        return [rate] * len(sizes)
+    if mode == "equal":
+        occupied = sum(1 for s in sizes if s > 0)
+        per_stratum = budget / occupied
+        return [min(1.0, per_stratum / s) if s > 0 else 0.0 for s in sizes]
+    if mode == "sqrt":
+        weights = [np.sqrt(s) for s in sizes]
+        weight_total = sum(weights)
+        return [
+            min(1.0, budget * w / weight_total / s) if s > 0 else 0.0
+            for s, w in zip(sizes, weights)
+        ]
+    raise ValueError(f"unknown allocation mode {mode!r}")
+
+
+class StratifiedCountingEstimator:
+    """Per-stratum Horvitz–Thompson range counting."""
+
+    name = "StratifiedCounting"
+
+    def estimate(
+        self,
+        samples: Sequence[StratifiedNodeSample],
+        low: float,
+        high: float,
+    ) -> float:
+        """Unbiased estimate of ``γ(low, high, D)``.
+
+        Strata with rate 0 must be empty of in-range elements to remain
+        estimable; a zero-rate non-empty stratum raises, since no unbiased
+        estimate exists for data that can never be sampled.
+        """
+        validate_range(low, high)
+        if not samples:
+            raise ValueError("at least one node sample is required")
+        total = 0.0
+        for sample in samples:
+            in_range = (sample.values >= low) & (sample.values <= high)
+            for s, rate in enumerate(sample.rates):
+                count = int(np.count_nonzero(in_range & (sample.strata == s)))
+                if count == 0:
+                    continue
+                if rate <= 0.0:
+                    raise ValueError(
+                        f"stratum {s} has sampled data but rate 0"
+                    )
+                total += count / rate
+        return total
+
+    def variance(
+        self,
+        samples: Sequence[StratifiedNodeSample],
+        per_stratum_range_counts: Sequence[Sequence[int]],
+    ) -> float:
+        """Exact variance given true per-node, per-stratum in-range counts.
+
+        ``Var = Σ_i Σ_s γ_{i,s}·(1 − p_s)/p_s`` -- used by tests and the
+        A9 ablation, where ground truth is available.
+        """
+        total = 0.0
+        for sample, counts in zip(samples, per_stratum_range_counts):
+            for rate, gamma in zip(sample.rates, counts):
+                if gamma == 0:
+                    continue
+                if rate <= 0.0:
+                    raise ValueError("non-empty stratum with rate 0")
+                total += gamma * (1.0 - rate) / rate
+        return total

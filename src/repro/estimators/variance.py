@@ -1,0 +1,107 @@
+"""Variance bounds and Chebyshev machinery shared by planner and pricing.
+
+Three quantities connect the estimator layer to privacy and pricing:
+
+* ``Var[γ̂(l, u, S)] ≤ 8k/p²`` -- Theorem 3.2's bound for RankCounting.
+* Chebyshev's inequality turns a variance into an ``(α, δ)`` accuracy
+  statement: ``Pr[|γ̂ − γ| ≤ t] ≥ 1 − Var/t²``.
+* The Chebyshev-calibrated "delivered variance" ``V(α, δ) = (αn)²(1 − δ)``
+  is the largest variance for which Chebyshev still certifies the
+  ``(α, δ)`` guarantee; the pricing layer treats it as the product's
+  quality level.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "rank_counting_variance_bound",
+    "chebyshev_confidence",
+    "chebyshev_tolerance",
+    "delivered_variance",
+    "empirical_variance",
+    "empirical_max_relative_error",
+]
+
+
+def rank_counting_variance_bound(k: int, p: float) -> float:
+    """Theorem 3.2's global variance bound ``8k / p²``."""
+    if k <= 0:
+        raise ValueError("k must be a positive node count")
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"sampling probability must be in (0, 1], got {p}")
+    return 8.0 * k / (p * p)
+
+
+def chebyshev_confidence(variance: float, tolerance: float) -> float:
+    """Lower bound on ``Pr[|X − E X| ≤ tolerance]`` given ``Var X``.
+
+    Returns ``max(0, 1 − variance / tolerance²)``; 0 when the bound is
+    vacuous.
+    """
+    if variance < 0:
+        raise ValueError("variance must be non-negative")
+    if tolerance <= 0:
+        raise ValueError("tolerance must be positive")
+    return max(0.0, 1.0 - variance / (tolerance * tolerance))
+
+
+def chebyshev_tolerance(variance: float, delta: float) -> float:
+    """Smallest tolerance ``t`` with Chebyshev confidence at least ``delta``.
+
+    Solving ``1 − Var/t² = δ`` gives ``t = sqrt(Var / (1 − δ))``.
+    """
+    if variance < 0:
+        raise ValueError("variance must be non-negative")
+    if not 0.0 <= delta < 1.0:
+        raise ValueError(f"delta must be in [0, 1), got {delta}")
+    return math.sqrt(variance / (1.0 - delta))
+
+
+def delivered_variance(alpha: float, delta: float, n: int) -> float:
+    """Chebyshev-calibrated variance of an ``(α, δ)`` product: ``(αn)²(1−δ)``.
+
+    This is the variance model ``V(α, δ)`` used throughout Section IV: the
+    largest variance for which Chebyshev certifies
+    ``Pr[|err| ≤ αn] ≥ δ``.  It decreases in ``δ`` and increases in ``α``,
+    matching the paper's monotonicity discussion.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    if not 0.0 <= delta < 1.0:
+        raise ValueError(f"delta must be in [0, 1), got {delta}")
+    if n <= 0:
+        raise ValueError("n must be a positive record count")
+    return (alpha * n) ** 2 * (1.0 - delta)
+
+
+def empirical_variance(estimates: Sequence[float]) -> float:
+    """Unbiased sample variance of repeated estimates (ddof=1)."""
+    arr = np.asarray(estimates, dtype=np.float64)
+    if len(arr) < 2:
+        raise ValueError("need at least two estimates for a sample variance")
+    return float(arr.var(ddof=1))
+
+
+def empirical_max_relative_error(
+    estimates: Sequence[float],
+    truths: Sequence[float],
+) -> float:
+    """Max relative error across paired (estimate, truth) observations.
+
+    The paper's evaluation metric (Figures 2, 3): relative error of each
+    query is ``|γ̂ − γ| / γ``; zero-truth queries fall back to normalizing
+    by 1 so they still register absolute deviation.
+    """
+    est = np.asarray(estimates, dtype=np.float64)
+    tru = np.asarray(truths, dtype=np.float64)
+    if est.shape != tru.shape:
+        raise ValueError("estimates and truths must have identical shape")
+    if len(est) == 0:
+        raise ValueError("need at least one observation")
+    denom = np.where(tru == 0, 1.0, np.abs(tru))
+    return float(np.max(np.abs(est - tru) / denom))

@@ -1,0 +1,66 @@
+"""IoT network substrate: devices, base station, transport, cost metering.
+
+Models the paper's system layer (Section II-A and the communication-cost
+discussion of Section III-A): ``k`` smart devices Bernoulli-sample their
+local data and ship ``(value, rank)`` pairs to a base station over a flat
+(or tree) topology; every message is metered so experiments can verify the
+paper's overhead claims (√(8k)/α expected samples, 16-pair heartbeat
+packing).
+"""
+
+from repro.iot.aggregation import TreeCollector
+from repro.iot.base_station import BaseStation
+from repro.iot.channel import BurstChannel, Channel
+from repro.iot.cost import CommunicationMeter, LinkStats
+from repro.iot.device import SmartDevice
+from repro.iot.energy import DeviceBattery, EnergyModel
+from repro.iot.heartbeat import HeartbeatService
+from repro.iot.messages import (
+    HEARTBEAT_CAPACITY,
+    Ack,
+    AggregatedReport,
+    Heartbeat,
+    Message,
+    SampleReport,
+    SampleRequest,
+    TopUpRequest,
+    message_from_dict,
+)
+from repro.iot.network import DeliveryRecord, Network
+from repro.iot.runtime import EventScheduler, SimulationClock
+from repro.iot.topology import (
+    BASE_STATION_ID,
+    FlatTopology,
+    Topology,
+    TreeTopology,
+)
+
+__all__ = [
+    "TreeCollector",
+    "AggregatedReport",
+    "BaseStation",
+    "Channel",
+    "BurstChannel",
+    "CommunicationMeter",
+    "LinkStats",
+    "SmartDevice",
+    "DeviceBattery",
+    "EnergyModel",
+    "HeartbeatService",
+    "HEARTBEAT_CAPACITY",
+    "Ack",
+    "Heartbeat",
+    "Message",
+    "SampleReport",
+    "SampleRequest",
+    "TopUpRequest",
+    "message_from_dict",
+    "DeliveryRecord",
+    "Network",
+    "EventScheduler",
+    "SimulationClock",
+    "BASE_STATION_ID",
+    "FlatTopology",
+    "Topology",
+    "TreeTopology",
+]

@@ -1,0 +1,197 @@
+"""The base station: sample store, collection rounds, top-up protocol.
+
+Section II-A: devices send samples of their local data to the base station,
+which stores the global sample ``S`` and "opens the data access API to data
+brokers".  :class:`BaseStation` drives the collection protocol over the
+simulated network, merges incremental shipments, and serves the stored
+per-node samples to the broker layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.errors import InsufficientSamplesError
+from repro.estimators.base import NodeSample
+from repro.iot.device import SmartDevice
+from repro.iot.messages import Heartbeat, SampleReport, SampleRequest, TopUpRequest
+from repro.iot.network import Network
+from repro.iot.topology import BASE_STATION_ID
+
+__all__ = ["BaseStation"]
+
+ShipmentMessage = Union[SampleReport, Heartbeat]
+
+
+@dataclass
+class BaseStation:
+    """Coordinates sampling over the network and stores the global sample.
+
+    Parameters
+    ----------
+    network:
+        Transport used for requests and shipments (costs are metered there).
+    devices:
+        The fleet, keyed by device id.  In a physical deployment these are
+        remote; here the station holds direct references but all protocol
+        traffic still crosses the simulated network.
+    """
+
+    network: Network
+    devices: Dict[int, SmartDevice] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._store: Dict[int, NodeSample] = {}
+        self._rate: float = 0.0
+
+    # ------------------------------------------------------------------
+    # fleet management
+    # ------------------------------------------------------------------
+    def register(self, device: SmartDevice) -> None:
+        """Add a device to the fleet."""
+        if device.node_id in self.devices:
+            raise ValueError(f"device {device.node_id} already registered")
+        if not self.network.topology.contains(device.node_id):
+            raise ValueError(
+                f"device {device.node_id} is not part of the network topology"
+            )
+        self.devices[device.node_id] = device
+
+    @property
+    def k(self) -> int:
+        """Number of registered devices (the paper's ``k``)."""
+        return len(self.devices)
+
+    @property
+    def n(self) -> int:
+        """Total records across the fleet (the paper's ``n``)."""
+        return sum(d.size for d in self.devices.values())
+
+    @property
+    def sampling_rate(self) -> float:
+        """The rate ``p`` of the currently stored global sample."""
+        return self._rate
+
+    # ------------------------------------------------------------------
+    # collection protocol
+    # ------------------------------------------------------------------
+    def _receive(
+        self,
+        store: Dict[int, NodeSample],
+        shipment: ShipmentMessage,
+        merge: bool = False,
+    ) -> None:
+        """Write a shipment into ``store``; ``merge`` = top-up increment."""
+        node_id = shipment.sender
+        incoming_values = np.asarray(shipment.values, dtype=np.float64)
+        incoming_ranks = np.asarray(shipment.ranks, dtype=np.int64)
+        existing = store.get(node_id)
+        if merge and existing is not None:
+            merged_ranks = np.concatenate([existing.ranks, incoming_ranks])
+            merged_values = np.concatenate([existing.values, incoming_values])
+            order = np.argsort(merged_ranks, kind="stable")
+            merged_ranks = merged_ranks[order]
+            merged_values = merged_values[order]
+        else:
+            merged_values, merged_ranks = incoming_values, incoming_ranks
+        store[node_id] = NodeSample(
+            node_id=node_id,
+            values=merged_values,
+            ranks=merged_ranks,
+            node_size=shipment.node_size,
+            p=shipment.p,
+        )
+
+    def collect(self, p: float) -> None:
+        """Run a fresh collection round at rate ``p`` across the fleet.
+
+        The round is transactional: the stored sample and rate change only
+        when *every* device's shipment arrives, so a mid-round
+        :class:`~repro.errors.DeliveryError` never leaves a partial store
+        masquerading as a complete one.
+        """
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"sampling rate must be in (0, 1], got {p}")
+        if not self.devices:
+            raise ValueError("no devices registered")
+        staged: Dict[int, NodeSample] = {}
+        for node_id, device in sorted(self.devices.items()):
+            request = SampleRequest(
+                sender=BASE_STATION_ID, receiver=node_id, p=p
+            )
+            self.network.send(request)
+            shipment = device.handle(request)
+            self.network.send(shipment)
+            self._receive(staged, shipment)
+        self._store = staged
+        self._rate = p
+
+    def top_up(self, new_p: float) -> None:
+        """Raise the stored sample's rate to ``new_p`` incrementally.
+
+        Transactional like :meth:`collect`: increments are staged against a
+        copy and committed only after the whole round succeeds.
+        """
+        if not self._store:
+            self.collect(new_p)
+            return
+        if new_p < self._rate:
+            raise ValueError(
+                f"cannot reduce the sampling rate from {self._rate} to {new_p}"
+            )
+        if abs(new_p - self._rate) < 1e-15:
+            return
+        staged = dict(self._store)
+        for node_id, device in sorted(self.devices.items()):
+            request = TopUpRequest(
+                sender=BASE_STATION_ID,
+                receiver=node_id,
+                old_p=self._rate,
+                new_p=new_p,
+            )
+            self.network.send(request)
+            shipment = device.handle(request)
+            self.network.send(shipment)
+            self._receive(staged, shipment, merge=True)
+        self._store = staged
+        self._rate = new_p
+
+    def ensure_rate(self, p: float) -> None:
+        """Make sure the stored sample is at least as dense as ``p``.
+
+        A no-op when the current rate suffices; otherwise a top-up (or an
+        initial collection) runs.  This is the paper's accuracy-driven
+        re-collection loop.
+        """
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"sampling rate must be in (0, 1], got {p}")
+        if self._rate >= p and self._store:
+            return
+        if self._store:
+            self.top_up(p)
+        else:
+            self.collect(p)
+
+    # ------------------------------------------------------------------
+    # broker-facing API
+    # ------------------------------------------------------------------
+    def samples(self) -> List[NodeSample]:
+        """The stored per-node samples, ordered by node id.
+
+        Raises
+        ------
+        InsufficientSamplesError
+            If no collection round has run yet.
+        """
+        if not self._store:
+            raise InsufficientSamplesError(
+                "no samples collected yet; call collect() first"
+            )
+        return [self._store[node_id] for node_id in sorted(self._store)]
+
+    def sample_volume(self) -> int:
+        """Total ``(value, rank)`` pairs currently stored."""
+        return sum(len(s) for s in self._store.values())

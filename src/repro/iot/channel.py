@@ -1,0 +1,142 @@
+"""Lossy-link models with deterministic loss and latency.
+
+Real IoT radios drop frames; the base station's collection protocol must
+survive that.  :class:`Channel` decides, per transmission attempt, whether
+a frame is lost (i.i.d. Bernoulli loss) and how long a successful delivery
+takes (base latency + exponential jitter, scaled by hop count).
+:class:`BurstChannel` replaces the i.i.d. loss with a two-state
+Gilbert–Elliott chain -- interference arrives in bursts, which is the
+regime where naive retry budgets fail.  All randomness flows from an
+injected :class:`numpy.random.Generator` so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Channel", "BurstChannel", "PERFECT_CHANNEL_SEED"]
+
+#: Conventional seed for a deterministic, loss-free channel in tests.
+PERFECT_CHANNEL_SEED = 0
+
+
+@dataclass
+class Channel:
+    """Per-attempt loss and latency model.
+
+    Parameters
+    ----------
+    loss_probability:
+        Probability that one transmission attempt over one hop is lost.
+        A multi-hop route survives only if every hop succeeds.
+    base_latency:
+        Deterministic per-hop latency (simulated seconds).
+    jitter:
+        Mean of the exponential per-hop jitter added on top.
+    rng:
+        Source of randomness; pass a seeded generator for reproducibility.
+    """
+
+    loss_probability: float = 0.0
+    base_latency: float = 0.001
+    jitter: float = 0.0005
+    rng: np.random.Generator = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_probability < 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1), got {self.loss_probability}"
+            )
+        if self.base_latency < 0 or self.jitter < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.rng is None:
+            self.rng = np.random.default_rng(PERFECT_CHANNEL_SEED)
+
+    def attempt_succeeds(self, hops: int) -> bool:
+        """Whether one end-to-end attempt over ``hops`` links survives."""
+        if hops <= 0:
+            raise ValueError("hops must be positive")
+        if self.loss_probability == 0.0:
+            return True
+        survival = (1.0 - self.loss_probability) ** hops
+        return bool(self.rng.random() < survival)
+
+    def sample_latency(self, hops: int) -> float:
+        """Latency of one successful end-to-end delivery."""
+        if hops <= 0:
+            raise ValueError("hops must be positive")
+        jitter = float(self.rng.exponential(self.jitter)) if self.jitter > 0 else 0.0
+        return hops * self.base_latency + jitter
+
+
+@dataclass
+class BurstChannel(Channel):
+    """Gilbert–Elliott bursty loss: a good/bad two-state Markov chain.
+
+    In the *good* state attempts are lost with ``loss_probability`` (the
+    inherited field, typically small); in the *bad* state with
+    ``bad_loss_probability`` (typically near 1).  State transitions happen
+    per attempt: ``p_good_to_bad`` and ``p_bad_to_good`` set the burst
+    frequency and mean burst length (``1/p_bad_to_good`` attempts).
+
+    The long-run loss rate is the stationary mixture, but unlike the
+    i.i.d. channel, failures cluster -- consecutive retries see correlated
+    fates, which is what stresses retry budgets.
+    """
+
+    bad_loss_probability: float = 0.9
+    p_good_to_bad: float = 0.05
+    p_bad_to_good: float = 0.3
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.bad_loss_probability <= 1.0:
+            raise ValueError(
+                "bad_loss_probability must be in [0, 1], got "
+                f"{self.bad_loss_probability}"
+            )
+        for name in ("p_good_to_bad", "p_bad_to_good"):
+            value = getattr(self, name)
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        self._in_bad_state = False
+
+    @property
+    def in_bad_state(self) -> bool:
+        """Whether the chain currently sits in the bursty-loss state."""
+        return self._in_bad_state
+
+    def stationary_loss_rate(self, hops: int = 1) -> float:
+        """Long-run per-attempt loss rate over ``hops`` links."""
+        if hops <= 0:
+            raise ValueError("hops must be positive")
+        bad_fraction = self.p_good_to_bad / (
+            self.p_good_to_bad + self.p_bad_to_good
+        )
+        good_survive = (1.0 - self.loss_probability) ** hops
+        bad_survive = (1.0 - self.bad_loss_probability) ** hops
+        survive = (1 - bad_fraction) * good_survive + bad_fraction * bad_survive
+        return 1.0 - survive
+
+    def attempt_succeeds(self, hops: int) -> bool:
+        """One end-to-end attempt under the current chain state."""
+        if hops <= 0:
+            raise ValueError("hops must be positive")
+        # Advance the chain first (per-attempt transitions).
+        if self._in_bad_state:
+            if self.rng.random() < self.p_bad_to_good:
+                self._in_bad_state = False
+        else:
+            if self.rng.random() < self.p_good_to_bad:
+                self._in_bad_state = True
+        loss = (
+            self.bad_loss_probability
+            if self._in_bad_state
+            else self.loss_probability
+        )
+        if loss == 0.0:
+            return True
+        survival = (1.0 - loss) ** hops
+        return bool(self.rng.random() < survival)

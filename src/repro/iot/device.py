@@ -1,0 +1,175 @@
+"""Smart devices: local storage, Bernoulli sampling, rank reporting.
+
+Each device owns a local dataset ``D_i`` (a :class:`NodeData`), draws
+Bernoulli(p) samples with local ranks on request, and ships them to the
+base station.  Two paper behaviours are modelled faithfully:
+
+* **heartbeat packing** -- when a (fresh or incremental) shipment fits in
+  :data:`~repro.iot.messages.HEARTBEAT_CAPACITY` pairs, the device
+  piggybacks it on an ordinary heartbeat at zero marginal cost;
+* **top-up sampling** -- on a :class:`TopUpRequest` the device extends its
+  existing sample to the higher rate and ships *only the new* pairs
+  ("more samples should be drawn and their ranks are also transferred").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.estimators.base import NodeData, NodeSample
+from repro.iot.messages import (
+    HEARTBEAT_CAPACITY,
+    Heartbeat,
+    Message,
+    SampleReport,
+    SampleRequest,
+    TopUpRequest,
+)
+from repro.iot.topology import BASE_STATION_ID
+
+__all__ = ["SmartDevice"]
+
+ShipmentMessage = Union[SampleReport, Heartbeat]
+
+
+@dataclass
+class SmartDevice:
+    """One IoT node: local data plus the sampling protocol endpoint.
+
+    Parameters
+    ----------
+    node_id:
+        Unique device id (must not be the base-station id 0).
+    data:
+        The local dataset ``D_i``.
+    rng:
+        Device-local randomness for sampling decisions.
+    """
+
+    node_id: int
+    data: NodeData
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.node_id == BASE_STATION_ID:
+            raise ValueError("device id 0 is reserved for the base station")
+        if self.data.node_id != self.node_id:
+            raise ValueError("NodeData.node_id must match the device id")
+        self._current_sample: Optional[NodeSample] = None
+        self._last_shipment: Optional[ShipmentMessage] = None
+
+    @classmethod
+    def from_values(
+        cls, node_id: int, values: np.ndarray, seed: Optional[int] = None
+    ) -> "SmartDevice":
+        """Convenience constructor from a raw value array."""
+        return cls(
+            node_id=node_id,
+            data=NodeData(node_id=node_id, values=values),
+            rng=np.random.default_rng(node_id if seed is None else seed),
+        )
+
+    @property
+    def size(self) -> int:
+        """``n_i`` -- the number of locally collected records."""
+        return self.data.size
+
+    @property
+    def current_sample(self) -> Optional[NodeSample]:
+        """The sample currently synchronized with the base station."""
+        return self._current_sample
+
+    @property
+    def current_rate(self) -> float:
+        """Sampling rate of the current sample (0 before any collection)."""
+        return self._current_sample.p if self._current_sample is not None else 0.0
+
+    def _package(
+        self,
+        values: Tuple[float, ...],
+        ranks: Tuple[int, ...],
+        p: float,
+    ) -> ShipmentMessage:
+        """Wrap pairs in a heartbeat when they fit, else a sample report."""
+        common = dict(
+            sender=self.node_id,
+            receiver=BASE_STATION_ID,
+            values=values,
+            ranks=ranks,
+            node_size=self.size,
+            p=p,
+        )
+        if len(values) <= HEARTBEAT_CAPACITY:
+            return Heartbeat(**common)
+        return SampleReport(**common)
+
+    def handle_sample_request(self, request: SampleRequest) -> ShipmentMessage:
+        """Draw a fresh Bernoulli(p) sample and package it for shipping."""
+        if request.receiver != self.node_id:
+            raise ValueError(
+                f"request addressed to {request.receiver}, not {self.node_id}"
+            )
+        sample = self.data.sample(request.p, self.rng)
+        self._current_sample = sample
+        shipment = self._package(
+            tuple(float(v) for v in sample.values),
+            tuple(int(r) for r in sample.ranks),
+            sample.p,
+        )
+        self._last_shipment = shipment
+        return shipment
+
+    def handle_top_up_request(self, request: TopUpRequest) -> ShipmentMessage:
+        """Extend the current sample to ``request.new_p``; ship only new pairs.
+
+        The device must already hold a sample at ``request.old_p``.  The
+        shipped message carries the *incremental* pairs; its ``p`` field is
+        the new rate so the base station can merge consistently.
+        """
+        if request.receiver != self.node_id:
+            raise ValueError(
+                f"request addressed to {request.receiver}, not {self.node_id}"
+            )
+        if self._current_sample is None:
+            raise ValueError("no existing sample; send a SampleRequest first")
+        if abs(self._current_sample.p - request.old_p) > 1e-12:
+            # Idempotent retry: the previous shipment was lost in flight,
+            # the device already advanced to new_p -- re-ship it.
+            if (
+                abs(self._current_sample.p - request.new_p) <= 1e-12
+                and self._last_shipment is not None
+                and abs(self._last_shipment.p - request.new_p) <= 1e-12
+            ):
+                return self._last_shipment
+            raise ValueError(
+                f"base station believes rate {request.old_p}, device holds "
+                f"{self._current_sample.p}"
+            )
+        old = self._current_sample
+        new = self.data.top_up(old, request.new_p, self.rng)
+        self._current_sample = new
+        old_ranks = set(int(r) for r in old.ranks)
+        fresh_values = []
+        fresh_ranks = []
+        for value, rank in zip(new.values, new.ranks):
+            if int(rank) not in old_ranks:
+                fresh_values.append(float(value))
+                fresh_ranks.append(int(rank))
+        shipment = self._package(
+            tuple(fresh_values), tuple(fresh_ranks), new.p
+        )
+        self._last_shipment = shipment
+        return shipment
+
+    def handle(self, message: Message) -> ShipmentMessage:
+        """Dispatch an incoming protocol message to its handler."""
+        if isinstance(message, SampleRequest):
+            return self.handle_sample_request(message)
+        if isinstance(message, TopUpRequest):
+            return self.handle_top_up_request(message)
+        raise TypeError(f"device cannot handle {type(message).__name__}")

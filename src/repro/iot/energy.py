@@ -1,0 +1,111 @@
+"""Device energy model: what the radio bill means for battery lifetime.
+
+The paper's motivation for sampling is communication cost, and the cost
+that matters to an IoT deployment is joules.  This module converts the
+cost meter's byte counters into a standard first-order radio energy model
+(Heinzelman et al.'s e_elec + amplifier form, the model used by the
+energy-accuracy literature the paper cites):
+
+    E_tx(bytes) = bytes·8 · (E_ELEC + E_AMP·d²)     transmit over distance d
+    E_rx(bytes) = bytes·8 · E_ELEC                  receive
+
+:class:`EnergyModel` prices a meter snapshot; :class:`DeviceBattery`
+tracks depletion and answers the deployment question: *how many
+collection rounds does a battery fund?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.iot.cost import CommunicationMeter
+
+__all__ = ["EnergyModel", "DeviceBattery"]
+
+#: Electronics energy per bit (J/bit), standard first-order value.
+DEFAULT_E_ELEC = 50e-9
+
+#: Amplifier energy per bit per m² (J/bit/m²).
+DEFAULT_E_AMP = 100e-12
+
+#: Default device-to-parent radio distance (meters).
+DEFAULT_DISTANCE = 50.0
+
+
+@dataclass(frozen=True)
+class EnergyModel:
+    """First-order radio energy model over the cost meter's byte counters."""
+
+    e_elec: float = DEFAULT_E_ELEC
+    e_amp: float = DEFAULT_E_AMP
+    distance: float = DEFAULT_DISTANCE
+
+    def __post_init__(self) -> None:
+        if self.e_elec < 0 or self.e_amp < 0:
+            raise ValueError("energy coefficients must be non-negative")
+        if self.distance <= 0:
+            raise ValueError("distance must be positive")
+
+    def transmit_energy(self, size_bytes: int) -> float:
+        """Joules to transmit ``size_bytes`` over one hop."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        bits = size_bytes * 8
+        return bits * (self.e_elec + self.e_amp * self.distance**2)
+
+    def receive_energy(self, size_bytes: int) -> float:
+        """Joules to receive ``size_bytes``."""
+        if size_bytes < 0:
+            raise ValueError("size_bytes must be non-negative")
+        return size_bytes * 8 * self.e_elec
+
+    def round_energy(self, meter: CommunicationMeter) -> float:
+        """Total fleet energy implied by a meter's hop-weighted bytes.
+
+        Every hop is one transmit + one receive of the message, so the
+        hop-weighted byte counter prices the whole route.
+        """
+        hop_bytes = meter.total_hop_bytes
+        return self.transmit_energy(hop_bytes) + self.receive_energy(hop_bytes)
+
+
+@dataclass
+class DeviceBattery:
+    """A device's energy reserve with depletion tracking.
+
+    Parameters
+    ----------
+    capacity_joules:
+        Initial reserve; 2 × AA ≈ 18 720 J, coin cell ≈ 2 340 J.
+    """
+
+    capacity_joules: float
+    _spent: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity_joules <= 0:
+            raise ValueError("capacity must be positive")
+
+    @property
+    def remaining(self) -> float:
+        """Joules left."""
+        return max(0.0, self.capacity_joules - self._spent)
+
+    @property
+    def depleted(self) -> bool:
+        """Whether the reserve is exhausted."""
+        return self.remaining <= 0.0
+
+    def drain(self, joules: float) -> float:
+        """Consume energy; returns the remaining reserve."""
+        if joules < 0:
+            raise ValueError("joules must be non-negative")
+        self._spent += joules
+        return self.remaining
+
+    def rounds_supported(self, joules_per_round: float) -> int:
+        """How many identical rounds the *remaining* reserve funds."""
+        if joules_per_round <= 0:
+            raise ValueError("joules_per_round must be positive")
+        return int(self.remaining / joules_per_round)

@@ -1,0 +1,143 @@
+"""Heartbeat service: periodic liveness beacons and dead-device detection.
+
+Devices in the field die -- batteries drain, radios fail.  The estimator's
+``k`` and ``n`` must reflect the *live* fleet, or calibration silently
+degrades.  :class:`HeartbeatService` drives periodic beacons through the
+:class:`~repro.iot.runtime.EventScheduler`, tracks each device's last-seen
+time at the base station, and classifies devices as dead once they miss
+``miss_threshold`` consecutive beacon intervals.
+
+The beacons are the same :class:`~repro.iot.messages.Heartbeat` frames
+that piggyback small sample shipments, so liveness costs nothing beyond
+what the collection protocol already pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.iot.device import SmartDevice
+from repro.iot.messages import Heartbeat
+from repro.iot.network import Network
+from repro.iot.runtime import EventScheduler
+from repro.iot.topology import BASE_STATION_ID
+
+__all__ = ["HeartbeatService"]
+
+
+@dataclass
+class HeartbeatService:
+    """Periodic liveness beacons over the simulated network.
+
+    Parameters
+    ----------
+    network:
+        Transport (beacons are metered like everything else).
+    scheduler:
+        Discrete-event loop driving the beacon cadence.
+    interval:
+        Seconds between a device's beacons.
+    miss_threshold:
+        Consecutive missed intervals before a device is declared dead.
+    """
+
+    network: Network
+    scheduler: EventScheduler
+    interval: float = 60.0
+    miss_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ValueError("interval must be positive")
+        if self.miss_threshold <= 0:
+            raise ValueError("miss_threshold must be positive")
+        self._devices: Dict[int, SmartDevice] = {}
+        self._failed: Set[int] = set()
+        self._last_seen: Dict[int, float] = {}
+        self._beacons_sent: int = 0
+
+    # ------------------------------------------------------------------
+    # fleet wiring
+    # ------------------------------------------------------------------
+    def track(self, device: SmartDevice) -> None:
+        """Start beaconing for a device (first beacon after one interval)."""
+        if device.node_id in self._devices:
+            raise ValueError(f"device {device.node_id} already tracked")
+        self._devices[device.node_id] = device
+        self._last_seen[device.node_id] = self.scheduler.clock.now
+        self.scheduler.schedule(
+            self.interval, lambda: self._beat(device.node_id)
+        )
+
+    def fail_device(self, node_id: int) -> None:
+        """Mark a device as failed -- its future beacons stop."""
+        if node_id not in self._devices:
+            raise KeyError(f"device {node_id} is not tracked")
+        self._failed.add(node_id)
+
+    def revive_device(self, node_id: int) -> None:
+        """Bring a failed device back; beaconing resumes next interval."""
+        if node_id not in self._devices:
+            raise KeyError(f"device {node_id} is not tracked")
+        if node_id in self._failed:
+            self._failed.remove(node_id)
+            self.scheduler.schedule(
+                self.interval, lambda: self._beat(node_id)
+            )
+
+    # ------------------------------------------------------------------
+    # beacon loop
+    # ------------------------------------------------------------------
+    def _beat(self, node_id: int) -> None:
+        if node_id in self._failed:
+            return  # no further beacons; the schedule chain stops here
+        beacon = Heartbeat(
+            sender=node_id,
+            receiver=BASE_STATION_ID,
+            node_size=self._devices[node_id].size,
+            p=self._devices[node_id].current_rate,
+        )
+        self.network.send(beacon)
+        self._beacons_sent += 1
+        self._last_seen[node_id] = self.scheduler.clock.now
+        self.scheduler.schedule(self.interval, lambda: self._beat(node_id))
+
+    # ------------------------------------------------------------------
+    # liveness queries
+    # ------------------------------------------------------------------
+    @property
+    def beacons_sent(self) -> int:
+        """Total beacons delivered so far."""
+        return self._beacons_sent
+
+    def last_seen(self, node_id: int) -> float:
+        """Simulated time of the device's last beacon (or tracking start)."""
+        try:
+            return self._last_seen[node_id]
+        except KeyError:
+            raise KeyError(f"device {node_id} is not tracked") from None
+
+    def is_alive(self, node_id: int) -> bool:
+        """Whether the device beat within the miss threshold."""
+        silence = self.scheduler.clock.now - self.last_seen(node_id)
+        return silence < self.miss_threshold * self.interval
+
+    def live_devices(self) -> Tuple[int, ...]:
+        """Ids of devices currently considered alive, ascending."""
+        return tuple(
+            node_id for node_id in sorted(self._devices)
+            if self.is_alive(node_id)
+        )
+
+    def dead_devices(self) -> Tuple[int, ...]:
+        """Ids of devices that missed too many beacons, ascending."""
+        return tuple(
+            node_id for node_id in sorted(self._devices)
+            if not self.is_alive(node_id)
+        )
+
+    def live_fleet_shape(self) -> Tuple[int, int]:
+        """``(k, n)`` of the live fleet -- what calibration should use."""
+        live = self.live_devices()
+        return len(live), sum(self._devices[i].size for i in live)

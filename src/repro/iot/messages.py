@@ -1,0 +1,265 @@
+"""Typed messages of the simulated IoT network, with byte-size accounting.
+
+The paper's cost claims are expressed in transmitted samples ("the total
+communication overhead ... is √(8k)/α, since this is the expected number of
+samples to be transferred") and in heartbeat piggybacking ("a node could
+pack the samples into an ordinary heartbeat message").  To measure those
+claims, every message type computes its wire size from a simple model:
+
+* ``HEADER_BYTES`` per message (addressing, type tag, sequence number);
+* ``VALUE_BYTES`` per float value and ``RANK_BYTES`` per local rank;
+* scalar fields cost their natural width.
+
+Messages serialize to plain dicts (:meth:`Message.to_dict`) and back
+(:func:`message_from_dict`), which stands in for the wire codec and gives
+property tests a round-trip invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Tuple, Type
+
+import numpy as np
+
+__all__ = [
+    "HEADER_BYTES",
+    "VALUE_BYTES",
+    "RANK_BYTES",
+    "SCALAR_BYTES",
+    "HEARTBEAT_CAPACITY",
+    "Message",
+    "SampleRequest",
+    "TopUpRequest",
+    "SampleReport",
+    "Heartbeat",
+    "Ack",
+    "message_from_dict",
+]
+
+#: Fixed per-message overhead: addressing, type tag, sequence number.
+HEADER_BYTES = 16
+
+#: Bytes per transmitted float value (IEEE-754 double).
+VALUE_BYTES = 8
+
+#: Bytes per transmitted local rank (uint32).
+RANK_BYTES = 4
+
+#: Bytes per scalar field (rates, counts).
+SCALAR_BYTES = 8
+
+#: Samples that fit in an ordinary heartbeat for free.  The paper: if the
+#: average per-node sample count is at most 16, nodes "pack the samples into
+#: an ordinary heartbeat message ... and no more communication cost is
+#: incurred either".
+HEARTBEAT_CAPACITY = 16
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class of all simulated messages."""
+
+    sender: int
+    receiver: int
+
+    def payload_bytes(self) -> int:
+        """Wire size of the message body, excluding the fixed header."""
+        return 0
+
+    def size_bytes(self) -> int:
+        """Total wire size: header plus payload."""
+        return HEADER_BYTES + self.payload_bytes()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serialize to a plain dict (the simulated wire format)."""
+        out: Dict[str, Any] = {"type": type(self).__name__}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, np.ndarray):
+                value = value.tolist()
+            elif isinstance(value, tuple):
+                value = [
+                    list(item) if isinstance(item, tuple) else item
+                    for item in value
+                ]
+            out[f.name] = value
+        return out
+
+
+@dataclass(frozen=True)
+class SampleRequest(Message):
+    """Base station asks a node to draw a fresh Bernoulli(p) sample."""
+
+    p: float = 0.0
+
+    def payload_bytes(self) -> int:
+        return SCALAR_BYTES
+
+
+@dataclass(frozen=True)
+class TopUpRequest(Message):
+    """Base station asks a node to extend its sample from ``old_p`` to ``new_p``.
+
+    Sent when existing samples cannot satisfy a query's accuracy (paper,
+    Section III-A: "more samples should be drawn and their ranks are also
+    transferred").
+    """
+
+    old_p: float = 0.0
+    new_p: float = 0.0
+
+    def payload_bytes(self) -> int:
+        return 2 * SCALAR_BYTES
+
+
+@dataclass(frozen=True)
+class SampleReport(Message):
+    """A node's sample shipment: parallel ``(value, rank)`` tuples plus ``n_i``."""
+
+    values: Tuple[float, ...] = ()
+    ranks: Tuple[int, ...] = ()
+    node_size: int = 0
+    p: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.ranks):
+            raise ValueError("values and ranks must be parallel")
+        if self.node_size < 0:
+            raise ValueError("node_size must be non-negative")
+
+    @property
+    def sample_count(self) -> int:
+        """Number of ``(value, rank)`` pairs carried."""
+        return len(self.values)
+
+    def payload_bytes(self) -> int:
+        return (
+            self.sample_count * (VALUE_BYTES + RANK_BYTES)
+            + 2 * SCALAR_BYTES  # node_size and p
+        )
+
+
+@dataclass(frozen=True)
+class Heartbeat(Message):
+    """Periodic liveness beacon that can piggyback a few samples for free.
+
+    Up to :data:`HEARTBEAT_CAPACITY` sample pairs ride along at zero
+    *marginal* cost; the heartbeat itself is sent regardless, so its
+    payload counts only the beacon body.
+    """
+
+    values: Tuple[float, ...] = ()
+    ranks: Tuple[int, ...] = ()
+    node_size: int = 0
+    p: float = 0.0
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.ranks):
+            raise ValueError("values and ranks must be parallel")
+        if len(self.values) > HEARTBEAT_CAPACITY:
+            raise ValueError(
+                f"heartbeat can piggyback at most {HEARTBEAT_CAPACITY} samples"
+            )
+
+    @property
+    def sample_count(self) -> int:
+        """Number of piggybacked sample pairs."""
+        return len(self.values)
+
+    def payload_bytes(self) -> int:
+        # The beacon body (status word); piggybacked samples are free.
+        return SCALAR_BYTES
+
+
+@dataclass(frozen=True)
+class Ack(Message):
+    """Acknowledgement of a received report."""
+
+    acked_type: str = ""
+
+    def payload_bytes(self) -> int:
+        return len(self.acked_type.encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class AggregatedReport(Message):
+    """A bundle of per-node sample reports relayed up an aggregation tree.
+
+    The paper notes its flat-model algorithms "can be easily extended to a
+    general tree model"; in that extension an interior node merges its own
+    shipment with its children's into one uplink message, saving per-message
+    header overhead on every relay hop.  ``origins``, ``values``, ``ranks``
+    and ``node_sizes`` are parallel per-origin tuples (each origin
+    contributes one ``(values, ranks, n_i)`` triple).
+    """
+
+    origins: Tuple[int, ...] = ()
+    values: Tuple[Tuple[float, ...], ...] = ()
+    ranks: Tuple[Tuple[int, ...], ...] = ()
+    node_sizes: Tuple[int, ...] = ()
+    p: float = 0.0
+
+    def __post_init__(self) -> None:
+        lengths = {
+            len(self.origins),
+            len(self.values),
+            len(self.ranks),
+            len(self.node_sizes),
+        }
+        if len(lengths) != 1:
+            raise ValueError("per-origin tuples must be parallel")
+        for vals, rks in zip(self.values, self.ranks):
+            if len(vals) != len(rks):
+                raise ValueError("values and ranks must be parallel per origin")
+
+    @property
+    def origin_count(self) -> int:
+        """How many nodes' shipments this bundle carries."""
+        return len(self.origins)
+
+    @property
+    def sample_count(self) -> int:
+        """Total ``(value, rank)`` pairs across all bundled origins."""
+        return sum(len(vals) for vals in self.values)
+
+    def payload_bytes(self) -> int:
+        # Per origin: node id + node size + its pairs.  One shared header.
+        per_origin = sum(
+            2 * SCALAR_BYTES + len(vals) * (VALUE_BYTES + RANK_BYTES)
+            for vals in self.values
+        )
+        return per_origin + SCALAR_BYTES  # plus the shared rate field
+
+
+_MESSAGE_TYPES: Dict[str, Type[Message]] = {
+    cls.__name__: cls
+    for cls in (
+        SampleRequest,
+        TopUpRequest,
+        SampleReport,
+        Heartbeat,
+        Ack,
+        AggregatedReport,
+    )
+}
+
+
+def message_from_dict(data: Dict[str, Any]) -> Message:
+    """Deserialize a message from its :meth:`Message.to_dict` form."""
+    try:
+        type_name = data["type"]
+    except KeyError:
+        raise ValueError("message dict missing 'type'") from None
+    try:
+        cls = _MESSAGE_TYPES[type_name]
+    except KeyError:
+        raise ValueError(f"unknown message type {type_name!r}") from None
+    kwargs = {k: v for k, v in data.items() if k != "type"}
+    for key in ("values", "ranks", "origins", "node_sizes"):
+        if key in kwargs:
+            kwargs[key] = tuple(
+                tuple(item) if isinstance(item, (list, tuple)) else item
+                for item in kwargs[key]
+            )
+    return cls(**kwargs)

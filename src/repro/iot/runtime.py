@@ -1,0 +1,85 @@
+"""Simulation clock and a minimal discrete-event scheduler.
+
+The network simulation is causally simple -- request/response rounds -- so
+the runtime keeps only what the experiments need: a monotonically advancing
+:class:`SimulationClock` that the network drives with message latencies,
+and an :class:`EventScheduler` for timed callbacks (periodic heartbeats,
+deferred collection rounds) used by the long-running examples.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+__all__ = ["SimulationClock", "EventScheduler"]
+
+
+@dataclass
+class SimulationClock:
+    """A monotone simulated-time counter (seconds)."""
+
+    now: float = 0.0
+
+    def advance(self, delta: float) -> float:
+        """Move time forward by ``delta`` and return the new time."""
+        if delta < 0:
+            raise ValueError("time cannot move backwards")
+        self.now += delta
+        return self.now
+
+
+@dataclass
+class EventScheduler:
+    """Minimal discrete-event loop over a shared :class:`SimulationClock`.
+
+    Events are ``(fire_time, callback)`` pairs kept in a heap; ``run``
+    pops them in time order, advancing the clock to each event's fire time
+    before invoking it.  Callbacks may schedule further events.
+    """
+
+    clock: SimulationClock = field(default_factory=SimulationClock)
+
+    def __post_init__(self) -> None:
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        heapq.heappush(
+            self._heap, (self.clock.now + delay, next(self._counter), callback)
+        )
+
+    def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
+        """Process queued events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop before events scheduled after this simulated time.
+        max_events:
+            Safety bound on processed events.
+
+        Returns
+        -------
+        int
+            Number of events processed.
+        """
+        processed = 0
+        while self._heap and processed < max_events:
+            fire_time, _, callback = self._heap[0]
+            if until is not None and fire_time > until:
+                break
+            heapq.heappop(self._heap)
+            if fire_time > self.clock.now:
+                self.clock.advance(fire_time - self.clock.now)
+            callback()
+            processed += 1
+        return processed

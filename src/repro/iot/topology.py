@@ -1,0 +1,162 @@
+"""Network topologies: the paper's flat model and its tree extension.
+
+Section III-A: "We assume the network is organized in a flat model, in
+which each node communicates with the base station directly.  Note that
+algorithms on flat models can be easily extended to a general tree model."
+
+Both topologies answer one routing question -- how many hops separate a
+node from the base station -- which the cost meter uses to weight bytes.
+The base station is always node id ``BASE_STATION_ID``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import DeliveryError
+
+__all__ = ["BASE_STATION_ID", "Topology", "FlatTopology", "TreeTopology"]
+
+#: Reserved node id of the base station in every topology.
+BASE_STATION_ID = 0
+
+
+class Topology:
+    """Interface: node membership plus hop counts to the base station."""
+
+    def node_ids(self) -> Sequence[int]:
+        """All device ids (excluding the base station)."""
+        raise NotImplementedError
+
+    def contains(self, node_id: int) -> bool:
+        """Whether ``node_id`` is the base station or a known device."""
+        raise NotImplementedError
+
+    def hops(self, src: int, dst: int) -> int:
+        """Number of link crossings for a message from ``src`` to ``dst``."""
+        raise NotImplementedError
+
+
+@dataclass
+class FlatTopology(Topology):
+    """Every device is one hop from the base station (the paper default)."""
+
+    device_ids: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if BASE_STATION_ID in self.device_ids:
+            raise ValueError(f"device id {BASE_STATION_ID} is reserved")
+        if len(set(self.device_ids)) != len(self.device_ids):
+            raise ValueError("device ids must be unique")
+
+    @classmethod
+    def with_devices(cls, count: int) -> "FlatTopology":
+        """Flat topology over device ids ``1..count``."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return cls(device_ids=list(range(1, count + 1)))
+
+    def node_ids(self) -> Sequence[int]:
+        return tuple(self.device_ids)
+
+    def contains(self, node_id: int) -> bool:
+        return node_id == BASE_STATION_ID or node_id in set(self.device_ids)
+
+    def hops(self, src: int, dst: int) -> int:
+        for endpoint in (src, dst):
+            if not self.contains(endpoint):
+                raise DeliveryError(f"unknown node {endpoint}")
+        if src == dst:
+            return 0
+        if BASE_STATION_ID in (src, dst):
+            return 1
+        # Device-to-device traffic relays through the base station.
+        return 2
+
+
+@dataclass
+class TreeTopology(Topology):
+    """An aggregation tree rooted at the base station.
+
+    ``parent`` maps each device id to its parent (another device or the
+    base station).  Hop counts are path lengths in the tree; the
+    lowest-common-ancestor path covers device-to-device traffic.
+    """
+
+    parent: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if BASE_STATION_ID in self.parent:
+            raise ValueError("the base station has no parent")
+        self._depth: Dict[int, int] = {BASE_STATION_ID: 0}
+        for node in self.parent:
+            self._resolve_depth(node, set())
+
+    def _resolve_depth(self, node: int, visiting: set) -> int:
+        if node in self._depth:
+            return self._depth[node]
+        if node in visiting:
+            raise ValueError(f"cycle in tree topology at node {node}")
+        visiting.add(node)
+        try:
+            parent = self.parent[node]
+        except KeyError:
+            raise ValueError(f"node {node} is disconnected from the base station")
+        depth = self._resolve_depth(parent, visiting) + 1
+        self._depth[node] = depth
+        return depth
+
+    @classmethod
+    def balanced(cls, device_count: int, fanout: int = 2) -> "TreeTopology":
+        """A balanced tree over device ids ``1..device_count``.
+
+        The first ``fanout`` devices attach to the base station; device
+        ``i`` attaches to device ``ceil(i/fanout) - 1 + 1``-style indexing
+        so each internal node has at most ``fanout`` children.
+        """
+        if device_count <= 0:
+            raise ValueError("device_count must be positive")
+        if fanout <= 0:
+            raise ValueError("fanout must be positive")
+        parent: Dict[int, int] = {}
+        for i in range(1, device_count + 1):
+            if i <= fanout:
+                parent[i] = BASE_STATION_ID
+            else:
+                parent[i] = math.ceil(i / fanout) - 1 if fanout > 1 else i - 1
+                # ceil(i/fanout) - 1 can collide with 0 only for i <= fanout,
+                # already handled above.
+        return cls(parent=parent)
+
+    def node_ids(self) -> Sequence[int]:
+        return tuple(self.parent)
+
+    def contains(self, node_id: int) -> bool:
+        return node_id == BASE_STATION_ID or node_id in self.parent
+
+    def depth(self, node_id: int) -> int:
+        """Tree depth of ``node_id`` (base station is 0)."""
+        if not self.contains(node_id):
+            raise DeliveryError(f"unknown node {node_id}")
+        return self._depth[node_id]
+
+    def _path_to_root(self, node: int) -> List[int]:
+        path = [node]
+        while path[-1] != BASE_STATION_ID:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def hops(self, src: int, dst: int) -> int:
+        for endpoint in (src, dst):
+            if not self.contains(endpoint):
+                raise DeliveryError(f"unknown node {endpoint}")
+        if src == dst:
+            return 0
+        src_path = self._path_to_root(src)
+        dst_ancestors = {node: i for i, node in enumerate(self._path_to_root(dst))}
+        for i, node in enumerate(src_path):
+            if node in dst_ancestors:
+                return i + dst_ancestors[node]
+        raise DeliveryError(f"no path between {src} and {dst}")

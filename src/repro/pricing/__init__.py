@@ -1,0 +1,44 @@
+"""Pricing layer (paper Section IV): variance model, price sheets, arbitrage.
+
+* :class:`VarianceModel` -- delivered variance ``V(α, δ) = (αn)²(1 − δ)``.
+* :class:`InverseVariancePricing` -- the arbitrage-avoiding family
+  ``π = c/V`` singled out by Theorem 4.2; broken foil families alongside.
+* :func:`check_arbitrage_avoiding` / :func:`find_averaging_attack` --
+  Theorem 4.2 property checker and the Example 4.1 constructive adversary.
+* :class:`BillingLedger` -- transaction log and revenue accounting.
+"""
+
+from repro.pricing.arbitrage import (
+    ArbitrageAttack,
+    ArbitrageReport,
+    PropertyViolation,
+    check_arbitrage_avoiding,
+    evaluate_portfolio,
+    find_averaging_attack,
+)
+from repro.pricing.functions import (
+    InverseVariancePricing,
+    LinearAccuracyPricing,
+    PowerLawVariancePricing,
+    PricingFunction,
+    TieredPricing,
+)
+from repro.pricing.ledger import BillingLedger, Transaction
+from repro.pricing.variance_model import VarianceModel
+
+__all__ = [
+    "ArbitrageAttack",
+    "ArbitrageReport",
+    "PropertyViolation",
+    "check_arbitrage_avoiding",
+    "evaluate_portfolio",
+    "find_averaging_attack",
+    "InverseVariancePricing",
+    "LinearAccuracyPricing",
+    "PowerLawVariancePricing",
+    "PricingFunction",
+    "TieredPricing",
+    "BillingLedger",
+    "Transaction",
+    "VarianceModel",
+]

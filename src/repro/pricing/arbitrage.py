@@ -1,0 +1,270 @@
+"""Arbitrage machinery: Theorem 4.2 checker and constructive attack search.
+
+Two complementary tools validate a price sheet:
+
+* :func:`check_arbitrage_avoiding` tests the *characterization* -- Lemma
+  4.1 (price is a function of variance) and Theorem 4.2's relative-change
+  properties 2 and 3 -- over a finite ``(α, δ)`` grid, reporting every
+  violated inequality with its witness points.
+* :func:`find_averaging_attack` runs the *constructive adversary* of
+  Example 4.1: it searches for ``m`` purchases of a cheaper, higher-variance
+  product whose average matches the target variance at a lower total price
+  (the composition ``↦`` of Definition 2.3 / Formula (4)).
+
+A sound pricing function passes both; the foil families in
+:mod:`repro.pricing.functions` each fail at least one, and the integration
+tests assert the checker and the adversary agree with the theory.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.pricing.functions import PricingFunction
+
+__all__ = [
+    "PropertyViolation",
+    "ArbitrageAttack",
+    "ArbitrageReport",
+    "check_arbitrage_avoiding",
+    "find_averaging_attack",
+    "evaluate_portfolio",
+]
+
+#: Relative tolerance used when comparing prices/variances on a grid.
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class PropertyViolation:
+    """One violated inequality of Theorem 4.2 (or Lemma 4.1).
+
+    ``prop`` is 1 (price not a function of variance), 2 (δ direction) or
+    3 (α direction); the two witness products and the inequality sides are
+    recorded for diagnostics.
+    """
+
+    prop: int
+    point_a: Tuple[float, float]
+    point_b: Tuple[float, float]
+    lhs: float
+    rhs: float
+
+    def describe(self) -> str:
+        """Render a one-line human-readable description."""
+        return (
+            f"property {self.prop} violated between (α, δ)={self.point_a} and "
+            f"{self.point_b}: {self.lhs:.6g} vs {self.rhs:.6g}"
+        )
+
+
+@dataclass(frozen=True)
+class ArbitrageAttack:
+    """A successful averaging attack against a price sheet.
+
+    The adversary buys ``copies`` answers of the cheaper product and
+    averages them, obtaining variance ``achieved_variance`` no worse than
+    the target product's ``target_variance`` at a lower total price.
+    """
+
+    target: Tuple[float, float]
+    purchase: Tuple[float, float]
+    copies: int
+    total_price: float
+    target_price: float
+    achieved_variance: float
+    target_variance: float
+
+    @property
+    def savings(self) -> float:
+        """Money saved by the attack: list price minus attack cost."""
+        return self.target_price - self.total_price
+
+    @property
+    def discount(self) -> float:
+        """Fractional discount obtained (0..1)."""
+        return self.savings / self.target_price
+
+    def describe(self) -> str:
+        """Render a one-line human-readable description."""
+        return (
+            f"buy {self.copies}× (α, δ)={self.purchase} for "
+            f"{self.total_price:.6g} instead of (α, δ)={self.target} at "
+            f"{self.target_price:.6g} (saves {self.discount:.1%}); averaged "
+            f"variance {self.achieved_variance:.6g} ≤ {self.target_variance:.6g}"
+        )
+
+
+@dataclass
+class ArbitrageReport:
+    """Combined verdict of the property checker and the attack search."""
+
+    violations: List[PropertyViolation] = field(default_factory=list)
+    attack: Optional[ArbitrageAttack] = None
+
+    @property
+    def arbitrage_avoiding(self) -> bool:
+        """True when no property is violated and no attack was found."""
+        return not self.violations and self.attack is None
+
+
+def _default_grid(points: int) -> List[float]:
+    """Evenly spaced interior grid over (0, 1) with ``points`` entries."""
+    return [(j + 1) / (points + 1) for j in range(points)]
+
+
+def check_arbitrage_avoiding(
+    pricing: PricingFunction,
+    alphas: Optional[Sequence[float]] = None,
+    deltas: Optional[Sequence[float]] = None,
+    rel_tol: float = 1e-7,
+) -> ArbitrageReport:
+    """Test Theorem 4.2's three properties over an ``(α, δ)`` grid.
+
+    Property 1 (Lemma 4.1) is checked by bucketing grid products by
+    delivered variance and requiring equal prices inside a bucket.
+    Properties 2 and 3 are checked on every ordered pair along each grid
+    axis (not only adjacent points, since the paper states them for every
+    ``Δδ, Δα ≥ 0``).  Violations within ``rel_tol`` relative slack are
+    ignored to absorb float noise.
+    """
+    model = pricing.variance_model
+    alphas = sorted(alphas if alphas is not None else _default_grid(12))
+    deltas = sorted(deltas if deltas is not None else _default_grid(12))
+    report = ArbitrageReport()
+
+    # Property 1 (Lemma 4.1): identical variance => identical price.  For
+    # each grid product, construct a *different* product with exactly the
+    # same delivered variance by solving δ₂ = delta_for(V, α₂) and compare
+    # prices.
+    for a in alphas:
+        for d in deltas:
+            v = model.variance(a, d)
+            price = pricing.price(a, d)
+            for a2 in alphas:
+                if a2 <= a:
+                    continue
+                d2 = model.delta_for(v, a2)
+                if not 0.0 <= d2 < 1.0:
+                    continue
+                price2 = pricing.price(a2, d2)
+                if abs(price - price2) > rel_tol * max(abs(price), abs(price2)):
+                    report.violations.append(
+                        PropertyViolation(1, (a, d), (a2, d2), price, price2)
+                    )
+
+    # Property 2: fixed α, increasing δ (variance drops):
+    # (π1 − π0)/π1 ≥ (V0 − V1)/V0, i.e. π0·V0 ≤ π1·V1.
+    for a in alphas:
+        for i in range(len(deltas)):
+            for j in range(i + 1, len(deltas)):
+                d0, d1 = deltas[i], deltas[j]
+                lhs = pricing.price(a, d0) * model.variance(a, d0)
+                rhs = pricing.price(a, d1) * model.variance(a, d1)
+                if lhs > rhs * (1.0 + rel_tol):
+                    report.violations.append(
+                        PropertyViolation(2, (a, d0), (a, d1), lhs, rhs)
+                    )
+
+    # Property 3: fixed δ, increasing α (variance grows):
+    # (π0 − π1)/π0 ≤ (V1 − V0)/V1, i.e. π1·V1 ≥ π0·V0.
+    for d in deltas:
+        for i in range(len(alphas)):
+            for j in range(i + 1, len(alphas)):
+                a0, a1 = alphas[i], alphas[j]
+                lhs = pricing.price(a1, d) * model.variance(a1, d)
+                rhs = pricing.price(a0, d) * model.variance(a0, d)
+                if lhs < rhs * (1.0 - rel_tol):
+                    report.violations.append(
+                        PropertyViolation(3, (a0, d), (a1, d), lhs, rhs)
+                    )
+
+    report.attack = find_averaging_attack(
+        pricing,
+        target_alpha=alphas[0],
+        target_delta=deltas[-1],
+        candidate_alphas=alphas,
+        candidate_deltas=deltas,
+    )
+    if report.attack is None:
+        # Also probe a mid-grid target; tier edges often hide there.
+        report.attack = find_averaging_attack(
+            pricing,
+            target_alpha=alphas[len(alphas) // 2],
+            target_delta=deltas[len(deltas) // 2],
+            candidate_alphas=alphas,
+            candidate_deltas=deltas,
+        )
+    return report
+
+
+def find_averaging_attack(
+    pricing: PricingFunction,
+    target_alpha: float,
+    target_delta: float,
+    candidate_alphas: Optional[Sequence[float]] = None,
+    candidate_deltas: Optional[Sequence[float]] = None,
+    max_copies: int = 256,
+    min_relative_savings: float = 1e-9,
+) -> Optional[ArbitrageAttack]:
+    """Search for the Example 4.1 averaging attack against one target.
+
+    For each candidate product with variance ``V' > V_target``, the minimal
+    number of copies whose average reaches the target variance is
+    ``m = ceil(V'/V_target)``; the attack succeeds when ``m ≤ max_copies``
+    and ``m·π'`` undercuts ``π_target`` by at least the relative margin
+    ``min_relative_savings`` (a float-noise guard).  Returns the cheapest
+    successful attack, or ``None`` when the sheet resists every candidate.
+    """
+    model = pricing.variance_model
+    candidate_alphas = list(candidate_alphas if candidate_alphas is not None
+                            else _default_grid(12))
+    candidate_deltas = list(candidate_deltas if candidate_deltas is not None
+                            else _default_grid(12))
+    target_variance = model.variance(target_alpha, target_delta)
+    target_price = pricing.price(target_alpha, target_delta)
+
+    best: Optional[ArbitrageAttack] = None
+    for a in candidate_alphas:
+        for d in candidate_deltas:
+            variance = model.variance(a, d)
+            if variance <= target_variance * (1.0 + _REL_TOL):
+                continue  # not a cheaper/worse product; no arbitrage angle
+            copies = math.ceil(variance / target_variance - _REL_TOL)
+            if copies < 1 or copies > max_copies:
+                continue
+            total = copies * pricing.price(a, d)
+            if total < target_price * (1.0 - min_relative_savings):
+                attack = ArbitrageAttack(
+                    target=(target_alpha, target_delta),
+                    purchase=(a, d),
+                    copies=copies,
+                    total_price=total,
+                    target_price=target_price,
+                    achieved_variance=variance / copies,
+                    target_variance=target_variance,
+                )
+                if best is None or attack.total_price < best.total_price:
+                    best = attack
+    return best
+
+
+def evaluate_portfolio(
+    pricing: PricingFunction,
+    purchases: Sequence[Tuple[float, float]],
+) -> Tuple[float, float]:
+    """Total price and averaged variance of an arbitrary purchase list.
+
+    Implements Formula (4) for a heterogeneous portfolio: averaging ``m``
+    independent answers yields variance ``(1/m²)·Σ V_i``.  Returns
+    ``(total_price, averaged_variance)`` so callers can compare any
+    hand-crafted strategy against a list price.
+    """
+    if not purchases:
+        raise ValueError("portfolio must contain at least one purchase")
+    model = pricing.variance_model
+    total_price = sum(pricing.price(a, d) for a, d in purchases)
+    averaged = model.averaged_variance([model.variance(a, d) for a, d in purchases])
+    return total_price, averaged

@@ -1,0 +1,220 @@
+"""Pricing functions for traded ``(α, δ)``-range-counting products.
+
+Theorem 4.2 characterizes arbitrage-avoiding prices: ``π`` must be a
+function of the delivered variance (``π = ψ(V)``), and its relative changes
+must track the relative changes of ``V`` from both sides (properties 2 and
+3).  Algebraically the two properties state that ``V·ψ(V)`` is
+non-increasing *and* non-decreasing in ``V`` -- i.e. constant -- so the
+arbitrage-avoiding family is exactly the inverse-variance prices
+
+    π(α, δ) = c / V(α, δ).
+
+This module implements that family (:class:`InverseVariancePricing`)
+together with deliberately *broken* families used as foils in tests and the
+A2 ablation bench:
+
+* :class:`PowerLawVariancePricing` -- ``c·V^{−s}``; violates property 2 for
+  ``s < 1`` and property 3 (plus the averaging attack) for ``s > 1``.
+* :class:`LinearAccuracyPricing` -- an intuitive "pay per accuracy" sheet
+  that is not even a function of ``V``.
+* :class:`TieredPricing` -- a stepped price book; constant inside a tier,
+  so relative price change is 0 while variance changes.
+"""
+
+from __future__ import annotations
+
+import abc
+import bisect
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import PricingError
+from repro.pricing.variance_model import VarianceModel
+
+__all__ = [
+    "PricingFunction",
+    "InverseVariancePricing",
+    "PowerLawVariancePricing",
+    "LinearAccuracyPricing",
+    "TieredPricing",
+]
+
+
+class PricingFunction(abc.ABC):
+    """Interface of a price sheet over ``(α, δ)`` products.
+
+    Concrete classes are bound to a :class:`VarianceModel` so prices and
+    variances are always expressed against the same dataset size.
+    """
+
+    def __init__(self, variance_model: VarianceModel):
+        self.variance_model = variance_model
+
+    @property
+    @abc.abstractmethod
+    def name(self) -> str:
+        """Human-readable name used in reports and benches."""
+
+    @abc.abstractmethod
+    def price(self, alpha: float, delta: float) -> float:
+        """Quoted price for an ``(α, δ)`` product; must be positive."""
+
+    def price_of_variance(self, variance: float) -> float:
+        """Price as a function of delivered variance, when well-defined.
+
+        Default implementation prices the ``(α, δ)`` pair at δ = 0 whose
+        variance matches; subclasses that are genuinely ``ψ(V)`` override
+        with the direct form.
+        """
+        alpha = self.variance_model.alpha_for(variance, 0.0)
+        return self.price(alpha, 0.0)
+
+
+@dataclass(frozen=True)
+class _Quote:
+    """Internal helper pairing a product with its price and variance."""
+
+    alpha: float
+    delta: float
+    price: float
+    variance: float
+
+
+class InverseVariancePricing(PricingFunction):
+    """The arbitrage-avoiding family: ``π(α, δ) = c / V(α, δ)``.
+
+    ``c`` (``base_price``) is the price of a product with unit delivered
+    variance; Theorem 4.2's properties 2 and 3 hold with equality, and the
+    averaging attack of Example 4.1 can never undercut the list price.
+    """
+
+    def __init__(self, variance_model: VarianceModel, base_price: float = 1.0):
+        super().__init__(variance_model)
+        if base_price <= 0:
+            raise PricingError(f"base_price must be positive, got {base_price}")
+        self.base_price = base_price
+
+    @property
+    def name(self) -> str:
+        return "InverseVariance"
+
+    def price(self, alpha: float, delta: float) -> float:
+        return self.base_price / self.variance_model.variance(alpha, delta)
+
+    def price_of_variance(self, variance: float) -> float:
+        if variance <= 0:
+            raise PricingError("variance must be positive")
+        return self.base_price / variance
+
+
+class PowerLawVariancePricing(PricingFunction):
+    """``π(α, δ) = c · V(α, δ)^{−s}`` -- arbitrage-avoiding only at s = 1.
+
+    For ``s > 1`` the price falls too fast with variance: buying ``m``
+    answers at variance ``m·V`` costs ``m^{1−s} < 1`` times the list price
+    of variance ``V`` (a working averaging attack).  For ``s < 1`` property
+    2 of Theorem 4.2 fails (δ upgrades are under-priced relative to the
+    variance gain), which the checker detects even though the *uniform*
+    averaging attack alone cannot exploit it.
+    """
+
+    def __init__(
+        self,
+        variance_model: VarianceModel,
+        base_price: float = 1.0,
+        exponent: float = 2.0,
+    ):
+        super().__init__(variance_model)
+        if base_price <= 0:
+            raise PricingError(f"base_price must be positive, got {base_price}")
+        if exponent <= 0:
+            raise PricingError(f"exponent must be positive, got {exponent}")
+        self.base_price = base_price
+        self.exponent = exponent
+
+    @property
+    def name(self) -> str:
+        return f"PowerLaw(s={self.exponent:g})"
+
+    def price(self, alpha: float, delta: float) -> float:
+        variance = self.variance_model.variance(alpha, delta)
+        return self.base_price * variance ** (-self.exponent)
+
+    def price_of_variance(self, variance: float) -> float:
+        if variance <= 0:
+            raise PricingError("variance must be positive")
+        return self.base_price * variance ** (-self.exponent)
+
+
+class LinearAccuracyPricing(PricingFunction):
+    """A naive sheet: ``π = base + slope_alpha·(1 − α) + slope_delta·δ``.
+
+    Monotone the intuitive way (smaller α and larger δ cost more) but not a
+    function of the variance, so Lemma 4.1 already rules it out: two
+    products with identical delivered variance get different prices, and
+    the cheaper one substitutes for the dearer.
+    """
+
+    def __init__(
+        self,
+        variance_model: VarianceModel,
+        base: float = 1.0,
+        slope_alpha: float = 10.0,
+        slope_delta: float = 10.0,
+    ):
+        super().__init__(variance_model)
+        if base <= 0 or slope_alpha < 0 or slope_delta < 0:
+            raise PricingError("base must be positive and slopes non-negative")
+        self.base = base
+        self.slope_alpha = slope_alpha
+        self.slope_delta = slope_delta
+
+    @property
+    def name(self) -> str:
+        return "LinearAccuracy"
+
+    def price(self, alpha: float, delta: float) -> float:
+        return self.base + self.slope_alpha * (1.0 - alpha) + self.slope_delta * delta
+
+
+class TieredPricing(PricingFunction):
+    """A stepped price book over variance tiers.
+
+    ``tiers`` maps descending variance thresholds to prices: the quoted
+    price is that of the first tier whose threshold is at least the
+    delivered variance.  Constant within a tier, so property 2 fails at any
+    within-tier δ upgrade -- a realistic "bronze/silver/gold" sheet that is
+    nonetheless arbitrageable at tier edges.
+    """
+
+    def __init__(
+        self,
+        variance_model: VarianceModel,
+        tiers: Sequence[Tuple[float, float]],
+    ):
+        super().__init__(variance_model)
+        if not tiers:
+            raise PricingError("at least one (variance_threshold, price) tier needed")
+        ordered = sorted(tiers, key=lambda t: t[0])
+        for threshold, price in ordered:
+            if threshold <= 0 or price <= 0:
+                raise PricingError("tier thresholds and prices must be positive")
+        # Ascending thresholds; prices should descend as variance grows.
+        self._thresholds = [t for t, _ in ordered]
+        self._prices = [q for _, q in ordered]
+
+    @property
+    def name(self) -> str:
+        return f"Tiered({len(self._thresholds)})"
+
+    def price(self, alpha: float, delta: float) -> float:
+        return self.price_of_variance(self.variance_model.variance(alpha, delta))
+
+    def price_of_variance(self, variance: float) -> float:
+        if variance <= 0:
+            raise PricingError("variance must be positive")
+        idx = bisect.bisect_left(self._thresholds, variance)
+        if idx >= len(self._thresholds):
+            # Worse than the coarsest tier: charge the cheapest price.
+            idx = len(self._thresholds) - 1
+        return self._prices[idx]

@@ -1,0 +1,100 @@
+"""Billing ledger: the broker's transaction log and revenue accounting.
+
+The marketplace (Section II-A) charges each consumer ``π(α, δ)`` per
+answered query.  :class:`BillingLedger` records every sale immutably so the
+broker can audit revenue per consumer, per dataset, and over time, and so
+the arbitrage benches can total an adversary's actual spending.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import LedgerError
+
+__all__ = ["Transaction", "BillingLedger"]
+
+
+@dataclass(frozen=True)
+class Transaction:
+    """One completed sale of an ``(α, δ)`` product."""
+
+    transaction_id: int
+    consumer: str
+    dataset: str
+    alpha: float
+    delta: float
+    price: float
+    epsilon_prime: float
+
+    def __post_init__(self) -> None:
+        if self.price < 0:
+            raise LedgerError("price must be non-negative")
+        if self.epsilon_prime < 0:
+            raise LedgerError("epsilon_prime must be non-negative")
+
+
+@dataclass
+class BillingLedger:
+    """Append-only transaction log with aggregate views."""
+
+    _transactions: List[Transaction] = field(default_factory=list)
+    _ids: "itertools.count[int]" = field(default_factory=lambda: itertools.count(1))
+
+    def record(
+        self,
+        consumer: str,
+        dataset: str,
+        alpha: float,
+        delta: float,
+        price: float,
+        epsilon_prime: float,
+    ) -> Transaction:
+        """Append a sale and return the immutable transaction record."""
+        txn = Transaction(
+            transaction_id=next(self._ids),
+            consumer=consumer,
+            dataset=dataset,
+            alpha=alpha,
+            delta=delta,
+            price=price,
+            epsilon_prime=epsilon_prime,
+        )
+        self._transactions.append(txn)
+        return txn
+
+    def __len__(self) -> int:
+        return len(self._transactions)
+
+    @property
+    def transactions(self) -> Tuple[Transaction, ...]:
+        """Immutable view of every recorded sale, oldest first."""
+        return tuple(self._transactions)
+
+    def total_revenue(self) -> float:
+        """Sum of all sale prices."""
+        return sum(t.price for t in self._transactions)
+
+    def revenue_by_consumer(self) -> Dict[str, float]:
+        """Total spend per consumer name."""
+        totals: Dict[str, float] = {}
+        for t in self._transactions:
+            totals[t.consumer] = totals.get(t.consumer, 0.0) + t.price
+        return totals
+
+    def revenue_by_dataset(self) -> Dict[str, float]:
+        """Total revenue per dataset key."""
+        totals: Dict[str, float] = {}
+        for t in self._transactions:
+            totals[t.dataset] = totals.get(t.dataset, 0.0) + t.price
+        return totals
+
+    def spend_of(self, consumer: str) -> float:
+        """Total spend of one consumer."""
+        return sum(t.price for t in self._transactions if t.consumer == consumer)
+
+    def purchases_of(self, consumer: str) -> Tuple[Transaction, ...]:
+        """All transactions of one consumer, oldest first."""
+        return tuple(t for t in self._transactions if t.consumer == consumer)

@@ -1,0 +1,84 @@
+"""The variance model ``V(α, δ)`` that pricing is defined over.
+
+Lemma 4.1 shows an arbitrage-avoiding price must be a function of the
+delivered variance alone: ``π(α, δ) = ψ(V(α, δ))``.  This module gives
+``V`` a concrete, Chebyshev-calibrated form,
+
+    V(α, δ) = (α·n)² · (1 − δ),
+
+the largest variance for which Chebyshev's inequality still certifies
+``Pr[|err| ≤ αn] ≥ δ``.  ``V`` decreases in δ and increases in α, matching
+Section IV's monotonicity requirements, and the model exposes the inverse
+maps used by attack construction (which (α, δ) products deliver a wanted
+variance).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.estimators.variance import delivered_variance
+
+__all__ = ["VarianceModel"]
+
+
+@dataclass(frozen=True)
+class VarianceModel:
+    """Delivered-variance model for a dataset of ``n`` records.
+
+    Parameters
+    ----------
+    n:
+        Total record count of the dataset being traded over; fixes the
+        absolute scale ``(αn)²``.
+    """
+
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0:
+            raise ValueError("n must be a positive record count")
+
+    def variance(self, alpha: float, delta: float) -> float:
+        """``V(α, δ) = (αn)²(1 − δ)``."""
+        return delivered_variance(alpha, delta, self.n)
+
+    def alpha_for(self, variance: float, delta: float) -> float:
+        """The tolerance α whose ``(α, δ)`` product delivers ``variance``.
+
+        Inverse of :meth:`variance` in its first argument:
+        ``α = √(variance / (1 − δ)) / n``.
+        """
+        if variance <= 0:
+            raise ValueError("variance must be positive")
+        if not 0.0 <= delta < 1.0:
+            raise ValueError(f"delta must be in [0, 1), got {delta}")
+        return math.sqrt(variance / (1.0 - delta)) / self.n
+
+    def delta_for(self, variance: float, alpha: float) -> float:
+        """The confidence δ whose ``(α, δ)`` product delivers ``variance``.
+
+        Inverse of :meth:`variance` in its second argument:
+        ``δ = 1 − variance / (αn)²``.  May be negative when the requested
+        variance exceeds what any δ ≥ 0 delivers at this α.
+        """
+        if variance <= 0:
+            raise ValueError("variance must be positive")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        return 1.0 - variance / ((alpha * self.n) ** 2)
+
+    def averaged_variance(self, variances: "list[float] | tuple[float, ...]") -> float:
+        """Variance of the mean of independent answers: ``(1/m²)·Σ V_i``.
+
+        This is the composition operator ``↦`` of Definition 2.3 /
+        Formula (4): an arbitrageur averages ``m`` purchased answers.
+        """
+        if len(variances) == 0:
+            raise ValueError("need at least one purchased variance")
+        for v in variances:
+            if v <= 0:
+                raise ValueError("variances must be positive")
+        m = len(variances)
+        return sum(variances) / (m * m)

@@ -1,0 +1,55 @@
+"""Differential-privacy layer (paper Sections II-C, III-B).
+
+* :class:`LaplaceMechanism` / :class:`GeometricMechanism` -- from-scratch
+  noise mechanisms with exact tail algebra.
+* :func:`amplified_epsilon` -- Lemma 3.4 privacy amplification by sampling.
+* :func:`optimize_privacy_plan` -- optimization problem (3): the smallest
+  amplified budget ε′ subject to the consumer's ``(α, δ)`` target.
+* :class:`BudgetAccountant` -- per-dataset ε ledger with composition rules.
+"""
+
+from repro.privacy.amplification import (
+    amplification_gain,
+    amplified_epsilon,
+    required_base_epsilon,
+)
+from repro.privacy.budget import BudgetAccountant, BudgetEntry
+from repro.privacy.composition import (
+    advanced_composition,
+    parallel_composition,
+    sequential_composition,
+)
+from repro.privacy.geometric import GeometricMechanism, geometric_tail_within
+from repro.privacy.laplace import (
+    LaplaceMechanism,
+    epsilon_for_tail,
+    laplace_scale,
+    laplace_tail_within,
+    sample_laplace,
+)
+from repro.privacy.optimizer import (
+    PrivacyPlan,
+    SensitivityPolicy,
+    optimize_privacy_plan,
+)
+
+__all__ = [
+    "amplified_epsilon",
+    "required_base_epsilon",
+    "amplification_gain",
+    "BudgetAccountant",
+    "BudgetEntry",
+    "sequential_composition",
+    "parallel_composition",
+    "advanced_composition",
+    "GeometricMechanism",
+    "geometric_tail_within",
+    "LaplaceMechanism",
+    "laplace_scale",
+    "laplace_tail_within",
+    "epsilon_for_tail",
+    "sample_laplace",
+    "PrivacyPlan",
+    "SensitivityPolicy",
+    "optimize_privacy_plan",
+]

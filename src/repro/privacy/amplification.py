@@ -1,0 +1,66 @@
+"""Privacy amplification by subsampling (paper Lemma 3.4).
+
+If a mechanism ``φ`` is ε-differentially private and ``S(·)`` draws
+independent Bernoulli(p) samples, then the composition ``φ(S(·))`` is
+ε′-differentially private with
+
+    ε′ = ln(1 − p + p·e^ε).
+
+The amplified ε′ is strictly smaller than ε for ``p < 1`` -- sampling itself
+hides individuals.  The paper's two-phase pipeline reports ε′ as its final
+privacy guarantee; the optimizer minimizes it.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["amplified_epsilon", "required_base_epsilon", "amplification_gain"]
+
+
+def amplified_epsilon(epsilon: float, p: float) -> float:
+    """Lemma 3.4: effective budget ``ε' = ln(1 − p + p·e^ε)``.
+
+    ``p = 1`` returns ε unchanged; ``p = 0`` returns 0 (nothing about the
+    data is used, perfect privacy).
+    """
+    if epsilon < 0:
+        raise ValueError(f"epsilon must be non-negative, got {epsilon}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"sampling probability must be in [0, 1], got {p}")
+    if p == 0.0:
+        return 0.0
+    if epsilon > 30.0:
+        # e^ε would overflow / dominate: ln(1 − p + p·e^ε) = ε + ln(p + (1 − p)e^{−ε}).
+        return epsilon + math.log(p + (1.0 - p) * math.exp(-epsilon))
+    # log1p(p·(e^ε − 1)) is numerically stable for small p and ε.
+    return math.log1p(p * math.expm1(epsilon))
+
+
+def required_base_epsilon(target_epsilon_prime: float, p: float) -> float:
+    """Invert Lemma 3.4: the base ε whose amplification equals the target.
+
+    ``ε = ln(1 + (e^{ε′} − 1)/p)``.  Raises if ``p == 0`` and the target is
+    positive, since no base budget can then produce a nonzero ε′.
+    """
+    if target_epsilon_prime < 0:
+        raise ValueError("target epsilon' must be non-negative")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"sampling probability must be in [0, 1], got {p}")
+    if target_epsilon_prime == 0.0:
+        return 0.0
+    if p == 0.0:
+        raise ValueError("p = 0 amplifies every base epsilon to 0")
+    return math.log1p(math.expm1(target_epsilon_prime) / p)
+
+
+def amplification_gain(epsilon: float, p: float) -> float:
+    """Multiplicative privacy gain ``ε / ε′`` from sampling at rate ``p``.
+
+    Returns ``inf`` when the amplified budget is 0 (p or ε is 0) while the
+    convention ``0/0 = 1`` covers the degenerate ε = 0, p = 0 corner.
+    """
+    eps_prime = amplified_epsilon(epsilon, p)
+    if eps_prime == 0.0:
+        return 1.0 if epsilon == 0.0 else math.inf
+    return epsilon / eps_prime

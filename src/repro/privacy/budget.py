@@ -1,0 +1,95 @@
+"""Privacy-budget accounting for the data broker.
+
+The IoT network "entrusts the protection of data privacy to the data
+broker" (Section II-A).  A broker that answers unlimited queries leaks
+unbounded information, so production deployments cap the cumulative budget
+per dataset.  :class:`BudgetAccountant` tracks, per dataset key, the ε′
+spent by every released answer under sequential composition and refuses
+releases that would overspend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import PrivacyBudgetExceededError
+from repro.privacy.composition import sequential_composition
+
+__all__ = ["BudgetAccountant", "BudgetEntry"]
+
+
+@dataclass(frozen=True)
+class BudgetEntry:
+    """One recorded expenditure: the query label and the ε′ it consumed."""
+
+    label: str
+    epsilon: float
+
+
+@dataclass
+class BudgetAccountant:
+    """Per-dataset sequential-composition ε ledger.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum cumulative ε′ allowed per dataset key.  ``float('inf')``
+        (the default) disables enforcement but still records spending, which
+        is how the experiment harness audits total leakage.
+    """
+
+    capacity: float = float("inf")
+    _spent: Dict[str, List[BudgetEntry]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 0:
+            raise ValueError("capacity must be non-negative")
+
+    def spent(self, dataset: str) -> float:
+        """Total ε′ spent so far against ``dataset``."""
+        entries = self._spent.get(dataset, [])
+        if not entries:
+            return 0.0
+        return sequential_composition([e.epsilon for e in entries])
+
+    def remaining(self, dataset: str) -> float:
+        """Budget headroom left for ``dataset``."""
+        return self.capacity - self.spent(dataset)
+
+    def can_afford(self, dataset: str, epsilon: float) -> bool:
+        """Whether charging ``epsilon`` against ``dataset`` would fit."""
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        return self.spent(dataset) + epsilon <= self.capacity + 1e-12
+
+    def charge(self, dataset: str, epsilon: float, label: str = "query") -> float:
+        """Record an expenditure; returns the new cumulative total.
+
+        Raises
+        ------
+        PrivacyBudgetExceededError
+            If the charge would push the dataset past :attr:`capacity`.
+        """
+        if epsilon < 0:
+            raise ValueError("epsilon must be non-negative")
+        if not self.can_afford(dataset, epsilon):
+            raise PrivacyBudgetExceededError(
+                f"dataset {dataset!r}: charging ε={epsilon:.6g} would exceed "
+                f"capacity {self.capacity:.6g} (already spent "
+                f"{self.spent(dataset):.6g})"
+            )
+        self._spent.setdefault(dataset, []).append(BudgetEntry(label, epsilon))
+        return self.spent(dataset)
+
+    def history(self, dataset: str) -> Tuple[BudgetEntry, ...]:
+        """Immutable view of the expenditures recorded for ``dataset``."""
+        return tuple(self._spent.get(dataset, ()))
+
+    def datasets(self) -> Tuple[str, ...]:
+        """Dataset keys with at least one recorded expenditure."""
+        return tuple(self._spent)
+
+    def reset(self, dataset: str) -> None:
+        """Forget all spending for ``dataset`` (e.g. after data rotation)."""
+        self._spent.pop(dataset, None)

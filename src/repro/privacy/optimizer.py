@@ -1,0 +1,216 @@
+"""Optimization problem (3): the strongest DP under an accuracy constraint.
+
+Paper Section III-B.  Given a consumer target ``(α, δ)`` and samples already
+collected at rate ``p`` over ``k`` nodes and ``n`` records, the broker picks
+an intermediate accuracy ``(α', δ')`` and a Laplace budget ``ε`` so the
+noisy answer is still an ``(α, δ)``-range counting, minimizing the
+*amplified* budget ``ε' = ln(1 + p(e^ε − 1))``:
+
+    min   ε' = ln(1 + p·(e^ε − 1))
+    s.t.  (√(2k)/(α'n)) · (2/√(1 − δ'))  ≤  p          (sample supports α', δ')
+          α' ≤ α,   δ ≤ δ'
+          Pr[|Lap(ε)| ≤ (α − α')·n]  ≥  δ/δ'           (noise leaves room)
+          ε ≥ 0
+
+For a fixed ``α'``, ``δ'`` is pinned by the existing sample
+(``δ' = 1 − 8k/(α'np)²``, the inverse of Theorem 3.3) and the minimal ε has
+the closed form ``ε = (Δγ̂/((α − α')n)) · ln(δ'/(δ' − δ))``.  The optimizer
+discretizes ``α'`` over its feasible open interval and returns the grid
+minimizer of ε′ (the paper: "we can approximate it to a discrete domain
+with arbitrarily small intervals").
+
+Note on the constraint direction: the paper's prose once states
+``Pr[|Lap(ε)| ≤ (α−α')n] ≤ δ/δ'`` but its derived closed form corresponds
+to ``≥ δ/δ'`` -- the noise must be *small* with sufficient probability.  We
+implement the ``≥`` direction, which matches the closed form (DESIGN.md
+item 3.2).
+
+Sensitivity: the paper argues the worst case ``Δγ̂ = n_i`` destroys utility
+and adopts the expectation ``Δγ̂ = 1/p``; both are available via
+:class:`SensitivityPolicy`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import InfeasiblePlanError
+from repro.estimators.calibration import (
+    achieved_delta,
+    min_feasible_alpha,
+    validate_accuracy,
+)
+from repro.privacy.amplification import amplified_epsilon
+from repro.privacy.laplace import epsilon_for_tail
+
+__all__ = ["SensitivityPolicy", "PrivacyPlan", "optimize_privacy_plan"]
+
+
+class SensitivityPolicy(enum.Enum):
+    """How the broker bounds the sensitivity ``Δγ̂`` of the sampled estimate.
+
+    ``EXPECTED`` uses the paper's fair choice ``1/p`` (removing one record
+    shifts the estimate by ``1/p`` in expectation); ``WORST_CASE`` uses the
+    largest per-node size ``max_i n_i``, which the paper notes "will totally
+    destroy the aggregation utility" but is offered for ablation A3.
+    """
+
+    EXPECTED = "expected"
+    WORST_CASE = "worst_case"
+
+
+@dataclass(frozen=True)
+class PrivacyPlan:
+    """The optimizer's output: everything needed to release one answer.
+
+    Attributes
+    ----------
+    alpha, delta:
+        The consumer's accuracy target.
+    alpha_prime, delta_prime:
+        The intermediate accuracy of the sampling phase.
+    epsilon:
+        Laplace budget of the perturbation phase.
+    epsilon_prime:
+        Final amplified privacy guarantee (Lemma 3.4) -- the objective.
+    sensitivity:
+        The Δγ̂ used to scale the noise.
+    noise_scale:
+        Laplace scale ``b = sensitivity / epsilon``.
+    p, k, n:
+        Sample rate, node count, total record count the plan was built for.
+    """
+
+    alpha: float
+    delta: float
+    alpha_prime: float
+    delta_prime: float
+    epsilon: float
+    epsilon_prime: float
+    sensitivity: float
+    noise_scale: float
+    p: float
+    k: int
+    n: int
+
+    @property
+    def noise_tolerance(self) -> float:
+        """The absolute error head-room reserved for noise: ``(α − α')·n``."""
+        return (self.alpha - self.alpha_prime) * self.n
+
+    @property
+    def noise_variance(self) -> float:
+        """Variance of the Laplace noise this plan injects: ``2b²``."""
+        return 2.0 * self.noise_scale * self.noise_scale
+
+
+def _resolve_sensitivity(
+    policy: SensitivityPolicy,
+    p: float,
+    max_node_size: Optional[int],
+) -> float:
+    if policy is SensitivityPolicy.EXPECTED:
+        return 1.0 / p
+    if max_node_size is None:
+        raise ValueError("WORST_CASE sensitivity requires max_node_size")
+    if max_node_size <= 0:
+        raise ValueError("max_node_size must be positive")
+    return float(max_node_size)
+
+
+def optimize_privacy_plan(
+    alpha: float,
+    delta: float,
+    p: float,
+    k: int,
+    n: int,
+    grid_points: int = 512,
+    sensitivity_policy: SensitivityPolicy = SensitivityPolicy.EXPECTED,
+    max_node_size: Optional[int] = None,
+) -> PrivacyPlan:
+    """Solve optimization problem (3) by grid search over ``α'``.
+
+    Parameters
+    ----------
+    alpha, delta:
+        Consumer accuracy target, ``0 < α ≤ 1``, ``0 ≤ δ < 1``.
+    p:
+        Sampling rate of the already-collected sample.
+    k, n:
+        Node count and total record count.
+    grid_points:
+        Resolution of the ``α'`` discretization.
+    sensitivity_policy, max_node_size:
+        How to bound ``Δγ̂`` (see :class:`SensitivityPolicy`).
+
+    Returns
+    -------
+    PrivacyPlan
+        The grid point minimizing the amplified budget ε′.
+
+    Raises
+    ------
+    InfeasiblePlanError
+        If no ``α'`` in the open feasible interval yields ``δ' > δ`` -- the
+        sample is too sparse for the target and must be topped up first.
+    """
+    validate_accuracy(alpha, delta)
+    if delta <= 0.0:
+        # δ = 0 makes the tail constraint vacuous (any noise qualifies), so
+        # the infimum ε → 0 is not attained; planning needs a real target.
+        raise ValueError("delta must be positive to plan a private release")
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"sampling probability must be in (0, 1], got {p}")
+    if k <= 0 or n <= 0:
+        raise ValueError("k and n must be positive")
+    if grid_points < 2:
+        raise ValueError("grid_points must be at least 2")
+
+    sensitivity = _resolve_sensitivity(sensitivity_policy, p, max_node_size)
+
+    # Feasible α' interval: the sample must certify δ'(α') > δ, which needs
+    # α' > α_min(δ); noise head-room needs α' < α strictly.
+    alpha_floor = min_feasible_alpha(p, k, n, delta)
+    if alpha_floor >= alpha:
+        raise InfeasiblePlanError(
+            f"sample at rate p={p:.6g} cannot support any intermediate "
+            f"accuracy below alpha={alpha:.6g} with delta'={delta:.6g} "
+            f"headroom (needs alpha' > {alpha_floor:.6g}); top up samples"
+        )
+
+    best: Optional[PrivacyPlan] = None
+    span = alpha - alpha_floor
+    for j in range(1, grid_points):
+        alpha_prime = alpha_floor + span * j / grid_points
+        delta_prime = achieved_delta(p, alpha_prime, k, n)
+        if delta_prime <= delta:
+            continue
+        tolerance = (alpha - alpha_prime) * n
+        if tolerance <= 0:
+            continue
+        # Pr[|Lap| <= tolerance] >= delta/delta'  =>  closed-form minimal ε.
+        epsilon = epsilon_for_tail(sensitivity, tolerance, delta / delta_prime)
+        epsilon_prime = amplified_epsilon(epsilon, p)
+        if best is None or epsilon_prime < best.epsilon_prime:
+            best = PrivacyPlan(
+                alpha=alpha,
+                delta=delta,
+                alpha_prime=alpha_prime,
+                delta_prime=delta_prime,
+                epsilon=epsilon,
+                epsilon_prime=epsilon_prime,
+                sensitivity=sensitivity,
+                noise_scale=sensitivity / epsilon,
+                p=p,
+                k=k,
+                n=n,
+            )
+    if best is None:
+        raise InfeasiblePlanError(
+            f"no grid point in ({alpha_floor:.6g}, {alpha:.6g}) achieves "
+            f"delta' > {delta:.6g} at p={p:.6g}; top up samples"
+        )
+    return best

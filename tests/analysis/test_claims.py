@@ -1,0 +1,70 @@
+"""Unit tests for the programmatic claims runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.claims import CLAIMS, ClaimResult, Scale, claims_table, run_claims
+
+SMALL = Scale(n=2000, k=4, trials=300, seed=7)
+
+
+class TestClaimStructure:
+    def test_claim_ids_unique(self):
+        ids = [c.claim_id for c in CLAIMS]
+        assert len(set(ids)) == len(ids)
+
+    def test_every_claim_has_statement_and_section(self):
+        for claim in CLAIMS:
+            assert claim.statement
+            assert claim.section
+
+    def test_claim_count(self):
+        # One entry per theorem/lemma/figure-trend claim (see DESIGN.md).
+        assert len(CLAIMS) == 13
+
+
+class TestRunClaims:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_claims(SMALL)
+
+    def test_all_claims_pass_at_small_scale(self, results):
+        failed = [r for r in results if not r.passed]
+        assert not failed, [f"{r.claim_id}: {r.evidence}" for r in failed]
+
+    def test_results_ordered(self, results):
+        assert [r.claim_id for r in results] == [c.claim_id for c in CLAIMS]
+
+    def test_evidence_populated(self, results):
+        assert all(r.evidence for r in results)
+
+    def test_results_deterministic(self, results):
+        again = run_claims(SMALL)
+        assert [(r.claim_id, r.passed, r.evidence) for r in again] == [
+            (r.claim_id, r.passed, r.evidence) for r in results
+        ]
+
+
+class TestClaimsTable:
+    def test_table_renders_verdicts(self):
+        results = [
+            ClaimResult("C1", "Thm", "x", True, "ok"),
+            ClaimResult("C2", "Thm", "y", False, "bad"),
+        ]
+        table = claims_table(results)
+        assert "PASS" in table
+        assert "FAIL" in table
+
+
+class TestCliIntegration:
+    def test_verify_claims_command(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "verify-claims", "--records", "2000", "--devices", "4",
+            "--trials", "300", "--seed", "7",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "13/13 claims verified" in out

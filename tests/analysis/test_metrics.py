@@ -1,0 +1,90 @@
+"""Unit tests for metrics and workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    QueryWorkload,
+    make_workload,
+    max_relative_error,
+    mean_relative_error,
+    relative_error,
+)
+
+
+class TestRelativeError:
+    def test_basic(self):
+        assert relative_error(110.0, 100.0) == pytest.approx(0.1)
+
+    def test_zero_truth(self):
+        assert relative_error(3.0, 0.0) == pytest.approx(3.0)
+
+    def test_exact_is_zero(self):
+        assert relative_error(42.0, 42.0) == 0.0
+
+    def test_negative_truth_normalized_by_abs(self):
+        assert relative_error(-90.0, -100.0) == pytest.approx(0.1)
+
+
+class TestAggregates:
+    def test_max(self):
+        pairs = [(100.0, 100.0), (120.0, 100.0), (105.0, 100.0)]
+        assert max_relative_error(pairs) == pytest.approx(0.2)
+
+    def test_mean(self):
+        pairs = [(110.0, 100.0), (90.0, 100.0)]
+        assert mean_relative_error(pairs) == pytest.approx(0.1)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_relative_error([])
+        with pytest.raises(ValueError):
+            mean_relative_error([])
+
+
+class TestWorkload:
+    def test_parallel_validation(self):
+        with pytest.raises(ValueError):
+            QueryWorkload(ranges=((0.0, 1.0),), truths=())
+
+    def test_iteration(self):
+        wl = QueryWorkload(ranges=((0.0, 1.0), (2.0, 3.0)), truths=(5, 7))
+        items = list(wl)
+        assert items == [((0.0, 1.0), 5), ((2.0, 3.0), 7)]
+        assert len(wl) == 2
+
+
+class TestMakeWorkload:
+    def test_deterministic(self, rng):
+        values = rng.uniform(0, 100, 1000)
+        a = make_workload(values, num_queries=10, seed=5)
+        b = make_workload(values, num_queries=10, seed=5)
+        assert a.ranges == b.ranges
+        assert a.truths == b.truths
+
+    def test_truths_are_exact(self, rng):
+        values = rng.uniform(0, 100, 1000)
+        workload = make_workload(values, num_queries=15, seed=5)
+        for (low, high), truth in workload:
+            assert truth == int(np.count_nonzero((values >= low) & (values <= high)))
+
+    def test_selectivity_bounds_respected(self, rng):
+        values = rng.uniform(0, 100, 5000)
+        workload = make_workload(
+            values, num_queries=30, seed=2,
+            min_selectivity=0.2, max_selectivity=0.4,
+        )
+        for (_, __), truth in workload:
+            # Quantile-anchored ranges hit their selectivity up to ties.
+            assert 0.15 * 5000 < truth < 0.45 * 5000
+
+    def test_rejects_bad_args(self, rng):
+        values = rng.uniform(0, 1, 100)
+        with pytest.raises(ValueError):
+            make_workload(values, num_queries=0)
+        with pytest.raises(ValueError):
+            make_workload(values, min_selectivity=0.9, max_selectivity=0.1)
+        with pytest.raises(ValueError):
+            make_workload(np.array([]))

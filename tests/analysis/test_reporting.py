@@ -1,0 +1,99 @@
+"""Unit tests for ASCII reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import format_series, format_table, format_value
+
+
+class TestFormatValue:
+    def test_float_precision(self):
+        assert format_value(0.123456789) == "0.1235"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_bool_passthrough(self):
+        assert format_value(True) == "True"
+
+    def test_string_passthrough(self):
+        assert format_value("ozone") == "ozone"
+
+    def test_custom_precision(self):
+        assert format_value(0.123456789, precision=2) == "0.12"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert "----" in lines[1]
+        assert len(lines) == 4
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        table = format_table(["x"], [])
+        assert table.splitlines()[0] == "x"
+
+    def test_floats_formatted(self):
+        table = format_table(["v"], [[0.333333333]])
+        assert "0.3333" in table
+
+
+class TestFormatSeries:
+    def test_title_line(self):
+        out = format_series("fig2", [1, 2], [0.5, 0.25], "p", "err")
+        assert out.startswith("# fig2")
+        assert "p" in out and "err" in out
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1], [1, 2])
+
+
+class TestAsciiChart:
+    def test_shape(self):
+        from repro.analysis.reporting import ascii_chart
+
+        chart = ascii_chart([0, 1, 2], [5.0, 3.0, 1.0], width=20, height=5)
+        lines = chart.splitlines()
+        # 5 grid rows + x-axis rule + x labels.
+        assert len(lines) == 7
+        assert chart.count("*") == 3
+
+    def test_extremes_on_first_and_last_rows(self):
+        from repro.analysis.reporting import ascii_chart
+
+        chart = ascii_chart([0, 1], [0.0, 10.0], width=10, height=4)
+        lines = chart.splitlines()
+        assert "*" in lines[0]      # the max lands on the top row
+        assert "*" in lines[3]      # the min on the bottom row
+        assert "10" in lines[0]
+        assert "0" in lines[3]
+
+    def test_y_label(self):
+        from repro.analysis.reporting import ascii_chart
+
+        chart = ascii_chart([0, 1], [1, 2], y_label="err")
+        assert chart.splitlines()[0] == "err"
+
+    def test_constant_series(self):
+        from repro.analysis.reporting import ascii_chart
+
+        chart = ascii_chart([0, 1, 2], [4.0, 4.0, 4.0], width=12, height=4)
+        assert chart.count("*") >= 1  # degenerate span still renders
+
+    def test_validation(self):
+        from repro.analysis.reporting import ascii_chart
+
+        with pytest.raises(ValueError):
+            ascii_chart([1], [1, 2])
+        with pytest.raises(ValueError):
+            ascii_chart([], [])
+        with pytest.raises(ValueError):
+            ascii_chart([1], [1], width=2)

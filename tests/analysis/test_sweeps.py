@@ -1,0 +1,155 @@
+"""Unit tests for the experiment sweeps (small-scale versions of Figs 2-6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import (
+    SweepResult,
+    compare_estimators,
+    sweep_alpha_delta,
+    sweep_data_size,
+    sweep_p_privacy,
+    sweep_privacy_budget,
+    sweep_sampling_probability,
+)
+
+
+@pytest.fixture(scope="module")
+def values():
+    return np.random.default_rng(77).uniform(0, 150, 4000)
+
+
+class TestSweepResult:
+    def test_table_renders(self, values):
+        result = sweep_data_size(values, k=4, fractions=[0.5, 1.0])
+        table = result.table()
+        assert "fig4" in table
+        assert "fraction" in table
+
+    def test_column_extraction(self, values):
+        result = sweep_data_size(values, k=4, fractions=[0.5, 1.0])
+        assert result.column("fraction") == [0.5, 1.0]
+
+    def test_unknown_column_rejected(self, values):
+        result = sweep_data_size(values, k=4, fractions=[1.0])
+        with pytest.raises(KeyError):
+            result.column("nope")
+
+
+class TestFig2Sweep:
+    def test_rows_and_shape(self, values):
+        result = sweep_sampling_probability(
+            values, k=4, ps=[0.05, 0.2, 0.4], num_queries=6, trials=2
+        )
+        assert len(result.rows) == 3
+        errors = result.column("max_rel_err")
+        assert all(e >= 0 for e in errors)
+
+    def test_error_decreases_with_p(self, values):
+        result = sweep_sampling_probability(
+            values, k=4, ps=[0.02, 0.5], num_queries=8, trials=3
+        )
+        errors = result.column("max_rel_err")
+        assert errors[-1] < errors[0]
+
+    def test_expected_samples_scale(self, values):
+        result = sweep_sampling_probability(
+            values, k=4, ps=[0.1], num_queries=4, trials=1
+        )
+        assert result.column("expected_samples")[0] == pytest.approx(400.0)
+
+
+class TestFig3Sweep:
+    def test_rows(self, values):
+        result = sweep_alpha_delta(
+            values, k=4, levels=[0.1, 0.4, 0.8], num_queries=6, trials=2
+        )
+        assert len(result.rows) == 3
+        # alpha and delta sweep together.
+        assert result.column("alpha") == result.column("delta")
+
+    def test_p_decreases_with_level(self, values):
+        result = sweep_alpha_delta(
+            values, k=4, levels=[0.1, 0.8], num_queries=4, trials=1
+        )
+        ps = result.column("p")
+        assert ps[0] > ps[-1]
+
+
+class TestFig4Sweep:
+    def test_p_decays_with_n(self, values):
+        result = sweep_data_size(values, k=4, fractions=[0.1, 0.5, 1.0])
+        ps = result.column("p")
+        assert ps[0] > ps[1] > ps[2]
+
+    def test_expected_samples_flat(self, values):
+        """At the Theorem 3.3 rate, expected volume is n-independent once
+        unclipped."""
+        result = sweep_data_size(values, k=4, fractions=[0.5, 1.0])
+        volumes = result.column("expected_samples")
+        assert volumes[0] == pytest.approx(volumes[1], rel=0.01)
+
+    def test_rejects_bad_fraction(self, values):
+        with pytest.raises(ValueError):
+            sweep_data_size(values, k=4, fractions=[0.0])
+
+
+class TestFig5Sweep:
+    def test_rows_per_dataset_and_epsilon(self, values):
+        columns = {"a": values[:2000], "b": values[2000:]}
+        result = sweep_privacy_budget(
+            columns, k=4, epsilons=[0.1, 1.0], num_queries=4, trials=1
+        )
+        assert len(result.rows) == 4
+        datasets = set(result.column("dataset"))
+        assert datasets == {"a", "b"}
+
+    def test_error_decreases_with_epsilon(self, values):
+        result = sweep_privacy_budget(
+            {"a": values}, k=4, epsilons=[0.01, 5.0], num_queries=6, trials=3
+        )
+        errors = result.column("mean_rel_err")
+        assert errors[-1] < errors[0]
+
+    def test_rejects_bad_epsilon(self, values):
+        with pytest.raises(ValueError):
+            sweep_privacy_budget({"a": values}, k=4, epsilons=[0.0])
+
+    def test_rejects_bad_p(self, values):
+        with pytest.raises(ValueError):
+            sweep_privacy_budget({"a": values}, k=4, epsilons=[1.0], p=0.0)
+
+
+class TestFig6Sweep:
+    def test_grid_shape(self, values):
+        result = sweep_p_privacy(
+            values, k=4, ps=[0.1, 0.3], epsilons=[0.1, 1.0],
+            num_queries=4, trials=1,
+        )
+        assert len(result.rows) == 4
+
+    def test_error_decreases_with_p(self, values):
+        result = sweep_p_privacy(
+            values, k=4, ps=[0.03, 0.4], epsilons=[0.5],
+            num_queries=6, trials=3,
+        )
+        errors = result.column("mean_rel_err")
+        assert errors[-1] < errors[0]
+
+
+class TestEstimatorComparison:
+    def test_rows(self, values):
+        result = compare_estimators(
+            values, k=4, ps=[0.1, 0.3], num_queries=5, trials=2
+        )
+        assert len(result.rows) == 2
+
+    def test_bounds_reported(self, values):
+        result = compare_estimators(values, k=4, ps=[0.2], num_queries=4,
+                                    trials=1)
+        assert result.column("rank_var_bound")[0] == pytest.approx(8 * 4 / 0.04)
+        assert result.column("basic_var_bound")[0] == pytest.approx(
+            4000 * 0.8 / 0.2
+        )

@@ -1,0 +1,81 @@
+"""Unit tests for the named workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.workloads import (
+    band_workload,
+    narrow_workload,
+    shifted_workload,
+    wide_workload,
+)
+
+
+@pytest.fixture(scope="module")
+def values():
+    return np.random.default_rng(9).uniform(0.0, 200.0, 5000)
+
+
+class TestBandWorkload:
+    def test_default_bands_cover_domain(self, values):
+        workload = band_workload(values)
+        assert len(workload) == 4
+        assert sum(workload.truths) >= len(values) - 4  # edge overlaps
+
+    def test_truths_exact(self, values):
+        workload = band_workload(values, bands=[(10.0, 20.0)])
+        expected = int(np.count_nonzero((values >= 10.0) & (values <= 20.0)))
+        assert workload.truths[0] == expected
+
+    def test_rejects_inverted_band(self, values):
+        with pytest.raises(ValueError):
+            band_workload(values, bands=[(20.0, 10.0)])
+
+    def test_rejects_empty_column(self):
+        with pytest.raises(ValueError):
+            band_workload(np.array([]))
+
+
+class TestNarrowWorkload:
+    def test_small_true_counts(self, values):
+        workload = narrow_workload(values, num_queries=15, selectivity=0.01)
+        assert all(t <= 0.05 * len(values) for t in workload.truths)
+
+    def test_rejects_large_selectivity(self, values):
+        with pytest.raises(ValueError):
+            narrow_workload(values, selectivity=0.5)
+
+    def test_deterministic(self, values):
+        a = narrow_workload(values, seed=4)
+        b = narrow_workload(values, seed=4)
+        assert a.ranges == b.ranges
+
+
+class TestWideWorkload:
+    def test_large_true_counts(self, values):
+        workload = wide_workload(values, num_queries=15)
+        assert all(t >= 0.6 * len(values) for t in workload.truths)
+
+
+class TestShiftedWorkload:
+    def test_constant_mass(self, values):
+        workload = shifted_workload(values, band_selectivity=0.2, steps=10)
+        assert len(workload) == 10
+        n = len(values)
+        for truth in workload.truths:
+            assert 0.15 * n < truth < 0.25 * n
+
+    def test_pans_left_to_right(self, values):
+        workload = shifted_workload(values, band_selectivity=0.1, steps=8)
+        lows = [low for low, _ in workload.ranges]
+        assert lows == sorted(lows)
+
+    def test_rejects_bad_args(self, values):
+        with pytest.raises(ValueError):
+            shifted_workload(values, band_selectivity=1.0)
+        with pytest.raises(ValueError):
+            shifted_workload(values, steps=0)
+        with pytest.raises(ValueError):
+            shifted_workload(np.array([]))

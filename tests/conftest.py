@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.citypulse import generate_citypulse
+from repro.estimators.base import NodeData
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator, fresh per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def citypulse_small():
+    """A small (2 000-record) CityPulse surrogate shared across tests."""
+    return generate_citypulse(record_count=2000, seed=99)
+
+
+@pytest.fixture
+def uniform_nodes(rng):
+    """Five nodes holding uniform data on [0, 100), 200 records each."""
+    return [
+        NodeData(node_id=i + 1, values=rng.uniform(0.0, 100.0, 200))
+        for i in range(5)
+    ]
+
+
+@pytest.fixture
+def skewed_nodes(rng):
+    """Four nodes with Zipf-like duplicated integer-valued data."""
+    return [
+        NodeData(node_id=i + 1, values=rng.zipf(1.8, 150).astype(np.float64))
+        for i in range(4)
+    ]

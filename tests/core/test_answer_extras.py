@@ -1,0 +1,109 @@
+"""Tests for answer confidence intervals, batching, and NaN rejection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import AccuracySpec, RangeQuery
+from repro.core.service import PrivateRangeCountingService
+from repro.estimators.base import NodeData
+
+
+@pytest.fixture(scope="module")
+def service():
+    values = np.random.default_rng(8).uniform(0, 100, 4000)
+    return PrivateRangeCountingService.from_values(
+        values, k=8, dataset="default", seed=8
+    )
+
+
+class TestChebyshevInterval:
+    def test_interval_contains_release(self, service):
+        answer = service.answer(20.0, 70.0, alpha=0.15, delta=0.5)
+        low, high = answer.chebyshev_interval(0.9)
+        assert low <= answer.value <= high
+
+    def test_interval_clipped_to_count_range(self, service):
+        answer = service.answer(20.0, 70.0, alpha=0.15, delta=0.5)
+        low, high = answer.chebyshev_interval(0.999999)
+        assert low >= 0.0
+        assert high <= service.n
+
+    def test_width_grows_with_confidence(self, service):
+        answer = service.answer(20.0, 70.0, alpha=0.15, delta=0.5)
+        low50, high50 = answer.chebyshev_interval(0.5)
+        low95, high95 = answer.chebyshev_interval(0.95)
+        assert (high95 - low95) >= (high50 - low50)
+
+    def test_rejects_bad_confidence(self, service):
+        answer = service.answer(20.0, 70.0, alpha=0.15, delta=0.5)
+        with pytest.raises(ValueError):
+            answer.chebyshev_interval(1.0)
+
+    def test_total_variance_decomposition(self, service):
+        answer = service.answer(20.0, 70.0, alpha=0.15, delta=0.5)
+        plan = answer.plan
+        expected = 8 * plan.k / plan.p**2 + plan.noise_variance
+        assert answer.total_variance_bound == pytest.approx(expected)
+
+    def test_empirical_coverage(self):
+        """The Chebyshev interval covers the truth far above nominal."""
+        hits, trials = 0, 40
+        for seed in range(trials):
+            values = np.random.default_rng(seed).uniform(0, 100, 2000)
+            svc = PrivateRangeCountingService.from_values(
+                values, k=4, dataset="default", seed=seed
+            )
+            answer = svc.answer(20.0, 70.0, alpha=0.15, delta=0.5)
+            low, high = answer.chebyshev_interval(0.8)
+            truth = svc.true_count(20.0, 70.0)
+            if low <= truth <= high:
+                hits += 1
+        assert hits / trials >= 0.8
+
+
+class TestAnswerBatch:
+    def test_batch_matches_individual_semantics(self, service):
+        queries = [
+            RangeQuery(low=10.0, high=30.0, dataset="default"),
+            RangeQuery(low=30.0, high=60.0, dataset="default"),
+            RangeQuery(low=60.0, high=95.0, dataset="default"),
+        ]
+        spec = AccuracySpec(alpha=0.15, delta=0.5)
+        before = service.privacy_spent()
+        answers = service.broker.answer_batch(queries, spec, consumer="batch")
+        assert len(answers) == 3
+        spent = service.privacy_spent() - before
+        assert spent == pytest.approx(sum(a.epsilon_prime for a in answers))
+
+    def test_batch_rejects_empty(self, service):
+        with pytest.raises(ValueError):
+            service.broker.answer_batch([], AccuracySpec(alpha=0.1, delta=0.5))
+
+    def test_batch_tops_up_once(self):
+        values = np.random.default_rng(2).uniform(0, 100, 4000)
+        svc = PrivateRangeCountingService.from_values(
+            values, k=8, dataset="default", seed=2
+        )
+        queries = [
+            RangeQuery(low=float(x), high=float(x) + 20.0, dataset="default")
+            for x in (0.0, 25.0, 50.0)
+        ]
+        svc.broker.answer_batch(queries, AccuracySpec(alpha=0.1, delta=0.5))
+        # One collection round: one request + one shipment per device.
+        assert svc.communication_report()["messages"] == 2 * svc.k
+
+
+class TestNaNRejection:
+    def test_node_data_rejects_nan(self):
+        with pytest.raises(ValueError):
+            NodeData(node_id=1, values=np.array([1.0, float("nan")]))
+
+    def test_node_data_rejects_inf(self):
+        with pytest.raises(ValueError):
+            NodeData(node_id=1, values=np.array([1.0, float("inf")]))
+
+    def test_finite_values_fine(self):
+        node = NodeData(node_id=1, values=np.array([1.0, -1e300, 1e300]))
+        assert node.size == 3

@@ -1,0 +1,130 @@
+"""Unit tests for consumer-side answer auditing."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.audit import audit_answer, audit_noise_scale
+from repro.core.query import AccuracySpec, PrivateAnswer, RangeQuery
+from repro.core.service import PrivateRangeCountingService
+
+
+@pytest.fixture(scope="module")
+def purchase():
+    values = np.random.default_rng(5).uniform(0, 100, 4000)
+    service = PrivateRangeCountingService.from_values(
+        values, k=8, dataset="default", seed=5
+    )
+    answer = service.answer(20.0, 70.0, alpha=0.1, delta=0.5)
+    return service, answer
+
+
+def tampered(answer, **plan_overrides):
+    """Clone an answer with plan fields overridden (a lying broker)."""
+    plan = dataclasses.replace(answer.plan, **plan_overrides)
+    return dataclasses.replace(answer, plan=plan)
+
+
+class TestHonestAnswersPass:
+    def test_clean_audit(self, purchase):
+        service, answer = purchase
+        report = audit_answer(answer, pricing=service.broker.pricing)
+        assert report.passed, [str(f) for f in report.findings]
+
+    def test_audit_without_price_sheet(self, purchase):
+        _, answer = purchase
+        assert audit_answer(answer).passed
+
+
+class TestTamperedPlansFail:
+    def test_wrong_amplification_detected(self, purchase):
+        _, answer = purchase
+        lying = tampered(answer, epsilon_prime=answer.plan.epsilon_prime * 3)
+        report = audit_answer(lying)
+        assert any(f.check == "privacy" for f in report.findings)
+
+    def test_wrong_noise_scale_detected(self, purchase):
+        _, answer = purchase
+        lying = tampered(answer, noise_scale=answer.plan.noise_scale / 10)
+        report = audit_answer(lying)
+        assert any(f.check == "privacy" for f in report.findings)
+
+    def test_overclaimed_delta_prime_detected(self, purchase):
+        _, answer = purchase
+        lying = tampered(answer, delta_prime=0.999999)
+        report = audit_answer(lying)
+        assert any(f.check == "plan" for f in report.findings)
+
+    def test_alpha_prime_out_of_range_detected(self, purchase):
+        _, answer = purchase
+        lying = tampered(answer, alpha_prime=answer.plan.alpha * 2)
+        report = audit_answer(lying)
+        assert any(f.check == "plan" for f in report.findings)
+
+    def test_spec_mismatch_detected(self, purchase):
+        _, answer = purchase
+        lying = tampered(answer, alpha=answer.plan.alpha * 2,
+                         alpha_prime=answer.plan.alpha * 1.5)
+        report = audit_answer(lying)
+        assert any(f.check == "spec" for f in report.findings)
+
+    def test_overcharging_detected(self, purchase):
+        service, answer = purchase
+        gouged = dataclasses.replace(answer, price=answer.price * 2)
+        report = audit_answer(gouged, pricing=service.broker.pricing)
+        assert any(f.check == "price" for f in report.findings)
+
+    def test_out_of_range_value_detected(self, purchase):
+        _, answer = purchase
+        bogus = dataclasses.replace(answer, value=-5.0)
+        report = audit_answer(bogus)
+        assert any(f.check == "range" for f in report.findings)
+
+
+class TestNoiseAudit:
+    def _repeated(self, seed, scale_divisor=1.0, count=40):
+        values = np.random.default_rng(seed).uniform(0, 100, 3000)
+        service = PrivateRangeCountingService.from_values(
+            values, k=6, dataset="default", seed=seed
+        )
+        answers = []
+        for _ in range(count):
+            answer = service.answer(20.0, 70.0, alpha=0.1, delta=0.5)
+            if scale_divisor != 1.0:
+                # Simulate an under-noising broker: the raw values cluster
+                # tighter than the claimed noise scale implies.
+                answer = dataclasses.replace(
+                    answer,
+                    raw_value=answer.sample_estimate
+                    + (answer.raw_value - answer.sample_estimate)
+                    / scale_divisor,
+                )
+            answers.append(answer)
+        return answers
+
+    def test_honest_noise_passes(self):
+        answers = self._repeated(seed=2)
+        assert audit_noise_scale(answers).passed
+
+    def test_under_noising_detected(self):
+        answers = self._repeated(seed=2, scale_divisor=200.0)
+        report = audit_noise_scale(answers)
+        assert any(f.check == "noise" for f in report.findings)
+
+    def test_mixed_specs_rejected(self):
+        values = np.random.default_rng(3).uniform(0, 100, 3000)
+        service = PrivateRangeCountingService.from_values(
+            values, k=6, dataset="default", seed=3
+        )
+        a = [service.answer(20.0, 70.0, alpha=0.1, delta=0.5) for _ in range(8)]
+        b = [service.answer(20.0, 70.0, alpha=0.2, delta=0.5) for _ in range(8)]
+        report = audit_noise_scale(a + b)
+        assert any(f.check == "protocol" for f in report.findings)
+
+    def test_too_few_answers_rejected(self, purchase):
+        _, answer = purchase
+        with pytest.raises(ValueError):
+            audit_noise_scale([answer] * 3)

@@ -1,0 +1,177 @@
+"""Unit + statistical tests for the data broker pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.broker import DataBroker
+from repro.core.query import AccuracySpec, RangeQuery
+from repro.errors import InfeasiblePlanError, PrivacyBudgetExceededError
+from repro.estimators.base import NodeData
+from repro.iot.base_station import BaseStation
+from repro.iot.channel import Channel
+from repro.iot.device import SmartDevice
+from repro.iot.network import Network
+from repro.iot.topology import FlatTopology
+from repro.pricing.functions import InverseVariancePricing
+from repro.pricing.variance_model import VarianceModel
+from repro.privacy.budget import BudgetAccountant
+
+
+def make_broker(k=8, size=500, seed=0, capacity=float("inf"), auto_top_up=True):
+    network = Network(
+        topology=FlatTopology.with_devices(k),
+        channel=Channel(rng=np.random.default_rng(seed)),
+    )
+    station = BaseStation(network=network)
+    data_rng = np.random.default_rng(seed + 1)
+    for node_id in range(1, k + 1):
+        station.register(
+            SmartDevice(
+                node_id=node_id,
+                data=NodeData(
+                    node_id=node_id, values=data_rng.uniform(0, 100, size)
+                ),
+                rng=np.random.default_rng(seed * 7919 + node_id),
+            )
+        )
+    pricing = InverseVariancePricing(VarianceModel(n=k * size), base_price=100.0)
+    return DataBroker(
+        base_station=station,
+        pricing=pricing,
+        dataset="uniform",
+        accountant=BudgetAccountant(capacity=capacity),
+        rng=np.random.default_rng(seed + 2),
+        auto_top_up=auto_top_up,
+    )
+
+
+SPEC = AccuracySpec(alpha=0.1, delta=0.5)
+QUERY = RangeQuery(low=20.0, high=70.0, dataset="uniform")
+
+
+class TestQuote:
+    def test_quote_matches_pricing(self):
+        broker = make_broker()
+        assert broker.quote(SPEC) == pytest.approx(
+            broker.pricing.price(SPEC.alpha, SPEC.delta)
+        )
+
+    def test_quote_touches_no_data(self):
+        broker = make_broker()
+        broker.quote(SPEC)
+        assert broker.base_station.sampling_rate == 0.0
+
+
+class TestAnswer:
+    def test_answer_provenance(self):
+        broker = make_broker()
+        answer = broker.answer(QUERY, SPEC, consumer="alice")
+        assert answer.consumer == "alice"
+        assert answer.spec == SPEC
+        assert answer.query == QUERY
+        assert answer.price == broker.quote(SPEC)
+        assert answer.transaction_id is not None
+
+    def test_answer_clamped_to_valid_range(self):
+        broker = make_broker()
+        answer = broker.answer(QUERY, SPEC)
+        assert 0.0 <= answer.value <= broker.base_station.n
+
+    def test_lazy_collection_on_first_answer(self):
+        broker = make_broker()
+        assert broker.base_station.sampling_rate == 0.0
+        broker.answer(QUERY, SPEC)
+        assert broker.base_station.sampling_rate > 0.0
+
+    def test_stricter_spec_triggers_top_up(self):
+        broker = make_broker(size=2000)
+        broker.answer(QUERY, AccuracySpec(alpha=0.3, delta=0.3))
+        p_loose = broker.base_station.sampling_rate
+        broker.answer(QUERY, AccuracySpec(alpha=0.05, delta=0.7))
+        assert broker.base_station.sampling_rate > p_loose
+
+    def test_reuses_samples_when_sufficient(self):
+        broker = make_broker()
+        broker.answer(QUERY, SPEC)
+        messages = broker.base_station.network.meter.total_messages
+        broker.answer(QUERY, SPEC)
+        assert broker.base_station.network.meter.total_messages == messages
+
+    def test_auto_top_up_disabled_raises(self):
+        broker = make_broker(auto_top_up=False)
+        with pytest.raises(InfeasiblePlanError):
+            broker.answer(QUERY, SPEC)
+
+    def test_wrong_dataset_rejected(self):
+        broker = make_broker()
+        with pytest.raises(ValueError):
+            broker.answer(
+                RangeQuery(low=0.0, high=1.0, dataset="other"), SPEC
+            )
+
+    def test_default_dataset_accepted(self):
+        broker = make_broker()
+        answer = broker.answer(RangeQuery(low=0.0, high=50.0), SPEC)
+        assert answer.value >= 0.0
+
+
+class TestAccounting:
+    def test_ledger_records_sale(self):
+        broker = make_broker()
+        broker.answer(QUERY, SPEC, consumer="alice")
+        assert len(broker.ledger) == 1
+        txn = broker.ledger.transactions[0]
+        assert txn.consumer == "alice"
+        assert txn.dataset == "uniform"
+
+    def test_accountant_charged(self):
+        broker = make_broker()
+        answer = broker.answer(QUERY, SPEC)
+        assert broker.accountant.spent("uniform") == pytest.approx(
+            answer.epsilon_prime
+        )
+
+    def test_budget_cap_blocks_queries(self):
+        broker = make_broker(capacity=1e-6)
+        with pytest.raises(PrivacyBudgetExceededError):
+            broker.answer(QUERY, SPEC)
+        # No sale recorded for a refused release.
+        assert len(broker.ledger) == 0
+
+    def test_epsilon_accumulates_across_queries(self):
+        broker = make_broker()
+        a1 = broker.answer(QUERY, SPEC)
+        a2 = broker.answer(QUERY, SPEC)
+        assert broker.accountant.spent("uniform") == pytest.approx(
+            a1.epsilon_prime + a2.epsilon_prime
+        )
+
+
+class TestConstruction:
+    def test_pricing_model_size_must_match(self):
+        broker = make_broker()
+        with pytest.raises(ValueError):
+            DataBroker(
+                base_station=broker.base_station,
+                pricing=InverseVariancePricing(VarianceModel(n=42)),
+            )
+
+
+class TestAccuracyGuarantee:
+    def test_released_answers_meet_alpha_delta(self):
+        """Over repeated trades, at least ~δ of answers are within α·n."""
+        hits = 0
+        trials = 60
+        for seed in range(trials):
+            broker = make_broker(k=4, size=500, seed=seed)
+            truth = sum(
+                d.data.exact_count(QUERY.low, QUERY.high)
+                for d in broker.base_station.devices.values()
+            )
+            answer = broker.answer(QUERY, SPEC)
+            if abs(answer.value - truth) <= SPEC.alpha * broker.base_station.n:
+                hits += 1
+        # Guarantee is >= delta = 0.5 and conservative in practice.
+        assert hits / trials >= 0.5

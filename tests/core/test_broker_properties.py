@@ -1,0 +1,98 @@
+"""Hypothesis property tests for broker-level invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.query import AccuracySpec, RangeQuery
+from repro.core.service import PrivateRangeCountingService
+from repro.errors import InfeasiblePlanError
+
+
+def build_service(seed):
+    values = np.random.default_rng(seed).uniform(0, 100, 1500)
+    return PrivateRangeCountingService.from_values(
+        values, k=4, dataset="default", seed=seed
+    )
+
+
+@given(
+    alpha=st.floats(min_value=0.05, max_value=0.6),
+    delta=st.floats(min_value=0.05, max_value=0.9),
+    low=st.floats(min_value=-10, max_value=110),
+    width=st.floats(min_value=0, max_value=120),
+    seed=st.integers(min_value=0, max_value=50),
+)
+@settings(max_examples=60, deadline=None)
+def test_released_answers_always_legal(alpha, delta, low, width, seed):
+    """Every release is a legal count with consistent provenance."""
+    service = build_service(seed)
+    try:
+        answer = service.answer(low, low + width, alpha=alpha, delta=delta)
+    except InfeasiblePlanError:
+        return  # extreme targets may be unservable; that is a loud refusal
+    assert 0.0 <= answer.value <= service.n
+    assert answer.price == service.quote(alpha, delta)
+    assert answer.plan.epsilon_prime <= answer.plan.epsilon
+    assert answer.plan.alpha_prime < alpha
+    assert answer.plan.delta_prime > delta
+    # Ledger and accountant agree with the answer.
+    assert service.privacy_spent() == pytest.approx(answer.epsilon_prime)
+    assert service.broker.ledger.total_revenue() == pytest.approx(
+        answer.price
+    )
+
+
+@given(
+    alpha=st.floats(min_value=0.08, max_value=0.5),
+    delta=st.floats(min_value=0.1, max_value=0.8),
+    seed=st.integers(min_value=0, max_value=30),
+    repeats=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_accounting_matches_over_sessions(alpha, delta, seed, repeats):
+    """Over any purchase sequence, ledgers and accountants stay in sync."""
+    service = build_service(seed)
+    answers = [
+        service.answer(10.0, 80.0, alpha=alpha, delta=delta,
+                       consumer=f"user{i % 2}")
+        for i in range(repeats)
+    ]
+    assert service.privacy_spent() == pytest.approx(
+        sum(a.epsilon_prime for a in answers)
+    )
+    assert len(service.broker.ledger) == repeats
+    assert service.broker.ledger.total_revenue() == pytest.approx(
+        sum(a.price for a in answers)
+    )
+
+
+@given(
+    strict=st.floats(min_value=0.03, max_value=0.15),
+    loose_factor=st.floats(min_value=1.5, max_value=4.0),
+    seed=st.integers(min_value=0, max_value=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_stricter_products_cost_more(strict, loose_factor, seed):
+    """Monotone pricing: a dominated product is never more expensive."""
+    service = build_service(seed)
+    loose = min(0.9, strict * loose_factor)
+    assert service.quote(strict, 0.5) >= service.quote(loose, 0.5)
+    assert service.quote(0.2, 0.8) >= service.quote(0.2, 0.4)
+
+
+@given(seed=st.integers(min_value=0, max_value=30))
+@settings(max_examples=20, deadline=None)
+def test_sampling_rate_monotone_over_requests(seed):
+    """The stored rate never decreases across arbitrary request mixes."""
+    service = build_service(seed)
+    rates = []
+    for alpha, delta in [(0.4, 0.3), (0.1, 0.5), (0.3, 0.2), (0.06, 0.6)]:
+        service.answer(10.0, 80.0, alpha=alpha, delta=delta)
+        rates.append(service.station.sampling_rate)
+    assert all(a <= b + 1e-12 for a, b in zip(rates, rates[1:])) or (
+        rates == sorted(rates)
+    )

@@ -1,0 +1,84 @@
+"""Unit tests for the multi-dataset catalog."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.catalog import DataCatalog, UnknownDatasetError
+from repro.core.service import PrivateRangeCountingService
+from repro.datasets.citypulse import AIR_QUALITY_INDEXES
+
+
+@pytest.fixture(scope="module")
+def catalog(citypulse_small):
+    return DataCatalog.from_citypulse(citypulse_small, k=4, seed=7)
+
+
+class TestConstruction:
+    def test_one_service_per_index(self, catalog):
+        assert len(catalog) == 5
+        assert set(catalog.keys()) == set(AIR_QUALITY_INDEXES)
+
+    def test_contains(self, catalog):
+        assert "ozone" in catalog
+        assert "methane" not in catalog
+
+    def test_duplicate_key_rejected(self, catalog, citypulse_small):
+        extra = PrivateRangeCountingService.from_citypulse(
+            citypulse_small, "ozone", k=4
+        )
+        with pytest.raises(ValueError):
+            catalog.add("ozone", extra)
+
+    def test_unknown_dataset(self, catalog):
+        with pytest.raises(UnknownDatasetError):
+            catalog.service("methane")
+
+
+class TestRouting:
+    def test_quote_routes(self, catalog):
+        assert catalog.quote("ozone", 0.1, 0.5) == catalog.service(
+            "ozone"
+        ).quote(0.1, 0.5)
+
+    def test_answer_routes_and_bills(self, citypulse_small):
+        catalog = DataCatalog.from_citypulse(citypulse_small, k=4, seed=3)
+        answer = catalog.answer(
+            "sulfur_dioxide", 40.0, 70.0, alpha=0.2, delta=0.5,
+            consumer="ops",
+        )
+        assert answer.consumer == "ops"
+        ledger = catalog.service("sulfur_dioxide").broker.ledger
+        assert ledger.spend_of("ops") == pytest.approx(answer.price)
+        # Other datasets untouched.
+        assert len(catalog.service("ozone").broker.ledger) == 0
+
+
+class TestPlatformViews:
+    def test_revenue_and_privacy_aggregate(self, citypulse_small):
+        catalog = DataCatalog.from_citypulse(citypulse_small, k=4, seed=5)
+        a1 = catalog.answer("ozone", 70.0, 110.0, alpha=0.2, delta=0.5)
+        a2 = catalog.answer("carbon_monoxide", 50.0, 80.0, alpha=0.2,
+                            delta=0.5)
+        assert catalog.total_revenue() == pytest.approx(a1.price + a2.price)
+        spend = catalog.privacy_spend()
+        assert spend["ozone"] == pytest.approx(a1.epsilon_prime)
+        assert spend["carbon_monoxide"] == pytest.approx(a2.epsilon_prime)
+        assert spend["nitrogen_dioxide"] == 0.0
+
+    def test_network_cost_sums(self, citypulse_small):
+        catalog = DataCatalog.from_citypulse(citypulse_small, k=4, seed=6)
+        catalog.answer("ozone", 70.0, 110.0, alpha=0.2, delta=0.5)
+        totals = catalog.network_cost()
+        assert totals["messages"] > 0
+        assert totals["sample_pairs"] > 0
+
+    def test_spend_of_across_datasets(self, citypulse_small):
+        catalog = DataCatalog.from_citypulse(citypulse_small, k=4, seed=8)
+        a1 = catalog.answer("ozone", 70.0, 110.0, alpha=0.2, delta=0.5,
+                            consumer="alice")
+        a2 = catalog.answer("nitrogen_dioxide", 60.0, 90.0, alpha=0.2,
+                            delta=0.5, consumer="alice")
+        assert catalog.spend_of("alice") == pytest.approx(a1.price + a2.price)
+        assert catalog.spend_of("bob") == 0.0

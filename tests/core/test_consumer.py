@@ -1,0 +1,126 @@
+"""Unit tests for consumers: honest purchases and the arbitrage adversary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.broker import DataBroker
+from repro.core.consumer import ArbitrageConsumer, HonestConsumer
+from repro.core.query import AccuracySpec, RangeQuery
+from repro.estimators.base import NodeData
+from repro.iot.base_station import BaseStation
+from repro.iot.channel import Channel
+from repro.iot.device import SmartDevice
+from repro.iot.network import Network
+from repro.iot.topology import FlatTopology
+from repro.pricing.functions import (
+    InverseVariancePricing,
+    PowerLawVariancePricing,
+)
+from repro.pricing.variance_model import VarianceModel
+
+
+def make_broker(pricing_cls=InverseVariancePricing, seed=0, **pricing_kwargs):
+    k, size = 6, 400
+    network = Network(
+        topology=FlatTopology.with_devices(k),
+        channel=Channel(rng=np.random.default_rng(seed)),
+    )
+    station = BaseStation(network=network)
+    data_rng = np.random.default_rng(seed + 1)
+    for node_id in range(1, k + 1):
+        station.register(
+            SmartDevice(
+                node_id=node_id,
+                data=NodeData(node_id=node_id,
+                              values=data_rng.uniform(0, 100, size)),
+                rng=np.random.default_rng(seed * 31 + node_id),
+            )
+        )
+    pricing = pricing_cls(VarianceModel(n=k * size), **pricing_kwargs)
+    return DataBroker(
+        base_station=station,
+        pricing=pricing,
+        dataset="uniform",
+        rng=np.random.default_rng(seed + 2),
+    )
+
+
+QUERY = RangeQuery(low=10.0, high=60.0, dataset="uniform")
+TARGET = AccuracySpec(alpha=0.08, delta=0.8)
+
+
+class TestHonestConsumer:
+    def test_buy_records_receipt(self):
+        broker = make_broker()
+        alice = HonestConsumer(name="alice")
+        answer = alice.buy(broker, QUERY, TARGET)
+        assert answer.consumer == "alice"
+        assert alice.purchases == [answer]
+
+    def test_total_spent(self):
+        broker = make_broker()
+        alice = HonestConsumer(name="alice")
+        alice.buy(broker, QUERY, TARGET)
+        alice.buy(broker, QUERY, AccuracySpec(alpha=0.2, delta=0.5))
+        assert alice.total_spent == pytest.approx(
+            sum(a.price for a in alice.purchases)
+        )
+
+
+class TestArbitrageAgainstSafePricing:
+    def test_no_attack_exists(self):
+        broker = make_broker(InverseVariancePricing, base_price=50.0)
+        adversary = ArbitrageConsumer()
+        assert adversary.plan_attack(broker, TARGET) is None
+
+    def test_attempt_falls_back_to_honest_purchase(self):
+        broker = make_broker(InverseVariancePricing, base_price=50.0)
+        adversary = ArbitrageConsumer()
+        outcome = adversary.attempt(broker, QUERY, TARGET)
+        assert not outcome.succeeded
+        assert outcome.purchases == 1
+        assert outcome.paid == pytest.approx(outcome.list_price)
+        assert outcome.savings == pytest.approx(0.0)
+
+
+class TestArbitrageAgainstBrokenPricing:
+    def test_attack_planned(self):
+        broker = make_broker(PowerLawVariancePricing, exponent=2.0,
+                             base_price=1e9)
+        adversary = ArbitrageConsumer()
+        attack = adversary.plan_attack(broker, TARGET)
+        assert attack is not None
+        assert attack.copies > 1
+
+    def test_attempt_saves_money(self):
+        broker = make_broker(PowerLawVariancePricing, exponent=2.0,
+                             base_price=1e9)
+        adversary = ArbitrageConsumer()
+        outcome = adversary.attempt(broker, QUERY, TARGET)
+        assert outcome.succeeded
+        assert outcome.paid < outcome.list_price
+        assert outcome.purchases == outcome.attack.copies
+
+    def test_attack_purchases_hit_the_ledger(self):
+        broker = make_broker(PowerLawVariancePricing, exponent=2.0,
+                             base_price=1e9)
+        adversary = ArbitrageConsumer(name="eve")
+        outcome = adversary.attempt(broker, QUERY, TARGET)
+        assert len(broker.ledger.purchases_of("eve")) == outcome.purchases
+        assert broker.ledger.spend_of("eve") == pytest.approx(outcome.paid)
+
+    def test_averaged_estimate_is_reasonable(self):
+        """The attack's averaged answer should actually be accurate --
+        that is the whole point of averaging m cheap answers."""
+        broker = make_broker(PowerLawVariancePricing, exponent=2.0,
+                             base_price=1e9)
+        truth = sum(
+            d.data.exact_count(QUERY.low, QUERY.high)
+            for d in broker.base_station.devices.values()
+        )
+        adversary = ArbitrageConsumer()
+        outcome = adversary.attempt(broker, QUERY, TARGET)
+        n = broker.base_station.n
+        assert abs(outcome.estimate - truth) <= 2 * TARGET.alpha * n

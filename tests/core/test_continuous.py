@@ -1,0 +1,124 @@
+"""Unit tests for continuous monitoring (windowed standing queries)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.continuous import ContinuousMonitor
+from repro.core.query import AccuracySpec, RangeQuery
+from repro.errors import InsufficientSamplesError, PrivacyBudgetExceededError
+from repro.privacy.budget import BudgetAccountant
+
+
+def make_monitor(k=4, capacity=float("inf"), seed=3):
+    return ContinuousMonitor(
+        query=RangeQuery(low=20.0, high=70.0, dataset="stream"),
+        spec=AccuracySpec(alpha=0.15, delta=0.5),
+        k=k,
+        accountant=BudgetAccountant(capacity=capacity),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def window(size, seed):
+    return np.random.default_rng(seed).uniform(0, 100, size)
+
+
+class TestIngest:
+    def test_window_accounting(self):
+        monitor = make_monitor(k=4)
+        monitor.ingest_window(window(800, 1))
+        monitor.ingest_window(window(400, 2))
+        assert monitor.window_count == 2
+        assert monitor.total_records == 1200
+        assert monitor.effective_nodes == 8
+
+    def test_rate_decreases_as_data_grows(self):
+        monitor = make_monitor()
+        p1 = monitor.ingest_window(window(500, 1))
+        p2 = monitor.ingest_window(window(5000, 2))
+        assert p2 < p1
+
+    def test_empty_window_rejected(self):
+        monitor = make_monitor()
+        with pytest.raises(ValueError):
+            monitor.ingest_window(np.array([]))
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            ContinuousMonitor(
+                query=RangeQuery(low=0.0, high=1.0),
+                spec=AccuracySpec(alpha=0.1, delta=0.5),
+                k=0,
+            )
+
+    def test_true_count_tracks_all_windows(self):
+        monitor = make_monitor()
+        w1, w2 = window(300, 1), window(300, 2)
+        monitor.ingest_window(w1)
+        monitor.ingest_window(w2)
+        pooled = np.concatenate([w1, w2])
+        expected = int(np.count_nonzero((pooled >= 20.0) & (pooled <= 70.0)))
+        assert monitor.true_count() == expected
+
+
+class TestRelease:
+    def test_release_before_ingest_rejected(self):
+        with pytest.raises(InsufficientSamplesError):
+            make_monitor().release()
+
+    def test_release_provenance(self):
+        monitor = make_monitor()
+        monitor.ingest_window(window(1000, 1))
+        release = monitor.release()
+        assert release.window_index == 1
+        assert release.total_records == 1000
+        assert 0.0 <= release.value <= 1000
+        assert release.epsilon_prime > 0
+
+    def test_within_tolerance_frequency(self):
+        """Releases meet the standing (α, δ) guarantee across monitors."""
+        hits, trials = 0, 40
+        for seed in range(trials):
+            monitor = make_monitor(seed=seed)
+            monitor.ingest_window(window(600, seed))
+            monitor.ingest_window(window(600, seed + 1000))
+            release = monitor.release()
+            if abs(release.value - monitor.true_count()) <= 0.15 * 1200:
+                hits += 1
+        assert hits / trials >= 0.5
+
+    def test_privacy_accumulates_over_releases(self):
+        monitor = make_monitor()
+        monitor.ingest_window(window(800, 1))
+        r1 = monitor.release()
+        monitor.ingest_window(window(800, 2))
+        r2 = monitor.release()
+        assert monitor.privacy_spent() == pytest.approx(
+            r1.epsilon_prime + r2.epsilon_prime
+        )
+        assert len(monitor.releases) == 2
+
+    def test_budget_cap_ends_monitoring(self):
+        monitor = make_monitor(capacity=0.05)
+        monitor.ingest_window(window(800, 1))
+        served = 0
+        with pytest.raises(PrivacyBudgetExceededError):
+            for _ in range(10_000):
+                monitor.release()
+                served += 1
+        assert served >= 1
+        assert monitor.privacy_spent() <= 0.05 + 1e-12
+
+    def test_estimate_tracks_growing_truth(self):
+        """As in-range data accumulates, releases grow accordingly."""
+        monitor = make_monitor(seed=9)
+        values = []
+        for i in range(5):
+            w = window(500, 100 + i)
+            values.append(w)
+            monitor.ingest_window(w)
+        release = monitor.release()
+        truth = monitor.true_count()
+        assert abs(release.value - truth) <= 0.15 * monitor.total_records

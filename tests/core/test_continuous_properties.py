@@ -1,0 +1,89 @@
+"""Hypothesis property tests for the continuous monitor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.continuous import ContinuousMonitor
+from repro.core.query import AccuracySpec, RangeQuery
+
+
+def make_monitor(k, seed):
+    return ContinuousMonitor(
+        query=RangeQuery(low=20.0, high=70.0, dataset="stream"),
+        spec=AccuracySpec(alpha=0.2, delta=0.4),
+        k=k,
+        rng=np.random.default_rng(seed),
+    )
+
+
+@given(
+    window_sizes=st.lists(
+        st.integers(min_value=1, max_value=400), min_size=1, max_size=6
+    ),
+    k=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=60, deadline=None)
+def test_accounting_invariants(window_sizes, k, seed):
+    """Window/record/node accounting always adds up."""
+    monitor = make_monitor(k, seed)
+    rng = np.random.default_rng(seed + 1)
+    for size in window_sizes:
+        monitor.ingest_window(rng.uniform(0, 100, size))
+    assert monitor.window_count == len(window_sizes)
+    assert monitor.total_records == sum(window_sizes)
+    assert monitor.effective_nodes == k * len(window_sizes)
+
+
+@given(
+    window_sizes=st.lists(
+        st.integers(min_value=50, max_value=400), min_size=1, max_size=5
+    ),
+    k=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=40, deadline=None)
+def test_releases_always_legal(window_sizes, k, seed):
+    """Every release is a legal count with consistent provenance."""
+    monitor = make_monitor(k, seed)
+    rng = np.random.default_rng(seed + 1)
+    for size in window_sizes:
+        monitor.ingest_window(rng.uniform(0, 100, size))
+        release = monitor.release()
+        assert 0.0 <= release.value <= monitor.total_records
+        assert release.total_records == monitor.total_records
+        assert release.plan.epsilon_prime <= release.plan.epsilon
+    assert monitor.privacy_spent() == pytest.approx(
+        sum(r.epsilon_prime for r in monitor.releases)
+    )
+
+
+@given(
+    sizes=st.lists(
+        st.integers(min_value=100, max_value=400), min_size=2, max_size=5
+    ),
+    k=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=500),
+)
+@settings(max_examples=40, deadline=None)
+def test_ingest_rates_follow_calibration_law(sizes, k, seed):
+    """Window rates obey Theorem 3.3's scaling exactly: p ∝ √k_eff / n.
+
+    For a fixed standing spec, each window's rate satisfies
+    ``p_w · n_total / √(k_eff)`` = constant whenever the rate is unclipped.
+    """
+    monitor = make_monitor(k, seed)
+    rng = np.random.default_rng(seed + 1)
+    invariants = []
+    for size in sizes:
+        p = monitor.ingest_window(rng.uniform(0, 100, size))
+        if p < 1.0:
+            invariants.append(
+                p * monitor.total_records / np.sqrt(monitor.effective_nodes)
+            )
+    for a, b in zip(invariants, invariants[1:]):
+        assert a == pytest.approx(b, rel=1e-9)

@@ -1,0 +1,157 @@
+"""Unit + statistical tests for the private histogram release."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import (
+    HistogramRelease,
+    equal_width_edges,
+    release_histogram,
+)
+from repro.estimators.base import NodeData
+from repro.privacy.amplification import amplified_epsilon
+
+
+@pytest.fixture
+def nodes(rng):
+    return [
+        NodeData(node_id=i + 1, values=rng.uniform(0.0, 100.0, 500))
+        for i in range(4)
+    ]
+
+
+class TestEqualWidthEdges:
+    def test_span_and_count(self):
+        edges = equal_width_edges(0.0, 100.0, 4)
+        assert edges == (0.0, 25.0, 50.0, 75.0, 100.0)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            equal_width_edges(0.0, 1.0, 0)
+        with pytest.raises(ValueError):
+            equal_width_edges(5.0, 5.0, 2)
+
+
+class TestReleaseValidation:
+    def test_requires_two_edges(self, nodes, rng):
+        samples = [n.sample(0.5, rng) for n in nodes]
+        with pytest.raises(ValueError):
+            release_histogram(samples, [1.0], 0.5, rng)
+
+    def test_requires_increasing_edges(self, nodes, rng):
+        samples = [n.sample(0.5, rng) for n in nodes]
+        with pytest.raises(ValueError):
+            release_histogram(samples, [0.0, 0.0, 1.0], 0.5, rng)
+
+    def test_requires_positive_epsilon(self, nodes, rng):
+        samples = [n.sample(0.5, rng) for n in nodes]
+        with pytest.raises(ValueError):
+            release_histogram(samples, [0.0, 1.0], 0.0, rng)
+
+    def test_requires_samples(self, rng):
+        with pytest.raises(ValueError):
+            release_histogram([], [0.0, 1.0], 0.5, rng)
+
+    def test_release_shape_validation(self):
+        with pytest.raises(ValueError):
+            HistogramRelease(
+                edges=(0.0, 1.0),
+                counts=(1.0, 2.0),
+                raw_counts=(1.0, 2.0),
+                epsilon=1.0,
+                epsilon_prime=0.5,
+                p=0.5,
+                n=10,
+            )
+
+
+class TestReleaseSemantics:
+    def test_bucket_structure(self, nodes, rng):
+        samples = [n.sample(0.5, rng) for n in nodes]
+        release = release_histogram(
+            samples, equal_width_edges(0.0, 100.0, 5), 1.0, rng
+        )
+        assert release.buckets == 5
+        assert len(release.counts) == 5
+        assert all(0.0 <= c <= release.n for c in release.counts)
+
+    def test_parallel_composition_budget(self, nodes, rng):
+        """B buckets cost the budget of ONE bucket (disjoint data)."""
+        samples = [n.sample(0.5, rng) for n in nodes]
+        epsilon = 0.7
+        release = release_histogram(
+            samples, equal_width_edges(0.0, 100.0, 10), epsilon, rng
+        )
+        assert release.epsilon == epsilon
+        assert release.epsilon_prime == pytest.approx(
+            amplified_epsilon(epsilon, 0.5)
+        )
+
+    def test_buckets_partition_exactly(self, nodes, rng):
+        """At p = 1 and huge ε, bucket counts sum to n (no overlap/gap)."""
+        samples = [n.sample(1.0, rng) for n in nodes]
+        release = release_histogram(
+            samples, equal_width_edges(0.0, 100.0, 8), 1e9, rng
+        )
+        assert release.total() == pytest.approx(2000, abs=1.0)
+
+    def test_counts_match_truth_at_full_rate(self, nodes, rng):
+        samples = [n.sample(1.0, rng) for n in nodes]
+        edges = equal_width_edges(0.0, 100.0, 4)
+        release = release_histogram(samples, edges, 1e9, rng)
+        pooled = np.concatenate([n.values for n in nodes])
+        for b in range(4):
+            lo, hi = edges[b], edges[b + 1]
+            if b < 3:
+                truth = np.count_nonzero((pooled >= lo) & (pooled < hi))
+            else:
+                truth = np.count_nonzero((pooled >= lo) & (pooled <= hi))
+            assert release.counts[b] == pytest.approx(truth, abs=1.0)
+
+    def test_noise_applied(self, nodes, rng):
+        samples = [n.sample(1.0, rng) for n in nodes]
+        release = release_histogram(
+            samples, equal_width_edges(0.0, 100.0, 4), 0.01, rng
+        )
+        pooled = np.concatenate([n.values for n in nodes])
+        truths = [
+            np.count_nonzero((pooled >= release.edges[b])
+                             & (pooled < release.edges[b + 1]))
+            for b in range(3)
+        ]
+        # With tiny epsilon the raw counts almost surely deviate.
+        assert any(
+            abs(raw - truth) > 1.0
+            for raw, truth in zip(release.raw_counts, truths)
+        )
+
+    def test_bucket_of(self, nodes, rng):
+        samples = [n.sample(0.5, rng) for n in nodes]
+        release = release_histogram(
+            samples, equal_width_edges(0.0, 100.0, 4), 1.0, rng
+        )
+        assert release.bucket_of(0.0) == 0
+        assert release.bucket_of(26.0) == 1
+        assert release.bucket_of(100.0) == 3
+        with pytest.raises(ValueError):
+            release.bucket_of(101.0)
+
+    def test_mean_accuracy_statistical(self, rng):
+        """Released bucket counts are unbiased around the truth."""
+        nodes = [
+            NodeData(node_id=i + 1, values=rng.uniform(0, 100, 400))
+            for i in range(3)
+        ]
+        pooled = np.concatenate([n.values for n in nodes])
+        edges = equal_width_edges(0.0, 100.0, 4)
+        truth0 = np.count_nonzero((pooled >= 0.0) & (pooled < 25.0))
+        draws = []
+        for _ in range(600):
+            samples = [n.sample(0.3, rng) for n in nodes]
+            release = release_histogram(samples, edges, 5.0, rng)
+            draws.append(release.raw_counts[0])
+        mean = np.mean(draws)
+        se = np.std(draws) / np.sqrt(len(draws))
+        assert abs(mean - truth0) < 5 * se + 1e-9

@@ -1,0 +1,87 @@
+"""Unit tests for the query planner (feasibility, top-up targets, plans)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.planner import QueryPlanner
+from repro.core.query import AccuracySpec
+from repro.errors import InfeasiblePlanError
+from repro.estimators.calibration import achieved_delta, min_feasible_alpha
+
+
+@pytest.fixture
+def planner():
+    return QueryPlanner(k=16, n=20_000)
+
+
+class TestSupports:
+    def test_dense_sample_supports(self, planner):
+        assert planner.supports(AccuracySpec(alpha=0.1, delta=0.5), p=0.5)
+
+    def test_sparse_sample_does_not(self, planner):
+        assert not planner.supports(AccuracySpec(alpha=0.01, delta=0.9), p=0.01)
+
+    def test_zero_rate_never_supports(self, planner):
+        assert not planner.supports(AccuracySpec(alpha=0.5, delta=0.5), p=0.0)
+
+    def test_threshold_consistent_with_calibration(self, planner):
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        # Find the feasibility boundary via min_feasible_alpha.
+        for p in (0.05, 0.1, 0.3, 0.8):
+            expected = min_feasible_alpha(p, 16, 20_000, spec.delta) < spec.alpha
+            assert planner.supports(spec, p) == expected
+
+
+class TestRequiredRate:
+    def test_required_rate_actually_suffices(self, planner):
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        rate = planner.required_rate(spec)
+        assert planner.supports(spec, rate)
+
+    def test_required_rate_leaves_headroom(self, planner):
+        """After topping up, the intermediate point has margin both ways."""
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        rate = planner.required_rate(spec)
+        # At the head-room point, the sample certifies more than delta.
+        assert achieved_delta(rate, spec.alpha * 0.5, 16, 20_000) > spec.delta
+
+    def test_stricter_specs_need_denser_samples(self, planner):
+        loose = planner.required_rate(AccuracySpec(alpha=0.2, delta=0.5))
+        strict = planner.required_rate(AccuracySpec(alpha=0.05, delta=0.5))
+        assert strict > loose
+
+
+class TestPlan:
+    def test_plan_round_trip(self, planner):
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        plan = planner.plan(spec, p=0.4)
+        assert plan.alpha == 0.1
+        assert plan.delta == 0.5
+        assert plan.p == 0.4
+
+    def test_infeasible_raises_with_recommendation(self, planner):
+        spec = AccuracySpec(alpha=0.01, delta=0.9)
+        with pytest.raises(InfeasiblePlanError) as excinfo:
+            planner.plan(spec, p=0.01)
+        assert "top up" in str(excinfo.value)
+
+    def test_plan_at_required_rate_succeeds(self, planner):
+        spec = AccuracySpec(alpha=0.08, delta=0.6)
+        rate = planner.required_rate(spec)
+        plan = planner.plan(spec, min(1.0, rate))
+        assert plan.epsilon > 0
+
+
+class TestValidation:
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            QueryPlanner(k=0, n=100)
+        with pytest.raises(ValueError):
+            QueryPlanner(k=4, n=0)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            QueryPlanner(k=4, n=100, alpha_fraction=1.0)
+        with pytest.raises(ValueError):
+            QueryPlanner(k=4, n=100, delta_fraction=0.0)

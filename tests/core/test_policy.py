@@ -1,0 +1,113 @@
+"""Unit tests for broker admission policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.policy import BrokerPolicy, PolicyViolationError
+from repro.core.query import AccuracySpec, RangeQuery
+from repro.core.service import PrivateRangeCountingService
+
+
+SPEC = AccuracySpec(alpha=0.15, delta=0.5)
+
+
+class TestPolicyRules:
+    def test_default_admits_everything(self):
+        policy = BrokerPolicy()
+        policy.admit("anyone", SPEC)
+
+    def test_alpha_band(self):
+        policy = BrokerPolicy(min_alpha=0.05, max_alpha=0.5)
+        policy.admit("a", AccuracySpec(alpha=0.1, delta=0.5))
+        with pytest.raises(PolicyViolationError):
+            policy.admit("a", AccuracySpec(alpha=0.01, delta=0.5))
+        with pytest.raises(PolicyViolationError):
+            policy.admit("a", AccuracySpec(alpha=0.9, delta=0.5))
+
+    def test_delta_band(self):
+        policy = BrokerPolicy(max_delta=0.8)
+        with pytest.raises(PolicyViolationError):
+            policy.admit("a", AccuracySpec(alpha=0.1, delta=0.9))
+
+    def test_purchase_cap(self):
+        policy = BrokerPolicy(max_purchases_per_consumer=2)
+        policy.settle("a", 0.0)
+        policy.settle("a", 0.0)
+        with pytest.raises(PolicyViolationError):
+            policy.admit("a", SPEC)
+        # Other consumers unaffected.
+        policy.admit("b", SPEC)
+
+    def test_epsilon_cap(self):
+        policy = BrokerPolicy(max_epsilon_per_consumer=0.5)
+        assert policy.can_release("a", 0.4)
+        policy.settle("a", 0.4)
+        assert not policy.can_release("a", 0.2)
+        with pytest.raises(PolicyViolationError):
+            policy.settle("a", 0.2)
+        assert policy.epsilon_spent_by("a") == pytest.approx(0.4)
+
+    def test_inspection_defaults(self):
+        policy = BrokerPolicy()
+        assert policy.epsilon_spent_by("ghost") == 0.0
+        assert policy.purchases_by("ghost") == 0
+
+    def test_rejects_bad_bands(self):
+        with pytest.raises(ValueError):
+            BrokerPolicy(min_alpha=0.5, max_alpha=0.1)
+        with pytest.raises(ValueError):
+            BrokerPolicy(max_epsilon_per_consumer=-1.0)
+
+    def test_settle_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BrokerPolicy().settle("a", -0.1)
+
+
+class TestPolicyInBroker:
+    def _service(self, policy):
+        values = np.random.default_rng(1).uniform(0, 100, 3000)
+        service = PrivateRangeCountingService.from_values(
+            values, k=6, dataset="default", seed=1
+        )
+        service.broker.policy = policy
+        return service
+
+    def test_spec_band_enforced_end_to_end(self):
+        service = self._service(BrokerPolicy(min_alpha=0.1))
+        with pytest.raises(PolicyViolationError):
+            service.answer(10.0, 50.0, alpha=0.05, delta=0.5)
+        # Nothing was charged or billed for the refused request.
+        assert service.privacy_spent() == 0.0
+        assert len(service.broker.ledger) == 0
+
+    def test_purchase_cap_throttles_arbitrageur(self):
+        service = self._service(BrokerPolicy(max_purchases_per_consumer=3))
+        for _ in range(3):
+            service.answer(10.0, 50.0, alpha=0.15, delta=0.5, consumer="eve")
+        with pytest.raises(PolicyViolationError):
+            service.answer(10.0, 50.0, alpha=0.15, delta=0.5, consumer="eve")
+        # Honest consumers keep buying.
+        service.answer(10.0, 50.0, alpha=0.15, delta=0.5, consumer="alice")
+
+    def test_per_consumer_epsilon_cap_enforced(self):
+        cap = 0.02
+        service = self._service(
+            BrokerPolicy(max_epsilon_per_consumer=cap)
+        )
+        first = service.answer(10.0, 50.0, alpha=0.15, delta=0.5,
+                               consumer="eve")
+        assert first.epsilon_prime <= cap
+        with pytest.raises(PolicyViolationError):
+            for _ in range(1000):
+                service.answer(10.0, 50.0, alpha=0.15, delta=0.5,
+                               consumer="eve")
+        assert service.broker.policy.epsilon_spent_by("eve") <= cap + 1e-12
+
+    def test_refused_release_charges_nothing(self):
+        service = self._service(BrokerPolicy(max_epsilon_per_consumer=0.0))
+        with pytest.raises(PolicyViolationError):
+            service.answer(10.0, 50.0, alpha=0.15, delta=0.5, consumer="eve")
+        assert service.privacy_spent() == 0.0
+        assert len(service.broker.ledger) == 0

@@ -1,0 +1,112 @@
+"""Unit + statistical tests for the private quantile release."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.private_quantile import release_quantile
+from repro.estimators.base import NodeData, NodeSample
+from repro.privacy.amplification import amplified_epsilon
+
+
+@pytest.fixture
+def nodes(rng):
+    return [
+        NodeData(node_id=i + 1, values=rng.uniform(0.0, 100.0, 800))
+        for i in range(4)
+    ]
+
+
+def samples_at(nodes, p, rng):
+    return [n.sample(p, rng) for n in nodes]
+
+
+class TestValidation:
+    def test_rejects_bad_q(self, nodes, rng):
+        samples = samples_at(nodes, 0.5, rng)
+        with pytest.raises(ValueError):
+            release_quantile(samples, 1.5, 1.0, (0.0, 100.0), rng)
+
+    def test_rejects_bad_epsilon(self, nodes, rng):
+        samples = samples_at(nodes, 0.5, rng)
+        with pytest.raises(ValueError):
+            release_quantile(samples, 0.5, 0.0, (0.0, 100.0), rng)
+
+    def test_rejects_bad_domain(self, nodes, rng):
+        samples = samples_at(nodes, 0.5, rng)
+        with pytest.raises(ValueError):
+            release_quantile(samples, 0.5, 1.0, (5.0, 5.0), rng)
+        with pytest.raises(ValueError):
+            release_quantile(samples, 0.5, 1.0, (0.0, float("inf")), rng)
+
+    def test_rejects_empty(self, rng):
+        with pytest.raises(ValueError):
+            release_quantile([], 0.5, 1.0, (0.0, 1.0), rng)
+        empty = NodeSample(node_id=1, values=np.array([]),
+                           ranks=np.array([]), node_size=0, p=0.5)
+        with pytest.raises(ValueError):
+            release_quantile([empty], 0.5, 1.0, (0.0, 1.0), rng)
+
+    def test_rejects_bad_probes(self, nodes, rng):
+        samples = samples_at(nodes, 0.5, rng)
+        with pytest.raises(ValueError):
+            release_quantile(samples, 0.5, 1.0, (0.0, 100.0), rng, probes=0)
+
+
+class TestRelease:
+    def test_release_within_domain(self, nodes, rng):
+        samples = samples_at(nodes, 0.5, rng)
+        release = release_quantile(samples, 0.5, 1.0, (0.0, 100.0), rng)
+        assert 0.0 <= release.value <= 100.0
+
+    def test_provenance(self, nodes, rng):
+        samples = samples_at(nodes, 0.4, rng)
+        release = release_quantile(samples, 0.3, 2.0, (0.0, 100.0), rng,
+                                   probes=12)
+        assert release.q == 0.3
+        assert release.epsilon == 2.0
+        assert release.probes == 12
+        assert release.p == 0.4
+        assert release.n == 3200
+        assert release.epsilon_prime == pytest.approx(
+            amplified_epsilon(2.0, 0.4)
+        )
+
+    def test_accuracy_with_generous_budget(self, nodes, rng):
+        """With lots of budget, the released median is near the true one."""
+        samples = samples_at(nodes, 0.5, rng)
+        pooled = np.sort(np.concatenate([n.values for n in nodes]))
+        true_median = float(np.median(pooled))
+        errors = []
+        for _ in range(20):
+            release = release_quantile(samples, 0.5, 50.0, (0.0, 100.0), rng,
+                                       probes=20)
+            errors.append(abs(release.value - true_median))
+        # Uniform data on [0, 100]: rank error ~ value error.
+        assert np.median(errors) < 5.0
+
+    def test_noise_grows_as_budget_shrinks(self, nodes, rng):
+        """Tiny budgets scatter the release across the domain."""
+        samples = samples_at(nodes, 0.5, rng)
+        tight = [
+            release_quantile(samples, 0.5, 100.0, (0.0, 100.0), rng).value
+            for _ in range(30)
+        ]
+        loose = [
+            release_quantile(samples, 0.5, 0.001, (0.0, 100.0), rng).value
+            for _ in range(30)
+        ]
+        assert np.std(loose) > np.std(tight)
+
+    def test_monotone_in_q_statistically(self, nodes, rng):
+        samples = samples_at(nodes, 0.5, rng)
+        q25 = np.mean([
+            release_quantile(samples, 0.25, 20.0, (0.0, 100.0), rng).value
+            for _ in range(10)
+        ])
+        q75 = np.mean([
+            release_quantile(samples, 0.75, 20.0, (0.0, 100.0), rng).value
+            for _ in range(10)
+        ])
+        assert q25 < q75

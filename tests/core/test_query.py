@@ -1,0 +1,70 @@
+"""Unit tests for query/spec/answer types."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import AccuracySpec, RangeQuery
+from repro.errors import InvalidAccuracyError, InvalidQueryError
+
+
+class TestRangeQuery:
+    def test_valid(self):
+        query = RangeQuery(low=1.0, high=2.0, dataset="ozone")
+        assert query.width == 1.0
+
+    def test_point_query(self):
+        assert RangeQuery(low=3.0, high=3.0).width == 0.0
+
+    def test_rejects_inverted(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery(low=2.0, high=1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery(low=float("nan"), high=1.0)
+
+    def test_rejects_infinite(self):
+        with pytest.raises(InvalidQueryError):
+            RangeQuery(low=0.0, high=float("inf"))
+
+    def test_default_dataset(self):
+        assert RangeQuery(low=0.0, high=1.0).dataset == "default"
+
+
+class TestAccuracySpec:
+    def test_valid(self):
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        assert spec.alpha == 0.1
+
+    @pytest.mark.parametrize("alpha", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_boundary_alpha(self, alpha):
+        with pytest.raises(InvalidAccuracyError):
+            AccuracySpec(alpha=alpha, delta=0.5)
+
+    @pytest.mark.parametrize("delta", [0.0, 1.0, -0.1, 1.5])
+    def test_rejects_boundary_delta(self, delta):
+        with pytest.raises(InvalidAccuracyError):
+            AccuracySpec(alpha=0.5, delta=delta)
+
+    def test_is_stricter_than(self):
+        strict = AccuracySpec(alpha=0.05, delta=0.9)
+        loose = AccuracySpec(alpha=0.2, delta=0.5)
+        assert strict.is_stricter_than(loose)
+        assert not loose.is_stricter_than(strict)
+
+    def test_stricter_is_reflexive(self):
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        assert spec.is_stricter_than(spec)
+
+    def test_incomparable_specs(self):
+        a = AccuracySpec(alpha=0.05, delta=0.3)
+        b = AccuracySpec(alpha=0.2, delta=0.9)
+        assert not a.is_stricter_than(b)
+        assert not b.is_stricter_than(a)
+
+    def test_hashable_and_frozen(self):
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        assert spec in {spec}
+        with pytest.raises(AttributeError):
+            spec.alpha = 0.2

@@ -1,0 +1,79 @@
+"""Unit tests for operator reports and the price sheet."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.reports import operations_report, price_sheet
+from repro.core.service import PrivateRangeCountingService
+from repro.pricing.functions import InverseVariancePricing
+from repro.pricing.variance_model import VarianceModel
+from repro.privacy.budget import BudgetAccountant
+
+
+@pytest.fixture
+def service():
+    values = np.random.default_rng(4).uniform(0, 100, 2000)
+    return PrivateRangeCountingService.from_values(
+        values, k=4, dataset="default", seed=4, base_price=100.0
+    )
+
+
+class TestPriceSheet:
+    def test_grid_rendering(self):
+        pricing = InverseVariancePricing(VarianceModel(n=1000))
+        sheet = price_sheet(pricing, alphas=(0.1, 0.2), deltas=(0.5, 0.9))
+        lines = sheet.splitlines()
+        assert len(lines) == 4  # header + rule + two alpha rows
+        assert "0.1" in sheet and "0.9" in sheet
+
+    def test_prices_monotone_in_sheet(self):
+        pricing = InverseVariancePricing(VarianceModel(n=1000))
+        # Direct check mirroring what a reader of the sheet sees.
+        assert pricing.price(0.05, 0.5) > pricing.price(0.2, 0.5)
+        assert pricing.price(0.1, 0.9) > pricing.price(0.1, 0.5)
+
+    def test_rejects_empty_grid(self):
+        pricing = InverseVariancePricing(VarianceModel(n=1000))
+        with pytest.raises(ValueError):
+            price_sheet(pricing, alphas=())
+
+
+class TestOperationsReport:
+    def test_sections_present(self, service):
+        service.answer(20.0, 70.0, alpha=0.15, delta=0.5, consumer="alice")
+        service.answer(20.0, 70.0, alpha=0.2, delta=0.5, consumer="bob")
+        report = operations_report(service.broker)
+        for section in ("== sales ==", "== top consumers ==",
+                        "== privacy ==", "== network =="):
+            assert section in report
+
+    def test_fresh_broker_report(self, service):
+        report = operations_report(service.broker)
+        assert "answers_sold" in report
+        assert "== top consumers ==" not in report  # no sales yet
+
+    def test_utilization_with_capacity(self, service):
+        service.broker.accountant = BudgetAccountant(capacity=1.0)
+        service.answer(20.0, 70.0, alpha=0.15, delta=0.5)
+        report = operations_report(service.broker)
+        assert "%" in report
+
+    def test_utilization_uncapped(self, service):
+        service.answer(20.0, 70.0, alpha=0.15, delta=0.5)
+        report = operations_report(service.broker)
+        assert "uncapped" in report
+
+    def test_capacity_override(self, service):
+        service.answer(20.0, 70.0, alpha=0.15, delta=0.5)
+        report = operations_report(service.broker, budget_capacity=1.0)
+        assert "uncapped" not in report
+
+    def test_top_consumers_ordered(self, service):
+        for _ in range(3):
+            service.answer(20.0, 70.0, alpha=0.15, delta=0.5,
+                           consumer="whale")
+        service.answer(20.0, 70.0, alpha=0.15, delta=0.5, consumer="minnow")
+        report = operations_report(service.broker)
+        assert report.index("whale") < report.index("minnow")

@@ -1,0 +1,136 @@
+"""Unit tests for the marketplace: wallets and settlements."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.broker import DataBroker
+from repro.core.query import AccuracySpec, RangeQuery
+from repro.core.trading import Marketplace, Wallet
+from repro.errors import LedgerError
+from repro.estimators.base import NodeData
+from repro.iot.base_station import BaseStation
+from repro.iot.channel import Channel
+from repro.iot.device import SmartDevice
+from repro.iot.network import Network
+from repro.iot.topology import FlatTopology
+from repro.pricing.functions import InverseVariancePricing
+from repro.pricing.variance_model import VarianceModel
+
+
+def make_market(seed=0, base_price=1000.0):
+    k, size = 4, 300
+    network = Network(
+        topology=FlatTopology.with_devices(k),
+        channel=Channel(rng=np.random.default_rng(seed)),
+    )
+    station = BaseStation(network=network)
+    data_rng = np.random.default_rng(seed + 1)
+    for node_id in range(1, k + 1):
+        station.register(
+            SmartDevice(
+                node_id=node_id,
+                data=NodeData(node_id=node_id,
+                              values=data_rng.uniform(0, 100, size)),
+                rng=np.random.default_rng(node_id),
+            )
+        )
+    broker = DataBroker(
+        base_station=station,
+        pricing=InverseVariancePricing(VarianceModel(n=k * size),
+                                       base_price=base_price),
+        dataset="uniform",
+        rng=np.random.default_rng(seed + 2),
+    )
+    return Marketplace(broker=broker)
+
+
+QUERY = RangeQuery(low=20.0, high=80.0, dataset="uniform")
+SPEC = AccuracySpec(alpha=0.15, delta=0.5)
+
+
+class TestWallet:
+    def test_deposit_withdraw(self):
+        wallet = Wallet(owner="alice", balance=10.0)
+        wallet.deposit(5.0)
+        wallet.withdraw(12.0)
+        assert wallet.balance == pytest.approx(3.0)
+
+    def test_overdraft_rejected(self):
+        wallet = Wallet(owner="alice", balance=1.0)
+        with pytest.raises(LedgerError):
+            wallet.withdraw(2.0)
+
+    def test_negative_amounts_rejected(self):
+        wallet = Wallet(owner="alice", balance=1.0)
+        with pytest.raises(LedgerError):
+            wallet.deposit(-1.0)
+        with pytest.raises(LedgerError):
+            wallet.withdraw(-1.0)
+
+    def test_negative_initial_balance_rejected(self):
+        with pytest.raises(LedgerError):
+            Wallet(owner="alice", balance=-1.0)
+
+
+class TestAccounts:
+    def test_open_account(self):
+        market = make_market()
+        market.open_account("alice", 100.0)
+        assert market.balance_of("alice") == 100.0
+
+    def test_duplicate_account_rejected(self):
+        market = make_market()
+        market.open_account("alice", 100.0)
+        with pytest.raises(LedgerError):
+            market.open_account("alice", 50.0)
+
+    def test_unknown_consumer_rejected(self):
+        market = make_market()
+        with pytest.raises(LedgerError):
+            market.balance_of("ghost")
+
+
+class TestBuy:
+    def test_buy_debits_wallet(self):
+        market = make_market()
+        market.open_account("alice", 1e6)
+        answer = market.buy("alice", QUERY, SPEC)
+        assert market.balance_of("alice") == pytest.approx(1e6 - answer.price)
+
+    def test_buy_records_settlement(self):
+        market = make_market()
+        market.open_account("alice", 1e6)
+        market.buy("alice", QUERY, SPEC)
+        assert len(market.settlements) == 1
+        settlement = market.settlements[0]
+        assert settlement.consumer == "alice"
+        assert settlement.price > 0
+
+    def test_insufficient_funds_never_answers(self):
+        market = make_market(base_price=1e12)
+        market.open_account("poor", 0.01)
+        with pytest.raises(LedgerError):
+            market.buy("poor", QUERY, SPEC)
+        # Neither wallet nor broker state changed.
+        assert market.balance_of("poor") == 0.01
+        assert len(market.broker.ledger) == 0
+
+    def test_quote_matches_broker(self):
+        market = make_market()
+        assert market.quote(SPEC) == market.broker.quote(SPEC)
+
+    def test_totals(self):
+        market = make_market()
+        market.open_account("alice", 1e6)
+        market.open_account("bob", 1e6)
+        market.buy("alice", QUERY, SPEC)
+        market.buy("bob", QUERY, SPEC)
+        market.buy("alice", QUERY, SPEC)
+        assert market.total_settled == pytest.approx(
+            market.spend_of("alice") + market.spend_of("bob")
+        )
+        assert market.spend_of("alice") == pytest.approx(
+            2 * market.spend_of("bob")
+        )

@@ -1,0 +1,121 @@
+"""Unit tests for the CityPulse pollution surrogate."""
+
+from __future__ import annotations
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.datasets.citypulse import (
+    AIR_QUALITY_INDEXES,
+    CADENCE,
+    RECORD_COUNT,
+    START_TIMESTAMP,
+    CityPulseDataset,
+    PollutionRecord,
+    generate_citypulse,
+)
+
+
+class TestGeneration:
+    def test_default_shape_matches_paper(self):
+        data = generate_citypulse()
+        assert len(data) == RECORD_COUNT == 17568
+        assert data.indexes == AIR_QUALITY_INDEXES
+
+    def test_timestamps_five_minute_cadence(self):
+        data = generate_citypulse(record_count=10)
+        assert data.timestamps[0] == datetime(2014, 8, 1, 0, 5)
+        assert data.timestamps[1] - data.timestamps[0] == timedelta(minutes=5)
+
+    def test_paper_window_end(self):
+        """17 568 records at 5-minute cadence end at 0:00 am, 10/1/2014."""
+        end = START_TIMESTAMP + (RECORD_COUNT - 1) * CADENCE
+        assert end == datetime(2014, 10, 1, 0, 0)
+
+    def test_deterministic_for_seed(self):
+        a = generate_citypulse(record_count=500, seed=1)
+        b = generate_citypulse(record_count=500, seed=1)
+        for name in AIR_QUALITY_INDEXES:
+            assert np.array_equal(a.values(name), b.values(name))
+
+    def test_seeds_differ(self):
+        a = generate_citypulse(record_count=500, seed=1)
+        b = generate_citypulse(record_count=500, seed=2)
+        assert not np.array_equal(a.values("ozone"), b.values("ozone"))
+
+    def test_values_in_plausible_range(self):
+        data = generate_citypulse(record_count=3000, seed=5)
+        for name in AIR_QUALITY_INDEXES:
+            low, high = data.value_range(name)
+            assert low >= 0.0
+            assert high <= 200.0
+
+    def test_indexes_not_identical(self):
+        data = generate_citypulse(record_count=500, seed=3)
+        assert not np.array_equal(
+            data.values("ozone"), data.values("sulfur_dioxide")
+        )
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            generate_citypulse(record_count=-1)
+
+    def test_zero_records(self):
+        data = generate_citypulse(record_count=0)
+        assert len(data) == 0
+
+
+class TestDatasetAccess:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return generate_citypulse(record_count=300, seed=7)
+
+    def test_unknown_index_rejected(self, data):
+        with pytest.raises(KeyError):
+            data.values("methane")
+
+    def test_range_count_matches_manual(self, data):
+        values = data.values("ozone")
+        manual = int(np.count_nonzero((values >= 80) & (values <= 100)))
+        assert data.range_count("ozone", 80, 100) == manual
+
+    def test_head(self, data):
+        head = data.head(50)
+        assert len(head) == 50
+        assert np.array_equal(head.values("ozone"), data.values("ozone")[:50])
+
+    def test_head_rejects_negative(self, data):
+        with pytest.raises(ValueError):
+            data.head(-1)
+
+    def test_records_iteration(self, data):
+        records = list(data.records())
+        assert len(records) == 300
+        first = records[0]
+        assert isinstance(first, PollutionRecord)
+        assert first.value("ozone") == data.values("ozone")[0]
+
+    def test_record_as_tuple(self, data):
+        record = next(data.records())
+        assert record.as_tuple() == tuple(
+            record.value(name) for name in AIR_QUALITY_INDEXES
+        )
+
+    def test_record_unknown_index(self, data):
+        record = next(data.records())
+        with pytest.raises(KeyError):
+            record.value("methane")
+
+    def test_value_range_empty_rejected(self):
+        data = generate_citypulse(record_count=0)
+        with pytest.raises(ValueError):
+            data.value_range("ozone")
+
+    def test_column_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            CityPulseDataset(
+                timestamps=np.array([START_TIMESTAMP], dtype=object),
+                columns={"ozone": np.array([1.0, 2.0])},
+            )

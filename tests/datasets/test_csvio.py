@@ -1,0 +1,110 @@
+"""Unit tests for CSV interchange."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.citypulse import AIR_QUALITY_INDEXES, generate_citypulse
+from repro.datasets.csvio import load_csv, save_csv
+
+
+class TestRoundTrip:
+    def test_round_trip(self, tmp_path):
+        data = generate_citypulse(record_count=100, seed=3)
+        path = tmp_path / "pollution.csv"
+        save_csv(path, data)
+        loaded = load_csv(path)
+        assert len(loaded) == 100
+        for name in AIR_QUALITY_INDEXES:
+            assert np.allclose(loaded.values(name), data.values(name),
+                               atol=1e-6)
+        assert loaded.timestamps[0] == data.timestamps[0]
+
+    def test_loaded_dataset_counts_match(self, tmp_path):
+        data = generate_citypulse(record_count=200, seed=4)
+        path = tmp_path / "pollution.csv"
+        save_csv(path, data)
+        loaded = load_csv(path)
+        assert loaded.range_count("ozone", 80, 110) == data.range_count(
+            "ozone", 80, 110
+        )
+
+
+class TestHeaderHandling:
+    def test_case_and_separator_insensitive(self, tmp_path):
+        path = tmp_path / "alt.csv"
+        path.write_text(
+            "Timestamp,Ozone,Particulate Matter,Carbon-Monoxide,"
+            "Sulfur Dioxide,Nitrogen Dioxide\n"
+            "2014-08-01 00:05:00,90.0,70.0,60.0,50.0,80.0\n"
+        )
+        loaded = load_csv(path)
+        assert len(loaded) == 1
+        assert loaded.values("particulate_matter")[0] == 70.0
+
+    def test_reordered_columns(self, tmp_path):
+        path = tmp_path / "reorder.csv"
+        path.write_text(
+            "ozone,timestamp,particulate_matter,carbon_monoxide,"
+            "sulfur_dioxide,nitrogen_dioxide\n"
+            "90.0,2014-08-01 00:05:00,70.0,60.0,50.0,80.0\n"
+        )
+        loaded = load_csv(path)
+        assert loaded.values("ozone")[0] == 90.0
+
+    def test_missing_column_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,ozone\n2014-08-01 00:05:00,90.0\n")
+        with pytest.raises(ValueError, match="missing column"):
+            load_csv(path)
+
+    def test_missing_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "ozone,particulate_matter,carbon_monoxide,sulfur_dioxide,"
+            "nitrogen_dioxide\n90,70,60,50,80\n"
+        )
+        with pytest.raises(ValueError, match="timestamp"):
+            load_csv(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_csv(path)
+
+
+class TestRowHandling:
+    def _header(self):
+        return ("timestamp,ozone,particulate_matter,carbon_monoxide,"
+                "sulfur_dioxide,nitrogen_dioxide\n")
+
+    def test_malformed_number_rejected_with_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            self._header() + "2014-08-01 00:05:00,NOPE,70,60,50,80\n"
+        )
+        with pytest.raises(ValueError, match=":2"):
+            load_csv(path)
+
+    def test_malformed_timestamp_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(self._header() + "yesterday,90,70,60,50,80\n")
+        with pytest.raises(ValueError):
+            load_csv(path)
+
+    def test_blank_lines_tolerated(self, tmp_path):
+        path = tmp_path / "blanks.csv"
+        path.write_text(
+            self._header()
+            + "2014-08-01 00:05:00,90,70,60,50,80\n\n\n"
+        )
+        assert len(load_csv(path)) == 1
+
+    def test_alternative_timestamp_formats(self, tmp_path):
+        path = tmp_path / "alt_ts.csv"
+        path.write_text(
+            self._header() + "2014/08/01 00:05,90,70,60,50,80\n"
+        )
+        assert len(load_csv(path)) == 1

@@ -1,0 +1,107 @@
+"""Unit + property tests for node-partitioning strategies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.partition import (
+    partition_dirichlet,
+    partition_even,
+    partition_range_sharded,
+    partition_round_robin,
+)
+
+STRATEGIES = {
+    "even": partition_even,
+    "round_robin": partition_round_robin,
+    "dirichlet": lambda v, k: partition_dirichlet(v, k, seed=0),
+    "range_sharded": partition_range_sharded,
+}
+
+
+@pytest.mark.parametrize("name", list(STRATEGIES))
+class TestCommonInvariants:
+    def test_shard_count(self, name):
+        shards = STRATEGIES[name](np.arange(100, dtype=float), 7)
+        assert len(shards) == 7
+
+    def test_preserves_multiset(self, name):
+        values = np.random.default_rng(1).uniform(0, 1, 101)
+        shards = STRATEGIES[name](values, 6)
+        pooled = np.sort(np.concatenate(shards))
+        assert np.array_equal(pooled, np.sort(values))
+
+    def test_k_one_returns_everything(self, name):
+        values = np.arange(10, dtype=float)
+        shards = STRATEGIES[name](values, 1)
+        assert len(shards) == 1
+        assert len(shards[0]) == 10
+
+    def test_rejects_bad_k(self, name):
+        with pytest.raises(ValueError):
+            STRATEGIES[name](np.arange(10, dtype=float), 0)
+
+    def test_more_nodes_than_records(self, name):
+        shards = STRATEGIES[name](np.arange(3, dtype=float), 8)
+        assert len(shards) == 8
+        assert sum(len(s) for s in shards) == 3
+
+
+class TestEven:
+    def test_balanced_sizes(self):
+        shards = partition_even(np.arange(10, dtype=float), 3)
+        assert sorted(len(s) for s in shards) == [3, 3, 4]
+
+
+class TestRoundRobin:
+    def test_interleaving(self):
+        shards = partition_round_robin(np.arange(6, dtype=float), 2)
+        assert list(shards[0]) == [0.0, 2.0, 4.0]
+        assert list(shards[1]) == [1.0, 3.0, 5.0]
+
+
+class TestDirichlet:
+    def test_deterministic_with_seed(self):
+        values = np.arange(50, dtype=float)
+        a = partition_dirichlet(values, 4, seed=9)
+        b = partition_dirichlet(values, 4, seed=9)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+    def test_low_concentration_is_skewed(self):
+        values = np.arange(1000, dtype=float)
+        shards = partition_dirichlet(values, 10, concentration=0.1, seed=2)
+        sizes = sorted(len(s) for s in shards)
+        assert sizes[-1] > 2 * (1000 // 10)
+
+    def test_rejects_bad_concentration(self):
+        with pytest.raises(ValueError):
+            partition_dirichlet(np.arange(10, dtype=float), 2, concentration=0.0)
+
+
+class TestRangeSharded:
+    def test_shards_are_value_bands(self):
+        values = np.random.default_rng(3).uniform(0, 1, 100)
+        shards = partition_range_sharded(values, 4)
+        maxima = [s.max() for s in shards if len(s)]
+        minima = [s.min() for s in shards if len(s)]
+        for i in range(len(maxima) - 1):
+            assert maxima[i] <= minima[i + 1]
+
+
+@given(
+    count=st.integers(min_value=0, max_value=200),
+    k=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_all_strategies_preserve_counts(count, k, seed):
+    """Property: every strategy partitions without loss or duplication."""
+    values = np.random.default_rng(seed).uniform(0, 1, count)
+    for strategy in STRATEGIES.values():
+        shards = strategy(values, k)
+        assert sum(len(s) for s in shards) == count
+        pooled = np.sort(np.concatenate(shards)) if count else np.array([])
+        assert np.array_equal(pooled, np.sort(values))

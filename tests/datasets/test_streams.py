@@ -1,0 +1,78 @@
+"""Unit tests for record streams and sliding windows."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.streams import RecordStream, sliding_windows
+
+
+class TestRecordStream:
+    def test_batches_in_order(self):
+        stream = RecordStream(np.arange(10, dtype=float), batch_size=4)
+        assert list(stream.next_batch()) == [0.0, 1.0, 2.0, 3.0]
+        assert list(stream.next_batch()) == [4.0, 5.0, 6.0, 7.0]
+        assert list(stream.next_batch()) == [8.0, 9.0]
+        assert stream.exhausted
+
+    def test_empty_batch_after_exhaustion(self):
+        stream = RecordStream(np.arange(2, dtype=float), batch_size=5)
+        stream.next_batch()
+        assert len(stream.next_batch()) == 0
+
+    def test_position(self):
+        stream = RecordStream(np.arange(10, dtype=float), batch_size=3)
+        stream.next_batch()
+        assert stream.position == 3
+
+    def test_batches_iterator(self):
+        stream = RecordStream(np.arange(7, dtype=float), batch_size=3)
+        batches = list(stream.batches())
+        assert [len(b) for b in batches] == [3, 3, 1]
+
+    def test_reset(self):
+        stream = RecordStream(np.arange(5, dtype=float), batch_size=5)
+        stream.next_batch()
+        stream.reset()
+        assert stream.position == 0
+        assert not stream.exhausted
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ValueError):
+            RecordStream(np.arange(5, dtype=float), batch_size=0)
+
+    def test_empty_stream_is_exhausted(self):
+        assert RecordStream(np.array([]), batch_size=3).exhausted
+
+
+class TestSlidingWindows:
+    def test_tumbling_default(self):
+        windows = sliding_windows(np.arange(10, dtype=float), window=4)
+        assert [len(w) for w in windows] == [4, 4, 2]
+
+    def test_overlapping(self):
+        windows = sliding_windows(np.arange(6, dtype=float), window=4, step=2)
+        assert [list(w) for w in windows] == [
+            [0.0, 1.0, 2.0, 3.0],
+            [2.0, 3.0, 4.0, 5.0],
+        ]
+
+    def test_window_larger_than_data(self):
+        windows = sliding_windows(np.arange(3, dtype=float), window=10)
+        assert len(windows) == 1
+        assert len(windows[0]) == 3
+
+    def test_windows_are_copies(self):
+        values = np.arange(4, dtype=float)
+        windows = sliding_windows(values, window=2)
+        windows[0][0] = 99.0
+        assert values[0] == 0.0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(4, dtype=float), window=0)
+
+    def test_rejects_bad_step(self):
+        with pytest.raises(ValueError):
+            sliding_windows(np.arange(4, dtype=float), window=2, step=0)

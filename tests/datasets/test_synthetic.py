@@ -1,0 +1,79 @@
+"""Unit tests for synthetic value generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import (
+    clustered_values,
+    gaussian_values,
+    uniform_values,
+    zipf_values,
+)
+
+
+class TestUniform:
+    def test_bounds(self):
+        values = uniform_values(1000, 5.0, 10.0, seed=1)
+        assert values.min() >= 5.0
+        assert values.max() < 10.0
+
+    def test_deterministic(self):
+        assert np.array_equal(
+            uniform_values(100, seed=3), uniform_values(100, seed=3)
+        )
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            uniform_values(-1)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            uniform_values(10, 5.0, 1.0)
+
+    def test_zero_count(self):
+        assert len(uniform_values(0)) == 0
+
+
+class TestGaussian:
+    def test_moments(self):
+        values = gaussian_values(50_000, mean=10.0, sigma=2.0, seed=4)
+        assert np.mean(values) == pytest.approx(10.0, abs=0.05)
+        assert np.std(values) == pytest.approx(2.0, abs=0.05)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(ValueError):
+            gaussian_values(10, sigma=-1.0)
+
+
+class TestZipf:
+    def test_heavy_tail_has_duplicates(self):
+        values = zipf_values(2000, exponent=1.5, seed=5)
+        assert len(np.unique(values)) < len(values)
+
+    def test_minimum_is_scale(self):
+        values = zipf_values(1000, exponent=2.0, scale=3.0, seed=5)
+        assert values.min() == pytest.approx(3.0)
+
+    def test_rejects_exponent_at_most_one(self):
+        with pytest.raises(ValueError):
+            zipf_values(10, exponent=1.0)
+
+
+class TestClustered:
+    def test_modes_present(self):
+        values = clustered_values(3000, centers=(0.0, 100.0), spread=1.0, seed=6)
+        near_zero = np.count_nonzero(np.abs(values) < 5)
+        near_hundred = np.count_nonzero(np.abs(values - 100) < 5)
+        assert near_zero > 1000
+        assert near_hundred > 1000
+        assert near_zero + near_hundred == 3000
+
+    def test_rejects_empty_centers(self):
+        with pytest.raises(ValueError):
+            clustered_values(10, centers=())
+
+    def test_rejects_negative_spread(self):
+        with pytest.raises(ValueError):
+            clustered_values(10, spread=-1.0)

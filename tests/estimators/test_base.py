@@ -1,0 +1,204 @@
+"""Unit tests for the estimator data model (NodeData/NodeSample/results)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.estimators.base import (
+    EstimateResult,
+    NodeData,
+    NodeSample,
+    validate_range,
+)
+
+
+class TestValidateRange:
+    def test_accepts_ordered_bounds(self):
+        validate_range(1.0, 2.0)
+
+    def test_accepts_equal_bounds(self):
+        validate_range(3.0, 3.0)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(InvalidQueryError):
+            validate_range(2.0, 1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite_low(self, bad):
+        with pytest.raises(InvalidQueryError):
+            validate_range(bad, 1.0)
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf")])
+    def test_rejects_non_finite_high(self, bad):
+        with pytest.raises(InvalidQueryError):
+            validate_range(0.0, bad)
+
+
+class TestNodeData:
+    def test_size(self):
+        node = NodeData(node_id=1, values=np.array([3.0, 1.0, 2.0]))
+        assert node.size == 3
+
+    def test_sorted_values(self):
+        node = NodeData(node_id=1, values=np.array([3.0, 1.0, 2.0]))
+        assert list(node.sorted_values) == [1.0, 2.0, 3.0]
+
+    def test_rejects_2d_values(self):
+        with pytest.raises(ValueError):
+            NodeData(node_id=1, values=np.zeros((2, 2)))
+
+    def test_exact_count_inclusive(self):
+        node = NodeData(node_id=1, values=np.array([1.0, 2.0, 2.0, 3.0]))
+        assert node.exact_count(2.0, 2.0) == 2
+        assert node.exact_count(1.0, 3.0) == 4
+        assert node.exact_count(3.5, 9.0) == 0
+
+    def test_empty_node(self):
+        node = NodeData(node_id=1, values=np.array([]))
+        assert node.size == 0
+        assert node.exact_count(0.0, 1.0) == 0
+
+    def test_sample_p_zero_is_empty(self, rng):
+        node = NodeData(node_id=1, values=np.arange(50, dtype=float))
+        sample = node.sample(0.0, rng)
+        assert len(sample) == 0
+        assert sample.node_size == 50
+
+    def test_sample_p_one_keeps_everything(self, rng):
+        node = NodeData(node_id=1, values=np.arange(50, dtype=float))
+        sample = node.sample(1.0, rng)
+        assert len(sample) == 50
+        assert list(sample.ranks) == list(range(1, 51))
+
+    def test_sample_values_match_ranks(self, rng):
+        node = NodeData(node_id=1, values=rng.uniform(0, 10, 100))
+        sample = node.sample(0.3, rng)
+        for value, rank in zip(sample.values, sample.ranks):
+            assert node.sorted_values[rank - 1] == value
+
+    def test_sample_rejects_bad_p(self, rng):
+        node = NodeData(node_id=1, values=np.arange(5, dtype=float))
+        with pytest.raises(ValueError):
+            node.sample(1.5, rng)
+        with pytest.raises(ValueError):
+            node.sample(-0.1, rng)
+
+    def test_sample_expected_size(self, rng):
+        node = NodeData(node_id=1, values=np.arange(20000, dtype=float))
+        sample = node.sample(0.25, rng)
+        assert 0.22 * 20000 < len(sample) < 0.28 * 20000
+
+
+class TestTopUp:
+    def test_top_up_is_superset(self, rng):
+        node = NodeData(node_id=1, values=rng.uniform(0, 1, 500))
+        small = node.sample(0.1, rng)
+        big = node.top_up(small, 0.4, rng)
+        assert set(small.ranks.tolist()) <= set(big.ranks.tolist())
+        assert big.p == 0.4
+
+    def test_top_up_same_rate_is_identity(self, rng):
+        node = NodeData(node_id=1, values=rng.uniform(0, 1, 100))
+        sample = node.sample(0.2, rng)
+        assert node.top_up(sample, 0.2, rng) is sample
+
+    def test_top_up_rejects_lower_rate(self, rng):
+        node = NodeData(node_id=1, values=rng.uniform(0, 1, 100))
+        sample = node.sample(0.5, rng)
+        with pytest.raises(ValueError):
+            node.top_up(sample, 0.3, rng)
+
+    def test_top_up_rejects_foreign_sample(self, rng):
+        node_a = NodeData(node_id=1, values=rng.uniform(0, 1, 50))
+        node_b = NodeData(node_id=2, values=rng.uniform(0, 1, 50))
+        sample = node_a.sample(0.2, rng)
+        with pytest.raises(ValueError):
+            node_b.top_up(sample, 0.5, rng)
+
+    def test_top_up_to_full_keeps_all(self, rng):
+        node = NodeData(node_id=1, values=rng.uniform(0, 1, 200))
+        sample = node.sample(0.3, rng)
+        full = node.top_up(sample, 1.0, rng)
+        assert len(full) == 200
+
+    def test_top_up_statistics(self, rng):
+        """The merged sample behaves like a fresh Bernoulli(new_p) draw."""
+        node = NodeData(node_id=1, values=np.arange(30000, dtype=float))
+        small = node.sample(0.1, rng)
+        big = node.top_up(small, 0.5, rng)
+        assert 0.47 * 30000 < len(big) < 0.53 * 30000
+
+
+class TestNodeSample:
+    def test_parallel_arrays_enforced(self):
+        with pytest.raises(ValueError):
+            NodeSample(
+                node_id=1,
+                values=np.array([1.0, 2.0]),
+                ranks=np.array([1]),
+                node_size=5,
+                p=0.5,
+            )
+
+    def test_rank_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            NodeSample(
+                node_id=1,
+                values=np.array([1.0]),
+                ranks=np.array([9]),
+                node_size=5,
+                p=0.5,
+            )
+
+    def test_ranks_strictly_increasing(self):
+        with pytest.raises(ValueError):
+            NodeSample(
+                node_id=1,
+                values=np.array([1.0, 2.0]),
+                ranks=np.array([2, 2]),
+                node_size=5,
+                p=0.5,
+            )
+
+    def test_sample_cannot_exceed_node_size(self):
+        with pytest.raises(ValueError):
+            NodeSample(
+                node_id=1,
+                values=np.array([1.0, 2.0, 3.0]),
+                ranks=np.array([1, 2, 3]),
+                node_size=2,
+                p=0.5,
+            )
+
+    def test_sample_size(self):
+        sample = NodeSample(
+            node_id=1,
+            values=np.array([1.0, 5.0]),
+            ranks=np.array([1, 4]),
+            node_size=5,
+            p=0.5,
+        )
+        assert sample.sample_size == 2
+        assert len(sample) == 2
+
+
+class TestEstimateResult:
+    def test_clamped_below_zero(self):
+        result = EstimateResult(
+            estimate=-3.0, variance_bound=1.0, node_count=1, total_size=10, p=0.5
+        )
+        assert result.clamped() == 0.0
+
+    def test_clamped_above_n(self):
+        result = EstimateResult(
+            estimate=15.0, variance_bound=1.0, node_count=1, total_size=10, p=0.5
+        )
+        assert result.clamped() == 10.0
+
+    def test_clamped_identity_in_range(self):
+        result = EstimateResult(
+            estimate=4.5, variance_bound=1.0, node_count=1, total_size=10, p=0.5
+        )
+        assert result.clamped() == 4.5

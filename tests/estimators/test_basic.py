@@ -1,0 +1,87 @@
+"""Unit + statistical tests for the BasicCounting baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators.base import NodeData, NodeSample
+from repro.estimators.basic import BasicCountingEstimator, basic_counting_variance
+from repro.estimators.exact import exact_count_nodes
+
+
+class TestBasicCountingVariance:
+    def test_formula(self):
+        assert basic_counting_variance(100, 0.2) == pytest.approx(100 * 0.8 / 0.2)
+
+    def test_zero_at_full_sampling(self):
+        assert basic_counting_variance(50, 1.0) == 0.0
+
+    def test_rejects_zero_p(self):
+        with pytest.raises(ValueError):
+            basic_counting_variance(10, 0.0)
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ValueError):
+            basic_counting_variance(-1, 0.5)
+
+
+class TestBasicCountingEstimator:
+    def test_p_one_recovers_truth(self, uniform_nodes, rng):
+        samples = [n.sample(1.0, rng) for n in uniform_nodes]
+        est = BasicCountingEstimator()
+        truth = exact_count_nodes(uniform_nodes, 20.0, 60.0)
+        assert est.estimate(samples, 20.0, 60.0).estimate == pytest.approx(truth)
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            BasicCountingEstimator().estimate([], 0.0, 1.0)
+
+    def test_requires_common_rate(self):
+        a = NodeSample(node_id=1, values=np.array([1.0]), ranks=np.array([1]),
+                       node_size=4, p=0.5)
+        b = NodeSample(node_id=2, values=np.array([1.0]), ranks=np.array([1]),
+                       node_size=4, p=0.3)
+        with pytest.raises(ValueError):
+            BasicCountingEstimator().estimate([a, b], 0.0, 2.0)
+
+    def test_rejects_zero_rate(self):
+        a = NodeSample(node_id=1, values=np.array([]), ranks=np.array([]),
+                       node_size=4, p=0.0)
+        with pytest.raises(ValueError):
+            BasicCountingEstimator().estimate([a], 0.0, 2.0)
+
+    def test_unbiased(self, rng):
+        node = NodeData(node_id=1, values=rng.uniform(0, 100, 400))
+        truth = node.exact_count(25.0, 75.0)
+        est = BasicCountingEstimator()
+        p = 0.2
+        draws = [
+            est.estimate([node.sample(p, rng)], 25.0, 75.0).estimate
+            for _ in range(5000)
+        ]
+        mean = np.mean(draws)
+        se = np.std(draws) / np.sqrt(len(draws))
+        assert abs(mean - truth) < 5 * se + 1e-9
+
+    def test_variance_matches_formula(self, rng):
+        node = NodeData(node_id=1, values=rng.uniform(0, 100, 400))
+        truth = node.exact_count(10.0, 90.0)
+        p = 0.2
+        est = BasicCountingEstimator()
+        draws = [
+            est.estimate([node.sample(p, rng)], 10.0, 90.0).estimate
+            for _ in range(6000)
+        ]
+        expected = basic_counting_variance(truth, p)
+        assert expected * 0.8 < np.var(draws) < expected * 1.2
+
+    def test_variance_bound_uses_total_size(self, uniform_nodes, rng):
+        samples = [n.sample(0.25, rng) for n in uniform_nodes]
+        result = BasicCountingEstimator().estimate(samples, 0.0, 100.0)
+        assert result.variance_bound == pytest.approx(1000 * 0.75 / 0.25)
+
+    def test_per_node_sums_to_estimate(self, uniform_nodes, rng):
+        samples = [n.sample(0.4, rng) for n in uniform_nodes]
+        result = BasicCountingEstimator().estimate(samples, 30.0, 70.0)
+        assert sum(result.per_node) == pytest.approx(result.estimate)

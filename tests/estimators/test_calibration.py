@@ -1,0 +1,139 @@
+"""Unit tests for Theorem 3.3 sampling-rate calibration and its inverses."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import CalibrationError
+from repro.estimators.calibration import (
+    achieved_delta,
+    expected_sample_volume,
+    expected_transmitted_samples,
+    min_feasible_alpha,
+    required_sampling_rate,
+    validate_accuracy,
+)
+
+
+class TestValidateAccuracy:
+    def test_accepts_valid(self):
+        validate_accuracy(0.5, 0.5)
+        validate_accuracy(1.0, 0.0)
+
+    @pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5])
+    def test_rejects_bad_alpha(self, alpha):
+        with pytest.raises(CalibrationError):
+            validate_accuracy(alpha, 0.5)
+
+    @pytest.mark.parametrize("delta", [-0.1, 1.0, 2.0])
+    def test_rejects_bad_delta(self, delta):
+        with pytest.raises(CalibrationError):
+            validate_accuracy(0.5, delta)
+
+
+class TestRequiredSamplingRate:
+    def test_formula(self):
+        k, n, alpha, delta = 8, 10_000, 0.1, 0.5
+        expected = (math.sqrt(2 * k) / (alpha * n)) * (2 / math.sqrt(1 - delta))
+        assert required_sampling_rate(alpha, delta, k, n) == pytest.approx(expected)
+
+    def test_clipped_at_one(self):
+        assert required_sampling_rate(0.001, 0.99, 100, 100) == 1.0
+
+    def test_decreasing_in_alpha(self):
+        p1 = required_sampling_rate(0.05, 0.5, 8, 10_000)
+        p2 = required_sampling_rate(0.1, 0.5, 8, 10_000)
+        assert p1 > p2
+
+    def test_increasing_in_delta(self):
+        p1 = required_sampling_rate(0.1, 0.9, 8, 10_000)
+        p2 = required_sampling_rate(0.1, 0.5, 8, 10_000)
+        assert p1 > p2
+
+    def test_decreasing_in_n(self):
+        p1 = required_sampling_rate(0.1, 0.5, 8, 1_000)
+        p2 = required_sampling_rate(0.1, 0.5, 8, 100_000)
+        assert p1 > p2
+
+    def test_increasing_in_k(self):
+        p1 = required_sampling_rate(0.1, 0.5, 64, 100_000)
+        p2 = required_sampling_rate(0.1, 0.5, 4, 100_000)
+        assert p1 > p2
+
+    def test_rejects_bad_k_n(self):
+        with pytest.raises(CalibrationError):
+            required_sampling_rate(0.1, 0.5, 0, 100)
+        with pytest.raises(CalibrationError):
+            required_sampling_rate(0.1, 0.5, 4, 0)
+
+
+class TestAchievedDelta:
+    def test_round_trip_with_required_rate(self):
+        """achieved_delta inverts required_sampling_rate exactly."""
+        k, n, alpha, delta = 8, 50_000, 0.08, 0.6
+        p = required_sampling_rate(alpha, delta, k, n)
+        assert achieved_delta(p, alpha, k, n) == pytest.approx(delta)
+
+    def test_negative_when_sample_too_sparse(self):
+        assert achieved_delta(0.001, 0.01, 16, 1_000) < 0.0
+
+    def test_monotone_in_p(self):
+        d1 = achieved_delta(0.1, 0.1, 8, 10_000)
+        d2 = achieved_delta(0.3, 0.1, 8, 10_000)
+        assert d2 > d1
+
+    def test_monotone_in_alpha(self):
+        d1 = achieved_delta(0.1, 0.05, 8, 10_000)
+        d2 = achieved_delta(0.1, 0.2, 8, 10_000)
+        assert d2 > d1
+
+    def test_rejects_zero_p(self):
+        with pytest.raises(CalibrationError):
+            achieved_delta(0.0, 0.1, 8, 100)
+
+
+class TestMinFeasibleAlpha:
+    def test_consistency_with_achieved_delta(self):
+        k, n, p, delta = 8, 20_000, 0.2, 0.5
+        floor = min_feasible_alpha(p, k, n, delta)
+        # Just above the floor, the achieved delta exceeds the target...
+        assert achieved_delta(p, floor * 1.01, k, n) > delta
+        # ...and just below, it does not.
+        assert achieved_delta(p, floor * 0.99, k, n) < delta
+
+    def test_grows_with_delta(self):
+        a1 = min_feasible_alpha(0.2, 8, 20_000, 0.1)
+        a2 = min_feasible_alpha(0.2, 8, 20_000, 0.9)
+        assert a2 > a1
+
+    def test_shrinks_with_p(self):
+        a1 = min_feasible_alpha(0.1, 8, 20_000)
+        a2 = min_feasible_alpha(0.5, 8, 20_000)
+        assert a2 < a1
+
+    def test_rejects_bad_delta(self):
+        with pytest.raises(CalibrationError):
+            min_feasible_alpha(0.2, 8, 100, 1.0)
+
+
+class TestVolumes:
+    def test_expected_sample_volume(self):
+        assert expected_sample_volume(1000, 0.25) == 250.0
+
+    def test_expected_sample_volume_rejects_bad_p(self):
+        with pytest.raises(CalibrationError):
+            expected_sample_volume(100, 1.5)
+
+    def test_transmitted_samples_formula(self):
+        assert expected_transmitted_samples(0.1, 8) == pytest.approx(
+            math.sqrt(64) / 0.1
+        )
+
+    def test_transmitted_independent_of_n(self):
+        """At the calibrated rate, n·p = √(8k)/α regardless of n."""
+        k, alpha = 8, 0.1
+        for n in (1_000, 100_000, 10_000_000):
+            p = (math.sqrt(8 * k)) / (alpha * n)
+            assert n * p == pytest.approx(expected_transmitted_samples(alpha, k))

@@ -1,0 +1,98 @@
+"""Tests for the vectorized batch-query path of RankCounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidQueryError
+from repro.estimators.base import NodeData, NodeSample
+from repro.estimators.rank import RankCountingEstimator
+
+
+@pytest.fixture
+def samples(uniform_nodes, rng):
+    return [n.sample(0.2, rng) for n in uniform_nodes]
+
+
+class TestEquivalence:
+    def test_matches_single_query_path(self, samples):
+        est = RankCountingEstimator()
+        ranges = [(0.0, 100.0), (10.0, 20.0), (50.0, 50.0), (99.0, 120.0),
+                  (-10.0, -5.0)]
+        batch = est.estimate_many(samples, ranges)
+        for (low, high), value in zip(ranges, batch):
+            assert value == pytest.approx(
+                est.estimate(samples, low, high).estimate
+            )
+
+    def test_empty_sample_handled(self):
+        empty = NodeSample(node_id=1, values=np.array([]),
+                           ranks=np.array([]), node_size=7, p=0.3)
+        est = RankCountingEstimator()
+        batch = est.estimate_many([empty], [(0.0, 1.0), (2.0, 3.0)])
+        assert list(batch) == [7.0, 7.0]
+
+    def test_empty_ranges(self, samples):
+        out = RankCountingEstimator().estimate_many(samples, [])
+        assert out.shape == (0,)
+
+    def test_validation(self, samples):
+        est = RankCountingEstimator()
+        with pytest.raises(ValueError):
+            est.estimate_many([], [(0.0, 1.0)])
+        with pytest.raises(InvalidQueryError):
+            est.estimate_many(samples, [(2.0, 1.0)])
+        with pytest.raises(InvalidQueryError):
+            est.estimate_many(samples, [(0.0, float("inf"))])
+
+
+class TestBasicCountingBatch:
+    def test_matches_single_query_path(self, samples):
+        from repro.estimators.basic import BasicCountingEstimator
+
+        est = BasicCountingEstimator()
+        ranges = [(0.0, 100.0), (10.0, 20.0), (50.0, 50.0), (-5.0, -1.0)]
+        batch = est.estimate_many(samples, ranges)
+        for (low, high), value in zip(ranges, batch):
+            assert value == pytest.approx(
+                est.estimate(samples, low, high).estimate
+            )
+
+    def test_validation(self, samples):
+        from repro.estimators.basic import BasicCountingEstimator
+
+        est = BasicCountingEstimator()
+        with pytest.raises(ValueError):
+            est.estimate_many([], [(0.0, 1.0)])
+        with pytest.raises(InvalidQueryError):
+            est.estimate_many(samples, [(2.0, 1.0)])
+        assert est.estimate_many(samples, []).shape == (0,)
+
+
+@given(
+    count=st.integers(min_value=0, max_value=60),
+    p=st.floats(min_value=0.05, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+    bounds=st.lists(
+        st.tuples(
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+            st.floats(min_value=0, max_value=100, allow_nan=False),
+        ).map(lambda t: (min(t), max(t))),
+        min_size=1,
+        max_size=10,
+    ),
+)
+@settings(max_examples=150, deadline=None)
+def test_batch_always_matches_scalar(count, p, seed, bounds):
+    """Property: the vectorized path is pointwise identical to the scalar."""
+    rng = np.random.default_rng(seed)
+    node = NodeData(node_id=1, values=rng.uniform(0, 100, count))
+    sample = node.sample(p, np.random.default_rng(seed + 1))
+    est = RankCountingEstimator()
+    batch = est.estimate_many([sample], bounds)
+    for (low, high), value in zip(bounds, batch):
+        scalar = est.estimate([sample], low, high).estimate
+        assert value == pytest.approx(scalar)

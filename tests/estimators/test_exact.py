@@ -1,0 +1,95 @@
+"""Unit tests for exact range counting (the ground-truth oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.estimators.base import NodeData
+from repro.estimators.exact import SortedColumn, exact_count, exact_count_nodes
+
+
+class TestExactCount:
+    def test_basic(self):
+        assert exact_count(np.array([1.0, 2.0, 3.0, 4.0]), 2.0, 3.0) == 2
+
+    def test_inclusive_bounds(self):
+        values = np.array([1.0, 2.0, 2.0, 3.0])
+        assert exact_count(values, 2.0, 2.0) == 2
+
+    def test_empty_values(self):
+        assert exact_count(np.array([]), 0.0, 10.0) == 0
+
+    def test_point_query_absent(self):
+        assert exact_count(np.array([1.0, 3.0]), 2.0, 2.0) == 0
+
+    def test_full_cover(self):
+        values = np.array([-5.0, 0.0, 5.0])
+        assert exact_count(values, -10.0, 10.0) == 3
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(InvalidQueryError):
+            exact_count(np.array([1.0]), 5.0, 2.0)
+
+
+class TestExactCountNodes:
+    def test_sums_over_nodes(self):
+        nodes = [
+            NodeData(node_id=1, values=np.array([1.0, 2.0])),
+            NodeData(node_id=2, values=np.array([2.0, 3.0])),
+        ]
+        assert exact_count_nodes(nodes, 2.0, 3.0) == 3
+
+    def test_matches_pooled_count(self, uniform_nodes):
+        pooled = np.concatenate([n.values for n in uniform_nodes])
+        assert exact_count_nodes(uniform_nodes, 25.0, 75.0) == exact_count(
+            pooled, 25.0, 75.0
+        )
+
+
+class TestSortedColumn:
+    def test_count_matches_exact(self, rng):
+        values = rng.normal(0, 1, 500)
+        column = SortedColumn(values)
+        for low, high in [(-1.0, 1.0), (0.0, 0.5), (-3.0, 3.0)]:
+            assert column.count(low, high) == exact_count(values, low, high)
+
+    def test_len(self):
+        assert len(SortedColumn([3.0, 1.0])) == 2
+
+    def test_values_sorted_and_readonly(self):
+        column = SortedColumn([3.0, 1.0, 2.0])
+        assert list(column.values) == [1.0, 2.0, 3.0]
+        with pytest.raises(ValueError):
+            column.values[0] = 99.0
+
+    def test_accepts_iterables(self):
+        column = SortedColumn(iter([2.0, 1.0]))
+        assert column.count(0.0, 5.0) == 2
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            SortedColumn(np.zeros((2, 2)))
+
+    def test_quantile_range_full(self):
+        column = SortedColumn(np.arange(100, dtype=float))
+        low, high = column.quantile_range(0.0, 1.0)
+        assert low == 0.0
+        assert high == 99.0
+
+    def test_quantile_range_counts_roughly_match(self, rng):
+        values = rng.uniform(0, 1, 2000)
+        column = SortedColumn(values)
+        low, high = column.quantile_range(0.25, 0.75)
+        count = column.count(low, high)
+        assert 0.45 * 2000 < count < 0.55 * 2000
+
+    def test_quantile_range_rejects_bad_order(self):
+        column = SortedColumn([1.0, 2.0])
+        with pytest.raises(ValueError):
+            column.quantile_range(0.8, 0.2)
+
+    def test_quantile_range_empty_column(self):
+        with pytest.raises(ValueError):
+            SortedColumn([]).quantile_range(0.1, 0.9)

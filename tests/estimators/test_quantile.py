@@ -1,0 +1,137 @@
+"""Unit + statistical tests for cumulative counts and quantile estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators.base import NodeData, NodeSample
+from repro.estimators.quantile import (
+    cumulative_node_estimate,
+    estimate_cumulative,
+    estimate_quantile,
+)
+
+
+def full_samples(nodes, rng):
+    return [n.sample(1.0, rng) for n in nodes]
+
+
+class TestCumulativeNodeEstimate:
+    def test_full_rate_exact(self, rng):
+        node = NodeData(node_id=1, values=rng.uniform(0, 100, 200))
+        sample = node.sample(1.0, rng)
+        for v in (0.0, 25.0, 50.0, 99.9, 150.0):
+            expected = int(np.count_nonzero(node.values <= v))
+            assert cumulative_node_estimate(sample, v) == pytest.approx(expected)
+
+    def test_empty_node(self):
+        sample = NodeSample(node_id=1, values=np.array([]),
+                            ranks=np.array([]), node_size=0, p=0.5)
+        assert cumulative_node_estimate(sample, 10.0) == 0.0
+
+    def test_no_successor_returns_node_size(self):
+        sample = NodeSample(node_id=1, values=np.array([5.0]),
+                            ranks=np.array([3]), node_size=10, p=0.5)
+        assert cumulative_node_estimate(sample, 7.0) == 10.0
+
+    def test_successor_case(self):
+        # Successor of 4.0 is value 5.0 at rank 3; estimate 3 - 1/p = 1.
+        sample = NodeSample(node_id=1, values=np.array([5.0]),
+                            ranks=np.array([3]), node_size=10, p=0.5)
+        assert cumulative_node_estimate(sample, 4.0) == 1.0
+
+    def test_rejects_non_finite(self):
+        sample = NodeSample(node_id=1, values=np.array([]),
+                            ranks=np.array([]), node_size=0, p=0.5)
+        with pytest.raises(ValueError):
+            cumulative_node_estimate(sample, float("inf"))
+
+    def test_rejects_zero_p(self):
+        sample = NodeSample(node_id=1, values=np.array([]),
+                            ranks=np.array([]), node_size=5, p=0.0)
+        with pytest.raises(ValueError):
+            cumulative_node_estimate(sample, 1.0)
+
+    def test_unbiased(self, rng):
+        node = NodeData(node_id=1, values=rng.uniform(0, 100, 300))
+        truth = int(np.count_nonzero(node.values <= 40.0))
+        p = 0.15
+        draws = [
+            cumulative_node_estimate(node.sample(p, rng), 40.0)
+            for _ in range(6000)
+        ]
+        mean = np.mean(draws)
+        se = np.std(draws) / np.sqrt(len(draws))
+        assert abs(mean - truth) < 5 * se + 1e-9
+
+    def test_monotone_in_value(self, rng):
+        node = NodeData(node_id=1, values=rng.uniform(0, 100, 200))
+        sample = node.sample(0.3, rng)
+        probes = np.linspace(-10, 110, 40)
+        estimates = [cumulative_node_estimate(sample, v) for v in probes]
+        assert all(a <= b + 1e-12 for a, b in zip(estimates, estimates[1:]))
+
+
+class TestEstimateCumulative:
+    def test_sums_nodes(self, uniform_nodes, rng):
+        samples = full_samples(uniform_nodes, rng)
+        pooled = np.concatenate([n.values for n in uniform_nodes])
+        assert estimate_cumulative(samples, 50.0) == pytest.approx(
+            int(np.count_nonzero(pooled <= 50.0))
+        )
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            estimate_cumulative([], 1.0)
+
+
+class TestEstimateQuantile:
+    def test_full_rate_matches_numpy(self, uniform_nodes, rng):
+        samples = full_samples(uniform_nodes, rng)
+        pooled = np.sort(np.concatenate([n.values for n in uniform_nodes]))
+        for q in (0.1, 0.5, 0.9):
+            estimate = estimate_quantile(samples, q)
+            # Rank of the estimate must be within 1 of q·n at full rate.
+            rank = int(np.count_nonzero(pooled <= estimate))
+            assert abs(rank - q * len(pooled)) <= 1
+
+    def test_extreme_quantiles(self, uniform_nodes, rng):
+        samples = full_samples(uniform_nodes, rng)
+        pooled = np.concatenate([n.values for n in uniform_nodes])
+        assert estimate_quantile(samples, 0.0) == pytest.approx(pooled.min())
+        assert estimate_quantile(samples, 1.0) == pytest.approx(pooled.max())
+
+    def test_sampled_rank_accuracy(self, rng):
+        """At rate p the quantile's rank error is within a few sd of 0."""
+        nodes = [
+            NodeData(node_id=i + 1, values=rng.uniform(0, 1, 2000))
+            for i in range(4)
+        ]
+        pooled = np.sort(np.concatenate([n.values for n in nodes]))
+        n, k, p = len(pooled), 4, 0.2
+        errors = []
+        for _ in range(50):
+            samples = [node.sample(p, rng) for node in nodes]
+            estimate = estimate_quantile(samples, 0.5)
+            rank = int(np.count_nonzero(pooled <= estimate))
+            errors.append(abs(rank - 0.5 * n))
+        # Var of the count estimate <= 8k/p² -> sd ~ 28; allow wide slack.
+        assert np.mean(errors) < 5 * np.sqrt(8 * k / p**2)
+
+    def test_rejects_bad_q(self, uniform_nodes, rng):
+        samples = full_samples(uniform_nodes, rng)
+        with pytest.raises(ValueError):
+            estimate_quantile(samples, 1.5)
+
+    def test_rejects_empty_pool(self):
+        empty = NodeSample(node_id=1, values=np.array([]),
+                           ranks=np.array([]), node_size=5, p=0.01)
+        with pytest.raises(ValueError):
+            estimate_quantile([empty], 0.5)
+
+    def test_rejects_empty_data(self):
+        empty = NodeSample(node_id=1, values=np.array([]),
+                           ranks=np.array([]), node_size=0, p=0.5)
+        with pytest.raises(ValueError):
+            estimate_quantile([empty], 0.5)

@@ -1,0 +1,234 @@
+"""Unit + statistical tests for the RankCounting estimator (Theorems 3.1/3.2).
+
+Includes hand-constructed samples that pin each of the four estimator
+cases, tie-handling checks, and Monte-Carlo verification of unbiasedness
+and the 8k/p² variance bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidQueryError
+from repro.estimators.base import NodeData, NodeSample
+from repro.estimators.exact import exact_count_nodes
+from repro.estimators.rank import (
+    RankCountingEstimator,
+    rank_counting_node_estimate,
+)
+
+
+def make_sample(values, ranks, node_size, p):
+    return NodeSample(
+        node_id=1,
+        values=np.asarray(values, dtype=float),
+        ranks=np.asarray(ranks, dtype=np.int64),
+        node_size=node_size,
+        p=p,
+    )
+
+
+class TestFourCases:
+    """Node data is conceptually 1..10 (ranks = values); query [3.5, 7.5]."""
+
+    def test_both_witnesses(self):
+        # Sampled: 2 (pred, rank 2) and 9 (succ, rank 9).
+        sample = make_sample([2.0, 9.0], [2, 9], 10, 0.5)
+        # (9 - 2 + 1) - 2/p = 8 - 4 = 4; truth is 4 (values 4..7).
+        assert rank_counting_node_estimate(sample, 3.5, 7.5) == 4.0
+
+    def test_predecessor_only(self):
+        sample = make_sample([2.0], [2], 10, 0.5)
+        # (n_i - r_p + 1) - 1/p = (10 - 2 + 1) - 2 = 7.
+        assert rank_counting_node_estimate(sample, 3.5, 7.5) == 7.0
+
+    def test_successor_only(self):
+        sample = make_sample([9.0], [9], 10, 0.5)
+        # r_s - 1/p = 9 - 2 = 7.
+        assert rank_counting_node_estimate(sample, 3.5, 7.5) == 7.0
+
+    def test_no_witness(self):
+        # Only an in-range element sampled: neither pred nor succ exists.
+        sample = make_sample([5.0], [5], 10, 0.5)
+        assert rank_counting_node_estimate(sample, 3.5, 7.5) == 10.0
+
+    def test_empty_sample_no_witness(self):
+        sample = make_sample([], [], 10, 0.5)
+        assert rank_counting_node_estimate(sample, 3.5, 7.5) == 10.0
+
+    def test_boundary_values_are_inside(self):
+        # Element equal to the lower bound must NOT act as predecessor.
+        sample = make_sample([3.5, 9.0], [4, 9], 10, 0.5)
+        # succ=9 (rank 9), no pred: r_s - 1/p = 9 - 2 = 7.
+        assert rank_counting_node_estimate(sample, 3.5, 7.5) == 7.0
+
+    def test_estimate_can_be_negative(self):
+        # Adjacent witnesses with small p make the correction dominate.
+        sample = make_sample([3.0, 8.0], [3, 8], 10, 0.1)
+        # (8 - 3 + 1) - 20 = -14.
+        assert rank_counting_node_estimate(sample, 3.5, 7.5) == -14.0
+
+    def test_empty_node_is_zero(self):
+        sample = make_sample([], [], 0, 0.5)
+        assert rank_counting_node_estimate(sample, 0.0, 1.0) == 0.0
+
+    def test_rejects_zero_p_nonempty(self):
+        sample = make_sample([], [], 10, 0.0)
+        with pytest.raises(ValueError):
+            rank_counting_node_estimate(sample, 0.0, 1.0)
+
+    def test_rejects_inverted_range(self):
+        sample = make_sample([1.0], [1], 3, 0.5)
+        with pytest.raises(InvalidQueryError):
+            rank_counting_node_estimate(sample, 2.0, 1.0)
+
+
+class TestTieHandling:
+    def test_duplicates_below_bound(self):
+        """With duplicated values, the max-rank duplicate is the predecessor."""
+        node = NodeData(node_id=1, values=np.array([2.0, 2.0, 2.0, 5.0, 9.0]))
+        # Rank assignment: 2.0->1,2,3 ; 5.0->4 ; 9.0->5.
+        sample = make_sample([2.0, 2.0], [2, 3], 5, 0.5)
+        # Query [4, 6]: pred is rank 3 (closest duplicate), no succ.
+        # (5 - 3 + 1) - 2 = 1; truth is 1.
+        assert rank_counting_node_estimate(sample, 4.0, 6.0) == 1.0
+
+    def test_all_equal_values(self, rng):
+        node = NodeData(node_id=1, values=np.full(50, 7.0))
+        est = RankCountingEstimator()
+        # Query containing the common value: truth 50, no witnesses ever.
+        sample = node.sample(0.4, rng)
+        assert rank_counting_node_estimate(sample, 6.0, 8.0) == 50.0
+
+    def test_unbiased_with_duplicates(self, rng):
+        values = rng.integers(0, 12, 300).astype(float)
+        node = NodeData(node_id=1, values=values)
+        truth = node.exact_count(3.0, 8.0)
+        p = 0.15
+        draws = [
+            rank_counting_node_estimate(node.sample(p, rng), 3.0, 8.0)
+            for _ in range(8000)
+        ]
+        mean = np.mean(draws)
+        se = np.std(draws) / np.sqrt(len(draws))
+        assert abs(mean - truth) < 5 * se + 1e-9
+
+
+class TestEstimatorValidation:
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            RankCountingEstimator().estimate([], 0.0, 1.0)
+
+    def test_requires_common_rate(self):
+        a = make_sample([1.0], [1], 10, 0.5)
+        b = NodeSample(
+            node_id=2,
+            values=np.array([1.0]),
+            ranks=np.array([1]),
+            node_size=10,
+            p=0.25,
+        )
+        with pytest.raises(ValueError):
+            RankCountingEstimator().estimate([a, b], 0.0, 1.0)
+
+    def test_empty_nodes_do_not_constrain_rate(self):
+        """Nodes with no data are ignored when checking rate agreement."""
+        empty = NodeSample(
+            node_id=2, values=np.array([]), ranks=np.array([]), node_size=0, p=0.0
+        )
+        a = make_sample([1.0], [1], 10, 0.5)
+        result = RankCountingEstimator().estimate([a, empty], 0.0, 2.0)
+        assert result.node_count == 2
+        assert result.total_size == 10
+
+    def test_result_metadata(self, uniform_nodes, rng):
+        samples = [n.sample(0.3, rng) for n in uniform_nodes]
+        result = RankCountingEstimator().estimate(samples, 10.0, 60.0)
+        assert result.node_count == 5
+        assert result.total_size == 1000
+        assert result.p == 0.3
+        assert result.variance_bound == pytest.approx(8 * 5 / 0.3**2)
+        assert len(result.per_node) == 5
+        assert sum(result.per_node) == pytest.approx(result.estimate)
+
+
+class TestExactRecovery:
+    def test_p_one_recovers_truth(self, uniform_nodes, rng):
+        samples = [n.sample(1.0, rng) for n in uniform_nodes]
+        est = RankCountingEstimator()
+        for low, high in [(0.0, 100.0), (10.0, 20.0), (99.0, 99.5)]:
+            truth = exact_count_nodes(uniform_nodes, low, high)
+            result = est.estimate(samples, low, high)
+            assert result.estimate == pytest.approx(truth)
+
+    def test_range_outside_data(self, uniform_nodes, rng):
+        samples = [n.sample(0.5, rng) for n in uniform_nodes]
+        result = RankCountingEstimator().estimate(samples, 500.0, 600.0)
+        # Some estimates may undershoot 0 but never by more than k/p.
+        assert result.estimate <= 0.0 + 1e-9
+        assert result.clamped() == 0.0
+
+
+class TestStatisticalGuarantees:
+    @pytest.mark.parametrize("p", [0.05, 0.2, 0.6])
+    def test_unbiased_single_node(self, rng, p):
+        node = NodeData(node_id=1, values=rng.uniform(0, 100, 300))
+        truth = node.exact_count(20.0, 70.0)
+        draws = [
+            rank_counting_node_estimate(node.sample(p, rng), 20.0, 70.0)
+            for _ in range(6000)
+        ]
+        mean = np.mean(draws)
+        se = np.std(draws) / np.sqrt(len(draws))
+        assert abs(mean - truth) < 5 * se + 1e-9
+
+    def test_variance_bound_single_node(self, rng):
+        node = NodeData(node_id=1, values=rng.uniform(0, 100, 300))
+        p = 0.1
+        draws = [
+            rank_counting_node_estimate(node.sample(p, rng), 5.0, 95.0)
+            for _ in range(6000)
+        ]
+        assert np.var(draws) <= 8.0 / p**2
+
+    def test_unbiased_multi_node(self, uniform_nodes, rng):
+        est = RankCountingEstimator()
+        truth = exact_count_nodes(uniform_nodes, 30.0, 80.0)
+        p = 0.1
+        draws = []
+        for _ in range(4000):
+            samples = [n.sample(p, rng) for n in uniform_nodes]
+            draws.append(est.estimate(samples, 30.0, 80.0).estimate)
+        mean = np.mean(draws)
+        se = np.std(draws) / np.sqrt(len(draws))
+        assert abs(mean - truth) < 5 * se + 1e-9
+
+    def test_variance_bound_multi_node(self, uniform_nodes, rng):
+        est = RankCountingEstimator()
+        p = 0.1
+        k = len(uniform_nodes)
+        draws = []
+        for _ in range(4000):
+            samples = [n.sample(p, rng) for n in uniform_nodes]
+            draws.append(est.estimate(samples, 0.0, 100.0).estimate)
+        assert np.var(draws) <= 8.0 * k / p**2
+
+    def test_variance_beats_basic_on_wide_ranges(self, rng):
+        """Section III-A: for wide ranges RankCounting's variance is far
+        below BasicCounting's γ(1 − p)/p."""
+        from repro.estimators.basic import BasicCountingEstimator
+
+        nodes = [
+            NodeData(node_id=i + 1, values=rng.uniform(0, 1, 2000))
+            for i in range(2)
+        ]
+        p = 0.2
+        rank_est = RankCountingEstimator()
+        basic_est = BasicCountingEstimator()
+        rank_draws, basic_draws = [], []
+        for _ in range(2000):
+            samples = [n.sample(p, rng) for n in nodes]
+            rank_draws.append(rank_est.estimate(samples, 0.0, 1.0).estimate)
+            basic_draws.append(basic_est.estimate(samples, 0.0, 1.0).estimate)
+        assert np.var(rank_draws) < np.var(basic_draws) / 5

@@ -1,0 +1,128 @@
+"""Adversarial data patterns for the RankCounting estimator.
+
+Unbiasedness must not depend on how data is distributed or partitioned;
+these tests attack the estimator with the worst shapes the partitioning
+and workload layers can produce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.partition import partition_range_sharded
+from repro.estimators.base import NodeData
+from repro.estimators.exact import exact_count_nodes
+from repro.estimators.rank import (
+    RankCountingEstimator,
+    rank_counting_node_estimate,
+)
+
+
+def monte_carlo_mean(nodes, low, high, p, rng, trials=5000):
+    est = RankCountingEstimator()
+    draws = [
+        est.estimate([n.sample(p, rng) for n in nodes], low, high).estimate
+        for _ in range(trials)
+    ]
+    return np.mean(draws), np.std(draws) / np.sqrt(trials)
+
+
+class TestRangeShardedPartition:
+    """Each node owns one value band: queries hit all-or-nothing nodes."""
+
+    def test_unbiased(self, rng):
+        values = rng.uniform(0, 100, 1200)
+        shards = partition_range_sharded(values, 6)
+        nodes = [NodeData(node_id=i + 1, values=s)
+                 for i, s in enumerate(shards)]
+        truth = exact_count_nodes(nodes, 30.0, 60.0)
+        mean, se = monte_carlo_mean(nodes, 30.0, 60.0, 0.15, rng)
+        assert abs(mean - truth) < 5 * se + 1e-9
+
+    def test_variance_bound_still_holds(self, rng):
+        values = rng.uniform(0, 100, 1200)
+        shards = partition_range_sharded(values, 6)
+        nodes = [NodeData(node_id=i + 1, values=s)
+                 for i, s in enumerate(shards)]
+        p = 0.15
+        est = RankCountingEstimator()
+        draws = [
+            est.estimate([n.sample(p, rng) for n in nodes], 30.0, 60.0).estimate
+            for _ in range(5000)
+        ]
+        assert np.var(draws) <= 8 * 6 / p**2
+
+
+class TestDegenerateNodes:
+    def test_single_element_nodes(self, rng):
+        nodes = [
+            NodeData(node_id=i + 1, values=np.array([float(i * 10)]))
+            for i in range(8)
+        ]
+        truth = exact_count_nodes(nodes, 15.0, 55.0)
+        mean, se = monte_carlo_mean(nodes, 15.0, 55.0, 0.3, rng)
+        assert abs(mean - truth) < 5 * se + 1e-9
+
+    def test_mixture_of_empty_and_full_nodes(self, rng):
+        nodes = [
+            NodeData(node_id=1, values=np.array([])),
+            NodeData(node_id=2, values=rng.uniform(0, 1, 300)),
+            NodeData(node_id=3, values=np.array([])),
+        ]
+        truth = exact_count_nodes(nodes, 0.2, 0.8)
+        mean, se = monte_carlo_mean(nodes, 0.2, 0.8, 0.2, rng)
+        assert abs(mean - truth) < 5 * se + 1e-9
+
+    def test_query_covering_single_repeated_value(self, rng):
+        node = NodeData(node_id=1, values=np.full(200, 42.0))
+        p = 0.1
+        draws = [
+            rank_counting_node_estimate(node.sample(p, rng), 42.0, 42.0)
+            for _ in range(2000)
+        ]
+        # No element is ever a witness: every draw is exactly n_i.
+        assert set(draws) == {200.0}
+
+    def test_query_strictly_between_duplicates(self, rng):
+        node = NodeData(
+            node_id=1,
+            values=np.concatenate([np.full(100, 10.0), np.full(100, 20.0)]),
+        )
+        truth = 0  # (12, 18) contains nothing
+        p = 0.2
+        draws = [
+            rank_counting_node_estimate(node.sample(p, rng), 12.0, 18.0)
+            for _ in range(6000)
+        ]
+        mean = np.mean(draws)
+        se = np.std(draws) / np.sqrt(len(draws))
+        assert abs(mean - truth) < 5 * se + 1e-9
+
+
+class TestExtremeValues:
+    def test_huge_magnitudes(self, rng):
+        node = NodeData(
+            node_id=1,
+            values=rng.uniform(-1e12, 1e12, 400),
+        )
+        truth = node.exact_count(-1e11, 5e11)
+        p = 0.25
+        draws = [
+            rank_counting_node_estimate(node.sample(p, rng), -1e11, 5e11)
+            for _ in range(5000)
+        ]
+        mean = np.mean(draws)
+        se = np.std(draws) / np.sqrt(len(draws))
+        assert abs(mean - truth) < 5 * se + 1e-9
+
+    def test_denormal_scale_gaps(self, rng):
+        """Values separated by tiny gaps still rank deterministically."""
+        base = 1.0
+        values = base + np.arange(100) * 1e-12
+        node = NodeData(node_id=1, values=values)
+        sample = node.sample(1.0, rng)
+        est = rank_counting_node_estimate(
+            sample, base + 25e-12, base + 74e-12
+        )
+        assert est == node.exact_count(base + 25e-12, base + 74e-12)

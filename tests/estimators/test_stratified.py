@@ -1,0 +1,190 @@
+"""Unit + statistical tests for stratified sampling estimation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators.stratified import (
+    StratifiedCountingEstimator,
+    StratifiedNodeSample,
+    allocate_rates,
+    stratify_node,
+)
+
+EDGES = (0.0, 50.0, 100.0)
+
+
+class TestStratifyNode:
+    def test_partition_sizes(self, rng):
+        values = np.array([10.0, 20.0, 60.0, 70.0, 80.0])
+        sample = stratify_node(1, values, EDGES, (1.0, 1.0), rng)
+        assert sample.stratum_sizes == (2, 3)
+        assert sample.node_size == 5
+
+    def test_full_rates_keep_everything(self, rng):
+        values = rng.uniform(0, 100, 200)
+        sample = stratify_node(1, values, EDGES, (1.0, 1.0), rng)
+        assert sample.sample_size == 200
+
+    def test_zero_rates_keep_nothing(self, rng):
+        values = rng.uniform(0, 100, 200)
+        sample = stratify_node(1, values, EDGES, (0.0, 0.0), rng)
+        assert sample.sample_size == 0
+        assert sample.node_size == 200
+
+    def test_per_stratum_rates_respected(self, rng):
+        values = np.concatenate([
+            np.full(20000, 25.0),  # stratum 0
+            np.full(20000, 75.0),  # stratum 1
+        ])
+        sample = stratify_node(1, values, EDGES, (0.1, 0.5), rng)
+        kept0 = int(np.count_nonzero(sample.strata == 0))
+        kept1 = int(np.count_nonzero(sample.strata == 1))
+        assert 0.08 * 20000 < kept0 < 0.12 * 20000
+        assert 0.47 * 20000 < kept1 < 0.53 * 20000
+
+    def test_out_of_span_values_clamped(self, rng):
+        values = np.array([-10.0, 150.0])
+        sample = stratify_node(1, values, EDGES, (1.0, 1.0), rng)
+        assert sample.stratum_sizes == (1, 1)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            StratifiedNodeSample(
+                node_id=1, edges=(0.0,), rates=(), stratum_sizes=(),
+                values=np.array([]), strata=np.array([]),
+            )
+        with pytest.raises(ValueError):
+            StratifiedNodeSample(
+                node_id=1, edges=(0.0, 0.0), rates=(0.5,),
+                stratum_sizes=(1,), values=np.array([]),
+                strata=np.array([]),
+            )
+        with pytest.raises(ValueError):
+            StratifiedNodeSample(
+                node_id=1, edges=(0.0, 1.0), rates=(1.5,),
+                stratum_sizes=(1,), values=np.array([]),
+                strata=np.array([]),
+            )
+
+
+class TestAllocateRates:
+    def test_proportional_is_uniform(self):
+        rates = allocate_rates([900, 100], budget=100)
+        assert rates == [0.1, 0.1]
+
+    def test_equal_oversamples_sparse(self):
+        rates = allocate_rates([900, 100], budget=100, mode="equal")
+        # 50 expected per stratum: 50/900 vs 50/100.
+        assert rates[0] == pytest.approx(50 / 900)
+        assert rates[1] == pytest.approx(0.5)
+
+    def test_sqrt_between(self):
+        prop = allocate_rates([900, 100], budget=100)
+        equal = allocate_rates([900, 100], budget=100, mode="equal")
+        sqrt = allocate_rates([900, 100], budget=100, mode="sqrt")
+        assert prop[1] < sqrt[1] < equal[1]
+
+    def test_budgets_preserved(self):
+        sizes = [500, 300, 200]
+        for mode in ("proportional", "equal", "sqrt"):
+            rates = allocate_rates(sizes, budget=120, mode=mode)
+            expected = sum(r * s for r, s in zip(rates, sizes))
+            assert expected == pytest.approx(120, rel=1e-9)
+
+    def test_rates_clipped_at_one(self):
+        rates = allocate_rates([1000, 2], budget=100, mode="equal")
+        assert rates[1] == 1.0
+
+    def test_empty_stratum_gets_zero(self):
+        rates = allocate_rates([100, 0], budget=50, mode="equal")
+        assert rates[1] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            allocate_rates([0, 0], budget=10)
+        with pytest.raises(ValueError):
+            allocate_rates([10], budget=0)
+        with pytest.raises(ValueError):
+            allocate_rates([10], budget=5, mode="bogus")
+        with pytest.raises(ValueError):
+            allocate_rates([-1], budget=5)
+
+
+class TestEstimator:
+    def test_full_rate_exact(self, rng):
+        values = rng.uniform(0, 100, 300)
+        sample = stratify_node(1, values, EDGES, (1.0, 1.0), rng)
+        est = StratifiedCountingEstimator()
+        truth = int(np.count_nonzero((values >= 20) & (values <= 80)))
+        assert est.estimate([sample], 20.0, 80.0) == pytest.approx(truth)
+
+    def test_unbiased(self, rng):
+        values = rng.uniform(0, 100, 400)
+        truth = int(np.count_nonzero((values >= 30) & (values <= 90)))
+        est = StratifiedCountingEstimator()
+        draws = [
+            est.estimate(
+                [stratify_node(1, values, EDGES, (0.1, 0.4), rng)],
+                30.0, 90.0,
+            )
+            for _ in range(6000)
+        ]
+        mean = np.mean(draws)
+        se = np.std(draws) / np.sqrt(len(draws))
+        assert abs(mean - truth) < 5 * se + 1e-9
+
+    def test_variance_matches_formula(self, rng):
+        values = rng.uniform(0, 100, 400)
+        est = StratifiedCountingEstimator()
+        low, high = 10.0, 95.0
+        gamma0 = int(np.count_nonzero((values >= low) & (values < 50)))
+        gamma1 = int(np.count_nonzero((values >= 50) & (values <= high)))
+        draws = []
+        sample = None
+        for _ in range(6000):
+            sample = stratify_node(1, values, EDGES, (0.2, 0.5), rng)
+            draws.append(est.estimate([sample], low, high))
+        expected = est.variance([sample], [(gamma0, gamma1)])
+        assert expected * 0.85 < np.var(draws) < expected * 1.15
+
+    def test_zero_rate_nonempty_stratum_rejected(self, rng):
+        sample = StratifiedNodeSample(
+            node_id=1, edges=EDGES, rates=(0.0, 1.0),
+            stratum_sizes=(5, 5),
+            values=np.array([25.0]), strata=np.array([0]),
+        )
+        with pytest.raises(ValueError):
+            StratifiedCountingEstimator().estimate([sample], 0.0, 100.0)
+
+    def test_requires_samples(self):
+        with pytest.raises(ValueError):
+            StratifiedCountingEstimator().estimate([], 0.0, 1.0)
+
+    def test_equal_allocation_beats_proportional_on_sparse_band(self, rng):
+        """The design motivation: same budget, lower variance on a band
+        that holds few records."""
+        # 95% of data near 25, 5% near 75.
+        values = np.concatenate([
+            rng.normal(25, 5, 1900).clip(0, 49),
+            rng.normal(75, 5, 100).clip(51, 100),
+        ])
+        budget = 200.0
+        sizes = [
+            int(np.count_nonzero(values < 50)),
+            int(np.count_nonzero(values >= 50)),
+        ]
+        est = StratifiedCountingEstimator()
+        results = {}
+        for mode in ("proportional", "equal"):
+            rates = allocate_rates(sizes, budget, mode=mode)
+            draws = [
+                est.estimate(
+                    [stratify_node(1, values, EDGES, rates, rng)],
+                    51.0, 100.0,
+                )
+                for _ in range(2000)
+            ]
+            results[mode] = np.var(draws)
+        assert results["equal"] < results["proportional"] / 2

@@ -1,0 +1,100 @@
+"""Unit tests for variance bounds and Chebyshev machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.estimators.variance import (
+    chebyshev_confidence,
+    chebyshev_tolerance,
+    delivered_variance,
+    empirical_max_relative_error,
+    empirical_variance,
+    rank_counting_variance_bound,
+)
+
+
+class TestRankCountingVarianceBound:
+    def test_formula(self):
+        assert rank_counting_variance_bound(8, 0.2) == pytest.approx(8 * 8 / 0.04)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            rank_counting_variance_bound(0, 0.5)
+        with pytest.raises(ValueError):
+            rank_counting_variance_bound(4, 0.0)
+
+
+class TestChebyshev:
+    def test_confidence_formula(self):
+        assert chebyshev_confidence(25.0, 10.0) == pytest.approx(0.75)
+
+    def test_confidence_vacuous_clips_to_zero(self):
+        assert chebyshev_confidence(200.0, 10.0) == 0.0
+
+    def test_tolerance_inverts_confidence(self):
+        variance, delta = 50.0, 0.8
+        t = chebyshev_tolerance(variance, delta)
+        assert chebyshev_confidence(variance, t) == pytest.approx(delta)
+
+    def test_tolerance_rejects_delta_one(self):
+        with pytest.raises(ValueError):
+            chebyshev_tolerance(1.0, 1.0)
+
+    def test_confidence_rejects_bad_tolerance(self):
+        with pytest.raises(ValueError):
+            chebyshev_confidence(1.0, 0.0)
+
+
+class TestDeliveredVariance:
+    def test_formula(self):
+        assert delivered_variance(0.1, 0.5, 1000) == pytest.approx(100.0**2 * 0.5)
+
+    def test_decreasing_in_delta(self):
+        assert delivered_variance(0.1, 0.9, 1000) < delivered_variance(
+            0.1, 0.1, 1000
+        )
+
+    def test_increasing_in_alpha(self):
+        assert delivered_variance(0.2, 0.5, 1000) > delivered_variance(
+            0.1, 0.5, 1000
+        )
+
+    def test_chebyshev_consistency(self):
+        """The delivered variance certifies exactly the (α, δ) guarantee."""
+        alpha, delta, n = 0.1, 0.6, 5000
+        variance = delivered_variance(alpha, delta, n)
+        assert chebyshev_confidence(variance, alpha * n) == pytest.approx(delta)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            delivered_variance(0.0, 0.5, 100)
+        with pytest.raises(ValueError):
+            delivered_variance(0.5, 1.0, 100)
+        with pytest.raises(ValueError):
+            delivered_variance(0.5, 0.5, 0)
+
+
+class TestEmpiricalHelpers:
+    def test_empirical_variance(self):
+        assert empirical_variance([1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_empirical_variance_needs_two(self):
+        with pytest.raises(ValueError):
+            empirical_variance([1.0])
+
+    def test_max_relative_error(self):
+        assert empirical_max_relative_error([90.0, 110.0], [100.0, 100.0]) == (
+            pytest.approx(0.1)
+        )
+
+    def test_zero_truth_normalizes_by_one(self):
+        assert empirical_max_relative_error([3.0], [0.0]) == pytest.approx(3.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            empirical_max_relative_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_max_relative_error([], [])

@@ -1,0 +1,214 @@
+"""Unit tests for tree-model in-network aggregation (the paper's extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DeliveryError
+from repro.estimators.base import NodeData
+from repro.estimators.rank import RankCountingEstimator
+from repro.iot.aggregation import TreeCollector
+from repro.iot.base_station import BaseStation
+from repro.iot.channel import Channel
+from repro.iot.device import SmartDevice
+from repro.iot.messages import AggregatedReport, message_from_dict
+from repro.iot.network import Network
+from repro.iot.topology import BASE_STATION_ID, TreeTopology
+
+
+def make_collector(k=6, size=200, fanout=2, seed=0):
+    topology = TreeTopology.balanced(k, fanout=fanout)
+    network = Network(
+        topology=topology, channel=Channel(rng=np.random.default_rng(seed))
+    )
+    rng = np.random.default_rng(seed + 5)
+    devices = {
+        node_id: SmartDevice(
+            node_id=node_id,
+            data=NodeData(node_id=node_id, values=rng.uniform(0, 100, size)),
+            rng=np.random.default_rng(seed * 97 + node_id),
+        )
+        for node_id in topology.node_ids()
+    }
+    return TreeCollector(network=network, topology=topology, devices=devices)
+
+
+class TestAggregatedReportMessage:
+    def test_parallel_validation(self):
+        with pytest.raises(ValueError):
+            AggregatedReport(sender=1, receiver=0, origins=(1,), values=())
+
+    def test_per_origin_pair_validation(self):
+        with pytest.raises(ValueError):
+            AggregatedReport(
+                sender=1,
+                receiver=0,
+                origins=(1,),
+                values=((1.0, 2.0),),
+                ranks=((1,),),
+                node_sizes=(5,),
+            )
+
+    def test_counts(self):
+        report = AggregatedReport(
+            sender=1,
+            receiver=0,
+            origins=(1, 2),
+            values=((1.0,), (2.0, 3.0)),
+            ranks=((1,), (1, 4)),
+            node_sizes=(3, 5),
+            p=0.5,
+        )
+        assert report.origin_count == 2
+        assert report.sample_count == 3
+
+    def test_serialization_round_trip(self):
+        report = AggregatedReport(
+            sender=1,
+            receiver=0,
+            origins=(1, 2),
+            values=((1.5,), (2.5, 3.5)),
+            ranks=((2,), (1, 3)),
+            node_sizes=(4, 6),
+            p=0.25,
+        )
+        assert message_from_dict(report.to_dict()) == report
+
+    def test_bundling_saves_header_bytes(self):
+        """One bundle is smaller than two separate reports."""
+        from repro.iot.messages import SampleReport
+
+        bundle = AggregatedReport(
+            sender=1,
+            receiver=0,
+            origins=(1, 2),
+            values=((1.0, 2.0), (3.0,)),
+            ranks=((1, 2), (1,)),
+            node_sizes=(4, 4),
+            p=0.5,
+        )
+        separate = [
+            SampleReport(sender=1, receiver=0, values=(1.0, 2.0), ranks=(1, 2),
+                         node_size=4, p=0.5),
+            SampleReport(sender=2, receiver=0, values=(3.0,), ranks=(1,),
+                         node_size=4, p=0.5),
+        ]
+        assert bundle.size_bytes() < sum(m.size_bytes() for m in separate)
+
+
+class TestTreeCollection:
+    def test_collect_stores_every_node(self):
+        collector = make_collector(k=6)
+        collector.collect(0.3)
+        samples = collector.samples()
+        assert [s.node_id for s in samples] == [1, 2, 3, 4, 5, 6]
+        assert all(s.p == 0.3 for s in samples)
+
+    def test_samples_reference_real_data(self):
+        collector = make_collector(k=5)
+        collector.collect(0.4)
+        for sample in collector.samples():
+            device = collector.devices[sample.node_id]
+            for value, rank in zip(sample.values, sample.ranks):
+                assert device.data.sorted_values[rank - 1] == value
+
+    def test_estimator_works_on_tree_samples(self):
+        """Tree transport feeds the same estimator as the flat model."""
+        collector = make_collector(k=6, size=400)
+        collector.collect(1.0)  # full rate -> exact recovery
+        truth = sum(
+            d.data.exact_count(20.0, 70.0) for d in collector.devices.values()
+        )
+        result = RankCountingEstimator().estimate(
+            collector.samples(), 20.0, 70.0
+        )
+        assert result.estimate == pytest.approx(truth)
+
+    def test_one_uplink_message_per_edge(self):
+        collector = make_collector(k=7, fanout=2)
+        collector.collect(0.2)
+        uplinks = [
+            r for r in collector.network.deliveries
+            if r.message_type == "AggregatedReport"
+        ]
+        # k tree edges, one bundle each.
+        assert len(uplinks) == 7
+
+    def test_duplicate_shipment_detected(self):
+        collector = make_collector(k=3, fanout=1)
+        collector.collect(0.2)
+        bundle = AggregatedReport(
+            sender=1, receiver=0, origins=(1,), values=((),), ranks=((),),
+            node_sizes=(5,), p=0.2,
+        )
+        collector._store  # collected already; re-ingesting node 1 collides
+        with pytest.raises(DeliveryError):
+            collector._ingest(bundle)
+
+    def test_rejects_bad_rate(self):
+        collector = make_collector()
+        with pytest.raises(ValueError):
+            collector.collect(0.0)
+
+    def test_samples_before_collect(self):
+        collector = make_collector()
+        with pytest.raises(DeliveryError):
+            collector.samples()
+
+    def test_missing_device_rejected(self):
+        topology = TreeTopology.balanced(3)
+        network = Network(topology=topology)
+        with pytest.raises(ValueError):
+            TreeCollector(network=network, topology=topology, devices={})
+
+    def test_shape_properties(self):
+        collector = make_collector(k=6, size=200)
+        assert collector.k == 6
+        assert collector.n == 1200
+        assert collector.sampling_rate == 0.0
+        collector.collect(0.25)
+        assert collector.sampling_rate == 0.25
+        assert collector.sample_volume() == sum(
+            len(s) for s in collector.samples()
+        )
+
+
+class TestTreeVsFlatCost:
+    def test_bundling_beats_per_node_relay(self):
+        """In-network aggregation ships fewer uplink bytes than routing
+        every node's individual report across the same tree."""
+        k, size, p, seed = 10, 300, 0.3, 4
+        collector = make_collector(k=k, size=size, fanout=2, seed=seed)
+        collector.collect(p)
+        tree_bytes = collector.network.meter.total_hop_bytes
+
+        # Baseline: same tree, but each node's report routed individually
+        # to the base station (multi-hop, one message per node).
+        topology = TreeTopology.balanced(k, fanout=2)
+        network = Network(
+            topology=topology, channel=Channel(rng=np.random.default_rng(seed))
+        )
+        rng = np.random.default_rng(seed + 5)
+        from repro.iot.messages import SampleReport, SampleRequest
+
+        for node_id in topology.node_ids():
+            device_values = rng.uniform(0, 100, size)
+            network.send(
+                SampleRequest(sender=topology.parent[node_id],
+                              receiver=node_id, p=p)
+            )
+            data = NodeData(node_id=node_id, values=device_values)
+            sample = data.sample(p, np.random.default_rng(seed * 97 + node_id))
+            network.send(
+                SampleReport(
+                    sender=node_id,
+                    receiver=BASE_STATION_ID,
+                    values=tuple(float(v) for v in sample.values),
+                    ranks=tuple(int(r) for r in sample.ranks),
+                    node_size=size,
+                    p=p,
+                )
+            )
+        flat_routed_bytes = network.meter.total_hop_bytes
+        assert tree_bytes < flat_routed_bytes

@@ -1,0 +1,172 @@
+"""Unit tests for the base station: collection rounds, top-ups, store."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientSamplesError
+from repro.estimators.base import NodeData
+from repro.iot.base_station import BaseStation
+from repro.iot.channel import Channel
+from repro.iot.device import SmartDevice
+from repro.iot.network import Network
+from repro.iot.topology import FlatTopology
+
+
+def make_station(k=4, size=300, seed=0):
+    network = Network(
+        topology=FlatTopology.with_devices(k),
+        channel=Channel(rng=np.random.default_rng(seed)),
+    )
+    station = BaseStation(network=network)
+    rng = np.random.default_rng(seed + 10)
+    for node_id in range(1, k + 1):
+        station.register(
+            SmartDevice(
+                node_id=node_id,
+                data=NodeData(node_id=node_id, values=rng.uniform(0, 100, size)),
+                rng=np.random.default_rng(seed * 1000 + node_id),
+            )
+        )
+    return station
+
+
+class TestRegistration:
+    def test_k_and_n(self):
+        station = make_station(k=4, size=300)
+        assert station.k == 4
+        assert station.n == 1200
+
+    def test_duplicate_registration_rejected(self):
+        station = make_station(k=2)
+        device = station.devices[1]
+        with pytest.raises(ValueError):
+            station.register(device)
+
+    def test_unknown_topology_node_rejected(self):
+        station = make_station(k=2)
+        stray = SmartDevice(
+            node_id=9, data=NodeData(node_id=9, values=np.array([1.0]))
+        )
+        with pytest.raises(ValueError):
+            station.register(stray)
+
+
+class TestCollect:
+    def test_collect_stores_all_nodes(self):
+        station = make_station(k=4)
+        station.collect(0.3)
+        samples = station.samples()
+        assert len(samples) == 4
+        assert all(s.p == 0.3 for s in samples)
+        assert station.sampling_rate == 0.3
+
+    def test_collect_meters_traffic(self):
+        station = make_station(k=4)
+        station.collect(0.3)
+        # One request and one shipment per device.
+        assert station.network.meter.total_messages == 8
+        assert station.network.meter.total_sample_pairs == station.sample_volume()
+
+    def test_collect_rejects_bad_rate(self):
+        station = make_station()
+        with pytest.raises(ValueError):
+            station.collect(0.0)
+        with pytest.raises(ValueError):
+            station.collect(1.5)
+
+    def test_collect_requires_devices(self):
+        network = Network(topology=FlatTopology.with_devices(1))
+        station = BaseStation(network=network)
+        with pytest.raises(ValueError):
+            station.collect(0.2)
+
+    def test_samples_before_collect_raises(self):
+        station = make_station()
+        with pytest.raises(InsufficientSamplesError):
+            station.samples()
+
+    def test_sample_volume_plausible(self):
+        station = make_station(k=4, size=2000)
+        station.collect(0.25)
+        assert 0.2 * 8000 < station.sample_volume() < 0.3 * 8000
+
+
+class TestTopUp:
+    def test_top_up_raises_rate(self):
+        station = make_station()
+        station.collect(0.1)
+        before = station.sample_volume()
+        station.top_up(0.5)
+        assert station.sampling_rate == 0.5
+        assert station.sample_volume() > before
+
+    def test_top_up_merge_matches_device_state(self):
+        station = make_station(k=3)
+        station.collect(0.2)
+        station.top_up(0.6)
+        for sample in station.samples():
+            device = station.devices[sample.node_id]
+            assert list(sample.ranks) == [
+                int(r) for r in device.current_sample.ranks
+            ]
+            assert list(sample.values) == [
+                float(v) for v in device.current_sample.values
+            ]
+
+    def test_top_up_without_collect_collects(self):
+        station = make_station()
+        station.top_up(0.3)
+        assert station.sampling_rate == 0.3
+
+    def test_top_up_lower_rate_rejected(self):
+        station = make_station()
+        station.collect(0.5)
+        with pytest.raises(ValueError):
+            station.top_up(0.2)
+
+    def test_top_up_same_rate_is_noop(self):
+        station = make_station()
+        station.collect(0.3)
+        messages_before = station.network.meter.total_messages
+        station.top_up(0.3)
+        assert station.network.meter.total_messages == messages_before
+
+
+class TestEnsureRate:
+    def test_noop_when_rate_sufficient(self):
+        station = make_station()
+        station.collect(0.4)
+        messages_before = station.network.meter.total_messages
+        station.ensure_rate(0.2)
+        assert station.network.meter.total_messages == messages_before
+        assert station.sampling_rate == 0.4
+
+    def test_tops_up_when_insufficient(self):
+        station = make_station()
+        station.collect(0.1)
+        station.ensure_rate(0.4)
+        assert station.sampling_rate == 0.4
+
+    def test_initial_collection(self):
+        station = make_station()
+        station.ensure_rate(0.25)
+        assert station.sampling_rate == 0.25
+
+    def test_rejects_bad_rate(self):
+        station = make_station()
+        with pytest.raises(ValueError):
+            station.ensure_rate(0.0)
+
+
+class TestSampleFidelity:
+    def test_stored_sample_is_valid_bernoulli_superset(self):
+        """After collect + top-up, stored ranks reference real node data."""
+        station = make_station(k=2, size=400)
+        station.collect(0.15)
+        station.top_up(0.45)
+        for sample in station.samples():
+            device = station.devices[sample.node_id]
+            for value, rank in zip(sample.values, sample.ranks):
+                assert device.data.sorted_values[rank - 1] == value

@@ -1,0 +1,103 @@
+"""Unit + statistical tests for the Gilbert–Elliott burst channel."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iot.channel import BurstChannel
+
+
+def make_channel(seed=0, **kwargs):
+    defaults = dict(
+        loss_probability=0.02,
+        bad_loss_probability=0.9,
+        p_good_to_bad=0.05,
+        p_bad_to_good=0.3,
+        rng=np.random.default_rng(seed),
+    )
+    defaults.update(kwargs)
+    return BurstChannel(**defaults)
+
+
+class TestValidation:
+    def test_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            make_channel(bad_loss_probability=1.5)
+        with pytest.raises(ValueError):
+            make_channel(p_good_to_bad=0.0)
+        with pytest.raises(ValueError):
+            make_channel(p_bad_to_good=2.0)
+
+    def test_inherits_base_validation(self):
+        with pytest.raises(ValueError):
+            make_channel(loss_probability=1.0)
+
+    def test_rejects_zero_hops(self):
+        channel = make_channel()
+        with pytest.raises(ValueError):
+            channel.attempt_succeeds(0)
+        with pytest.raises(ValueError):
+            channel.stationary_loss_rate(0)
+
+
+class TestStationaryBehaviour:
+    def test_stationary_loss_formula(self):
+        channel = make_channel()
+        bad_fraction = 0.05 / 0.35
+        expected = 1 - ((1 - bad_fraction) * 0.98 + bad_fraction * 0.1)
+        assert channel.stationary_loss_rate(1) == pytest.approx(expected)
+
+    def test_empirical_matches_stationary(self):
+        channel = make_channel(seed=7)
+        outcomes = [channel.attempt_succeeds(1) for _ in range(60_000)]
+        measured_loss = 1 - np.mean(outcomes)
+        assert measured_loss == pytest.approx(
+            channel.stationary_loss_rate(1), abs=0.02
+        )
+
+    def test_losses_are_bursty(self):
+        """Consecutive losses correlate far above the i.i.d. baseline."""
+        channel = make_channel(seed=3)
+        outcomes = np.array(
+            [channel.attempt_succeeds(1) for _ in range(60_000)]
+        )
+        losses = ~outcomes
+        # P(loss_t | loss_{t-1}) vs unconditional P(loss).
+        conditional = np.mean(losses[1:][losses[:-1]])
+        unconditional = np.mean(losses)
+        assert conditional > 2 * unconditional
+
+    def test_latency_model_inherited(self):
+        channel = make_channel(jitter=0.0, base_latency=0.01)
+        assert channel.sample_latency(2) == pytest.approx(0.02)
+
+
+class TestEndToEnd:
+    def test_collection_survives_bursts_with_retries(self):
+        from repro.estimators.base import NodeData
+        from repro.iot.base_station import BaseStation
+        from repro.iot.device import SmartDevice
+        from repro.iot.network import Network
+        from repro.iot.topology import FlatTopology
+
+        network = Network(
+            topology=FlatTopology.with_devices(4),
+            channel=make_channel(seed=11),
+            max_retries=40,
+        )
+        station = BaseStation(network=network)
+        rng = np.random.default_rng(2)
+        for node_id in range(1, 5):
+            station.register(
+                SmartDevice(
+                    node_id=node_id,
+                    data=NodeData(node_id=node_id,
+                                  values=rng.uniform(0, 1, 200)),
+                    rng=np.random.default_rng(node_id),
+                )
+            )
+        station.collect(0.3)
+        assert len(station.samples()) == 4
+        # Bursts forced retries beyond the loss-free minimum of 8.
+        assert network.meter.total_messages > 8

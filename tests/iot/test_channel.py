@@ -1,0 +1,59 @@
+"""Unit tests for the lossy-channel model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iot.channel import Channel
+
+
+class TestChannel:
+    def test_perfect_channel_always_succeeds(self):
+        channel = Channel(loss_probability=0.0)
+        assert all(channel.attempt_succeeds(1) for _ in range(100))
+
+    def test_loss_rate_matches(self):
+        channel = Channel(loss_probability=0.3, rng=np.random.default_rng(5))
+        outcomes = [channel.attempt_succeeds(1) for _ in range(20_000)]
+        assert np.mean(outcomes) == pytest.approx(0.7, abs=0.02)
+
+    def test_multi_hop_compounds_loss(self):
+        channel = Channel(loss_probability=0.2, rng=np.random.default_rng(5))
+        outcomes = [channel.attempt_succeeds(3) for _ in range(20_000)]
+        assert np.mean(outcomes) == pytest.approx(0.8**3, abs=0.02)
+
+    def test_latency_scales_with_hops(self):
+        channel = Channel(base_latency=0.01, jitter=0.0)
+        assert channel.sample_latency(3) == pytest.approx(0.03)
+
+    def test_jitter_adds_positive_noise(self):
+        channel = Channel(base_latency=0.01, jitter=0.005,
+                          rng=np.random.default_rng(5))
+        draws = [channel.sample_latency(1) for _ in range(5000)]
+        assert min(draws) >= 0.01
+        assert np.mean(draws) == pytest.approx(0.015, abs=0.001)
+
+    def test_rejects_bad_loss(self):
+        with pytest.raises(ValueError):
+            Channel(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            Channel(loss_probability=-0.1)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            Channel(base_latency=-1.0)
+
+    def test_rejects_zero_hops(self):
+        channel = Channel()
+        with pytest.raises(ValueError):
+            channel.attempt_succeeds(0)
+        with pytest.raises(ValueError):
+            channel.sample_latency(0)
+
+    def test_deterministic_with_seed(self):
+        a = Channel(loss_probability=0.5, rng=np.random.default_rng(9))
+        b = Channel(loss_probability=0.5, rng=np.random.default_rng(9))
+        assert [a.attempt_succeeds(1) for _ in range(50)] == [
+            b.attempt_succeeds(1) for _ in range(50)
+        ]

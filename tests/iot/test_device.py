@@ -1,0 +1,146 @@
+"""Unit tests for smart devices: sampling protocol, top-ups, heartbeats."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators.base import NodeData
+from repro.iot.device import SmartDevice
+from repro.iot.messages import (
+    HEARTBEAT_CAPACITY,
+    Ack,
+    Heartbeat,
+    SampleReport,
+    SampleRequest,
+    TopUpRequest,
+)
+from repro.iot.topology import BASE_STATION_ID
+
+
+def make_device(node_id=1, size=500, seed=0):
+    rng = np.random.default_rng(seed)
+    return SmartDevice(
+        node_id=node_id,
+        data=NodeData(node_id=node_id, values=rng.uniform(0, 100, size)),
+        rng=np.random.default_rng(seed + 1),
+    )
+
+
+class TestConstruction:
+    def test_reserved_id_rejected(self):
+        with pytest.raises(ValueError):
+            make_device(node_id=BASE_STATION_ID)
+
+    def test_node_data_id_must_match(self):
+        with pytest.raises(ValueError):
+            SmartDevice(node_id=1, data=NodeData(node_id=2, values=np.array([])))
+
+    def test_from_values(self):
+        device = SmartDevice.from_values(3, np.array([1.0, 2.0]))
+        assert device.size == 2
+        assert device.node_id == 3
+
+    def test_initial_state(self):
+        device = make_device()
+        assert device.current_sample is None
+        assert device.current_rate == 0.0
+
+
+class TestSampleRequest:
+    def test_large_sample_ships_as_report(self):
+        device = make_device(size=500)
+        request = SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.5)
+        shipment = device.handle(request)
+        assert isinstance(shipment, SampleReport)
+        assert shipment.node_size == 500
+        assert shipment.p == 0.5
+
+    def test_small_sample_rides_heartbeat(self):
+        device = make_device(size=40, seed=2)
+        request = SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.05)
+        shipment = device.handle(request)
+        assert isinstance(shipment, Heartbeat)
+        assert shipment.sample_count <= HEARTBEAT_CAPACITY
+
+    def test_updates_current_sample(self):
+        device = make_device()
+        device.handle(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.3))
+        assert device.current_rate == 0.3
+        assert device.current_sample is not None
+
+    def test_wrong_receiver_rejected(self):
+        device = make_device(node_id=1)
+        with pytest.raises(ValueError):
+            device.handle_sample_request(
+                SampleRequest(sender=BASE_STATION_ID, receiver=2, p=0.3)
+            )
+
+    def test_shipment_pairs_match_sample(self):
+        device = make_device()
+        shipment = device.handle(
+            SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.4)
+        )
+        sample = device.current_sample
+        assert list(shipment.values) == [float(v) for v in sample.values]
+        assert list(shipment.ranks) == [int(r) for r in sample.ranks]
+
+
+class TestTopUpRequest:
+    def test_requires_prior_sample(self):
+        device = make_device()
+        with pytest.raises(ValueError):
+            device.handle(
+                TopUpRequest(sender=BASE_STATION_ID, receiver=1, old_p=0.1,
+                             new_p=0.3)
+            )
+
+    def test_rate_mismatch_rejected(self):
+        device = make_device()
+        device.handle(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.2))
+        with pytest.raises(ValueError):
+            device.handle(
+                TopUpRequest(sender=BASE_STATION_ID, receiver=1, old_p=0.1,
+                             new_p=0.3)
+            )
+
+    def test_ships_only_increment(self):
+        device = make_device(size=1000)
+        first = device.handle(
+            SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.2)
+        )
+        old_ranks = set(first.ranks)
+        increment = device.handle(
+            TopUpRequest(sender=BASE_STATION_ID, receiver=1, old_p=0.2,
+                         new_p=0.6)
+        )
+        assert not old_ranks & set(increment.ranks)
+        assert increment.p == 0.6
+
+    def test_union_matches_device_state(self):
+        device = make_device(size=800)
+        first = device.handle(
+            SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.2)
+        )
+        increment = device.handle(
+            TopUpRequest(sender=BASE_STATION_ID, receiver=1, old_p=0.2,
+                         new_p=0.5)
+        )
+        union = sorted(set(first.ranks) | set(increment.ranks))
+        assert union == [int(r) for r in device.current_sample.ranks]
+
+    def test_wrong_receiver_rejected(self):
+        device = make_device(node_id=1)
+        device.handle(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.2))
+        with pytest.raises(ValueError):
+            device.handle_top_up_request(
+                TopUpRequest(sender=BASE_STATION_ID, receiver=2, old_p=0.2,
+                             new_p=0.4)
+            )
+
+
+class TestDispatch:
+    def test_unknown_message_rejected(self):
+        device = make_device()
+        with pytest.raises(TypeError):
+            device.handle(Ack(sender=BASE_STATION_ID, receiver=1))

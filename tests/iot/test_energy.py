@@ -1,0 +1,96 @@
+"""Unit tests for the radio energy model and device batteries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.iot.cost import CommunicationMeter
+from repro.iot.energy import DeviceBattery, EnergyModel
+from repro.iot.messages import SampleRequest
+
+
+class TestEnergyModel:
+    def test_transmit_formula(self):
+        model = EnergyModel(e_elec=50e-9, e_amp=100e-12, distance=50.0)
+        expected = 8 * (50e-9 + 100e-12 * 2500)
+        assert model.transmit_energy(1) == pytest.approx(expected)
+
+    def test_receive_formula(self):
+        model = EnergyModel(e_elec=50e-9)
+        assert model.receive_energy(10) == pytest.approx(80 * 50e-9)
+
+    def test_transmit_exceeds_receive(self):
+        model = EnergyModel()
+        assert model.transmit_energy(100) > model.receive_energy(100)
+
+    def test_round_energy_uses_hop_bytes(self):
+        model = EnergyModel()
+        meter = CommunicationMeter()
+        msg = SampleRequest(sender=0, receiver=1, p=0.1)
+        meter.charge(msg, hops=3)
+        expected = model.transmit_energy(
+            3 * msg.size_bytes()
+        ) + model.receive_energy(3 * msg.size_bytes())
+        assert model.round_energy(meter) == pytest.approx(expected)
+
+    def test_distance_matters(self):
+        near = EnergyModel(distance=10.0)
+        far = EnergyModel(distance=200.0)
+        assert far.transmit_energy(100) > near.transmit_energy(100)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            EnergyModel(e_elec=-1.0)
+        with pytest.raises(ValueError):
+            EnergyModel(distance=0.0)
+        with pytest.raises(ValueError):
+            EnergyModel().transmit_energy(-1)
+
+
+class TestDeviceBattery:
+    def test_drain(self):
+        battery = DeviceBattery(capacity_joules=10.0)
+        assert battery.drain(4.0) == pytest.approx(6.0)
+        assert not battery.depleted
+
+    def test_depletion_floors_at_zero(self):
+        battery = DeviceBattery(capacity_joules=1.0)
+        battery.drain(5.0)
+        assert battery.remaining == 0.0
+        assert battery.depleted
+
+    def test_rounds_supported(self):
+        battery = DeviceBattery(capacity_joules=10.0)
+        assert battery.rounds_supported(3.0) == 3
+        battery.drain(4.0)
+        assert battery.rounds_supported(3.0) == 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            DeviceBattery(capacity_joules=0.0)
+        with pytest.raises(ValueError):
+            DeviceBattery(capacity_joules=1.0).drain(-1.0)
+        with pytest.raises(ValueError):
+            DeviceBattery(capacity_joules=1.0).rounds_supported(0.0)
+
+
+class TestLifetimeClaim:
+    def test_sampling_extends_lifetime(self, citypulse_small):
+        """The motivating claim in joules: a sampled collection funds far
+        more rounds per battery than shipping the raw data."""
+        from repro.core.service import PrivateRangeCountingService
+        from repro.iot.messages import VALUE_BYTES
+
+        values = citypulse_small.values("ozone")
+        service = PrivateRangeCountingService.from_values(values, k=8, seed=2)
+        service.collect(0.02)
+        model = EnergyModel()
+        sampled_round = model.round_energy(service.network.meter)
+        raw_round = model.transmit_energy(
+            len(values) * VALUE_BYTES
+        ) + model.receive_energy(len(values) * VALUE_BYTES)
+        battery = DeviceBattery(capacity_joules=2340.0)  # coin cell
+        assert battery.rounds_supported(sampled_round) > (
+            10 * battery.rounds_supported(raw_round)
+        )

@@ -1,0 +1,142 @@
+"""Failure-injection tests: lossy links, dead links, retry exhaustion.
+
+The collection protocol must either complete or fail loudly -- never
+silently store a partial round as if it were complete.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DeliveryError, InsufficientSamplesError
+from repro.estimators.base import NodeData
+from repro.iot.base_station import BaseStation
+from repro.iot.channel import Channel
+from repro.iot.device import SmartDevice
+from repro.iot.network import Network
+from repro.iot.topology import FlatTopology
+
+
+def make_station(loss, max_retries, k=4, size=200, seed=0):
+    network = Network(
+        topology=FlatTopology.with_devices(k),
+        channel=Channel(
+            loss_probability=loss, rng=np.random.default_rng(seed)
+        ),
+        max_retries=max_retries,
+    )
+    station = BaseStation(network=network)
+    rng = np.random.default_rng(seed + 1)
+    for node_id in range(1, k + 1):
+        station.register(
+            SmartDevice(
+                node_id=node_id,
+                data=NodeData(node_id=node_id, values=rng.uniform(0, 1, size)),
+                rng=np.random.default_rng(seed * 37 + node_id),
+            )
+        )
+    return station
+
+
+class TestLossyCollection:
+    def test_moderate_loss_completes_with_retries(self):
+        station = make_station(loss=0.4, max_retries=20, seed=3)
+        station.collect(0.3)
+        assert len(station.samples()) == 4
+        # Retries inflate the metered message count beyond the 8 minimum.
+        assert station.network.meter.total_messages > 8
+
+    def test_dead_link_fails_loudly(self):
+        station = make_station(loss=0.95, max_retries=0, seed=1)
+        with pytest.raises(DeliveryError):
+            station.collect(0.3)
+
+    def test_failed_round_leaves_no_phantom_rate(self):
+        """A failed collection must not pretend the rate was reached."""
+        station = make_station(loss=0.95, max_retries=0, seed=1)
+        with pytest.raises(DeliveryError):
+            station.collect(0.3)
+        assert station.sampling_rate == 0.0
+
+    def test_retry_after_failure_succeeds(self):
+        """The caller can retry a failed round once the link recovers."""
+        station = make_station(loss=0.95, max_retries=0, seed=1)
+        with pytest.raises(DeliveryError):
+            station.collect(0.3)
+        # Link recovers (new channel), protocol retries cleanly.
+        station.network.channel = Channel(
+            loss_probability=0.0, rng=np.random.default_rng(9)
+        )
+        station.collect(0.3)
+        assert len(station.samples()) == 4
+        assert station.sampling_rate == 0.3
+
+    def test_partial_round_samples_unusable_until_complete(self):
+        """Even if some devices shipped before the failure, samples() only
+        exposes a consistent store after a full successful round."""
+        station = make_station(loss=0.95, max_retries=0, seed=1)
+        with pytest.raises(DeliveryError):
+            station.collect(0.3)
+        # The rate is still 0; broker-level code gates on it.
+        assert station.sampling_rate == 0.0
+
+    def test_fresh_station_has_no_samples(self):
+        station = make_station(loss=0.0, max_retries=0)
+        with pytest.raises(InsufficientSamplesError):
+            station.samples()
+
+
+class TestLossyTopUp:
+    def test_top_up_failure_keeps_old_rate(self):
+        station = make_station(loss=0.0, max_retries=3, seed=2)
+        station.collect(0.2)
+        # Kill the link, then attempt a top-up.
+        station.network.channel = Channel(
+            loss_probability=0.95, rng=np.random.default_rng(4)
+        )
+        station.network.max_retries = 0
+        with pytest.raises(DeliveryError):
+            station.top_up(0.6)
+        assert station.sampling_rate == 0.2
+        # Old samples remain serviceable.
+        assert len(station.samples()) == 4
+
+
+class TestIdempotentRetry:
+    def test_lost_top_up_shipment_is_reshipped(self):
+        """If the increment is lost in flight, a retried request with the
+        stale old_p gets the identical shipment back (idempotence)."""
+        station = make_station(loss=0.0, max_retries=3, seed=6)
+        station.collect(0.2)
+        device = station.devices[1]
+        from repro.iot.messages import TopUpRequest
+
+        request = TopUpRequest(sender=0, receiver=1, old_p=0.2, new_p=0.5)
+        first = device.handle(request)
+        # The base station never saw `first`; it retries with old_p=0.2.
+        second = device.handle(request)
+        assert second == first
+
+    def test_retry_with_wrong_new_rate_still_rejected(self):
+        station = make_station(loss=0.0, max_retries=3, seed=6)
+        station.collect(0.2)
+        device = station.devices[1]
+        from repro.iot.messages import TopUpRequest
+
+        device.handle(TopUpRequest(sender=0, receiver=1, old_p=0.2, new_p=0.5))
+        with pytest.raises(ValueError):
+            device.handle(
+                TopUpRequest(sender=0, receiver=1, old_p=0.2, new_p=0.7)
+            )
+
+
+class TestEndToEndUnderLoss:
+    def test_broker_answers_over_flaky_radio(self, citypulse_small):
+        from repro.core.service import PrivateRangeCountingService
+
+        service = PrivateRangeCountingService.from_citypulse(
+            citypulse_small, "ozone", k=6, seed=8, loss_probability=0.35
+        )
+        answer = service.answer(70.0, 110.0, alpha=0.2, delta=0.4)
+        assert 0.0 <= answer.value <= service.n

@@ -1,0 +1,136 @@
+"""Unit tests for the heartbeat/liveness service."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.estimators.base import NodeData
+from repro.iot.channel import Channel
+from repro.iot.device import SmartDevice
+from repro.iot.heartbeat import HeartbeatService
+from repro.iot.network import Network
+from repro.iot.runtime import EventScheduler
+from repro.iot.topology import FlatTopology
+
+
+def make_service(k=3, interval=10.0, miss_threshold=3, size=50):
+    scheduler = EventScheduler()
+    network = Network(
+        topology=FlatTopology.with_devices(k),
+        channel=Channel(
+            base_latency=0.0, jitter=0.0, rng=np.random.default_rng(0)
+        ),
+        clock=scheduler.clock,
+    )
+    service = HeartbeatService(
+        network=network,
+        scheduler=scheduler,
+        interval=interval,
+        miss_threshold=miss_threshold,
+    )
+    rng = np.random.default_rng(1)
+    for node_id in range(1, k + 1):
+        service.track(
+            SmartDevice(
+                node_id=node_id,
+                data=NodeData(node_id=node_id, values=rng.uniform(0, 1, size)),
+            )
+        )
+    return service
+
+
+class TestBeaconing:
+    def test_beacons_flow(self):
+        service = make_service(k=3, interval=10.0)
+        service.scheduler.run(until=35.0)
+        # Each device beats at t=10, 20, 30.
+        assert service.beacons_sent == 9
+
+    def test_beacons_are_metered(self):
+        service = make_service(k=2, interval=10.0)
+        service.scheduler.run(until=25.0)
+        assert service.network.meter.total_messages == 4
+
+    def test_all_alive_while_beating(self):
+        service = make_service(k=3, interval=10.0)
+        service.scheduler.run(until=100.0)
+        assert service.live_devices() == (1, 2, 3)
+        assert service.dead_devices() == ()
+
+    def test_duplicate_tracking_rejected(self):
+        service = make_service(k=2)
+        with pytest.raises(ValueError):
+            service.track(service._devices[1])
+
+    def test_validation(self):
+        scheduler = EventScheduler()
+        network = Network(topology=FlatTopology.with_devices(1))
+        with pytest.raises(ValueError):
+            HeartbeatService(network=network, scheduler=scheduler, interval=0)
+        with pytest.raises(ValueError):
+            HeartbeatService(network=network, scheduler=scheduler,
+                             miss_threshold=0)
+
+
+class TestFailureDetection:
+    def test_failed_device_goes_dead_after_threshold(self):
+        service = make_service(k=3, interval=10.0, miss_threshold=3)
+        service.scheduler.run(until=25.0)  # everyone alive
+        service.fail_device(2)
+        service.scheduler.run(until=100.0)
+        assert 2 in service.dead_devices()
+        assert service.live_devices() == (1, 3)
+
+    def test_detection_latency_matches_threshold(self):
+        service = make_service(k=1, interval=10.0, miss_threshold=3)
+        service.fail_device(1)
+        # Silence shorter than 3 intervals: still presumed alive.
+        service.scheduler.clock.advance(29.0)
+        assert service.is_alive(1)
+        service.scheduler.clock.advance(2.0)
+        assert not service.is_alive(1)
+
+    def test_revived_device_resumes(self):
+        service = make_service(k=1, interval=10.0, miss_threshold=2)
+        service.fail_device(1)
+        service.scheduler.run(until=50.0)
+        # The event queue drains (failed devices stop rescheduling); move
+        # wall-clock time past the miss threshold explicitly.
+        service.scheduler.clock.advance(50.0 - service.scheduler.clock.now)
+        assert not service.is_alive(1)
+        service.revive_device(1)
+        service.scheduler.run(until=70.0)
+        assert service.is_alive(1)
+
+    def test_unknown_device_rejected(self):
+        service = make_service(k=1)
+        with pytest.raises(KeyError):
+            service.fail_device(9)
+        with pytest.raises(KeyError):
+            service.last_seen(9)
+
+    def test_live_fleet_shape_shrinks(self):
+        service = make_service(k=4, interval=10.0, miss_threshold=2, size=50)
+        assert service.live_fleet_shape() == (4, 200)
+        service.fail_device(1)
+        service.fail_device(2)
+        service.scheduler.run(until=100.0)
+        assert service.live_fleet_shape() == (2, 100)
+
+
+class TestCalibrationIntegration:
+    def test_live_shape_feeds_calibration(self):
+        """Dead devices shrink (k, n); the Theorem 3.3 rate adapts."""
+        from repro.estimators.calibration import required_sampling_rate
+
+        service = make_service(k=4, interval=10.0, miss_threshold=2, size=500)
+        k_full, n_full = service.live_fleet_shape()
+        p_full = required_sampling_rate(0.1, 0.5, k_full, n_full)
+        service.fail_device(4)
+        service.scheduler.run(until=100.0)
+        k_live, n_live = service.live_fleet_shape()
+        p_live = required_sampling_rate(0.1, 0.5, k_live, n_live)
+        # Fewer nodes but also less data: with n ∝ k the rate grows as
+        # √k/n ∝ 1/√k when nodes die.
+        assert p_live > p_full

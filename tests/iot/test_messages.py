@@ -1,0 +1,133 @@
+"""Unit tests for the message layer: sizes, capacity, serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.iot.messages import (
+    HEADER_BYTES,
+    HEARTBEAT_CAPACITY,
+    RANK_BYTES,
+    SCALAR_BYTES,
+    VALUE_BYTES,
+    Ack,
+    Heartbeat,
+    SampleReport,
+    SampleRequest,
+    TopUpRequest,
+    message_from_dict,
+)
+
+
+class TestSizes:
+    def test_sample_request(self):
+        msg = SampleRequest(sender=0, receiver=3, p=0.2)
+        assert msg.size_bytes() == HEADER_BYTES + SCALAR_BYTES
+
+    def test_top_up_request(self):
+        msg = TopUpRequest(sender=0, receiver=3, old_p=0.2, new_p=0.5)
+        assert msg.size_bytes() == HEADER_BYTES + 2 * SCALAR_BYTES
+
+    def test_sample_report_scales_with_pairs(self):
+        msg = SampleReport(
+            sender=3,
+            receiver=0,
+            values=(1.0, 2.0, 3.0),
+            ranks=(1, 5, 9),
+            node_size=10,
+            p=0.3,
+        )
+        assert msg.payload_bytes() == 3 * (VALUE_BYTES + RANK_BYTES) + 2 * SCALAR_BYTES
+        assert msg.sample_count == 3
+
+    def test_heartbeat_samples_ride_free(self):
+        empty = Heartbeat(sender=3, receiver=0, node_size=10, p=0.3)
+        packed = Heartbeat(
+            sender=3,
+            receiver=0,
+            values=tuple(float(i) for i in range(10)),
+            ranks=tuple(range(1, 11)),
+            node_size=100,
+            p=0.1,
+        )
+        assert packed.size_bytes() == empty.size_bytes()
+
+    def test_ack_size(self):
+        msg = Ack(sender=0, receiver=3, acked_type="SampleReport")
+        assert msg.payload_bytes() == len("SampleReport")
+
+
+class TestValidation:
+    def test_report_parallel_arrays(self):
+        with pytest.raises(ValueError):
+            SampleReport(sender=1, receiver=0, values=(1.0,), ranks=(),
+                         node_size=5, p=0.2)
+
+    def test_report_negative_size(self):
+        with pytest.raises(ValueError):
+            SampleReport(sender=1, receiver=0, node_size=-1, p=0.2)
+
+    def test_heartbeat_capacity_enforced(self):
+        too_many = tuple(float(i) for i in range(HEARTBEAT_CAPACITY + 1))
+        with pytest.raises(ValueError):
+            Heartbeat(
+                sender=1,
+                receiver=0,
+                values=too_many,
+                ranks=tuple(range(1, HEARTBEAT_CAPACITY + 2)),
+                node_size=100,
+                p=0.1,
+            )
+
+    def test_heartbeat_at_capacity_ok(self):
+        values = tuple(float(i) for i in range(HEARTBEAT_CAPACITY))
+        msg = Heartbeat(
+            sender=1,
+            receiver=0,
+            values=values,
+            ranks=tuple(range(1, HEARTBEAT_CAPACITY + 1)),
+            node_size=100,
+            p=0.1,
+        )
+        assert msg.sample_count == HEARTBEAT_CAPACITY
+
+
+class TestSerialization:
+    @pytest.mark.parametrize(
+        "message",
+        [
+            SampleRequest(sender=0, receiver=2, p=0.25),
+            TopUpRequest(sender=0, receiver=2, old_p=0.1, new_p=0.4),
+            SampleReport(
+                sender=2,
+                receiver=0,
+                values=(1.5, 2.5),
+                ranks=(1, 7),
+                node_size=12,
+                p=0.4,
+            ),
+            Heartbeat(
+                sender=2,
+                receiver=0,
+                values=(3.0,),
+                ranks=(4,),
+                node_size=9,
+                p=0.2,
+            ),
+            Ack(sender=0, receiver=2, acked_type="Heartbeat"),
+        ],
+    )
+    def test_round_trip(self, message):
+        assert message_from_dict(message.to_dict()) == message
+
+    def test_dict_carries_type(self):
+        data = SampleRequest(sender=0, receiver=1, p=0.5).to_dict()
+        assert data["type"] == "SampleRequest"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            message_from_dict({"type": "Bogus"})
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ValueError):
+            message_from_dict({"sender": 0})

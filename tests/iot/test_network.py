@@ -1,0 +1,134 @@
+"""Unit tests for the network transport: delivery, retries, metering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DeliveryError
+from repro.iot.channel import Channel
+from repro.iot.cost import CommunicationMeter
+from repro.iot.messages import SampleReport, SampleRequest
+from repro.iot.network import Network
+from repro.iot.topology import BASE_STATION_ID, FlatTopology, TreeTopology
+
+
+def make_network(loss=0.0, max_retries=3, devices=3, seed=0):
+    return Network(
+        topology=FlatTopology.with_devices(devices),
+        channel=Channel(loss_probability=loss, rng=np.random.default_rng(seed)),
+        max_retries=max_retries,
+    )
+
+
+class TestDelivery:
+    def test_successful_delivery(self):
+        net = make_network()
+        record = net.send(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1))
+        assert record.attempts == 1
+        assert record.hops == 1
+        assert record.latency > 0
+
+    def test_clock_advances(self):
+        net = make_network()
+        before = net.clock.now
+        net.send(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1))
+        assert net.clock.now > before
+
+    def test_unknown_receiver(self):
+        net = make_network()
+        with pytest.raises(DeliveryError):
+            net.send(SampleRequest(sender=BASE_STATION_ID, receiver=42, p=0.1))
+
+    def test_self_send_rejected(self):
+        net = make_network()
+        with pytest.raises(DeliveryError):
+            net.send(SampleRequest(sender=1, receiver=1, p=0.1))
+
+    def test_delivery_log(self):
+        net = make_network()
+        net.send(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1))
+        net.send(SampleRequest(sender=BASE_STATION_ID, receiver=2, p=0.1))
+        assert len(net.deliveries) == 2
+        assert net.deliveries[0].message_type == "SampleRequest"
+
+
+class TestRetries:
+    def test_lossy_channel_retries(self):
+        net = make_network(loss=0.6, max_retries=50, seed=3)
+        record = net.send(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1))
+        assert record.attempts >= 1
+
+    def test_gives_up_after_max_retries(self):
+        # Nearly-dead link and no retries: delivery fails fast.
+        net = make_network(loss=0.99, max_retries=0, seed=1)
+        with pytest.raises(DeliveryError):
+            for _ in range(50):
+                net.send(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1))
+
+    def test_failed_attempts_still_metered(self):
+        net = make_network(loss=0.99, max_retries=2, seed=1)
+        try:
+            for _ in range(50):
+                net.send(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1))
+        except DeliveryError:
+            pass
+        # Every attempt (3 per send) went on the air.
+        assert net.meter.total_messages >= 3
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ValueError):
+            make_network(max_retries=-1)
+
+
+class TestMetering:
+    def test_bytes_charged(self):
+        net = make_network()
+        msg = SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1)
+        net.send(msg)
+        assert net.meter.total_wire_bytes == msg.size_bytes()
+
+    def test_sample_pairs_counted(self):
+        net = make_network()
+        report = SampleReport(
+            sender=1,
+            receiver=BASE_STATION_ID,
+            values=(1.0, 2.0),
+            ranks=(1, 2),
+            node_size=5,
+            p=0.4,
+        )
+        net.send(report)
+        assert net.meter.total_sample_pairs == 2
+
+    def test_tree_hops_weight_cost(self):
+        topo = TreeTopology(parent={1: 0, 2: 1})
+        net = Network(topology=topo, channel=Channel())
+        msg = SampleRequest(sender=BASE_STATION_ID, receiver=2, p=0.1)
+        net.send(msg)
+        assert net.meter.total_hop_bytes == 2 * msg.size_bytes()
+        assert net.meter.total_wire_bytes == msg.size_bytes()
+
+    def test_link_stats(self):
+        net = make_network()
+        msg = SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1)
+        net.send(msg)
+        net.send(msg)
+        stats = net.meter.link(BASE_STATION_ID, 1)
+        assert stats.messages == 2
+
+    def test_meter_reset(self):
+        net = make_network()
+        net.send(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1))
+        net.meter.reset()
+        assert net.meter.total_messages == 0
+
+    def test_meter_snapshot_keys(self):
+        meter = CommunicationMeter()
+        snap = meter.snapshot()
+        assert set(snap) == {"messages", "wire_bytes", "hop_bytes", "sample_pairs"}
+
+    def test_charge_rejects_zero_hops(self):
+        meter = CommunicationMeter()
+        with pytest.raises(ValueError):
+            meter.charge(SampleRequest(sender=0, receiver=1, p=0.1), hops=0)

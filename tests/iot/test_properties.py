@@ -1,0 +1,131 @@
+"""Hypothesis property tests for the IoT layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iot.messages import (
+    HEARTBEAT_CAPACITY,
+    Heartbeat,
+    SampleReport,
+    SampleRequest,
+    TopUpRequest,
+    message_from_dict,
+)
+from repro.iot.topology import BASE_STATION_ID, FlatTopology, TreeTopology
+
+pairs = st.integers(min_value=0, max_value=40).flatmap(
+    lambda count: st.tuples(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=count,
+            max_size=count,
+        ),
+        st.lists(
+            st.integers(min_value=1, max_value=10**6),
+            min_size=count,
+            max_size=count,
+            unique=True,
+        ),
+    )
+)
+
+
+@given(
+    data=pairs,
+    node_size=st.integers(min_value=0, max_value=10**6),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    sender=st.integers(min_value=1, max_value=1000),
+)
+@settings(max_examples=200, deadline=None)
+def test_sample_report_round_trip(data, node_size, p, sender):
+    values, ranks = data
+    try:
+        report = SampleReport(
+            sender=sender,
+            receiver=BASE_STATION_ID,
+            values=tuple(values),
+            ranks=tuple(sorted(ranks)),
+            node_size=node_size,
+            p=p,
+        )
+    except ValueError:
+        return  # invalid construction is allowed to be rejected
+    assert message_from_dict(report.to_dict()) == report
+    assert report.size_bytes() > 0
+
+
+@given(
+    count=st.integers(min_value=0, max_value=HEARTBEAT_CAPACITY),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=100, deadline=None)
+def test_heartbeat_size_independent_of_payload(count, seed):
+    """Piggybacked samples never change the heartbeat's wire size."""
+    rng = np.random.default_rng(seed)
+    values = tuple(float(v) for v in rng.uniform(0, 1, count))
+    ranks = tuple(range(1, count + 1))
+    beat = Heartbeat(
+        sender=1, receiver=BASE_STATION_ID, values=values, ranks=ranks,
+        node_size=100, p=0.1,
+    )
+    empty = Heartbeat(sender=1, receiver=BASE_STATION_ID, node_size=100, p=0.1)
+    assert beat.size_bytes() == empty.size_bytes()
+
+
+@given(
+    p=st.floats(min_value=0.0, max_value=1.0),
+    old_p=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_request_round_trips(p, old_p):
+    req = SampleRequest(sender=BASE_STATION_ID, receiver=3, p=p)
+    assert message_from_dict(req.to_dict()) == req
+    top = TopUpRequest(sender=BASE_STATION_ID, receiver=3, old_p=old_p, new_p=p)
+    assert message_from_dict(top.to_dict()) == top
+
+
+@given(k=st.integers(min_value=1, max_value=64))
+@settings(max_examples=50, deadline=None)
+def test_flat_topology_hop_invariants(k):
+    topo = FlatTopology.with_devices(k)
+    for node in topo.node_ids():
+        assert topo.hops(node, BASE_STATION_ID) == 1
+        assert topo.hops(BASE_STATION_ID, node) == 1
+        assert topo.hops(node, node) == 0
+
+
+@given(
+    k=st.integers(min_value=1, max_value=64),
+    fanout=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=100, deadline=None)
+def test_balanced_tree_invariants(k, fanout):
+    topo = TreeTopology.balanced(k, fanout=fanout)
+    assert set(topo.node_ids()) == set(range(1, k + 1))
+    # Depth equals hop count to the base station; children never exceed
+    # the fan-out; depth is monotone along parent links.
+    children = {}
+    for node in topo.node_ids():
+        assert topo.hops(node, BASE_STATION_ID) == topo.depth(node)
+        parent = topo.parent[node]
+        children.setdefault(parent, []).append(node)
+        if parent != BASE_STATION_ID:
+            assert topo.depth(parent) == topo.depth(node) - 1
+    assert all(len(c) <= fanout for c in children.values())
+
+
+@given(
+    k=st.integers(min_value=2, max_value=32),
+    fanout=st.integers(min_value=1, max_value=4),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=100, deadline=None)
+def test_tree_hops_symmetric(k, fanout, seed):
+    topo = TreeTopology.balanced(k, fanout=fanout)
+    rng = np.random.default_rng(seed)
+    a, b = rng.integers(1, k + 1, size=2)
+    assert topo.hops(int(a), int(b)) == topo.hops(int(b), int(a))

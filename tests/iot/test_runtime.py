@@ -1,0 +1,83 @@
+"""Unit tests for the simulation clock and event scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.iot.runtime import EventScheduler, SimulationClock
+
+
+class TestSimulationClock:
+    def test_starts_at_zero(self):
+        assert SimulationClock().now == 0.0
+
+    def test_advance(self):
+        clock = SimulationClock()
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.5) == 2.0
+
+    def test_rejects_backwards(self):
+        with pytest.raises(ValueError):
+            SimulationClock().advance(-1.0)
+
+
+class TestEventScheduler:
+    def test_runs_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(2.0, lambda: fired.append("b"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(3.0, lambda: fired.append("c"))
+        assert sched.run() == 3
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_tracks_fire_times(self):
+        sched = EventScheduler()
+        times = []
+        sched.schedule(1.0, lambda: times.append(sched.clock.now))
+        sched.schedule(2.5, lambda: times.append(sched.clock.now))
+        sched.run()
+        assert times == [1.0, 2.5]
+
+    def test_until_bound(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.schedule(5.0, lambda: fired.append(5))
+        assert sched.run(until=2.0) == 1
+        assert fired == [1]
+        assert len(sched) == 1
+
+    def test_callbacks_can_reschedule(self):
+        sched = EventScheduler()
+        fired = []
+
+        def tick():
+            fired.append(sched.clock.now)
+            if len(fired) < 3:
+                sched.schedule(1.0, tick)
+
+        sched.schedule(1.0, tick)
+        sched.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_max_events_bound(self):
+        sched = EventScheduler()
+
+        def forever():
+            sched.schedule(0.1, forever)
+
+        sched.schedule(0.1, forever)
+        assert sched.run(max_events=10) == 10
+
+    def test_equal_times_fifo(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append("first"))
+        sched.schedule(1.0, lambda: fired.append("second"))
+        sched.run()
+        assert fired == ["first", "second"]
+
+    def test_rejects_negative_delay(self):
+        with pytest.raises(ValueError):
+            EventScheduler().schedule(-1.0, lambda: None)

@@ -1,0 +1,116 @@
+"""Unit tests for flat and tree topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeliveryError
+from repro.iot.topology import BASE_STATION_ID, FlatTopology, TreeTopology
+
+
+class TestFlatTopology:
+    def test_with_devices(self):
+        topo = FlatTopology.with_devices(4)
+        assert list(topo.node_ids()) == [1, 2, 3, 4]
+
+    def test_contains(self):
+        topo = FlatTopology.with_devices(2)
+        assert topo.contains(BASE_STATION_ID)
+        assert topo.contains(1)
+        assert not topo.contains(99)
+
+    def test_device_to_base_is_one_hop(self):
+        topo = FlatTopology.with_devices(3)
+        assert topo.hops(1, BASE_STATION_ID) == 1
+        assert topo.hops(BASE_STATION_ID, 2) == 1
+
+    def test_device_to_device_relays(self):
+        topo = FlatTopology.with_devices(3)
+        assert topo.hops(1, 3) == 2
+
+    def test_self_hop_zero(self):
+        topo = FlatTopology.with_devices(3)
+        assert topo.hops(2, 2) == 0
+
+    def test_unknown_node_raises(self):
+        topo = FlatTopology.with_devices(2)
+        with pytest.raises(DeliveryError):
+            topo.hops(1, 42)
+
+    def test_reserved_id_rejected(self):
+        with pytest.raises(ValueError):
+            FlatTopology(device_ids=[0, 1])
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            FlatTopology(device_ids=[1, 1])
+
+    def test_zero_devices_rejected(self):
+        with pytest.raises(ValueError):
+            FlatTopology.with_devices(0)
+
+
+class TestTreeTopology:
+    def test_chain_depths(self):
+        topo = TreeTopology(parent={1: 0, 2: 1, 3: 2})
+        assert topo.depth(1) == 1
+        assert topo.depth(3) == 3
+
+    def test_hops_to_base_equal_depth(self):
+        topo = TreeTopology(parent={1: 0, 2: 1, 3: 2})
+        assert topo.hops(3, BASE_STATION_ID) == 3
+        assert topo.hops(BASE_STATION_ID, 2) == 2
+
+    def test_sibling_hops_via_lca(self):
+        topo = TreeTopology(parent={1: 0, 2: 1, 3: 1})
+        assert topo.hops(2, 3) == 2
+
+    def test_cross_branch_hops(self):
+        topo = TreeTopology(parent={1: 0, 2: 0, 3: 1, 4: 2})
+        # 3 -> 1 -> 0 -> 2 -> 4.
+        assert topo.hops(3, 4) == 4
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            TreeTopology(parent={1: 2, 2: 1})
+
+    def test_disconnected_detected(self):
+        with pytest.raises(ValueError):
+            TreeTopology(parent={1: 5})
+
+    def test_base_cannot_have_parent(self):
+        with pytest.raises(ValueError):
+            TreeTopology(parent={0: 1, 1: 0})
+
+    def test_unknown_node_raises(self):
+        topo = TreeTopology(parent={1: 0})
+        with pytest.raises(DeliveryError):
+            topo.hops(1, 9)
+
+    def test_balanced_structure(self):
+        topo = TreeTopology.balanced(7, fanout=2)
+        assert topo.depth(1) == 1
+        assert topo.depth(2) == 1
+        assert topo.depth(3) == 2
+        assert topo.depth(7) == 3
+
+    def test_balanced_fanout_bound(self):
+        topo = TreeTopology.balanced(30, fanout=3)
+        children = {}
+        for node, parent in topo.parent.items():
+            children.setdefault(parent, []).append(node)
+        assert all(len(c) <= 3 for c in children.values())
+
+    def test_balanced_chain(self):
+        topo = TreeTopology.balanced(5, fanout=1)
+        assert topo.depth(5) == 5
+
+    def test_balanced_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            TreeTopology.balanced(0)
+        with pytest.raises(ValueError):
+            TreeTopology.balanced(3, fanout=0)
+
+    def test_node_ids(self):
+        topo = TreeTopology.balanced(6, fanout=2)
+        assert set(topo.node_ids()) == {1, 2, 3, 4, 5, 6}

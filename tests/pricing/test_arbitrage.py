@@ -1,0 +1,187 @@
+"""Unit tests for the Theorem 4.2 checker and the averaging-attack search.
+
+The theory says: inverse-variance pricing is arbitrage-avoiding; power-law
+with exponent > 1 admits the uniform averaging attack; exponent < 1
+violates property 2 (even though uniform averaging alone cannot exploit
+it); linear pricing is not a function of variance (property 1); tiered
+pricing is constant within tiers (property 2) and attackable across tier
+edges.  These tests pin the checker and the adversary to that theory.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pricing.arbitrage import (
+    check_arbitrage_avoiding,
+    evaluate_portfolio,
+    find_averaging_attack,
+)
+from repro.pricing.functions import (
+    InverseVariancePricing,
+    LinearAccuracyPricing,
+    PowerLawVariancePricing,
+    TieredPricing,
+)
+from repro.pricing.variance_model import VarianceModel
+
+
+@pytest.fixture
+def model():
+    return VarianceModel(n=10_000)
+
+
+class TestInverseVarianceIsSafe:
+    def test_checker_passes(self, model):
+        report = check_arbitrage_avoiding(InverseVariancePricing(model))
+        assert report.arbitrage_avoiding
+        assert report.violations == []
+        assert report.attack is None
+
+    def test_no_attack_on_any_target(self, model):
+        pricing = InverseVariancePricing(model)
+        for target in [(0.05, 0.9), (0.1, 0.5), (0.3, 0.3)]:
+            attack = find_averaging_attack(pricing, *target)
+            assert attack is None
+
+    def test_uniform_copies_never_cheaper(self, model):
+        """m copies at variance mV cost exactly the single low-variance price."""
+        pricing = InverseVariancePricing(model, base_price=10.0)
+        target_v = model.variance(0.1, 0.5)
+        for m in (2, 5, 20):
+            cheap_alpha = model.alpha_for(target_v * m, 0.5)
+            total = m * pricing.price(cheap_alpha, 0.5)
+            assert total >= pricing.price(0.1, 0.5) - 1e-9
+
+
+class TestPowerLawAboveOneIsAttackable:
+    def test_attack_found(self, model):
+        pricing = PowerLawVariancePricing(model, exponent=2.0)
+        attack = find_averaging_attack(pricing, target_alpha=0.05,
+                                       target_delta=0.8)
+        assert attack is not None
+        assert attack.total_price < attack.target_price
+        assert attack.copies > 1
+
+    def test_attack_delivers_target_variance(self, model):
+        pricing = PowerLawVariancePricing(model, exponent=2.0)
+        attack = find_averaging_attack(pricing, target_alpha=0.05,
+                                       target_delta=0.8)
+        averaged = model.variance(*attack.purchase) / attack.copies
+        assert averaged <= attack.target_variance * (1 + 1e-9)
+
+    def test_checker_flags_it(self, model):
+        report = check_arbitrage_avoiding(
+            PowerLawVariancePricing(model, exponent=2.0)
+        )
+        assert not report.arbitrage_avoiding
+        # Property 3 is the violated one for s > 1.
+        assert any(v.prop == 3 for v in report.violations)
+
+    def test_savings_and_discount(self, model):
+        pricing = PowerLawVariancePricing(model, exponent=2.0)
+        attack = find_averaging_attack(pricing, 0.05, 0.8)
+        assert attack.savings == pytest.approx(
+            attack.target_price - attack.total_price
+        )
+        assert 0.0 < attack.discount < 1.0
+
+    def test_describe_mentions_copies(self, model):
+        pricing = PowerLawVariancePricing(model, exponent=2.0)
+        attack = find_averaging_attack(pricing, 0.05, 0.8)
+        assert str(attack.copies) in attack.describe()
+
+
+class TestPowerLawBelowOne:
+    def test_uniform_attack_fails(self, model):
+        """m^(1−s) > 1 for s < 1: copies always overpay."""
+        pricing = PowerLawVariancePricing(model, exponent=0.5)
+        attack = find_averaging_attack(pricing, 0.05, 0.8)
+        assert attack is None
+
+    def test_checker_still_flags_property_2(self, model):
+        report = check_arbitrage_avoiding(
+            PowerLawVariancePricing(model, exponent=0.5)
+        )
+        assert not report.arbitrage_avoiding
+        assert any(v.prop == 2 for v in report.violations)
+
+
+class TestLinearPricing:
+    def test_violates_property_1(self, model):
+        report = check_arbitrage_avoiding(LinearAccuracyPricing(model))
+        assert any(v.prop == 1 for v in report.violations)
+
+    def test_not_arbitrage_avoiding(self, model):
+        assert not check_arbitrage_avoiding(
+            LinearAccuracyPricing(model)
+        ).arbitrage_avoiding
+
+
+class TestTieredPricing:
+    @pytest.fixture
+    def pricing(self, model):
+        # Thresholds chosen inside the realistic variance range of n=10k.
+        v_mid = model.variance(0.3, 0.5)
+        return TieredPricing(
+            model,
+            tiers=[(v_mid / 10, 100.0), (v_mid, 10.0), (v_mid * 100, 1.0)],
+        )
+
+    def test_violates_property_2_within_tier(self, pricing):
+        report = check_arbitrage_avoiding(pricing)
+        assert any(v.prop == 2 for v in report.violations)
+
+    def test_not_arbitrage_avoiding(self, pricing):
+        assert not check_arbitrage_avoiding(pricing).arbitrage_avoiding
+
+
+class TestPropertyViolationDescribe:
+    def test_describe_readable(self, model):
+        report = check_arbitrage_avoiding(
+            PowerLawVariancePricing(model, exponent=2.0)
+        )
+        text = report.violations[0].describe()
+        assert "property" in text and "violated" in text
+
+
+class TestEvaluatePortfolio:
+    def test_total_and_average(self, model):
+        pricing = InverseVariancePricing(model, base_price=1.0)
+        purchases = [(0.2, 0.5), (0.2, 0.5)]
+        total, averaged = evaluate_portfolio(pricing, purchases)
+        assert total == pytest.approx(2 * pricing.price(0.2, 0.5))
+        assert averaged == pytest.approx(model.variance(0.2, 0.5) / 2)
+
+    def test_heterogeneous_portfolio(self, model):
+        pricing = InverseVariancePricing(model)
+        purchases = [(0.1, 0.5), (0.3, 0.2), (0.2, 0.8)]
+        total, averaged = evaluate_portfolio(pricing, purchases)
+        variances = [model.variance(a, d) for a, d in purchases]
+        assert averaged == pytest.approx(sum(variances) / 9)
+        assert total == pytest.approx(sum(pricing.price(a, d) for a, d in purchases))
+
+    def test_portfolio_never_beats_inverse_variance_list_price(self, model):
+        """Definition 2.3 holds for *any* portfolio under π = c/V.
+
+        If the averaged variance is at most V(target), the portfolio price
+        is at least the target list price (harmonic-mean inequality).
+        """
+        pricing = InverseVariancePricing(model, base_price=7.0)
+        target = (0.08, 0.7)
+        target_v = model.variance(*target)
+        target_price = pricing.price(*target)
+        portfolios = [
+            [(0.1, 0.5)] * 4,
+            [(0.1, 0.5), (0.2, 0.5), (0.3, 0.1)],
+            [(0.09, 0.69)],
+            [(0.5, 0.1)] * 64,
+        ]
+        for purchases in portfolios:
+            total, averaged = evaluate_portfolio(pricing, purchases)
+            if averaged <= target_v:
+                assert total >= target_price - 1e-9
+
+    def test_rejects_empty(self, model):
+        with pytest.raises(ValueError):
+            evaluate_portfolio(InverseVariancePricing(model), [])

@@ -1,0 +1,121 @@
+"""Additional arbitrage-machinery coverage: grids, edges, report surfaces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pricing.arbitrage import (
+    ArbitrageReport,
+    check_arbitrage_avoiding,
+    find_averaging_attack,
+)
+from repro.pricing.functions import (
+    InverseVariancePricing,
+    PowerLawVariancePricing,
+    TieredPricing,
+)
+from repro.pricing.variance_model import VarianceModel
+
+
+@pytest.fixture
+def model():
+    return VarianceModel(n=17568)
+
+
+class TestCustomGrids:
+    def test_single_point_grid_trivially_passes(self, model):
+        report = check_arbitrage_avoiding(
+            InverseVariancePricing(model), alphas=[0.1], deltas=[0.5]
+        )
+        assert report.arbitrage_avoiding
+
+    def test_coarse_grid_still_catches_power_law(self, model):
+        report = check_arbitrage_avoiding(
+            PowerLawVariancePricing(model, exponent=3.0),
+            alphas=[0.1, 0.5],
+            deltas=[0.2, 0.8],
+        )
+        assert not report.arbitrage_avoiding
+
+    def test_unsorted_grids_accepted(self, model):
+        report = check_arbitrage_avoiding(
+            InverseVariancePricing(model),
+            alphas=[0.5, 0.1, 0.3],
+            deltas=[0.8, 0.2],
+        )
+        assert report.arbitrage_avoiding
+
+
+class TestAttackSearchEdges:
+    def test_max_copies_bounds_attack(self, model):
+        """A tight copy budget can price the attack out of reach."""
+        pricing = PowerLawVariancePricing(model, exponent=2.0)
+        unbounded = find_averaging_attack(pricing, 0.05, 0.8, max_copies=512)
+        assert unbounded is not None
+        bounded = find_averaging_attack(
+            pricing, 0.05, 0.8,
+            max_copies=max(1, unbounded.copies // 10),
+        )
+        # Either no attack fits, or a smaller-copy one with less savings.
+        if bounded is not None:
+            assert bounded.copies <= unbounded.copies
+            assert bounded.total_price >= unbounded.total_price
+
+    def test_no_candidates_worse_than_target(self, model):
+        """If every candidate is *better* than the target, no attack."""
+        pricing = PowerLawVariancePricing(model, exponent=2.0)
+        attack = find_averaging_attack(
+            pricing,
+            target_alpha=0.9,
+            target_delta=0.05,  # near-worst product: nothing is cheaper
+            candidate_alphas=[0.05, 0.1],
+            candidate_deltas=[0.8, 0.9],
+        )
+        assert attack is None
+
+    def test_cheapest_attack_selected(self, model):
+        pricing = PowerLawVariancePricing(model, exponent=2.0)
+        attack = find_averaging_attack(
+            pricing, 0.05, 0.8,
+            candidate_alphas=[0.1, 0.3, 0.6],
+            candidate_deltas=[0.2, 0.5],
+        )
+        assert attack is not None
+        # Re-search restricted to the chosen candidate: same cost.
+        again = find_averaging_attack(
+            pricing, 0.05, 0.8,
+            candidate_alphas=[attack.purchase[0]],
+            candidate_deltas=[attack.purchase[1]],
+        )
+        assert again.total_price == pytest.approx(attack.total_price)
+
+
+class TestTieredEdges:
+    def test_tier_edge_attack_found_by_midgrid_probe(self, model):
+        """The checker probes a mid-grid target too, where tier-edge
+        arbitrage hides."""
+        v_mid = model.variance(0.3, 0.5)
+        pricing = TieredPricing(
+            model,
+            tiers=[(v_mid / 10, 100.0), (v_mid, 10.0), (v_mid * 100, 1.0)],
+        )
+        report = check_arbitrage_avoiding(pricing)
+        assert not report.arbitrage_avoiding
+
+
+class TestReportSurface:
+    def test_default_report_is_clean(self):
+        report = ArbitrageReport()
+        assert report.arbitrage_avoiding
+        assert report.violations == []
+        assert report.attack is None
+
+    def test_attack_fields_consistent(self, model):
+        pricing = PowerLawVariancePricing(model, exponent=2.0)
+        attack = find_averaging_attack(pricing, 0.05, 0.8)
+        assert attack.achieved_variance == pytest.approx(
+            model.variance(*attack.purchase) / attack.copies
+        )
+        assert attack.total_price == pytest.approx(
+            attack.copies * pricing.price(*attack.purchase)
+        )

@@ -1,0 +1,123 @@
+"""Unit tests for the pricing-function families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PricingError
+from repro.pricing.functions import (
+    InverseVariancePricing,
+    LinearAccuracyPricing,
+    PowerLawVariancePricing,
+    TieredPricing,
+)
+from repro.pricing.variance_model import VarianceModel
+
+
+@pytest.fixture
+def model():
+    return VarianceModel(n=10_000)
+
+
+class TestInverseVariance:
+    def test_price_formula(self, model):
+        pricing = InverseVariancePricing(model, base_price=5.0)
+        assert pricing.price(0.1, 0.5) == pytest.approx(
+            5.0 / model.variance(0.1, 0.5)
+        )
+
+    def test_price_of_variance(self, model):
+        pricing = InverseVariancePricing(model, base_price=2.0)
+        assert pricing.price_of_variance(4.0) == pytest.approx(0.5)
+
+    def test_equal_variance_equal_price(self, model):
+        pricing = InverseVariancePricing(model)
+        v = model.variance(0.1, 0.5)
+        d2 = model.delta_for(v, 0.2)
+        assert pricing.price(0.2, d2) == pytest.approx(pricing.price(0.1, 0.5))
+
+    def test_monotone_the_right_way(self, model):
+        pricing = InverseVariancePricing(model)
+        # Smaller α (better accuracy) costs more.
+        assert pricing.price(0.05, 0.5) > pricing.price(0.2, 0.5)
+        # Larger δ (more confidence) costs more.
+        assert pricing.price(0.1, 0.9) > pricing.price(0.1, 0.1)
+
+    def test_rejects_bad_base_price(self, model):
+        with pytest.raises(PricingError):
+            InverseVariancePricing(model, base_price=0.0)
+
+    def test_rejects_bad_variance(self, model):
+        with pytest.raises(PricingError):
+            InverseVariancePricing(model).price_of_variance(-1.0)
+
+    def test_name(self, model):
+        assert InverseVariancePricing(model).name == "InverseVariance"
+
+
+class TestPowerLaw:
+    def test_reduces_to_inverse_variance_at_one(self, model):
+        power = PowerLawVariancePricing(model, base_price=3.0, exponent=1.0)
+        inverse = InverseVariancePricing(model, base_price=3.0)
+        assert power.price(0.1, 0.5) == pytest.approx(inverse.price(0.1, 0.5))
+
+    def test_price_formula(self, model):
+        pricing = PowerLawVariancePricing(model, base_price=1.0, exponent=2.0)
+        v = model.variance(0.1, 0.5)
+        assert pricing.price(0.1, 0.5) == pytest.approx(v**-2)
+
+    def test_rejects_bad_exponent(self, model):
+        with pytest.raises(PricingError):
+            PowerLawVariancePricing(model, exponent=0.0)
+
+    def test_name_includes_exponent(self, model):
+        assert "2" in PowerLawVariancePricing(model, exponent=2.0).name
+
+
+class TestLinear:
+    def test_price_formula(self, model):
+        pricing = LinearAccuracyPricing(model, base=1.0, slope_alpha=10.0,
+                                        slope_delta=20.0)
+        assert pricing.price(0.3, 0.4) == pytest.approx(1 + 10 * 0.7 + 20 * 0.4)
+
+    def test_monotone(self, model):
+        pricing = LinearAccuracyPricing(model)
+        assert pricing.price(0.1, 0.5) > pricing.price(0.5, 0.5)
+        assert pricing.price(0.5, 0.9) > pricing.price(0.5, 0.1)
+
+    def test_rejects_bad_params(self, model):
+        with pytest.raises(PricingError):
+            LinearAccuracyPricing(model, base=0.0)
+        with pytest.raises(PricingError):
+            LinearAccuracyPricing(model, slope_alpha=-1.0)
+
+
+class TestTiered:
+    def test_tier_selection(self, model):
+        pricing = TieredPricing(
+            model, tiers=[(1e4, 100.0), (1e6, 10.0), (1e8, 1.0)]
+        )
+        assert pricing.price_of_variance(5e3) == 100.0
+        assert pricing.price_of_variance(5e5) == 10.0
+        assert pricing.price_of_variance(5e7) == 1.0
+
+    def test_variance_beyond_coarsest_tier_is_cheapest(self, model):
+        pricing = TieredPricing(model, tiers=[(1e4, 100.0), (1e6, 10.0)])
+        assert pricing.price_of_variance(1e9) == 10.0
+
+    def test_price_via_alpha_delta(self, model):
+        pricing = TieredPricing(model, tiers=[(1e12, 5.0)])
+        assert pricing.price(0.1, 0.5) == 5.0
+
+    def test_rejects_empty_tiers(self, model):
+        with pytest.raises(PricingError):
+            TieredPricing(model, tiers=[])
+
+    def test_rejects_non_positive_tiers(self, model):
+        with pytest.raises(PricingError):
+            TieredPricing(model, tiers=[(0.0, 1.0)])
+        with pytest.raises(PricingError):
+            TieredPricing(model, tiers=[(1.0, 0.0)])
+
+    def test_name_mentions_tier_count(self, model):
+        assert "2" in TieredPricing(model, tiers=[(1.0, 2.0), (3.0, 1.0)]).name

@@ -1,0 +1,68 @@
+"""Unit tests for the billing ledger."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LedgerError
+from repro.pricing.ledger import BillingLedger, Transaction
+
+
+class TestTransaction:
+    def test_rejects_negative_price(self):
+        with pytest.raises(LedgerError):
+            Transaction(1, "alice", "ozone", 0.1, 0.5, -1.0, 0.1)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(LedgerError):
+            Transaction(1, "alice", "ozone", 0.1, 0.5, 1.0, -0.1)
+
+
+class TestBillingLedger:
+    @pytest.fixture
+    def ledger(self):
+        ledger = BillingLedger()
+        ledger.record("alice", "ozone", 0.1, 0.5, 10.0, 0.01)
+        ledger.record("bob", "ozone", 0.2, 0.4, 5.0, 0.02)
+        ledger.record("alice", "no2", 0.1, 0.9, 20.0, 0.03)
+        return ledger
+
+    def test_len(self, ledger):
+        assert len(ledger) == 3
+
+    def test_ids_monotone(self, ledger):
+        ids = [t.transaction_id for t in ledger.transactions]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 3
+
+    def test_total_revenue(self, ledger):
+        assert ledger.total_revenue() == pytest.approx(35.0)
+
+    def test_revenue_by_consumer(self, ledger):
+        by_consumer = ledger.revenue_by_consumer()
+        assert by_consumer["alice"] == pytest.approx(30.0)
+        assert by_consumer["bob"] == pytest.approx(5.0)
+
+    def test_revenue_by_dataset(self, ledger):
+        by_dataset = ledger.revenue_by_dataset()
+        assert by_dataset["ozone"] == pytest.approx(15.0)
+        assert by_dataset["no2"] == pytest.approx(20.0)
+
+    def test_spend_of(self, ledger):
+        assert ledger.spend_of("alice") == pytest.approx(30.0)
+        assert ledger.spend_of("nobody") == 0.0
+
+    def test_purchases_of(self, ledger):
+        purchases = ledger.purchases_of("alice")
+        assert len(purchases) == 2
+        assert all(t.consumer == "alice" for t in purchases)
+
+    def test_transactions_immutable_view(self, ledger):
+        view = ledger.transactions
+        assert isinstance(view, tuple)
+
+    def test_empty_ledger(self):
+        ledger = BillingLedger()
+        assert len(ledger) == 0
+        assert ledger.total_revenue() == 0.0
+        assert ledger.revenue_by_consumer() == {}

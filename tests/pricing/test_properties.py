@@ -1,0 +1,126 @@
+"""Hypothesis property tests for the pricing layer."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pricing.arbitrage import (
+    check_arbitrage_avoiding,
+    evaluate_portfolio,
+    find_averaging_attack,
+)
+from repro.pricing.functions import (
+    InverseVariancePricing,
+    PowerLawVariancePricing,
+)
+from repro.pricing.variance_model import VarianceModel
+
+interior = st.floats(min_value=0.02, max_value=0.95)
+
+
+@given(
+    n=st.integers(min_value=10, max_value=10**7),
+    alpha=interior,
+    delta=interior,
+)
+@settings(max_examples=300, deadline=None)
+def test_variance_model_inverses_round_trip(n, alpha, delta):
+    model = VarianceModel(n=n)
+    v = model.variance(alpha, delta)
+    assert model.alpha_for(v, delta) == pytest.approx(alpha, rel=1e-9)
+    assert model.delta_for(v, alpha) == pytest.approx(delta, rel=1e-6, abs=1e-9)
+
+
+@given(
+    n=st.integers(min_value=100, max_value=10**6),
+    base_price=st.floats(min_value=1e-6, max_value=1e12),
+)
+@settings(max_examples=60, deadline=None)
+def test_inverse_variance_always_passes_checker(n, base_price):
+    """Theorem 4.2 holds for every instance of the c/V family."""
+    pricing = InverseVariancePricing(VarianceModel(n=n), base_price=base_price)
+    report = check_arbitrage_avoiding(
+        pricing,
+        alphas=[0.05, 0.2, 0.5, 0.9],
+        deltas=[0.1, 0.4, 0.7, 0.9],
+    )
+    assert report.arbitrage_avoiding
+
+
+@given(
+    n=st.integers(min_value=100, max_value=10**6),
+    alpha=interior,
+    delta=interior,
+    copies=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=200, deadline=None)
+def test_uniform_copies_never_undercut_inverse_variance(n, alpha, delta, copies):
+    """m copies at variance m·V cost exactly the target price: no profit."""
+    model = VarianceModel(n=n)
+    pricing = InverseVariancePricing(model, base_price=3.0)
+    target_v = model.variance(alpha, delta)
+    cheap_v = target_v * copies
+    total = copies * pricing.price_of_variance(cheap_v)
+    assert total >= pricing.price_of_variance(target_v) - 1e-9 * total
+
+
+@given(
+    n=st.integers(min_value=100, max_value=10**6),
+    purchases=st.lists(
+        st.tuples(interior, interior), min_size=1, max_size=8
+    ),
+    target=st.tuples(interior, interior),
+)
+@settings(max_examples=300, deadline=None)
+def test_no_portfolio_beats_inverse_variance(n, purchases, target):
+    """Definition 2.3 for arbitrary portfolios under π = c/V.
+
+    Whenever the averaged variance reaches the target's, the portfolio's
+    total price covers the target's list price (harmonic-mean bound).
+    """
+    model = VarianceModel(n=n)
+    pricing = InverseVariancePricing(model, base_price=2.0)
+    total, averaged = evaluate_portfolio(pricing, purchases)
+    target_v = model.variance(*target)
+    if averaged <= target_v:
+        assert total >= pricing.price_of_variance(target_v) * (1 - 1e-9)
+
+
+@given(exponent=st.floats(min_value=1.05, max_value=4.0))
+@settings(max_examples=40, deadline=None)
+def test_power_law_above_one_always_attackable(exponent):
+    pricing = PowerLawVariancePricing(
+        VarianceModel(n=17568), base_price=1e8, exponent=exponent
+    )
+    attack = find_averaging_attack(pricing, 0.05, 0.9, max_copies=512)
+    assert attack is not None
+    assert attack.total_price < attack.target_price
+
+
+@given(exponent=st.floats(min_value=0.2, max_value=1.0))
+@settings(max_examples=40, deadline=None)
+def test_power_law_at_most_one_resists_uniform_attack(exponent):
+    pricing = PowerLawVariancePricing(
+        VarianceModel(n=17568), base_price=1e8, exponent=exponent
+    )
+    attack = find_averaging_attack(pricing, 0.05, 0.9, max_copies=512)
+    assert attack is None
+
+
+@given(
+    n=st.integers(min_value=100, max_value=10**6),
+    alpha=interior,
+    delta=interior,
+    scale=st.floats(min_value=1.0, max_value=100.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_averaging_halves_variance_per_copy(n, alpha, delta, scale):
+    """Formula (4): m identical purchases average to V/m."""
+    model = VarianceModel(n=n)
+    v = model.variance(alpha, delta)
+    m = int(scale) or 1
+    assert model.averaged_variance([v] * m) == pytest.approx(v / m)

@@ -1,0 +1,64 @@
+"""Unit tests for the delivered-variance model V(α, δ)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.pricing.variance_model import VarianceModel
+
+
+class TestVarianceModel:
+    @pytest.fixture
+    def model(self):
+        return VarianceModel(n=10_000)
+
+    def test_formula(self, model):
+        assert model.variance(0.1, 0.5) == pytest.approx((0.1 * 10_000) ** 2 * 0.5)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValueError):
+            VarianceModel(n=0)
+
+    def test_alpha_inverse_round_trip(self, model):
+        v = model.variance(0.12, 0.4)
+        assert model.alpha_for(v, 0.4) == pytest.approx(0.12)
+
+    def test_delta_inverse_round_trip(self, model):
+        v = model.variance(0.12, 0.4)
+        assert model.delta_for(v, 0.12) == pytest.approx(0.4)
+
+    def test_delta_for_can_be_negative(self, model):
+        huge = model.variance(0.9, 0.0) * 4
+        assert model.delta_for(huge, 0.9) < 0.0
+
+    def test_alpha_for_rejects_bad_variance(self, model):
+        with pytest.raises(ValueError):
+            model.alpha_for(0.0, 0.5)
+
+    def test_delta_for_rejects_bad_alpha(self, model):
+        with pytest.raises(ValueError):
+            model.delta_for(100.0, 0.0)
+
+    def test_monotonicity(self, model):
+        assert model.variance(0.2, 0.5) > model.variance(0.1, 0.5)
+        assert model.variance(0.1, 0.8) < model.variance(0.1, 0.2)
+
+
+class TestAveragedVariance:
+    def test_formula_4(self):
+        """Averaging m answers gives (1/m²)·Σ V_i."""
+        model = VarianceModel(n=100)
+        assert model.averaged_variance([4.0, 8.0]) == pytest.approx(3.0)
+
+    def test_identical_copies(self):
+        model = VarianceModel(n=100)
+        # m copies of V average to V/m.
+        assert model.averaged_variance([6.0] * 3) == pytest.approx(2.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            VarianceModel(n=100).averaged_variance([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            VarianceModel(n=100).averaged_variance([1.0, 0.0])

@@ -1,0 +1,86 @@
+"""Unit tests for privacy amplification by sampling (Lemma 3.4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.privacy.amplification import (
+    amplification_gain,
+    amplified_epsilon,
+    required_base_epsilon,
+)
+
+
+class TestAmplifiedEpsilon:
+    def test_formula(self):
+        eps, p = 1.0, 0.3
+        assert amplified_epsilon(eps, p) == pytest.approx(
+            math.log(1 - p + p * math.exp(eps))
+        )
+
+    def test_full_sampling_identity(self):
+        assert amplified_epsilon(2.0, 1.0) == pytest.approx(2.0)
+
+    def test_zero_sampling_perfect_privacy(self):
+        assert amplified_epsilon(5.0, 0.0) == 0.0
+
+    def test_zero_epsilon(self):
+        assert amplified_epsilon(0.0, 0.5) == 0.0
+
+    def test_strictly_below_base(self):
+        assert amplified_epsilon(1.0, 0.5) < 1.0
+
+    def test_monotone_in_p(self):
+        assert amplified_epsilon(1.0, 0.2) < amplified_epsilon(1.0, 0.8)
+
+    def test_monotone_in_epsilon(self):
+        assert amplified_epsilon(0.5, 0.3) < amplified_epsilon(2.0, 0.3)
+
+    def test_small_p_linearization(self):
+        """For tiny p, ε' ≈ p·(e^ε − 1)."""
+        eps, p = 1.0, 1e-6
+        assert amplified_epsilon(eps, p) == pytest.approx(
+            p * math.expm1(eps), rel=1e-4
+        )
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            amplified_epsilon(-0.1, 0.5)
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            amplified_epsilon(1.0, 1.5)
+
+
+class TestInverse:
+    def test_round_trip(self):
+        for eps in (0.1, 1.0, 4.0):
+            for p in (0.05, 0.4, 1.0):
+                eps_prime = amplified_epsilon(eps, p)
+                assert required_base_epsilon(eps_prime, p) == pytest.approx(eps)
+
+    def test_zero_target(self):
+        assert required_base_epsilon(0.0, 0.5) == 0.0
+
+    def test_zero_p_positive_target_impossible(self):
+        with pytest.raises(ValueError):
+            required_base_epsilon(1.0, 0.0)
+
+
+class TestGain:
+    def test_gain_above_one_for_subsampling(self):
+        assert amplification_gain(1.0, 0.3) > 1.0
+
+    def test_gain_one_at_full_sampling(self):
+        assert amplification_gain(1.0, 1.0) == pytest.approx(1.0)
+
+    def test_gain_infinite_at_zero_p(self):
+        assert amplification_gain(1.0, 0.0) == math.inf
+
+    def test_gain_degenerate_zero_epsilon(self):
+        assert amplification_gain(0.0, 0.5) == 1.0
+
+    def test_gain_grows_as_p_shrinks(self):
+        assert amplification_gain(1.0, 0.05) > amplification_gain(1.0, 0.5)

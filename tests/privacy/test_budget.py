@@ -1,0 +1,80 @@
+"""Unit tests for the budget accountant."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PrivacyBudgetExceededError
+from repro.privacy.budget import BudgetAccountant
+
+
+class TestBudgetAccountant:
+    def test_fresh_accountant_spends_nothing(self):
+        acc = BudgetAccountant()
+        assert acc.spent("ozone") == 0.0
+
+    def test_charge_accumulates(self):
+        acc = BudgetAccountant()
+        acc.charge("ozone", 0.1)
+        acc.charge("ozone", 0.2)
+        assert acc.spent("ozone") == pytest.approx(0.3)
+
+    def test_datasets_isolated(self):
+        acc = BudgetAccountant()
+        acc.charge("ozone", 0.1)
+        acc.charge("no2", 0.5)
+        assert acc.spent("ozone") == pytest.approx(0.1)
+        assert acc.spent("no2") == pytest.approx(0.5)
+
+    def test_capacity_enforced(self):
+        acc = BudgetAccountant(capacity=0.25)
+        acc.charge("ozone", 0.2)
+        with pytest.raises(PrivacyBudgetExceededError):
+            acc.charge("ozone", 0.1)
+        # The failed charge must not have been recorded.
+        assert acc.spent("ozone") == pytest.approx(0.2)
+
+    def test_exact_capacity_allowed(self):
+        acc = BudgetAccountant(capacity=0.3)
+        acc.charge("ozone", 0.1)
+        acc.charge("ozone", 0.2)
+        assert acc.remaining("ozone") == pytest.approx(0.0)
+
+    def test_can_afford(self):
+        acc = BudgetAccountant(capacity=1.0)
+        acc.charge("d", 0.7)
+        assert acc.can_afford("d", 0.3)
+        assert not acc.can_afford("d", 0.31)
+
+    def test_remaining_infinite_by_default(self):
+        acc = BudgetAccountant()
+        assert acc.remaining("d") == float("inf")
+
+    def test_history_and_labels(self):
+        acc = BudgetAccountant()
+        acc.charge("d", 0.1, label="q1")
+        acc.charge("d", 0.2, label="q2")
+        history = acc.history("d")
+        assert [e.label for e in history] == ["q1", "q2"]
+        assert [e.epsilon for e in history] == [0.1, 0.2]
+
+    def test_datasets_listing(self):
+        acc = BudgetAccountant()
+        acc.charge("a", 0.1)
+        acc.charge("b", 0.1)
+        assert set(acc.datasets()) == {"a", "b"}
+
+    def test_reset(self):
+        acc = BudgetAccountant()
+        acc.charge("d", 0.4)
+        acc.reset("d")
+        assert acc.spent("d") == 0.0
+
+    def test_rejects_negative_charge(self):
+        acc = BudgetAccountant()
+        with pytest.raises(ValueError):
+            acc.charge("d", -0.1)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            BudgetAccountant(capacity=-1.0)

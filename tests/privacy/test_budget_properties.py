@@ -1,0 +1,81 @@
+"""Hypothesis property tests for the budget accountant."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import PrivacyBudgetExceededError
+from repro.privacy.budget import BudgetAccountant
+
+charges = st.lists(
+    st.floats(min_value=0.0, max_value=0.5), min_size=0, max_size=20
+)
+
+
+@given(epsilons=charges)
+@settings(max_examples=200, deadline=None)
+def test_spent_is_exact_sum(epsilons):
+    acc = BudgetAccountant()
+    for eps in epsilons:
+        acc.charge("d", eps)
+    assert acc.spent("d") == pytest.approx(sum(epsilons))
+
+
+@given(epsilons=charges, capacity=st.floats(min_value=0.0, max_value=5.0))
+@settings(max_examples=200, deadline=None)
+def test_capacity_never_exceeded(epsilons, capacity):
+    """No interleaving of charges can push spending past capacity."""
+    acc = BudgetAccountant(capacity=capacity)
+    for eps in epsilons:
+        try:
+            acc.charge("d", eps)
+        except PrivacyBudgetExceededError:
+            pass
+    assert acc.spent("d") <= capacity + 1e-9
+
+
+@given(
+    a_charges=charges,
+    b_charges=charges,
+)
+@settings(max_examples=100, deadline=None)
+def test_datasets_never_interact(a_charges, b_charges):
+    acc = BudgetAccountant()
+    for eps in a_charges:
+        acc.charge("a", eps)
+    for eps in b_charges:
+        acc.charge("b", eps)
+    assert acc.spent("a") == pytest.approx(sum(a_charges))
+    assert acc.spent("b") == pytest.approx(sum(b_charges))
+
+
+@given(epsilons=charges)
+@settings(max_examples=100, deadline=None)
+def test_history_reconstructs_spending(epsilons):
+    acc = BudgetAccountant()
+    for i, eps in enumerate(epsilons):
+        acc.charge("d", eps, label=f"q{i}")
+    history = acc.history("d")
+    assert len(history) == len(epsilons)
+    assert sum(e.epsilon for e in history) == pytest.approx(sum(epsilons))
+    assert [e.label for e in history] == [f"q{i}" for i in range(len(epsilons))]
+
+
+@given(
+    epsilons=charges,
+    capacity=st.floats(min_value=0.1, max_value=5.0),
+)
+@settings(max_examples=100, deadline=None)
+def test_can_afford_is_consistent_with_charge(epsilons, capacity):
+    """can_afford says yes exactly when charge would succeed."""
+    acc = BudgetAccountant(capacity=capacity)
+    for eps in epsilons:
+        affordable = acc.can_afford("d", eps)
+        try:
+            acc.charge("d", eps)
+            charged = True
+        except PrivacyBudgetExceededError:
+            charged = False
+        assert charged == affordable

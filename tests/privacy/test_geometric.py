@@ -1,0 +1,75 @@
+"""Unit + statistical tests for the two-sided geometric mechanism."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.geometric import GeometricMechanism, geometric_tail_within
+
+
+class TestTail:
+    def test_formula(self):
+        r = 0.5
+        # Pr[|Z| <= 0] = Pr[Z = 0] = (1 - r)/(1 + r).
+        assert geometric_tail_within(r, 0) == pytest.approx(1 - 2 * r / (1 + r))
+
+    def test_monotone_in_tolerance(self):
+        assert geometric_tail_within(0.5, 5) > geometric_tail_within(0.5, 1)
+
+    def test_approaches_one(self):
+        assert geometric_tail_within(0.5, 100) == pytest.approx(1.0)
+
+    def test_rejects_bad_ratio(self):
+        with pytest.raises(ValueError):
+            geometric_tail_within(1.0, 3)
+        with pytest.raises(ValueError):
+            geometric_tail_within(0.0, 3)
+
+
+class TestMechanism:
+    def test_ratio(self):
+        mech = GeometricMechanism(sensitivity=1.0, epsilon=1.0)
+        assert mech.ratio == pytest.approx(math.exp(-1.0))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            GeometricMechanism(sensitivity=0.0, epsilon=1.0)
+        with pytest.raises(ValueError):
+            GeometricMechanism(sensitivity=1.0, epsilon=0.0)
+
+    def test_release_is_integer(self, rng):
+        mech = GeometricMechanism(sensitivity=1.0, epsilon=0.5)
+        assert isinstance(mech.release(10, rng), int)
+
+    def test_noise_mean_zero(self, rng):
+        mech = GeometricMechanism(sensitivity=1.0, epsilon=0.5)
+        draws = [mech.sample_noise(rng) for _ in range(100_000)]
+        assert abs(float(np.mean(draws))) < 0.05
+
+    def test_noise_variance_matches_formula(self, rng):
+        mech = GeometricMechanism(sensitivity=1.0, epsilon=0.7)
+        draws = [mech.sample_noise(rng) for _ in range(100_000)]
+        assert float(np.var(draws)) == pytest.approx(mech.noise_variance, rel=0.05)
+
+    def test_empirical_tail(self, rng):
+        mech = GeometricMechanism(sensitivity=1.0, epsilon=0.5)
+        draws = np.array([mech.sample_noise(rng) for _ in range(100_000)])
+        frac = float(np.mean(np.abs(draws) <= 3))
+        assert frac == pytest.approx(mech.probability_within(3), abs=0.01)
+
+    def test_dp_ratio_bound_exact(self):
+        """Pr[Z = z]/Pr[Z = z + Δ] = r^{-Δ} = e^{εΔ} is tight by design."""
+        eps = 0.9
+        mech = GeometricMechanism(sensitivity=1.0, epsilon=eps)
+        r = mech.ratio
+
+        def pmf(z):
+            return (1 - r) / (1 + r) * r ** abs(z)
+
+        for z in range(-5, 6):
+            ratio = pmf(z) / pmf(z + 1)
+            assert ratio <= math.exp(eps) + 1e-12
+            assert ratio >= math.exp(-eps) - 1e-12

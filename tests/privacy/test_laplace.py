@@ -1,0 +1,130 @@
+"""Unit + statistical tests for the Laplace mechanism."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.privacy.laplace import (
+    LaplaceMechanism,
+    epsilon_for_tail,
+    laplace_scale,
+    laplace_tail_within,
+    sample_laplace,
+)
+
+
+class TestScale:
+    def test_formula(self):
+        assert laplace_scale(2.0, 0.5) == 4.0
+
+    def test_rejects_zero_epsilon(self):
+        with pytest.raises(ValueError):
+            laplace_scale(1.0, 0.0)
+
+    def test_rejects_zero_sensitivity(self):
+        with pytest.raises(ValueError):
+            laplace_scale(0.0, 1.0)
+
+
+class TestTailAlgebra:
+    def test_tail_formula(self):
+        assert laplace_tail_within(2.0, 2.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_tail_zero_tolerance(self):
+        assert laplace_tail_within(1.0, 0.0) == 0.0
+
+    def test_tail_monotone_in_tolerance(self):
+        assert laplace_tail_within(1.0, 2.0) > laplace_tail_within(1.0, 1.0)
+
+    def test_epsilon_for_tail_inverts(self):
+        """The derived ε makes the tail probability exactly the target."""
+        sensitivity, tolerance, prob = 2.5, 30.0, 0.7
+        eps = epsilon_for_tail(sensitivity, tolerance, prob)
+        scale = laplace_scale(sensitivity, eps)
+        assert laplace_tail_within(scale, tolerance) == pytest.approx(prob)
+
+    def test_epsilon_for_tail_paper_form(self):
+        """Matches ε = (Δγ̂/((α−α')n))·ln(δ'/(δ'−δ))."""
+        sensitivity, n = 5.0, 10_000
+        alpha, alpha_p, delta, delta_p = 0.1, 0.06, 0.5, 0.8
+        eps = epsilon_for_tail(
+            sensitivity, (alpha - alpha_p) * n, delta / delta_p
+        )
+        expected = (sensitivity / ((alpha - alpha_p) * n)) * math.log(
+            delta_p / (delta_p - delta)
+        )
+        assert eps == pytest.approx(expected)
+
+    def test_epsilon_for_tail_rejects_boundary_probability(self):
+        with pytest.raises(ValueError):
+            epsilon_for_tail(1.0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            epsilon_for_tail(1.0, 1.0, 1.0)
+
+
+class TestSampling:
+    def test_scalar_draw(self, rng):
+        draw = sample_laplace(1.0, rng)
+        assert isinstance(draw, float)
+
+    def test_vector_draw(self, rng):
+        draws = sample_laplace(1.0, rng, size=100)
+        assert draws.shape == (100,)
+
+    def test_rejects_bad_scale(self, rng):
+        with pytest.raises(ValueError):
+            sample_laplace(0.0, rng)
+
+    def test_mean_and_variance(self, rng):
+        scale = 3.0
+        draws = sample_laplace(scale, rng, size=200_000)
+        assert abs(float(np.mean(draws))) < 0.05
+        assert float(np.var(draws)) == pytest.approx(2 * scale**2, rel=0.05)
+
+    def test_empirical_tail_matches_formula(self, rng):
+        scale, tolerance = 2.0, 3.0
+        draws = sample_laplace(scale, rng, size=200_000)
+        frac = float(np.mean(np.abs(draws) <= tolerance))
+        assert frac == pytest.approx(laplace_tail_within(scale, tolerance), abs=0.01)
+
+
+class TestMechanism:
+    def test_scale_property(self):
+        mech = LaplaceMechanism(sensitivity=2.0, epsilon=0.5)
+        assert mech.scale == 4.0
+        assert mech.noise_variance == pytest.approx(32.0)
+
+    def test_probability_within(self):
+        mech = LaplaceMechanism(sensitivity=1.0, epsilon=1.0)
+        assert mech.probability_within(1.0) == pytest.approx(1 - math.exp(-1))
+
+    def test_release_adds_noise(self, rng):
+        mech = LaplaceMechanism(sensitivity=1.0, epsilon=0.1)
+        released = mech.release(100.0, rng)
+        assert released != 100.0  # almost surely
+
+    def test_release_unbiased(self, rng):
+        mech = LaplaceMechanism(sensitivity=1.0, epsilon=1.0)
+        draws = [mech.release(50.0, rng) for _ in range(50_000)]
+        assert float(np.mean(draws)) == pytest.approx(50.0, abs=0.05)
+
+    def test_dp_ratio_bound_empirical(self, rng):
+        """Histogram likelihood ratios respect e^ε on neighboring outputs.
+
+        Releases of two counts differing by the sensitivity should have
+        densities within e^ε everywhere; we spot-check via binned draws.
+        """
+        eps = 0.8
+        mech = LaplaceMechanism(sensitivity=1.0, epsilon=eps)
+        a = np.array([mech.release(10.0, rng) for _ in range(100_000)])
+        b = np.array([mech.release(11.0, rng) for _ in range(100_000)])
+        bins = np.linspace(5, 16, 23)
+        hist_a, _ = np.histogram(a, bins=bins)
+        hist_b, _ = np.histogram(b, bins=bins)
+        mask = (hist_a > 500) & (hist_b > 500)
+        ratios = hist_a[mask] / hist_b[mask]
+        assert np.all(ratios <= math.exp(eps) * 1.15)
+        assert np.all(ratios >= math.exp(-eps) / 1.15)

@@ -1,0 +1,183 @@
+"""Unit + statistical tests for optimization problem (3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InfeasiblePlanError
+from repro.estimators.calibration import achieved_delta, min_feasible_alpha
+from repro.privacy.amplification import amplified_epsilon
+from repro.privacy.laplace import laplace_tail_within, sample_laplace
+from repro.privacy.optimizer import (
+    SensitivityPolicy,
+    optimize_privacy_plan,
+)
+
+K, N = 16, 20_000
+
+
+class TestFeasibility:
+    def test_feasible_plan_returned(self):
+        plan = optimize_privacy_plan(alpha=0.1, delta=0.5, p=0.3, k=K, n=N)
+        assert plan.epsilon > 0
+        assert plan.epsilon_prime > 0
+
+    def test_infeasible_raises(self):
+        # A sparse sample cannot certify a tight alpha.
+        with pytest.raises(InfeasiblePlanError):
+            optimize_privacy_plan(alpha=0.002, delta=0.9, p=0.01, k=K, n=N)
+
+    def test_delta_zero_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_privacy_plan(alpha=0.1, delta=0.0, p=0.3, k=K, n=N)
+
+    def test_bad_p_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_privacy_plan(alpha=0.1, delta=0.5, p=0.0, k=K, n=N)
+
+    def test_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_privacy_plan(alpha=0.1, delta=0.5, p=0.3, k=K, n=N,
+                                  grid_points=1)
+
+
+class TestPlanConstraints:
+    """Every constraint of problem (3) must hold on the returned plan."""
+
+    @pytest.fixture
+    def plan(self):
+        return optimize_privacy_plan(alpha=0.1, delta=0.5, p=0.3, k=K, n=N)
+
+    def test_alpha_prime_interior(self, plan):
+        assert min_feasible_alpha(0.3, K, N, 0.5) < plan.alpha_prime < 0.1
+
+    def test_delta_prime_exceeds_delta(self, plan):
+        assert plan.delta_prime > 0.5
+
+    def test_delta_prime_matches_sample(self, plan):
+        assert plan.delta_prime == pytest.approx(
+            achieved_delta(0.3, plan.alpha_prime, K, N)
+        )
+
+    def test_tail_constraint_met(self, plan):
+        prob = laplace_tail_within(plan.noise_scale, plan.noise_tolerance)
+        assert prob >= plan.delta / plan.delta_prime - 1e-9
+
+    def test_tail_constraint_tight(self, plan):
+        """The minimal ε makes the tail constraint hold with equality."""
+        prob = laplace_tail_within(plan.noise_scale, plan.noise_tolerance)
+        assert prob == pytest.approx(plan.delta / plan.delta_prime)
+
+    def test_epsilon_prime_is_amplified(self, plan):
+        assert plan.epsilon_prime == pytest.approx(
+            amplified_epsilon(plan.epsilon, plan.p)
+        )
+
+    def test_expected_sensitivity(self, plan):
+        assert plan.sensitivity == pytest.approx(1 / 0.3)
+
+    def test_noise_scale(self, plan):
+        assert plan.noise_scale == pytest.approx(plan.sensitivity / plan.epsilon)
+
+
+class TestOptimality:
+    def test_grid_point_is_minimizer(self):
+        """No other feasible grid point yields a smaller ε′."""
+        alpha, delta, p = 0.1, 0.5, 0.3
+        plan = optimize_privacy_plan(alpha, delta, p, K, N, grid_points=64)
+        from repro.privacy.laplace import epsilon_for_tail
+
+        floor = min_feasible_alpha(p, K, N, delta)
+        span = alpha - floor
+        for j in range(1, 64):
+            a_prime = floor + span * j / 64
+            d_prime = achieved_delta(p, a_prime, K, N)
+            if d_prime <= delta:
+                continue
+            eps = epsilon_for_tail(1 / p, (alpha - a_prime) * N, delta / d_prime)
+            assert amplified_epsilon(eps, p) >= plan.epsilon_prime - 1e-12
+
+    def test_denser_sampling_gives_stronger_privacy_budget_options(self):
+        """More samples leave more head-room: ε at p=0.5 search space can
+        beat ε at the minimum feasible p for the same target."""
+        tight = optimize_privacy_plan(alpha=0.1, delta=0.5, p=0.12, k=K, n=N)
+        loose = optimize_privacy_plan(alpha=0.1, delta=0.5, p=0.5, k=K, n=N)
+        # The raw ε is smaller with more head-room.
+        assert loose.epsilon < tight.epsilon
+
+    def test_looser_alpha_reduces_epsilon(self):
+        strict = optimize_privacy_plan(alpha=0.05, delta=0.5, p=0.4, k=K, n=N)
+        loose = optimize_privacy_plan(alpha=0.2, delta=0.5, p=0.4, k=K, n=N)
+        assert loose.epsilon < strict.epsilon
+
+    def test_looser_delta_reduces_epsilon(self):
+        strict = optimize_privacy_plan(alpha=0.1, delta=0.8, p=0.4, k=K, n=N)
+        loose = optimize_privacy_plan(alpha=0.1, delta=0.2, p=0.4, k=K, n=N)
+        assert loose.epsilon < strict.epsilon
+
+    def test_finer_grid_never_worse(self):
+        coarse = optimize_privacy_plan(alpha=0.1, delta=0.5, p=0.3, k=K, n=N,
+                                       grid_points=16)
+        fine = optimize_privacy_plan(alpha=0.1, delta=0.5, p=0.3, k=K, n=N,
+                                     grid_points=1024)
+        assert fine.epsilon_prime <= coarse.epsilon_prime + 1e-12
+
+
+class TestSensitivityPolicy:
+    def test_worst_case_requires_node_size(self):
+        with pytest.raises(ValueError):
+            optimize_privacy_plan(
+                alpha=0.1, delta=0.5, p=0.3, k=K, n=N,
+                sensitivity_policy=SensitivityPolicy.WORST_CASE,
+            )
+
+    def test_worst_case_uses_node_size(self):
+        plan = optimize_privacy_plan(
+            alpha=0.1, delta=0.5, p=0.3, k=K, n=N,
+            sensitivity_policy=SensitivityPolicy.WORST_CASE,
+            max_node_size=N // K,
+        )
+        assert plan.sensitivity == N // K
+
+    def test_worst_case_destroys_utility(self):
+        """The paper: worst-case sensitivity inflates noise enormously."""
+        expected = optimize_privacy_plan(alpha=0.1, delta=0.5, p=0.3, k=K, n=N)
+        worst = optimize_privacy_plan(
+            alpha=0.1, delta=0.5, p=0.3, k=K, n=N,
+            sensitivity_policy=SensitivityPolicy.WORST_CASE,
+            max_node_size=N // K,
+        )
+        assert worst.epsilon > expected.epsilon * 50
+
+
+class TestEndToEndGuarantee:
+    def test_released_answer_meets_alpha_delta(self, rng):
+        """Monte-Carlo check of the composed (α, δ) guarantee.
+
+        Sampling estimate + planned Laplace noise lands within α·n of the
+        truth with frequency at least δ.
+        """
+        from repro.estimators.base import NodeData
+        from repro.estimators.rank import RankCountingEstimator
+
+        alpha, delta, p = 0.1, 0.5, 0.3
+        nodes = [
+            NodeData(node_id=i + 1, values=rng.uniform(0, 100, N // K))
+            for i in range(K)
+        ]
+        plan = optimize_privacy_plan(alpha, delta, p, K, N)
+        est = RankCountingEstimator()
+        truth = sum(node.exact_count(20.0, 80.0) for node in nodes)
+        hits = 0
+        trials = 800
+        for _ in range(trials):
+            samples = [node.sample(p, rng) for node in nodes]
+            noisy = est.estimate(samples, 20.0, 80.0).estimate + float(
+                sample_laplace(plan.noise_scale, rng)
+            )
+            if abs(noisy - truth) <= alpha * N:
+                hits += 1
+        # The guarantee is conservative (Chebyshev); observed frequency
+        # must be at least δ minus Monte-Carlo slack.
+        assert hits / trials >= delta - 0.05

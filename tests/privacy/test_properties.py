@@ -1,0 +1,111 @@
+"""Hypothesis property tests for privacy-layer invariants."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InfeasiblePlanError
+from repro.privacy.amplification import amplified_epsilon, required_base_epsilon
+from repro.privacy.laplace import (
+    epsilon_for_tail,
+    laplace_scale,
+    laplace_tail_within,
+)
+from repro.privacy.optimizer import optimize_privacy_plan
+
+
+@given(
+    epsilon=st.floats(min_value=0.0, max_value=20.0),
+    p=st.floats(min_value=0.0, max_value=1.0),
+)
+@settings(max_examples=300, deadline=None)
+def test_amplification_never_exceeds_base(epsilon, p):
+    """ε' ≤ ε always; equality only at p = 1 or ε = 0."""
+    eps_prime = amplified_epsilon(epsilon, p)
+    assert eps_prime <= epsilon + 1e-12
+    assert eps_prime >= 0.0
+
+
+@given(
+    epsilon=st.floats(min_value=1e-6, max_value=10.0),
+    p=st.floats(min_value=1e-6, max_value=1.0),
+)
+@settings(max_examples=300, deadline=None)
+def test_amplification_round_trip(epsilon, p):
+    eps_prime = amplified_epsilon(epsilon, p)
+    assert required_base_epsilon(eps_prime, p) == pytest.approx(epsilon, rel=1e-6)
+
+
+@given(
+    epsilon=st.floats(min_value=1e-3, max_value=10.0),
+    p1=st.floats(min_value=1e-3, max_value=1.0),
+    p2=st.floats(min_value=1e-3, max_value=1.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_amplification_monotone_in_p(epsilon, p1, p2):
+    lo, hi = sorted((p1, p2))
+    assert amplified_epsilon(epsilon, lo) <= amplified_epsilon(epsilon, hi) + 1e-12
+
+
+@given(
+    sensitivity=st.floats(min_value=1e-3, max_value=1e3),
+    tolerance=st.floats(min_value=1e-3, max_value=1e6),
+    probability=st.floats(min_value=1e-6, max_value=1 - 1e-6),
+)
+@settings(max_examples=300, deadline=None)
+def test_epsilon_for_tail_achieves_target(sensitivity, tolerance, probability):
+    """The closed-form ε achieves the tail target with equality."""
+    eps = epsilon_for_tail(sensitivity, tolerance, probability)
+    scale = laplace_scale(sensitivity, eps)
+    assert laplace_tail_within(scale, tolerance) == pytest.approx(
+        probability, rel=1e-9, abs=1e-12
+    )
+
+
+@given(
+    alpha=st.floats(min_value=0.02, max_value=0.5),
+    delta=st.floats(min_value=0.05, max_value=0.9),
+    p=st.floats(min_value=0.05, max_value=1.0),
+    k=st.integers(min_value=1, max_value=64),
+    n=st.integers(min_value=1_000, max_value=200_000),
+)
+@settings(max_examples=150, deadline=None)
+def test_optimizer_plan_constraints_always_hold(alpha, delta, p, k, n):
+    """Whenever a plan exists, every problem-(3) constraint holds."""
+    try:
+        plan = optimize_privacy_plan(alpha, delta, p, k, n, grid_points=64)
+    except InfeasiblePlanError:
+        return
+    assert 0.0 < plan.alpha_prime < alpha
+    assert delta < plan.delta_prime < 1.0
+    assert plan.epsilon > 0.0
+    assert plan.epsilon_prime <= plan.epsilon + 1e-12
+    tail = laplace_tail_within(plan.noise_scale, plan.noise_tolerance)
+    assert tail >= plan.delta / plan.delta_prime - 1e-9
+    assert plan.epsilon_prime == pytest.approx(
+        amplified_epsilon(plan.epsilon, p)
+    )
+
+
+@given(
+    alpha=st.floats(min_value=0.05, max_value=0.5),
+    delta=st.floats(min_value=0.05, max_value=0.9),
+    k=st.integers(min_value=1, max_value=32),
+    n=st.integers(min_value=5_000, max_value=100_000),
+)
+@settings(max_examples=100, deadline=None)
+def test_optimizer_full_sampling_always_feasible_or_alpha_floor(alpha, delta, k, n):
+    """At p = 1, feasibility reduces to the α floor being below α."""
+    from repro.estimators.calibration import min_feasible_alpha
+
+    floor = min_feasible_alpha(1.0, k, n, delta)
+    if floor < alpha:
+        plan = optimize_privacy_plan(alpha, delta, 1.0, k, n, grid_points=64)
+        assert plan.epsilon_prime == pytest.approx(plan.epsilon)
+    else:
+        with pytest.raises(InfeasiblePlanError):
+            optimize_privacy_plan(alpha, delta, 1.0, k, n, grid_points=64)

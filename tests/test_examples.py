@@ -1,0 +1,46 @@
+"""Smoke tests: every shipped example runs cleanly end to end.
+
+Examples are the library's public face; a refactor that breaks one must
+fail CI.  Each runs as a subprocess with the repository layout on path,
+and its output is checked for the scenario's key artifact.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+
+#: script name -> fragment its stdout must contain.
+EXPECTED = {
+    "quickstart.py": "released count",
+    "air_quality_monitoring.py": "total bill",
+    "arbitrage_attack.py": "attack SUCCEEDED",
+    "privacy_utility_tradeoff.py": "privacy-utility trade-off",
+    "network_cost.py": "flat vs balanced-tree",
+    "continuous_monitoring.py": "standing query",
+    "tree_aggregation.py": "flat (paper default)",
+    "marketplace_catalog.py": "platform revenue",
+}
+
+
+def test_every_example_is_covered():
+    """New example scripts must be added to the smoke map."""
+    scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert scripts == set(EXPECTED)
+
+
+@pytest.mark.parametrize("script", sorted(EXPECTED))
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED[script] in result.stdout

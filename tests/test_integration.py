@@ -1,0 +1,211 @@
+"""Integration tests: end-to-end scenarios crossing all subsystems.
+
+Each scenario drives the real stack -- CityPulse surrogate, simulated
+network, base station, broker, pricing, marketplace -- and asserts a
+paper-level claim end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    AccuracySpec,
+    ArbitrageConsumer,
+    HonestConsumer,
+    Marketplace,
+    PrivateRangeCountingService,
+    RangeQuery,
+)
+from repro.datasets import generate_citypulse
+from repro.errors import LedgerError, PrivacyBudgetExceededError
+from repro.iot.messages import HEADER_BYTES
+from repro.pricing.arbitrage import check_arbitrage_avoiding
+from repro.pricing.functions import (
+    InverseVariancePricing,
+    PowerLawVariancePricing,
+)
+from repro.pricing.variance_model import VarianceModel
+from repro.privacy.budget import BudgetAccountant
+
+
+@pytest.fixture(scope="module")
+def citypulse():
+    return generate_citypulse(record_count=4000, seed=17)
+
+
+class TestEndToEndTrade:
+    def test_pollution_monitoring_scenario(self, citypulse):
+        """A consumer buys pollution-band counts over the full stack."""
+        service = PrivateRangeCountingService.from_citypulse(
+            citypulse, "particulate_matter", k=12, seed=5
+        )
+        answer = service.answer(60.0, 90.0, alpha=0.12, delta=0.6,
+                                consumer="city-hall")
+        truth = service.true_count(60.0, 90.0)
+        assert 0 <= answer.value <= service.n
+        assert answer.plan.epsilon_prime < answer.plan.epsilon
+        assert answer.price == service.quote(0.12, 0.6)
+        # The certificate the consumer paid for.
+        assert answer.spec == AccuracySpec(alpha=0.12, delta=0.6)
+        assert truth >= 0
+
+    def test_alpha_delta_guarantee_over_many_stacks(self, citypulse):
+        """Frequency of within-tolerance answers is at least δ."""
+        alpha, delta = 0.12, 0.5
+        hits, trials = 0, 40
+        for seed in range(trials):
+            service = PrivateRangeCountingService.from_citypulse(
+                citypulse, "ozone", k=8, seed=seed
+            )
+            answer = service.answer(70.0, 110.0, alpha=alpha, delta=delta)
+            truth = service.true_count(70.0, 110.0)
+            if abs(answer.value - truth) <= alpha * service.n:
+                hits += 1
+        assert hits / trials >= delta
+
+    def test_repeated_queries_reuse_one_sample(self, citypulse):
+        """The 'one sample, multiple queries' regime: no extra traffic."""
+        service = PrivateRangeCountingService.from_citypulse(
+            citypulse, "ozone", k=8, seed=3
+        )
+        service.answer(70.0, 110.0, alpha=0.15, delta=0.5)
+        messages = service.communication_report()["messages"]
+        for low in (60.0, 80.0, 100.0):
+            service.answer(low, low + 30.0, alpha=0.15, delta=0.5)
+        assert service.communication_report()["messages"] == messages
+
+
+class TestMarketplaceFlow:
+    def test_funded_trading_session(self, citypulse):
+        service = PrivateRangeCountingService.from_citypulse(
+            citypulse, "nitrogen_dioxide", k=8, seed=9
+        )
+        market = service.market
+        market.open_account("alice", 10.0)
+        query = RangeQuery(low=70.0, high=100.0, dataset="nitrogen_dioxide")
+        spec = AccuracySpec(alpha=0.2, delta=0.5)
+        answer = market.buy("alice", query, spec)
+        assert market.balance_of("alice") == pytest.approx(10.0 - answer.price)
+        assert market.total_settled == pytest.approx(answer.price)
+        assert service.broker.ledger.spend_of("alice") == pytest.approx(
+            answer.price
+        )
+
+    def test_unfunded_consumer_blocked(self, citypulse):
+        service = PrivateRangeCountingService.from_citypulse(
+            citypulse, "ozone", k=8, seed=9, base_price=1e9
+        )
+        service.market.open_account("broke", 0.0)
+        with pytest.raises(LedgerError):
+            service.market.buy(
+                "broke",
+                RangeQuery(low=70.0, high=100.0, dataset="ozone"),
+                AccuracySpec(alpha=0.1, delta=0.5),
+            )
+
+
+class TestPrivacyBudgetLifecycle:
+    def test_budget_cap_ends_service(self, citypulse):
+        values = citypulse.values("ozone")
+        service = PrivateRangeCountingService.from_values(
+            values, k=8, dataset="ozone", seed=4
+        )
+        service.broker.accountant = BudgetAccountant(capacity=0.02)
+        query_args = dict(low=70.0, high=110.0, alpha=0.15, delta=0.5)
+        served = 0
+        with pytest.raises(PrivacyBudgetExceededError):
+            for _ in range(1000):
+                service.answer(**query_args)
+                served += 1
+        assert served >= 1
+        assert service.privacy_spent() <= 0.02 + 1e-9
+
+    def test_amplification_bonus_recorded(self, citypulse):
+        """The charged ε' reflects Lemma 3.4's sampling discount."""
+        service = PrivateRangeCountingService.from_citypulse(
+            citypulse, "ozone", k=8, seed=4
+        )
+        answer = service.answer(70.0, 110.0, alpha=0.15, delta=0.5)
+        assert answer.plan.epsilon_prime < answer.plan.epsilon
+        assert service.privacy_spent() == pytest.approx(
+            answer.plan.epsilon_prime
+        )
+
+
+class TestArbitrageEndToEnd:
+    def test_safe_pricing_resists_real_adversary(self, citypulse):
+        service = PrivateRangeCountingService.from_citypulse(
+            citypulse, "ozone", k=8, seed=6, base_price=1e8
+        )
+        adversary = ArbitrageConsumer(name="eve")
+        outcome = adversary.attempt(
+            service.broker,
+            RangeQuery(low=70.0, high=110.0, dataset="ozone"),
+            AccuracySpec(alpha=0.08, delta=0.8),
+        )
+        assert not outcome.succeeded
+
+    def test_broken_pricing_loses_revenue(self, citypulse):
+        values = citypulse.values("ozone")
+        pricing = PowerLawVariancePricing(
+            VarianceModel(n=len(values)), exponent=2.0, base_price=1e10
+        )
+        service = PrivateRangeCountingService.from_values(
+            values, k=8, dataset="ozone", seed=6, pricing=pricing
+        )
+        adversary = ArbitrageConsumer(name="eve")
+        outcome = adversary.attempt(
+            service.broker,
+            RangeQuery(low=70.0, high=110.0, dataset="ozone"),
+            AccuracySpec(alpha=0.08, delta=0.8),
+        )
+        assert outcome.succeeded
+        assert outcome.paid < outcome.list_price
+
+    def test_checker_agrees_with_adversary(self, citypulse):
+        """Theorem 4.2 checker and constructive attack agree on verdicts."""
+        n = len(citypulse.values("ozone"))
+        model = VarianceModel(n=n)
+        safe = check_arbitrage_avoiding(InverseVariancePricing(model))
+        broken = check_arbitrage_avoiding(
+            PowerLawVariancePricing(model, exponent=2.0)
+        )
+        assert safe.arbitrage_avoiding
+        assert not broken.arbitrage_avoiding
+
+
+class TestLossyNetwork:
+    def test_collection_survives_packet_loss(self, citypulse):
+        service = PrivateRangeCountingService.from_citypulse(
+            citypulse, "ozone", k=8, seed=2, loss_probability=0.3
+        )
+        answer = service.answer(70.0, 110.0, alpha=0.15, delta=0.5)
+        assert 0 <= answer.value <= service.n
+        # Retries happened: more wire traffic than a loss-free run.
+        lossless = PrivateRangeCountingService.from_citypulse(
+            citypulse, "ozone", k=8, seed=2, loss_probability=0.0
+        )
+        lossless.answer(70.0, 110.0, alpha=0.15, delta=0.5)
+        assert (
+            service.communication_report()["messages"]
+            >= lossless.communication_report()["messages"]
+        )
+
+
+class TestCommunicationClaims:
+    def test_sampling_beats_full_collection(self, citypulse):
+        """Shipping a sample costs far less than shipping everything."""
+        values = citypulse.values("ozone")
+        service = PrivateRangeCountingService.from_values(values, k=8, seed=1)
+        service.answer(70.0, 110.0, alpha=0.15, delta=0.5)
+        shipped_pairs = service.communication_report()["sample_pairs"]
+        assert shipped_pairs < len(values) / 4
+
+    def test_metered_bytes_account_for_headers(self, citypulse):
+        values = citypulse.values("ozone")[:800]
+        service = PrivateRangeCountingService.from_values(values, k=4, seed=1)
+        service.collect(0.2)
+        report = service.communication_report()
+        assert report["wire_bytes"] >= report["messages"] * HEADER_BYTES

@@ -1,0 +1,66 @@
+"""Hypothesis round-trip properties for the persistence layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators.base import NodeData
+from repro.io import load_ledger, load_samples, save_ledger, save_samples
+from repro.pricing.ledger import BillingLedger
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=0, max_value=60), min_size=1,
+                   max_size=5),
+    p=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=10**6),
+)
+@settings(max_examples=60, deadline=None)
+def test_samples_round_trip_property(tmp_path_factory, sizes, p, seed):
+    rng = np.random.default_rng(seed)
+    samples = []
+    for i, size in enumerate(sizes):
+        node = NodeData(node_id=i + 1, values=rng.uniform(0, 1, size))
+        samples.append(node.sample(p, rng))
+    path = tmp_path_factory.mktemp("io") / "samples.json"
+    save_samples(path, samples)
+    loaded = load_samples(path)
+    assert len(loaded) == len(samples)
+    for original, restored in zip(samples, loaded):
+        assert restored.node_id == original.node_id
+        assert restored.node_size == original.node_size
+        assert restored.p == original.p
+        assert np.array_equal(restored.values, original.values)
+        assert np.array_equal(restored.ranks, original.ranks)
+
+
+@given(
+    entries=st.lists(
+        st.tuples(
+            st.sampled_from(["alice", "bob", "carol"]),
+            st.sampled_from(["ozone", "no2"]),
+            st.floats(min_value=0.01, max_value=0.99),
+            st.floats(min_value=0.01, max_value=0.99),
+            st.floats(min_value=0.0, max_value=1e6),
+            st.floats(min_value=0.0, max_value=10.0),
+        ),
+        min_size=0,
+        max_size=10,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_ledger_round_trip_property(tmp_path_factory, entries):
+    ledger = BillingLedger()
+    for consumer, dataset, alpha, delta, price, eps in entries:
+        ledger.record(consumer, dataset, alpha, delta, price, eps)
+    path = tmp_path_factory.mktemp("io") / "ledger.json"
+    save_ledger(path, ledger)
+    loaded = load_ledger(path)
+    assert loaded.transactions == ledger.transactions
+    assert loaded.total_revenue() == pytest.approx(ledger.total_revenue())
+    assert loaded.revenue_by_consumer() == pytest.approx(
+        ledger.revenue_by_consumer()
+    )

@@ -1,0 +1,94 @@
+"""Tests for the public test-helper module (repro.testing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.testing import (
+    make_broker,
+    make_nodes,
+    make_samples,
+    make_service,
+    make_station,
+)
+
+
+class TestMakeNodes:
+    def test_shape(self):
+        nodes = make_nodes(k=3, size=50)
+        assert len(nodes) == 3
+        assert all(n.size == 50 for n in nodes)
+
+    def test_deterministic(self):
+        a = make_nodes(seed=5)
+        b = make_nodes(seed=5)
+        assert all(np.array_equal(x.values, y.values) for x, y in zip(a, b))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_nodes(k=0)
+
+
+class TestMakeSamples:
+    def test_rates(self):
+        nodes = make_nodes(k=2, size=5000)
+        samples = make_samples(nodes, p=0.25, seed=2)
+        for sample in samples:
+            assert sample.p == 0.25
+            assert 0.2 * 5000 < len(sample) < 0.3 * 5000
+
+    def test_feeds_estimator(self):
+        from repro.estimators.rank import RankCountingEstimator
+
+        nodes = make_nodes(k=2, size=200)
+        samples = make_samples(nodes, p=1.0)
+        truth = sum(n.exact_count(10.0, 60.0) for n in nodes)
+        result = RankCountingEstimator().estimate(samples, 10.0, 60.0)
+        assert result.estimate == pytest.approx(truth)
+
+
+class TestMakeStation:
+    def test_ready_to_collect(self):
+        station = make_station(k=3, size=100)
+        station.collect(0.3)
+        assert len(station.samples()) == 3
+        assert station.n == 300
+
+    def test_lossy_option(self):
+        station = make_station(k=2, loss_probability=0.3, max_retries=30,
+                               seed=4)
+        station.collect(0.3)
+        assert station.network.meter.total_messages > 4
+
+
+class TestMakeBroker:
+    def test_answers(self):
+        from repro.core.query import AccuracySpec, RangeQuery
+
+        broker = make_broker(k=4, size=500, seed=3)
+        answer = broker.answer(
+            RangeQuery(low=20.0, high=70.0, dataset="default"),
+            AccuracySpec(alpha=0.15, delta=0.5),
+        )
+        assert 0 <= answer.value <= broker.base_station.n
+
+    def test_custom_pricing(self):
+        from repro.pricing.functions import PowerLawVariancePricing
+        from repro.pricing.variance_model import VarianceModel
+
+        pricing = PowerLawVariancePricing(VarianceModel(n=1200), exponent=2.0)
+        broker = make_broker(k=4, size=300, pricing=pricing)
+        assert broker.pricing is pricing
+
+
+class TestMakeService:
+    def test_end_to_end(self):
+        service = make_service(n=1500, k=3, seed=6)
+        answer = service.answer(20.0, 70.0, alpha=0.2, delta=0.5)
+        assert 0 <= answer.value <= 1500
+
+    def test_deterministic(self):
+        a = make_service(seed=9).answer(20.0, 70.0, alpha=0.2, delta=0.5)
+        b = make_service(seed=9).answer(20.0, 70.0, alpha=0.2, delta=0.5)
+        assert a.value == b.value
