@@ -5,6 +5,8 @@ Four commands cover the library's everyday surfaces:
 * ``quote``       -- price an ``(α, δ)`` product from the published sheet.
 * ``answer``      -- build the full simulated stack over the CityPulse
   surrogate and purchase one private range counting.
+* ``answer-batch`` -- purchase many range countings at one tier in a
+  single vectorized trade, reading ``low,high`` ranges from a CSV file.
 * ``experiment``  -- regenerate one of the paper's figure series (fig2..
   fig6, or the estimator-comparison ablation) at a configurable scale.
 * ``check-pricing`` -- run the Theorem 4.2 checker and the Example 4.1
@@ -18,6 +20,7 @@ arguments, 1 when a check fails (e.g. a pricing family is arbitrageable).
 from __future__ import annotations
 
 import argparse
+import csv
 import sys
 from typing import List, Optional, Sequence
 
@@ -76,6 +79,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the exact count (harness/debug use)",
     )
+
+    batch = sub.add_parser(
+        "answer-batch",
+        help="purchase many private range countings in one batched trade",
+    )
+    batch.add_argument("--index", choices=AIR_QUALITY_INDEXES, default="ozone")
+    batch.add_argument(
+        "--ranges-csv",
+        required=True,
+        help="CSV file of low,high rows (a header line is allowed)",
+    )
+    batch.add_argument("--alpha", type=float, default=0.1)
+    batch.add_argument("--delta", type=float, default=0.5)
+    batch.add_argument("--records", type=int, default=17568)
+    batch.add_argument("--devices", type=int, default=16)
+    batch.add_argument("--seed", type=int, default=7)
 
     experiment = sub.add_parser(
         "experiment", help="regenerate one paper-figure series"
@@ -176,6 +195,63 @@ def _cmd_answer(args: argparse.Namespace) -> int:
     if args.show_truth:
         rows.insert(1, ("true_count", service.true_count(args.low, args.high)))
     print(format_table(["field", "value"], rows))
+    return 0
+
+
+def _read_ranges_csv(path: str) -> "List[tuple[float, float]]":
+    """Parse ``low,high`` rows from a CSV file; one header line is allowed."""
+    ranges: List[tuple] = []
+    with open(path, newline="") as handle:
+        for line_no, row in enumerate(csv.reader(handle), start=1):
+            cells = [cell.strip() for cell in row if cell.strip()]
+            if not cells:
+                continue
+            if len(cells) != 2:
+                raise ValueError(
+                    f"{path}:{line_no}: expected two columns (low, high), "
+                    f"got {len(cells)}"
+                )
+            try:
+                low, high = float(cells[0]), float(cells[1])
+            except ValueError:
+                if line_no == 1:  # header line
+                    continue
+                raise ValueError(
+                    f"{path}:{line_no}: non-numeric range bounds {cells!r}"
+                ) from None
+            ranges.append((low, high))
+    if not ranges:
+        raise ValueError(f"{path}: no ranges found")
+    return ranges
+
+
+def _cmd_answer_batch(args: argparse.Namespace) -> int:
+    try:
+        ranges = _read_ranges_csv(args.ranges_csv)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    data = generate_citypulse(record_count=args.records)
+    service = PrivateRangeCountingService.from_citypulse(
+        data, args.index, k=args.devices, seed=args.seed
+    )
+    answers = service.answer_many(
+        ranges, alpha=args.alpha, delta=args.delta, consumer="cli"
+    )
+    print(
+        format_table(
+            ["low", "high", "released_count", "price", "epsilon_prime"],
+            [
+                (a.query.low, a.query.high, a.value, a.price, a.epsilon_prime)
+                for a in answers
+            ],
+        )
+    )
+    print(
+        f"{len(answers)} queries answered in one batch; "
+        f"total price {sum(a.price for a in answers):.6g}, "
+        f"total eps' charged {service.privacy_spent():.6g}"
+    )
     return 0
 
 
@@ -324,6 +400,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     handlers = {
         "quote": _cmd_quote,
         "answer": _cmd_answer,
+        "answer-batch": _cmd_answer_batch,
         "experiment": _cmd_experiment,
         "histogram": _cmd_histogram,
         "quantile": _cmd_quantile,

@@ -18,21 +18,21 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.planner import QueryPlanner
 from repro.core.policy import BrokerPolicy, PolicyViolationError
 from repro.core.query import AccuracySpec, PrivateAnswer, RangeQuery
-from repro.errors import InfeasiblePlanError
+from repro.errors import InfeasiblePlanError, PrivacyBudgetExceededError
 from repro.estimators.base import RangeCountingEstimator
 from repro.estimators.rank import RankCountingEstimator
 from repro.iot.base_station import BaseStation
 from repro.pricing.functions import PricingFunction
 from repro.pricing.ledger import BillingLedger
 from repro.privacy.budget import BudgetAccountant
-from repro.privacy.laplace import sample_laplace
+from repro.privacy.laplace import sample_laplace, sample_laplace_many
 
 __all__ = ["DataBroker"]
 
@@ -205,18 +205,190 @@ class DataBroker:
     def answer_batch(
         self,
         queries: "list[RangeQuery]",
-        spec: AccuracySpec,
+        spec: "AccuracySpec | Sequence[AccuracySpec]",
         consumer: str = "anonymous",
     ) -> "list[PrivateAnswer]":
-        """Answer several queries at one accuracy tier.
+        """Answer several queries in one vectorized pass.
 
         Semantically identical to calling :meth:`answer` per query --
         each release is separately noised and separately charged
-        (different ranges overlap, so sequential composition applies) --
-        but any needed top-up collection runs once up front, which is the
-        batch's efficiency point.
+        (different ranges overlap, so sequential composition applies) and
+        the memoized-answer cache behaves exactly as in the scalar loop
+        (cache hits, including duplicates *within* the batch, cost
+        ε′ = 0) -- but the work is amortized across the batch:
+
+        * feasibility, privacy planning, and pricing run **once per
+          distinct** ``(α, δ)`` tier instead of once per query;
+        * the sample store is fetched once and all deterministic
+          estimates come from the estimator's vectorized
+          ``estimate_many`` (bit-identical to scalar ``estimate``);
+        * Laplace noise is drawn in one vectorized call that consumes
+          the generator's bitstream exactly like per-query draws, so
+          batched answers are bit-for-bit the scalar loop's answers;
+        * ledger transactions and accountant entries are appended in
+          bulk, in query order, with per-entry records unchanged.
+
+        ``spec`` may be a single shared tier or one
+        :class:`AccuracySpec` per query.  Admission is **atomic**: the
+        whole batch is checked against the policy's purchase and ε′ caps
+        (and the dataset budget) before anything is released, so a batch
+        either completes in full or charges nothing.  When mixed tiers
+        trigger a top-up, every tier is planned at the final post-top-up
+        rate (a scalar loop would plan earlier queries at the sparser
+        pre-top-up rate; both plans are valid, the batch's is tighter).
         """
         if not queries:
             raise ValueError("at least one query is required")
-        self._ensure_feasible(spec)
-        return [self.answer(query, spec, consumer=consumer) for query in queries]
+        if isinstance(spec, AccuracySpec):
+            specs = [spec] * len(queries)
+        else:
+            specs = list(spec)
+            if len(specs) != len(queries):
+                raise ValueError(
+                    f"got {len(specs)} specs for {len(queries)} queries; "
+                    "pass one spec per query or a single shared spec"
+                )
+        for query in queries:
+            if query.dataset not in ("default", self.dataset):
+                raise ValueError(
+                    f"query targets dataset {query.dataset!r}, broker serves "
+                    f"{self.dataset!r}"
+                )
+        self.policy.admit_batch(consumer, specs)
+
+        # Split the batch into cache hits and fresh releases, walking the
+        # cache exactly as the scalar loop would: a duplicate of an
+        # earlier in-batch release is a hit against that release.
+        cache_keys = [
+            (q.low, q.high, s.alpha, s.delta) for q, s in zip(queries, specs)
+        ]
+        miss_indices: "list[int]" = []
+        in_batch_source: "dict[tuple, int]" = {}
+        hit_of: "dict[int, PrivateAnswer | int]" = {}
+        for i, key in enumerate(cache_keys):
+            if self.memoize_answers and key in self._answer_cache:
+                hit_of[i] = self._answer_cache[key]
+            elif self.memoize_answers and key in in_batch_source:
+                hit_of[i] = in_batch_source[key]
+            else:
+                miss_indices.append(i)
+                if self.memoize_answers:
+                    in_batch_source[key] = i
+
+        # Feasibility, planning, and pricing: once per distinct tier that
+        # actually needs a fresh release (pure-hit tiers touch no data,
+        # as in the scalar path).
+        miss_tiers: "dict[tuple[float, float], AccuracySpec]" = {}
+        for i in miss_indices:
+            miss_tiers.setdefault((specs[i].alpha, specs[i].delta), specs[i])
+        for tier_spec in miss_tiers.values():
+            self._ensure_feasible(tier_spec)
+        p = self.base_station.sampling_rate
+        plans = {
+            tier: self._planner.plan(tier_spec, p)
+            for tier, tier_spec in miss_tiers.items()
+        }
+        prices = {
+            (s.alpha, s.delta): self.pricing.price(s.alpha, s.delta)
+            for s in specs
+        }
+
+        # Atomic admission against the ε′ caps: the whole batch must fit
+        # before anything is estimated, noised, or charged.
+        total_epsilon = sum(
+            plans[(specs[i].alpha, specs[i].delta)].epsilon_prime
+            for i in miss_indices
+        )
+        if not self.policy.can_release(consumer, total_epsilon):
+            raise PolicyViolationError(
+                f"consumer {consumer!r} would exceed the per-consumer "
+                "privacy cap"
+            )
+        if not self.accountant.can_afford(self.dataset, total_epsilon):
+            raise PrivacyBudgetExceededError(
+                f"dataset {self.dataset!r}: batch of {len(miss_indices)} "
+                f"releases (ε′={total_epsilon:.6g}) would exceed capacity "
+                f"{self.accountant.capacity:.6g}"
+            )
+
+        # One sample fetch, one vectorized estimation pass, one noise draw.
+        estimates = np.zeros(0, dtype=np.float64)
+        if miss_indices:
+            samples = self.base_station.samples()
+            ranges = [(queries[i].low, queries[i].high) for i in miss_indices]
+            estimate_many = getattr(self.estimator, "estimate_many", None)
+            if estimate_many is not None:
+                estimates = np.asarray(estimate_many(samples, ranges))
+            else:
+                estimates = np.asarray([
+                    self.estimator.estimate(samples, low, high).estimate
+                    for low, high in ranges
+                ])
+            scales = np.asarray([
+                plans[(specs[i].alpha, specs[i].delta)].noise_scale
+                for i in miss_indices
+            ])
+            noise = sample_laplace_many(scales, self.rng)
+            raw_values = estimates + noise
+            released = np.clip(raw_values, 0.0, float(self.base_station.n))
+
+        # Settle in query order: identical per-entry ledger transactions,
+        # accountant entries, and policy counters to the scalar loop --
+        # appended in bulk.
+        answers: "list[Optional[PrivateAnswer]]" = [None] * len(queries)
+        sales: "list[dict]" = []
+        charge_epsilons: "list[float]" = []
+        charge_labels: "list[str]" = []
+        miss_position = {idx: pos for pos, idx in enumerate(miss_indices)}
+        for i, (query, qspec) in enumerate(zip(queries, specs)):
+            tier = (qspec.alpha, qspec.delta)
+            price = prices[tier]
+            if i in hit_of:
+                epsilon_prime = 0.0
+            else:
+                plan = plans[tier]
+                epsilon_prime = plan.epsilon_prime
+                charge_epsilons.append(epsilon_prime)
+                charge_labels.append(f"{consumer}:[{query.low},{query.high}]")
+            self.policy.settle(consumer, epsilon_prime)
+            sales.append(dict(
+                consumer=consumer,
+                dataset=self.dataset,
+                alpha=qspec.alpha,
+                delta=qspec.delta,
+                price=price,
+                epsilon_prime=epsilon_prime,
+            ))
+        if charge_epsilons:
+            self.accountant.charge_many(
+                self.dataset, charge_epsilons, charge_labels
+            )
+        txns = self.ledger.record_many(sales)
+
+        for i, (query, qspec) in enumerate(zip(queries, specs)):
+            if i in hit_of:
+                continue
+            pos = miss_position[i]
+            answer = PrivateAnswer(
+                value=float(released[pos]),
+                raw_value=float(raw_values[pos]),
+                sample_estimate=float(estimates[pos]),
+                query=query,
+                spec=qspec,
+                plan=plans[(qspec.alpha, qspec.delta)],
+                price=prices[(qspec.alpha, qspec.delta)],
+                consumer=consumer,
+                transaction_id=txns[i].transaction_id,
+            )
+            answers[i] = answer
+            if self.memoize_answers:
+                self._answer_cache[cache_keys[i]] = answer
+        for i, source in hit_of.items():
+            cached = answers[source] if isinstance(source, int) else source
+            answers[i] = dataclasses.replace(
+                cached,
+                consumer=consumer,
+                price=txns[i].price,
+                transaction_id=txns[i].transaction_id,
+            )
+        return answers

@@ -89,6 +89,38 @@ class BrokerPolicy:
                 f"({self.max_purchases_per_consumer})"
             )
 
+    def admit_batch(self, consumer: str, specs: "list[AccuracySpec]") -> None:
+        """Admit a whole batch atomically, or refuse it before any release.
+
+        Spec-band checks run once per distinct ``(α, δ)`` tier, and the
+        purchase cap is checked against the *entire* batch size -- a batch
+        that could not finish under per-query admission is refused up
+        front, so a batched trade never half-completes.
+        """
+        seen: "set[tuple[float, float]]" = set()
+        for spec in specs:
+            key = (spec.alpha, spec.delta)
+            if key in seen:
+                continue
+            seen.add(key)
+            if not self.min_alpha <= spec.alpha <= self.max_alpha:
+                raise PolicyViolationError(
+                    f"alpha={spec.alpha} outside sellable band "
+                    f"[{self.min_alpha}, {self.max_alpha}]"
+                )
+            if not self.min_delta <= spec.delta <= self.max_delta:
+                raise PolicyViolationError(
+                    f"delta={spec.delta} outside sellable band "
+                    f"[{self.min_delta}, {self.max_delta}]"
+                )
+        purchases = self._purchases.get(consumer, 0)
+        if purchases + len(specs) > self.max_purchases_per_consumer:
+            raise PolicyViolationError(
+                f"consumer {consumer!r} cannot buy {len(specs)} more answers "
+                f"under the purchase cap ({self.max_purchases_per_consumer}, "
+                f"{purchases} already bought)"
+            )
+
     def can_release(self, consumer: str, epsilon_prime: float) -> bool:
         """Whether releasing ``epsilon_prime`` to ``consumer`` fits the cap."""
         spent = self._epsilon_spent.get(consumer, 0.0)

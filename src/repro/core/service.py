@@ -165,6 +165,28 @@ class PrivateRangeCountingService:
         spec = AccuracySpec(alpha=alpha, delta=delta)
         return self.broker.answer(query, spec, consumer=consumer)
 
+    def answer_many(
+        self,
+        ranges: Sequence["tuple[float, float]"],
+        alpha: float,
+        delta: float,
+        consumer: str = "anonymous",
+    ) -> "list[PrivateAnswer]":
+        """Purchase many ``(α, δ)``-range countings in one vectorized pass.
+
+        Semantically identical to calling :meth:`answer` per range (each
+        release is separately noised and separately charged) but served
+        through :meth:`~repro.core.broker.DataBroker.answer_batch`, which
+        plans once, estimates all ranges vectorized, and draws all noise
+        in one call.
+        """
+        spec = AccuracySpec(alpha=alpha, delta=delta)
+        queries = [
+            RangeQuery(low=low, high=high, dataset=self.broker.dataset)
+            for low, high in ranges
+        ]
+        return self.broker.answer_batch(queries, spec, consumer=consumer)
+
     def histogram(
         self,
         low: float,

@@ -125,6 +125,44 @@ class Marketplace:
         )
         return answer
 
+    def buy_many(
+        self,
+        consumer: str,
+        queries: List[RangeQuery],
+        spec: AccuracySpec,
+    ) -> List[PrivateAnswer]:
+        """Settle a whole batch atomically through the vectorized path.
+
+        The wallet must cover the *sum* of the quoted prices before the
+        broker runs; the batch then goes through
+        :meth:`~repro.core.broker.DataBroker.answer_batch` (one plan per
+        tier, one estimation pass, one noise draw) and every answer is
+        settled individually so audits see one settlement per query.
+        """
+        if not queries:
+            raise LedgerError("at least one query is required")
+        wallet = self._wallet(consumer)
+        price = self.broker.quote(spec)
+        total = price * len(queries)
+        if total > wallet.balance + 1e-12:
+            raise LedgerError(
+                f"consumer {consumer!r}: balance {wallet.balance:.6g} cannot "
+                f"cover quoted batch price {total:.6g}"
+            )
+        answers = self.broker.answer_batch(queries, spec, consumer=consumer)
+        for query, answer in zip(queries, answers):
+            wallet.withdraw(answer.price)
+            self.settlements.append(
+                Settlement(
+                    consumer=consumer,
+                    query=query,
+                    spec=spec,
+                    price=answer.price,
+                    epsilon_prime=answer.epsilon_prime,
+                )
+            )
+        return answers
+
     @property
     def total_settled(self) -> float:
         """Total money moved through the market."""

@@ -148,16 +148,21 @@ class RankCountingEstimator:
         if np.any(lows > highs):
             raise InvalidQueryError("every range needs low <= high")
 
+        # Same shared-rate validation as the scalar :meth:`estimate`, so a
+        # mixed-p sample list fails identically on both paths.
+        non_empty = [s for s in samples if s.node_size > 0]
+        shared_p = non_empty[0].p if non_empty else samples[0].p
+        if any(abs(s.p - shared_p) > 1e-12 for s in non_empty):
+            raise ValueError("all node samples must share one sampling rate")
+        if non_empty and shared_p <= 0.0:
+            raise ValueError("sampling probability must be positive to estimate")
+
         totals = np.zeros(len(ranges), dtype=np.float64)
         for sample in samples:
             n_i = sample.node_size
             if n_i == 0:
                 continue
             p = sample.p
-            if p <= 0.0:
-                raise ValueError(
-                    "sampling probability must be positive to estimate"
-                )
             values = sample.values
             ranks = sample.ranks
             if len(values) == 0:

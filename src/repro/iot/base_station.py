@@ -46,6 +46,11 @@ class BaseStation:
     def __post_init__(self) -> None:
         self._store: Dict[int, NodeSample] = {}
         self._rate: float = 0.0
+        # Cached node-id-ordered view of the store, plus a version counter
+        # so broker-side caches can detect staleness.  Invalidated whenever
+        # a collection round commits (see :meth:`_commit`).
+        self._samples_cache: "Optional[tuple[NodeSample, ...]]" = None
+        self._store_version: int = 0
 
     # ------------------------------------------------------------------
     # fleet management
@@ -74,6 +79,23 @@ class BaseStation:
     def sampling_rate(self) -> float:
         """The rate ``p`` of the currently stored global sample."""
         return self._rate
+
+    @property
+    def store_version(self) -> int:
+        """Monotone counter bumped every time the stored sample changes.
+
+        Consumers that cache anything derived from :meth:`samples` (the
+        broker's batch planner, for example) key their caches on this
+        value instead of re-reading the store.
+        """
+        return self._store_version
+
+    def _commit(self, staged: Dict[int, NodeSample], rate: float) -> None:
+        """Atomically install a completed round and invalidate caches."""
+        self._store = staged
+        self._rate = rate
+        self._samples_cache = None
+        self._store_version += 1
 
     # ------------------------------------------------------------------
     # collection protocol
@@ -126,8 +148,7 @@ class BaseStation:
             shipment = device.handle(request)
             self.network.send(shipment)
             self._receive(staged, shipment)
-        self._store = staged
-        self._rate = p
+        self._commit(staged, p)
 
     def top_up(self, new_p: float) -> None:
         """Raise the stored sample's rate to ``new_p`` incrementally.
@@ -156,8 +177,7 @@ class BaseStation:
             shipment = device.handle(request)
             self.network.send(shipment)
             self._receive(staged, shipment, merge=True)
-        self._store = staged
-        self._rate = new_p
+        self._commit(staged, new_p)
 
     def ensure_rate(self, p: float) -> None:
         """Make sure the stored sample is at least as dense as ``p``.
@@ -181,6 +201,12 @@ class BaseStation:
     def samples(self) -> List[NodeSample]:
         """The stored per-node samples, ordered by node id.
 
+        The ordered view is built once per collection round and cached
+        (each :class:`NodeSample` already holds contiguous value/rank
+        arrays), so the broker's per-query calls stop re-sorting and
+        rebuilding the list.  Callers get a fresh list shell over the
+        shared, immutable-by-convention samples.
+
         Raises
         ------
         InsufficientSamplesError
@@ -190,7 +216,11 @@ class BaseStation:
             raise InsufficientSamplesError(
                 "no samples collected yet; call collect() first"
             )
-        return [self._store[node_id] for node_id in sorted(self._store)]
+        if self._samples_cache is None:
+            self._samples_cache = tuple(
+                self._store[node_id] for node_id in sorted(self._store)
+            )
+        return list(self._samples_cache)
 
     def sample_volume(self) -> int:
         """Total ``(value, rank)`` pairs currently stored."""

@@ -65,6 +65,24 @@ class BillingLedger:
         self._transactions.append(txn)
         return txn
 
+    def record_many(
+        self, sales: "List[Dict[str, object]]"
+    ) -> "List[Transaction]":
+        """Append one transaction per entry of ``sales``, in order.
+
+        Each entry supplies the keyword arguments of :meth:`record`
+        (``consumer``, ``dataset``, ``alpha``, ``delta``, ``price``,
+        ``epsilon_prime``).  Ids are assigned sequentially, so the ledger
+        ends up identical to recording each sale individually -- this is
+        the broker's bulk path for batched answers.
+        """
+        txns = [
+            Transaction(transaction_id=next(self._ids), **sale)
+            for sale in sales
+        ]
+        self._transactions.extend(txns)
+        return txns
+
     def __len__(self) -> int:
         return len(self._transactions)
 

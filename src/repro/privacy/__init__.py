@@ -26,6 +26,7 @@ from repro.privacy.laplace import (
     laplace_scale,
     laplace_tail_within,
     sample_laplace,
+    sample_laplace_many,
 )
 from repro.privacy.optimizer import (
     PrivacyPlan,
@@ -49,6 +50,7 @@ __all__ = [
     "laplace_tail_within",
     "epsilon_for_tail",
     "sample_laplace",
+    "sample_laplace_many",
     "PrivacyPlan",
     "SensitivityPolicy",
     "optimize_privacy_plan",

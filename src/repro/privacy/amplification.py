@@ -30,6 +30,10 @@ def amplified_epsilon(epsilon: float, p: float) -> float:
         raise ValueError(f"sampling probability must be in [0, 1], got {p}")
     if p == 0.0:
         return 0.0
+    if p == 1.0:
+        # Exactly ε: the log1p/expm1 round trip below can round 1 ULP up,
+        # which would report ε′ > ε on an unsampled release.
+        return epsilon
     if epsilon > 30.0:
         # e^ε would overflow / dominate: ln(1 − p + p·e^ε) = ε + ln(p + (1 − p)e^{−ε}).
         return epsilon + math.log(p + (1.0 - p) * math.exp(-epsilon))
@@ -51,6 +55,9 @@ def required_base_epsilon(target_epsilon_prime: float, p: float) -> float:
         return 0.0
     if p == 0.0:
         raise ValueError("p = 0 amplifies every base epsilon to 0")
+    if p == 1.0:
+        # Mirror amplified_epsilon's exact p = 1 fast path.
+        return target_epsilon_prime
     return math.log1p(math.expm1(target_epsilon_prime) / p)
 
 

@@ -82,6 +82,43 @@ class BudgetAccountant:
         self._spent.setdefault(dataset, []).append(BudgetEntry(label, epsilon))
         return self.spent(dataset)
 
+    def charge_many(
+        self,
+        dataset: str,
+        epsilons: "List[float]",
+        labels: "List[str]",
+    ) -> float:
+        """Record several expenditures at once; returns the new total.
+
+        Affordability is checked once against the *sum* (sequential
+        composition is additive), and the entries land in ``history`` in
+        order, exactly as repeated :meth:`charge` calls would -- but
+        without recomputing the running total per entry, which is what
+        makes the broker's batched trading path cheap.
+
+        Raises
+        ------
+        PrivacyBudgetExceededError
+            If the combined charge would push the dataset past
+            :attr:`capacity`; nothing is recorded in that case.
+        """
+        if len(epsilons) != len(labels):
+            raise ValueError("epsilons and labels must be parallel lists")
+        if any(epsilon < 0 for epsilon in epsilons):
+            raise ValueError("epsilon must be non-negative")
+        total = float(sum(epsilons))
+        if not self.can_afford(dataset, total):
+            raise PrivacyBudgetExceededError(
+                f"dataset {dataset!r}: charging ε={total:.6g} in bulk would "
+                f"exceed capacity {self.capacity:.6g} (already spent "
+                f"{self.spent(dataset):.6g})"
+            )
+        self._spent.setdefault(dataset, []).extend(
+            BudgetEntry(label, epsilon)
+            for label, epsilon in zip(labels, epsilons)
+        )
+        return self.spent(dataset)
+
     def history(self, dataset: str) -> Tuple[BudgetEntry, ...]:
         """Immutable view of the expenditures recorded for ``dataset``."""
         return tuple(self._spent.get(dataset, ()))

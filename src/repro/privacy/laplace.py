@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -28,6 +28,7 @@ __all__ = [
     "laplace_tail_within",
     "epsilon_for_tail",
     "sample_laplace",
+    "sample_laplace_many",
 ]
 
 
@@ -83,6 +84,30 @@ def sample_laplace(
     if size is None:
         return float(draws)
     return draws
+
+
+def sample_laplace_many(
+    scales: "Sequence[float] | np.ndarray",
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw one Laplace(0, scale_i) variate per entry of ``scales``.
+
+    The batched counterpart of :func:`sample_laplace` for the broker's
+    vectorized trading path.  Uniform doubles consume the generator's
+    bitstream in order, so ``sample_laplace_many(scales, rng)`` returns
+    bit-for-bit the same draws as ``[sample_laplace(s, rng) for s in
+    scales]`` would from the same generator state -- batching never
+    changes an experiment's noise.
+    """
+    scale_arr = np.asarray(scales, dtype=np.float64)
+    if scale_arr.ndim != 1:
+        raise ValueError("scales must be one-dimensional")
+    if scale_arr.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    if np.any(scale_arr <= 0) or not np.all(np.isfinite(scale_arr)):
+        raise ValueError("every noise scale must be positive and finite")
+    u = rng.random(scale_arr.size) - 0.5
+    return -scale_arr * np.sign(u) * np.log1p(-2.0 * np.abs(u))
 
 
 @dataclass

@@ -48,6 +48,30 @@ class TestEquivalence:
         with pytest.raises(InvalidQueryError):
             est.estimate_many(samples, [(0.0, float("inf"))])
 
+    def test_mixed_rate_rejected_like_scalar(self, uniform_nodes, rng):
+        """Parity: mixed-p sample lists raise on both paths (rank.py)."""
+        est = RankCountingEstimator()
+        mixed = [
+            uniform_nodes[0].sample(0.2, rng),
+            uniform_nodes[1].sample(0.5, rng),
+        ]
+        with pytest.raises(ValueError, match="share one sampling rate"):
+            est.estimate(mixed, 0.0, 50.0)
+        with pytest.raises(ValueError, match="share one sampling rate"):
+            est.estimate_many(mixed, [(0.0, 50.0)])
+
+    def test_mixed_rate_on_empty_node_tolerated_like_scalar(self, rng):
+        """An empty node's p is ignored by both paths, like in estimate()."""
+        est = RankCountingEstimator()
+        full = NodeData(node_id=1, values=rng.uniform(0, 100, 50)).sample(
+            0.4, rng
+        )
+        empty = NodeSample(node_id=2, values=np.array([]),
+                           ranks=np.array([]), node_size=0, p=0.9)
+        scalar = est.estimate([full, empty], 10.0, 60.0).estimate
+        batch = est.estimate_many([full, empty], [(10.0, 60.0)])
+        assert batch[0] == scalar
+
 
 class TestBasicCountingBatch:
     def test_matches_single_query_path(self, samples):
@@ -70,6 +94,50 @@ class TestBasicCountingBatch:
         with pytest.raises(InvalidQueryError):
             est.estimate_many(samples, [(2.0, 1.0)])
         assert est.estimate_many(samples, []).shape == (0,)
+
+
+class TestSeededFuzzEquivalence:
+    """Seeded fuzz: batch equals scalar bit for bit over adversarial fleets.
+
+    Each trial mixes the cases the four-case rule branches on: empty
+    nodes, nodes whose sample has no witnesses, heavy duplicate-value
+    ties, and query bounds sitting exactly on data values.
+    """
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_batch_bit_identical_to_scalar(self, seed):
+        rng = np.random.default_rng(seed)
+        est = RankCountingEstimator()
+        nodes = []
+        for node_id in range(1, int(rng.integers(2, 7)) + 1):
+            kind = rng.integers(0, 3)
+            if kind == 0:
+                values = np.zeros(0)  # empty node
+            elif kind == 1:
+                # Duplicate-heavy integer data: many exact ties.
+                values = rng.integers(0, 8, rng.integers(1, 80)).astype(float)
+            else:
+                values = rng.uniform(0, 100, rng.integers(1, 80))
+            nodes.append(NodeData(node_id=node_id, values=values))
+        # A tiny p makes no-witness samples likely on small nodes.
+        p = float(rng.choice([0.05, 0.3, 1.0]))
+        samples = [n.sample(p, rng) for n in nodes]
+
+        bounds = []
+        for _ in range(12):
+            lo, hi = sorted(rng.uniform(-10, 110, 2))
+            bounds.append((float(lo), float(hi)))
+        # Bounds exactly on data values exercise the tie handling.
+        non_empty = [n.values for n in nodes if n.size > 0]
+        concat = np.concatenate(non_empty) if non_empty else np.zeros(0)
+        if len(concat) >= 2:
+            v = float(np.sort(concat)[len(concat) // 2])
+            bounds.append((v, v))
+            bounds.append((float(concat.min()), v))
+
+        batch = est.estimate_many(samples, bounds)
+        scalar = [est.estimate(samples, lo, hi).estimate for lo, hi in bounds]
+        assert list(batch) == scalar  # bit-for-bit, no tolerance
 
 
 @given(

@@ -170,3 +170,51 @@ class TestSampleFidelity:
             device = station.devices[sample.node_id]
             for value, rank in zip(sample.values, sample.ranks):
                 assert device.data.sorted_values[rank - 1] == value
+
+
+class TestSampleStoreCache:
+    def test_repeated_samples_calls_share_node_samples(self):
+        station = make_station()
+        station.collect(0.3)
+        first = station.samples()
+        second = station.samples()
+        assert first is not second  # fresh list shell per call
+        for a, b in zip(first, second):
+            assert a is b  # but the same cached NodeSample objects
+
+    def test_collect_invalidates_cache_and_bumps_version(self):
+        station = make_station()
+        station.collect(0.3)
+        v1 = station.store_version
+        before = station.samples()
+        station.collect(0.5)
+        assert station.store_version == v1 + 1
+        after = station.samples()
+        assert all(s.p == 0.5 for s in after)
+        assert before[0] is not after[0]
+
+    def test_top_up_invalidates_cache_and_bumps_version(self):
+        station = make_station()
+        station.collect(0.2)
+        v1 = station.store_version
+        station.samples()
+        station.top_up(0.4)
+        assert station.store_version == v1 + 1
+        assert all(s.p == 0.4 for s in station.samples())
+
+    def test_noop_ensure_rate_keeps_version(self):
+        station = make_station()
+        station.collect(0.4)
+        v1 = station.store_version
+        station.ensure_rate(0.3)
+        assert station.store_version == v1
+
+    def test_version_starts_at_zero(self):
+        station = make_station()
+        assert station.store_version == 0
+
+    def test_samples_ordered_by_node_id(self):
+        station = make_station()
+        station.collect(0.3)
+        ids = [s.node_id for s in station.samples()]
+        assert ids == sorted(ids)

@@ -13,6 +13,7 @@ from repro.privacy.laplace import (
     laplace_scale,
     laplace_tail_within,
     sample_laplace,
+    sample_laplace_many,
 )
 
 
@@ -128,3 +129,36 @@ class TestMechanism:
         ratios = hist_a[mask] / hist_b[mask]
         assert np.all(ratios <= math.exp(eps) * 1.15)
         assert np.all(ratios >= math.exp(-eps) / 1.15)
+
+
+class TestSampleLaplaceMany:
+    def test_stream_identical_to_scalar_draws(self):
+        """Batched draws consume the bitstream exactly like scalar draws."""
+        scales = [2.0, 0.5, 7.0, 1.0]
+        r1 = np.random.default_rng(42)
+        r2 = np.random.default_rng(42)
+        scalar = [sample_laplace(s, r1) for s in scales]
+        batch = sample_laplace_many(scales, r2)
+        assert list(batch) == scalar
+
+    def test_empty_scales(self, rng):
+        assert sample_laplace_many([], rng).shape == (0,)
+
+    def test_rejects_nonpositive_scale(self, rng):
+        with pytest.raises(ValueError):
+            sample_laplace_many([1.0, 0.0], rng)
+        with pytest.raises(ValueError):
+            sample_laplace_many([1.0, -2.0], rng)
+        with pytest.raises(ValueError):
+            sample_laplace_many([1.0, float("inf")], rng)
+
+    def test_rejects_matrix_scales(self, rng):
+        with pytest.raises(ValueError):
+            sample_laplace_many(np.ones((2, 2)), rng)
+
+    def test_per_entry_scale_respected(self, rng):
+        """Wider scales produce wider empirical spread."""
+        scales = np.concatenate([np.full(20_000, 0.5), np.full(20_000, 5.0)])
+        draws = sample_laplace_many(scales, rng)
+        narrow, wide = draws[:20_000], draws[20_000:]
+        assert np.std(wide) > 5 * np.std(narrow)

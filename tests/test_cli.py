@@ -66,6 +66,53 @@ class TestAnswer:
                      "--index", "methane"]) == 2
 
 
+class TestAnswerBatch:
+    def test_batch_end_to_end(self, capsys, tmp_path):
+        ranges = tmp_path / "ranges.csv"
+        ranges.write_text("low,high\n70,110\n20,60\n0,200\n")
+        code = main(
+            ["answer-batch", "--ranges-csv", str(ranges), "--alpha", "0.15",
+             "--delta", "0.5", *SMALL]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "released_count" in out
+        assert "3 queries answered in one batch" in out
+
+    def test_batch_headerless_csv(self, capsys, tmp_path):
+        ranges = tmp_path / "ranges.csv"
+        ranges.write_text("70,110\n20,60\n")
+        code = main(["answer-batch", "--ranges-csv", str(ranges), *SMALL])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 queries answered in one batch" in out
+
+    def test_batch_missing_file(self, capsys, tmp_path):
+        code = main(
+            ["answer-batch", "--ranges-csv", str(tmp_path / "nope.csv"),
+             *SMALL]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_malformed_row(self, capsys, tmp_path):
+        ranges = tmp_path / "ranges.csv"
+        ranges.write_text("low,high\n70\n")
+        code = main(["answer-batch", "--ranges-csv", str(ranges), *SMALL])
+        assert code == 2
+        assert "expected two columns" in capsys.readouterr().err
+
+    def test_batch_empty_file(self, capsys, tmp_path):
+        ranges = tmp_path / "ranges.csv"
+        ranges.write_text("low,high\n")
+        code = main(["answer-batch", "--ranges-csv", str(ranges), *SMALL])
+        assert code == 2
+        assert "no ranges found" in capsys.readouterr().err
+
+    def test_batch_requires_csv_flag(self):
+        assert main(["answer-batch", *SMALL]) == 2
+
+
 class TestExperiment:
     @pytest.mark.parametrize("name", ["fig2", "fig3", "fig4", "fig6",
                                       "estimators"])
