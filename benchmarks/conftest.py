@@ -37,3 +37,20 @@ def save_result():
         print(f"\n{text}\n")
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def save_json():
+    """Persist machine-readable ``BENCH_<name>.json`` results.
+
+    The versioned envelope (see
+    :func:`repro.serving.loadgen.write_bench_json`) is what CI uploads as
+    artifacts, so the perf trajectory is trackable across PRs.
+    """
+    from repro.serving.loadgen import write_bench_json
+
+    def _save(name: str, results: dict) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        write_bench_json(RESULTS_DIR / f"BENCH_{name}.json", name, results)
+
+    return _save

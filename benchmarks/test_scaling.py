@@ -29,6 +29,10 @@ from repro.estimators.rank import RankCountingEstimator
 
 SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
 
+#: Accumulated across this module's benches; each contributing test
+#: rewrites BENCH_scaling.json so the final file carries every section.
+_SCALING_RESULTS: dict = {}
+
 
 def make_samples(n, p, seed=0):
     rng = np.random.default_rng(seed)
@@ -51,7 +55,8 @@ def test_estimate_scales_with_sample_not_data(benchmark, n):
     assert result.total_size == n
 
 
-def test_batch_path_beats_scalar_loop(citypulse, benchmark, save_result):
+def test_batch_path_beats_scalar_loop(citypulse, benchmark, save_result,
+                                      save_json):
     """estimate_many over 200 queries vs 200 scalar estimates."""
     import time
 
@@ -81,6 +86,13 @@ def test_batch_path_beats_scalar_loop(citypulse, benchmark, save_result):
         f"batch path  : {batch_elapsed * 1e3:8.2f} ms\n"
         f"speedup     : {scalar_elapsed / max(batch_elapsed, 1e-9):8.1f}x",
     )
+    _SCALING_RESULTS["estimator"] = {
+        "queries": len(ranges),
+        "scalar_ms": scalar_elapsed * 1e3,
+        "batch_ms": batch_elapsed * 1e3,
+        "speedup": scalar_elapsed / max(batch_elapsed, 1e-9),
+    }
+    save_json("scaling", _SCALING_RESULTS)
     assert np.allclose(batch_out, scalar_out)
     if not SMOKE:
         assert batch_elapsed < scalar_elapsed
@@ -94,7 +106,8 @@ def _make_service(citypulse, p):
     return service
 
 
-def test_broker_batch_beats_scalar_answer_loop(citypulse, save_result):
+def test_broker_batch_beats_scalar_answer_loop(citypulse, save_result,
+                                               save_json):
     """answer_batch over 200 queries vs 200 scalar answer() trades.
 
     Two identical stacks (same seeds, same collected samples, same noise
@@ -132,6 +145,13 @@ def test_broker_batch_beats_scalar_answer_loop(citypulse, save_result):
         f"broker answer_batch  : {batch_elapsed * 1e3:8.2f} ms\n"
         f"end-to-end speedup   : {speedup:8.1f}x",
     )
+    _SCALING_RESULTS["broker_end_to_end"] = {
+        "queries": len(queries),
+        "scalar_ms": scalar_elapsed * 1e3,
+        "batch_ms": batch_elapsed * 1e3,
+        "speedup": speedup,
+    }
+    save_json("scaling", _SCALING_RESULTS)
 
     # The deterministic halves of the two paths must agree bit for bit;
     # with identical generator states the noise matches too.

@@ -49,6 +49,7 @@ from repro.core import (
 from repro.errors import (
     ArbitrageError,
     CalibrationError,
+    GatewayClosedError,
     InfeasiblePlanError,
     InsufficientSamplesError,
     InvalidAccuracyError,
@@ -56,7 +57,11 @@ from repro.errors import (
     LedgerError,
     PricingError,
     PrivacyBudgetExceededError,
+    QuotaExceededError,
+    RateLimitedError,
     ReproError,
+    ServiceOverloadedError,
+    ServingError,
 )
 
 __version__ = "1.0.0"
@@ -90,4 +95,9 @@ __all__ = [
     "ArbitrageError",
     "InsufficientSamplesError",
     "LedgerError",
+    "ServingError",
+    "ServiceOverloadedError",
+    "RateLimitedError",
+    "QuotaExceededError",
+    "GatewayClosedError",
 ]

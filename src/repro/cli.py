@@ -11,6 +11,11 @@ Four commands cover the library's everyday surfaces:
   fig6, or the estimator-comparison ablation) at a configurable scale.
 * ``check-pricing`` -- run the Theorem 4.2 checker and the Example 4.1
   attack search against a chosen pricing family.
+* ``serve``       -- run a CSV of multi-consumer requests through the
+  concurrent serving gateway (coalescing + answer cache + telemetry).
+* ``loadgen``     -- drive the gateway with a closed- or open-loop load
+  generator and report throughput/latency/accounting-drift (optionally
+  as machine-readable BENCH JSON).
 
 Every command prints plain ASCII tables (the same renderer the bench
 harness uses) and returns a process exit code: 0 on success, 2 on invalid
@@ -152,6 +157,63 @@ def build_parser() -> argparse.ArgumentParser:
                          help="power-law exponent (family=power)")
     pricing.add_argument("--records", type=int, default=17568)
     pricing.add_argument("--base-price", type=float, default=1e8)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a CSV of concurrent requests through the gateway",
+    )
+    serve.add_argument("--index", choices=AIR_QUALITY_INDEXES, default="ozone")
+    serve.add_argument(
+        "--requests-csv",
+        required=True,
+        help="CSV of consumer,low,high,alpha,delta rows (header allowed)",
+    )
+    serve.add_argument("--records", type=int, default=17568)
+    serve.add_argument("--devices", type=int, default=16)
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--window", type=float, default=0.002,
+                       help="batching window in seconds")
+    serve.add_argument("--max-batch", type=int, default=128)
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the privacy-aware answer cache")
+    serve.add_argument("--metrics", action="store_true",
+                       help="print the telemetry snapshot as JSON")
+
+    loadgen = sub.add_parser(
+        "loadgen", help="drive the gateway with generated load"
+    )
+    loadgen.add_argument("--index", choices=AIR_QUALITY_INDEXES,
+                         default="ozone")
+    loadgen.add_argument("--mode", choices=["closed", "open"],
+                         default="closed")
+    loadgen.add_argument("--consumers", type=int, default=4)
+    loadgen.add_argument("--requests", type=int, default=500,
+                         help="total requests (closed mode: split evenly)")
+    loadgen.add_argument("--rate", type=float, default=200.0,
+                         help="open mode: arrivals per second")
+    loadgen.add_argument("--pipeline", type=int, default=16,
+                         help="closed mode: outstanding requests/consumer")
+    loadgen.add_argument("--ranges", type=int, default=64,
+                         help="distinct query ranges in the workload")
+    loadgen.add_argument(
+        "--tiers",
+        default="0.1:0.5,0.15:0.6,0.2:0.5",
+        help="comma-separated alpha:delta product tiers",
+    )
+    loadgen.add_argument("--records", type=int, default=17568)
+    loadgen.add_argument("--devices", type=int, default=16)
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument("--window", type=float, default=0.002)
+    loadgen.add_argument("--max-batch", type=int, default=128)
+    loadgen.add_argument("--no-cache", action="store_true")
+    loadgen.add_argument("--json", metavar="PATH",
+                         help="write a BENCH-format JSON report here")
+    loadgen.add_argument(
+        "--assert-healthy",
+        action="store_true",
+        help="exit 1 unless throughput is nonzero, nothing failed, and "
+             "ledger/accountant drift is zero (the CI smoke contract)",
+    )
 
     return parser
 
@@ -390,6 +452,194 @@ def _cmd_check_pricing(args: argparse.Namespace) -> int:
     return 0 if report.arbitrage_avoiding else 1
 
 
+def _read_requests_csv(path: str) -> "List[tuple[str, float, float, float, float]]":
+    """Parse ``consumer,low,high,alpha,delta`` rows; header allowed."""
+    requests: List[tuple] = []
+    with open(path, newline="") as handle:
+        for line_no, row in enumerate(csv.reader(handle), start=1):
+            cells = [cell.strip() for cell in row if cell.strip()]
+            if not cells:
+                continue
+            if len(cells) != 5:
+                raise ValueError(
+                    f"{path}:{line_no}: expected five columns "
+                    f"(consumer, low, high, alpha, delta), got {len(cells)}"
+                )
+            try:
+                low, high = float(cells[1]), float(cells[2])
+                alpha, delta = float(cells[3]), float(cells[4])
+            except ValueError:
+                if line_no == 1:  # header line
+                    continue
+                raise ValueError(
+                    f"{path}:{line_no}: non-numeric request fields {cells!r}"
+                ) from None
+            requests.append((cells[0], low, high, alpha, delta))
+    if not requests:
+        raise ValueError(f"{path}: no requests found")
+    return requests
+
+
+def _build_gateway(args: argparse.Namespace):
+    from repro.serving import ServingConfig
+
+    data = generate_citypulse(record_count=args.records)
+    service = PrivateRangeCountingService.from_citypulse(
+        data, args.index, k=args.devices, seed=args.seed
+    )
+    config = ServingConfig(
+        batch_window=args.window,
+        max_batch=args.max_batch,
+        enable_cache=not args.no_cache,
+    )
+    return service, service.serve(config)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    try:
+        requests = _read_requests_csv(args.requests_csv)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service, gateway = _build_gateway(args)
+    with gateway:
+        futures = [
+            (consumer, gateway.submit_range(low, high, alpha, delta,
+                                            consumer=consumer))
+            for consumer, low, high, alpha, delta in requests
+        ]
+        answers = [
+            (consumer, future.result()) for consumer, future in futures
+        ]
+    # The ε′ billed for a request lives in its ledger transaction: a
+    # cache replay carries its plan's ε′ on the answer object but is
+    # billed (and composed) at zero.
+    billed = {
+        txn.transaction_id: txn.epsilon_prime
+        for txn in service.broker.ledger.transactions
+    }
+    rows = [
+        (
+            consumer,
+            answer.query.low,
+            answer.query.high,
+            answer.value,
+            answer.price,
+            billed.get(answer.transaction_id, answer.epsilon_prime),
+        )
+        for consumer, answer in answers
+    ]
+    print(
+        format_table(
+            ["consumer", "low", "high", "released_count", "price",
+             "epsilon_prime_billed"],
+            rows,
+        )
+    )
+    print(
+        f"{len(rows)} requests served; total eps' charged "
+        f"{service.privacy_spent():.6g}, revenue "
+        f"{service.broker.ledger.total_revenue():.6g}"
+    )
+    if args.metrics:
+        import json as _json
+
+        print(_json.dumps(gateway.snapshot(), indent=1))
+    return 0
+
+
+def _parse_tiers(text: str) -> "List":
+    from repro.core.query import AccuracySpec
+
+    tiers = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        try:
+            alpha_text, delta_text = token.split(":")
+            tiers.append(
+                AccuracySpec(alpha=float(alpha_text), delta=float(delta_text))
+            )
+        except ValueError:
+            raise ValueError(
+                f"bad tier {token!r}; expected alpha:delta"
+            ) from None
+    if not tiers:
+        raise ValueError("no tiers given")
+    return tiers
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.serving import (
+        Workload,
+        run_closed_loop,
+        run_open_loop,
+        write_bench_json,
+    )
+    from repro.analysis.metrics import make_workload
+
+    try:
+        tiers = _parse_tiers(args.tiers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    service, gateway = _build_gateway(args)
+    values = service.truth.values
+    ranges = list(
+        make_workload(values, num_queries=args.ranges, seed=args.seed).ranges
+    )
+    workload = Workload(ranges=ranges, tiers=tiers)
+    with gateway:
+        if args.mode == "closed":
+            per_consumer = max(1, args.requests // args.consumers)
+            result = run_closed_loop(
+                gateway,
+                workload,
+                consumers=args.consumers,
+                requests_per_consumer=per_consumer,
+                pipeline_depth=args.pipeline,
+            )
+        else:
+            duration = args.requests / args.rate
+            result = run_open_loop(
+                gateway,
+                workload,
+                rate_qps=args.rate,
+                duration_s=duration,
+                consumers=args.consumers,
+            )
+    payload = result.to_payload()
+    print(
+        format_table(
+            ["metric", "value"],
+            [(key, value) for key, value in payload.items()],
+        )
+    )
+    if args.json:
+        write_bench_json(args.json, "serving_loadgen", payload)
+        print(f"wrote {args.json}")
+    if args.assert_healthy:
+        healthy = (
+            result.throughput_qps > 0
+            and result.failed == 0
+            and abs(result.epsilon_drift) < 1e-6
+            and abs(result.revenue_drift) < 1e-6
+        )
+        if not healthy:
+            print(
+                "loadgen UNHEALTHY: "
+                f"throughput={result.throughput_qps:.3g}/s "
+                f"failed={result.failed} "
+                f"eps_drift={result.epsilon_drift:.3g} "
+                f"revenue_drift={result.revenue_drift:.3g}",
+                file=sys.stderr,
+            )
+            return 1
+        print("loadgen healthy: nonzero throughput, zero accounting drift")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -406,6 +656,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "quantile": _cmd_quantile,
         "verify-claims": _cmd_verify_claims,
         "check-pricing": _cmd_check_pricing,
+        "serve": _cmd_serve,
+        "loadgen": _cmd_loadgen,
     }
     return handlers[args.command](args)
 

@@ -17,8 +17,9 @@ For each purchased query the broker
 from __future__ import annotations
 
 import dataclasses
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -33,6 +34,9 @@ from repro.pricing.functions import PricingFunction
 from repro.pricing.ledger import BillingLedger
 from repro.privacy.budget import BudgetAccountant
 from repro.privacy.laplace import sample_laplace, sample_laplace_many
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
+    from repro.serving.telemetry import MetricsRegistry
 
 __all__ = ["DataBroker"]
 
@@ -74,6 +78,11 @@ class DataBroker:
     planner_grid_points: int = 512
     policy: BrokerPolicy = field(default_factory=BrokerPolicy)
     memoize_answers: bool = False
+    #: Optional :class:`~repro.serving.telemetry.MetricsRegistry`; when
+    #: set, the broker reports stage timings and release counters under
+    #: ``broker.*``.  Duck-typed (no serving import) to keep the core
+    #: layer dependency-free.
+    telemetry: "Optional[MetricsRegistry]" = None
 
     def __post_init__(self) -> None:
         # Cache of released answers keyed by (query, spec, sample rate);
@@ -99,6 +108,50 @@ class DataBroker:
     def quote(self, spec: AccuracySpec) -> float:
         """List price of an ``(α, δ)`` product (no data is touched)."""
         return self.pricing.price(spec.alpha, spec.delta)
+
+    def _timer(self, name: str):
+        """A stage timer into the attached telemetry, or a no-op."""
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.timer(name)
+
+    def _emit(self, name: str, amount: float = 1.0) -> None:
+        if self.telemetry is not None:
+            self.telemetry.inc(name, amount)
+
+    def replay(self, cached: PrivateAnswer, consumer: str) -> PrivateAnswer:
+        """Re-release a previously purchased answer to ``consumer``.
+
+        Re-releasing a released value is post-processing: it costs **zero**
+        privacy budget (nothing is charged to the accountant and the
+        policy settles ε′ = 0) and it starves averaging attacks, since m
+        identical answers average to themselves.  The sale is still billed
+        at list price and recorded in the ledger with ``epsilon_prime=0``,
+        so the books show every hand-over.
+
+        This is the single replay path shared by the broker's own
+        memoized-answer cache and the serving layer's
+        :class:`~repro.serving.answer_cache.AnswerCache`.
+        """
+        spec = cached.spec
+        self.policy.admit(consumer, spec)
+        price = self.pricing.price(spec.alpha, spec.delta)
+        self.policy.settle(consumer, 0.0)
+        txn = self.ledger.record(
+            consumer=consumer,
+            dataset=self.dataset,
+            alpha=spec.alpha,
+            delta=spec.delta,
+            price=price,
+            epsilon_prime=0.0,
+        )
+        self._emit("broker.replays")
+        return dataclasses.replace(
+            cached,
+            consumer=consumer,
+            price=price,
+            transaction_id=txn.transaction_id,
+        )
 
     def _ensure_feasible(self, spec: AccuracySpec) -> None:
         p = self.base_station.sampling_rate
@@ -135,58 +188,43 @@ class DataBroker:
 
         cache_key = (query.low, query.high, spec.alpha, spec.delta)
         if self.memoize_answers and cache_key in self._answer_cache:
-            # Re-releasing a previously released value is post-processing:
-            # it costs no privacy budget, and it starves averaging attacks
-            # (m identical answers average to themselves).  The sale is
-            # still billed at list price.
-            cached = self._answer_cache[cache_key]
-            price = self.pricing.price(spec.alpha, spec.delta)
-            self.policy.settle(consumer, 0.0)
-            txn = self.ledger.record(
-                consumer=consumer,
-                dataset=self.dataset,
-                alpha=spec.alpha,
-                delta=spec.delta,
-                price=price,
-                epsilon_prime=0.0,
-            )
-            return dataclasses.replace(
-                cached,
-                consumer=consumer,
-                price=price,
-                transaction_id=txn.transaction_id,
-            )
+            return self.replay(self._answer_cache[cache_key], consumer)
 
-        self._ensure_feasible(spec)
-        p = self.base_station.sampling_rate
-        plan = self._planner.plan(spec, p)
+        with self._timer("broker.plan_s"):
+            self._ensure_feasible(spec)
+            p = self.base_station.sampling_rate
+            plan = self._planner.plan(spec, p)
         if not self.policy.can_release(consumer, plan.epsilon_prime):
             raise PolicyViolationError(
                 f"consumer {consumer!r} would exceed the per-consumer "
                 "privacy cap"
             )
 
-        samples = self.base_station.samples()
-        estimate = self.estimator.estimate(samples, query.low, query.high)
+        with self._timer("broker.estimate_s"):
+            samples = self.base_station.samples()
+            estimate = self.estimator.estimate(samples, query.low, query.high)
         noise = float(sample_laplace(plan.noise_scale, self.rng))
         raw_value = estimate.estimate + noise
         released = float(min(max(raw_value, 0.0), float(self.base_station.n)))
 
-        price = self.pricing.price(spec.alpha, spec.delta)
-        self.policy.settle(consumer, plan.epsilon_prime)
-        self.accountant.charge(
-            self.dataset,
-            plan.epsilon_prime,
-            label=f"{consumer}:[{query.low},{query.high}]",
-        )
-        txn = self.ledger.record(
-            consumer=consumer,
-            dataset=self.dataset,
-            alpha=spec.alpha,
-            delta=spec.delta,
-            price=price,
-            epsilon_prime=plan.epsilon_prime,
-        )
+        with self._timer("broker.charge_s"):
+            price = self.pricing.price(spec.alpha, spec.delta)
+            self.policy.settle(consumer, plan.epsilon_prime)
+            self.accountant.charge(
+                self.dataset,
+                plan.epsilon_prime,
+                label=f"{consumer}:[{query.low},{query.high}]",
+            )
+            txn = self.ledger.record(
+                consumer=consumer,
+                dataset=self.dataset,
+                alpha=spec.alpha,
+                delta=spec.delta,
+                price=price,
+                epsilon_prime=plan.epsilon_prime,
+            )
+        self._emit("broker.answers")
+        self._emit("broker.epsilon_spent", plan.epsilon_prime)
         answer = PrivateAnswer(
             value=released,
             raw_value=raw_value,
@@ -281,17 +319,18 @@ class DataBroker:
         miss_tiers: "dict[tuple[float, float], AccuracySpec]" = {}
         for i in miss_indices:
             miss_tiers.setdefault((specs[i].alpha, specs[i].delta), specs[i])
-        for tier_spec in miss_tiers.values():
-            self._ensure_feasible(tier_spec)
-        p = self.base_station.sampling_rate
-        plans = {
-            tier: self._planner.plan(tier_spec, p)
-            for tier, tier_spec in miss_tiers.items()
-        }
-        prices = {
-            (s.alpha, s.delta): self.pricing.price(s.alpha, s.delta)
-            for s in specs
-        }
+        with self._timer("broker.batch.plan_s"):
+            for tier_spec in miss_tiers.values():
+                self._ensure_feasible(tier_spec)
+            p = self.base_station.sampling_rate
+            plans = {
+                tier: self._planner.plan(tier_spec, p)
+                for tier, tier_spec in miss_tiers.items()
+            }
+            prices = {
+                (s.alpha, s.delta): self.pricing.price(s.alpha, s.delta)
+                for s in specs
+            }
 
         # Atomic admission against the ε′ caps: the whole batch must fit
         # before anything is estimated, noised, or charged.
@@ -314,16 +353,19 @@ class DataBroker:
         # One sample fetch, one vectorized estimation pass, one noise draw.
         estimates = np.zeros(0, dtype=np.float64)
         if miss_indices:
-            samples = self.base_station.samples()
-            ranges = [(queries[i].low, queries[i].high) for i in miss_indices]
-            estimate_many = getattr(self.estimator, "estimate_many", None)
-            if estimate_many is not None:
-                estimates = np.asarray(estimate_many(samples, ranges))
-            else:
-                estimates = np.asarray([
-                    self.estimator.estimate(samples, low, high).estimate
-                    for low, high in ranges
-                ])
+            with self._timer("broker.batch.estimate_s"):
+                samples = self.base_station.samples()
+                ranges = [
+                    (queries[i].low, queries[i].high) for i in miss_indices
+                ]
+                estimate_many = getattr(self.estimator, "estimate_many", None)
+                if estimate_many is not None:
+                    estimates = np.asarray(estimate_many(samples, ranges))
+                else:
+                    estimates = np.asarray([
+                        self.estimator.estimate(samples, low, high).estimate
+                        for low, high in ranges
+                    ])
             scales = np.asarray([
                 plans[(specs[i].alpha, specs[i].delta)].noise_scale
                 for i in miss_indices
@@ -359,11 +401,18 @@ class DataBroker:
                 price=price,
                 epsilon_prime=epsilon_prime,
             ))
-        if charge_epsilons:
-            self.accountant.charge_many(
-                self.dataset, charge_epsilons, charge_labels
-            )
-        txns = self.ledger.record_many(sales)
+        with self._timer("broker.batch.charge_s"):
+            if charge_epsilons:
+                self.accountant.charge_many(
+                    self.dataset, charge_epsilons, charge_labels
+                )
+            txns = self.ledger.record_many(sales)
+        self._emit("broker.batches")
+        self._emit("broker.answers", len(queries))
+        self._emit("broker.replays", len(hit_of))
+        self._emit("broker.epsilon_spent", sum(charge_epsilons))
+        if self.telemetry is not None:
+            self.telemetry.observe("broker.batch_width", len(queries))
 
         for i, (query, qspec) in enumerate(zip(queries, specs)):
             if i in hit_of:

@@ -17,7 +17,7 @@ end-to-end pipeline in a few lines:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 import numpy as np
 
@@ -35,6 +35,12 @@ from repro.iot.network import Network
 from repro.iot.topology import FlatTopology
 from repro.pricing.functions import InverseVariancePricing, PricingFunction
 from repro.pricing.variance_model import VarianceModel
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
+    from repro.serving.admission import AdmissionController
+    from repro.serving.answer_cache import AnswerCache
+    from repro.serving.gateway import ServingConfig, ServingGateway
+    from repro.serving.telemetry import MetricsRegistry
 
 __all__ = ["PrivateRangeCountingService"]
 
@@ -186,6 +192,37 @@ class PrivateRangeCountingService:
             for low, high in ranges
         ]
         return self.broker.answer_batch(queries, spec, consumer=consumer)
+
+    def serve(
+        self,
+        config: "Optional[ServingConfig]" = None,
+        telemetry: "Optional[MetricsRegistry]" = None,
+        cache: "Optional[AnswerCache]" = None,
+        admission: "Optional[AdmissionController]" = None,
+    ) -> "ServingGateway":
+        """Build a concurrent serving gateway over this service's broker.
+
+        The gateway queues and coalesces concurrent requests into the
+        vectorized batch path, replays repeat queries from a
+        privacy-aware cache at zero extra ε, and sheds load before any
+        data is touched.  Use as a context manager (workers stop and the
+        queue drains on exit)::
+
+            with service.serve() as gateway:
+                future = gateway.submit_range(60, 100, 0.1, 0.5, "web")
+                print(future.result().value)
+
+        See :mod:`repro.serving` and ``docs/SERVING.md``.
+        """
+        from repro.serving.gateway import ServingGateway
+
+        return ServingGateway(
+            broker=self.broker,
+            config=config,
+            telemetry=telemetry,
+            cache=cache,
+            admission=admission,
+        )
 
     def histogram(
         self,

@@ -22,6 +22,11 @@ __all__ = [
     "DeliveryError",
     "InsufficientSamplesError",
     "LedgerError",
+    "ServingError",
+    "ServiceOverloadedError",
+    "RateLimitedError",
+    "QuotaExceededError",
+    "GatewayClosedError",
 ]
 
 
@@ -85,3 +90,28 @@ class InsufficientSamplesError(ReproError):
 
 class LedgerError(ReproError):
     """A billing or budget ledger was used inconsistently."""
+
+
+class ServingError(ReproError):
+    """Base class for failures of the query-serving gateway layer.
+
+    All serving refusals are *load-shedding* errors: they fire before the
+    broker touches any data, so a refused request is never billed and never
+    spends privacy budget.
+    """
+
+
+class ServiceOverloadedError(ServingError):
+    """The gateway's bounded request queue is full (backpressure shed)."""
+
+
+class RateLimitedError(ServingError):
+    """A consumer exceeded its token-bucket request rate."""
+
+
+class QuotaExceededError(ServingError):
+    """A consumer's spending would exceed its registered deposit/quota."""
+
+
+class GatewayClosedError(ServingError):
+    """A request was submitted to a gateway that is not running."""

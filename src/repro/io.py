@@ -167,7 +167,7 @@ def load_ledger(path: PathLike) -> BillingLedger:
             price=entry["price"],
             epsilon_prime=entry["epsilon_prime"],
         )
-        ledger._transactions.append(txn)
+        ledger._append(txn)
         max_id = max(max_id, txn.transaction_id)
     ledger._ids = itertools.count(max_id + 1)
     return ledger

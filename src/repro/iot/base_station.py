@@ -10,7 +10,7 @@ per-node samples to the broker layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -51,6 +51,7 @@ class BaseStation:
         # a collection round commits (see :meth:`_commit`).
         self._samples_cache: "Optional[tuple[NodeSample, ...]]" = None
         self._store_version: int = 0
+        self._commit_listeners: "List[Callable[[int], None]]" = []
 
     # ------------------------------------------------------------------
     # fleet management
@@ -90,12 +91,24 @@ class BaseStation:
         """
         return self._store_version
 
+    def subscribe_commits(self, callback: "Callable[[int], None]") -> None:
+        """Call ``callback(new_store_version)`` after every committed round.
+
+        This is the push side of the ``store_version`` invalidation
+        contract: derived caches (the serving layer's answer cache, for
+        one) register here to purge stale state the moment the stored
+        sample changes, instead of discovering it lazily on lookup.
+        """
+        self._commit_listeners.append(callback)
+
     def _commit(self, staged: Dict[int, NodeSample], rate: float) -> None:
         """Atomically install a completed round and invalidate caches."""
         self._store = staged
         self._rate = rate
         self._samples_cache = None
         self._store_version += 1
+        for callback in self._commit_listeners:
+            callback(self._store_version)
 
     # ------------------------------------------------------------------
     # collection protocol

@@ -4,7 +4,19 @@ The network simulation is causally simple -- request/response rounds -- so
 the runtime keeps only what the experiments need: a monotonically advancing
 :class:`SimulationClock` that the network drives with message latencies,
 and an :class:`EventScheduler` for timed callbacks (periodic heartbeats,
-deferred collection rounds) used by the long-running examples.
+deferred collection rounds, the serving gateway's batching-window timer)
+used by the long-running examples.
+
+Two ordering guarantees callers may rely on:
+
+* events fire in non-decreasing time order;
+* events scheduled for the **same** fire time run in FIFO order of their
+  ``schedule`` calls, deterministically -- ties are broken by a monotone
+  sequence number, never by callback identity or heap internals.
+
+``schedule`` returns an :class:`EventHandle`; cancelling one is O(1) (the
+heap entry is tombstoned and skipped at pop time) and is safe at any point,
+including from inside another event's callback.
 """
 
 from __future__ import annotations
@@ -12,9 +24,9 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
-__all__ = ["SimulationClock", "EventScheduler"]
+__all__ = ["SimulationClock", "EventScheduler", "EventHandle"]
 
 
 @dataclass
@@ -31,55 +43,142 @@ class SimulationClock:
         return self.now
 
 
+class EventHandle:
+    """A scheduled event: inspect its state, or cancel it before it fires."""
+
+    __slots__ = ("fire_time", "seq", "_callback", "_fired", "_scheduler")
+
+    def __init__(
+        self,
+        fire_time: float,
+        seq: int,
+        callback: Callable[[], None],
+        scheduler: "EventScheduler",
+    ) -> None:
+        self.fire_time = fire_time
+        self.seq = seq
+        self._callback: Optional[Callable[[], None]] = callback
+        self._fired = False
+        self._scheduler = scheduler
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.fire_time, self.seq) < (other.fire_time, other.seq)
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` ran before the event fired."""
+        return self._callback is None and not self._fired
+
+    @property
+    def fired(self) -> bool:
+        """Whether the event's callback has already run."""
+        return self._fired
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still queued (neither fired nor cancelled)."""
+        return self._callback is not None and not self._fired
+
+    def cancel(self) -> bool:
+        """Drop the event; returns False when it already fired/cancelled.
+
+        Cancellation tombstones the heap entry in O(1); the scheduler
+        skips tombstones at pop time without counting them as processed.
+        """
+        if not self.pending:
+            return False
+        self._callback = None
+        self._scheduler._note_cancel()
+        return True
+
+    def _fire(self) -> None:
+        callback = self._callback
+        assert callback is not None
+        self._callback = None
+        self._fired = True
+        callback()
+
+
 @dataclass
 class EventScheduler:
     """Minimal discrete-event loop over a shared :class:`SimulationClock`.
 
-    Events are ``(fire_time, callback)`` pairs kept in a heap; ``run``
-    pops them in time order, advancing the clock to each event's fire time
-    before invoking it.  Callbacks may schedule further events.
+    Events are kept in a heap ordered by ``(fire_time, seq)`` where ``seq``
+    is a monotone schedule counter, so same-timestamp events are guaranteed
+    to run in deterministic FIFO schedule order.  ``run`` pops them in that
+    order, advancing the clock to each event's fire time before invoking
+    it.  Callbacks may schedule further events and may cancel pending ones.
     """
 
     clock: SimulationClock = field(default_factory=SimulationClock)
 
     def __post_init__(self) -> None:
-        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._heap: List[EventHandle] = []
         self._counter = itertools.count()
+        self._cancelled = 0
 
     def __len__(self) -> int:
-        return len(self._heap)
+        """Number of *live* (non-cancelled) pending events."""
+        return len(self._heap) - self._cancelled
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+    def schedule(
+        self, delay: float, callback: Callable[[], None]
+    ) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now.
+
+        Returns an :class:`EventHandle` whose :meth:`~EventHandle.cancel`
+        removes the event before it fires.
+        """
         if delay < 0:
             raise ValueError("delay must be non-negative")
-        heapq.heappush(
-            self._heap, (self.clock.now + delay, next(self._counter), callback)
+        handle = EventHandle(
+            self.clock.now + delay, next(self._counter), callback, self
         )
+        heapq.heappush(self._heap, handle)
+        return handle
+
+    def _note_cancel(self) -> None:
+        self._cancelled += 1
+
+    def next_fire_time(self) -> Optional[float]:
+        """Fire time of the earliest live event, or None when idle."""
+        self._drop_cancelled_head()
+        return self._heap[0].fire_time if self._heap else None
+
+    def _drop_cancelled_head(self) -> None:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+            self._cancelled -= 1
 
     def run(self, until: Optional[float] = None, max_events: int = 1_000_000) -> int:
-        """Process queued events in time order.
+        """Process queued events in ``(time, FIFO)`` order.
 
         Parameters
         ----------
         until:
             Stop before events scheduled after this simulated time.
         max_events:
-            Safety bound on processed events.
+            Safety bound on processed events (cancelled events don't count).
 
         Returns
         -------
         int
-            Number of events processed.
+            Number of callbacks actually invoked.
         """
         processed = 0
-        while self._heap and processed < max_events:
-            fire_time, _, callback = self._heap[0]
-            if until is not None and fire_time > until:
+        while processed < max_events:
+            self._drop_cancelled_head()
+            if not self._heap:
+                break
+            handle = self._heap[0]
+            if until is not None and handle.fire_time > until:
                 break
             heapq.heappop(self._heap)
-            if fire_time > self.clock.now:
-                self.clock.advance(fire_time - self.clock.now)
-            callback()
+            if handle.cancelled:
+                self._cancelled -= 1
+                continue
+            if handle.fire_time > self.clock.now:
+                self.clock.advance(handle.fire_time - self.clock.now)
+            handle._fire()
             processed += 1
         return processed

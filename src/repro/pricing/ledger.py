@@ -38,10 +38,37 @@ class Transaction:
 
 @dataclass
 class BillingLedger:
-    """Append-only transaction log with aggregate views."""
+    """Append-only transaction log with aggregate views.
+
+    Aggregates (total revenue, per-consumer and per-dataset totals) are
+    maintained incrementally on every append, so the serving layer's
+    admission checks stay O(1) regardless of ledger length.
+    """
 
     _transactions: List[Transaction] = field(default_factory=list)
     _ids: "itertools.count[int]" = field(default_factory=lambda: itertools.count(1))
+
+    def __post_init__(self) -> None:
+        self._total_revenue: float = 0.0
+        self._revenue_by_consumer: Dict[str, float] = {}
+        self._revenue_by_dataset: Dict[str, float] = {}
+        for txn in self._transactions:
+            self._index(txn)
+
+    def _index(self, txn: Transaction) -> None:
+        """Fold one appended transaction into the running aggregates."""
+        self._total_revenue += txn.price
+        self._revenue_by_consumer[txn.consumer] = (
+            self._revenue_by_consumer.get(txn.consumer, 0.0) + txn.price
+        )
+        self._revenue_by_dataset[txn.dataset] = (
+            self._revenue_by_dataset.get(txn.dataset, 0.0) + txn.price
+        )
+
+    def _append(self, txn: Transaction) -> None:
+        """The single write path: append and index (used by loaders too)."""
+        self._transactions.append(txn)
+        self._index(txn)
 
     def record(
         self,
@@ -62,7 +89,7 @@ class BillingLedger:
             price=price,
             epsilon_prime=epsilon_prime,
         )
-        self._transactions.append(txn)
+        self._append(txn)
         return txn
 
     def record_many(
@@ -80,7 +107,8 @@ class BillingLedger:
             Transaction(transaction_id=next(self._ids), **sale)
             for sale in sales
         ]
-        self._transactions.extend(txns)
+        for txn in txns:
+            self._append(txn)
         return txns
 
     def __len__(self) -> int:
@@ -92,26 +120,20 @@ class BillingLedger:
         return tuple(self._transactions)
 
     def total_revenue(self) -> float:
-        """Sum of all sale prices."""
-        return sum(t.price for t in self._transactions)
+        """Sum of all sale prices (maintained incrementally, O(1))."""
+        return self._total_revenue
 
     def revenue_by_consumer(self) -> Dict[str, float]:
         """Total spend per consumer name."""
-        totals: Dict[str, float] = {}
-        for t in self._transactions:
-            totals[t.consumer] = totals.get(t.consumer, 0.0) + t.price
-        return totals
+        return dict(self._revenue_by_consumer)
 
     def revenue_by_dataset(self) -> Dict[str, float]:
         """Total revenue per dataset key."""
-        totals: Dict[str, float] = {}
-        for t in self._transactions:
-            totals[t.dataset] = totals.get(t.dataset, 0.0) + t.price
-        return totals
+        return dict(self._revenue_by_dataset)
 
     def spend_of(self, consumer: str) -> float:
-        """Total spend of one consumer."""
-        return sum(t.price for t in self._transactions if t.consumer == consumer)
+        """Total spend of one consumer (O(1); the admission hot path)."""
+        return self._revenue_by_consumer.get(consumer, 0.0)
 
     def purchases_of(self, consumer: str) -> Tuple[Transaction, ...]:
         """All transactions of one consumer, oldest first."""

@@ -1,0 +1,67 @@
+"""repro.serving -- the concurrent query-serving gateway layer.
+
+The facade answers one call at a time; this package turns it into a
+traffic-bearing service (the broker-in-the-middle topology of the
+blockchain-IoT trade-off literature, with Sigma-Counting-style reuse of
+already-released answers):
+
+* :mod:`repro.serving.gateway` -- a bounded request queue plus a worker
+  pool that coalesces concurrent requests inside a configurable batching
+  window and dispatches them through the broker's vectorized
+  ``answer_batch`` path;
+* :mod:`repro.serving.answer_cache` -- a privacy-aware result cache that
+  replays previously purchased noisy answers at **zero** additional ε
+  spend, invalidated by the base station's ``store_version``;
+* :mod:`repro.serving.admission` -- per-consumer token-bucket rate
+  limits and deposit/quota checks against the billing ledger;
+* :mod:`repro.serving.telemetry` -- a thread-safe metrics registry
+  (counters, gauges, histograms, stage timers) with a structured
+  snapshot/export API;
+* :mod:`repro.serving.loadgen` -- closed- and open-loop load generators
+  and the machine-readable ``BENCH_*.json`` benchmark writer.
+
+Quickstart::
+
+    from repro.serving import ServingGateway, ServingConfig
+
+    with service.serve(ServingConfig(batch_window=0.002)) as gateway:
+        future = gateway.submit_range(60.0, 100.0, alpha=0.1, delta=0.5,
+                                      consumer="dashboard")
+        print(future.result().value)
+        print(gateway.telemetry.snapshot())
+"""
+
+from repro.serving.admission import AdmissionController, TokenBucket
+from repro.serving.answer_cache import AnswerCache, CacheStats
+from repro.serving.gateway import ServingConfig, ServingGateway
+from repro.serving.loadgen import (
+    LoadgenResult,
+    Workload,
+    run_closed_loop,
+    run_open_loop,
+    write_bench_json,
+)
+from repro.serving.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "AnswerCache",
+    "CacheStats",
+    "ServingConfig",
+    "ServingGateway",
+    "LoadgenResult",
+    "Workload",
+    "run_closed_loop",
+    "run_open_loop",
+    "write_bench_json",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]

@@ -1,0 +1,203 @@
+"""Admission control: rate limits, deposit quotas, and load shedding.
+
+The gateway refuses work *before* the broker touches data, so every
+refusal here is free: nothing is billed, no ε is spent, no sample is read.
+Three independent gates, each raising its own load-shedding error:
+
+* **token-bucket rate limits** (:class:`TokenBucket`) -- per-consumer
+  request rates with burst capacity; exceeding one raises
+  :class:`~repro.errors.RateLimitedError`;
+* **deposit quotas** -- a consumer's cumulative billed spend (looked up
+  O(1) in the :class:`~repro.pricing.ledger.BillingLedger`) plus the
+  quoted price of the incoming request must stay within its registered
+  deposit, else :class:`~repro.errors.QuotaExceededError`;
+* **bounded-queue backpressure** -- enforced by the gateway itself, which
+  sheds with :class:`~repro.errors.ServiceOverloadedError` when its
+  request queue is full (see :mod:`repro.serving.gateway`).
+
+The controller is deliberately clock-injectable (``clock`` defaults to
+``time.monotonic``) so tests can drive the buckets deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.errors import QuotaExceededError, RateLimitedError
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.pricing.ledger import BillingLedger
+    from repro.serving.telemetry import MetricsRegistry
+
+__all__ = ["TokenBucket", "AdmissionController"]
+
+
+@dataclass
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``capacity`` burst.
+
+    A bucket with infinite rate admits everything (the default for
+    consumers without an explicit limit).
+    """
+
+    rate: float
+    capacity: float
+    tokens: float = -1.0
+    last_refill: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("rate must be positive")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if self.tokens < 0:
+            self.tokens = self.capacity
+
+    def try_acquire(self, now: float, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available at time ``now``; False otherwise."""
+        if self.rate == float("inf"):
+            return True
+        elapsed = max(0.0, now - self.last_refill)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        self.last_refill = now
+        if self.tokens + 1e-12 < tokens:
+            return False
+        self.tokens -= tokens
+        return True
+
+
+class AdmissionController:
+    """Per-consumer gates consulted by the gateway on every submit.
+
+    Parameters
+    ----------
+    ledger:
+        The broker's billing ledger, used for O(1) cumulative-spend
+        lookups when enforcing deposits.  Optional: without it deposits
+        cannot be enforced and registering one raises.
+    default_rate, default_burst:
+        Token-bucket parameters applied to consumers that were never
+        explicitly registered (infinite rate by default -- admission is
+        opt-in per knob, matching the broker policy's philosophy).
+    clock:
+        Monotonic time source for the buckets.
+    telemetry:
+        Optional metrics registry; refusals are mirrored under
+        ``admission.*``.
+    """
+
+    def __init__(
+        self,
+        ledger: "Optional[BillingLedger]" = None,
+        default_rate: float = float("inf"),
+        default_burst: float = 64.0,
+        clock: Callable[[], float] = time.monotonic,
+        telemetry: "Optional[MetricsRegistry]" = None,
+    ) -> None:
+        self.ledger = ledger
+        self.default_rate = default_rate
+        self.default_burst = default_burst
+        self.clock = clock
+        self.telemetry = telemetry
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._deposits: Dict[str, float] = {}
+        # Spend reserved by requests admitted but not yet billed, so that
+        # a burst of in-flight requests cannot collectively overshoot a
+        # deposit between admission and settlement.
+        self._reserved: Dict[str, float] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # configuration
+    # ------------------------------------------------------------------
+    def register(
+        self,
+        consumer: str,
+        deposit: Optional[float] = None,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+    ) -> None:
+        """Set a consumer's deposit and/or rate limit.
+
+        ``deposit`` caps the consumer's *cumulative billed spend* (ledger
+        totals plus in-flight reservations); ``rate``/``burst`` configure
+        its token bucket.  Unset knobs keep the controller defaults.
+        """
+        with self._lock:
+            if deposit is not None:
+                if deposit < 0:
+                    raise ValueError("deposit must be non-negative")
+                if self.ledger is None:
+                    raise ValueError(
+                        "cannot enforce deposits without a billing ledger"
+                    )
+                self._deposits[consumer] = deposit
+            if rate is not None:
+                self._buckets[consumer] = TokenBucket(
+                    rate=rate,
+                    capacity=burst if burst is not None else max(1.0, rate),
+                )
+
+    def deposit_of(self, consumer: str) -> float:
+        """The consumer's registered deposit (infinite when unset)."""
+        return self._deposits.get(consumer, float("inf"))
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def admit(self, consumer: str, price: float = 0.0) -> None:
+        """Admit one request quoted at ``price``, or shed it.
+
+        Raises
+        ------
+        RateLimitedError
+            The consumer's token bucket is empty.
+        QuotaExceededError
+            Cumulative spend (billed + reserved) plus ``price`` would
+            exceed the consumer's deposit.
+        """
+        with self._lock:
+            bucket = self._buckets.get(consumer)
+            if bucket is None and self.default_rate != float("inf"):
+                bucket = self._buckets[consumer] = TokenBucket(
+                    rate=self.default_rate, capacity=self.default_burst
+                )
+            if bucket is not None and not bucket.try_acquire(self.clock()):
+                self._emit("admission.rate_limited")
+                raise RateLimitedError(
+                    f"consumer {consumer!r} exceeded its request rate "
+                    f"({bucket.rate:.6g}/s, burst {bucket.capacity:.6g})"
+                )
+            deposit = self._deposits.get(consumer)
+            if deposit is not None:
+                assert self.ledger is not None
+                spent = self.ledger.spend_of(consumer)
+                reserved = self._reserved.get(consumer, 0.0)
+                if spent + reserved + price > deposit + 1e-9:
+                    self._emit("admission.quota_exceeded")
+                    raise QuotaExceededError(
+                        f"consumer {consumer!r}: spend {spent:.6g} + "
+                        f"in-flight {reserved:.6g} + price {price:.6g} "
+                        f"would exceed deposit {deposit:.6g}"
+                    )
+                self._reserved[consumer] = reserved + price
+            self._emit("admission.admitted")
+
+    def release(self, consumer: str, price: float) -> None:
+        """Drop a reservation once the request is billed (or failed)."""
+        with self._lock:
+            reserved = self._reserved.get(consumer)
+            if reserved is None:
+                return
+            reserved -= price
+            if reserved <= 1e-12:
+                self._reserved.pop(consumer, None)
+            else:
+                self._reserved[consumer] = reserved
+
+    def _emit(self, name: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.inc(name)

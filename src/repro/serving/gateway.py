@@ -1,0 +1,469 @@
+"""The serving gateway: queue, coalesce, dispatch through the batch path.
+
+:class:`ServingGateway` is the traffic-bearing front door to a
+:class:`~repro.core.broker.DataBroker`.  Concurrent consumers submit
+range-counting requests and get back futures; a worker pool drains the
+bounded request queue, coalesces whatever arrives inside a configurable
+batching window, and dispatches each coalesced batch through the broker's
+vectorized ``answer_batch`` -- so the 30x batched trading path is reached
+by *uncoordinated* callers, not only by one caller hand-assembling a
+batch.
+
+Semantics, relative to direct broker calls:
+
+* **Same books.** Every request is separately noised and separately
+  charged; ledger entries, accountant history, and policy counters are
+  entry-for-entry what the equivalent serial calls would write.  With the
+  cache disabled, a single consumer's requests dispatched in one batch
+  are *bit-identical* to ``answer_many`` over the same ranges (same
+  generator stream, same order).
+* **Reuse is free.** With the privacy-aware answer cache enabled, a
+  request identical to an already-released one (same dataset, range,
+  tier, and sample-store version) replays the released value: billed at
+  list price, **ε′ = 0**, nothing charged to the accountant.  Duplicate
+  requests coalesced into the same window are deduplicated the same way
+  -- one fresh release, the rest replays.
+* **Load is shed early.** Admission (rate limits, deposit quotas) and the
+  bounded queue refuse work *before* any data is touched; refusals never
+  bill and never spend ε.
+
+Thread model: ``submit`` may be called from any number of threads.
+Workers coalesce independently but dispatch under one lock -- the broker
+mutates shared state (RNG stream, ledger, accountant), so dispatch is
+serialized by design; concurrency buys queueing/coalescing overlap and
+keeps callers unblocked, while throughput comes from batch width.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.broker import DataBroker
+from repro.core.query import AccuracySpec, PrivateAnswer, RangeQuery
+from repro.errors import GatewayClosedError, ServiceOverloadedError
+from repro.serving.admission import AdmissionController
+from repro.serving.answer_cache import AnswerCache
+from repro.serving.telemetry import MetricsRegistry
+
+__all__ = ["ServingConfig", "ServingGateway"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Tuning knobs of the gateway.
+
+    Parameters
+    ----------
+    batch_window:
+        Seconds a worker waits, after picking up the first request, for
+        more requests to coalesce into the same broker batch.  The
+        fundamental latency/throughput dial: larger windows mean wider
+        batches (more amortization) but add up to ``batch_window`` of
+        queueing latency per request.
+    max_batch:
+        Hard cap on coalesced batch width; a full batch dispatches
+        immediately without waiting out the window.
+    queue_depth:
+        Bound on queued (admitted, undispatched) requests; a full queue
+        sheds with :class:`~repro.errors.ServiceOverloadedError`.
+    workers:
+        Worker threads draining the queue.  Dispatch itself is serialized
+        (the broker is stateful); extra workers only overlap coalescing
+        with dispatch, so 1-2 is almost always right.
+    enable_cache:
+        Whether to attach a privacy-aware :class:`AnswerCache` (when no
+        explicit cache instance is handed to the gateway).
+    cache_capacity:
+        Capacity of that auto-created cache.
+    """
+
+    batch_window: float = 0.002
+    max_batch: int = 128
+    queue_depth: int = 1024
+    workers: int = 1
+    enable_cache: bool = True
+    cache_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.batch_window < 0:
+            raise ValueError("batch_window must be non-negative")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be positive")
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if self.cache_capacity < 1:
+            raise ValueError("cache_capacity must be positive")
+
+
+class _Request:
+    __slots__ = ("query", "spec", "consumer", "future", "enqueued_at")
+
+    def __init__(
+        self, query: RangeQuery, spec: AccuracySpec, consumer: str
+    ) -> None:
+        self.query = query
+        self.spec = spec
+        self.consumer = consumer
+        self.future: "Future[PrivateAnswer]" = Future()
+        self.enqueued_at = time.perf_counter()
+
+
+#: Queue sentinel telling a worker to exit.
+_STOP = object()
+
+
+class ServingGateway:
+    """Concurrent, coalescing, cached, admission-controlled query server.
+
+    Parameters
+    ----------
+    broker:
+        The answering :class:`~repro.core.broker.DataBroker`.
+    config:
+        Gateway tuning; defaults to :class:`ServingConfig()`.
+    telemetry:
+        Metrics registry; a fresh one is created when omitted and is also
+        attached to the broker (if the broker has none) so ``broker.*``
+        stage timers land in the same snapshot.
+    cache:
+        Privacy-aware answer cache; auto-created per
+        ``config.enable_cache`` when omitted.  The cache is bound to the
+        broker's base station so store commits purge stale entries.
+    admission:
+        Optional :class:`AdmissionController`; its ledger defaults to the
+        broker's billing ledger.
+    """
+
+    def __init__(
+        self,
+        broker: DataBroker,
+        config: Optional[ServingConfig] = None,
+        telemetry: Optional[MetricsRegistry] = None,
+        cache: Optional[AnswerCache] = None,
+        admission: Optional[AdmissionController] = None,
+    ) -> None:
+        self.broker = broker
+        self.config = config or ServingConfig()
+        self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
+        if broker.telemetry is None:
+            broker.telemetry = self.telemetry
+        if cache is None and self.config.enable_cache:
+            cache = AnswerCache(
+                capacity=self.config.cache_capacity, telemetry=self.telemetry
+            )
+        self.cache = cache
+        if self.cache is not None:
+            if self.cache.telemetry is None:
+                self.cache.telemetry = self.telemetry
+            self.cache.bind_station(broker.base_station)
+        self.admission = admission
+        if self.admission is not None and self.admission.ledger is None:
+            self.admission.ledger = broker.ledger
+        self._queue: "queue.Queue[object]" = queue.Queue(
+            maxsize=self.config.queue_depth
+        )
+        self._dispatch_lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._threads: List[threading.Thread] = []
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServingGateway":
+        """Spawn the worker pool.  Requests may be submitted before this;
+        they sit in the queue (in FIFO order) until workers come up."""
+        with self._state_lock:
+            if self._closed:
+                raise GatewayClosedError("gateway already stopped")
+            if self._started:
+                return self
+            self._started = True
+            for i in range(self.config.workers):
+                thread = threading.Thread(
+                    target=self._worker, name=f"repro-serve-{i}", daemon=True
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def stop(self) -> None:
+        """Drain the queue, settle every pending future, stop the workers.
+
+        Idempotent.  Requests submitted after ``stop`` raise
+        :class:`~repro.errors.GatewayClosedError`.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            threads = list(self._threads)
+        for _ in threads:
+            self._queue.put(_STOP)
+        for thread in threads:
+            thread.join()
+        # Never-started gateways (or anything racing past the sentinels)
+        # still drain synchronously so no future is left dangling.
+        self._drain_remaining()
+
+    def __enter__(self) -> "ServingGateway":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._started and not self._closed
+
+    def pending(self) -> int:
+        """Requests currently queued (admitted, not yet dispatched)."""
+        return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # client API
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: RangeQuery,
+        spec: AccuracySpec,
+        consumer: str = "anonymous",
+    ) -> "Future[PrivateAnswer]":
+        """Enqueue one request; returns a future for its answer.
+
+        Raises (sheds) without queuing anything:
+        :class:`~repro.errors.GatewayClosedError` after ``stop``;
+        :class:`~repro.errors.RateLimitedError` /
+        :class:`~repro.errors.QuotaExceededError` from admission;
+        :class:`~repro.errors.ServiceOverloadedError` when the queue is
+        full.
+        """
+        if self._closed:
+            raise GatewayClosedError("gateway is stopped")
+        price = self.broker.quote(spec)
+        if self.admission is not None:
+            self.admission.admit(consumer, price)
+        request = _Request(query, spec, consumer)
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            if self.admission is not None:
+                self.admission.release(consumer, price)
+            self.telemetry.inc("gateway.shed")
+            raise ServiceOverloadedError(
+                f"request queue is full ({self.config.queue_depth} deep); "
+                "retry later or widen the batching window"
+            ) from None
+        self.telemetry.inc("gateway.submitted")
+        self.telemetry.set_gauge("gateway.queue_depth", self._queue.qsize())
+        return request.future
+
+    def submit_range(
+        self,
+        low: float,
+        high: float,
+        alpha: float,
+        delta: float,
+        consumer: str = "anonymous",
+    ) -> "Future[PrivateAnswer]":
+        """Convenience: build the query/spec pair and :meth:`submit` it."""
+        query = RangeQuery(low=low, high=high, dataset=self.broker.dataset)
+        return self.submit(query, AccuracySpec(alpha=alpha, delta=delta),
+                           consumer=consumer)
+
+    def answer(
+        self,
+        low: float,
+        high: float,
+        alpha: float,
+        delta: float,
+        consumer: str = "anonymous",
+        timeout: Optional[float] = None,
+    ) -> PrivateAnswer:
+        """Blocking submit: wait for the coalesced answer."""
+        return self.submit_range(
+            low, high, alpha, delta, consumer=consumer
+        ).result(timeout=timeout)
+
+    def snapshot(self) -> Dict[str, object]:
+        """Telemetry snapshot plus cache stats, JSON-ready."""
+        snap: Dict[str, object] = dict(self.telemetry.snapshot())
+        if self.cache is not None:
+            stats = self.cache.stats
+            snap["cache"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+                "invalidations": stats.invalidations,
+                "size": stats.size,
+                "hit_rate": stats.hit_rate,
+            }
+        return snap
+
+    # ------------------------------------------------------------------
+    # worker pool
+    # ------------------------------------------------------------------
+    def _worker(self) -> None:
+        while True:
+            first = self._queue.get()
+            if first is _STOP:
+                return
+            batch = [first]
+            deadline = time.perf_counter() + self.config.batch_window
+            stop_seen = False
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if item is _STOP:
+                    stop_seen = True
+                    break
+                batch.append(item)
+            self._dispatch(batch)
+            if stop_seen:
+                return
+
+    def _drain_remaining(self) -> None:
+        batch: List[_Request] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is _STOP:
+                continue
+            batch.append(item)
+        if batch:
+            self._dispatch(batch)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, batch: "List[_Request]") -> None:
+        with self._dispatch_lock:
+            with self.telemetry.timer("gateway.dispatch_s"):
+                self._dispatch_locked(batch)
+
+    def _dispatch_locked(self, batch: "List[_Request]") -> None:
+        self.telemetry.observe("gateway.batch_width", len(batch))
+        store_version = self.broker.base_station.store_version
+        pending: List[_Request] = []
+
+        # 1. Cache replays: identical to an already-released answer at the
+        #    current store version -- billed at list price, ε′ = 0.
+        for request in batch:
+            if self.cache is not None:
+                key = AnswerCache.key_for(
+                    request.query, request.spec, store_version
+                )
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self._replay(request, cached)
+                    continue
+            pending.append(request)
+
+        # 2. In-window coalescing of duplicates: the first occurrence of a
+        #    (query, tier) key is released fresh, later occurrences replay
+        #    it -- exactly the cache semantics, applied inside one window.
+        fresh: List[_Request] = []
+        dups: List[Tuple[_Request, int]] = []  # (request, index into fresh)
+        if self.cache is not None:
+            seen: Dict[Tuple, int] = {}
+            for request in pending:
+                key = AnswerCache.key_for(
+                    request.query, request.spec, store_version
+                )
+                if key in seen:
+                    dups.append((request, seen[key]))
+                else:
+                    seen[key] = len(fresh)
+                    fresh.append(request)
+        else:
+            fresh = pending
+
+        # 3. Fresh releases: group by consumer (accounting is per
+        #    consumer) preserving arrival order, one answer_batch each.
+        fresh_answers: "List[Optional[PrivateAnswer]]" = [None] * len(fresh)
+        groups: "Dict[str, List[int]]" = {}
+        for idx, request in enumerate(fresh):
+            groups.setdefault(request.consumer, []).append(idx)
+        for consumer, indices in groups.items():
+            queries = [fresh[i].query for i in indices]
+            specs = [fresh[i].spec for i in indices]
+            try:
+                answers = self.broker.answer_batch(
+                    queries, specs, consumer=consumer
+                )
+            except Exception as exc:  # shed the whole group, atomically
+                for i in indices:
+                    self._fail(fresh[i], exc)
+                continue
+            for i, answer in zip(indices, answers):
+                fresh_answers[i] = answer
+
+        # 4. Populate the cache at the *post-dispatch* store version (a
+        #    top-up during answer_batch bumps it; keys must match future
+        #    lookups against the new store).
+        if self.cache is not None:
+            post_version = self.broker.base_station.store_version
+            for request, answer in zip(fresh, fresh_answers):
+                if answer is not None:
+                    key = AnswerCache.key_for(
+                        request.query, request.spec, post_version
+                    )
+                    self.cache.put(key, answer)
+
+        # 5. Resolve futures: fresh first, then duplicates as replays of
+        #    their in-window source.
+        for request, answer in zip(fresh, fresh_answers):
+            if answer is not None:
+                self._finish(request, answer)
+        for request, source_index in dups:
+            source = fresh_answers[source_index]
+            if source is None:
+                self._fail(
+                    request,
+                    ServiceOverloadedError(
+                        "coalesced source release failed; retry"
+                    ),
+                )
+            else:
+                self._replay(request, source)
+
+    def _replay(self, request: _Request, cached: PrivateAnswer) -> None:
+        try:
+            answer = self.broker.replay(cached, request.consumer)
+        except Exception as exc:
+            self._fail(request, exc)
+            return
+        self.telemetry.inc("gateway.cache_replays")
+        self._finish(request, answer)
+
+    def _finish(self, request: _Request, answer: PrivateAnswer) -> None:
+        if self.admission is not None:
+            self.admission.release(request.consumer, answer.price)
+        self.telemetry.inc("gateway.served")
+        self.telemetry.observe(
+            "gateway.latency_s", time.perf_counter() - request.enqueued_at
+        )
+        request.future.set_result(answer)
+
+    def _fail(self, request: _Request, exc: Exception) -> None:
+        if self.admission is not None:
+            self.admission.release(
+                request.consumer, self.broker.quote(request.spec)
+            )
+        self.telemetry.inc("gateway.failed")
+        request.future.set_exception(exc)

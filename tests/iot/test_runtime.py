@@ -81,3 +81,108 @@ class TestEventScheduler:
     def test_rejects_negative_delay(self):
         with pytest.raises(ValueError):
             EventScheduler().schedule(-1.0, lambda: None)
+
+    def test_next_fire_time(self):
+        sched = EventScheduler()
+        assert sched.next_fire_time() is None
+        sched.schedule(2.0, lambda: None)
+        sched.schedule(1.0, lambda: None)
+        assert sched.next_fire_time() == 1.0
+
+
+class TestEventCancellation:
+    def test_cancelled_event_never_fires(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(2.0, lambda: fired.append("b"))
+        assert handle.cancel()
+        assert sched.run() == 1  # cancelled events don't count as processed
+        assert fired == ["b"]
+
+    def test_cancel_returns_false_when_already_cancelled(self):
+        handle = EventScheduler().schedule(1.0, lambda: None)
+        assert handle.cancel()
+        assert not handle.cancel()
+
+    def test_cancel_returns_false_after_firing(self):
+        sched = EventScheduler()
+        handle = sched.schedule(1.0, lambda: None)
+        sched.run()
+        assert not handle.cancel()
+
+    def test_handle_state_transitions(self):
+        sched = EventScheduler()
+        handle = sched.schedule(1.0, lambda: None)
+        assert handle.pending and not handle.fired and not handle.cancelled
+        handle.cancel()
+        assert handle.cancelled and not handle.pending and not handle.fired
+        other = sched.schedule(1.0, lambda: None)
+        sched.run()
+        assert other.fired and not other.pending and not other.cancelled
+
+    def test_len_excludes_cancelled(self):
+        sched = EventScheduler()
+        handles = [sched.schedule(1.0, lambda: None) for _ in range(3)]
+        assert len(sched) == 3
+        handles[1].cancel()
+        assert len(sched) == 2
+
+    def test_next_fire_time_skips_cancelled_head(self):
+        sched = EventScheduler()
+        head = sched.schedule(1.0, lambda: None)
+        sched.schedule(2.0, lambda: None)
+        head.cancel()
+        assert sched.next_fire_time() == 2.0
+
+    def test_cancel_from_inside_a_callback(self):
+        sched = EventScheduler()
+        fired = []
+        later = sched.schedule(2.0, lambda: fired.append("later"))
+        sched.schedule(1.0, lambda: later.cancel())
+        assert sched.run() == 1
+        assert fired == []
+
+    def test_clock_does_not_advance_past_cancelled_tail(self):
+        sched = EventScheduler()
+        sched.schedule(1.0, lambda: None)
+        tail = sched.schedule(5.0, lambda: None)
+        tail.cancel()
+        sched.run()
+        assert sched.clock.now == 1.0
+
+
+class TestSameTimestampFifo:
+    def test_many_equal_times_keep_schedule_order(self):
+        sched = EventScheduler()
+        fired = []
+        for i in range(20):
+            sched.schedule(1.0, lambda i=i: fired.append(i))
+        sched.run()
+        assert fired == list(range(20))
+
+    def test_fifo_survives_cancellation_in_the_middle(self):
+        sched = EventScheduler()
+        fired = []
+        handles = [
+            sched.schedule(1.0, lambda i=i: fired.append(i)) for i in range(5)
+        ]
+        handles[1].cancel()
+        handles[3].cancel()
+        assert sched.run() == 3
+        assert fired == [0, 2, 4]
+
+    def test_reschedule_at_same_time_runs_after_existing(self):
+        sched = EventScheduler()
+        fired = []
+
+        def first():
+            fired.append("first")
+            # Scheduled *during* t=1 processing for t=1: runs after "second"
+            # because its sequence number is larger.
+            sched.schedule(0.0, lambda: fired.append("third"))
+
+        sched.schedule(1.0, first)
+        sched.schedule(1.0, lambda: fired.append("second"))
+        sched.run()
+        assert fired == ["first", "second", "third"]

@@ -66,3 +66,54 @@ class TestBillingLedger:
         assert len(ledger) == 0
         assert ledger.total_revenue() == 0.0
         assert ledger.revenue_by_consumer() == {}
+
+
+class TestIncrementalAggregates:
+    """The O(1) aggregate indexes must agree with full scans on every
+    write path (record, record_many, and artifact loading)."""
+
+    @staticmethod
+    def _assert_indexed(ledger):
+        txns = ledger.transactions
+        assert ledger.total_revenue() == pytest.approx(
+            sum(t.price for t in txns)
+        )
+        for consumer in {t.consumer for t in txns}:
+            assert ledger.spend_of(consumer) == pytest.approx(
+                sum(t.price for t in txns if t.consumer == consumer)
+            )
+        for dataset in {t.dataset for t in txns}:
+            assert ledger.revenue_by_dataset()[dataset] == pytest.approx(
+                sum(t.price for t in txns if t.dataset == dataset)
+            )
+
+    def test_record_many_keeps_aggregates_in_sync(self):
+        ledger = BillingLedger()
+        ledger.record("alice", "ozone", 0.1, 0.5, 10.0, 0.01)
+        ledger.record_many(
+            [
+                dict(consumer="bob", dataset="ozone", alpha=0.2, delta=0.4,
+                     price=5.0, epsilon_prime=0.02),
+                dict(consumer="alice", dataset="no2", alpha=0.1, delta=0.9,
+                     price=20.0, epsilon_prime=0.03),
+            ]
+        )
+        self._assert_indexed(ledger)
+        assert ledger.spend_of("alice") == pytest.approx(30.0)
+
+    def test_loaded_ledger_is_indexed(self, tmp_path):
+        from repro.io import load_ledger, save_ledger
+
+        ledger = BillingLedger()
+        ledger.record("alice", "ozone", 0.1, 0.5, 10.0, 0.01)
+        ledger.record("bob", "ozone", 0.2, 0.4, 5.0, 0.02)
+        ledger.record("alice", "no2", 0.1, 0.9, 20.0, 0.03)
+        path = tmp_path / "ledger.json"
+        save_ledger(path, ledger)
+        loaded = load_ledger(path)
+        self._assert_indexed(loaded)
+        assert loaded.total_revenue() == pytest.approx(35.0)
+        assert loaded.spend_of("alice") == pytest.approx(30.0)
+        # Loaded ledgers keep appending correctly.
+        loaded.record("carol", "ozone", 0.1, 0.5, 1.0, 0.01)
+        self._assert_indexed(loaded)

@@ -1,0 +1,43 @@
+"""Shared fixtures for the serving-layer tests.
+
+Stacks are deliberately small (4 000 records, 8 devices) so the
+concurrency tests stay fast in tier-1; the paper-scale runs live in
+``benchmarks/test_serving.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.query import AccuracySpec
+from repro.core.service import PrivateRangeCountingService
+from repro.serving import Workload
+
+RECORDS = 4_000
+DEVICES = 8
+RATE = 0.3
+
+TIERS = (AccuracySpec(alpha=0.1, delta=0.5), AccuracySpec(alpha=0.2, delta=0.6))
+RANGES = tuple((10.0 * i, 10.0 * i + 60.0) for i in range(12))
+
+
+def build_service(seed: int = 3) -> PrivateRangeCountingService:
+    """A fresh, pre-collected small stack (twin-able via the same seed)."""
+    rng = np.random.default_rng(0)
+    values = rng.uniform(0.0, 200.0, RECORDS)
+    service = PrivateRangeCountingService.from_values(
+        values, k=DEVICES, seed=seed
+    )
+    service.collect(RATE)
+    return service
+
+
+@pytest.fixture
+def service() -> PrivateRangeCountingService:
+    return build_service()
+
+
+@pytest.fixture
+def workload() -> Workload:
+    return Workload(ranges=RANGES, tiers=TIERS)

@@ -1,0 +1,155 @@
+"""Unit tests for admission control: token buckets and deposit quotas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QuotaExceededError, RateLimitedError
+from repro.pricing.ledger import BillingLedger
+from repro.serving.admission import AdmissionController, TokenBucket
+from repro.serving.telemetry import MetricsRegistry
+
+
+class FakeClock:
+    """Deterministic monotonic clock for driving buckets in tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_starts_full(self):
+        bucket = TokenBucket(rate=1.0, capacity=3.0)
+        assert bucket.tokens == pytest.approx(3.0)
+
+    def test_drains_and_refuses(self):
+        bucket = TokenBucket(rate=1.0, capacity=2.0)
+        assert bucket.try_acquire(0.0)
+        assert bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, capacity=2.0)
+        bucket.try_acquire(0.0)
+        bucket.try_acquire(0.0)
+        assert not bucket.try_acquire(0.0)
+        # 0.5 s at 2 tokens/s refills exactly one token.
+        assert bucket.try_acquire(0.5)
+        assert not bucket.try_acquire(0.5)
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(rate=100.0, capacity=2.0)
+        bucket.try_acquire(0.0)
+        bucket.try_acquire(1_000.0)  # long idle: still only 2 tokens
+        bucket.try_acquire(1_000.0)
+        assert not bucket.try_acquire(1_000.0)
+
+    def test_infinite_rate_always_admits(self):
+        bucket = TokenBucket(rate=float("inf"), capacity=1.0)
+        for _ in range(100):
+            assert bucket.try_acquire(0.0)
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0, capacity=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate=1.0, capacity=0.0)
+
+
+class TestRateLimits:
+    def test_unregistered_consumer_is_unlimited_by_default(self):
+        controller = AdmissionController(clock=FakeClock())
+        for _ in range(100):
+            controller.admit("anyone")
+
+    def test_registered_rate_is_enforced(self):
+        clock = FakeClock()
+        controller = AdmissionController(clock=clock)
+        controller.register("alice", rate=1.0, burst=2.0)
+        controller.admit("alice")
+        controller.admit("alice")
+        with pytest.raises(RateLimitedError):
+            controller.admit("alice")
+        clock.advance(1.0)  # one token refills
+        controller.admit("alice")
+
+    def test_default_rate_applies_to_everyone(self):
+        clock = FakeClock()
+        controller = AdmissionController(
+            default_rate=1.0, default_burst=1.0, clock=clock
+        )
+        controller.admit("walk-in")
+        with pytest.raises(RateLimitedError):
+            controller.admit("walk-in")
+        # Independent bucket per consumer.
+        controller.admit("other")
+
+
+class TestDepositQuotas:
+    @pytest.fixture
+    def ledger(self):
+        return BillingLedger()
+
+    def test_register_deposit_requires_ledger(self):
+        with pytest.raises(ValueError):
+            AdmissionController().register("alice", deposit=10.0)
+
+    def test_rejects_negative_deposit(self, ledger):
+        with pytest.raises(ValueError):
+            AdmissionController(ledger=ledger).register("alice", deposit=-1.0)
+
+    def test_deposit_of_defaults_to_infinity(self, ledger):
+        assert AdmissionController(ledger=ledger).deposit_of("alice") == float(
+            "inf"
+        )
+
+    def test_billed_spend_counts_against_deposit(self, ledger):
+        controller = AdmissionController(ledger=ledger)
+        controller.register("alice", deposit=10.0)
+        ledger.record("alice", "ozone", 0.1, 0.5, 8.0, 0.01)
+        controller.admit("alice", price=2.0)
+        controller.release("alice", 2.0)
+        ledger.record("alice", "ozone", 0.1, 0.5, 2.0, 0.01)
+        with pytest.raises(QuotaExceededError):
+            controller.admit("alice", price=0.5)
+
+    def test_inflight_reservations_count_against_deposit(self, ledger):
+        controller = AdmissionController(ledger=ledger)
+        controller.register("alice", deposit=5.0)
+        controller.admit("alice", price=3.0)  # reserved, not yet billed
+        with pytest.raises(QuotaExceededError):
+            controller.admit("alice", price=3.0)
+        controller.release("alice", 3.0)  # request failed: free the hold
+        controller.admit("alice", price=3.0)
+
+    def test_other_consumers_unaffected(self, ledger):
+        controller = AdmissionController(ledger=ledger)
+        controller.register("alice", deposit=0.0)
+        with pytest.raises(QuotaExceededError):
+            controller.admit("alice", price=1.0)
+        controller.admit("bob", price=1.0)
+
+
+class TestTelemetryMirror:
+    def test_refusals_are_counted(self):
+        registry = MetricsRegistry()
+        ledger = BillingLedger()
+        controller = AdmissionController(
+            ledger=ledger, clock=FakeClock(), telemetry=registry
+        )
+        controller.register("alice", rate=1.0, burst=1.0)
+        controller.register("bob", deposit=0.0)
+        controller.admit("alice")
+        with pytest.raises(RateLimitedError):
+            controller.admit("alice")
+        with pytest.raises(QuotaExceededError):
+            controller.admit("bob", price=1.0)
+        assert registry.value("admission.admitted") == 1
+        assert registry.value("admission.rate_limited") == 1
+        assert registry.value("admission.quota_exceeded") == 1

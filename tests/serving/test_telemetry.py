@@ -1,0 +1,115 @@
+"""Unit tests for the serving metrics registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serving.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero(self):
+        assert Counter().value == 0.0
+
+    def test_accumulates(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = Gauge()
+        gauge.set(10.0)
+        gauge.add(-3.0)
+        assert gauge.value == pytest.approx(7.0)
+
+
+class TestHistogram:
+    def test_exact_moments(self):
+        hist = Histogram()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            hist.observe(v)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(10.0)
+        assert hist.mean == pytest.approx(2.5)
+
+    def test_percentile_interpolates(self):
+        hist = Histogram()
+        for v in (0.0, 10.0):
+            hist.observe(v)
+        assert hist.percentile(0.0) == pytest.approx(0.0)
+        assert hist.percentile(50.0) == pytest.approx(5.0)
+        assert hist.percentile(100.0) == pytest.approx(10.0)
+
+    def test_percentile_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(101.0)
+
+    def test_empty_percentile_is_zero(self):
+        assert Histogram().percentile(99.0) == 0.0
+
+    def test_decimation_keeps_moments_exact(self):
+        hist = Histogram(cap=8)
+        for v in range(100):
+            hist.observe(float(v))
+        # Moments are exact past the cap even though samples were dropped.
+        assert hist.count == 100
+        assert hist.sum == pytest.approx(sum(range(100)))
+        assert hist.summary()["max"] == pytest.approx(99.0)
+        assert hist.summary()["min"] == pytest.approx(0.0)
+
+    def test_empty_summary(self):
+        assert Histogram().summary() == {"count": 0}
+
+    def test_rejects_tiny_cap(self):
+        with pytest.raises(ValueError):
+            Histogram(cap=1)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_one_line_probes(self):
+        registry = MetricsRegistry()
+        registry.inc("served", 2.0)
+        registry.set_gauge("depth", 5.0)
+        registry.observe("latency", 0.25)
+        assert registry.value("served") == pytest.approx(2.0)
+        assert registry.value("depth") == pytest.approx(5.0)
+        assert registry.histogram("latency").count == 1
+
+    def test_value_of_unknown_metric_is_zero(self):
+        assert MetricsRegistry().value("nothing") == 0.0
+
+    def test_timer_observes_seconds(self):
+        registry = MetricsRegistry()
+        with registry.timer("block_s"):
+            pass
+        hist = registry.histogram("block_s")
+        assert hist.count == 1
+        assert hist.sum >= 0.0
+
+    def test_snapshot_is_json_ready(self):
+        registry = MetricsRegistry()
+        registry.inc("b")
+        registry.inc("a")
+        registry.set_gauge("g", 1.0)
+        registry.observe("h", 2.0)
+        snap = registry.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]  # sorted
+        assert snap["gauges"]["g"] == 1.0
+        assert snap["histograms"]["h"]["count"] == 1
+        # Round-trips through JSON without custom encoders.
+        assert json.loads(registry.to_json()) == snap
