@@ -49,6 +49,7 @@ from repro.core import (
 from repro.errors import (
     ArbitrageError,
     CalibrationError,
+    ClusterError,
     GatewayClosedError,
     InfeasiblePlanError,
     InsufficientSamplesError,
@@ -62,6 +63,7 @@ from repro.errors import (
     ReproError,
     ServiceOverloadedError,
     ServingError,
+    ShardUnavailableError,
 )
 
 __version__ = "1.0.0"
@@ -100,4 +102,6 @@ __all__ = [
     "RateLimitedError",
     "QuotaExceededError",
     "GatewayClosedError",
+    "ClusterError",
+    "ShardUnavailableError",
 ]

@@ -215,6 +215,75 @@ def build_parser() -> argparse.ArgumentParser:
              "ledger/accountant drift is zero (the CI smoke contract)",
     )
 
+    cserve = sub.add_parser(
+        "cluster-serve",
+        help="serve a CSV of concurrent requests through a sharded cluster",
+    )
+    cserve.add_argument("--index", choices=AIR_QUALITY_INDEXES, default="ozone")
+    cserve.add_argument(
+        "--requests-csv",
+        required=True,
+        help="CSV of consumer,low,high,alpha,delta rows (header allowed)",
+    )
+    cserve.add_argument("--records", type=int, default=17568)
+    cserve.add_argument("--devices", type=int, default=64)
+    cserve.add_argument("--shards", type=int, default=4)
+    cserve.add_argument("--partition", default="even",
+                        choices=["even", "round-robin", "dirichlet",
+                                 "range-sharded"])
+    cserve.add_argument("--no-replicas", action="store_true",
+                        help="build shards without failover replicas")
+    cserve.add_argument("--seed", type=int, default=7)
+    cserve.add_argument("--window", type=float, default=0.002,
+                        help="batching window in seconds")
+    cserve.add_argument("--max-batch", type=int, default=128)
+    cserve.add_argument("--no-cache", action="store_true",
+                        help="disable the privacy-aware answer cache")
+    cserve.add_argument("--metrics", action="store_true",
+                        help="print the telemetry snapshot as JSON")
+
+    cbench = sub.add_parser(
+        "cluster-bench",
+        help="benchmark single-station vs sharded serving, with failover",
+    )
+    cbench.add_argument("--index", choices=AIR_QUALITY_INDEXES,
+                        default="ozone")
+    cbench.add_argument("--records", type=int, default=17568)
+    cbench.add_argument("--devices", type=int, default=64)
+    cbench.add_argument("--shards", default="4,8",
+                        help="comma-separated shard counts to benchmark")
+    cbench.add_argument("--requests", type=int, default=500,
+                        help="total requests per phase")
+    cbench.add_argument("--consumers", type=int, default=4)
+    cbench.add_argument("--ranges", type=int, default=16,
+                        help="distinct query ranges in the workload")
+    cbench.add_argument(
+        "--tiers",
+        default="0.1:0.5,0.15:0.6,0.2:0.5",
+        help="comma-separated alpha:delta product tiers",
+    )
+    cbench.add_argument("--partition", default="even",
+                        choices=["even", "round-robin", "dirichlet",
+                                 "range-sharded"])
+    cbench.add_argument("--seed", type=int, default=11,
+                        help="seeds channels, samplers, and noise draws; "
+                             "accounting fields are reproducible per seed")
+    cbench.add_argument("--window", type=float, default=0.004)
+    cbench.add_argument("--max-batch", type=int, default=64)
+    cbench.add_argument("--no-baseline", action="store_true",
+                        help="skip the single-station baseline phase")
+    cbench.add_argument("--no-failover", action="store_true",
+                        help="skip the mid-run primary-kill phase")
+    cbench.add_argument("--json", metavar="PATH",
+                        help="write a BENCH-format JSON report here")
+    cbench.add_argument(
+        "--assert-healthy",
+        action="store_true",
+        help="exit 1 unless every phase completed with zero failures and "
+             "zero accounting drift, and the failover phase (if run) "
+             "actually failed over (the CI smoke contract)",
+    )
+
     return parser
 
 
@@ -502,6 +571,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     service, gateway = _build_gateway(args)
+    return _run_serve(service, gateway, requests, args)
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    from repro.serving import ServingConfig
+
+    try:
+        requests = _read_requests_csv(args.requests_csv)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    data = generate_citypulse(record_count=args.records)
+    service = PrivateRangeCountingService.from_citypulse(
+        data,
+        args.index,
+        k=args.devices,
+        seed=args.seed,
+        shards=args.shards,
+        partition=args.partition,
+        replicas=not args.no_replicas,
+    )
+    config = ServingConfig(
+        batch_window=args.window,
+        max_batch=args.max_batch,
+        enable_cache=not args.no_cache,
+    )
+    gateway = service.serve(config)
+    return _run_serve(service, gateway, requests, args)
+
+
+def _run_serve(service, gateway, requests, args: argparse.Namespace) -> int:
     with gateway:
         futures = [
             (consumer, gateway.submit_range(low, high, alpha, delta,
@@ -610,6 +710,9 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
                 consumers=args.consumers,
             )
     payload = result.to_payload()
+    # The seed pins channels, samplers, and noise draws, so the accounting
+    # fields of this payload are reproducible run-to-run; record it.
+    payload["seed"] = args.seed
     print(
         format_table(
             ["metric", "value"],
@@ -640,6 +743,97 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _phase_healthy(phase: "dict") -> bool:
+    return (
+        float(phase.get("throughput_qps", 0.0)) > 0
+        and int(phase.get("failed", 1)) == 0
+        and abs(float(phase.get("epsilon_drift", 1.0))) < 1e-6
+        and abs(float(phase.get("revenue_drift", 1.0))) < 1e-6
+    )
+
+
+def _cmd_cluster_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.cluster.bench import run_cluster_bench
+    from repro.serving import write_bench_json
+
+    try:
+        tiers = _parse_tiers(args.tiers)
+        shard_counts = [int(token) for token in args.shards.split(",") if token]
+        if not shard_counts or any(s < 1 for s in shard_counts):
+            raise ValueError(f"bad shard counts {args.shards!r}")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    data = generate_citypulse(record_count=args.records)
+    values = data.values(args.index)
+    payload = run_cluster_bench(
+        values,
+        devices=args.devices,
+        shard_counts=shard_counts,
+        requests=args.requests,
+        consumers=args.consumers,
+        ranges=args.ranges,
+        tiers=tiers,
+        seed=args.seed,
+        window=args.window,
+        max_batch=args.max_batch,
+        partition=args.partition,
+        baseline=not args.no_baseline,
+        failover=not args.no_failover,
+    )
+    rows = []
+    if "single" in payload:
+        rows.append(("single", payload["single"]["throughput_qps"],
+                     payload["single"]["failed"]))
+    for s, phase in payload["clusters"].items():
+        rows.append((f"{s}-shard", phase["throughput_qps"], phase["failed"]))
+    if "failover" in payload:
+        fo = payload["failover"]
+        rows.append((f"{fo['shards']}-shard+failover",
+                     fo["throughput_qps"], fo["failed"]))
+    print(format_table(["phase", "throughput_qps", "failed"], rows))
+    if "failover" in payload:
+        fo = payload["failover"]
+        latency = fo["failover_latency_s"]
+        print(
+            f"failover: {fo['failovers']:.0f} event(s), "
+            f"{fo['degraded_answers']:.0f} degraded answers, "
+            f"detection-to-first-degraded "
+            f"{'n/a' if latency is None else f'{latency * 1e3:.1f} ms'}"
+        )
+    if args.json:
+        write_bench_json(args.json, "cluster_bench", payload)
+        print(f"wrote {args.json}")
+    if args.assert_healthy:
+        phases = []
+        if "single" in payload:
+            phases.append(("single", payload["single"]))
+        phases.extend(payload["clusters"].items())
+        if "failover" in payload:
+            phases.append(("failover", payload["failover"]))
+        unhealthy = [name for name, phase in phases if not _phase_healthy(phase)]
+        failover_ok = True
+        if "failover" in payload:
+            fo = payload["failover"]
+            failover_ok = fo["failovers"] >= 1 and fo["degraded_answers"] > 0
+        if unhealthy or not failover_ok:
+            print(
+                "cluster-bench UNHEALTHY: "
+                + (f"phases {unhealthy} failed or drifted; " if unhealthy else "")
+                + ("" if failover_ok else "failover did not engage"),
+                file=sys.stderr,
+            )
+            print(_json.dumps(payload, indent=1, default=str), file=sys.stderr)
+            return 1
+        print(
+            "cluster-bench healthy: all phases zero-drift"
+            + (", failover engaged" if "failover" in payload else "")
+        )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -658,6 +852,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "check-pricing": _cmd_check_pricing,
         "serve": _cmd_serve,
         "loadgen": _cmd_loadgen,
+        "cluster-serve": _cmd_cluster_serve,
+        "cluster-bench": _cmd_cluster_bench,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,542 @@
+"""The scatter-gather coordinator: one broker surface over many shards.
+
+:class:`ClusterBroker` exposes the same duck-typed surface as
+:class:`~repro.core.broker.DataBroker` (``quote`` / ``answer`` /
+``answer_batch`` / ``replay`` / ``ledger`` / ``accountant`` /
+``base_station`` / ``planner`` / ``telemetry``), so the serving gateway,
+the marketplace, and the load generators route through it unchanged.
+
+Per query it
+
+1. **splits** the ``(α, δ)`` target into per-shard
+   ``(α, δ^{1/s})`` sub-targets (:func:`~repro.cluster.planning.split_spec`;
+   the absolute tolerance allocation is shard-size weighted for free);
+2. **scatters** the batch to every shard's
+   :meth:`~repro.core.broker.DataBroker.answer_batch` -- concurrently for
+   ``s > 1`` -- with replica failover per shard;
+3. **gathers** and merges the per-shard estimates and noised counts into
+   one :class:`ClusterAnswer` (clamped sum; merged plan via
+   :func:`~repro.cluster.planning.merge_plans`);
+4. **reconciles** the books: exactly one consolidated
+   :class:`~repro.pricing.ledger.BillingLedger` transaction and one
+   :class:`~repro.privacy.budget.BudgetAccountant` entry per query, at
+   the cluster list price and the parallel-composition ε′ (max over
+   shards).  Shard-level books are internal transfer accounting.
+
+With one shard the whole path degenerates to the plain broker call plus
+a pass-through merge, and is bit-identical to it (tested).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cluster.health import ShardHealthMonitor
+from repro.cluster.planning import degraded_delta, merge_plans, split_spec
+from repro.cluster.shard import ShardRuntime, build_shards
+from repro.core.policy import BrokerPolicy, PolicyViolationError
+from repro.core.query import AccuracySpec, PrivateAnswer, RangeQuery
+from repro.errors import PrivacyBudgetExceededError
+from repro.pricing.functions import InverseVariancePricing, PricingFunction
+from repro.pricing.ledger import BillingLedger
+from repro.pricing.variance_model import VarianceModel
+from repro.privacy.budget import BudgetAccountant
+from repro.privacy.optimizer import PrivacyPlan
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.serving.telemetry import MetricsRegistry
+
+__all__ = ["ClusterAnswer", "ClusterBroker"]
+
+
+@dataclass(frozen=True)
+class ClusterAnswer(PrivateAnswer):
+    """A merged scatter-gather release.
+
+    Extends :class:`~repro.core.query.PrivateAnswer` with the gather
+    provenance: the per-shard releases it merges, which shards answered
+    from a replica, and the confidence actually *reported* after
+    degradation (``delta_reported == spec.delta`` on a healthy gather).
+    """
+
+    shard_answers: "Tuple[PrivateAnswer, ...]" = ()
+    degraded_shards: "Tuple[int, ...]" = ()
+    delta_reported: float = 0.0
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard answered from its replica."""
+        return bool(self.degraded_shards)
+
+
+class _ClusterMeterView:
+    """Read-only aggregate over every shard network's cost meter."""
+
+    def __init__(self, broker: "ClusterBroker") -> None:
+        self._broker = broker
+
+    def _meters(self):
+        for shard in self._broker.shards:
+            yield shard.primary_station.network.meter
+            if shard.replica_station is not None:
+                yield shard.replica_station.network.meter
+
+    def snapshot(self) -> "Dict[str, int]":
+        total: "Dict[str, int]" = {}
+        for meter in self._meters():
+            for key, value in meter.snapshot().items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+
+class _ClusterNetworkView:
+    """The ``.network`` shape the service facade expects: just a meter."""
+
+    def __init__(self, broker: "ClusterBroker") -> None:
+        self.meter = _ClusterMeterView(broker)
+
+
+class _ClusterStationView:
+    """Duck-typed :class:`~repro.iot.base_station.BaseStation` aggregate.
+
+    The gateway keys its answer cache on ``store_version`` and
+    subscribes to commits; the load generator reads ``sampling_rate``
+    and calls ``ensure_rate``; the facade merges ``samples()`` for
+    histogram/quantile releases.  This view answers all of that over
+    the shard set.
+    """
+
+    def __init__(self, broker: "ClusterBroker") -> None:
+        self._broker = broker
+        self.network = _ClusterNetworkView(broker)
+        self._listeners: "List" = []
+        for shard in broker.shards:
+            shard.primary_station.subscribe_commits(self._on_commit)
+            if shard.replica_station is not None:
+                shard.replica_station.subscribe_commits(self._on_commit)
+
+    @property
+    def k(self) -> int:
+        return sum(s.k for s in self._broker.shards)
+
+    @property
+    def n(self) -> int:
+        return sum(s.n for s in self._broker.shards)
+
+    @property
+    def sampling_rate(self) -> float:
+        """The weakest shard's stored rate (what a merged answer rests on)."""
+        return min(s.sampling_rate for s in self._broker.shards)
+
+    @property
+    def store_version(self) -> int:
+        """Monotone sum of every station's version (bumps on any commit)."""
+        total = 0
+        for shard in self._broker.shards:
+            total += shard.primary_station.store_version
+            if shard.replica_station is not None:
+                total += shard.replica_station.store_version
+        return total
+
+    def subscribe_commits(self, callback) -> None:
+        self._listeners.append(callback)
+
+    def _on_commit(self, _version: int) -> None:
+        version = self.store_version
+        for callback in self._listeners:
+            callback(version)
+
+    def ensure_rate(self, p: float) -> None:
+        self._broker.ensure_rate(p)
+
+    def samples(self):
+        merged = []
+        for shard in self._broker.shards:
+            merged.extend(shard.samples())
+        merged.sort(key=lambda s: s.node_id)
+        return merged
+
+
+class _ClusterPlannerView:
+    """Duck-typed :class:`~repro.core.planner.QueryPlanner` aggregate.
+
+    ``plan`` returns the *merged* plan a scatter at rate ``p`` would
+    yield, so the load generator's serial accounting expectation (which
+    reads ``plan(spec, p).epsilon_prime``) prices the cluster exactly.
+    """
+
+    def __init__(self, broker: "ClusterBroker") -> None:
+        self._broker = broker
+
+    def supports(self, spec: AccuracySpec, p: float) -> bool:
+        sub = split_spec(spec, len(self._broker.shards))
+        return all(
+            shard.primary.planner.supports(sub, p)
+            for shard in self._broker.shards
+        )
+
+    def required_rate(self, spec: AccuracySpec) -> float:
+        sub = split_spec(spec, len(self._broker.shards))
+        return max(
+            shard.primary.planner.required_rate(sub)
+            for shard in self._broker.shards
+        )
+
+    def plan(self, spec: AccuracySpec, p: float) -> PrivacyPlan:
+        sub = split_spec(spec, len(self._broker.shards))
+        return merge_plans(
+            spec,
+            [shard.primary.planner.plan(sub, p) for shard in self._broker.shards],
+        )
+
+
+@dataclass
+class ClusterBroker:
+    """Scatter-gather ``(α, δ)``-range counting over shard runtimes.
+
+    Parameters
+    ----------
+    shards:
+        The shard runtimes (see :func:`~repro.cluster.shard.build_shards`).
+    pricing:
+        Cluster-level price sheet, calibrated to the *total* ``n``; the
+        consumer pays one list price per query regardless of ``s``.
+    replica_confidence:
+        Per-degraded-shard multiplier applied to the reported δ when a
+        replica serves part of a gather.
+    monitor:
+        Optional :class:`~repro.cluster.health.ShardHealthMonitor`;
+        when set, shards it has failed route straight to replicas.
+    """
+
+    shards: "List[ShardRuntime]"
+    pricing: PricingFunction
+    dataset: str = "default"
+    ledger: BillingLedger = field(default_factory=BillingLedger)
+    accountant: BudgetAccountant = field(default_factory=BudgetAccountant)
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(7))
+    policy: BrokerPolicy = field(default_factory=BrokerPolicy)
+    replica_confidence: float = 0.9
+    monitor: Optional[ShardHealthMonitor] = None
+    telemetry: "Optional[MetricsRegistry]" = None
+
+    def __post_init__(self) -> None:
+        if not self.shards:
+            raise ValueError("at least one shard is required")
+        if not 0.0 < self.replica_confidence <= 1.0:
+            raise ValueError("replica_confidence must be in (0, 1]")
+        if self.pricing.variance_model.n != sum(s.n for s in self.shards):
+            raise ValueError(
+                "cluster pricing variance model is calibrated for "
+                f"n={self.pricing.variance_model.n}, but the shards hold "
+                f"n={sum(s.n for s in self.shards)}"
+            )
+        self._station_view = _ClusterStationView(self)
+        self._planner_view = _ClusterPlannerView(self)
+        self._executor: "Optional[ThreadPoolExecutor]" = None
+        self._first_degraded_wall: "Optional[float]" = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(
+        cls,
+        values: np.ndarray,
+        k: int = 16,
+        shards: int = 4,
+        dataset: str = "default",
+        seed: int = 7,
+        base_price: float = 1.0,
+        loss_probability: float = 0.0,
+        partition: str = "even",
+        replicas: bool = True,
+        replica_confidence: float = 0.9,
+        monitor: Optional[ShardHealthMonitor] = None,
+    ) -> "ClusterBroker":
+        """Build the whole federation over a raw value column.
+
+        Seeded so that ``shards=1`` with loss-free channels reproduces
+        :meth:`PrivateRangeCountingService.from_values` bit-for-bit.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        runtimes = build_shards(
+            values,
+            k=k,
+            shards=shards,
+            dataset=dataset,
+            seed=seed,
+            base_price=base_price,
+            loss_probability=loss_probability,
+            partition=partition,
+            replicas=replicas,
+        )
+        pricing = InverseVariancePricing(
+            VarianceModel(n=len(values)), base_price=base_price
+        )
+        broker = cls(
+            shards=runtimes,
+            pricing=pricing,
+            dataset=dataset,
+            rng=np.random.default_rng(seed + 1),
+            replica_confidence=replica_confidence,
+            monitor=monitor,
+        )
+        if monitor is not None:
+            for runtime in runtimes:
+                monitor.attach(runtime)
+        return broker
+
+    # ------------------------------------------------------------------
+    # DataBroker-compatible surface
+    # ------------------------------------------------------------------
+    @property
+    def base_station(self) -> _ClusterStationView:
+        """Aggregate station view (versions, rates, merged samples)."""
+        return self._station_view
+
+    @property
+    def planner(self) -> _ClusterPlannerView:
+        """Aggregate planner view (merged plans, max required rate)."""
+        return self._planner_view
+
+    @property
+    def n(self) -> int:
+        return self._station_view.n
+
+    @property
+    def k(self) -> int:
+        return self._station_view.k
+
+    @property
+    def first_degraded_wall(self) -> "Optional[float]":
+        """``time.perf_counter()`` of the first degraded gather, if any.
+
+        Benchmarks subtract the fault-injection timestamp from this to
+        report failover latency.
+        """
+        return self._first_degraded_wall
+
+    def quote(self, spec: AccuracySpec) -> float:
+        """Cluster list price of an ``(α, δ)`` product."""
+        return self.pricing.price(spec.alpha, spec.delta)
+
+    def ensure_rate(self, p: float) -> None:
+        """Run (or top up to) collection rounds on all shards, concurrently."""
+        self._fan_out(lambda shard: shard.ensure_rate(p))
+
+    def answer(
+        self,
+        query: RangeQuery,
+        spec: AccuracySpec,
+        consumer: str = "anonymous",
+    ) -> ClusterAnswer:
+        """Scatter-gather one query (see :meth:`answer_batch`)."""
+        return self.answer_batch([query], spec, consumer=consumer)[0]
+
+    def answer_batch(
+        self,
+        queries: "List[RangeQuery]",
+        spec: "AccuracySpec | Sequence[AccuracySpec]",
+        consumer: str = "anonymous",
+    ) -> "List[ClusterAnswer]":
+        """Scatter a batch to every shard, gather, merge, and charge once.
+
+        Per-shard work goes through the vectorized
+        :meth:`~repro.core.broker.DataBroker.answer_batch`; shards run
+        concurrently for ``s > 1``.  A shard whose primary dies
+        mid-gather retries on its replica and only marks the merged
+        answers degraded.  The consolidated books are written *after*
+        the gather, in query order: one ledger transaction per query at
+        cluster list price and one accountant entry at the
+        parallel-composition ε′ (max over shards) -- so a failed gather
+        charges the consumer nothing.
+        """
+        if not queries:
+            raise ValueError("at least one query is required")
+        if isinstance(spec, AccuracySpec):
+            specs: "List[AccuracySpec]" = [spec] * len(queries)
+        else:
+            specs = list(spec)
+            if len(specs) != len(queries):
+                raise ValueError(
+                    f"got {len(specs)} specs for {len(queries)} queries; "
+                    "pass one spec per query or a single shared spec"
+                )
+        for query in queries:
+            if query.dataset not in ("default", self.dataset):
+                raise ValueError(
+                    f"query targets dataset {query.dataset!r}, cluster serves "
+                    f"{self.dataset!r}"
+                )
+        self.policy.admit_batch(consumer, specs)
+
+        s = len(self.shards)
+        shard_specs = [split_spec(q_spec, s) for q_spec in specs]
+
+        with self._timer("cluster.scatter_s"):
+            results = self._fan_out(
+                lambda shard: self._shard_answer(shard, queries, shard_specs, consumer)
+            )
+
+        degraded_ids = tuple(
+            shard.shard_id
+            for shard, (_, degraded) in zip(self.shards, results)
+            if degraded
+        )
+        if degraded_ids and self._first_degraded_wall is None:
+            self._first_degraded_wall = time.perf_counter()
+
+        # Gather + merge, then reconcile the consolidated books in query
+        # order: one entry per query, cluster price, parallel-composition ε′.
+        with self._timer("cluster.gather_s"):
+            n_total = float(self.n)
+            merged_plans: "List[PrivacyPlan]" = []
+            prices: "List[float]" = []
+            epsilons: "List[float]" = []
+            labels: "List[str]" = []
+            for i, (query, q_spec) in enumerate(zip(queries, specs)):
+                shard_plans = [answers[i].plan for answers, _ in results]
+                merged_plans.append(merge_plans(q_spec, shard_plans))
+                prices.append(self.pricing.price(q_spec.alpha, q_spec.delta))
+                epsilons.append(max(p.epsilon_prime for p in shard_plans))
+                labels.append(f"{consumer}:[{query.low},{query.high}]")
+
+            total_epsilon = sum(epsilons)
+            if not self.policy.can_release(consumer, total_epsilon):
+                raise PolicyViolationError(
+                    f"consumer {consumer!r} would exceed the per-consumer "
+                    "privacy cap"
+                )
+            if not self.accountant.can_afford(self.dataset, total_epsilon):
+                raise PrivacyBudgetExceededError(
+                    f"dataset {self.dataset!r}: batch of {len(queries)} "
+                    f"merged releases (ε′={total_epsilon:.6g}) would exceed "
+                    f"capacity {self.accountant.capacity:.6g}"
+                )
+            for q_spec, eps in zip(specs, epsilons):
+                self.policy.settle(consumer, eps)
+            self.accountant.charge_many(self.dataset, epsilons, labels)
+            txns = self.ledger.record_many([
+                dict(
+                    consumer=consumer,
+                    dataset=self.dataset,
+                    alpha=q_spec.alpha,
+                    delta=q_spec.delta,
+                    price=price,
+                    epsilon_prime=eps,
+                )
+                for q_spec, price, eps in zip(specs, prices, epsilons)
+            ])
+
+            merged: "List[ClusterAnswer]" = []
+            for i, (query, q_spec) in enumerate(zip(queries, specs)):
+                shard_answers = tuple(answers[i] for answers, _ in results)
+                raw = float(sum(a.raw_value for a in shard_answers))
+                estimate = float(sum(a.sample_estimate for a in shard_answers))
+                value = float(min(max(raw, 0.0), n_total))
+                merged.append(
+                    ClusterAnswer(
+                        value=value,
+                        raw_value=raw,
+                        sample_estimate=estimate,
+                        query=query,
+                        spec=q_spec,
+                        plan=merged_plans[i],
+                        price=prices[i],
+                        consumer=consumer,
+                        transaction_id=txns[i].transaction_id,
+                        shard_answers=shard_answers,
+                        degraded_shards=degraded_ids,
+                        delta_reported=degraded_delta(
+                            q_spec.delta, len(degraded_ids), self.replica_confidence
+                        ),
+                    )
+                )
+
+        self._emit("cluster.batches")
+        self._emit("cluster.answers", len(queries))
+        self._emit("cluster.epsilon_spent", total_epsilon)
+        if degraded_ids:
+            self._emit("cluster.degraded_answers", len(queries))
+        if self.telemetry is not None:
+            self.telemetry.set_gauge(
+                "cluster.shards_healthy",
+                float(sum(1 for shard in self.shards if shard.primary_alive)),
+            )
+        return merged
+
+    def replay(self, cached: PrivateAnswer, consumer: str) -> PrivateAnswer:
+        """Re-release a previously merged answer at ε′ = 0.
+
+        Mirrors :meth:`DataBroker.replay`: list price, zero budget, one
+        consolidated ledger entry showing the hand-over.
+        """
+        spec = cached.spec
+        self.policy.admit(consumer, spec)
+        price = self.pricing.price(spec.alpha, spec.delta)
+        self.policy.settle(consumer, 0.0)
+        txn = self.ledger.record(
+            consumer=consumer,
+            dataset=self.dataset,
+            alpha=spec.alpha,
+            delta=spec.delta,
+            price=price,
+            epsilon_prime=0.0,
+        )
+        self._emit("cluster.replays")
+        return dataclasses.replace(
+            cached,
+            consumer=consumer,
+            price=price,
+            transaction_id=txn.transaction_id,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _shard_answer(
+        self,
+        shard: ShardRuntime,
+        queries: "List[RangeQuery]",
+        shard_specs: "List[AccuracySpec]",
+        consumer: str,
+    ) -> "Tuple[List[PrivateAnswer], bool]":
+        with self._timer(f"cluster.shard{shard.shard_id}.answer_s"):
+            answers, degraded = shard.answer_batch(queries, shard_specs, consumer)
+        if degraded:
+            self._emit(f"cluster.shard{shard.shard_id}.failover_batches")
+        return answers, degraded
+
+    def _fan_out(self, fn):
+        """Apply ``fn`` to every shard, concurrently when ``s > 1``.
+
+        Results come back in shard order.  Determinism is preserved
+        under concurrency because every shard owns independent rng
+        streams (devices, channel, broker noise).
+        """
+        if len(self.shards) == 1:
+            return [fn(self.shards[0])]
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=len(self.shards),
+                thread_name_prefix="repro-cluster",
+            )
+        futures = [self._executor.submit(fn, shard) for shard in self.shards]
+        return [f.result() for f in futures]
+
+    def _timer(self, name: str):
+        if self.telemetry is None:
+            return nullcontext()
+        return self.telemetry.timer(name)
+
+    def _emit(self, name: str, amount: float = 1.0) -> None:
+        if self.telemetry is not None:
+            self.telemetry.inc(name, amount)

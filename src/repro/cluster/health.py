@@ -1,0 +1,207 @@
+"""Shard health: heartbeat-driven failure detection and failover routing.
+
+:class:`ShardHealthMonitor` runs one
+:class:`~repro.iot.heartbeat.HeartbeatService` per shard over the
+shard's *primary* network and event scheduler.  Beacons ride the same
+lossy :class:`~repro.iot.channel.Channel` as everything else, so fault
+injection is physical: cut the primary's link
+(:meth:`~repro.cluster.shard.ShardRuntime.cut_primary_link`) and the
+beacons start getting lost; after ``miss_threshold`` silent intervals
+the monitor declares the primary dead and flips the shard's routing to
+the replica.  Every failover is recorded as a :class:`FailoverEvent`
+and counted in the attached
+:class:`~repro.serving.telemetry.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import DeliveryError
+from repro.iot.heartbeat import HeartbeatService
+from repro.cluster.shard import ShardRuntime
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.serving.telemetry import MetricsRegistry
+
+__all__ = ["FailoverEvent", "ShardHealthMonitor"]
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One detected primary failure, in the shard's simulated time."""
+
+    shard_id: int
+    detected_at: float
+    dead_devices: Tuple[int, ...]
+
+
+@dataclass
+class ShardHealthMonitor:
+    """Watches shard primaries through per-shard heartbeat services.
+
+    Parameters
+    ----------
+    interval:
+        Simulated seconds between a device's beacons.
+    miss_threshold:
+        Consecutive silent intervals before a device counts as dead.
+    quorum:
+        Fraction of a shard's devices that must be *dead* (beacons no
+        longer arriving at the primary) before the primary itself is
+        declared down.  Beacons stop arriving when the primary's radio
+        is gone, so "every device silent at once" is the signature of a
+        primary failure rather than of scattered device deaths.
+    telemetry:
+        Optional metrics registry; failovers land on
+        ``cluster.failovers`` and per-shard health gauges.
+    """
+
+    interval: float = 60.0
+    miss_threshold: int = 2
+    quorum: float = 1.0
+    telemetry: "Optional[MetricsRegistry]" = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quorum <= 1.0:
+            raise ValueError("quorum must be in (0, 1]")
+        self._shards: "Dict[int, ShardRuntime]" = {}
+        self._heartbeats: "Dict[int, HeartbeatService]" = {}
+        self._events: "List[FailoverEvent]" = []
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, shard: ShardRuntime) -> HeartbeatService:
+        """Start watching one shard's primary."""
+        if shard.shard_id in self._shards:
+            raise ValueError(f"shard {shard.shard_id} already attached")
+        service = HeartbeatService(
+            network=shard.primary_station.network,
+            scheduler=shard.scheduler,
+            interval=self.interval,
+            miss_threshold=self.miss_threshold,
+        )
+        for device in shard.primary_station.devices.values():
+            service.track(device)
+        self._shards[shard.shard_id] = shard
+        self._heartbeats[shard.shard_id] = service
+        self._set_gauge(shard.shard_id, healthy=True)
+        return service
+
+    def heartbeat_for(self, shard_id: int) -> HeartbeatService:
+        return self._heartbeats[shard_id]
+
+    @property
+    def events(self) -> "Tuple[FailoverEvent, ...]":
+        """Failovers detected so far, oldest first."""
+        return tuple(self._events)
+
+    # ------------------------------------------------------------------
+    # detection loop
+    # ------------------------------------------------------------------
+    def sweep(self, rounds: int = 1) -> "List[FailoverEvent]":
+        """Advance every shard's beacon loop by ``rounds`` intervals.
+
+        Beacons lost on the air (cut link) raise
+        :class:`~repro.errors.DeliveryError`; the monitor swallows the
+        loss -- a lost beacon *is* the signal -- and the silent device
+        goes stale.  When at least ``quorum`` of a shard's devices are
+        silent past the miss threshold, the primary is declared dead:
+        the shard flips to replica routing and a :class:`FailoverEvent`
+        is recorded.  Returns the events from this sweep.
+        """
+        fresh: "List[FailoverEvent]" = []
+        for _ in range(max(1, rounds)):
+            for shard_id in sorted(self._shards):
+                shard = self._shards[shard_id]
+                self._advance_one_interval(shard)
+                event = self._check(shard)
+                if event is not None:
+                    fresh.append(event)
+        return fresh
+
+    def _advance_one_interval(self, shard: ShardRuntime) -> None:
+        scheduler = shard.scheduler
+        horizon = scheduler.clock.now + self.interval
+        while True:
+            fire = scheduler.next_fire_time()
+            if fire is None or fire > horizon:
+                break
+            try:
+                scheduler.run(until=fire)
+            except DeliveryError:
+                # The beacon died on the air; its schedule chain stops and
+                # the device goes silent -- which is what we detect.
+                continue
+        if scheduler.clock.now < horizon:
+            scheduler.clock.advance(horizon - scheduler.clock.now)
+
+    def _check(self, shard: ShardRuntime) -> "Optional[FailoverEvent]":
+        if not shard.primary_alive:
+            return None
+        service = self._heartbeats[shard.shard_id]
+        dead = service.dead_devices()
+        total = shard.k
+        if total == 0 or len(dead) < self.quorum * total:
+            return None
+        shard.fail_primary()
+        event = FailoverEvent(
+            shard_id=shard.shard_id,
+            detected_at=shard.scheduler.clock.now,
+            dead_devices=dead,
+        )
+        self._events.append(event)
+        self._set_gauge(shard.shard_id, healthy=False)
+        if self.telemetry is not None:
+            self.telemetry.inc("cluster.failovers")
+        return event
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def kill_primary(self, shard_id: int, detect: bool = True) -> None:
+        """Simulate a primary station death: cut its radio link.
+
+        Beacons (and any primary collection round) start failing on the
+        air.  With ``detect=True`` the monitor immediately sweeps
+        ``miss_threshold`` intervals so routing flips; with
+        ``detect=False`` the death stays latent until the next
+        :meth:`sweep` or until a query trips over it mid-round.
+        """
+        shard = self._shards[shard_id]
+        shard.cut_primary_link()
+        if detect:
+            self.sweep(rounds=self.miss_threshold)
+
+    def revive_primary(self, shard_id: int, loss_probability: float = 0.0) -> None:
+        """Restore a killed primary's link and routing."""
+        shard = self._shards[shard_id]
+        shard.restore_primary_link(loss_probability)
+        service = self._heartbeats[shard_id]
+        for node_id in shard.device_ids:
+            if not service.is_alive(node_id):
+                # Beacon chains died with the link; restart them.
+                service.fail_device(node_id)
+                service.revive_device(node_id)
+        self.sweep(rounds=1)
+        if service.live_devices():
+            shard.revive_primary()
+            self._set_gauge(shard_id, healthy=True)
+
+    def healthy_shards(self) -> "Tuple[int, ...]":
+        return tuple(
+            shard_id for shard_id in sorted(self._shards)
+            if self._shards[shard_id].primary_alive
+        )
+
+    def _set_gauge(self, shard_id: int, healthy: bool) -> None:
+        if self.telemetry is not None:
+            self.telemetry.set_gauge(
+                f"cluster.shard{shard_id}.primary_healthy",
+                1.0 if healthy else 0.0,
+            )
+            self.telemetry.set_gauge(
+                "cluster.shards_healthy", float(len(self.healthy_shards()))
+            )

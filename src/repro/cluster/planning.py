@@ -1,0 +1,102 @@
+"""Accuracy splitting and plan merging for scatter-gather queries.
+
+A cluster query with target ``(α, δ)`` over ``n = Σ n_i`` records is
+answered by ``s`` shards, each releasing an independent
+``(α, δ^{1/s})``-range counting over its own ``n_i`` records:
+
+* **Tolerance splits by shard size.**  Shard ``i``'s absolute error is
+  within ``α·n_i`` with its own confidence, and ``Σ α·n_i = α·n`` --
+  the sub-α allocation is weighted by shard size for free because the
+  planner works in relative error.
+* **Confidence multiplies.**  The per-shard noise draws and sampling
+  errors are independent, so all shards landing inside their tolerance
+  has probability ``≥ (δ^{1/s})^s = δ``.
+* **Privacy composes in parallel.**  Shards hold *disjoint* device
+  fleets, so one consumer query touches each record at most once; the
+  cluster-level ε′ charged for the release is the *maximum* shard ε′
+  (parallel composition), not the sum.
+
+With ``s = 1`` the split is the identity and the merged plan is the
+shard plan object itself, which is what makes the single-shard cluster
+bit-identical to the plain broker path.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.core.query import AccuracySpec
+from repro.privacy.optimizer import PrivacyPlan
+
+__all__ = ["split_spec", "merge_plans", "degraded_delta"]
+
+
+def split_spec(spec: AccuracySpec, shards: int) -> AccuracySpec:
+    """The per-shard accuracy target for an ``s``-shard scatter.
+
+    Identity for ``shards == 1`` (same object, preserving bit-identical
+    planning); otherwise ``(α, δ^{1/s})``.
+    """
+    if shards <= 0:
+        raise ValueError("shards must be positive")
+    if shards == 1:
+        return spec
+    return AccuracySpec(alpha=spec.alpha, delta=spec.delta ** (1.0 / shards))
+
+
+def merge_plans(spec: AccuracySpec, plans: Sequence[PrivacyPlan]) -> PrivacyPlan:
+    """Fold per-shard plans into the plan reported on the merged answer.
+
+    The merged plan describes the *release the consumer actually got*:
+
+    * ``alpha_prime`` -- shard-size-weighted mean (each shard reserved
+      ``α'_i·n_i`` of its tolerance for sampling error).
+    * ``delta_prime`` -- product of the per-shard sampling confidences.
+    * ``epsilon`` / ``epsilon_prime`` / ``sensitivity`` -- maxima; the
+      privacy guarantee of the merged release under parallel
+      composition over disjoint shards.
+    * ``noise_scale`` -- ``sqrt(Σ b_i²)``, so the merged plan's
+      ``noise_variance`` (``2b²``) equals the exact summed variance
+      ``Σ 2 b_i²`` of the independent shard draws.
+    * ``p`` -- minimum shard rate (the weakest sample backing the
+      answer); ``k``/``n`` -- fleet totals.
+
+    A single plan is returned untouched (bit-identity at ``s = 1``).
+    """
+    if not plans:
+        raise ValueError("at least one shard plan is required")
+    if len(plans) == 1:
+        return plans[0]
+    n_total = sum(p.n for p in plans)
+    k_total = sum(p.k for p in plans)
+    delta_prime = 1.0
+    for p in plans:
+        delta_prime *= p.delta_prime
+    return PrivacyPlan(
+        alpha=spec.alpha,
+        delta=spec.delta,
+        alpha_prime=sum(p.alpha_prime * p.n for p in plans) / n_total,
+        delta_prime=delta_prime,
+        epsilon=max(p.epsilon for p in plans),
+        epsilon_prime=max(p.epsilon_prime for p in plans),
+        sensitivity=max(p.sensitivity for p in plans),
+        noise_scale=math.sqrt(sum(p.noise_scale ** 2 for p in plans)),
+        p=min(p.p for p in plans),
+        k=k_total,
+        n=n_total,
+    )
+
+
+def degraded_delta(delta: float, degraded_shards: int, factor: float) -> float:
+    """Reported confidence after ``degraded_shards`` replica failovers.
+
+    A replica answers from a mirrored store, so the math of its release
+    is intact -- but the operator may not trust a just-failed-over shard
+    at full confidence (the mirror could trail the primary by an
+    in-flight round).  Each degraded shard multiplies the reported δ by
+    ``factor ∈ (0, 1]``.
+    """
+    if not 0.0 < factor <= 1.0:
+        raise ValueError("degradation factor must be in (0, 1]")
+    return delta * factor ** degraded_shards

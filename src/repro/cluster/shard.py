@@ -1,0 +1,338 @@
+"""Shard runtimes: one primary (plus optional replica) station per shard.
+
+:func:`build_shards` partitions a raw value column over ``k`` devices
+(any :mod:`repro.datasets.partition` strategy), groups the devices into
+``s`` contiguous shards with *global* node ids, and stands up one
+independent stack per shard -- topology, lossy channel, network, base
+station, pricing sheet calibrated to the shard's ``n_i``, and a
+:class:`~repro.core.broker.DataBroker`.
+
+Seeding is arranged so the single-shard cluster is **bit-identical** to
+:meth:`~repro.core.service.PrivateRangeCountingService.from_values` with
+the same seed: shard 0's channel rng is ``default_rng(seed)``, its
+broker rng ``default_rng(seed + 1)``, and every device keeps the global
+``default_rng(seed * 100_003 + node_id)`` stream.
+
+A replica station shares the shard's devices but talks over its *own*
+network (its own channel randomness), and mirrors the primary's store
+through :meth:`~repro.iot.base_station.BaseStation.sync_from` on every
+committed round -- so failover answers come from the same collected
+sample, with fresh and independent noise randomness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.broker import DataBroker
+from repro.core.query import AccuracySpec, PrivateAnswer, RangeQuery
+from repro.datasets.partition import (
+    partition_dirichlet,
+    partition_even,
+    partition_range_sharded,
+    partition_round_robin,
+)
+from repro.errors import ClusterError, DeliveryError, ShardUnavailableError
+from repro.estimators.base import NodeData, NodeSample
+from repro.iot.base_station import BaseStation
+from repro.iot.channel import Channel
+from repro.iot.device import SmartDevice
+from repro.iot.network import Network
+from repro.iot.runtime import EventScheduler
+from repro.iot.topology import FlatTopology
+from repro.pricing.functions import InverseVariancePricing
+from repro.pricing.variance_model import VarianceModel
+
+__all__ = ["ShardRuntime", "build_shards", "PARTITION_STRATEGIES"]
+
+# Seed offsets separating the independent rng streams of a shard's
+# components; large odd constants so streams of neighbouring shards and
+# the device streams (seed * 100_003 + node_id) never collide.
+_SHARD_STRIDE = 1_000_003
+_BROKER_OFFSET = 1
+_REPLICA_NET_OFFSET = 700_001
+_REPLICA_BROKER_OFFSET = 500_009
+
+
+def _partition_wrapper(fn: "Callable[..., list]", needs_seed: bool):
+    def apply(values: np.ndarray, k: int, seed: int) -> "list[np.ndarray]":
+        if needs_seed:
+            return fn(values, k, seed=seed)
+        return fn(values, k)
+
+    return apply
+
+
+#: Partition strategies accepted by :func:`build_shards` (and the CLI).
+PARTITION_STRATEGIES = {
+    "even": _partition_wrapper(partition_even, needs_seed=False),
+    "round-robin": _partition_wrapper(partition_round_robin, needs_seed=False),
+    "dirichlet": _partition_wrapper(partition_dirichlet, needs_seed=True),
+    "range-sharded": _partition_wrapper(partition_range_sharded, needs_seed=False),
+}
+
+
+@dataclass
+class ShardRuntime:
+    """One shard of the federation: primary broker, optional replica.
+
+    The primary and replica brokers share the shard-level ledger and
+    accountant (shard books are internal transfer accounting; the
+    consumer-facing books live on the
+    :class:`~repro.cluster.broker.ClusterBroker`), so a failover never
+    forks the shard's history.
+    """
+
+    shard_id: int
+    primary: DataBroker
+    replica: Optional[DataBroker] = None
+    scheduler: EventScheduler = field(default_factory=EventScheduler)
+    device_ids: Tuple[int, ...] = ()
+    primary_alive: bool = True
+
+    @property
+    def primary_station(self) -> BaseStation:
+        return self.primary.base_station
+
+    @property
+    def replica_station(self) -> Optional[BaseStation]:
+        return self.replica.base_station if self.replica is not None else None
+
+    @property
+    def k(self) -> int:
+        """Device count of this shard."""
+        return self.primary_station.k
+
+    @property
+    def n(self) -> int:
+        """Record count of this shard."""
+        return self.primary_station.n
+
+    @property
+    def has_failover(self) -> bool:
+        return self.replica is not None
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def active_broker(self) -> DataBroker:
+        """The broker queries should route to right now."""
+        if self.primary_alive:
+            return self.primary
+        if self.replica is None:
+            raise ShardUnavailableError(
+                f"shard {self.shard_id}: primary station is down and no "
+                "replica is configured"
+            )
+        return self.replica
+
+    def answer_batch(
+        self,
+        queries: "List[RangeQuery]",
+        specs: "Sequence[AccuracySpec]",
+        consumer: str,
+    ) -> "Tuple[List[PrivateAnswer], bool]":
+        """Answer on the primary, failing over to the replica mid-gather.
+
+        Returns ``(answers, degraded)`` where ``degraded`` is True when
+        the replica served the batch.  A mid-round
+        :class:`~repro.errors.DeliveryError` on the primary (dead radio
+        discovered during a top-up round) marks the primary down and
+        retries once on the replica; broker rounds are transactional, so
+        the aborted primary attempt left no partial store and no
+        charges.
+        """
+        if self.primary_alive:
+            try:
+                return self.primary.answer_batch(queries, list(specs), consumer), False
+            except DeliveryError:
+                self.primary_alive = False
+        if self.replica is None:
+            raise ShardUnavailableError(
+                f"shard {self.shard_id}: primary station is down and no "
+                "replica is configured"
+            )
+        return self.replica.answer_batch(queries, list(specs), consumer), True
+
+    def ensure_rate(self, p: float) -> None:
+        """Run (or top up to) a collection round on the active station.
+
+        A primary whose radio died mid-round fails over to the replica
+        (which runs the round over its own network); the aborted primary
+        round was transactional, so no partial store is left behind.
+        """
+        if self.primary_alive:
+            try:
+                self.primary.base_station.ensure_rate(p)
+                return
+            except DeliveryError:
+                self.primary_alive = False
+        if self.replica is None:
+            raise ShardUnavailableError(
+                f"shard {self.shard_id}: primary station is down and no "
+                "replica is configured"
+            )
+        self.replica.base_station.ensure_rate(p)
+
+    def samples(self) -> "List[NodeSample]":
+        """Stored per-node samples of the active station."""
+        return self.active_broker().base_station.samples()
+
+    @property
+    def sampling_rate(self) -> float:
+        return self.active_broker().base_station.sampling_rate
+
+    # ------------------------------------------------------------------
+    # fault injection
+    # ------------------------------------------------------------------
+    def fail_primary(self) -> None:
+        """Hard-kill the primary station (process death)."""
+        self.primary_alive = False
+
+    def revive_primary(self) -> None:
+        """Bring the primary back; it re-syncs from the replica's store."""
+        if not self.primary_alive:
+            if self.replica is not None:
+                self.primary_station.sync_from(self.replica.base_station)
+            self.primary_alive = True
+
+    def cut_primary_link(self) -> None:
+        """Radio-level fault: the primary's channel loses every frame.
+
+        Heartbeat beacons and collection rounds over the primary network
+        start raising :class:`~repro.errors.DeliveryError`; query answers
+        keep working until one needs the radio, which is exactly the
+        "dead primary discovered mid-round" scenario.
+        """
+        self.primary_station.network.channel.loss_probability = 1.0
+
+    def restore_primary_link(self, loss_probability: float = 0.0) -> None:
+        """Undo :meth:`cut_primary_link`."""
+        self.primary_station.network.channel.loss_probability = loss_probability
+
+
+def build_shards(
+    values: np.ndarray,
+    k: int,
+    shards: int,
+    dataset: str = "default",
+    seed: int = 7,
+    base_price: float = 1.0,
+    loss_probability: float = 0.0,
+    partition: str = "even",
+    replicas: bool = True,
+) -> "List[ShardRuntime]":
+    """Partition a value column over ``k`` devices in ``s`` shard stacks.
+
+    Devices keep global node ids ``1..k`` and are grouped into shards in
+    contiguous blocks (``numpy.array_split`` of the id range), so shard
+    membership is stable across runs and the single-shard build is
+    exactly the :meth:`from_values` fleet.
+
+    Raises :class:`~repro.errors.ClusterError` when a shard would end up
+    with zero devices or zero records (re-partition or lower ``shards``).
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if len(values) == 0:
+        raise ClusterError("cannot build a cluster over an empty dataset")
+    if shards <= 0:
+        raise ClusterError("shards must be positive")
+    if k < shards:
+        raise ClusterError(
+            f"cannot spread {k} devices across {shards} shards; "
+            "need at least one device per shard"
+        )
+    try:
+        strategy = PARTITION_STRATEGIES[partition]
+    except KeyError:
+        raise ClusterError(
+            f"unknown partition strategy {partition!r}; choose one of "
+            f"{sorted(PARTITION_STRATEGIES)}"
+        ) from None
+
+    node_values = strategy(values, k, seed)
+    id_blocks = np.array_split(np.arange(1, k + 1), shards)
+
+    runtimes: "List[ShardRuntime]" = []
+    for shard_id, block in enumerate(id_blocks):
+        device_ids = tuple(int(i) for i in block)
+        shard_n = sum(len(node_values[i - 1]) for i in device_ids)
+        if not device_ids or shard_n == 0:
+            raise ClusterError(
+                f"shard {shard_id} would hold {len(device_ids)} devices "
+                f"and {shard_n} records under partition={partition!r}; "
+                "every shard needs at least one device and one record"
+            )
+        topology = FlatTopology(device_ids=list(device_ids))
+        primary_network = Network(
+            topology=topology,
+            channel=Channel(
+                loss_probability=loss_probability,
+                rng=np.random.default_rng(seed + shard_id * _SHARD_STRIDE),
+            ),
+        )
+        primary_station = BaseStation(network=primary_network)
+        devices: "Dict[int, SmartDevice]" = {}
+        for node_id in device_ids:
+            device = SmartDevice(
+                node_id=node_id,
+                data=NodeData(node_id=node_id, values=node_values[node_id - 1]),
+                rng=np.random.default_rng(seed * 100_003 + node_id),
+            )
+            devices[node_id] = device
+            primary_station.register(device)
+        pricing = InverseVariancePricing(
+            VarianceModel(n=shard_n), base_price=base_price
+        )
+        primary = DataBroker(
+            base_station=primary_station,
+            pricing=pricing,
+            dataset=dataset,
+            rng=np.random.default_rng(
+                seed + _BROKER_OFFSET + shard_id * _SHARD_STRIDE
+            ),
+        )
+
+        replica: Optional[DataBroker] = None
+        if replicas:
+            replica_network = Network(
+                topology=FlatTopology(device_ids=list(device_ids)),
+                channel=Channel(
+                    loss_probability=loss_probability,
+                    rng=np.random.default_rng(
+                        seed + _REPLICA_NET_OFFSET + shard_id * _SHARD_STRIDE
+                    ),
+                ),
+            )
+            replica_station = BaseStation(network=replica_network)
+            for node_id in device_ids:
+                replica_station.register(devices[node_id])
+            replica = DataBroker(
+                base_station=replica_station,
+                pricing=pricing,
+                dataset=dataset,
+                ledger=primary.ledger,
+                accountant=primary.accountant,
+                rng=np.random.default_rng(
+                    seed + _REPLICA_BROKER_OFFSET + shard_id * _SHARD_STRIDE
+                ),
+            )
+            # Mirror every committed primary round into the replica so a
+            # failover answers from the same collected sample.
+            primary_station.subscribe_commits(
+                lambda _version, src=primary_station, dst=replica_station:
+                dst.sync_from(src)
+            )
+
+        runtimes.append(
+            ShardRuntime(
+                shard_id=shard_id,
+                primary=primary,
+                replica=replica,
+                device_ids=device_ids,
+            )
+        )
+    return runtimes

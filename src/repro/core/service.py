@@ -67,6 +67,9 @@ class PrivateRangeCountingService:
         pricing: Optional[PricingFunction] = None,
         loss_probability: float = 0.0,
         initial_rate: Optional[float] = None,
+        shards: int = 1,
+        partition: str = "even",
+        replicas: bool = True,
     ) -> "PrivateRangeCountingService":
         """Build the full stack over a raw value column.
 
@@ -75,10 +78,45 @@ class PrivateRangeCountingService:
         inverse-variance sheet at ``base_price``.  When ``initial_rate`` is
         given, one collection round runs immediately; otherwise the broker
         collects lazily on the first query.
+
+        With ``shards > 1`` the fleet is federated across that many
+        independent base stations behind a scatter-gather
+        :class:`~repro.cluster.broker.ClusterBroker` (see
+        :mod:`repro.cluster` and ``docs/CLUSTER.md``); ``partition``
+        picks the device-data partition strategy and ``replicas``
+        controls per-shard failover stations.  ``shards=1`` keeps the
+        plain single-station broker (bit-identical to earlier releases).
         """
         values = np.asarray(values, dtype=np.float64)
         if len(values) == 0:
             raise ValueError("cannot trade over an empty dataset")
+        if shards > 1:
+            if pricing is not None:
+                raise ValueError(
+                    "custom pricing is not supported with shards > 1; the "
+                    "cluster calibrates per-shard and cluster-level sheets "
+                    "itself"
+                )
+            from repro.cluster.broker import ClusterBroker
+
+            cluster = ClusterBroker.from_values(
+                values,
+                k=k,
+                shards=shards,
+                dataset=dataset,
+                seed=seed,
+                base_price=base_price,
+                loss_probability=loss_probability,
+                partition=partition,
+                replicas=replicas,
+            )
+            market = Marketplace(broker=cluster)
+            service = cls(
+                broker=cluster, market=market, truth=SortedColumn(values)
+            )
+            if initial_rate is not None:
+                cluster.ensure_rate(initial_rate)
+            return service
         shards = partition_even(values, k)
         topology = FlatTopology.with_devices(k)
         channel = Channel(

@@ -27,6 +27,8 @@ __all__ = [
     "RateLimitedError",
     "QuotaExceededError",
     "GatewayClosedError",
+    "ClusterError",
+    "ShardUnavailableError",
 ]
 
 
@@ -115,3 +117,12 @@ class QuotaExceededError(ServingError):
 
 class GatewayClosedError(ServingError):
     """A request was submitted to a gateway that is not running."""
+
+
+class ClusterError(ReproError):
+    """Base class for failures of the multi-station federation layer."""
+
+
+class ShardUnavailableError(ClusterError):
+    """A shard cannot answer: its primary station is down and no live
+    replica can take over the gather step."""

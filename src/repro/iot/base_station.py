@@ -10,16 +10,19 @@ per-node samples to the broker layer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.errors import InsufficientSamplesError
+from repro.errors import DeliveryError, InsufficientSamplesError
 from repro.estimators.base import NodeSample
 from repro.iot.device import SmartDevice
 from repro.iot.messages import Heartbeat, SampleReport, SampleRequest, TopUpRequest
 from repro.iot.network import Network
 from repro.iot.topology import BASE_STATION_ID
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
+    from repro.iot.heartbeat import HeartbeatService
 
 __all__ = ["BaseStation"]
 
@@ -42,10 +45,12 @@ class BaseStation:
 
     network: Network
     devices: Dict[int, SmartDevice] = field(default_factory=dict)
+    liveness: "Optional[HeartbeatService]" = None
 
     def __post_init__(self) -> None:
         self._store: Dict[int, NodeSample] = {}
         self._rate: float = 0.0
+        self._last_round_skipped: Tuple[int, ...] = ()
         # Cached node-id-ordered view of the store, plus a version counter
         # so broker-side caches can detect staleness.  Invalidated whenever
         # a collection round commits (see :meth:`_commit`).
@@ -140,6 +145,35 @@ class BaseStation:
             p=shipment.p,
         )
 
+    def _device_live(self, node_id: int) -> bool:
+        """Whether the liveness service (if any) considers a device alive.
+
+        With no bound :class:`~repro.iot.heartbeat.HeartbeatService`, or
+        for devices it does not track, every device is presumed alive
+        (the pre-liveness behaviour).
+        """
+        if self.liveness is None or not self.liveness.is_tracked(node_id):
+            return True
+        return self.liveness.is_alive(node_id)
+
+    def _probe_skipped(self, node_id: int, p: float) -> None:
+        """Send one metered retry probe to a device skipped as dead.
+
+        The probe is a real :class:`SampleRequest` on the air (the radio
+        pays for it either way); a delivery failure just confirms the
+        liveness verdict and the round moves on instead of stalling.
+        """
+        request = SampleRequest(sender=BASE_STATION_ID, receiver=node_id, p=p)
+        try:
+            self.network.send(request)
+        except DeliveryError:
+            pass
+
+    @property
+    def last_round_skipped(self) -> Tuple[int, ...]:
+        """Device ids skipped as dead during the most recent round."""
+        return self._last_round_skipped
+
     def collect(self, p: float) -> None:
         """Run a fresh collection round at rate ``p`` across the fleet.
 
@@ -147,13 +181,24 @@ class BaseStation:
         when *every* device's shipment arrives, so a mid-round
         :class:`~repro.errors.DeliveryError` never leaves a partial store
         masquerading as a complete one.
+
+        When a :class:`~repro.iot.heartbeat.HeartbeatService` is bound via
+        ``liveness``, devices it reports dead are skipped (after one
+        metered retry probe) so a failed device degrades coverage instead
+        of stalling the round.  Skipped ids land in
+        :attr:`last_round_skipped`.
         """
         if not 0.0 < p <= 1.0:
             raise ValueError(f"sampling rate must be in (0, 1], got {p}")
         if not self.devices:
             raise ValueError("no devices registered")
         staged: Dict[int, NodeSample] = {}
+        skipped: List[int] = []
         for node_id, device in sorted(self.devices.items()):
+            if not self._device_live(node_id):
+                self._probe_skipped(node_id, p)
+                skipped.append(node_id)
+                continue
             request = SampleRequest(
                 sender=BASE_STATION_ID, receiver=node_id, p=p
             )
@@ -161,6 +206,12 @@ class BaseStation:
             shipment = device.handle(request)
             self.network.send(shipment)
             self._receive(staged, shipment)
+        if not staged:
+            raise InsufficientSamplesError(
+                "every registered device failed its liveness check; "
+                "no samples collected"
+            )
+        self._last_round_skipped = tuple(skipped)
         self._commit(staged, p)
 
     def top_up(self, new_p: float) -> None:
@@ -179,7 +230,14 @@ class BaseStation:
         if abs(new_p - self._rate) < 1e-15:
             return
         staged = dict(self._store)
+        skipped: List[int] = []
         for node_id, device in sorted(self.devices.items()):
+            if not self._device_live(node_id):
+                # A skipped node keeps its stale (lower-rate) sample; the
+                # per-node ``p`` on the NodeSample keeps estimation honest.
+                self._probe_skipped(node_id, new_p)
+                skipped.append(node_id)
+                continue
             request = TopUpRequest(
                 sender=BASE_STATION_ID,
                 receiver=node_id,
@@ -190,6 +248,7 @@ class BaseStation:
             shipment = device.handle(request)
             self.network.send(shipment)
             self._receive(staged, shipment, merge=True)
+        self._last_round_skipped = tuple(skipped)
         self._commit(staged, new_p)
 
     def ensure_rate(self, p: float) -> None:
@@ -238,3 +297,28 @@ class BaseStation:
     def sample_volume(self) -> int:
         """Total ``(value, rank)`` pairs currently stored."""
         return sum(len(s) for s in self._store.values())
+
+    # ------------------------------------------------------------------
+    # replica sync (cluster layer)
+    # ------------------------------------------------------------------
+    def export_store(self) -> "tuple[Dict[int, NodeSample], float]":
+        """Snapshot of the committed store and its rate, for replica sync.
+
+        The dict shell is a copy; the :class:`NodeSample` payloads are the
+        shared, immutable-by-convention objects.
+        """
+        return dict(self._store), self._rate
+
+    def sync_from(self, other: "BaseStation") -> None:
+        """Adopt another station's committed store (replica mirroring).
+
+        Used by :mod:`repro.cluster` to keep a shard's replica station fed
+        from the primary's collection rounds without a second pass over
+        the radio.  Commits through the normal transactional path, so the
+        replica's ``store_version`` bumps and its commit listeners fire.
+        A primary with no committed round yet is a no-op.
+        """
+        store, rate = other.export_store()
+        if not store:
+            return
+        self._commit(store, rate)

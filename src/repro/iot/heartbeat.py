@@ -111,6 +111,10 @@ class HeartbeatService:
         """Total beacons delivered so far."""
         return self._beacons_sent
 
+    def is_tracked(self, node_id: int) -> bool:
+        """Whether this service is beaconing for ``node_id``."""
+        return node_id in self._devices
+
     def last_seen(self, node_id: int) -> float:
         """Simulated time of the device's last beacon (or tracking start)."""
         try:

@@ -9,8 +9,9 @@ clock by the observed latency.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Deque, List, Optional
 
 import numpy as np
 
@@ -51,6 +52,13 @@ class Network:
         Cost accounting; a fresh meter by default.
     max_retries:
         Additional attempts after the first before giving up.
+    delivery_log_limit:
+        Ring-buffer capacity of the per-message audit log.  Under
+        sustained serving load the log would otherwise grow without
+        bound; only the newest ``delivery_log_limit`` records are kept.
+        Pass ``None`` to opt out and keep every record.  Aggregate
+        totals (the cost meter and the running counters below) stay
+        exact regardless of eviction.
     """
 
     topology: Topology = field(default_factory=lambda: FlatTopology.with_devices(1))
@@ -58,16 +66,35 @@ class Network:
     meter: CommunicationMeter = field(default_factory=CommunicationMeter)
     clock: SimulationClock = field(default_factory=SimulationClock)
     max_retries: int = 3
+    delivery_log_limit: Optional[int] = 4096
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
-        self._log: List[DeliveryRecord] = []
+        if self.delivery_log_limit is not None and self.delivery_log_limit <= 0:
+            raise ValueError("delivery_log_limit must be positive or None")
+        self._log: Deque[DeliveryRecord] = deque(maxlen=self.delivery_log_limit)
+        self._delivered_count = 0
+        self._attempt_count = 0
 
     @property
     def deliveries(self) -> List[DeliveryRecord]:
-        """Audit log of successful deliveries, oldest first."""
+        """Audit log of successful deliveries, oldest first.
+
+        Bounded by ``delivery_log_limit``; use :attr:`delivered_count` /
+        :attr:`attempt_count` for exact lifetime totals.
+        """
         return list(self._log)
+
+    @property
+    def delivered_count(self) -> int:
+        """Lifetime count of successful deliveries (survives log eviction)."""
+        return self._delivered_count
+
+    @property
+    def attempt_count(self) -> int:
+        """Lifetime count of transmission attempts, including lost frames."""
+        return self._attempt_count
 
     def send(self, message: Message) -> DeliveryRecord:
         """Deliver ``message``, retrying lost attempts.
@@ -84,6 +111,7 @@ class Network:
         attempts = 0
         while attempts <= self.max_retries:
             attempts += 1
+            self._attempt_count += 1
             self.meter.charge(message, hops)
             if self.channel.attempt_succeeds(hops):
                 latency = self.channel.sample_latency(hops)
@@ -98,6 +126,7 @@ class Network:
                     delivered_at=delivered_at,
                 )
                 self._log.append(record)
+                self._delivered_count += 1
                 return record
         raise DeliveryError(
             f"message {type(message).__name__} from {message.sender} to "

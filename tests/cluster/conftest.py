@@ -1,0 +1,25 @@
+"""Shared fixtures for the cluster-layer tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture(scope="module")
+def uniform_values():
+    """4 000 uniform records on [0, 100) -- enough for paper-style specs."""
+    return np.random.default_rng(42).uniform(0.0, 100.0, 4000)
+
+
+@pytest.fixture
+def queries_and_specs():
+    """A small mixed-tier workload: (low, high, alpha, delta) rows."""
+    return [
+        (10.0, 40.0, 0.1, 0.5),
+        (20.0, 80.0, 0.15, 0.6),
+        (0.0, 55.0, 0.2, 0.5),
+        (60.0, 90.0, 0.1, 0.5),
+        (5.0, 95.0, 0.15, 0.6),
+        (30.0, 35.0, 0.2, 0.5),
+    ]

@@ -1,0 +1,57 @@
+"""Seed determinism of the cluster benchmark harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.bench import run_cluster_bench
+from repro.core.query import AccuracySpec
+
+TIERS = (AccuracySpec(alpha=0.15, delta=0.5), AccuracySpec(alpha=0.2, delta=0.5))
+
+
+@pytest.fixture(scope="module")
+def values():
+    return np.random.default_rng(8).uniform(0.0, 100.0, 1500)
+
+
+def run_tiny(values, seed):
+    return run_cluster_bench(
+        values,
+        devices=8,
+        shard_counts=(2,),
+        requests=24,
+        consumers=2,
+        ranges=4,
+        tiers=TIERS,
+        seed=seed,
+        window=0.001,
+        max_batch=16,
+        baseline=False,
+        failover=False,
+    )
+
+
+def test_same_seed_reproduces_everything_but_wall_clock(values):
+    a = run_tiny(values, seed=11)
+    b = run_tiny(values, seed=11)
+    assert a["determinism_checksum"] == b["determinism_checksum"]
+    for key in ("completed", "failed", "epsilon_spent", "revenue",
+                "expected_epsilon", "expected_revenue"):
+        assert a["clusters"]["2"][key] == b["clusters"]["2"][key], key
+    assert a["seed"] == 11
+
+
+def test_different_seed_changes_released_values(values):
+    a = run_tiny(values, seed=11)
+    b = run_tiny(values, seed=12)
+    assert a["determinism_checksum"] != b["determinism_checksum"]
+
+
+def test_zero_drift_at_tiny_scale(values):
+    payload = run_tiny(values, seed=11)
+    phase = payload["clusters"]["2"]
+    assert phase["failed"] == 0
+    assert abs(phase["epsilon_drift"]) < 1e-9
+    assert abs(phase["revenue_drift"]) < 1e-9

@@ -1,0 +1,81 @@
+"""Unit tests for the shard health monitor's detection loop."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.health import ShardHealthMonitor
+from repro.cluster.shard import build_shards
+
+
+@pytest.fixture
+def shards(uniform_values):
+    return build_shards(uniform_values, k=8, shards=2, seed=3)
+
+
+class TestAttach:
+    def test_attach_tracks_every_device(self, shards):
+        monitor = ShardHealthMonitor(interval=30.0, miss_threshold=2)
+        service = monitor.attach(shards[0])
+        for node_id in shards[0].device_ids:
+            assert service.is_tracked(node_id)
+        assert monitor.heartbeat_for(0) is service
+
+    def test_double_attach_rejected(self, shards):
+        monitor = ShardHealthMonitor()
+        monitor.attach(shards[0])
+        with pytest.raises(ValueError):
+            monitor.attach(shards[0])
+
+    def test_rejects_bad_quorum(self):
+        with pytest.raises(ValueError):
+            ShardHealthMonitor(quorum=0.0)
+
+
+class TestDetection:
+    def test_healthy_sweep_fires_nothing(self, shards):
+        monitor = ShardHealthMonitor(interval=30.0, miss_threshold=2)
+        for shard in shards:
+            monitor.attach(shard)
+        assert monitor.sweep(rounds=4) == []
+        assert monitor.healthy_shards() == (0, 1)
+        assert monitor.events == ()
+
+    def test_cut_link_detected_after_miss_threshold(self, shards):
+        monitor = ShardHealthMonitor(interval=30.0, miss_threshold=2)
+        for shard in shards:
+            monitor.attach(shard)
+        shards[0].cut_primary_link()
+        # One silent interval is not enough...
+        assert monitor.sweep(rounds=1) == []
+        assert shards[0].primary_alive
+        # ...two intervals past the threshold flips the shard.
+        events = monitor.sweep(rounds=1)
+        assert len(events) == 1
+        assert events[0].shard_id == 0
+        assert set(events[0].dead_devices) == set(shards[0].device_ids)
+        assert not shards[0].primary_alive
+        assert monitor.healthy_shards() == (1,)
+        # The other shard keeps beaconing undisturbed.
+        assert shards[1].primary_alive
+
+    def test_kill_and_revive_roundtrip(self, shards):
+        monitor = ShardHealthMonitor(interval=30.0, miss_threshold=2)
+        for shard in shards:
+            monitor.attach(shard)
+        monitor.kill_primary(0, detect=True)
+        assert not shards[0].primary_alive
+        monitor.revive_primary(0)
+        assert shards[0].primary_alive
+        assert monitor.healthy_shards() == (0, 1)
+        # Beacons flow again: further sweeps stay quiet.
+        assert monitor.sweep(rounds=2) == []
+
+    def test_latent_kill_stays_undetected_until_sweep(self, shards):
+        monitor = ShardHealthMonitor(interval=30.0, miss_threshold=2)
+        for shard in shards:
+            monitor.attach(shard)
+        monitor.kill_primary(0, detect=False)
+        assert shards[0].primary_alive
+        monitor.sweep(rounds=2)
+        assert not shards[0].primary_alive

@@ -1,0 +1,122 @@
+"""Unit tests for the per-shard accuracy split and plan merging."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.planning import degraded_delta, merge_plans, split_spec
+from repro.core.query import AccuracySpec
+from repro.privacy.optimizer import PrivacyPlan
+
+
+def make_plan(**overrides) -> PrivacyPlan:
+    base = dict(
+        alpha=0.1,
+        delta=0.5,
+        alpha_prime=0.05,
+        delta_prime=0.75,
+        epsilon=1.0,
+        epsilon_prime=0.2,
+        sensitivity=1.0,
+        noise_scale=5.0,
+        p=0.3,
+        k=8,
+        n=1000,
+    )
+    base.update(overrides)
+    return PrivacyPlan(**base)
+
+
+class TestSplitSpec:
+    def test_single_shard_is_identity_object(self):
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        assert split_spec(spec, 1) is spec
+
+    def test_alpha_preserved_delta_rooted(self):
+        spec = AccuracySpec(alpha=0.12, delta=0.49)
+        sub = split_spec(spec, 4)
+        assert sub.alpha == spec.alpha
+        assert sub.delta == pytest.approx(0.49 ** 0.25)
+
+    def test_confidence_product_recovers_target(self):
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        for s in (2, 3, 8):
+            sub = split_spec(spec, s)
+            assert sub.delta ** s == pytest.approx(spec.delta)
+
+    def test_rejects_nonpositive_shards(self):
+        with pytest.raises(ValueError):
+            split_spec(AccuracySpec(alpha=0.1, delta=0.5), 0)
+
+    @given(
+        alpha=st.floats(min_value=0.01, max_value=0.5),
+        delta=st.floats(min_value=0.05, max_value=0.95),
+        s=st.integers(min_value=1, max_value=16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_split_is_weaker_per_shard(self, alpha, delta, s):
+        """Each shard's confidence target is never stricter than the global."""
+        sub = split_spec(AccuracySpec(alpha=alpha, delta=delta), s)
+        assert sub.delta >= delta - 1e-12
+        assert sub.alpha == alpha
+
+
+class TestMergePlans:
+    def test_single_plan_returned_untouched(self):
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        plan = make_plan()
+        assert merge_plans(spec, [plan]) is plan
+
+    def test_merged_fields(self):
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        a = make_plan(n=600, k=5, noise_scale=3.0, epsilon_prime=0.2, p=0.3)
+        b = make_plan(n=400, k=3, noise_scale=4.0, epsilon_prime=0.5, p=0.25)
+        merged = merge_plans(spec, [a, b])
+        assert merged.alpha == spec.alpha
+        assert merged.delta == spec.delta
+        assert merged.n == 1000
+        assert merged.k == 8
+        # Independent Laplace noises add in variance.
+        assert merged.noise_scale == pytest.approx(math.sqrt(9.0 + 16.0))
+        # Parallel composition over disjoint shards: the max, not the sum.
+        assert merged.epsilon_prime == pytest.approx(0.5)
+        # The merged answer rests on the sparsest shard sample.
+        assert merged.p == pytest.approx(0.25)
+        # Per-shard confidences multiply.
+        assert merged.delta_prime == pytest.approx(0.75 * 0.75)
+
+    def test_alpha_prime_is_size_weighted(self):
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        a = make_plan(n=900, alpha_prime=0.04)
+        b = make_plan(n=100, alpha_prime=0.08)
+        merged = merge_plans(spec, [a, b])
+        assert merged.alpha_prime == pytest.approx(
+            (0.04 * 900 + 0.08 * 100) / 1000
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            merge_plans(AccuracySpec(alpha=0.1, delta=0.5), [])
+
+
+class TestDegradedDelta:
+    def test_no_degradation_is_identity(self):
+        assert degraded_delta(0.5, 0, factor=0.9) == 0.5
+
+    def test_one_degraded_shard(self):
+        assert degraded_delta(0.5, 1, factor=0.9) == pytest.approx(0.45)
+
+    def test_multiplicative_in_shards(self):
+        assert degraded_delta(0.5, 3, factor=0.9) == pytest.approx(
+            0.5 * 0.9 ** 3
+        )
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            degraded_delta(0.5, 1, factor=0.0)
+        with pytest.raises(ValueError):
+            degraded_delta(0.5, 1, factor=1.5)

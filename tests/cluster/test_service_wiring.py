@@ -1,0 +1,95 @@
+"""End-to-end wiring: the facade, the gateway and the load generator
+all run unchanged over a federated broker."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.broker import ClusterBroker
+from repro.core.query import AccuracySpec
+from repro.core.service import PrivateRangeCountingService
+from repro.pricing.functions import InverseVariancePricing
+from repro.pricing.variance_model import VarianceModel
+
+
+class TestServiceFacade:
+    def test_from_values_with_shards_builds_cluster(self, uniform_values):
+        service = PrivateRangeCountingService.from_values(
+            uniform_values, k=8, shards=2, seed=5
+        )
+        assert isinstance(service.broker, ClusterBroker)
+        assert service.n == len(uniform_values)
+        assert service.k == 8
+
+    def test_single_shard_stays_plain(self, uniform_values):
+        service = PrivateRangeCountingService.from_values(
+            uniform_values, k=8, shards=1, seed=5
+        )
+        assert not isinstance(service.broker, ClusterBroker)
+
+    def test_answer_through_facade(self, uniform_values):
+        service = PrivateRangeCountingService.from_values(
+            uniform_values, k=8, shards=2, seed=5, initial_rate=0.3
+        )
+        answer = service.answer(20.0, 70.0, alpha=0.1, delta=0.5, consumer="c")
+        assert 0.0 <= answer.value <= service.n
+        assert abs(answer.value - service.true_count(20.0, 70.0)) <= (
+            0.1 * service.n * 5
+        )
+
+    def test_custom_pricing_rejected_for_clusters(self, uniform_values):
+        pricing = InverseVariancePricing(
+            VarianceModel(n=len(uniform_values)), base_price=2.0
+        )
+        with pytest.raises(ValueError):
+            PrivateRangeCountingService.from_values(
+                uniform_values, k=8, shards=2, pricing=pricing
+            )
+
+    def test_communication_report_aggregates_shards(self, uniform_values):
+        service = PrivateRangeCountingService.from_values(
+            uniform_values, k=8, shards=2, seed=5, initial_rate=0.2
+        )
+        report = service.communication_report()
+        assert report["messages"] > 0
+        assert report["wire_bytes"] > 0
+
+
+class TestGatewayOverCluster:
+    def test_closed_loop_has_zero_accounting_drift(self, uniform_values):
+        from repro.serving import ServingConfig, Workload, run_closed_loop
+
+        service = PrivateRangeCountingService.from_values(
+            uniform_values, k=8, shards=2, seed=5
+        )
+        gateway = service.serve(
+            ServingConfig(batch_window=0.002, max_batch=32)
+        )
+        workload = Workload(
+            ranges=[(10.0, 40.0), (20.0, 80.0), (35.0, 65.0), (5.0, 95.0)],
+            tiers=[
+                AccuracySpec(alpha=0.1, delta=0.5),
+                AccuracySpec(alpha=0.2, delta=0.5),
+            ],
+        )
+        with gateway:
+            result = run_closed_loop(
+                gateway, workload, consumers=2, requests_per_consumer=15
+            )
+        assert result.completed == 30
+        assert result.failed == 0
+        assert result.epsilon_drift == pytest.approx(0.0, abs=1e-9)
+        assert result.revenue_drift == pytest.approx(0.0, abs=1e-9)
+
+    def test_cache_replays_through_cluster(self, uniform_values):
+        service = PrivateRangeCountingService.from_values(
+            uniform_values, k=8, shards=2, seed=5, initial_rate=0.3
+        )
+        with service.serve() as gateway:
+            first = gateway.submit_range(20.0, 70.0, 0.1, 0.5, "a").result()
+            second = gateway.submit_range(20.0, 70.0, 0.1, 0.5, "b").result()
+        assert second.value == first.value
+        # The replay charged zero additional budget.
+        history = service.broker.accountant.history("default")
+        assert len(history) == 1

@@ -91,6 +91,59 @@ class TestRangeSharded:
             assert maxima[i] <= minima[i + 1]
 
 
+class TestEdgeCases:
+    """Cluster-motivated edge cases: k > n, extreme skew, heavy duplicates."""
+
+    @pytest.mark.parametrize("name", list(STRATEGIES))
+    def test_k_much_larger_than_n_is_lossless(self, name):
+        values = np.array([3.0, 1.0, 2.0])
+        shards = STRATEGIES[name](values, 64)
+        assert len(shards) == 64
+        pooled = np.sort(np.concatenate(shards))
+        assert np.array_equal(pooled, np.sort(values))
+        # Most shards are empty, and empty shards are well-formed arrays.
+        empties = [s for s in shards if len(s) == 0]
+        assert len(empties) == 61
+        assert all(s.dtype == np.float64 for s in shards)
+
+    def test_dirichlet_extreme_skew_yields_empty_shards_losslessly(self):
+        values = np.arange(500, dtype=float)
+        shards = partition_dirichlet(values, 10, concentration=0.01, seed=4)
+        sizes = [len(s) for s in shards]
+        # At concentration 0.01 nearly all mass lands on a few shards.
+        assert min(sizes) == 0
+        assert max(sizes) > 250
+        pooled = np.sort(np.concatenate(shards))
+        assert np.array_equal(pooled, values)
+
+    def test_range_sharded_handles_heavy_duplicates(self):
+        # 90% of the column is one value; band boundaries fall inside the
+        # duplicate run and must not drop or double-count records.
+        values = np.concatenate(
+            [np.full(90, 5.0), np.arange(10, dtype=float)]
+        )
+        shards = partition_range_sharded(values, 4)
+        assert sum(len(s) for s in shards) == 100
+        pooled = np.sort(np.concatenate(shards))
+        assert np.array_equal(pooled, np.sort(values))
+        maxima = [s.max() for s in shards if len(s)]
+        minima = [s.min() for s in shards if len(s)]
+        for i in range(len(maxima) - 1):
+            assert maxima[i] <= minima[i + 1]
+
+    def test_range_sharded_all_identical_values(self):
+        values = np.full(37, 2.5)
+        shards = partition_range_sharded(values, 5)
+        assert sum(len(s) for s in shards) == 37
+
+    @pytest.mark.parametrize("name", list(STRATEGIES))
+    def test_single_record_lands_on_exactly_one_shard(self, name):
+        shards = STRATEGIES[name](np.array([42.0]), 6)
+        occupied = [s for s in shards if len(s)]
+        assert len(occupied) == 1
+        assert occupied[0][0] == 42.0
+
+
 @given(
     count=st.integers(min_value=0, max_value=200),
     k=st.integers(min_value=1, max_value=20),

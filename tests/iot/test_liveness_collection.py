@@ -1,0 +1,127 @@
+"""Regression tests: collection rounds respect heartbeat liveness.
+
+A dead device must not stall a round -- the station probes it once (a
+metered retry) and moves on, and the skipped ids are reported on
+``last_round_skipped``.  Reviving the device restores full-fleet rounds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import InsufficientSamplesError
+from repro.estimators.base import NodeData
+from repro.iot.base_station import BaseStation
+from repro.iot.channel import Channel
+from repro.iot.device import SmartDevice
+from repro.iot.heartbeat import HeartbeatService
+from repro.iot.network import Network
+from repro.iot.runtime import EventScheduler
+from repro.iot.topology import FlatTopology
+
+INTERVAL = 60.0
+
+
+def make_live_station(k=3, size=200, seed=0):
+    network = Network(
+        topology=FlatTopology.with_devices(k),
+        channel=Channel(rng=np.random.default_rng(seed)),
+    )
+    scheduler = EventScheduler()
+    heartbeat = HeartbeatService(
+        network=network, scheduler=scheduler, interval=INTERVAL,
+        miss_threshold=2,
+    )
+    station = BaseStation(network=network, liveness=heartbeat)
+    rng = np.random.default_rng(seed + 10)
+    for node_id in range(1, k + 1):
+        device = SmartDevice(
+            node_id=node_id,
+            data=NodeData(node_id=node_id, values=rng.uniform(0, 100, size)),
+            rng=np.random.default_rng(seed * 1000 + node_id),
+        )
+        station.register(device)
+        heartbeat.track(device)
+    return station, heartbeat, scheduler
+
+
+def let_beacons_miss(scheduler, intervals=3):
+    """Run the beacon loop forward far enough to cross the miss threshold."""
+    target = scheduler.clock.now + intervals * INTERVAL
+    scheduler.run(until=target)
+    if scheduler.clock.now < target:
+        scheduler.clock.advance(target - scheduler.clock.now)
+
+
+class TestLivenessAwareCollect:
+    def test_dead_device_is_skipped_with_metered_probe(self):
+        station, heartbeat, scheduler = make_live_station()
+        heartbeat.fail_device(2)
+        let_beacons_miss(scheduler)
+        assert not heartbeat.is_alive(2)
+
+        before = station.network.meter.total_messages
+        station.collect(0.3)
+        assert station.last_round_skipped == (2,)
+        # The skipped node got one probe on the air, so the meter moved
+        # beyond the two live nodes' request+report pairs.
+        assert station.network.meter.total_messages >= before + 5
+        # The committed store only holds the live nodes.
+        assert sorted(s.node_id for s in station.samples()) == [1, 3]
+
+    def test_top_up_keeps_stale_sample_for_dead_device(self):
+        station, heartbeat, scheduler = make_live_station()
+        station.collect(0.2)
+        heartbeat.fail_device(2)
+        let_beacons_miss(scheduler)
+        station.top_up(0.5)
+        assert station.last_round_skipped == (2,)
+        by_node = {s.node_id: s for s in station.samples()}
+        # The dead node's sample survives at its honest (lower) rate.
+        assert by_node[2].p == pytest.approx(0.2)
+        assert by_node[1].p == pytest.approx(0.5)
+        assert by_node[3].p == pytest.approx(0.5)
+
+    def test_all_devices_dead_raises(self):
+        station, heartbeat, scheduler = make_live_station()
+        for node_id in (1, 2, 3):
+            heartbeat.fail_device(node_id)
+        let_beacons_miss(scheduler)
+        with pytest.raises(InsufficientSamplesError):
+            station.collect(0.3)
+
+    def test_revived_device_rejoins_the_round(self):
+        station, heartbeat, scheduler = make_live_station()
+        heartbeat.fail_device(2)
+        let_beacons_miss(scheduler)
+        station.collect(0.3)
+        assert station.last_round_skipped == (2,)
+
+        heartbeat.revive_device(2)
+        # One fresh beacon brings the device back above the threshold.
+        scheduler.run(until=scheduler.clock.now + INTERVAL)
+        assert heartbeat.is_alive(2)
+        station.collect(0.3)
+        assert station.last_round_skipped == ()
+        assert sorted(s.node_id for s in station.samples()) == [1, 2, 3]
+
+    def test_no_liveness_service_means_everyone_is_alive(self):
+        network = Network(
+            topology=FlatTopology.with_devices(2),
+            channel=Channel(rng=np.random.default_rng(0)),
+        )
+        station = BaseStation(network=network)
+        rng = np.random.default_rng(5)
+        for node_id in (1, 2):
+            station.register(
+                SmartDevice(
+                    node_id=node_id,
+                    data=NodeData(
+                        node_id=node_id, values=rng.uniform(0, 100, 50)
+                    ),
+                    rng=np.random.default_rng(node_id),
+                )
+            )
+        station.collect(0.3)
+        assert station.last_round_skipped == ()

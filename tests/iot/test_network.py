@@ -53,6 +53,59 @@ class TestDelivery:
         assert net.deliveries[0].message_type == "SampleRequest"
 
 
+class TestDeliveryLogBounds:
+    def test_log_is_a_ring_buffer(self):
+        net = Network(
+            topology=FlatTopology.with_devices(1),
+            channel=Channel(),
+            delivery_log_limit=3,
+        )
+        for _ in range(10):
+            net.send(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1))
+        assert len(net.deliveries) == 3
+        # Newest records survive; totals stay exact despite eviction.
+        assert net.delivered_count == 10
+        assert net.attempt_count == 10
+        assert net.meter.total_messages == 10
+
+    def test_none_opts_out_of_bounding(self):
+        net = Network(
+            topology=FlatTopology.with_devices(1),
+            channel=Channel(),
+            delivery_log_limit=None,
+        )
+        for _ in range(10):
+            net.send(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1))
+        assert len(net.deliveries) == 10
+        assert net.delivered_count == 10
+
+    def test_attempt_count_includes_lost_frames(self):
+        net = make_network(loss=0.6, max_retries=50, seed=3)
+        net.send(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1))
+        assert net.delivered_count == 1
+        assert net.attempt_count >= net.delivered_count
+        assert net.attempt_count == net.meter.total_messages
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            Network(
+                topology=FlatTopology.with_devices(1),
+                channel=Channel(),
+                delivery_log_limit=0,
+            )
+
+    def test_failed_delivery_counts_attempts_not_deliveries(self):
+        net = make_network(loss=0.99, max_retries=2, seed=1)
+        try:
+            for _ in range(50):
+                net.send(
+                    SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1)
+                )
+        except DeliveryError:
+            pass
+        assert net.attempt_count > net.delivered_count
+
+
 class TestRetries:
     def test_lossy_channel_retries(self):
         net = make_network(loss=0.6, max_retries=50, seed=3)

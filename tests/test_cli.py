@@ -193,3 +193,72 @@ class TestCheckPricing:
         main(["check-pricing", "power", "--exponent", "2.0"])
         out = capsys.readouterr().out
         assert "more violations" in out
+
+
+CLUSTER_SMALL = ["--records", "2000", "--devices", "4", "--shards", "2"]
+
+
+class TestClusterServe:
+    def test_cluster_serve_end_to_end(self, capsys, tmp_path):
+        csv = tmp_path / "requests.csv"
+        csv.write_text(
+            "consumer,low,high,alpha,delta\n"
+            "web,60,100,0.15,0.5\n"
+            "web,40,80,0.2,0.5\n"
+            "mobile,60,100,0.15,0.5\n"
+        )
+        code = main(
+            ["cluster-serve", "--requests-csv", str(csv), *CLUSTER_SMALL]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "released_count" in out
+        assert "3 requests served" in out
+
+    def test_cluster_serve_missing_csv_exits_2(self, capsys, tmp_path):
+        code = main(
+            ["cluster-serve", "--requests-csv", str(tmp_path / "nope.csv"),
+             *CLUSTER_SMALL]
+        )
+        assert code == 2
+
+    def test_cluster_serve_requires_csv_flag(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster-serve"])
+
+
+class TestClusterBench:
+    def test_cluster_bench_smoke_healthy(self, capsys, tmp_path):
+        out_json = tmp_path / "BENCH_cluster.json"
+        code = main(
+            ["cluster-bench", "--records", "2000", "--devices", "4",
+             "--shards", "2", "--requests", "24", "--consumers", "2",
+             "--ranges", "4", "--seed", "11", "--json", str(out_json),
+             "--assert-healthy"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "failover engaged" in out
+        assert out_json.exists()
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert payload["benchmark"] == "cluster_bench"
+        results = payload["results"]
+        assert results["failover"]["failovers"] >= 1
+        assert results["failover"]["degraded_answers"] > 0
+        assert "determinism_checksum" in results
+
+    def test_cluster_bench_rejects_bad_tiers(self, capsys):
+        code = main(
+            ["cluster-bench", "--tiers", "bogus", "--records", "2000",
+             "--devices", "4", "--shards", "2", "--requests", "8"]
+        )
+        assert code == 2
+
+    def test_cluster_bench_rejects_bad_shards(self, capsys):
+        code = main(
+            ["cluster-bench", "--shards", "two", "--records", "2000",
+             "--devices", "4", "--requests", "8"]
+        )
+        assert code == 2
