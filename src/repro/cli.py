@@ -284,6 +284,14 @@ def build_parser() -> argparse.ArgumentParser:
              "actually failed over (the CI smoke contract)",
     )
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the domain-aware static-analysis rules (RL001-RL005)",
+    )
+    from repro.lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     return parser
 
 
@@ -834,6 +842,12 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import run_lint
+
+    return run_lint(args)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -854,6 +868,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "loadgen": _cmd_loadgen,
         "cluster-serve": _cmd_cluster_serve,
         "cluster-bench": _cmd_cluster_bench,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

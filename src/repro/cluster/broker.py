@@ -30,6 +30,7 @@ a pass-through merge, and is bit-identical to it (tested).
 from __future__ import annotations
 
 import dataclasses
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
@@ -221,7 +222,9 @@ class ClusterBroker:
     dataset: str = "default"
     ledger: BillingLedger = field(default_factory=BillingLedger)
     accountant: BudgetAccountant = field(default_factory=BudgetAccountant)
-    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(7))
+    # Mirrors DataBroker's fixed default seed: the scalar/cluster
+    # equivalence tests require both brokers to draw the same stream.
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(7))  # repro-lint: disable=RL002
     policy: BrokerPolicy = field(default_factory=BrokerPolicy)
     replica_confidence: float = 0.9
     monitor: Optional[ShardHealthMonitor] = None
@@ -240,8 +243,9 @@ class ClusterBroker:
             )
         self._station_view = _ClusterStationView(self)
         self._planner_view = _ClusterPlannerView(self)
-        self._executor: "Optional[ThreadPoolExecutor]" = None
-        self._first_degraded_wall: "Optional[float]" = None
+        self._lock = threading.Lock()
+        self._executor: "Optional[ThreadPoolExecutor]" = None  # guarded-by: _lock
+        self._first_degraded_wall: "Optional[float]" = None  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # construction
@@ -322,7 +326,8 @@ class ClusterBroker:
         Benchmarks subtract the fault-injection timestamp from this to
         report failover latency.
         """
-        return self._first_degraded_wall
+        with self._lock:
+            return self._first_degraded_wall
 
     def quote(self, spec: AccuracySpec) -> float:
         """Cluster list price of an ``(α, δ)`` product."""
@@ -391,8 +396,10 @@ class ClusterBroker:
             for shard, (_, degraded) in zip(self.shards, results)
             if degraded
         )
-        if degraded_ids and self._first_degraded_wall is None:
-            self._first_degraded_wall = time.perf_counter()
+        if degraded_ids:
+            with self._lock:
+                if self._first_degraded_wall is None:
+                    self._first_degraded_wall = time.perf_counter()
 
         # Gather + merge, then reconcile the consolidated books in query
         # order: one entry per query, cluster price, parallel-composition ε′.
@@ -524,12 +531,14 @@ class ClusterBroker:
         """
         if len(self.shards) == 1:
             return [fn(self.shards[0])]
-        if self._executor is None:
-            self._executor = ThreadPoolExecutor(
-                max_workers=len(self.shards),
-                thread_name_prefix="repro-cluster",
-            )
-        futures = [self._executor.submit(fn, shard) for shard in self.shards]
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=len(self.shards),
+                    thread_name_prefix="repro-cluster",
+                )
+            executor = self._executor
+        futures = [executor.submit(fn, shard) for shard in self.shards]
         return [f.result() for f in futures]
 
     def _timer(self, name: str):

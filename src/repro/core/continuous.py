@@ -80,7 +80,9 @@ class ContinuousMonitor:
     k: int = 8
     accountant: BudgetAccountant = field(default_factory=BudgetAccountant)
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(23)
+        # One session == one stream; the fixed default keeps continuous
+        # experiments replayable end to end.
+        default_factory=lambda: np.random.default_rng(23)  # repro-lint: disable=RL002
     )
 
     def __post_init__(self) -> None:

@@ -46,16 +46,19 @@ class SmartDevice:
     data:
         The local dataset ``D_i``.
     rng:
-        Device-local randomness for sampling decisions.
+        Device-local randomness for sampling decisions.  When omitted,
+        a Generator seeded from ``node_id`` is derived so that every
+        device draws an independent, reproducible stream (a shared
+        constant seed would correlate all devices' Bernoulli coins).
     """
 
     node_id: int
     data: NodeData
-    rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(0)
-    )
+    rng: Optional[np.random.Generator] = None
 
     def __post_init__(self) -> None:
+        if self.rng is None:
+            self.rng = np.random.default_rng(self.node_id)
         if self.node_id == BASE_STATION_ID:
             raise ValueError("device id 0 is reserved for the base station")
         if self.data.node_id != self.node_id:

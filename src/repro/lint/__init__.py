@@ -1,0 +1,38 @@
+"""Domain-aware static analysis for the ``repro`` codebase.
+
+Generic linters cannot see the invariants that make this system
+correct: the DP boundary (every released count must be Laplace-
+perturbed), the determinism contract (seed-threaded RNGs everywhere),
+lock discipline in the threaded serving/cluster paths, exact float
+comparison on accounting values, and silently swallowed exceptions.
+``repro.lint`` encodes them as AST rules (RL001-RL005, see
+:mod:`repro.lint.rules`) with per-line suppressions, a checked-in
+baseline, and a CI-friendly CLI (``repro lint``).
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import (
+    FileContext,
+    LintEngine,
+    LintResult,
+    Rule,
+    RuleRegistry,
+    default_registry,
+)
+from repro.lint.findings import Finding
+from repro.lint.suppressions import CommentMap
+
+# Importing the rules module registers RL001-RL005 on default_registry.
+from repro.lint import rules as _rules  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "CommentMap",
+    "FileContext",
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "Rule",
+    "RuleRegistry",
+    "default_registry",
+]

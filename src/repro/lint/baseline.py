@@ -1,0 +1,91 @@
+"""Checked-in baseline of accepted pre-existing findings.
+
+The baseline is a JSON file of finding fingerprints.  ``repro lint
+--fail-on-new`` subtracts it from the current findings so CI fails only
+on *new* violations, letting the linter land on a tree that still has
+known debt.  Matching is multiset-style: two identical offending lines
+need two baseline entries, so deleting one of them surfaces the other.
+
+The repo's own baseline (``.lint-baseline.json``) is empty -- every
+finding the rules raised on the tree was either fixed or carries an
+inline justification -- but the mechanism is exercised by tests and
+available for future debt.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BASELINE_FORMAT", "BASELINE_VERSION"]
+
+BASELINE_FORMAT = "repro.lint-baseline"
+BASELINE_VERSION = 1
+
+
+class Baseline:
+    """A multiset of accepted finding fingerprints."""
+
+    def __init__(self, fingerprints: Iterable[str] = ()) -> None:
+        self._accepted: Counter = Counter(fingerprints)
+
+    def __len__(self) -> int:
+        return sum(self._accepted.values())
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Load ``path``; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("format") != BASELINE_FORMAT:
+            raise ValueError(f"{path}: not a {BASELINE_FORMAT} file")
+        entries = payload.get("findings", [])
+        return cls(entry["fingerprint"] for entry in entries)
+
+    @staticmethod
+    def write(path: Path, findings: Iterable[Finding]) -> None:
+        """Serialise ``findings`` as the new accepted baseline."""
+        entries: List[Dict[str, object]] = [
+            {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule_id,
+                "path": finding.path,
+                "message": finding.message,
+            }
+            for finding in sorted(findings, key=lambda f: f.sort_key)
+        ]
+        payload = {
+            "format": BASELINE_FORMAT,
+            "version": BASELINE_VERSION,
+            "findings": entries,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def partition(self, findings: Iterable[Finding]) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into ``(new, baselined)``.
+
+        Each baseline fingerprint absorbs at most as many findings as it
+        has entries, so a *second* occurrence of a known offending line
+        still counts as new.
+        """
+        budget = Counter(self._accepted)
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            if budget[finding.fingerprint] > 0:
+                budget[finding.fingerprint] -= 1
+                baselined.append(finding)
+            else:
+                new.append(finding)
+        return new, baselined

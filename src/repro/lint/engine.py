@@ -1,0 +1,214 @@
+"""Rule registry and file-walking engine of ``repro.lint``.
+
+The engine parses each Python file once into a :class:`FileContext`
+(AST + comment map + module name), hands the context to every
+registered :class:`Rule` whose :meth:`~Rule.applies_to` accepts it, and
+filters the resulting findings through per-line
+``# repro-lint: disable=`` pragmas.
+
+Module names are computed from the path relative to the scan root with
+a leading ``src`` segment stripped, so ``src/repro/core/broker.py``
+and a test fixture tree ``<tmp>/repro/core/broker.py`` both resolve to
+``repro.core.broker`` and are seen by the same rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.suppressions import CommentMap
+
+__all__ = [
+    "FileContext",
+    "Rule",
+    "RuleRegistry",
+    "default_registry",
+    "LintEngine",
+    "LintResult",
+]
+
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".pytest_cache", "build", "dist"}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to inspect one file."""
+
+    rel_path: str
+    module: str
+    source: str
+    tree: ast.Module
+    comments: CommentMap
+    lines: List[str]
+
+    @classmethod
+    def from_source(cls, source: str, rel_path: str, module: str) -> "FileContext":
+        tree = ast.parse(source, filename=rel_path)
+        return cls(
+            rel_path=rel_path,
+            module=module,
+            source=source,
+            tree=tree,
+            comments=CommentMap.from_source(source),
+            lines=source.splitlines(),
+        )
+
+    def line_text(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def finding(self, rule_id: str, line: int, col: int, message: str) -> Finding:
+        """Build a :class:`Finding` with the fingerprint line text filled in."""
+        return Finding(
+            rule_id=rule_id,
+            path=self.rel_path,
+            line=line,
+            col=col,
+            message=message,
+            line_text=self.line_text(line),
+        )
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`rule_id`, :attr:`name` and :attr:`rationale`,
+    and implement :meth:`check`.  :meth:`applies_to` lets a rule skip
+    files outside its scope before any AST walking happens.
+    """
+
+    rule_id: str = ""
+    name: str = ""
+    rationale: str = ""
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+class RuleRegistry:
+    """Maps rule ids to rule factories; rules self-register at import."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Callable[[], Rule]] = {}
+
+    def register(self, factory: Callable[[], Rule]) -> Callable[[], Rule]:
+        probe = factory()
+        if not probe.rule_id:
+            raise ValueError(f"rule {factory!r} has no rule_id")
+        if probe.rule_id in self._factories:
+            raise ValueError(f"duplicate rule id {probe.rule_id}")
+        self._factories[probe.rule_id] = factory
+        return factory
+
+    def rule_ids(self) -> List[str]:
+        return sorted(self._factories)
+
+    def create(self, only: Optional[Sequence[str]] = None) -> List[Rule]:
+        wanted = self.rule_ids() if only is None else list(only)
+        rules: List[Rule] = []
+        for rule_id in wanted:
+            if rule_id not in self._factories:
+                raise KeyError(f"unknown rule id {rule_id!r}")
+            rules.append(self._factories[rule_id]())
+        return rules
+
+
+#: The process-wide registry that :mod:`repro.lint.rules` populates.
+default_registry = RuleRegistry()
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule_id] = counts.get(finding.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def module_name(rel_path: Path) -> str:
+    """Dotted module name for ``rel_path`` (posix, relative to the root)."""
+    parts = list(rel_path.with_suffix("").parts)
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class LintEngine:
+    """Runs a set of rules over files or whole source trees."""
+
+    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+        if rules is None:
+            import repro.lint.rules  # noqa: F401  -- populates the registry
+
+            rules = default_registry.create()
+        self.rules: List[Rule] = list(rules)
+
+    # ------------------------------------------------------------------
+    # single-file entry points
+    # ------------------------------------------------------------------
+    def lint_source(
+        self, source: str, rel_path: str, result: Optional[LintResult] = None
+    ) -> LintResult:
+        """Lint one in-memory source blob addressed as ``rel_path``."""
+        result = result if result is not None else LintResult()
+        try:
+            ctx = FileContext.from_source(source, rel_path, module_name(Path(rel_path)))
+        except SyntaxError as exc:
+            result.parse_errors.append(f"{rel_path}: {exc.msg} (line {exc.lineno})")
+            return result
+        result.files_scanned += 1
+        for rule in self.rules:
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if finding.rule_id in ctx.comments.disabled_rules(finding.line):
+                    result.suppressed += 1
+                else:
+                    result.findings.append(finding)
+        return result
+
+    def lint_file(self, path: Path, root: Path, result: Optional[LintResult] = None) -> LintResult:
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+        source = path.read_text(encoding="utf-8")
+        return self.lint_source(source, rel, result=result)
+
+    # ------------------------------------------------------------------
+    # tree walking
+    # ------------------------------------------------------------------
+    def lint_paths(self, paths: Sequence[Path], root: Path) -> LintResult:
+        """Lint every ``.py`` file under each of ``paths`` (files or dirs)."""
+        result = LintResult()
+        for path in paths:
+            for file_path in sorted(_iter_python_files(path)):
+                self.lint_file(file_path, root, result=result)
+        result.findings.sort(key=lambda f: f.sort_key)
+        return result
+
+
+def _iter_python_files(path: Path) -> Iterable[Path]:
+    if path.is_file():
+        if path.suffix == ".py":
+            yield path
+        return
+    for candidate in path.rglob("*.py"):
+        if any(part in _SKIP_DIRS or part.startswith(".") for part in candidate.parts):
+            continue
+        yield candidate

@@ -1,0 +1,76 @@
+"""Finding objects produced by lint rules.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.fingerprint` deliberately hashes the *text* of the
+offending line rather than its line number, so a checked-in baseline
+(:mod:`repro.lint.baseline`) survives unrelated edits that shift code up
+or down the file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+__all__ = ["Finding"]
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    rule_id:
+        Registry id of the rule that fired (e.g. ``"RL001"``).
+    path:
+        Posix-style path of the offending file, relative to the lint
+        root.
+    line, col:
+        1-based line and 0-based column of the violation.
+    message:
+        Human-readable description of what the rule saw.
+    line_text:
+        The stripped source line at ``line`` -- the stable ingredient of
+        the fingerprint.
+    """
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    line_text: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used for baseline matching.
+
+        Hashes ``(rule_id, path, stripped line text)`` -- *not* the line
+        number -- so findings keep their identity when unrelated lines
+        are inserted above them.  Duplicate fingerprints (the same
+        offending text twice in one file) are handled multiset-style by
+        the baseline.
+        """
+        payload = "::".join((self.rule_id, self.path, self.line_text.strip()))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+    def render_text(self) -> str:
+        """One-line ``path:line:col: RULE message`` rendering."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable payload (used by ``--format json``)."""
+        return {
+            "rule": self.rule_id,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }

@@ -1,0 +1,112 @@
+"""Comment-level annotations understood by the linter.
+
+Four comment forms carry meaning:
+
+``# repro-lint: disable=RL001,RL005``
+    Suppress the listed rules on this line (or, when the comment stands
+    alone on its own line, on the next line).
+``# guarded-by: _lock``
+    Trailing comment on a ``self._attr = ...`` assignment in
+    ``__init__``/``__post_init__``: declares that every later
+    read/write of ``self._attr`` must hold ``self._lock`` (RL003).
+``# holds: _lock``
+    On (or directly above) a ``def`` line: the method is only ever
+    called with ``self._lock`` already held, so RL003 treats the whole
+    body as locked.
+``# repro-lint: shed``
+    On an ``except`` line: the broad handler is an intentional
+    load-shedding path and RL005 accepts it as justified.
+
+Comments are pulled out with :mod:`tokenize` so that ``#`` characters
+inside string literals are never misread as annotations.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Optional, Set
+
+__all__ = ["CommentMap"]
+
+_DISABLE_RE = re.compile(r"repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_GUARDED_RE = re.compile(r"guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_HOLDS_RE = re.compile(r"holds:\s*([A-Za-z_][A-Za-z0-9_]*)")
+_SHED_RE = re.compile(r"repro-lint:\s*shed\b")
+
+_EMPTY: FrozenSet[str] = frozenset()
+
+
+class CommentMap:
+    """Per-line comment text plus the lint annotations parsed from it."""
+
+    def __init__(self) -> None:
+        self._comments: Dict[int, str] = {}
+        self._own_line: Set[int] = set()
+
+    @classmethod
+    def from_source(cls, source: str) -> "CommentMap":
+        cmap = cls()
+        try:
+            tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+            for tok in tokens:
+                if tok.type != tokenize.COMMENT:
+                    continue
+                line_no = tok.start[0]
+                cmap._comments[line_no] = tok.string
+                if tok.line[: tok.start[1]].strip() == "":
+                    cmap._own_line.add(line_no)
+        except tokenize.TokenError:
+            # Truncated source; keep whatever comments were seen.
+            pass
+        return cmap
+
+    def comment_at(self, line: int) -> Optional[str]:
+        return self._comments.get(line)
+
+    # ------------------------------------------------------------------
+    # pragma parsing
+    # ------------------------------------------------------------------
+    def disabled_rules(self, line: int) -> FrozenSet[str]:
+        """Rule ids suppressed at ``line``.
+
+        A ``disable=`` pragma applies to its own line; a stand-alone
+        comment line applies to the line directly below it.
+        """
+        rules = set(self._parse_disable(line))
+        if line - 1 in self._own_line:
+            rules.update(self._parse_disable(line - 1))
+        return frozenset(rules) if rules else _EMPTY
+
+    def _parse_disable(self, line: int) -> Set[str]:
+        text = self._comments.get(line)
+        if not text:
+            return set()
+        match = _DISABLE_RE.search(text)
+        if not match:
+            return set()
+        return {part.strip() for part in match.group(1).split(",") if part.strip()}
+
+    def guarded_by(self, line: int) -> Optional[str]:
+        """The lock name declared by a ``# guarded-by:`` comment at ``line``."""
+        text = self._comments.get(line)
+        if not text:
+            return None
+        match = _GUARDED_RE.search(text)
+        return match.group(1) if match else None
+
+    def holds(self, line: int) -> Optional[str]:
+        """The lock named by ``# holds:`` on ``line`` or the line above."""
+        for candidate in (line, line - 1):
+            text = self._comments.get(candidate)
+            if text and (candidate == line or candidate in self._own_line):
+                match = _HOLDS_RE.search(text)
+                if match:
+                    return match.group(1)
+        return None
+
+    def is_shed(self, line: int) -> bool:
+        """Whether ``line`` carries the ``# repro-lint: shed`` justification."""
+        text = self._comments.get(line)
+        return bool(text and _SHED_RE.search(text))

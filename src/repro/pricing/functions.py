@@ -47,7 +47,7 @@ class PricingFunction(abc.ABC):
     variances are always expressed against the same dataset size.
     """
 
-    def __init__(self, variance_model: VarianceModel):
+    def __init__(self, variance_model: VarianceModel) -> None:
         self.variance_model = variance_model
 
     @property
@@ -88,7 +88,7 @@ class InverseVariancePricing(PricingFunction):
     averaging attack of Example 4.1 can never undercut the list price.
     """
 
-    def __init__(self, variance_model: VarianceModel, base_price: float = 1.0):
+    def __init__(self, variance_model: VarianceModel, base_price: float = 1.0) -> None:
         super().__init__(variance_model)
         if base_price <= 0:
             raise PricingError(f"base_price must be positive, got {base_price}")
@@ -123,7 +123,7 @@ class PowerLawVariancePricing(PricingFunction):
         variance_model: VarianceModel,
         base_price: float = 1.0,
         exponent: float = 2.0,
-    ):
+    ) -> None:
         super().__init__(variance_model)
         if base_price <= 0:
             raise PricingError(f"base_price must be positive, got {base_price}")
@@ -161,7 +161,7 @@ class LinearAccuracyPricing(PricingFunction):
         base: float = 1.0,
         slope_alpha: float = 10.0,
         slope_delta: float = 10.0,
-    ):
+    ) -> None:
         super().__init__(variance_model)
         if base <= 0 or slope_alpha < 0 or slope_delta < 0:
             raise PricingError("base must be positive and slopes non-negative")
@@ -191,7 +191,7 @@ class TieredPricing(PricingFunction):
         self,
         variance_model: VarianceModel,
         tiers: Sequence[Tuple[float, float]],
-    ):
+    ) -> None:
         super().__init__(variance_model)
         if not tiers:
             raise PricingError("at least one (variance_threshold, price) tier needed")

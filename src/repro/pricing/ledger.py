@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
 from repro.errors import LedgerError
 
@@ -93,7 +93,7 @@ class BillingLedger:
         return txn
 
     def record_many(
-        self, sales: "List[Dict[str, object]]"
+        self, sales: "Sequence[Mapping[str, Any]]"
     ) -> "List[Transaction]":
         """Append one transaction per entry of ``sales``, in order.
 
@@ -104,7 +104,7 @@ class BillingLedger:
         the broker's bulk path for batched answers.
         """
         txns = [
-            Transaction(transaction_id=next(self._ids), **sale)
+            Transaction(transaction_id=next(self._ids), **dict(sale))
             for sale in sales
         ]
         for txn in txns:

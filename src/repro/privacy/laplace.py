@@ -18,9 +18,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
+import numpy.typing as npt
 
 __all__ = [
     "LaplaceMechanism",
@@ -72,7 +73,7 @@ def sample_laplace(
     scale: float,
     rng: np.random.Generator,
     size: Optional[int] = None,
-) -> "float | np.ndarray":
+) -> "Union[float, npt.NDArray[np.float64]]":
     """Draw Laplace(0, scale) noise by inverse-CDF transform.
 
     ``U ~ Uniform(−1/2, 1/2)``; ``X = −scale · sign(U) · ln(1 − 2|U|)``.
@@ -80,16 +81,18 @@ def sample_laplace(
     if scale <= 0:
         raise ValueError(f"scale must be positive, got {scale}")
     u = rng.random(size) - 0.5
-    draws = -scale * np.sign(u) * np.log1p(-2.0 * np.abs(u))
+    draws = np.asarray(
+        -scale * np.sign(u) * np.log1p(-2.0 * np.abs(u)), dtype=np.float64
+    )
     if size is None:
         return float(draws)
     return draws
 
 
 def sample_laplace_many(
-    scales: "Sequence[float] | np.ndarray",
+    scales: "Union[Sequence[float], npt.NDArray[np.float64]]",
     rng: np.random.Generator,
-) -> np.ndarray:
+) -> "npt.NDArray[np.float64]":
     """Draw one Laplace(0, scale_i) variate per entry of ``scales``.
 
     The batched counterpart of :func:`sample_laplace` for the broker's
@@ -107,7 +110,9 @@ def sample_laplace_many(
     if np.any(scale_arr <= 0) or not np.all(np.isfinite(scale_arr)):
         raise ValueError("every noise scale must be positive and finite")
     u = rng.random(scale_arr.size) - 0.5
-    return -scale_arr * np.sign(u) * np.log1p(-2.0 * np.abs(u))
+    return np.asarray(
+        -scale_arr * np.sign(u) * np.log1p(-2.0 * np.abs(u)), dtype=np.float64
+    )
 
 
 @dataclass

@@ -102,12 +102,12 @@ class AdmissionController:
         self.default_burst = default_burst
         self.clock = clock
         self.telemetry = telemetry
-        self._buckets: Dict[str, TokenBucket] = {}
-        self._deposits: Dict[str, float] = {}
+        self._buckets: Dict[str, TokenBucket] = {}  # guarded-by: _lock
+        self._deposits: Dict[str, float] = {}  # guarded-by: _lock
         # Spend reserved by requests admitted but not yet billed, so that
         # a burst of in-flight requests cannot collectively overshoot a
         # deposit between admission and settlement.
-        self._reserved: Dict[str, float] = {}
+        self._reserved: Dict[str, float] = {}  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -143,7 +143,8 @@ class AdmissionController:
 
     def deposit_of(self, consumer: str) -> float:
         """The consumer's registered deposit (infinite when unset)."""
-        return self._deposits.get(consumer, float("inf"))
+        with self._lock:
+            return self._deposits.get(consumer, float("inf"))
 
     # ------------------------------------------------------------------
     # admission

@@ -76,12 +76,12 @@ class AnswerCache:
             raise ValueError("cache capacity must be positive")
         self.capacity = capacity
         self.telemetry = telemetry
-        self._entries: "OrderedDict[CacheKey, PrivateAnswer]" = OrderedDict()
+        self._entries: "OrderedDict[CacheKey, PrivateAnswer]" = OrderedDict()  # guarded-by: _lock
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
-        self._invalidations = 0
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
+        self._invalidations = 0  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # keying
@@ -125,10 +125,12 @@ class AnswerCache:
                 self._emit("cache.evictions")
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: CacheKey) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     # ------------------------------------------------------------------
     # invalidation

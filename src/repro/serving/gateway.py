@@ -171,9 +171,9 @@ class ServingGateway:
         )
         self._dispatch_lock = threading.Lock()
         self._state_lock = threading.Lock()
-        self._threads: List[threading.Thread] = []
-        self._started = False
-        self._closed = False
+        self._threads: List[threading.Thread] = []  # guarded-by: _state_lock
+        self._started = False  # guarded-by: _state_lock
+        self._closed = False  # guarded-by: _state_lock
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -222,7 +222,8 @@ class ServingGateway:
 
     @property
     def running(self) -> bool:
-        return self._started and not self._closed
+        with self._state_lock:
+            return self._started and not self._closed
 
     def pending(self) -> int:
         """Requests currently queued (admitted, not yet dispatched)."""
@@ -246,7 +247,9 @@ class ServingGateway:
         :class:`~repro.errors.ServiceOverloadedError` when the queue is
         full.
         """
-        if self._closed:
+        # Benign race: a lock-free fast-path read.  A submit racing stop()
+        # is caught anyway -- stop() drains the queue and fails leftovers.
+        if self._closed:  # repro-lint: disable=RL003
             raise GatewayClosedError("gateway is stopped")
         price = self.broker.quote(spec)
         if self.admission is not None:
@@ -406,7 +409,7 @@ class ServingGateway:
                 answers = self.broker.answer_batch(
                     queries, specs, consumer=consumer
                 )
-            except Exception as exc:  # shed the whole group, atomically
+            except Exception as exc:  # repro-lint: shed -- fail the whole group atomically
                 for i in indices:
                     self._fail(fresh[i], exc)
                 continue
@@ -445,7 +448,7 @@ class ServingGateway:
     def _replay(self, request: _Request, cached: PrivateAnswer) -> None:
         try:
             answer = self.broker.replay(cached, request.consumer)
-        except Exception as exc:
+        except Exception as exc:  # repro-lint: shed -- failure lands on the future
             self._fail(request, exc)
             return
         self.telemetry.inc("gateway.cache_replays")

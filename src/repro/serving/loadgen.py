@@ -247,6 +247,7 @@ def _consumer_loop(
             with tally.lock:
                 tally.completed += 1
         except Exception:
+            gateway.telemetry.inc("loadgen.errors")
             with tally.lock:
                 tally.failed += 1
 
@@ -404,6 +405,7 @@ def run_open_loop(
             with tally.lock:
                 tally.completed += 1
         except Exception:
+            gateway.telemetry.inc("loadgen.errors")
             with tally.lock:
                 tally.failed += 1
     duration = time.perf_counter() - start

@@ -91,7 +91,7 @@ class Histogram:
         self._sum = 0.0
         self._min = float("inf")
         self._max = float("-inf")
-        self._values: List[float] = []
+        self._values: List[float] = []  # guarded-by: _lock
         self._cap = cap
         self._lock = threading.Lock()
 
@@ -158,9 +158,9 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._counters: Dict[str, Counter] = {}  # guarded-by: _lock
+        self._gauges: Dict[str, Gauge] = {}  # guarded-by: _lock
+        self._histograms: Dict[str, Histogram] = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # metric accessors (get-or-create)

@@ -1,0 +1,33 @@
+"""Shared helpers for the lint-rule fixture tests.
+
+``lint_snippet`` runs the engine over an in-memory source blob addressed
+as a virtual repo path (rules scope by module name, so the path controls
+which rules see the snippet).
+"""
+
+from __future__ import annotations
+
+import textwrap
+from typing import List, Optional
+
+import pytest
+
+from repro.lint import LintEngine, LintResult, default_registry
+import repro.lint.rules  # noqa: F401  -- ensure RL001-RL005 are registered
+
+
+@pytest.fixture
+def lint_snippet():
+    def run(
+        source: str,
+        rel_path: str = "repro/core/broker.py",
+        rules: Optional[List[str]] = None,
+    ) -> LintResult:
+        engine = LintEngine(rules=default_registry.create(only=rules))
+        return engine.lint_source(textwrap.dedent(source), rel_path)
+
+    return run
+
+
+def rule_ids(result: LintResult) -> List[str]:
+    return [finding.rule_id for finding in result.findings]

@@ -1,0 +1,68 @@
+"""Baseline mechanics: fingerprints, multiset matching, fail-on-new."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import Baseline, Finding
+
+
+def _finding(rule="RL005", path="repro/serving/x.py", line=3, text="except Exception:"):
+    return Finding(
+        rule_id=rule, path=path, line=line, col=0,
+        message="broad except", line_text=text,
+    )
+
+
+def test_fingerprint_is_stable_under_line_drift():
+    a = _finding(line=3)
+    b = _finding(line=30)  # same offending text, shifted by edits above it
+    assert a.fingerprint == b.fingerprint
+
+
+def test_fingerprint_distinguishes_rule_path_and_text():
+    base = _finding()
+    assert base.fingerprint != _finding(rule="RL004").fingerprint
+    assert base.fingerprint != _finding(path="repro/serving/y.py").fingerprint
+    assert base.fingerprint != _finding(text="except BaseException:").fingerprint
+
+
+def test_partition_splits_new_from_baselined():
+    known = _finding(line=3)
+    fresh = _finding(path="repro/cluster/y.py", line=9)
+    baseline = Baseline([known.fingerprint])
+    new, baselined = baseline.partition([known, fresh])
+    assert baselined == [known]
+    assert new == [fresh]
+
+
+def test_partition_is_multiset_not_set():
+    # Two identical offending lines need two baseline entries; one entry
+    # only absorbs one occurrence.
+    first = _finding(line=3)
+    second = _finding(line=7)
+    assert first.fingerprint == second.fingerprint
+    baseline = Baseline([first.fingerprint])
+    new, baselined = baseline.partition([first, second])
+    assert len(baselined) == 1
+    assert len(new) == 1
+
+
+def test_roundtrip_through_file(tmp_path):
+    path = tmp_path / "baseline.json"
+    findings = [_finding(), _finding(path="repro/cluster/y.py")]
+    Baseline.write(path, findings)
+    payload = json.loads(path.read_text())
+    assert payload["format"] == "repro.lint-baseline"
+    assert len(payload["findings"]) == 2
+    loaded = Baseline.load(path)
+    new, baselined = loaded.partition(findings)
+    assert new == []
+    assert len(baselined) == 2
+
+
+def test_missing_file_is_empty_baseline(tmp_path):
+    baseline = Baseline.load(tmp_path / "nope.json")
+    assert len(baseline) == 0
+    new, baselined = baseline.partition([_finding()])
+    assert len(new) == 1 and baselined == []

@@ -1,0 +1,111 @@
+"""RL003 lock-discipline: guarded-by attributes only under their lock."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+GUARDED_CLASS = """
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters = {}  # guarded-by: _lock
+        self._free = 0
+
+    def unlocked_read(self):
+        return len(self._counters)
+
+    def locked_read(self):
+        with self._lock:
+            return len(self._counters)
+
+    def locked_write(self, name):
+        with self._lock:
+            self._counters[name] = 1
+
+    # holds: _lock
+    def assumes_lock(self, name):
+        return self._counters.get(name)
+
+    def free_access(self):
+        return self._free
+"""
+
+CLOSURE_ESCAPE = """
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._jobs = []  # guarded-by: _lock
+
+    def schedule(self):
+        with self._lock:
+            def later():
+                return self._jobs.pop()
+            return later
+"""
+
+TWO_LOCKS = """
+import threading
+
+
+class Shard:
+    def __init__(self):
+        self._state_lock = threading.Lock()
+        self._dispatch_lock = threading.Lock()
+        self._closed = False  # guarded-by: _state_lock
+
+    def wrong_lock(self):
+        with self._dispatch_lock:
+            return self._closed
+"""
+
+
+def test_unlocked_access_is_flagged_and_locked_access_is_clean(lint_snippet):
+    result = lint_snippet(
+        GUARDED_CLASS, rel_path="repro/serving/telemetry.py", rules=["RL003"]
+    )
+    assert rule_ids(result) == ["RL003"]
+    finding = result.findings[0]
+    assert "unlocked_read" in finding.message
+    assert "_counters" in finding.message
+
+
+def test_closure_does_not_inherit_the_lock(lint_snippet):
+    # The closure may run after the with-block exits (e.g. on a worker
+    # thread), so the held lock must not leak into its body.
+    result = lint_snippet(
+        CLOSURE_ESCAPE, rel_path="repro/serving/gateway.py", rules=["RL003"]
+    )
+    assert rule_ids(result) == ["RL003"]
+
+
+def test_holding_the_wrong_lock_is_flagged(lint_snippet):
+    result = lint_snippet(
+        TWO_LOCKS, rel_path="repro/cluster/broker.py", rules=["RL003"]
+    )
+    assert rule_ids(result) == ["RL003"]
+    assert "_state_lock" in result.findings[0].message
+
+
+def test_inline_suppression_is_honoured(lint_snippet):
+    suppressed = GUARDED_CLASS.replace(
+        "        return len(self._counters)\n\n    def locked_read",
+        "        return len(self._counters)  # repro-lint: disable=RL003\n\n"
+        "    def locked_read",
+    )
+    result = lint_snippet(
+        suppressed, rel_path="repro/serving/telemetry.py", rules=["RL003"]
+    )
+    assert rule_ids(result) == []
+    assert result.suppressed == 1
+
+
+def test_files_without_annotations_are_skipped(lint_snippet):
+    bare = "class C:\n    def __init__(self):\n        self._x = 0\n"
+    result = lint_snippet(bare, rel_path="repro/serving/gateway.py", rules=["RL003"])
+    assert rule_ids(result) == []

@@ -1,0 +1,90 @@
+"""RL004 accounting-floats: no exact equality on money or epsilon values."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+EXACT_PRICE = """
+def refund(price, quoted):
+    if price == quoted:
+        return 0.0
+    return quoted - price
+"""
+
+EXACT_EPSILON = """
+def settled(self, consumer):
+    return self._epsilon_spent[consumer] != self.max_epsilon
+"""
+
+ISCLOSE = """
+import math
+
+
+def refund(price, quoted):
+    if math.isclose(price, quoted, rel_tol=1e-9):
+        return 0.0
+    return quoted - price
+"""
+
+NON_MONEY = """
+def same_consumer(t, consumer):
+    return t.consumer == consumer
+"""
+
+STRING_TAG = """
+def is_flat(self):
+    return self.price_kind == "flat"
+"""
+
+
+def test_exact_price_equality_is_flagged(lint_snippet):
+    result = lint_snippet(
+        EXACT_PRICE, rel_path="repro/pricing/functions.py", rules=["RL004"]
+    )
+    assert rule_ids(result) == ["RL004"]
+    assert "math.isclose" in result.findings[0].message
+
+
+def test_exact_epsilon_inequality_is_flagged(lint_snippet):
+    result = lint_snippet(
+        EXACT_EPSILON, rel_path="repro/core/policy.py", rules=["RL004"]
+    )
+    assert rule_ids(result) == ["RL004"]
+
+
+def test_isclose_is_clean(lint_snippet):
+    result = lint_snippet(ISCLOSE, rel_path="repro/pricing/functions.py", rules=["RL004"])
+    assert rule_ids(result) == []
+
+
+def test_non_money_identifiers_are_clean(lint_snippet):
+    result = lint_snippet(
+        NON_MONEY, rel_path="repro/pricing/ledger.py", rules=["RL004"]
+    )
+    assert rule_ids(result) == []
+
+
+def test_string_tag_comparison_is_exempt(lint_snippet):
+    result = lint_snippet(
+        STRING_TAG, rel_path="repro/pricing/functions.py", rules=["RL004"]
+    )
+    assert rule_ids(result) == []
+
+
+def test_rule_is_scoped_to_pricing_and_policy(lint_snippet):
+    result = lint_snippet(
+        EXACT_PRICE, rel_path="repro/serving/gateway.py", rules=["RL004"]
+    )
+    assert rule_ids(result) == []
+
+
+def test_inline_suppression_is_honoured(lint_snippet):
+    suppressed = EXACT_PRICE.replace(
+        "if price == quoted:",
+        "if price == quoted:  # repro-lint: disable=RL004",
+    )
+    result = lint_snippet(
+        suppressed, rel_path="repro/pricing/functions.py", rules=["RL004"]
+    )
+    assert rule_ids(result) == []
+    assert result.suppressed == 1

@@ -1,0 +1,95 @@
+"""RL005 broad-except: broad handlers must re-raise, count, or be annotated."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+SWALLOWED = """
+def pump(queue):
+    try:
+        queue.drain()
+    except Exception:
+        pass
+"""
+
+BARE = """
+def pump(queue):
+    try:
+        queue.drain()
+    except:
+        pass
+"""
+
+RERAISED = """
+def pump(queue):
+    try:
+        queue.drain()
+    except Exception:
+        raise
+"""
+
+COUNTED = """
+def pump(queue, telemetry):
+    try:
+        queue.drain()
+    except Exception:
+        telemetry.inc("pump.errors")
+"""
+
+SHED_ANNOTATED = """
+def pump(queue):
+    try:
+        queue.drain()
+    except Exception:  # repro-lint: shed -- overload path, future carries the error
+        pass
+"""
+
+NARROW = """
+def pump(queue):
+    try:
+        queue.drain()
+    except (ValueError, KeyError):
+        pass
+"""
+
+
+def test_swallowed_exception_is_flagged(lint_snippet):
+    result = lint_snippet(SWALLOWED, rel_path="repro/serving/loadgen.py", rules=["RL005"])
+    assert rule_ids(result) == ["RL005"]
+
+
+def test_bare_except_is_flagged(lint_snippet):
+    result = lint_snippet(BARE, rel_path="repro/serving/loadgen.py", rules=["RL005"])
+    assert rule_ids(result) == ["RL005"]
+
+
+def test_reraise_is_clean(lint_snippet):
+    result = lint_snippet(RERAISED, rel_path="repro/serving/loadgen.py", rules=["RL005"])
+    assert rule_ids(result) == []
+
+
+def test_metrics_count_is_clean(lint_snippet):
+    result = lint_snippet(COUNTED, rel_path="repro/serving/loadgen.py", rules=["RL005"])
+    assert rule_ids(result) == []
+
+
+def test_shed_annotation_is_clean(lint_snippet):
+    result = lint_snippet(
+        SHED_ANNOTATED, rel_path="repro/serving/gateway.py", rules=["RL005"]
+    )
+    assert rule_ids(result) == []
+
+
+def test_narrow_handler_is_clean(lint_snippet):
+    result = lint_snippet(NARROW, rel_path="repro/serving/loadgen.py", rules=["RL005"])
+    assert rule_ids(result) == []
+
+
+def test_disable_pragma_is_honoured(lint_snippet):
+    suppressed = SWALLOWED.replace(
+        "except Exception:",
+        "except Exception:  # repro-lint: disable=RL005",
+    )
+    result = lint_snippet(suppressed, rel_path="repro/serving/loadgen.py", rules=["RL005"])
+    assert rule_ids(result) == []
+    assert result.suppressed == 1
