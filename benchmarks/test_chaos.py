@@ -1,0 +1,201 @@
+"""Chaos + durability benchmark: journal overhead and the acceptance run.
+
+Two claims from the crash-safety work:
+
+* the write-ahead trade journal costs < 10% on the batched trading hot
+  path (in-memory journaling; the file-backed figure is reported too);
+* the acceptance-scale seeded chaos scenario -- 200 mixed-tier trades
+  over a 2-shard cluster with worker kills, a broker crash-recovery, a
+  shard partition, and a channel burst -- passes all three invariants
+  (no under-accounting, zero drift + bit-exact recovery, every request
+  resolves) and is bit-reproducible across two same-seed runs.
+
+Set ``REPRO_BENCH_SMOKE=1`` to skip the timing assertion (CI timing is
+noisy); the chaos invariants are asserted in every mode.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import DEVICE_COUNT
+from repro.analysis.metrics import make_workload
+from repro.chaos import ChaosConfig, ChaosHarness, FaultSchedule
+from repro.core.query import AccuracySpec
+from repro.core.service import PrivateRangeCountingService
+from repro.durability.journal import TradeJournal
+from repro.serving import ServingConfig, Workload
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+
+TIERS = (
+    AccuracySpec(alpha=0.1, delta=0.5),
+    AccuracySpec(alpha=0.15, delta=0.6),
+    AccuracySpec(alpha=0.2, delta=0.5),
+)
+BATCH_WIDTH = 64
+ROUNDS = 4 if SMOKE else 20
+REPEATS = 1 if SMOKE else 3  # best-of-N damps scheduler noise
+CHAOS_TRADES = 200
+CHAOS_SEED = 29
+
+
+def _timed_batches(service, ranges) -> float:
+    """Seconds for ROUNDS alternating-tier batches through answer_batch."""
+    service.collect(0.5)
+    started = time.perf_counter()
+    for round_index in range(ROUNDS):
+        spec = TIERS[round_index % len(TIERS)]
+        service.answer_many(
+            ranges, spec.alpha, spec.delta, consumer=f"b{round_index % 4}"
+        )
+    return time.perf_counter() - started
+
+
+def _build_chaos_gateway(values):
+    service = PrivateRangeCountingService.from_values(
+        values, k=DEVICE_COUNT, seed=CHAOS_SEED, shards=2
+    )
+    journal = TradeJournal()
+    service.broker.journal = journal
+    gateway = service.serve(ServingConfig(
+        batch_window=0.0,
+        max_batch=BATCH_WIDTH,
+        queue_depth=max(CHAOS_TRADES + 16, 1024),
+        workers=1,
+        enable_cache=False,
+    ))
+    return service, journal, gateway
+
+
+def test_journal_overhead_and_chaos_acceptance(
+    citypulse, save_result, save_json, tmp_path
+):
+    values = citypulse.values("ozone")
+    ranges = list(make_workload(values, num_queries=BATCH_WIDTH, seed=9).ranges)
+
+    # -- journal overhead on the batched trading hot path --------------
+    # The gated figure is measured in-situ: the fraction of hot-path
+    # time spent inside ``append_many`` during one run.  Numerator and
+    # denominator share the run's ambient conditions, so scheduler and
+    # frequency-scaling noise cancels -- unlike twin-stack wall-clock
+    # deltas, which swing +-20% at these (tens of ms) scales.  The
+    # twin-stack wall times are still reported, unasserted.
+    def build(journal=None):
+        service = PrivateRangeCountingService.from_values(
+            values, k=DEVICE_COUNT, seed=3
+        )
+        service.broker.journal = journal
+        return service
+
+    class TimedJournal(TradeJournal):
+        spent = 0.0
+
+        def append_many(self, records):
+            started = time.perf_counter()
+            try:
+                return super().append_many(records)
+            finally:
+                self.spent += time.perf_counter() - started
+
+    timed_journal = TimedJournal()
+    memory_s = _timed_batches(build(journal=timed_journal), ranges)
+    overhead_pct = 100.0 * timed_journal.spent / (
+        memory_s - timed_journal.spent
+    )
+
+    baseline_s = min(
+        _timed_batches(build(journal=None), ranges) for _ in range(REPEATS)
+    )
+    timed_file = None
+    for repeat in range(REPEATS):
+        file_journal = TimedJournal(
+            path=tmp_path / f"bench-journal-{repeat}.jsonl"
+        )
+        elapsed = _timed_batches(build(journal=file_journal), ranges)
+        file_journal.close()
+        if timed_file is None or elapsed < timed_file[0]:
+            timed_file = (elapsed, file_journal.spent)
+    file_s, file_spent = timed_file
+    file_overhead_pct = 100.0 * file_spent / (file_s - file_spent)
+
+    # -- acceptance-scale seeded chaos, twice for determinism ----------
+    workload = Workload(
+        ranges=make_workload(values, num_queries=16, seed=CHAOS_SEED).ranges,
+        tiers=TIERS,
+    )
+    schedule = FaultSchedule.generate(
+        seed=CHAOS_SEED, trades=CHAOS_TRADES, shards=2
+    )
+    reports = []
+    for _ in range(2):
+        service, journal, gateway = _build_chaos_gateway(values)
+        harness = ChaosHarness(
+            gateway, journal, schedule, workload,
+            config=ChaosConfig(trades=CHAOS_TRADES),
+        )
+        reports.append(harness.run())
+    report, rerun = reports
+
+    assert report.all_passed, report.failures
+    assert rerun.all_passed, rerun.failures
+    assert report.unresolved == 0
+    assert report.worker_kills >= 2
+    assert report.broker_recoveries >= 1
+    assert all(report.recoveries_exact)
+    assert report.final_recovery_exact
+    deterministic = report.checksum == rerun.checksum
+    assert deterministic
+
+    if not SMOKE:
+        assert overhead_pct < 10.0, (
+            f"in-memory journal overhead {overhead_pct:.2f}% >= 10%"
+        )
+
+    trades_timed = ROUNDS * BATCH_WIDTH
+    lines = [
+        "chaos / durability benchmark",
+        f"  batched trades timed      {trades_timed}",
+        f"  baseline (no journal)     {baseline_s:.4f}s",
+        f"  in-memory journal         {memory_s:.4f}s "
+        f"(in-situ overhead {overhead_pct:+.2f}%)",
+        f"  file-backed journal       {file_s:.4f}s "
+        f"(in-situ overhead {file_overhead_pct:+.2f}%)",
+        f"  chaos trades              {report.trades} over 2 shards, "
+        f"seed {CHAOS_SEED}",
+        f"  resolved/failed/unresolved  {report.resolved}/{report.failed}/"
+        f"{report.unresolved}",
+        f"  worker kills/restarts     {report.worker_kills}/"
+        f"{report.worker_restarts}",
+        f"  broker recoveries (exact) {report.broker_recoveries} "
+        f"({sum(report.recoveries_exact)})",
+        f"  degraded answers          {report.degraded_answers}",
+        f"  epsilon drift             {report.epsilon_drift:.3e}",
+        f"  revenue drift             {report.revenue_drift:.3e}",
+        f"  invariants all passed     {report.all_passed}",
+        f"  deterministic (2 runs)    {deterministic}",
+    ]
+    save_result("chaos", "\n".join(lines))
+    save_json("chaos", {
+        "journal_overhead": {
+            "trades_timed": trades_timed,
+            "batch_width": BATCH_WIDTH,
+            "rounds": ROUNDS,
+            "baseline_s": baseline_s,
+            "in_memory_s": memory_s,
+            "in_memory_journal_s": timed_journal.spent,
+            "file_backed_s": file_s,
+            "file_backed_journal_s": file_spent,
+            "overhead_pct": overhead_pct,
+            "file_overhead_pct": file_overhead_pct,
+            "method": "in-situ append_many share of hot-path time",
+            "smoke": SMOKE,
+        },
+        "chaos": report.to_payload(),
+        "determinism": {
+            "runs": 2,
+            "checksums_equal": deterministic,
+            "schedule_checksum": schedule.checksum(),
+        },
+    })

@@ -1,0 +1,30 @@
+"""Deterministic chaos engineering for the trading stack.
+
+Seed-driven fault schedules (:mod:`repro.chaos.schedule`), live-stack
+injectors (:mod:`repro.chaos.injectors`), and the auditing harness
+(:mod:`repro.chaos.harness`) that drives a request stream through a
+gateway under faults and machine-checks the three crash-safety
+invariants: no under-accounting, zero drift with exact journal recovery,
+and every accepted request resolving.
+"""
+
+from repro.chaos.harness import ChaosConfig, ChaosHarness, ChaosReport
+from repro.chaos.injectors import FaultInjector, books_equal
+from repro.chaos.schedule import (
+    EVENT_KINDS,
+    STREAM_AFFECTING,
+    FaultEvent,
+    FaultSchedule,
+)
+
+__all__ = [
+    "ChaosConfig",
+    "ChaosHarness",
+    "ChaosReport",
+    "FaultInjector",
+    "books_equal",
+    "EVENT_KINDS",
+    "STREAM_AFFECTING",
+    "FaultEvent",
+    "FaultSchedule",
+]

@@ -16,6 +16,9 @@ Four commands cover the library's everyday surfaces:
 * ``loadgen``     -- drive the gateway with a closed- or open-loop load
   generator and report throughput/latency/accounting-drift (optionally
   as machine-readable BENCH JSON).
+* ``chaos``       -- run a seeded fault-injection schedule (worker kills,
+  broker crash-recovery from the trade journal, shard partitions, burst
+  loss) over a live stack and audit the crash-safety invariants.
 
 Every command prints plain ASCII tables (the same renderer the bench
 harness uses) and returns a process exit code: 0 on success, 2 on invalid
@@ -284,9 +287,51 @@ def build_parser() -> argparse.ArgumentParser:
              "actually failed over (the CI smoke contract)",
     )
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a seeded fault-injection schedule over a live trading "
+             "stack and audit the crash-safety invariants",
+    )
+    chaos.add_argument("--index", choices=AIR_QUALITY_INDEXES, default="ozone")
+    chaos.add_argument("--records", type=int, default=8000)
+    chaos.add_argument("--devices", type=int, default=16)
+    chaos.add_argument("--shards", type=int, default=2,
+                       help="shard count (1 = plain single-station broker)")
+    chaos.add_argument("--trades", type=int, default=200,
+                       help="length of the deterministic request stream")
+    chaos.add_argument("--consumers", type=int, default=4)
+    chaos.add_argument("--ranges", type=int, default=16,
+                       help="distinct query ranges in the workload")
+    chaos.add_argument(
+        "--tiers",
+        default="0.1:0.5,0.15:0.6,0.2:0.5",
+        help="comma-separated alpha:delta product tiers",
+    )
+    chaos.add_argument("--seed", type=int, default=29,
+                       help="seeds the fault schedule, channels, samplers, "
+                            "and noise draws; the whole run is a pure "
+                            "function of this")
+    chaos.add_argument("--journal", metavar="PATH",
+                       help="persist the trade journal as JSONL here "
+                            "(first run only; defaults to in-memory)")
+    chaos.add_argument("--json", metavar="PATH",
+                       help="write a BENCH-format JSON report here")
+    chaos.add_argument(
+        "--check-determinism",
+        action="store_true",
+        help="run the identical schedule twice on fresh stacks and "
+             "require bit-identical outcome checksums",
+    )
+    chaos.add_argument(
+        "--assert-invariants",
+        action="store_true",
+        help="exit 1 unless all three chaos invariants hold (and, with "
+             "--check-determinism, both runs agree) -- the CI contract",
+    )
+
     lint = sub.add_parser(
         "lint",
-        help="run the domain-aware static-analysis rules (RL001-RL005)",
+        help="run the domain-aware static-analysis rules (RL001-RL006)",
     )
     from repro.lint.cli import add_lint_arguments
 
@@ -842,6 +887,105 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos_once(args: argparse.Namespace, journal_path):
+    """Build one fresh seeded stack and run the schedule through it."""
+    from repro.analysis.metrics import make_workload
+    from repro.chaos import ChaosConfig, ChaosHarness, FaultSchedule
+    from repro.durability.journal import TradeJournal
+    from repro.serving import ServingConfig, Workload
+
+    tiers = _parse_tiers(args.tiers)
+    data = generate_citypulse(record_count=args.records)
+    service = PrivateRangeCountingService.from_citypulse(
+        data, args.index, k=args.devices, seed=args.seed, shards=args.shards
+    )
+    journal = TradeJournal(path=journal_path)
+    service.broker.journal = journal
+    gateway = service.serve(
+        ServingConfig(
+            batch_window=0.0,
+            max_batch=64,
+            queue_depth=max(args.trades + 16, 1024),
+            workers=1,
+            enable_cache=False,
+        )
+    )
+    values = service.truth.values
+    workload = Workload(
+        ranges=list(
+            make_workload(values, num_queries=args.ranges,
+                          seed=args.seed).ranges
+        ),
+        tiers=tiers,
+    )
+    schedule = FaultSchedule.generate(
+        seed=args.seed, trades=args.trades, shards=args.shards
+    )
+    harness = ChaosHarness(
+        gateway, journal, schedule, workload,
+        ChaosConfig(trades=args.trades, consumers=args.consumers),
+    )
+    try:
+        return harness.run()
+    finally:
+        journal.close()
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.serving import write_bench_json
+
+    try:
+        _parse_tiers(args.tiers)
+        if args.trades < 20:
+            raise ValueError("--trades must be at least 20")
+        if args.shards < 1:
+            raise ValueError("--shards must be positive")
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = _run_chaos_once(args, args.journal)
+    deterministic = None
+    if args.check_determinism:
+        rerun = _run_chaos_once(args, None)
+        deterministic = rerun.checksum == report.checksum
+    payload = report.to_payload()
+    if deterministic is not None:
+        payload["deterministic"] = deterministic
+    rows = [
+        (key, value)
+        for key, value in payload.items()
+        if key not in ("invariants", "recoveries_exact", "failures")
+    ]
+    rows.extend(
+        (f"invariant.{name}", ok)
+        for name, ok in payload["invariants"].items()
+    )
+    print(format_table(["metric", "value"], rows))
+    for failure in report.failures:
+        print(f"  violation: {failure}")
+    if args.json:
+        write_bench_json(args.json, "chaos", payload)
+        print(f"wrote {args.json}")
+    if args.assert_invariants:
+        if not report.all_passed or deterministic is False:
+            print(
+                "chaos UNHEALTHY: "
+                + ("; ".join(report.failures) or "")
+                + ("" if deterministic is not False
+                   else "; same-seed reruns diverged"),
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            "chaos healthy: all invariants held over "
+            f"{report.trades} trades ({report.worker_kills} worker kills, "
+            f"{report.broker_recoveries} broker recoveries, "
+            f"{report.degraded_answers} degraded answers)"
+            + (", deterministic across reruns" if deterministic else "")
+        )
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import run_lint
 
@@ -868,6 +1012,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "loadgen": _cmd_loadgen,
         "cluster-serve": _cmd_cluster_serve,
         "cluster-bench": _cmd_cluster_bench,
+        "chaos": _cmd_chaos,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

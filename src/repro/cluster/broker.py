@@ -52,6 +52,7 @@ from repro.privacy.budget import BudgetAccountant
 from repro.privacy.optimizer import PrivacyPlan
 
 if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.durability.journal import TradeJournal
     from repro.serving.telemetry import MetricsRegistry
 
 __all__ = ["ClusterAnswer", "ClusterBroker"]
@@ -229,6 +230,11 @@ class ClusterBroker:
     replica_confidence: float = 0.9
     monitor: Optional[ShardHealthMonitor] = None
     telemetry: "Optional[MetricsRegistry]" = None
+    #: Optional :class:`~repro.durability.journal.TradeJournal`; when set,
+    #: every consolidated trade is journaled *before* the merged answer is
+    #: released or the cluster books mutate (RL006).  Shard-level books
+    #: are internal transfer accounting and are not journaled.
+    journal: "Optional[TradeJournal]" = None
 
     def __post_init__(self) -> None:
         if not self.shards:
@@ -333,6 +339,17 @@ class ClusterBroker:
         """Cluster list price of an ``(α, δ)`` product."""
         return self.pricing.price(spec.alpha, spec.delta)
 
+    def _journal_trades(self, records: "list[dict]") -> None:
+        """Commit consolidated trades to the write-ahead journal.
+
+        Must run **before** ``policy.settle`` / ``accountant.charge_many``
+        / ``ledger.record_many`` and before any merged answer is returned
+        (journal-before-release, RL006).  No-op when no journal is
+        attached.
+        """
+        if self.journal is not None:
+            self.journal.append_many(records)
+
     def ensure_rate(self, p: float) -> None:
         """Run (or top up to) collection rounds on all shards, concurrently."""
         self._fan_out(lambda shard: shard.ensure_rate(p))
@@ -428,6 +445,25 @@ class ClusterBroker:
                     f"merged releases (ε′={total_epsilon:.6g}) would exceed "
                     f"capacity {self.accountant.capacity:.6g}"
                 )
+            store_version = self._station_view.store_version
+            self._journal_trades([
+                dict(
+                    kind="release",
+                    consumer=consumer,
+                    dataset=self.dataset,
+                    low=query.low,
+                    high=query.high,
+                    alpha=q_spec.alpha,
+                    delta=q_spec.delta,
+                    epsilon_prime=eps,
+                    price=price,
+                    store_version=store_version,
+                    label=label,
+                )
+                for query, q_spec, price, eps, label in zip(
+                    queries, specs, prices, epsilons, labels
+                )
+            ])
             for q_spec, eps in zip(specs, epsilons):
                 self.policy.settle(consumer, eps)
             self.accountant.charge_many(self.dataset, epsilons, labels)
@@ -489,6 +525,19 @@ class ClusterBroker:
         spec = cached.spec
         self.policy.admit(consumer, spec)
         price = self.pricing.price(spec.alpha, spec.delta)
+        self._journal_trades([dict(
+            kind="replay",
+            consumer=consumer,
+            dataset=self.dataset,
+            low=cached.query.low,
+            high=cached.query.high,
+            alpha=spec.alpha,
+            delta=spec.delta,
+            epsilon_prime=0.0,
+            price=price,
+            store_version=self._station_view.store_version,
+            label=f"{consumer}:[{cached.query.low},{cached.query.high}]",
+        )])
         self.policy.settle(consumer, 0.0)
         txn = self.ledger.record(
             consumer=consumer,

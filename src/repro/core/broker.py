@@ -36,6 +36,7 @@ from repro.privacy.budget import BudgetAccountant
 from repro.privacy.laplace import sample_laplace, sample_laplace_many
 
 if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
+    from repro.durability.journal import TradeJournal
     from repro.serving.telemetry import MetricsRegistry
 
 __all__ = ["DataBroker"]
@@ -85,6 +86,12 @@ class DataBroker:
     #: ``broker.*``.  Duck-typed (no serving import) to keep the core
     #: layer dependency-free.
     telemetry: "Optional[MetricsRegistry]" = None
+    #: Optional :class:`~repro.durability.journal.TradeJournal`; when set,
+    #: every trade is journaled *before* the answer is released or any
+    #: accounting state mutates (crash-safety invariant RL006), so
+    #: :func:`~repro.durability.recovery.recover_accounting` can rebuild
+    #: the exact books after a crash.
+    journal: "Optional[TradeJournal]" = None
 
     def __post_init__(self) -> None:
         # Cache of released answers keyed by (query, spec, sample rate);
@@ -121,6 +128,18 @@ class DataBroker:
         if self.telemetry is not None:
             self.telemetry.inc(name, amount)
 
+    def _journal_trades(self, records: "list[dict]") -> None:
+        """Commit trades to the write-ahead journal, pre-release.
+
+        Must run **before** ``policy.settle`` / ``accountant.charge`` /
+        ``ledger.record`` and before the answer object is returned
+        (journal-before-release, RL006): a crash after the append can only
+        make recovery *over*-count ε, never under-count it.  No-op when no
+        journal is attached.
+        """
+        if self.journal is not None:
+            self.journal.append_many(records)
+
     def replay(self, cached: PrivateAnswer, consumer: str) -> PrivateAnswer:
         """Re-release a previously purchased answer to ``consumer``.
 
@@ -138,6 +157,19 @@ class DataBroker:
         spec = cached.spec
         self.policy.admit(consumer, spec)
         price = self.pricing.price(spec.alpha, spec.delta)
+        self._journal_trades([dict(
+            kind="replay",
+            consumer=consumer,
+            dataset=self.dataset,
+            low=cached.query.low,
+            high=cached.query.high,
+            alpha=spec.alpha,
+            delta=spec.delta,
+            epsilon_prime=0.0,
+            price=price,
+            store_version=self.base_station.store_version,
+            label=f"{consumer}:[{cached.query.low},{cached.query.high}]",
+        )])
         self.policy.settle(consumer, 0.0)
         txn = self.ledger.record(
             consumer=consumer,
@@ -211,6 +243,19 @@ class DataBroker:
 
         with self._timer("broker.charge_s"):
             price = self.pricing.price(spec.alpha, spec.delta)
+            self._journal_trades([dict(
+                kind="release",
+                consumer=consumer,
+                dataset=self.dataset,
+                low=query.low,
+                high=query.high,
+                alpha=spec.alpha,
+                delta=spec.delta,
+                epsilon_prime=plan.epsilon_prime,
+                price=price,
+                store_version=self.base_station.store_version,
+                label=f"{consumer}:[{query.low},{query.high}]",
+            )])
             self.policy.settle(consumer, plan.epsilon_prime)
             self.accountant.charge(
                 self.dataset,
@@ -378,23 +423,41 @@ class DataBroker:
 
         # Settle in query order: identical per-entry ledger transactions,
         # accountant entries, and policy counters to the scalar loop --
-        # appended in bulk.
+        # appended in bulk, and journaled as one atomic batch *before*
+        # any accounting state mutates (journal-before-release, RL006).
         answers: "list[Optional[PrivateAnswer]]" = [None] * len(queries)
         sales: "list[dict]" = []
+        journal_records: "list[dict]" = []
+        settle_epsilons: "list[float]" = []
         charge_epsilons: "list[float]" = []
         charge_labels: "list[str]" = []
+        store_version = self.base_station.store_version
         miss_position = {idx: pos for pos, idx in enumerate(miss_indices)}
         for i, (query, qspec) in enumerate(zip(queries, specs)):
             tier = (qspec.alpha, qspec.delta)
             price = prices[tier]
+            label = f"{consumer}:[{query.low},{query.high}]"
             if i in hit_of:
                 epsilon_prime = 0.0
             else:
                 plan = plans[tier]
                 epsilon_prime = plan.epsilon_prime
                 charge_epsilons.append(epsilon_prime)
-                charge_labels.append(f"{consumer}:[{query.low},{query.high}]")
-            self.policy.settle(consumer, epsilon_prime)
+                charge_labels.append(label)
+            settle_epsilons.append(epsilon_prime)
+            journal_records.append(dict(
+                kind="replay" if i in hit_of else "release",
+                consumer=consumer,
+                dataset=self.dataset,
+                low=query.low,
+                high=query.high,
+                alpha=qspec.alpha,
+                delta=qspec.delta,
+                epsilon_prime=epsilon_prime,
+                price=price,
+                store_version=store_version,
+                label=label,
+            ))
             sales.append(dict(
                 consumer=consumer,
                 dataset=self.dataset,
@@ -404,6 +467,9 @@ class DataBroker:
                 epsilon_prime=epsilon_prime,
             ))
         with self._timer("broker.batch.charge_s"):
+            self._journal_trades(journal_records)
+            for epsilon_prime in settle_epsilons:
+                self.policy.settle(consumer, epsilon_prime)
             if charge_epsilons:
                 self.accountant.charge_many(
                     self.dataset, charge_epsilons, charge_labels

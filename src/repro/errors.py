@@ -22,11 +22,13 @@ __all__ = [
     "DeliveryError",
     "InsufficientSamplesError",
     "LedgerError",
+    "JournalError",
     "ServingError",
     "ServiceOverloadedError",
     "RateLimitedError",
     "QuotaExceededError",
     "GatewayClosedError",
+    "DeadlineExceededError",
     "ClusterError",
     "ShardUnavailableError",
 ]
@@ -74,7 +76,27 @@ class NetworkError(ReproError):
 
 
 class DeliveryError(NetworkError):
-    """A message could not be delivered (node unknown or link down)."""
+    """A message could not be delivered (node unknown or link down).
+
+    When raised by retry exhaustion the error carries the route context —
+    ``attempts`` made, ``hops`` on the path, and the ``sender``/``receiver``
+    endpoints — so operators can tell a congested multi-hop link from a
+    dead neighbour without re-running the simulation.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        attempts: int | None = None,
+        hops: int | None = None,
+        sender: str | None = None,
+        receiver: str | None = None,
+    ):
+        super().__init__(message)
+        self.attempts = attempts
+        self.hops = hops
+        self.sender = sender
+        self.receiver = receiver
 
 
 class InsufficientSamplesError(ReproError):
@@ -92,6 +114,10 @@ class InsufficientSamplesError(ReproError):
 
 class LedgerError(ReproError):
     """A billing or budget ledger was used inconsistently."""
+
+
+class JournalError(ReproError):
+    """The trade journal was misused or a journal file is corrupt."""
 
 
 class ServingError(ReproError):
@@ -117,6 +143,15 @@ class QuotaExceededError(ServingError):
 
 class GatewayClosedError(ServingError):
     """A request was submitted to a gateway that is not running."""
+
+
+class DeadlineExceededError(ServingError):
+    """A queued request sat past its ``request_ttl`` deadline.
+
+    Fired at dispatch time, before the broker touches any data: a
+    deadline-exceeded request is never billed and never spends privacy
+    budget — it fails fast instead of riding a late batch.
+    """
 
 
 class ClusterError(ReproError):

@@ -52,6 +52,12 @@ class Network:
         Cost accounting; a fresh meter by default.
     max_retries:
         Additional attempts after the first before giving up.
+    backoff_base:
+        Simulated seconds of exponential backoff before the first retry;
+        retry ``r`` waits ``backoff_base * backoff_factor**(r-1)``.  Set
+        to 0 to retry immediately (the pre-backoff behaviour).
+    backoff_factor:
+        Multiplier between successive backoff waits (>= 1).
     delivery_log_limit:
         Ring-buffer capacity of the per-message audit log.  Under
         sustained serving load the log would otherwise grow without
@@ -66,11 +72,17 @@ class Network:
     meter: CommunicationMeter = field(default_factory=CommunicationMeter)
     clock: SimulationClock = field(default_factory=SimulationClock)
     max_retries: int = 3
+    backoff_base: float = 0.002
+    backoff_factor: float = 2.0
     delivery_log_limit: Optional[int] = 4096
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+        if self.backoff_base < 0:
+            raise ValueError("backoff_base must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
         if self.delivery_log_limit is not None and self.delivery_log_limit <= 0:
             raise ValueError("delivery_log_limit must be positive or None")
         self._log: Deque[DeliveryRecord] = deque(maxlen=self.delivery_log_limit)
@@ -97,11 +109,20 @@ class Network:
         return self._attempt_count
 
     def send(self, message: Message) -> DeliveryRecord:
-        """Deliver ``message``, retrying lost attempts.
+        """Deliver ``message``, retrying lost attempts with backoff.
 
         Every attempt is charged to the meter (the radio transmits whether
-        or not the frame survives).  Raises :class:`DeliveryError` after
-        ``1 + max_retries`` failed attempts or for unknown endpoints.
+        or not the frame survives), and every attempt — lost ones too —
+        advances the simulated clock: a lost frame still burns
+        ``hops * base_latency`` of air time, and each retry waits an
+        exponentially growing backoff (``backoff_base`` doubling per
+        retry) before going back on the air.  Lost-frame air time is
+        deterministic (jitter models successful-delivery queueing and
+        draws no randomness here), so seeded channel streams are
+        unaffected by the clock accounting.  Raises
+        :class:`DeliveryError` — carrying attempts/hops/route context —
+        after ``1 + max_retries`` failed attempts or for unknown
+        endpoints.
         """
         hops = self.topology.hops(message.sender, message.receiver)
         if hops == 0:
@@ -109,6 +130,7 @@ class Network:
                 f"message from {message.sender} to itself needs no network"
             )
         attempts = 0
+        wasted = 0.0  # simulated seconds spent on lost frames + backoff
         while attempts <= self.max_retries:
             attempts += 1
             self._attempt_count += 1
@@ -128,7 +150,20 @@ class Network:
                 self._log.append(record)
                 self._delivered_count += 1
                 return record
+            lost_air_time = hops * self.channel.base_latency
+            self.clock.advance(lost_air_time)
+            wasted += lost_air_time
+            if attempts <= self.max_retries and self.backoff_base > 0:
+                backoff = self.backoff_base * self.backoff_factor ** (attempts - 1)
+                self.clock.advance(backoff)
+                wasted += backoff
         raise DeliveryError(
             f"message {type(message).__name__} from {message.sender} to "
-            f"{message.receiver} lost after {attempts} attempts"
+            f"{message.receiver} lost after {attempts} attempts over "
+            f"{hops} hop(s); {wasted:.6g}s simulated spent on lost frames "
+            "and backoff",
+            attempts=attempts,
+            hops=hops,
+            sender=str(message.sender),
+            receiver=str(message.receiver),
         )

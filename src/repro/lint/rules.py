@@ -20,6 +20,10 @@ linters cannot see:
 * **RL005 broad-except** -- broad handlers must re-raise, count a
   metric through :class:`~repro.serving.telemetry.MetricsRegistry`, or
   carry a ``# repro-lint: shed`` justification.
+* **RL006 journal-before-release** -- broker answer/replay paths must
+  append the trade to the write-ahead journal *before* any return that
+  releases an answer (crash-safety: a crash after the journal append can
+  only make recovery over-count ε, never under-count it).
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ __all__ = [
     "LockDisciplineRule",
     "AccountingFloatsRule",
     "BroadExceptRule",
+    "JournalBeforeReleaseRule",
 ]
 
 
@@ -658,6 +663,94 @@ class BroadExceptRule(Rule):
         return False
 
 
+# ======================================================================
+# RL006 journal-before-release
+# ======================================================================
+
+class JournalBeforeReleaseRule(Rule):
+    """RL006: broker answer paths journal the trade before releasing it."""
+
+    rule_id = "RL006"
+    name = "journal-before-release"
+    rationale = (
+        "The durable trade journal is only a crash-safety guarantee if "
+        "every release path appends to it before the answer leaves the "
+        "broker: journal-after-release (or charge-before-journal) lets a "
+        "crash release an answer whose ε-spend recovery cannot see."
+    )
+
+    _MODULES = ("repro.core.broker", "repro.cluster.broker")
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        return ctx.module in self._MODULES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.FunctionDef) and node.name.startswith(
+                ("answer", "replay")
+            ):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.FunctionDef
+    ) -> Iterator[Finding]:
+        journal_lines: List[int] = []
+        returns: List[ast.Return] = []
+        for node in self._walk_own_scope(func.body):
+            if isinstance(node, ast.Call) and self._is_journal_call(node):
+                journal_lines.append(node.lineno)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                returns.append(node)
+        for ret in returns:
+            if self._is_delegation(ret.value):
+                # Returning another answer*/replay* call's result: that
+                # callee carries the journaling obligation.
+                continue
+            if not any(line <= ret.lineno for line in journal_lines):
+                yield ctx.finding(
+                    self.rule_id,
+                    ret.lineno,
+                    ret.col_offset,
+                    f"{func.name} releases an answer without a preceding "
+                    "write-ahead journal append; call self._journal_trades("
+                    "...) (or journal.append/append_many) before the return "
+                    "(journal-before-release)",
+                )
+
+    @staticmethod
+    def _walk_own_scope(stmts: List[ast.stmt]) -> Iterator[ast.AST]:
+        """Walk the function body without descending into nested scopes."""
+        stack: List[ast.AST] = list(stmts)
+        while stack:
+            node = stack.pop()
+            yield node
+            for child in ast.iter_child_nodes(node):
+                if isinstance(
+                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                stack.append(child)
+
+    @staticmethod
+    def _is_journal_call(node: ast.Call) -> bool:
+        callee = _call_name(node)
+        if callee.startswith("_journal"):
+            return True
+        if callee in ("append", "append_many"):
+            dotted = _dotted_name(node.func)
+            return dotted is not None and "journal" in dotted.lower()
+        return False
+
+    @staticmethod
+    def _is_delegation(expr: Optional[ast.expr]) -> bool:
+        node = expr
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        return isinstance(node, ast.Call) and _call_name(node).startswith(
+            ("answer", "replay")
+        )
+
+
 # ----------------------------------------------------------------------
 # registration
 # ----------------------------------------------------------------------
@@ -666,3 +759,4 @@ default_registry.register(RngDisciplineRule)
 default_registry.register(LockDisciplineRule)
 default_registry.register(AccountingFloatsRule)
 default_registry.register(BroadExceptRule)
+default_registry.register(JournalBeforeReleaseRule)

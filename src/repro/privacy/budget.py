@@ -11,12 +11,36 @@ releases that would overspend.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Protocol, Tuple
 
-from repro.errors import PrivacyBudgetExceededError
+from repro.errors import LedgerError, PrivacyBudgetExceededError
 from repro.privacy.composition import sequential_composition
 
-__all__ = ["BudgetAccountant", "BudgetEntry"]
+__all__ = ["BudgetAccountant", "BudgetEntry", "SpendRecord"]
+
+
+class SpendRecord(Protocol):
+    """Structural view of a journaled trade's privacy spend.
+
+    Declared locally so the strictly-typed privacy layer never imports the
+    durability package: any object exposing these attributes — in practice
+    :class:`repro.durability.journal.JournalEntry` — can be replayed.
+    """
+
+    @property
+    def answer_id(self) -> int: ...
+
+    @property
+    def kind(self) -> str: ...
+
+    @property
+    def dataset(self) -> str: ...
+
+    @property
+    def epsilon_prime(self) -> float: ...
+
+    @property
+    def label(self) -> str: ...
 
 
 @dataclass(frozen=True)
@@ -45,6 +69,9 @@ class BudgetAccountant:
     def __post_init__(self) -> None:
         if self.capacity < 0:
             raise ValueError("capacity must be non-negative")
+        # Highest journal answer_id already folded into this accountant;
+        # the idempotency floor for replay_journal (0 = nothing replayed).
+        self._journal_high_water: int = 0
 
     def spent(self, dataset: str) -> float:
         """Total ε′ spent so far against ``dataset``."""
@@ -130,3 +157,63 @@ class BudgetAccountant:
     def reset(self, dataset: str) -> None:
         """Forget all spending for ``dataset`` (e.g. after data rotation)."""
         self._spent.pop(dataset, None)
+
+    # ------------------------------------------------------------------ #
+    # Durability: snapshot / restore / journal replay                    #
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """Serializable copy of the full accounting state."""
+        return {
+            "capacity": self.capacity,
+            "spent": {
+                dataset: [[entry.label, entry.epsilon] for entry in entries]
+                for dataset, entries in self._spent.items()
+            },
+            "journal_high_water": self._journal_high_water,
+        }
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Replace this accountant's state with a :meth:`snapshot` copy."""
+        spent: Mapping[str, Iterable[Tuple[str, float]]] = snapshot["spent"]
+        self.capacity = float(snapshot["capacity"])
+        self._spent = {
+            dataset: [
+                BudgetEntry(str(label), float(epsilon))
+                for label, epsilon in entries
+            ]
+            for dataset, entries in spent.items()
+        }
+        self._journal_high_water = int(snapshot["journal_high_water"])
+
+    def replay_journal(self, entries: "Iterable[SpendRecord]") -> int:
+        """Re-apply journaled privacy spends not yet folded in.
+
+        Entries at or below the journal high-water mark are skipped
+        (idempotent), replay entries carry ε′ = 0 and record nothing, and
+        — crucially — **capacity is not enforced**: the releases already
+        happened, so recovery must record every journaled spend even if
+        the dataset ends up over budget.  Under-counting ε after a crash
+        would be a silent privacy leak; an over-budget ledger is loud and
+        auditable.  Returns the number of entries applied as spends.
+        """
+        applied = 0
+        previous = 0
+        for entry in entries:
+            if entry.answer_id <= previous:
+                raise LedgerError(
+                    f"journal replay out of order: answer_id "
+                    f"{entry.answer_id} after {previous}"
+                )
+            previous = entry.answer_id
+            if entry.answer_id <= self._journal_high_water:
+                continue
+            self._journal_high_water = entry.answer_id
+            if entry.kind != "release":
+                # Replays are post-processing: billed, but never charged
+                # to the accountant, exactly as in live operation.
+                continue
+            self._spent.setdefault(entry.dataset, []).append(
+                BudgetEntry(entry.label, entry.epsilon_prime)
+            )
+            applied += 1
+        return applied

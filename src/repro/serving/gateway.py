@@ -40,12 +40,17 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.core.broker import DataBroker
 from repro.core.query import AccuracySpec, PrivateAnswer, RangeQuery
-from repro.errors import GatewayClosedError, ServiceOverloadedError
+from repro.errors import (
+    DeadlineExceededError,
+    GatewayClosedError,
+    ServiceOverloadedError,
+)
 from repro.serving.admission import AdmissionController
 from repro.serving.answer_cache import AnswerCache
 from repro.serving.telemetry import MetricsRegistry
@@ -80,6 +85,13 @@ class ServingConfig:
         explicit cache instance is handed to the gateway).
     cache_capacity:
         Capacity of that auto-created cache.
+    request_ttl:
+        Per-request queueing deadline in seconds (``None`` disables).  A
+        request that has sat in the queue longer than this when its batch
+        dispatches fails fast with
+        :class:`~repro.errors.DeadlineExceededError` instead of riding a
+        late batch -- before any data is touched, so it is never billed
+        and never spends ε.
     """
 
     batch_window: float = 0.002
@@ -88,6 +100,7 @@ class ServingConfig:
     workers: int = 1
     enable_cache: bool = True
     cache_capacity: int = 4096
+    request_ttl: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.batch_window < 0:
@@ -100,6 +113,8 @@ class ServingConfig:
             raise ValueError("workers must be positive")
         if self.cache_capacity < 1:
             raise ValueError("cache_capacity must be positive")
+        if self.request_ttl is not None and self.request_ttl <= 0:
+            raise ValueError("request_ttl must be positive (or None)")
 
 
 class _Request:
@@ -117,6 +132,11 @@ class _Request:
 
 #: Queue sentinel telling a worker to exit.
 _STOP = object()
+
+#: Queue sentinel simulating a worker crash: the receiving worker exits
+#: immediately (without closing the gateway), leaving queued requests for
+#: a later :meth:`ServingGateway.spawn_worker` or for ``stop()``'s drain.
+_KILL = object()
 
 
 class ServingGateway:
@@ -225,9 +245,63 @@ class ServingGateway:
         with self._state_lock:
             return self._started and not self._closed
 
+    @property
+    def alive_workers(self) -> int:
+        """Worker threads currently running (kills and exits excluded)."""
+        with self._state_lock:
+            return sum(1 for thread in self._threads if thread.is_alive())
+
     def pending(self) -> int:
         """Requests currently queued (admitted, not yet dispatched)."""
         return self._queue.qsize()
+
+    # ------------------------------------------------------------------
+    # fault injection / recovery hooks (used by repro.chaos)
+    # ------------------------------------------------------------------
+    def kill_worker(self) -> None:
+        """Crash one worker: it finishes the batch in hand, then exits.
+
+        The gateway stays open -- queued and later-submitted requests wait
+        (FIFO) until :meth:`spawn_worker` brings a replacement up, or
+        until ``stop()`` drains them synchronously.  Counted under
+        ``gateway.worker_kills``.
+        """
+        with self._state_lock:
+            if self._closed:
+                raise GatewayClosedError("gateway already stopped")
+            if not self._started:
+                raise GatewayClosedError("gateway not started")
+        self._queue.put(_KILL)
+        self.telemetry.inc("gateway.worker_kills")
+
+    def spawn_worker(self) -> None:
+        """Start one replacement worker (restart after :meth:`kill_worker`).
+
+        Counted under ``gateway.worker_restarts``.
+        """
+        with self._state_lock:
+            if self._closed:
+                raise GatewayClosedError("gateway already stopped")
+            self._started = True
+            thread = threading.Thread(
+                target=self._worker,
+                name=f"repro-serve-r{len(self._threads)}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        self.telemetry.inc("gateway.worker_restarts")
+
+    @contextmanager
+    def quiesce(self) -> "Iterator[None]":
+        """Hold the dispatch lock: no batch is mid-dispatch while inside.
+
+        The consistent boundary for crash injection and recovery -- the
+        broker's journal, ledger, and accountant all agree here, because
+        every trade's journal-append and charge happen under this lock.
+        """
+        with self._dispatch_lock:
+            yield
 
     # ------------------------------------------------------------------
     # client API
@@ -317,11 +391,11 @@ class ServingGateway:
     def _worker(self) -> None:
         while True:
             first = self._queue.get()
-            if first is _STOP:
+            if first is _STOP or first is _KILL:
                 return
             batch = [first]
             deadline = time.perf_counter() + self.config.batch_window
-            stop_seen = False
+            exit_seen = False
             while len(batch) < self.config.max_batch:
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0:
@@ -330,12 +404,16 @@ class ServingGateway:
                     item = self._queue.get(timeout=remaining)
                 except queue.Empty:
                     break
-                if item is _STOP:
-                    stop_seen = True
+                if item is _STOP or item is _KILL:
+                    # A killed worker still dispatches the batch in hand
+                    # (requeueing would break FIFO order); surviving a
+                    # crash *mid-charge* is the journal's job, not the
+                    # queue's.
+                    exit_seen = True
                     break
                 batch.append(item)
             self._dispatch(batch)
-            if stop_seen:
+            if exit_seen:
                 return
 
     def _drain_remaining(self) -> None:
@@ -345,7 +423,7 @@ class ServingGateway:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
-            if item is _STOP:
+            if item is _STOP or item is _KILL:
                 continue
             batch.append(item)
         if batch:
@@ -361,6 +439,28 @@ class ServingGateway:
 
     def _dispatch_locked(self, batch: "List[_Request]") -> None:
         self.telemetry.observe("gateway.batch_width", len(batch))
+
+        # 0. Deadline check: requests past their TTL fail fast, before
+        #    any billing or budget is touched.
+        ttl = self.config.request_ttl
+        if ttl is not None:
+            now = time.perf_counter()
+            fresh_enough: List[_Request] = []
+            for request in batch:
+                waited = now - request.enqueued_at
+                if waited > ttl:
+                    self.telemetry.inc("gateway.deadline_exceeded")
+                    self._fail(request, DeadlineExceededError(
+                        f"request from {request.consumer!r} waited "
+                        f"{waited:.3f}s in the queue, past its "
+                        f"{ttl:.3f}s deadline"
+                    ))
+                else:
+                    fresh_enough.append(request)
+            batch = fresh_enough
+            if not batch:
+                return
+
         store_version = self.broker.base_station.store_version
         pending: List[_Request] = []
 

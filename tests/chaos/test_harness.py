@@ -1,0 +1,140 @@
+"""End-to-end chaos harness tests: invariants, determinism, contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import ChaosConfig, ChaosHarness, FaultSchedule
+from repro.durability.journal import TradeJournal
+from repro.serving import ServingConfig
+from tests.chaos.conftest import build_chaos_stack
+
+TRADES = 40
+SEED = 29
+
+
+class TestInvariants:
+    def test_single_broker_run_passes_all_invariants(self, workload):
+        service, journal, gateway = build_chaos_stack(shards=1)
+        schedule = FaultSchedule.generate(seed=SEED, trades=TRADES, shards=1)
+        harness = ChaosHarness(
+            gateway, journal, schedule, workload,
+            config=ChaosConfig(trades=TRADES, drain_every=8, timeout=30.0),
+        )
+        report = harness.run()
+        assert report.all_passed, report.failures
+        assert report.invariant_no_underaccounting
+        assert report.invariant_zero_drift
+        assert report.invariant_all_resolved
+        assert report.unresolved == 0
+        assert report.resolved + report.failed == TRADES
+        assert report.epsilon_drift == pytest.approx(0.0, abs=1e-9)
+        assert report.revenue_drift == pytest.approx(0.0, abs=1e-9)
+        assert report.final_recovery_exact
+        # The schedule actually exercised worker churn.
+        assert report.worker_kills >= 2
+        assert report.worker_restarts >= report.worker_kills
+
+    def test_cluster_run_recovers_and_degrades_gracefully(self, workload):
+        service, journal, gateway = build_chaos_stack(shards=2)
+        schedule = FaultSchedule.generate(seed=SEED, trades=TRADES, shards=2)
+        harness = ChaosHarness(
+            gateway, journal, schedule, workload,
+            config=ChaosConfig(trades=TRADES, drain_every=8, timeout=30.0),
+        )
+        report = harness.run()
+        assert report.all_passed, report.failures
+        # The seeded schedule crashes the broker once mid-run; recovery
+        # must have been bit-exact against the live books.
+        assert report.broker_recoveries == 1
+        assert all(report.recoveries_exact)
+        # Partitioned-shard answers fail over to replicas (degraded).
+        assert schedule.count("partition_shard") == 1
+        assert report.degraded_answers > 0
+
+    def test_report_payload_shape(self, workload):
+        service, journal, gateway = build_chaos_stack(shards=1)
+        schedule = FaultSchedule.generate(seed=7, trades=TRADES, shards=1)
+        harness = ChaosHarness(
+            gateway, journal, schedule, workload,
+            config=ChaosConfig(trades=TRADES, drain_every=8, timeout=30.0),
+        )
+        payload = harness.run().to_payload()
+        assert payload["all_passed"] is True
+        assert payload["invariants"].keys() == {
+            "no_underaccounting", "zero_drift", "all_resolved",
+        }
+        assert payload["failures"] == []
+        assert payload["journal_entries"] == payload["resolved"]
+        assert isinstance(payload["checksum"], str)
+
+
+class TestDeterminism:
+    def test_same_seed_runs_are_bit_identical(self, workload):
+        checksums = []
+        for _ in range(2):
+            service, journal, gateway = build_chaos_stack(shards=1)
+            schedule = FaultSchedule.generate(
+                seed=SEED, trades=TRADES, shards=1
+            )
+            harness = ChaosHarness(
+                gateway, journal, schedule, workload,
+                config=ChaosConfig(trades=TRADES, drain_every=8,
+                                   timeout=30.0),
+            )
+            report = harness.run()
+            assert report.all_passed, report.failures
+            checksums.append(report.checksum)
+        assert checksums[0] == checksums[1]
+
+
+class TestContract:
+    def test_multiple_workers_rejected(self, workload):
+        service, journal, gateway = build_chaos_stack()
+        gateway.stop()
+        bad = service.serve(ServingConfig(
+            batch_window=0.0, workers=2, enable_cache=False,
+        ))
+        schedule = FaultSchedule.generate(seed=1, trades=TRADES)
+        with pytest.raises(ValueError, match="one gateway worker"):
+            ChaosHarness(bad, journal, schedule, workload)
+        bad.stop()
+
+    def test_batching_window_rejected(self, workload):
+        service, journal, gateway = build_chaos_stack()
+        gateway.stop()
+        bad = service.serve(ServingConfig(
+            batch_window=0.01, workers=1, enable_cache=False,
+        ))
+        schedule = FaultSchedule.generate(seed=1, trades=TRADES)
+        with pytest.raises(ValueError, match="batch_window"):
+            ChaosHarness(bad, journal, schedule, workload)
+        bad.stop()
+
+    def test_answer_cache_rejected(self, workload):
+        service, journal, gateway = build_chaos_stack()
+        gateway.stop()
+        bad = service.serve(ServingConfig(
+            batch_window=0.0, workers=1, enable_cache=True,
+        ))
+        schedule = FaultSchedule.generate(seed=1, trades=TRADES)
+        with pytest.raises(ValueError, match="cache"):
+            ChaosHarness(bad, journal, schedule, workload)
+        bad.stop()
+
+    def test_foreign_journal_rejected(self, workload):
+        service, journal, gateway = build_chaos_stack()
+        schedule = FaultSchedule.generate(seed=1, trades=TRADES)
+        with pytest.raises(ValueError, match="same TradeJournal"):
+            ChaosHarness(gateway, TradeJournal(), schedule, workload)
+        gateway.stop()
+
+    def test_trades_mismatch_rejected(self, workload):
+        service, journal, gateway = build_chaos_stack()
+        schedule = FaultSchedule.generate(seed=1, trades=TRADES)
+        with pytest.raises(ValueError, match="disagrees"):
+            ChaosHarness(
+                gateway, journal, schedule, workload,
+                config=ChaosConfig(trades=TRADES + 1),
+            )
+        gateway.stop()

@@ -79,3 +79,59 @@ class TestDetection:
         assert shards[0].primary_alive
         monitor.sweep(rounds=2)
         assert not shards[0].primary_alive
+
+
+class TestReviveUnderBurstLoss:
+    def test_dead_revive_resync_over_a_bursty_channel(self, shards):
+        """Primary dies, the replica moves on, revival re-syncs the store
+        -- with the revived link running Gilbert-Elliott burst loss, so
+        beacons and the re-sync ride on retries."""
+        import numpy as np
+
+        from repro.iot.channel import BurstChannel
+
+        monitor = ShardHealthMonitor(interval=30.0, miss_threshold=2)
+        for shard in shards:
+            monitor.attach(shard)
+        shard = shards[0]
+
+        monitor.kill_primary(0, detect=True)
+        assert not shard.primary_alive
+        assert monitor.healthy_shards() == (1,)
+
+        # The replica keeps collecting while the primary is down: its
+        # store moves past whatever the dead primary last committed.
+        shard.replica_station.collect(0.3)
+        assert (
+            shard.replica_station.store_version
+            > shard.primary_station.store_version
+        )
+
+        # Bring the link back bursty, with a retry budget to ride it out.
+        shard.primary_station.network.channel = BurstChannel(
+            loss_probability=0.05,
+            bad_loss_probability=0.9,
+            p_good_to_bad=0.05,
+            p_bad_to_good=0.3,
+            rng=np.random.default_rng(7),
+        )
+        shard.primary_station.network.max_retries = 40
+        monitor.revive_primary(0, loss_probability=0.05)
+
+        assert shard.primary_alive
+        assert monitor.healthy_shards() == (0, 1)
+        # Re-sync: the revived primary adopted the replica's newer store.
+        assert shard.primary_station.sampling_rate == (
+            shard.replica_station.sampling_rate
+        )
+        primary_values = np.concatenate(
+            [s.values for s in shard.primary_station.samples()]
+        )
+        replica_values = np.concatenate(
+            [s.values for s in shard.replica_station.samples()]
+        )
+        assert np.array_equal(
+            np.sort(primary_values), np.sort(replica_values)
+        )
+        # Beacons keep flowing over the bursty link.
+        assert monitor.sweep(rounds=2) == []

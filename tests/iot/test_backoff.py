@@ -1,0 +1,111 @@
+"""Retry backoff and failure accounting on the network transport.
+
+Uses a channel that loses every frame so the full retry ladder runs
+deterministically: the simulated clock must advance by the lost air time
+of every attempt plus the exponential backoff between retries, and the
+final :class:`DeliveryError` must carry the route context.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import DeliveryError
+from repro.iot.channel import Channel
+from repro.iot.messages import SampleRequest
+from repro.iot.network import Network
+from repro.iot.topology import BASE_STATION_ID, FlatTopology
+
+
+class DeadChannel(Channel):
+    """Every frame is lost; latency stays the deterministic base."""
+
+    def attempt_succeeds(self, hops: int) -> bool:
+        return False
+
+
+def make_network(**kwargs) -> Network:
+    defaults = dict(
+        topology=FlatTopology.with_devices(2),
+        channel=DeadChannel(base_latency=0.01, jitter=0.0),
+        max_retries=2,
+        backoff_base=0.002,
+        backoff_factor=2.0,
+    )
+    defaults.update(kwargs)
+    return Network(**defaults)
+
+
+REQUEST = SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1)
+
+
+class TestExhaustionContext:
+    def test_delivery_error_carries_route_context(self):
+        net = make_network()
+        with pytest.raises(DeliveryError) as err:
+            net.send(REQUEST)
+        assert err.value.attempts == 3  # first try + 2 retries
+        assert err.value.hops == 1
+        assert err.value.sender == str(BASE_STATION_ID)
+        assert err.value.receiver == "1"
+
+    def test_unroutable_error_has_no_attempt_context(self):
+        net = make_network()
+        with pytest.raises(DeliveryError) as err:
+            net.send(SampleRequest(sender=1, receiver=1, p=0.1))
+        assert err.value.attempts is None
+
+
+class TestClockAccounting:
+    def test_lost_frames_and_backoff_advance_the_clock(self):
+        net = make_network()
+        with pytest.raises(DeliveryError):
+            net.send(REQUEST)
+        # 3 lost frames burn hops * base_latency each; backoff waits run
+        # between attempts only: base * (1 + factor).
+        expected = 3 * 0.01 + 0.002 * (1.0 + 2.0)
+        assert net.clock.now == pytest.approx(expected)
+
+    def test_backoff_doubles_per_retry(self):
+        net = make_network(max_retries=3, backoff_base=0.001)
+        with pytest.raises(DeliveryError):
+            net.send(REQUEST)
+        expected = 4 * 0.01 + 0.001 * (1.0 + 2.0 + 4.0)
+        assert net.clock.now == pytest.approx(expected)
+
+    def test_zero_backoff_base_retries_immediately(self):
+        net = make_network(backoff_base=0.0)
+        with pytest.raises(DeliveryError):
+            net.send(REQUEST)
+        assert net.clock.now == pytest.approx(3 * 0.01)
+
+    def test_every_attempt_is_metered(self):
+        net = make_network()
+        with pytest.raises(DeliveryError):
+            net.send(REQUEST)
+        assert net.attempt_count == 3
+        assert net.delivered_count == 0
+        assert net.meter.total_messages == 3
+
+    def test_successful_send_does_not_wait_backoff(self):
+        net = Network(
+            topology=FlatTopology.with_devices(1),
+            channel=Channel(
+                base_latency=0.01, jitter=0.0, rng=np.random.default_rng(0)
+            ),
+            backoff_base=0.002,
+        )
+        record = net.send(REQUEST)
+        assert record.attempts == 1
+        assert net.clock.now == pytest.approx(0.01)
+
+
+class TestValidation:
+    def test_negative_backoff_base_rejected(self):
+        with pytest.raises(ValueError):
+            make_network(backoff_base=-0.001)
+
+    def test_backoff_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            make_network(backoff_factor=0.5)

@@ -101,3 +101,60 @@ class TestEndToEnd:
         assert len(station.samples()) == 4
         # Bursts forced retries beyond the loss-free minimum of 8.
         assert network.meter.total_messages > 8
+
+
+class TestRetryExhaustion:
+    def test_deep_burst_exhausts_the_retry_budget(self):
+        """A bad-state burst outlasting max_retries fails the delivery."""
+        from repro.errors import DeliveryError
+        from repro.iot.messages import SampleRequest
+        from repro.iot.network import Network
+        from repro.iot.topology import BASE_STATION_ID, FlatTopology
+
+        channel = make_channel(
+            loss_probability=0.0,
+            bad_loss_probability=1.0,
+            p_good_to_bad=1.0,    # first attempt enters the burst...
+            p_bad_to_good=0.001,  # ...and the burst outlives the budget
+            seed=5,
+        )
+        net = Network(
+            topology=FlatTopology.with_devices(1),
+            channel=channel,
+            max_retries=3,
+        )
+        with pytest.raises(DeliveryError) as err:
+            net.send(SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1))
+        assert err.value.attempts == 4
+        assert channel.in_bad_state
+        assert net.delivered_count == 0
+        assert net.attempt_count == 4
+
+    def test_delivery_resumes_once_the_burst_clears(self):
+        from repro.errors import DeliveryError
+        from repro.iot.messages import SampleRequest
+        from repro.iot.network import Network
+        from repro.iot.topology import BASE_STATION_ID, FlatTopology
+
+        channel = make_channel(
+            loss_probability=0.0,
+            bad_loss_probability=1.0,
+            p_good_to_bad=1.0,
+            p_bad_to_good=0.001,
+            seed=5,
+        )
+        net = Network(
+            topology=FlatTopology.with_devices(1),
+            channel=channel,
+            max_retries=3,
+        )
+        message = SampleRequest(sender=BASE_STATION_ID, receiver=1, p=0.1)
+        with pytest.raises(DeliveryError):
+            net.send(message)
+        # The burst ends: the chain recovers on the next transition and
+        # the good state is loss-free.
+        channel.p_bad_to_good = 1.0
+        channel.p_good_to_bad = 0.001
+        record = net.send(message)
+        assert record.attempts == 1
+        assert not channel.in_bad_state

@@ -1,0 +1,129 @@
+"""RL006 journal-before-release: broker answer paths journal first."""
+
+from __future__ import annotations
+
+from tests.lint.conftest import rule_ids
+
+UNJOURNALED_RELEASE = """
+class Broker:
+    def answer(self, query, spec, consumer):
+        self.accountant.charge(self.dataset, 0.1)
+        txn = self.ledger.record(consumer=consumer)
+        return self._build_answer(query, txn)
+"""
+
+JOURNALED_RELEASE = """
+class Broker:
+    def answer(self, query, spec, consumer):
+        self._journal_trades([dict(kind="release")])
+        self.accountant.charge(self.dataset, 0.1)
+        txn = self.ledger.record(consumer=consumer)
+        return self._build_answer(query, txn)
+"""
+
+DIRECT_APPEND = """
+class Broker:
+    def answer_batch(self, queries, spec, consumer):
+        self.journal.append_many(records)
+        txns = self.ledger.record_many(sales)
+        return [self._build(q, t) for q, t in zip(queries, txns)]
+"""
+
+JOURNAL_AFTER_RETURN_PATH = """
+class Broker:
+    def replay(self, cached, consumer):
+        if consumer in self.blocked:
+            return self._refuse(cached)
+        self._journal_trades([dict(kind="replay")])
+        return self._rebrand(cached, consumer)
+"""
+
+DELEGATING_RETURN = """
+class Broker:
+    def answer_one(self, query, spec, consumer):
+        return self.answer_batch([query], spec, consumer)[0]
+"""
+
+BARE_RETURN = """
+class Broker:
+    def answer(self, query, spec, consumer):
+        if not self.running:
+            return
+        self._journal_trades([dict(kind="release")])
+        return self._build_answer(query)
+"""
+
+SUPPRESSED = """
+class Broker:
+    def answer(self, query, spec, consumer):
+        return self._cached[query]  # repro-lint: disable=RL006
+"""
+
+NON_BROKER_MODULE = """
+class Gateway:
+    def answer(self, query):
+        return self.backend.get(query)
+"""
+
+HELPER_METHOD = """
+class Broker:
+    def settle(self, consumer, epsilon):
+        return self.accountant.charge(self.dataset, epsilon)
+"""
+
+
+def test_release_without_journal_is_flagged(lint_snippet):
+    result = lint_snippet(UNJOURNALED_RELEASE, rules=["RL006"])
+    assert rule_ids(result) == ["RL006"]
+
+
+def test_journal_before_return_is_clean(lint_snippet):
+    result = lint_snippet(JOURNALED_RELEASE, rules=["RL006"])
+    assert rule_ids(result) == []
+
+
+def test_direct_journal_append_counts(lint_snippet):
+    result = lint_snippet(DIRECT_APPEND, rules=["RL006"])
+    assert rule_ids(result) == []
+
+
+def test_early_return_before_journal_is_flagged(lint_snippet):
+    result = lint_snippet(JOURNAL_AFTER_RETURN_PATH, rules=["RL006"])
+    assert rule_ids(result) == ["RL006"]
+    assert result.findings[0].line == 5
+
+
+def test_delegating_return_is_exempt(lint_snippet):
+    result = lint_snippet(DELEGATING_RETURN, rules=["RL006"])
+    assert rule_ids(result) == []
+
+
+def test_bare_return_releases_nothing(lint_snippet):
+    result = lint_snippet(BARE_RETURN, rules=["RL006"])
+    assert rule_ids(result) == []
+
+
+def test_pragma_suppresses(lint_snippet):
+    result = lint_snippet(SUPPRESSED, rules=["RL006"])
+    assert rule_ids(result) == []
+    assert result.suppressed == 1
+
+
+def test_rule_scopes_to_broker_modules(lint_snippet):
+    flagged = lint_snippet(
+        NON_BROKER_MODULE, rel_path="repro/core/broker.py", rules=["RL006"]
+    )
+    assert rule_ids(flagged) == ["RL006"]
+    ignored = lint_snippet(
+        NON_BROKER_MODULE, rel_path="repro/serving/gateway.py", rules=["RL006"]
+    )
+    assert rule_ids(ignored) == []
+    cluster = lint_snippet(
+        UNJOURNALED_RELEASE, rel_path="repro/cluster/broker.py", rules=["RL006"]
+    )
+    assert rule_ids(cluster) == ["RL006"]
+
+
+def test_non_answer_methods_are_ignored(lint_snippet):
+    result = lint_snippet(HELPER_METHOD, rules=["RL006"])
+    assert rule_ids(result) == []

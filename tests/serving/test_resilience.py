@@ -1,0 +1,115 @@
+"""Gateway resilience: request TTLs, worker kill/restart, quiesce."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.serving import ServingConfig
+
+from .conftest import TIERS
+
+ALPHA, DELTA = TIERS[0].alpha, TIERS[0].delta
+
+#: Single-worker, windowless, cacheless: every submit dispatches alone,
+#: so worker liveness fully controls when a request is served.
+DIRECT = ServingConfig(batch_window=0.0, workers=1, enable_cache=False)
+
+
+def wait_for(predicate, timeout: float = 5.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() > deadline:
+            raise TimeoutError("condition not reached in time")
+        time.sleep(0.001)
+
+
+class TestRequestTtl:
+    def test_ttl_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ServingConfig(request_ttl=0.0)
+        with pytest.raises(ValueError):
+            ServingConfig(request_ttl=-1.0)
+
+    def test_stale_request_fails_fast_and_is_never_billed(self, service):
+        config = ServingConfig(
+            batch_window=0.0, workers=1, enable_cache=False,
+            request_ttl=0.05,
+        )
+        with service.serve(config=config) as gateway:
+            # No live worker: the request ages in the queue past its TTL.
+            gateway.kill_worker()
+            wait_for(lambda: gateway.alive_workers == 0)
+            future = gateway.submit_range(0.0, 50.0, ALPHA, DELTA)
+            time.sleep(0.1)
+            gateway.spawn_worker()
+            with pytest.raises(DeadlineExceededError):
+                future.result(timeout=5.0)
+            counters = gateway.telemetry.snapshot()["counters"]
+            assert counters["gateway.deadline_exceeded"] == 1
+        # Failed fast, before billing or budget: the books never saw it.
+        assert len(service.broker.ledger) == 0
+        assert service.broker.accountant.spent(service.broker.dataset) == 0.0
+
+    def test_fresh_request_is_unaffected_by_ttl(self, service):
+        config = ServingConfig(
+            batch_window=0.0, workers=1, enable_cache=False,
+            request_ttl=30.0,
+        )
+        with service.serve(config=config) as gateway:
+            answer = gateway.submit_range(0.0, 50.0, ALPHA, DELTA).result(
+                timeout=5.0
+            )
+            assert answer.plan.epsilon_prime > 0
+            counters = gateway.telemetry.snapshot()["counters"]
+            assert "gateway.deadline_exceeded" not in counters
+
+
+class TestWorkerChurn:
+    def test_queued_requests_resume_after_restart(self, service):
+        with service.serve(config=DIRECT) as gateway:
+            gateway.kill_worker()
+            wait_for(lambda: gateway.alive_workers == 0)
+            futures = [
+                gateway.submit_range(0.0, 50.0 + i, ALPHA, DELTA)
+                for i in range(3)
+            ]
+            assert not any(f.done() for f in futures)
+            gateway.spawn_worker()
+            answers = [f.result(timeout=5.0) for f in futures]
+        assert all(a.plan.epsilon_prime > 0 for a in answers)
+        assert len(service.broker.ledger) == 3
+        counters = gateway.telemetry.snapshot()["counters"]
+        assert counters["gateway.worker_kills"] == 1
+        assert counters["gateway.worker_restarts"] == 1
+
+    def test_alive_workers_tracks_kills_and_spawns(self, service):
+        with service.serve(config=DIRECT) as gateway:
+            assert gateway.alive_workers == 1
+            gateway.kill_worker()
+            wait_for(lambda: gateway.alive_workers == 0)
+            gateway.spawn_worker()
+            wait_for(lambda: gateway.alive_workers == 1)
+
+    def test_stop_still_drains_when_all_workers_dead(self, service):
+        gateway = service.serve(config=DIRECT)
+        gateway.start()
+        gateway.kill_worker()
+        wait_for(lambda: gateway.alive_workers == 0)
+        future = gateway.submit_range(0.0, 50.0, ALPHA, DELTA)
+        gateway.stop()
+        assert future.done()
+        assert future.exception() is None
+
+
+class TestQuiesce:
+    def test_quiesce_holds_dispatch_until_released(self, service):
+        with service.serve(config=DIRECT) as gateway:
+            with gateway.quiesce():
+                future = gateway.submit_range(0.0, 50.0, ALPHA, DELTA)
+                time.sleep(0.05)
+                assert not future.done()
+            answer = future.result(timeout=5.0)
+            assert answer.plan.epsilon_prime > 0
