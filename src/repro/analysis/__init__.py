@@ -1,5 +1,12 @@
 """Analysis toolkit: metrics, experiment sweeps, ASCII reporting."""
 
+from repro.analysis.bench_compare import (
+    BenchComparison,
+    MetricDiff,
+    classify_metric,
+    compare_bench,
+    format_comparison,
+)
 from repro.analysis.claims import (
     CLAIMS,
     Claim,
@@ -38,6 +45,11 @@ from repro.analysis.sweeps import (
 )
 
 __all__ = [
+    "BenchComparison",
+    "MetricDiff",
+    "classify_metric",
+    "compare_bench",
+    "format_comparison",
     "CLAIMS",
     "Claim",
     "ClaimResult",

@@ -337,6 +337,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
 
+    bcompare = sub.add_parser(
+        "bench-compare",
+        help="diff two BENCH_*.json artifacts (deterministic metrics "
+             "gated tight, timing metrics reported loose)",
+    )
+    bcompare.add_argument("baseline", help="baseline BENCH_*.json path")
+    bcompare.add_argument("candidate", help="candidate BENCH_*.json path")
+    bcompare.add_argument(
+        "--rel-tol",
+        type=float,
+        default=1e-6,
+        help="relative tolerance for deterministic metrics "
+             "(use ~1e-4 when comparing across hosts; default 1e-6)",
+    )
+    bcompare.add_argument(
+        "--timing-tol",
+        type=float,
+        default=None,
+        help="fail timing metrics that change by more than this factor "
+             "(default: report timing, never fail it)",
+    )
+    bcompare.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="skip metrics under this dotted-path prefix (repeatable; "
+             "e.g. --ignore failover for the racy fault-injection phase)",
+    )
+    bcompare.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every compared metric, not just failures",
+    )
+
     return parser
 
 
@@ -805,6 +840,25 @@ def _phase_healthy(phase: "dict") -> bool:
     )
 
 
+def _routed_phase_items(payload: "dict") -> "list[tuple[str, dict]]":
+    """The per-scale routed phases of a cluster-bench payload, in order.
+
+    Skips the non-phase keys (``tiers``, ``determinism_checksum``) and
+    sorts numerically so ``1 < 4 < 8`` rather than lexicographically.
+    """
+    routed = payload.get("routed")
+    if not isinstance(routed, dict):
+        return []
+    return sorted(
+        (
+            (name, phase)
+            for name, phase in routed.items()
+            if isinstance(phase, dict) and name.isdigit()
+        ),
+        key=lambda item: int(item[0]),
+    )
+
+
 def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -847,6 +901,23 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         rows.append((f"{fo['shards']}-shard+failover",
                      fo["throughput_qps"], fo["failed"]))
     print(format_table(["phase", "throughput_qps", "failed"], rows))
+    routed_items = _routed_phase_items(payload)
+    if routed_items:
+        print(format_table(
+            ["routed phase", "eps_spent", "pruned_mean", "touched_mean",
+             "delta_split_mean", "routed_queries"],
+            [
+                (
+                    f"{name}-shard",
+                    f"{phase['epsilon_spent']:.5g}",
+                    f"{phase['shards_pruned_mean']:.2f}",
+                    f"{phase['shards_touched_mean']:.2f}",
+                    f"{phase['delta_split_mean']:.3f}",
+                    int(phase["routed_queries"]),
+                )
+                for name, phase in routed_items
+            ],
+        ))
     if "failover" in payload:
         fo = payload["failover"]
         latency = fo["failover_latency_s"]
@@ -866,16 +937,36 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         phases.extend(payload["clusters"].items())
         if "failover" in payload:
             phases.append(("failover", payload["failover"]))
+        phases.extend(
+            (f"routed:{name}", phase) for name, phase in routed_items
+        )
         unhealthy = [name for name, phase in phases if not _phase_healthy(phase)]
         failover_ok = True
         if "failover" in payload:
             fo = payload["failover"]
             failover_ok = fo["failovers"] >= 1 and fo["degraded_answers"] > 0
-        if unhealthy or not failover_ok:
+        # Multi-shard routed phases must show the planner actually
+        # engaging: queries routed, shards pruned, and a sane δ-split.
+        routing_dead = [
+            name
+            for name, phase in routed_items
+            if int(name) > 1
+            and not (
+                float(phase.get("routed_queries", 0.0)) > 0
+                and float(phase.get("shards_pruned_mean", 0.0)) > 0.0
+                and 0.0 < float(phase.get("delta_split_mean", 0.0)) <= 1.0
+            )
+        ]
+        if unhealthy or not failover_ok or routing_dead:
             print(
                 "cluster-bench UNHEALTHY: "
                 + (f"phases {unhealthy} failed or drifted; " if unhealthy else "")
-                + ("" if failover_ok else "failover did not engage"),
+                + ("" if failover_ok else "failover did not engage; ")
+                + (
+                    f"routing never engaged at shards {routing_dead}"
+                    if routing_dead
+                    else ""
+                ),
                 file=sys.stderr,
             )
             print(_json.dumps(payload, indent=1, default=str), file=sys.stderr)
@@ -883,6 +974,7 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
         print(
             "cluster-bench healthy: all phases zero-drift"
             + (", failover engaged" if "failover" in payload else "")
+            + (", routing engaged" if routed_items else "")
         )
     return 0
 
@@ -992,6 +1084,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.bench_compare import compare_bench, format_comparison
+    from repro.serving.loadgen import read_bench_json
+
+    baseline = read_bench_json(args.baseline)
+    candidate = read_bench_json(args.candidate)
+    comparison = compare_bench(
+        baseline,
+        candidate,
+        rel_tol=args.rel_tol,
+        timing_tol=args.timing_tol,
+        ignore=tuple(args.ignore),
+    )
+    print(format_comparison(comparison, verbose=args.verbose))
+    return 0 if comparison.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -1014,6 +1123,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cluster-bench": _cmd_cluster_bench,
         "chaos": _cmd_chaos,
         "lint": _cmd_lint,
+        "bench-compare": _cmd_bench_compare,
     }
     return handlers[args.command](args)
 

@@ -8,28 +8,37 @@ the marketplace, and the load generators route through it unchanged.
 
 Per query it
 
-1. **splits** the ``(α, δ)`` target into per-shard
-   ``(α, δ^{1/s})`` sub-targets (:func:`~repro.cluster.planning.split_spec`;
-   the absolute tolerance allocation is shard-size weighted for free);
-2. **scatters** the batch to every shard's
+1. **routes**: :meth:`ClusterBroker.route_for_range` classifies every
+   shard against the query range by its value band
+   (:func:`~repro.cluster.planning.route_query`) -- pruned shards are
+   skipped outright, exactly-covered shards answer from cached totals,
+   and only the ``t <= s`` straddling shards get fresh ``(α_j, δ^{1/t})``
+   sub-targets (the legacy broadcast ``δ^{1/s}`` split when bands give
+   nothing to exploit);
+2. **scatters** per-shard *sub-batches* (queries grouped by their routed
+   shard set, one batched RPC per shard, not per query) to each shard's
    :meth:`~repro.core.broker.DataBroker.answer_batch` -- concurrently for
    ``s > 1`` -- with replica failover per shard;
-3. **gathers** and merges the per-shard estimates and noised counts into
-   one :class:`ClusterAnswer` (clamped sum; merged plan via
-   :func:`~repro.cluster.planning.merge_plans`);
+3. **gathers** and merges the per-shard estimates, noised counts, and
+   exact-cover totals into one :class:`ClusterAnswer` (clamped sum;
+   merged plan via :func:`~repro.cluster.planning.merge_plans`);
 4. **reconciles** the books: exactly one consolidated
    :class:`~repro.pricing.ledger.BillingLedger` transaction and one
    :class:`~repro.privacy.budget.BudgetAccountant` entry per query, at
-   the cluster list price and the parallel-composition ε′ (max over
-   shards).  Shard-level books are internal transfer accounting.
+   the cluster list price and the parallel-composition ε′ (max over the
+   shards the query actually touched; zero for metadata-only answers).
+   Shard-level books are internal transfer accounting.
 
 With one shard the whole path degenerates to the plain broker call plus
-a pass-through merge, and is bit-identical to it (tested).
+a pass-through merge, and is bit-identical to it (tested); routing is
+disabled at ``s = 1`` so band coverage can never shortcut the real
+release.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -40,11 +49,18 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cluster.health import ShardHealthMonitor
-from repro.cluster.planning import degraded_delta, merge_plans, split_spec
+from repro.cluster.planning import (
+    RoutePlan,
+    degraded_delta,
+    merge_plans,
+    route_query,
+    split_spec,
+    zero_plan,
+)
 from repro.cluster.shard import ShardRuntime, build_shards
 from repro.core.policy import BrokerPolicy, PolicyViolationError
 from repro.core.query import AccuracySpec, PrivateAnswer, RangeQuery
-from repro.errors import PrivacyBudgetExceededError
+from repro.errors import InfeasiblePlanError, PrivacyBudgetExceededError
 from repro.pricing.functions import InverseVariancePricing, PricingFunction
 from repro.pricing.ledger import BillingLedger
 from repro.pricing.variance_model import VarianceModel
@@ -56,6 +72,12 @@ if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.serving.telemetry import MetricsRegistry
 
 __all__ = ["ClusterAnswer", "ClusterBroker"]
+
+#: Scatters at or below this many shards run inline on the calling
+#: thread.  Per-shard gather work is GIL-bound (scalar numpy over a few
+#: thousand samples), so a thread handoff costs more than it buys until
+#: the scatter is genuinely wide.
+_INLINE_SCATTER_MAX = 4
 
 
 @dataclass(frozen=True)
@@ -71,6 +93,14 @@ class ClusterAnswer(PrivateAnswer):
     shard_answers: "Tuple[PrivateAnswer, ...]" = ()
     degraded_shards: "Tuple[int, ...]" = ()
     delta_reported: float = 0.0
+    #: Routing provenance: which shards the planner pruned (band cannot
+    #: intersect the range) and which it answered from cached totals
+    #: (band fully contained).  Empty on broadcast gathers.
+    pruned_shards: "Tuple[int, ...]" = ()
+    exact_shards: "Tuple[int, ...]" = ()
+    #: The route's stable fingerprint (``"b"`` for broadcast); part of
+    #: the serving cache key so routed releases replay correctly.
+    route_signature: str = "b"
 
     @property
     def degraded(self) -> bool:
@@ -195,8 +225,34 @@ class _ClusterPlannerView:
         sub = split_spec(spec, len(self._broker.shards))
         return merge_plans(
             spec,
-            [shard.primary.planner.plan(sub, p) for shard in self._broker.shards],
+            [shard.primary._plan(sub, p) for shard in self._broker.shards],
         )
+
+    def plan_for_range(
+        self, low: float, high: float, spec: AccuracySpec, p: float
+    ) -> PrivacyPlan:
+        """The merged plan a *routed* scatter of ``[low, high]`` yields.
+
+        Duck-typed hook for the load generator's serial accounting
+        expectation: with range-aware routing the spent ε′ depends on the
+        query range (pruned and exactly-covered shards spend nothing), so
+        pricing the cluster needs the route, not just the tier.  Falls
+        back to :meth:`plan` for broadcast routes -- identical books to
+        the pre-routing cluster.
+        """
+        broker = self._broker
+        route = broker.route_for_range(low, high, spec)
+        if not route.routed:
+            return self.plan(spec, p)
+        exact_n = sum(broker.shards[j].n for j in route.exact)
+        exact_k = sum(broker.shards[j].k for j in route.exact)
+        plans = [
+            broker.shards[j].primary._plan(route.spec_for(j), p)
+            for j in route.queried
+        ]
+        if not plans and exact_n == 0:
+            return zero_plan(spec)
+        return merge_plans(spec, plans, exact_n=exact_n, exact_k=exact_k)
 
 
 @dataclass
@@ -252,6 +308,10 @@ class ClusterBroker:
         self._lock = threading.Lock()
         self._executor: "Optional[ThreadPoolExecutor]" = None  # guarded-by: _lock
         self._first_degraded_wall: "Optional[float]" = None  # guarded-by: _lock
+        # Route + predicted-ε′ memos.  Keys embed the sampling rate, so a
+        # top-up naturally invalidates; bands are immutable post-build.
+        self._route_cache: "Dict[Tuple[float, float, float, float, float], RoutePlan]" = {}  # guarded-by: _lock
+        self._cost_cache: "Dict[Tuple[int, float, float, float], float]" = {}  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # construction
@@ -339,6 +399,87 @@ class ClusterBroker:
         """Cluster list price of an ``(α, δ)`` product."""
         return self.pricing.price(spec.alpha, spec.delta)
 
+    # ------------------------------------------------------------------
+    # range-aware routing
+    # ------------------------------------------------------------------
+    def route_for_range(
+        self, low: float, high: float, spec: AccuracySpec
+    ) -> RoutePlan:
+        """The (routing, δ-split) plan for one range at the current rate.
+
+        Deterministic and memoized per ``(range, tier, rate)``.  A
+        single-shard cluster always broadcasts -- routing could otherwise
+        answer a band-covering query from the cached total and break the
+        bit-identity contract with the plain :class:`DataBroker`.
+        """
+        if len(self.shards) == 1:
+            return route_query(
+                spec,
+                low,
+                high,
+                bands=[self.shards[0].band.full_domain()],
+                sizes=[self.shards[0].n],
+            )
+        rate = self._station_view.sampling_rate
+        key = (low, high, spec.alpha, spec.delta, rate)
+        # Lock-free read: dict.get is atomic under the GIL, entries are
+        # immutable RoutePlans, and this sits on the per-request path of
+        # the gateway's (locked) dispatch -- taking the broker lock here
+        # serializes cache hits behind in-flight scatters.  Writes (and
+        # the size-capped clear) still happen under ``_lock`` below.
+        cached = self._route_cache.get(key)  # repro-lint: disable=RL003
+        if cached is not None:
+            return cached
+        cost = self._shard_cost(rate) if rate > 0.0 else None
+        route = route_query(
+            spec,
+            low,
+            high,
+            bands=[shard.band for shard in self.shards],
+            sizes=[shard.n for shard in self.shards],
+            cost=cost,
+        )
+        with self._lock:
+            if len(self._route_cache) > 4096:
+                self._route_cache.clear()
+            self._route_cache[key] = route
+        return route
+
+    def routing_signature(self, query: RangeQuery, spec: AccuracySpec) -> str:
+        """Stable fingerprint of how this query would route right now.
+
+        The serving cache appends it to the reuse key so answers derived
+        from different routes (e.g. before/after a rate change flips a
+        candidate) never alias.
+        """
+        return self.route_for_range(query.low, query.high, spec).signature
+
+    def _shard_cost(self, rate: float):
+        """Memoized ``(shard_index, sub_spec) -> predicted ε′`` at a rate.
+
+        Infeasible sub-specs (the stored sample cannot support them
+        without a top-up) price at ``+inf`` so the candidate search
+        avoids them; the broadcast fallback tops up as before.
+        """
+
+        def cost(index: int, sub: AccuracySpec) -> float:
+            key = (index, sub.alpha, sub.delta, rate)
+            # Lock-free read; see route_for_range for the rationale.
+            cached = self._cost_cache.get(key)  # repro-lint: disable=RL003
+            if cached is not None:
+                return cached
+            try:
+                value = self.shards[index].primary._plan(sub, rate).epsilon_prime
+            except InfeasiblePlanError:
+                value = math.inf
+            with self._lock:
+                if len(self._cost_cache) > 8192:
+                    self._cost_cache.clear()
+                self._cost_cache[key] = value
+            return value
+
+        return cost
+
     def _journal_trades(self, records: "list[dict]") -> None:
         """Commit consolidated trades to the write-ahead journal.
 
@@ -401,25 +542,52 @@ class ClusterBroker:
         self.policy.admit_batch(consumer, specs)
 
         s = len(self.shards)
-        shard_specs = [split_spec(q_spec, s) for q_spec in specs]
+        routes = [
+            self.route_for_range(query.low, query.high, q_spec)
+            for query, q_spec in zip(queries, specs)
+        ]
+
+        # Per-shard sub-batches: shard j answers exactly the queries whose
+        # route queries it, in query order.  On a pure-broadcast batch
+        # (s = 1, or no band gave the planner anything to prune) every
+        # shard sees the full batch -- the legacy scatter, bit-identical.
+        shard_batches: "List[List[int]]" = [
+            [i for i, route in enumerate(routes) if j in route.queried]
+            for j in range(s)
+        ]
+        tasks = [
+            (j, self.shards[j], shard_batches[j])
+            for j in range(s)
+            if shard_batches[j]
+        ]
 
         with self._timer("cluster.scatter_s"):
-            results = self._fan_out(
-                lambda shard: self._shard_answer(shard, queries, shard_specs, consumer)
+            results = self._fan_out_over(
+                tasks,
+                lambda task: self._shard_answer(
+                    task[1],
+                    [queries[i] for i in task[2]],
+                    [routes[i].spec_for(task[0]) for i in task[2]],
+                    consumer,
+                ),
             )
 
-        degraded_ids = tuple(
-            shard.shard_id
-            for shard, (_, degraded) in zip(self.shards, results)
-            if degraded
-        )
+        answer_of: "Dict[Tuple[int, int], PrivateAnswer]" = {}
+        degraded_by_shard: "Dict[int, bool]" = {}
+        for (j, _, indices), (answers, degraded) in zip(tasks, results):
+            degraded_by_shard[j] = degraded
+            for i, answer in zip(indices, answers):
+                answer_of[(j, i)] = answer
+
+        degraded_ids = tuple(sorted(j for j, d in degraded_by_shard.items() if d))
         if degraded_ids:
             with self._lock:
                 if self._first_degraded_wall is None:
                     self._first_degraded_wall = time.perf_counter()
 
         # Gather + merge, then reconcile the consolidated books in query
-        # order: one entry per query, cluster price, parallel-composition ε′.
+        # order: one entry per query, cluster price, parallel-composition ε′
+        # over the shards the query actually touched.
         with self._timer("cluster.gather_s"):
             n_total = float(self.n)
             merged_plans: "List[PrivacyPlan]" = []
@@ -427,10 +595,24 @@ class ClusterBroker:
             epsilons: "List[float]" = []
             labels: "List[str]" = []
             for i, (query, q_spec) in enumerate(zip(queries, specs)):
-                shard_plans = [answers[i].plan for answers, _ in results]
-                merged_plans.append(merge_plans(q_spec, shard_plans))
+                route = routes[i]
+                shard_plans = [answer_of[(j, i)].plan for j in route.queried]
+                exact_n = sum(self.shards[j].n for j in route.exact)
+                exact_k = sum(self.shards[j].k for j in route.exact)
+                if shard_plans or exact_n:
+                    merged_plans.append(
+                        merge_plans(
+                            q_spec, shard_plans, exact_n=exact_n, exact_k=exact_k
+                        )
+                    )
+                else:
+                    # Every shard pruned: the range provably holds no
+                    # records, released from metadata alone.
+                    merged_plans.append(zero_plan(q_spec))
                 prices.append(self.pricing.price(q_spec.alpha, q_spec.delta))
-                epsilons.append(max(p.epsilon_prime for p in shard_plans))
+                epsilons.append(
+                    max((p.epsilon_prime for p in shard_plans), default=0.0)
+                )
                 labels.append(f"{consumer}:[{query.low},{query.high}]")
 
             total_epsilon = sum(epsilons)
@@ -480,11 +662,27 @@ class ClusterBroker:
             ])
 
             merged: "List[ClusterAnswer]" = []
+            degraded_answers = 0
             for i, (query, q_spec) in enumerate(zip(queries, specs)):
-                shard_answers = tuple(answers[i] for answers, _ in results)
-                raw = float(sum(a.raw_value for a in shard_answers))
-                estimate = float(sum(a.sample_estimate for a in shard_answers))
+                route = routes[i]
+                shard_answers = tuple(
+                    answer_of[(j, i)] for j in route.queried
+                )
+                # Exactly-covered shards contribute their cached totals:
+                # every record is in range, zero error, zero ε.  Shard
+                # sizes are public partition metadata (they already
+                # calibrate pricing and appear in every merged plan).
+                exact_count = float(sum(self.shards[j].n for j in route.exact))
+                raw = exact_count + float(sum(a.raw_value for a in shard_answers))
+                estimate = exact_count + float(
+                    sum(a.sample_estimate for a in shard_answers)
+                )
                 value = float(min(max(raw, 0.0), n_total))
+                answer_degraded = tuple(
+                    j for j in route.queried if degraded_by_shard.get(j, False)
+                )
+                if answer_degraded:
+                    degraded_answers += 1
                 merged.append(
                     ClusterAnswer(
                         value=value,
@@ -497,19 +695,41 @@ class ClusterBroker:
                         consumer=consumer,
                         transaction_id=txns[i].transaction_id,
                         shard_answers=shard_answers,
-                        degraded_shards=degraded_ids,
+                        degraded_shards=answer_degraded,
                         delta_reported=degraded_delta(
-                            q_spec.delta, len(degraded_ids), self.replica_confidence
+                            q_spec.delta,
+                            len(answer_degraded),
+                            self.replica_confidence,
                         ),
+                        pruned_shards=route.pruned,
+                        exact_shards=route.exact,
+                        route_signature=route.signature,
                     )
                 )
 
         self._emit("cluster.batches")
         self._emit("cluster.answers", len(queries))
         self._emit("cluster.epsilon_spent", total_epsilon)
-        if degraded_ids:
-            self._emit("cluster.degraded_answers", len(queries))
+        if degraded_answers:
+            self._emit("cluster.degraded_answers", degraded_answers)
         if self.telemetry is not None:
+            for route in routes:
+                self.telemetry.observe(
+                    "cluster.shards_pruned", float(len(route.pruned))
+                )
+                self.telemetry.observe(
+                    "cluster.shards_touched", float(route.touched)
+                )
+                for sub in route.sub_specs:
+                    self.telemetry.observe("cluster.delta_split", sub.delta)
+            routed_count = sum(1 for route in routes if route.routed)
+            if routed_count:
+                self.telemetry.inc("cluster.routed_queries", routed_count)
+            covered = sum(
+                1 for route in routes if route.routed and not route.queried
+            )
+            if covered:
+                self.telemetry.inc("cluster.metadata_answers", covered)
             self.telemetry.set_gauge(
                 "cluster.shards_healthy",
                 float(sum(1 for shard in self.shards if shard.primary_alive)),
@@ -572,14 +792,25 @@ class ClusterBroker:
         return answers, degraded
 
     def _fan_out(self, fn):
-        """Apply ``fn`` to every shard, concurrently when ``s > 1``.
+        """Apply ``fn`` to every shard, concurrently when ``s > 1``."""
+        return self._fan_out_over(self.shards, fn)
 
-        Results come back in shard order.  Determinism is preserved
+    def _fan_out_over(self, items, fn):
+        """Apply ``fn`` to each item, concurrently when there are several.
+
+        Results come back in item order.  Determinism is preserved
         under concurrency because every shard owns independent rng
-        streams (devices, channel, broker noise).
+        streams (devices, channel, broker noise) and each item's
+        sub-batch composition is fixed before the scatter.
+
+        Small scatters (routing typically touches one or two shards)
+        run inline: per-shard work is GIL-bound and far cheaper than a
+        thread handoff, so the pool only pays off for wide broadcasts.
         """
-        if len(self.shards) == 1:
-            return [fn(self.shards[0])]
+        if not items:
+            return []
+        if len(items) <= _INLINE_SCATTER_MAX:
+            return [fn(item) for item in items]
         with self._lock:
             if self._executor is None:
                 self._executor = ThreadPoolExecutor(
@@ -587,7 +818,7 @@ class ClusterBroker:
                     thread_name_prefix="repro-cluster",
                 )
             executor = self._executor
-        futures = [executor.submit(fn, shard) for shard in self.shards]
+        futures = [executor.submit(fn, item) for item in items]
         return [f.result() for f in futures]
 
     def _timer(self, name: str):

@@ -19,17 +19,72 @@ answered by ``s`` shards, each releasing an independent
 With ``s = 1`` the split is the identity and the merged plan is the
 shard plan object itself, which is what makes the single-shard cluster
 bit-identical to the plain broker path.
+
+Range-aware routing (:func:`route_query`) upgrades the blind broadcast
+when shard *bands* are known (range-sharded partitions).  For a query
+``[low, high]`` each shard is classified:
+
+* **pruned** -- its band cannot intersect the range: it holds zero
+  in-range records, contributes exactly 0, and is skipped (no RPC, no
+  noise, no ε);
+* **exact** -- its band is fully contained in the range: every one of
+  its ``n_j`` records is in range, so its contribution is the cached
+  shard total ``n_j`` (public partition metadata, like the fleet sizes
+  already used for pricing) at zero error and zero ε;
+* **queried** -- the band straddles a query edge: only these ``t <= s``
+  shards release a fresh noisy sub-answer.
+
+The ``(α, δ)`` contract then splits over the *queried* shards only:
+confidence ``δ_j`` with ``Π δ_j = δ`` (uniform ``δ^{1/t}``, optionally
+water-filled to equalize per-shard ε′), and tolerance re-allocated as
+``α_j = α · n / N_t`` (capped) where ``N_t = Σ_queried n_j`` -- pruned
+and exact shards contribute zero error, so their tolerance share is
+free to relax the queried shards.  Total error stays ``<= α·n`` with
+probability ``>= δ`` while every queried shard solves a strictly easier
+optimization, so composed ε′ (max over queried shards, parallel
+composition) can only improve on the broadcast split.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.query import AccuracySpec
+from repro.datasets.partition import ShardBand
 from repro.privacy.optimizer import PrivacyPlan
 
-__all__ = ["split_spec", "merge_plans", "degraded_delta"]
+__all__ = [
+    "split_spec",
+    "merge_plans",
+    "degraded_delta",
+    "zero_plan",
+    "RoutePlan",
+    "route_query",
+]
+
+
+def zero_plan(spec: AccuracySpec, n: int = 0, k: int = 0) -> PrivacyPlan:
+    """The plan of a release that spent nothing.
+
+    Describes an answer derived purely from public partition metadata
+    (pruned and exactly-covered shards): no sampling error reserved, no
+    noise injected, ε = ε′ = 0.
+    """
+    return PrivacyPlan(
+        alpha=spec.alpha,
+        delta=spec.delta,
+        alpha_prime=0.0,
+        delta_prime=1.0,
+        epsilon=0.0,
+        epsilon_prime=0.0,
+        sensitivity=0.0,
+        noise_scale=0.0,
+        p=1.0,
+        k=k,
+        n=n,
+    )
 
 
 def split_spec(spec: AccuracySpec, shards: int) -> AccuracySpec:
@@ -45,7 +100,12 @@ def split_spec(spec: AccuracySpec, shards: int) -> AccuracySpec:
     return AccuracySpec(alpha=spec.alpha, delta=spec.delta ** (1.0 / shards))
 
 
-def merge_plans(spec: AccuracySpec, plans: Sequence[PrivacyPlan]) -> PrivacyPlan:
+def merge_plans(
+    spec: AccuracySpec,
+    plans: Sequence[PrivacyPlan],
+    exact_n: int = 0,
+    exact_k: int = 0,
+) -> PrivacyPlan:
     """Fold per-shard plans into the plan reported on the merged answer.
 
     The merged plan describes the *release the consumer actually got*:
@@ -62,14 +122,25 @@ def merge_plans(spec: AccuracySpec, plans: Sequence[PrivacyPlan]) -> PrivacyPlan
     * ``p`` -- minimum shard rate (the weakest sample backing the
       answer); ``k``/``n`` -- fleet totals.
 
-    A single plan is returned untouched (bit-identity at ``s = 1``).
+    ``exact_n`` / ``exact_k`` fold in shards the router answered from
+    cached totals (exact cover): they add records and devices to the
+    release at zero sampling error, zero noise, and zero ε.  With no
+    queried plan at all (the range was fully covered by pruned + exact
+    shards) the merged plan is the zero-cost release over those totals.
+
+    A single plan with no exact contribution is returned untouched
+    (bit-identity at ``s = 1``).
     """
+    if exact_n < 0 or exact_k < 0:
+        raise ValueError("exact shard totals cannot be negative")
     if not plans:
-        raise ValueError("at least one shard plan is required")
-    if len(plans) == 1:
+        if exact_n == 0:
+            raise ValueError("at least one shard plan is required")
+        return zero_plan(spec, n=exact_n, k=exact_k)
+    if len(plans) == 1 and exact_n == 0:
         return plans[0]
-    n_total = sum(p.n for p in plans)
-    k_total = sum(p.k for p in plans)
+    n_total = sum(p.n for p in plans) + exact_n
+    k_total = sum(p.k for p in plans) + exact_k
     delta_prime = 1.0
     for p in plans:
         delta_prime *= p.delta_prime
@@ -100,3 +171,293 @@ def degraded_delta(delta: float, degraded_shards: int, factor: float) -> float:
     if not 0.0 < factor <= 1.0:
         raise ValueError("degradation factor must be in (0, 1]")
     return delta * factor ** degraded_shards
+
+
+# ----------------------------------------------------------------------
+# range-aware routing
+# ----------------------------------------------------------------------
+
+#: Ceiling on the re-allocated per-shard tolerance.  The boost
+#: ``α · n / N_t`` can exceed 1 when the queried shards are tiny;
+#: :class:`~repro.core.query.AccuracySpec` requires ``α < 1`` strictly.
+#: The cap only binds once a single queried shard holds under
+#: ``α/0.95`` of the fleet (e.g. one shard of eight at α ≥ 0.12); the
+#: *absolute* tolerance handed to the queried shards,
+#: ``min(α·n, 0.95·N_t)``, never exceeds the contract's ``α·n``.  Kept
+#: just under 1 rather than lower: once the touched shards are small,
+#: every unit of forfeited tolerance inflates ε′ hyperbolically.
+ALPHA_BOOST_CAP = 0.95
+
+#: Water-filling iteration budget and convergence band.  The refinement
+#: stops once the queried shards' predicted ε′ spread is within
+#: ``_WATERFILL_SPREAD`` relative, or after ``_WATERFILL_ITERATIONS``
+#: rounds -- a fixed, deterministic schedule.
+_WATERFILL_ITERATIONS = 6
+_WATERFILL_SPREAD = 0.02
+#: Floor on a queried shard's δ-weight share (of ``1/t``) so no shard's
+#: confidence target collapses toward the impossible ``δ_j -> 1``.
+_WATERFILL_FLOOR = 0.1
+
+#: Predicted amplified budget of one shard release: maps
+#: ``(shard_index, sub_spec)`` to the ε′ the shard's planner would spend.
+RouteCost = Callable[[int, AccuracySpec], float]
+
+
+@dataclass(frozen=True)
+class RoutePlan:
+    """One query's routing decision over a shard set.
+
+    ``pruned`` / ``exact`` / ``queried`` partition the shard indices;
+    ``sub_specs`` runs parallel to ``queried``.  ``routed`` is False when
+    band metadata gave the planner nothing to exploit (no shard pruned or
+    exactly covered) and the plan is the legacy broadcast ``δ^{1/s}``
+    scatter -- bit-identical to the pre-routing cluster behaviour.
+    """
+
+    alpha: float
+    delta: float
+    low: float
+    high: float
+    pruned: Tuple[int, ...]
+    exact: Tuple[int, ...]
+    queried: Tuple[int, ...]
+    sub_specs: Tuple[AccuracySpec, ...]
+    routed: bool
+
+    def __post_init__(self) -> None:
+        if len(self.sub_specs) != len(self.queried):
+            raise ValueError("need exactly one sub-spec per queried shard")
+
+    @property
+    def shards(self) -> int:
+        """Total shard count the plan partitions."""
+        return len(self.pruned) + len(self.exact) + len(self.queried)
+
+    @property
+    def touched(self) -> int:
+        """``t``: shards that must release a fresh noisy sub-answer."""
+        return len(self.queried)
+
+    def spec_for(self, shard_index: int) -> AccuracySpec:
+        """The sub-spec shard ``shard_index`` must satisfy."""
+        return self.sub_specs[self.queried.index(shard_index)]
+
+    @property
+    def signature(self) -> str:
+        """Stable routing fingerprint for cache keys and provenance.
+
+        Broadcast plans share the single signature ``"b"`` regardless of
+        shard count (the pre-routing behaviour had no signature at all);
+        routed plans encode the exact shard partition.
+        """
+        if not self.routed:
+            return "b"
+        return "p{};x{};q{}".format(
+            ",".join(str(i) for i in self.pruned),
+            ",".join(str(i) for i in self.exact),
+            ",".join(str(i) for i in self.queried),
+        )
+
+
+def _broadcast_plan(
+    spec: AccuracySpec, low: float, high: float, shards: int
+) -> RoutePlan:
+    sub = split_spec(spec, shards)
+    return RoutePlan(
+        alpha=spec.alpha,
+        delta=spec.delta,
+        low=low,
+        high=high,
+        pruned=(),
+        exact=(),
+        queried=tuple(range(shards)),
+        sub_specs=(sub,) * shards,
+        routed=False,
+    )
+
+
+def _boosted_alpha(
+    alpha: float, n_total: int, n_queried: int, alpha_cap: float
+) -> float:
+    """Tolerance re-allocated to the queried shards, capped and monotone.
+
+    Never below the consumer ``α`` (the uncapped boost ``α·n/N_t >= α``
+    always holds since ``N_t <= n``), never at or above 1.
+    """
+    boost = alpha * (float(n_total) / float(n_queried))
+    return max(alpha, min(boost, alpha_cap, 0.999999))
+
+
+def _composed_cost(
+    cost: RouteCost, queried: Sequence[int], specs: Sequence[AccuracySpec]
+) -> float:
+    """Predicted cluster ε′ of a candidate: parallel-composition max."""
+    worst = 0.0
+    for index, sub in zip(queried, specs):
+        worst = max(worst, cost(index, sub))
+    return worst
+
+
+def _waterfill_specs(
+    spec: AccuracySpec,
+    queried: Sequence[int],
+    alpha_j: float,
+    cost: RouteCost,
+) -> "Tuple[List[AccuracySpec], float]":
+    """Non-uniform δ-split equalizing the queried shards' predicted ε′.
+
+    Maintains ``Σ w_j = 1`` with ``δ_j = δ^{w_j}`` (so ``Π δ_j = δ``
+    exactly) and deterministically shifts confidence weight toward the
+    shards predicted to spend the most: a larger ``w_j`` means a *lower*
+    per-shard confidence target ``δ^{w_j}``, i.e. an easier release.
+    Returns the best specs found and their composed ε′.
+    """
+    t = len(queried)
+    weights = [1.0 / t] * t
+    floor = _WATERFILL_FLOOR / t
+
+    def specs_of(ws: Sequence[float]) -> "List[AccuracySpec]":
+        return [
+            AccuracySpec(alpha=alpha_j, delta=spec.delta ** w) for w in ws
+        ]
+
+    best_specs = specs_of(weights)
+    best_cost = _composed_cost(cost, queried, best_specs)
+    for _ in range(_WATERFILL_ITERATIONS):
+        costs = [cost(index, sub) for index, sub in zip(queried, best_specs)]
+        worst = max(costs)
+        mean = sum(costs) / t
+        if worst <= 0.0 or mean <= 0.0:
+            break
+        if (worst - min(costs)) / worst < _WATERFILL_SPREAD:
+            break
+        # Shift weight toward expensive shards (sqrt-damped), renormalize.
+        raw = [
+            max(w * math.sqrt(c / mean), floor)
+            for w, c in zip(weights, costs)
+        ]
+        total = sum(raw)
+        weights = [w / total for w in raw]
+        candidate = specs_of(weights)
+        candidate_cost = _composed_cost(cost, queried, candidate)
+        if candidate_cost < best_cost:
+            best_specs = candidate
+            best_cost = candidate_cost
+    return best_specs, best_cost
+
+
+def route_query(
+    spec: AccuracySpec,
+    low: float,
+    high: float,
+    bands: Sequence[ShardBand],
+    sizes: Sequence[int],
+    cost: Optional[RouteCost] = None,
+    alpha_cap: float = ALPHA_BOOST_CAP,
+) -> RoutePlan:
+    """Choose the (routing, δ-split) pair minimizing composed ε′.
+
+    Parameters
+    ----------
+    spec:
+        The consumer's ``(α, δ)`` contract for the whole cluster answer.
+    low, high:
+        The query range (closed interval, matching the estimators).
+    bands, sizes:
+        Per-shard value bands and record counts, index-aligned.
+    cost:
+        Optional ε′ predictor ``(shard_index, sub_spec) -> ε′``.  When
+        given, the planner scores every candidate (broadcast, uniform
+        routed split, water-filled routed split) and returns the cheapest;
+        without it the uniform routed split is returned directly -- it
+        dominates the broadcast analytically (``t <= s`` shards, each with
+        ``α_j >= α`` and ``δ^{1/t} <= δ^{1/s}``, a strictly easier
+        per-shard problem).
+    alpha_cap:
+        Ceiling on the re-allocated per-shard tolerance.
+
+    The plan is deterministic in its inputs: classification is pure
+    interval arithmetic and the water-fill schedule is fixed, so equal
+    ``(spec, range, bands, sizes, rate)`` always route identically.
+    """
+    if len(bands) == 0:
+        raise ValueError("at least one shard band is required")
+    if len(bands) != len(sizes):
+        raise ValueError(
+            f"got {len(bands)} bands for {len(sizes)} shard sizes"
+        )
+    if not low <= high:
+        raise ValueError("query range must satisfy low <= high")
+    if not 0.0 < alpha_cap < 1.0:
+        raise ValueError("alpha_cap must be in (0, 1)")
+
+    s = len(bands)
+    pruned: "List[int]" = []
+    exact: "List[int]" = []
+    queried: "List[int]" = []
+    for index, band in enumerate(bands):
+        if not band.intersects(low, high):
+            pruned.append(index)
+        elif band.contained_in(low, high):
+            exact.append(index)
+        else:
+            queried.append(index)
+
+    if not pruned and not exact:
+        # Band metadata gave nothing to exploit (typical for full-domain
+        # bounds): keep the legacy broadcast scatter, bit-identical to the
+        # pre-routing cluster.
+        return _broadcast_plan(spec, low, high, s)
+
+    base = dict(
+        alpha=spec.alpha,
+        delta=spec.delta,
+        low=low,
+        high=high,
+        pruned=tuple(pruned),
+        exact=tuple(exact),
+    )
+    if not queried:
+        # Fully covered by pruned + exact shards: zero-ε answer from
+        # cached totals, nothing to split.
+        return RoutePlan(queried=(), sub_specs=(), routed=True, **base)
+
+    t = len(queried)
+    n_total = sum(sizes)
+    n_queried = sum(sizes[j] for j in queried)
+    if n_queried <= 0:
+        raise ValueError("queried shards must hold at least one record")
+    alpha_j = _boosted_alpha(spec.alpha, n_total, n_queried, alpha_cap)
+    uniform = [
+        AccuracySpec(alpha=alpha_j, delta=spec.delta ** (1.0 / t))
+    ] * t
+    routed_plan = RoutePlan(
+        queried=tuple(queried),
+        sub_specs=tuple(uniform),
+        routed=True,
+        **base,
+    )
+    if cost is None:
+        return routed_plan
+
+    routed_cost = _composed_cost(cost, queried, uniform)
+    if t > 1:
+        filled, filled_cost = _waterfill_specs(spec, queried, alpha_j, cost)
+        # Strict improvement only: ties keep the uniform split so the
+        # routing signature's spec assignment stays the simplest one.
+        if filled_cost < routed_cost * (1.0 - 1e-9):
+            routed_plan = RoutePlan(
+                queried=tuple(queried),
+                sub_specs=tuple(filled),
+                routed=True,
+                **base,
+            )
+            routed_cost = filled_cost
+
+    broadcast = _broadcast_plan(spec, low, high, s)
+    broadcast_cost = _composed_cost(
+        cost, broadcast.queried, broadcast.sub_specs
+    )
+    if broadcast_cost < routed_cost * (1.0 - 1e-9):
+        return broadcast
+    return routed_plan

@@ -30,6 +30,8 @@ import numpy as np
 from repro.core.broker import DataBroker
 from repro.core.query import AccuracySpec, PrivateAnswer, RangeQuery
 from repro.datasets.partition import (
+    ShardBand,
+    ShardBounds,
     partition_dirichlet,
     partition_even,
     partition_range_sharded,
@@ -58,20 +60,40 @@ _REPLICA_BROKER_OFFSET = 500_009
 
 
 def _partition_wrapper(fn: "Callable[..., list]", needs_seed: bool):
-    def apply(values: np.ndarray, k: int, seed: int) -> "list[np.ndarray]":
+    """Wrap a partition fn to ``(parts, bounds)`` with full-domain bounds.
+
+    Strategies that spread values arbitrarily cannot certify per-node value
+    bands, so the planner gets the sound "could hold anything" degradation
+    and routing falls back to the broadcast scatter.
+    """
+
+    def apply(
+        values: np.ndarray, k: int, seed: int
+    ) -> "Tuple[list[np.ndarray], ShardBounds]":
         if needs_seed:
-            return fn(values, k, seed=seed)
-        return fn(values, k)
+            parts = fn(values, k, seed=seed)
+        else:
+            parts = fn(values, k)
+        return parts, ShardBounds.full_domain(k)
 
     return apply
 
 
+def _partition_range_sharded_bounded(
+    values: np.ndarray, k: int, seed: int
+) -> "Tuple[list[np.ndarray], ShardBounds]":
+    parts, bounds = partition_range_sharded(values, k, with_bounds=True)
+    return parts, bounds
+
+
 #: Partition strategies accepted by :func:`build_shards` (and the CLI).
+#: Each maps ``(values, k, seed) -> (per-node arrays, ShardBounds)``; only
+#: range-sharded yields tight bands, the rest degrade to the full domain.
 PARTITION_STRATEGIES = {
     "even": _partition_wrapper(partition_even, needs_seed=False),
     "round-robin": _partition_wrapper(partition_round_robin, needs_seed=False),
     "dirichlet": _partition_wrapper(partition_dirichlet, needs_seed=True),
-    "range-sharded": _partition_wrapper(partition_range_sharded, needs_seed=False),
+    "range-sharded": _partition_range_sharded_bounded,
 }
 
 
@@ -92,6 +114,16 @@ class ShardRuntime:
     scheduler: EventScheduler = field(default_factory=EventScheduler)
     device_ids: Tuple[int, ...] = ()
     primary_alive: bool = True
+    #: Closed value interval this shard's records are known to live in.
+    #: Tight only under range-sharded partitioning; full domain otherwise.
+    #: Valid for the life of the shard because device data placement is
+    #: immutable after :func:`build_shards` -- collection rounds re-sample
+    #: the same per-node values, they never migrate records across shards.
+    band: ShardBand = field(default_factory=ShardBand.full_domain)
+    #: ``primary.base_station.store_version`` at the moment the band was
+    #: computed; routing decisions key their cache on the *current* store
+    #: version, which can only be >= this.
+    band_version: int = 0
 
     @property
     def primary_station(self) -> BaseStation:
@@ -253,7 +285,7 @@ def build_shards(
             f"{sorted(PARTITION_STRATEGIES)}"
         ) from None
 
-    node_values = strategy(values, k, seed)
+    node_values, node_bounds = strategy(values, k, seed)
     id_blocks = np.array_split(np.arange(1, k + 1), shards)
 
     runtimes: "List[ShardRuntime]" = []
@@ -333,6 +365,8 @@ def build_shards(
                 primary=primary,
                 replica=replica,
                 device_ids=device_ids,
+                band=node_bounds.merged([i - 1 for i in device_ids]),
+                band_version=primary_station.store_version,
             )
         )
     return runtimes

@@ -97,6 +97,11 @@ class DataBroker:
         # Cache of released answers keyed by (query, spec, sample rate);
         # see ``memoize_answers`` in :meth:`answer`.
         self._answer_cache: "dict[tuple, PrivateAnswer]" = {}
+        # Memo of optimizer runs: the grid search is a pure function of
+        # (α, δ, p) for this broker's fixed fleet shape, and cluster
+        # routing multiplies the distinct sub-specs each shard sees per
+        # batch -- re-planning per batch would dominate latency.
+        self._plan_memo: "dict[tuple[float, float, float], PrivacyPlan]" = {}
         self._planner = QueryPlanner(
             k=self.base_station.k,
             n=self.base_station.n,
@@ -113,6 +118,17 @@ class DataBroker:
     def planner(self) -> QueryPlanner:
         """The planner bound to this broker's fleet shape."""
         return self._planner
+
+    def _plan(self, spec: AccuracySpec, p: float) -> PrivacyPlan:
+        """Memoized :meth:`QueryPlanner.plan` (pure in ``(α, δ, p)``)."""
+        key = (spec.alpha, spec.delta, p)
+        plan = self._plan_memo.get(key)
+        if plan is None:
+            plan = self._planner.plan(spec, p)
+            if len(self._plan_memo) > 2048:
+                self._plan_memo.clear()
+            self._plan_memo[key] = plan
+        return plan
 
     def quote(self, spec: AccuracySpec) -> float:
         """List price of an ``(α, δ)`` product (no data is touched)."""
@@ -227,7 +243,7 @@ class DataBroker:
         with self._timer("broker.plan_s"):
             self._ensure_feasible(spec)
             p = self.base_station.sampling_rate
-            plan = self._planner.plan(spec, p)
+            plan = self._plan(spec, p)
         if not self.policy.can_release(consumer, plan.epsilon_prime):
             raise PolicyViolationError(
                 f"consumer {consumer!r} would exceed the per-consumer "
@@ -371,7 +387,7 @@ class DataBroker:
                 self._ensure_feasible(tier_spec)
             p = self.base_station.sampling_rate
             plans = {
-                tier: self._planner.plan(tier_spec, p)
+                tier: self._plan(tier_spec, p)
                 for tier, tier_spec in miss_tiers.items()
             }
             prices = {

@@ -16,20 +16,143 @@ RankCounting estimator sums per-node estimates, so its accuracy depends on
 
 Every strategy returns a list of ``k`` numpy arrays whose concatenation is a
 permutation of the input, so exact global counts are preserved.
+
+Range-sharded partitions additionally expose *band metadata*: the closed
+value interval ``[low, high]`` each node's data lives in.  Bands are a
+by-product of the sorted split boundaries -- public partitioning metadata,
+not a per-record disclosure -- and are what lets the cluster query planner
+prune shards whose band cannot intersect a query range
+(:class:`ShardBand` / :class:`ShardBounds`).  The other strategies spread
+values arbitrarily, so their bounds degrade to the full domain and every
+shard stays a candidate for every query.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = [
+    "ShardBand",
+    "ShardBounds",
     "partition_even",
     "partition_round_robin",
     "partition_dirichlet",
     "partition_range_sharded",
+    "range_sharded_bounds",
 ]
+
+
+@dataclass(frozen=True)
+class ShardBand:
+    """Closed value interval ``[low, high]`` a shard's data is known to
+    occupy.
+
+    Two sentinel shapes matter to the planner:
+
+    * the **full domain** ``[-inf, +inf]`` -- "no knowledge": the band
+      intersects every query and is contained in none, so routing always
+      degrades to the broadcast scatter;
+    * the **empty band** (``low > high``, canonically ``[+inf, -inf]``) --
+      a shard holding zero records: it intersects nothing and is always
+      prunable.
+
+    Intersection and containment use *closed* interval semantics to match
+    the estimators' inclusive ``low <= value <= high`` range counting: a
+    band whose edge equals a query bound still holds in-range values and
+    must not be pruned.
+    """
+
+    low: float
+    high: float
+
+    @classmethod
+    def full_domain(cls) -> "ShardBand":
+        """The degenerate "could hold anything" band."""
+        return cls(low=-math.inf, high=math.inf)
+
+    @classmethod
+    def empty(cls) -> "ShardBand":
+        """The band of a shard holding zero records."""
+        return cls(low=math.inf, high=-math.inf)
+
+    @classmethod
+    def of(cls, values: np.ndarray) -> "ShardBand":
+        """Tight band of one node's values (empty array -> empty band)."""
+        if len(values) == 0:
+            return cls.empty()
+        return cls(low=float(np.min(values)), high=float(np.max(values)))
+
+    @property
+    def is_empty(self) -> bool:
+        return self.low > self.high
+
+    @property
+    def is_full_domain(self) -> bool:
+        return math.isinf(self.low) and self.low < 0 and math.isinf(self.high) and self.high > 0
+
+    def intersects(self, low: float, high: float) -> bool:
+        """Whether any value in the band can fall in ``[low, high]``."""
+        if self.is_empty:
+            return False
+        return self.high >= low and self.low <= high
+
+    def contained_in(self, low: float, high: float) -> bool:
+        """Whether every value in the band falls in ``[low, high]``.
+
+        An empty band is reported as *not* contained so planners classify
+        empty shards as prunable rather than exactly-covered; both
+        contribute zero, but pruning skips the RPC entirely.
+        """
+        if self.is_empty:
+            return False
+        return low <= self.low and self.high <= high
+
+    def union(self, other: "ShardBand") -> "ShardBand":
+        """Smallest band covering both operands."""
+        if self.is_empty:
+            return other
+        if other.is_empty:
+            return self
+        return ShardBand(low=min(self.low, other.low), high=max(self.high, other.high))
+
+
+@dataclass(frozen=True)
+class ShardBounds:
+    """Per-node band metadata for one partition of a value column.
+
+    ``bands[i]`` bounds node ``i``'s values.  :meth:`from_parts` computes
+    tight bands (what :func:`partition_range_sharded` yields);
+    :meth:`full_domain` is the degradation for strategies whose nodes hold
+    arbitrary value mixes, keeping the planner sound but unable to prune.
+    """
+
+    bands: Tuple[ShardBand, ...]
+
+    @classmethod
+    def from_parts(cls, parts: Sequence[np.ndarray]) -> "ShardBounds":
+        """Tight per-node bands of an explicit partition."""
+        return cls(bands=tuple(ShardBand.of(part) for part in parts))
+
+    @classmethod
+    def full_domain(cls, k: int) -> "ShardBounds":
+        """``k`` full-domain bands: sound for any partition, prunes nothing."""
+        if k <= 0:
+            raise ValueError("k must be a positive integer")
+        return cls(bands=tuple(ShardBand.full_domain() for _ in range(k)))
+
+    def __len__(self) -> int:
+        return len(self.bands)
+
+    def merged(self, indices: Sequence[int]) -> ShardBand:
+        """Union band of a node subset (a shard's contiguous device block)."""
+        band = ShardBand.empty()
+        for i in indices:
+            band = band.union(self.bands[i])
+        return band
 
 
 def _check_k(values: np.ndarray, k: int) -> None:
@@ -84,14 +207,33 @@ def partition_dirichlet(
     return shards
 
 
-def partition_range_sharded(values: np.ndarray, k: int) -> List[np.ndarray]:
+def partition_range_sharded(
+    values: np.ndarray, k: int, with_bounds: bool = False
+) -> "List[np.ndarray] | Tuple[List[np.ndarray], ShardBounds]":
     """Sort ``values`` and give each node one contiguous value band.
 
     This concentrates each node's data in a narrow interval; range queries
     then either contain almost all of a node's data or almost none, which is
-    the worst case for boundary-gap estimation.
+    the worst case for boundary-gap estimation -- and the *best* case for
+    the cluster query planner, which can prune whole shards by band.
+
+    With ``with_bounds=True`` the tight per-node :class:`ShardBounds` are
+    returned alongside the partition.  Duplicate values may straddle a
+    split boundary (``np.array_split`` cuts by position, not value), so
+    neighbouring bands can share an edge value; the closed-interval band
+    semantics keep routing correct in that case.
     """
     values = np.asarray(values, dtype=np.float64)
     _check_k(values, k)
     ordered = np.sort(values)
-    return [np.array(chunk, dtype=np.float64) for chunk in np.array_split(ordered, k)]
+    parts = [np.array(chunk, dtype=np.float64) for chunk in np.array_split(ordered, k)]
+    if with_bounds:
+        return parts, ShardBounds.from_parts(parts)
+    return parts
+
+
+def range_sharded_bounds(values: np.ndarray, k: int) -> ShardBounds:
+    """Just the band metadata a range-sharded partition would produce."""
+    ordered = np.sort(np.asarray(values, dtype=np.float64))
+    _check_k(ordered, k)
+    return ShardBounds.from_parts(np.array_split(ordered, k))

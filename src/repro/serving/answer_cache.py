@@ -5,12 +5,15 @@ free in privacy (the Sigma-Counting observation: reuse of published noisy
 counts is the cheapest way to serve repeated queries).  The cache therefore
 keys strictly on what makes a release reusable:
 
-``(dataset, low, high, α, δ, store_version)``
+``(dataset, low, high, α, δ, store_version, routing)``
 
 ``store_version`` is the base station's monotone commit counter -- any
 ``collect``/``top_up`` round that changes the stored sample bumps it, so
 entries derived from the previous sample can never be replayed against the
-new one.  Stale entries are also purged eagerly when the cache is bound to
+new one.  ``routing`` is the cluster route signature (empty for brokers
+without range-aware routing): answers derived from different shard routes
+-- e.g. before and after a rate change flips the planner's candidate --
+never alias, so pruned and exact-cover releases replay correctly.  Stale entries are also purged eagerly when the cache is bound to
 a station via :meth:`AnswerCache.bind_station`.
 
 The cache stores the broker's :class:`~repro.core.query.PrivateAnswer`
@@ -33,7 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
 
 __all__ = ["AnswerCache", "CacheStats"]
 
-CacheKey = Tuple[str, float, float, float, float, int]
+CacheKey = Tuple[str, float, float, float, float, int, str]
 
 
 @dataclass(frozen=True)
@@ -88,9 +91,18 @@ class AnswerCache:
     # ------------------------------------------------------------------
     @staticmethod
     def key_for(
-        query: "RangeQuery", spec: "AccuracySpec", store_version: int
+        query: "RangeQuery",
+        spec: "AccuracySpec",
+        store_version: int,
+        routing: str = "",
     ) -> CacheKey:
-        """The reuse key of one ``(query, tier)`` pair at one store state."""
+        """The reuse key of one ``(query, tier)`` pair at one store state.
+
+        ``routing`` is the broker's route signature for this query
+        (``ClusterBroker.routing_signature``); brokers without
+        range-aware routing leave it empty.  ``store_version`` stays at
+        index 5 -- :meth:`invalidate_before` depends on it.
+        """
         return (
             query.dataset,
             query.low,
@@ -98,6 +110,7 @@ class AnswerCache:
             spec.alpha,
             spec.delta,
             store_version,
+            routing,
         )
 
     # ------------------------------------------------------------------

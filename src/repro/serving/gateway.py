@@ -464,12 +464,27 @@ class ServingGateway:
         store_version = self.broker.base_station.store_version
         pending: List[_Request] = []
 
+        # Range-aware brokers key cached releases on the route signature
+        # too (pruned/exact-cover answers must never alias a broadcast).
+        sig_fn = getattr(self.broker, "routing_signature", None)
+        routings: "Dict[int, str]" = {}
+
+        def routing_of(request: "_Request") -> str:
+            if sig_fn is None:
+                return ""
+            sig = routings.get(id(request))
+            if sig is None:
+                sig = sig_fn(request.query, request.spec)
+                routings[id(request)] = sig
+            return sig
+
         # 1. Cache replays: identical to an already-released answer at the
         #    current store version -- billed at list price, ε′ = 0.
         for request in batch:
             if self.cache is not None:
                 key = AnswerCache.key_for(
-                    request.query, request.spec, store_version
+                    request.query, request.spec, store_version,
+                    routing_of(request),
                 )
                 cached = self.cache.get(key)
                 if cached is not None:
@@ -486,7 +501,8 @@ class ServingGateway:
             seen: Dict[Tuple, int] = {}
             for request in pending:
                 key = AnswerCache.key_for(
-                    request.query, request.spec, store_version
+                    request.query, request.spec, store_version,
+                    routing_of(request),
                 )
                 if key in seen:
                     dups.append((request, seen[key]))
@@ -523,8 +539,16 @@ class ServingGateway:
             post_version = self.broker.base_station.store_version
             for request, answer in zip(fresh, fresh_answers):
                 if answer is not None:
+                    # Recompute the signature: a mid-dispatch top-up can
+                    # flip the route, and future lookups key against the
+                    # post-dispatch state.
+                    routing = (
+                        sig_fn(request.query, request.spec)
+                        if sig_fn is not None
+                        else ""
+                    )
                     key = AnswerCache.key_for(
-                        request.query, request.spec, post_version
+                        request.query, request.spec, post_version, routing
                     )
                     self.cache.put(key, answer)
 

@@ -168,9 +168,13 @@ def expected_accounting(
     """
     broker = gateway.broker
     p = broker.base_station.sampling_rate
+    # Range-aware brokers spend a *per-range* ε′ (pruned / exactly-covered
+    # shards are free), exposed through the duck-typed ``plan_for_range``;
+    # plain brokers spend per tier only.
+    plan_for_range = getattr(broker.planner, "plan_for_range", None)
     revenue = 0.0
     epsilon = 0.0
-    plans: Dict[Tuple[float, float], float] = {}
+    plans: Dict[Tuple[float, ...], float] = {}
     seen: set = set()
     for (low, high), spec in requests:
         tier = (spec.alpha, spec.delta)
@@ -179,9 +183,13 @@ def expected_accounting(
         if gateway.cache is not None and key in seen:
             continue
         seen.add(key)
-        if tier not in plans:
-            plans[tier] = broker.planner.plan(spec, p).epsilon_prime
-        epsilon += plans[tier]
+        plan_key: "Tuple[float, ...]" = key if plan_for_range is not None else tier
+        if plan_key not in plans:
+            if plan_for_range is not None:
+                plans[plan_key] = plan_for_range(low, high, spec, p).epsilon_prime
+            else:
+                plans[plan_key] = broker.planner.plan(spec, p).epsilon_prime
+        epsilon += plans[plan_key]
     return revenue, epsilon
 
 

@@ -8,8 +8,16 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster.planning import degraded_delta, merge_plans, split_spec
+from repro.cluster.planning import (
+    ALPHA_BOOST_CAP,
+    degraded_delta,
+    merge_plans,
+    route_query,
+    split_spec,
+    zero_plan,
+)
 from repro.core.query import AccuracySpec
+from repro.datasets.partition import ShardBand, ShardBounds
 from repro.privacy.optimizer import PrivacyPlan
 
 
@@ -120,3 +128,170 @@ class TestDegradedDelta:
             degraded_delta(0.5, 1, factor=0.0)
         with pytest.raises(ValueError):
             degraded_delta(0.5, 1, factor=1.5)
+
+
+# Gapped bands: adjacent bands share no boundary value, so exact-cover
+# and pruning classifications are unambiguous under closed intervals.
+BANDS = (
+    ShardBand(low=0.0, high=9.0),
+    ShardBand(low=10.0, high=19.0),
+    ShardBand(low=20.0, high=29.0),
+    ShardBand(low=30.0, high=39.0),
+)
+SIZES = (100, 100, 100, 100)
+SPEC = AccuracySpec(alpha=0.1, delta=0.5)
+
+
+class TestZeroPlan:
+    def test_all_costs_zero(self):
+        plan = zero_plan(SPEC, n=300, k=24)
+        assert plan.epsilon == 0.0
+        assert plan.epsilon_prime == 0.0
+        assert plan.noise_scale == 0.0
+        assert plan.alpha_prime == 0.0
+        assert plan.delta_prime == 1.0
+        assert (plan.n, plan.k) == (300, 24)
+
+    def test_merge_plans_exact_only(self):
+        merged = merge_plans(SPEC, [], exact_n=250, exact_k=16)
+        assert merged.epsilon_prime == 0.0
+        assert (merged.n, merged.k) == (250, 16)
+
+    def test_merge_plans_folds_exact_totals_into_release(self):
+        shard = make_plan(n=900, k=8, noise_scale=5.0)
+        merged = merge_plans(SPEC, [shard], exact_n=100, exact_k=4)
+        assert merged.n == 1000
+        assert merged.k == 12
+        # Exact shards add records at zero ε and zero noise.
+        assert merged.epsilon_prime == shard.epsilon_prime
+        assert merged.noise_scale == shard.noise_scale
+        # Their tolerance reservation dilutes the weighted α'.
+        assert merged.alpha_prime == pytest.approx(
+            shard.alpha_prime * 900 / 1000
+        )
+
+
+class TestRouteQuery:
+    def test_all_pruned_is_metadata_only(self):
+        route = route_query(SPEC, 50.0, 60.0, bands=BANDS, sizes=SIZES)
+        assert route.routed
+        assert route.pruned == (0, 1, 2, 3)
+        assert route.exact == ()
+        assert route.touched == 0
+        assert route.signature == "p0,1,2,3;x;q"
+
+    def test_no_prune_no_exact_broadcasts(self):
+        # Two shards, query straddles both and contains neither: band
+        # metadata gives nothing to exploit, so the legacy broadcast
+        # (bit-identical to the pre-routing cluster) is kept.
+        route = route_query(
+            SPEC, 5.0, 15.0, bands=BANDS[:2], sizes=SIZES[:2]
+        )
+        assert not route.routed
+        assert route.signature == "b"
+        assert route.queried == (0, 1)
+        sub = split_spec(SPEC, 2)
+        assert all(s == sub for s in route.sub_specs)
+
+    def test_narrow_query_routes_one_shard_at_full_delta(self):
+        route = route_query(SPEC, 12.0, 18.0, bands=BANDS, sizes=SIZES)
+        assert route.routed
+        assert route.queried == (1,)
+        assert route.pruned == (0, 2, 3)
+        (sub,) = route.sub_specs
+        # t=1 keeps the full confidence target; tolerance is boosted
+        # by n/N_t = 400/100 then capped.
+        assert sub.delta == SPEC.delta
+        assert sub.alpha == pytest.approx(
+            min(SPEC.alpha * 4.0, ALPHA_BOOST_CAP)
+        )
+        assert route.spec_for(1) == sub
+
+    def test_exact_cover_spends_nothing(self):
+        route = route_query(SPEC, 9.5, 19.5, bands=BANDS, sizes=SIZES)
+        assert route.routed
+        assert route.exact == (1,)
+        assert route.touched == 0
+
+    def test_straddle_splits_delta_over_touched_only(self):
+        route = route_query(SPEC, 15.0, 25.0, bands=BANDS, sizes=SIZES)
+        assert route.routed
+        assert route.queried == (1, 2)
+        assert route.pruned == (0, 3)
+        for sub in route.sub_specs:
+            assert sub.delta == pytest.approx(SPEC.delta ** 0.5)
+        # Confidence product recovers the consumer target exactly.
+        product = 1.0
+        for sub in route.sub_specs:
+            product *= sub.delta
+        assert product == pytest.approx(SPEC.delta)
+
+    def test_empty_band_always_prunes(self):
+        bands = BANDS[:3] + (ShardBand.empty(),)
+        route = route_query(
+            SPEC, 30.0, 40.0, bands=bands, sizes=(100, 100, 100, 0)
+        )
+        assert 3 in route.pruned
+        assert route.touched == 0
+
+    def test_full_domain_bands_always_broadcast(self):
+        bounds = ShardBounds.full_domain(4)
+        route = route_query(
+            SPEC, 12.0, 18.0, bands=bounds.bands, sizes=SIZES
+        )
+        assert not route.routed
+
+    def test_deterministic_in_inputs(self):
+        a = route_query(SPEC, 15.0, 25.0, bands=BANDS, sizes=SIZES)
+        b = route_query(SPEC, 15.0, 25.0, bands=BANDS, sizes=SIZES)
+        assert a == b
+
+    def test_cost_model_can_flip_to_broadcast(self):
+        # A pathological predictor that makes routed sub-releases
+        # expensive and broadcast sub-releases free must flip the
+        # decision: the planner minimizes predicted composed ε′.
+        broadcast_sub = split_spec(SPEC, 4)
+
+        def cost(index, sub):
+            return 0.001 if sub == broadcast_sub else 1.0
+
+        route = route_query(
+            SPEC, 15.0, 25.0, bands=BANDS, sizes=SIZES, cost=cost
+        )
+        assert not route.routed
+
+    def test_waterfill_shifts_confidence_toward_expensive_shard(self):
+        # Shard 2 is predicted 9x more expensive at equal specs: the
+        # water-fill gives it more δ-weight (a lower, easier confidence
+        # target) while the product of the split confidences still
+        # recovers δ.  ε′ grows with the per-shard δ target, so the toy
+        # predictor is monotone increasing in sub.delta.
+        def cost(index, sub):
+            base = 9.0 if index == 2 else 1.0
+            return base * sub.delta
+
+        route = route_query(
+            SPEC, 15.0, 25.0, bands=BANDS, sizes=SIZES, cost=cost
+        )
+        assert route.routed
+        assert route.queried == (1, 2)
+        cheap, expensive = route.sub_specs
+        assert expensive.delta <= cheap.delta
+        product = cheap.delta * expensive.delta
+        assert product == pytest.approx(SPEC.delta)
+        again = route_query(
+            SPEC, 15.0, 25.0, bands=BANDS, sizes=SIZES, cost=cost
+        )
+        assert again == route
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            route_query(SPEC, 1.0, 2.0, bands=(), sizes=())
+        with pytest.raises(ValueError):
+            route_query(SPEC, 1.0, 2.0, bands=BANDS, sizes=(1, 2))
+        with pytest.raises(ValueError):
+            route_query(SPEC, 2.0, 1.0, bands=BANDS, sizes=SIZES)
+        with pytest.raises(ValueError):
+            route_query(
+                SPEC, 1.0, 2.0, bands=BANDS, sizes=SIZES, alpha_cap=1.0
+            )

@@ -1,0 +1,161 @@
+"""Range-aware routing behaviour of the ClusterBroker answer path."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cluster.broker import ClusterAnswer, ClusterBroker
+from repro.core.query import AccuracySpec, RangeQuery
+from repro.serving.telemetry import MetricsRegistry
+
+SPEC = AccuracySpec(alpha=0.1, delta=0.5)
+
+
+@pytest.fixture(scope="module")
+def values():
+    return np.random.default_rng(42).uniform(0.0, 100.0, 4000)
+
+
+@pytest.fixture(scope="module")
+def routed4(values):
+    """A 4-shard range-sharded cluster with tight bands."""
+    broker = ClusterBroker.from_values(
+        values, k=16, shards=4, seed=13, partition="range-sharded"
+    )
+    broker.ensure_rate(0.5)
+    return broker
+
+
+class TestExactCover:
+    def test_band_covering_query_spends_nothing(self, routed4):
+        band = routed4.shards[0].band
+        before = routed4.accountant.spent(routed4.dataset)
+        answer = routed4.answer(
+            RangeQuery(low=band.low, high=band.high), SPEC, consumer="x"
+        )
+        assert isinstance(answer, ClusterAnswer)
+        assert answer.exact_shards == (0,)
+        assert answer.pruned_shards == (1, 2, 3)
+        assert answer.shard_answers == ()
+        # The cached total is exact: every shard-0 record is in range.
+        assert answer.value == float(routed4.shards[0].n)
+        assert answer.plan.epsilon_prime == 0.0
+        assert answer.plan.delta_prime == 1.0
+        assert routed4.accountant.spent(routed4.dataset) == before
+        # The consumer still pays the cluster list price.
+        assert answer.price == routed4.quote(SPEC)
+
+    def test_all_pruned_is_metadata_only(self, routed4):
+        before = routed4.accountant.spent(routed4.dataset)
+        answer = routed4.answer(
+            RangeQuery(low=-20.0, high=-10.0), SPEC, consumer="x"
+        )
+        assert answer.pruned_shards == (0, 1, 2, 3)
+        assert answer.exact_shards == ()
+        assert answer.shard_answers == ()
+        assert answer.value == 0.0
+        assert answer.plan.epsilon_prime == 0.0
+        assert routed4.accountant.spent(routed4.dataset) == before
+
+
+class TestRoutedRelease:
+    def test_straddler_charges_parallel_composition(self, routed4):
+        # A range straddling the shard-1/shard-2 boundary queries exactly
+        # those two shards and charges the max (not the sum) of their ε′.
+        boundary = routed4.shards[1].band.high
+        before = routed4.accountant.spent(routed4.dataset)
+        answer = routed4.answer(
+            RangeQuery(low=boundary - 5.0, high=boundary + 5.0),
+            SPEC,
+            consumer="x",
+        )
+        touched = tuple(
+            j
+            for j in range(4)
+            if j not in answer.pruned_shards and j not in answer.exact_shards
+        )
+        assert len(answer.shard_answers) == len(touched) >= 2
+        shard_eps = [a.plan.epsilon_prime for a in answer.shard_answers]
+        assert answer.plan.epsilon_prime == pytest.approx(max(shard_eps))
+        spent = routed4.accountant.spent(routed4.dataset) - before
+        assert spent == pytest.approx(max(shard_eps))
+        # δ split multiplies back to the consumer contract.
+        product = 1.0
+        for a in answer.shard_answers:
+            product *= a.spec.delta
+        assert product == pytest.approx(SPEC.delta)
+
+    def test_provenance_partitions_the_fleet(self, routed4):
+        answer = routed4.answer(
+            RangeQuery(low=10.0, high=30.0), SPEC, consumer="x"
+        )
+        touched = tuple(
+            j
+            for j in range(4)
+            if j not in answer.pruned_shards and j not in answer.exact_shards
+        )
+        ids = sorted(answer.pruned_shards + answer.exact_shards + touched)
+        assert ids == [0, 1, 2, 3]
+        if answer.route_signature != "b":
+            assert answer.route_signature.startswith("p")
+            assert ";x" in answer.route_signature
+            assert ";q" in answer.route_signature
+
+    def test_route_is_memoized_and_deterministic(self, routed4):
+        first = routed4.route_for_range(10.0, 30.0, SPEC)
+        second = routed4.route_for_range(10.0, 30.0, SPEC)
+        assert second == first
+        assert second is first  # cache hit returns the stored plan
+
+
+class TestSingleShardBitIdentity:
+    def test_single_shard_always_broadcasts(self, values):
+        broker = ClusterBroker.from_values(
+            values, k=16, shards=1, seed=13, partition="range-sharded"
+        )
+        broker.ensure_rate(0.5)
+        band = broker.shards[0].band
+        # Even a band-covering query must NOT answer from cached totals:
+        # that would break bit-identity with the plain DataBroker.
+        route = broker.route_for_range(band.low, band.high, SPEC)
+        assert not route.routed
+        assert route.signature == "b"
+        answer = broker.answer(
+            RangeQuery(low=band.low, high=band.high), SPEC, consumer="x"
+        )
+        assert len(answer.shard_answers) == 1
+        assert answer.plan.epsilon_prime > 0.0
+
+
+class TestRoutingTelemetry:
+    def test_counters_cover_pruning_and_split(self, values):
+        telemetry = MetricsRegistry()
+        broker = ClusterBroker.from_values(
+            values, k=16, shards=4, seed=13, partition="range-sharded"
+        )
+        broker.telemetry = telemetry
+        broker.ensure_rate(0.5)
+        band = broker.shards[0].band
+        boundary = broker.shards[1].band.high
+        broker.answer(RangeQuery(low=-20.0, high=-10.0), SPEC, consumer="x")
+        broker.answer(
+            RangeQuery(low=band.low, high=band.high), SPEC, consumer="x"
+        )
+        broker.answer(
+            RangeQuery(low=boundary - 5.0, high=boundary + 5.0),
+            SPEC,
+            consumer="x",
+        )
+        snapshot = telemetry.snapshot()
+        pruned = broker.telemetry.histogram("cluster.shards_pruned")
+        touched = broker.telemetry.histogram("cluster.shards_touched")
+        assert pruned.count == 3
+        assert pruned.sum > 0.0
+        assert touched.count == 3
+        assert telemetry.value("cluster.routed_queries") == 3.0
+        assert telemetry.value("cluster.metadata_answers") == 2.0
+        split = broker.telemetry.histogram("cluster.delta_split")
+        assert split.count >= 2  # the straddler's two sub-releases
+        assert all(0.0 < v <= 1.0 for v in (split.mean,))
+        assert "cluster.shards_pruned" in snapshot["histograms"]

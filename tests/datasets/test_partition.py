@@ -8,10 +8,13 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.datasets.partition import (
+    ShardBand,
+    ShardBounds,
     partition_dirichlet,
     partition_even,
     partition_range_sharded,
     partition_round_robin,
+    range_sharded_bounds,
 )
 
 STRATEGIES = {
@@ -142,6 +145,120 @@ class TestEdgeCases:
         occupied = [s for s in shards if len(s)]
         assert len(occupied) == 1
         assert occupied[0][0] == 42.0
+
+
+class TestShardBand:
+    def test_closed_interval_semantics(self):
+        band = ShardBand(low=10.0, high=20.0)
+        # An edge-equal query bound still holds in-range values.
+        assert band.intersects(20.0, 30.0)
+        assert band.intersects(0.0, 10.0)
+        assert not band.intersects(20.0001, 30.0)
+        assert band.contained_in(10.0, 20.0)
+        assert not band.contained_in(10.0001, 20.0)
+
+    def test_empty_band_prunes_everywhere(self):
+        empty = ShardBand.empty()
+        assert empty.is_empty
+        assert not empty.intersects(-np.inf, np.inf)
+        # Empty classifies as prunable, never as exactly covered.
+        assert not empty.contained_in(-np.inf, np.inf)
+
+    def test_full_domain_never_prunes_never_exact(self):
+        band = ShardBand.full_domain()
+        assert band.is_full_domain
+        assert band.intersects(3.0, 3.0)
+        assert not band.contained_in(-1e300, 1e300)
+
+    def test_union_ignores_empty_operands(self):
+        band = ShardBand(low=1.0, high=2.0)
+        assert band.union(ShardBand.empty()) == band
+        assert ShardBand.empty().union(band) == band
+        merged = band.union(ShardBand(low=5.0, high=6.0))
+        assert (merged.low, merged.high) == (1.0, 6.0)
+
+
+class TestShardBounds:
+    def test_range_sharded_bounds_are_tight_and_ordered(self):
+        values = np.random.default_rng(3).uniform(0.0, 100.0, 500)
+        parts, bounds = partition_range_sharded(values, 5, with_bounds=True)
+        assert len(bounds) == 5
+        for part, band in zip(parts, bounds.bands):
+            assert band.low == part.min()
+            assert band.high == part.max()
+        for left, right in zip(bounds.bands, bounds.bands[1:]):
+            assert left.high <= right.low
+
+    def test_helper_matches_with_bounds_flag(self):
+        values = np.random.default_rng(4).normal(0.0, 1.0, 200)
+        _, bounds = partition_range_sharded(values, 4, with_bounds=True)
+        assert range_sharded_bounds(values, 4) == bounds
+
+    def test_duplicates_straddling_band_boundary(self):
+        # A duplicate run wider than one shard: the same value ends up on
+        # adjacent shards, so their bands legitimately touch at it.  Both
+        # bands must report intersection with a point query at the value
+        # (pruning either would lose records); neither is contained in it.
+        values = np.concatenate([np.full(90, 5.0), np.arange(10, dtype=float)])
+        parts, bounds = partition_range_sharded(values, 4, with_bounds=True)
+        holders = [
+            i
+            for i, part in enumerate(parts)
+            if len(part) and (part == 5.0).any()
+        ]
+        assert len(holders) >= 2
+        for i in holders:
+            assert bounds.bands[i].intersects(5.0, 5.0)
+        assert sum(
+            band.contained_in(5.0, 5.0) for band in bounds.bands
+        ) == len([i for i in holders if (parts[i] == 5.0).all()])
+
+    def test_k_exceeds_distinct_values(self):
+        # Only 3 distinct values over 8 shards: the spill shards are empty
+        # and their bands must be empty (always prunable), while occupied
+        # shards keep tight bands.
+        values = np.array([1.0, 1.0, 2.0, 2.0, 3.0, 3.0])
+        parts, bounds = partition_range_sharded(values, 8, with_bounds=True)
+        assert len(parts) == 8
+        assert sum(len(p) for p in parts) == 6
+        for part, band in zip(parts, bounds.bands):
+            if len(part) == 0:
+                assert band.is_empty
+            else:
+                assert band.low == part.min()
+                assert band.high == part.max()
+
+    def test_full_domain_degradation(self):
+        bounds = ShardBounds.full_domain(3)
+        assert len(bounds) == 3
+        assert all(band.is_full_domain for band in bounds.bands)
+        with pytest.raises(ValueError):
+            ShardBounds.full_domain(0)
+
+    def test_merged_subset_union(self):
+        values = np.arange(100, dtype=float)
+        _, bounds = partition_range_sharded(values, 4, with_bounds=True)
+        merged = bounds.merged([0, 1])
+        assert merged.low == bounds.bands[0].low
+        assert merged.high == bounds.bands[1].high
+        assert bounds.merged([]).is_empty
+
+
+@given(
+    count=st.integers(min_value=0, max_value=200),
+    k=st.integers(min_value=1, max_value=20),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_range_sharded_bounds_cover_every_record(count, k, seed):
+    """Property: every record's value falls inside its shard's band."""
+    values = np.random.default_rng(seed).uniform(0, 1, count)
+    parts, bounds = partition_range_sharded(values, k, with_bounds=True)
+    for part, band in zip(parts, bounds.bands):
+        if len(part) == 0:
+            assert band.is_empty
+        else:
+            assert band.low <= part.min() and part.max() <= band.high
 
 
 @given(

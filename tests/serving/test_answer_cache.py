@@ -40,15 +40,27 @@ def _key(version: int, low: float = 0.0, high: float = 10.0):
 
 
 class TestKeying:
-    def test_key_embeds_query_tier_and_version(self):
+    def test_key_embeds_query_tier_version_and_routing(self):
         query = RangeQuery(low=1.0, high=2.0, dataset="ozone")
         spec = AccuracySpec(alpha=0.1, delta=0.5)
         assert AnswerCache.key_for(query, spec, 3) == (
-            "ozone", 1.0, 2.0, 0.1, 0.5, 3,
+            "ozone", 1.0, 2.0, 0.1, 0.5, 3, "",
+        )
+        assert AnswerCache.key_for(query, spec, 3, routing="p0;x;q1") == (
+            "ozone", 1.0, 2.0, 0.1, 0.5, 3, "p0;x;q1",
         )
 
     def test_version_distinguishes_keys(self):
         assert _key(1) != _key(2)
+
+    def test_routing_distinguishes_keys(self):
+        query = RangeQuery(low=1.0, high=2.0, dataset="ozone")
+        spec = AccuracySpec(alpha=0.1, delta=0.5)
+        broadcast = AnswerCache.key_for(query, spec, 3, routing="b")
+        routed = AnswerCache.key_for(query, spec, 3, routing="p0;x;q1")
+        assert broadcast != routed
+        # store_version stays at index 5: invalidate_before depends on it.
+        assert broadcast[5] == 3
 
 
 class TestLookup:
