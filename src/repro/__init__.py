@@ -14,7 +14,9 @@ Cai & He, ICDCS 2019.  The library implements the paper's full system:
 * :mod:`repro.datasets` -- the CityPulse pollution surrogate and synthetic
   workloads;
 * :mod:`repro.core` -- the broker, marketplace and the
-  :class:`PrivateRangeCountingService` facade.
+  :class:`PrivateRangeCountingService` facade;
+* :mod:`repro.streaming` -- continuous private range counting over
+  sliding windows with per-epoch privacy budgets (see docs/STREAMING.md).
 
 Quickstart::
 
@@ -64,6 +66,14 @@ from repro.errors import (
     ServiceOverloadedError,
     ServingError,
     ShardUnavailableError,
+    StaleEpochError,
+    StreamingError,
+)
+from repro.streaming import (
+    StreamingBroker,
+    StreamingCluster,
+    StreamingConfig,
+    build_streaming_cluster,
 )
 
 __version__ = "1.0.0"
@@ -104,4 +114,10 @@ __all__ = [
     "GatewayClosedError",
     "ClusterError",
     "ShardUnavailableError",
+    "StreamingError",
+    "StaleEpochError",
+    "StreamingBroker",
+    "StreamingCluster",
+    "StreamingConfig",
+    "build_streaming_cluster",
 ]

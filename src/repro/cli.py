@@ -329,6 +329,77 @@ def build_parser() -> argparse.ArgumentParser:
              "--check-determinism, both runs agree) -- the CI contract",
     )
 
+    sserve = sub.add_parser(
+        "stream-serve",
+        help="serve a CSV of requests over a live sliding-window cluster "
+             "after ingesting synthetic epochs",
+    )
+    sserve.add_argument(
+        "--requests-csv",
+        required=True,
+        help="CSV of consumer,low,high,alpha,delta rows (header allowed)",
+    )
+    sserve.add_argument("--epochs", type=int, default=6,
+                        help="synthetic epochs to ingest and roll before "
+                             "serving")
+    sserve.add_argument("--shards", type=int, default=4)
+    sserve.add_argument("--devices-per-shard", type=int, default=8)
+    sserve.add_argument("--window-epochs", type=int, default=4,
+                        help="sliding window width W in epochs")
+    sserve.add_argument("--arrivals", type=int, default=1024,
+                        help="records arriving per epoch")
+    sserve.add_argument("--floor", default="0.15:0.5",
+                        help="alpha:delta accuracy floor epoch rates are "
+                             "provisioned for")
+    sserve.add_argument("--seed", type=int, default=13)
+    sserve.add_argument("--window", type=float, default=0.002,
+                        help="gateway batching window in seconds")
+    sserve.add_argument("--max-batch", type=int, default=128)
+    sserve.add_argument("--no-cache", action="store_true",
+                        help="disable the privacy-aware answer cache")
+    sserve.add_argument("--metrics", action="store_true",
+                        help="print the telemetry snapshot as JSON")
+
+    sbench = sub.add_parser(
+        "stream-bench",
+        help="benchmark continuous windowed serving: per-epoch budgets, "
+             "cache invalidation across rolls, accounting drift",
+    )
+    sbench.add_argument("--epochs", type=int, default=8,
+                        help="epochs to ingest, roll, and query")
+    sbench.add_argument("--shards", type=int, default=4)
+    sbench.add_argument("--devices-per-shard", type=int, default=8)
+    sbench.add_argument("--window-epochs", type=int, default=4,
+                        help="sliding window width W in epochs")
+    sbench.add_argument("--arrivals", type=int, default=1024,
+                        help="records arriving per epoch")
+    sbench.add_argument("--ranges", type=int, default=6,
+                        help="distinct query ranges per epoch")
+    sbench.add_argument(
+        "--tiers",
+        default="0.15:0.5,0.2:0.4,0.3:0.25",
+        help="comma-separated alpha:delta product tiers (all must sit at "
+             "or above the floor)",
+    )
+    sbench.add_argument("--floor", default="0.15:0.5",
+                        help="alpha:delta accuracy floor epoch rates are "
+                             "provisioned for")
+    sbench.add_argument("--consumers", type=int, default=2)
+    sbench.add_argument("--seed", type=int, default=13,
+                        help="seeds arrivals, device samplers, channels, "
+                             "and noise; the payload is a pure function "
+                             "of this up to timing fields")
+    sbench.add_argument("--json", metavar="PATH",
+                        help="write a BENCH-format JSON report here")
+    sbench.add_argument(
+        "--assert-healthy",
+        action="store_true",
+        help="exit 1 unless throughput is nonzero, nothing failed or "
+             "drifted, the cache hit across rolls without ever serving "
+             "stale, and steady-state epsilon stayed bounded (the CI "
+             "smoke contract)",
+    )
+
     lint = sub.add_parser(
         "lint",
         help="run the domain-aware static-analysis rules (RL001-RL006)",
@@ -1084,6 +1155,171 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return run_lint(args)
 
 
+def _parse_floor(text: str):
+    floors = _parse_tiers(text)
+    if len(floors) != 1:
+        raise ValueError(f"expected one alpha:delta floor, got {text!r}")
+    return floors[0]
+
+
+def _cmd_stream_serve(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.serving.gateway import ServingConfig, ServingGateway
+    from repro.streaming import StreamingConfig, build_streaming_cluster
+    from repro.streaming.bench import _workload_values
+
+    try:
+        requests = _read_requests_csv(args.requests_csv)
+        floor = _parse_floor(args.floor)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cluster = build_streaming_cluster(StreamingConfig(
+        shards=args.shards,
+        devices_per_shard=args.devices_per_shard,
+        window_epochs=args.window_epochs,
+        floor=floor,
+        seed=args.seed,
+        nominal_records=max(args.arrivals * args.window_epochs, 1),
+    ))
+    workload_rng = np.random.default_rng(args.seed * 7_919 + 1)
+    for epoch in range(args.epochs):
+        values = _workload_values(workload_rng, args.arrivals, epoch)
+        timestamps = epoch + np.arange(len(values)) / max(len(values), 1)
+        cluster.ingest(values, timestamps)
+        cluster.roll()
+    snapshot = cluster.station.snapshot()
+    print(
+        f"ingested {args.epochs} epochs; serving window "
+        f"{snapshot.window_id} ({snapshot.record_count} records, "
+        f"{snapshot.node_count} samples)"
+    )
+    gateway = ServingGateway(
+        cluster.broker,
+        config=ServingConfig(
+            batch_window=args.window,
+            max_batch=args.max_batch,
+            enable_cache=not args.no_cache,
+        ),
+        telemetry=cluster.telemetry,
+    )
+    with gateway:
+        futures = [
+            (consumer, gateway.submit_range(low, high, alpha, delta,
+                                            consumer=consumer))
+            for consumer, low, high, alpha, delta in requests
+        ]
+        answers = [
+            (consumer, future.result()) for consumer, future in futures
+        ]
+    billed = {
+        txn.transaction_id: txn.epsilon_prime
+        for txn in cluster.broker.ledger.transactions
+    }
+    rows = [
+        (
+            consumer,
+            answer.query.low,
+            answer.query.high,
+            answer.value,
+            answer.price,
+            billed.get(answer.transaction_id, answer.plan.epsilon_prime),
+        )
+        for consumer, answer in answers
+    ]
+    print(
+        format_table(
+            ["consumer", "low", "high", "released_count", "price",
+             "epsilon_prime_billed"],
+            rows,
+        )
+    )
+    dataset = cluster.config.dataset
+    accountant = cluster.broker.epoch_accountant
+    print(
+        f"{len(rows)} requests served; window eps' "
+        f"{accountant.window_spent(dataset, list(snapshot.live_epochs)):.6g} "
+        f"(live total {accountant.live_total(dataset):.6g}, reclaimed "
+        f"{accountant.reclaimed(dataset):.6g}), revenue "
+        f"{cluster.broker.ledger.total_revenue():.6g}"
+    )
+    if args.metrics:
+        import json as _json
+
+        print(_json.dumps(gateway.snapshot(), indent=1))
+    return 0
+
+
+def _cmd_stream_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serving import write_bench_json
+    from repro.streaming import run_streaming_bench, streaming_bench_healthy
+
+    try:
+        tiers = [(t.alpha, t.delta) for t in _parse_tiers(args.tiers)]
+        floor = _parse_floor(args.floor)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    payload = run_streaming_bench(
+        epochs=args.epochs,
+        shards=args.shards,
+        devices_per_shard=args.devices_per_shard,
+        window_epochs=args.window_epochs,
+        arrivals_per_epoch=args.arrivals,
+        ranges=args.ranges,
+        tiers=tiers,
+        floor=(floor.alpha, floor.delta),
+        consumers=args.consumers,
+        seed=args.seed,
+    )
+    print(format_table(
+        ["epoch", "rate", "occupancy", "window_n", "buckets",
+         "cache_hits", "live_eps", "reclaimed"],
+        [
+            (
+                row["epoch"],
+                f"{row['rate']:.4f}",
+                row["occupancy"],
+                row["window_records"],
+                row["bucket_count"],
+                row["cache_hits"],
+                f"{row['live_epsilon']:.5g}",
+                f"{row['reclaimed_total']:.5g}",
+            )
+            for row in payload["per_epoch"]
+        ],
+    ))
+    print(
+        f"{payload['completed']} answers ({payload['cache_hits']} cache "
+        f"hits, {payload['stale_answers']} stale) at "
+        f"{payload['throughput_qps']:.0f} qps; eps drift "
+        f"{payload['epsilon_drift']:.3g}, epoch-ledger drift "
+        f"{payload['epoch_epsilon_drift']:.3g}, reclaimed "
+        f"{payload['epsilon_reclaimed']:.6g}"
+    )
+    if args.json:
+        write_bench_json(args.json, "streaming_bench", payload)
+        print(f"wrote {args.json}")
+    if args.assert_healthy:
+        problems = streaming_bench_healthy(payload)
+        if problems:
+            print(
+                "stream-bench UNHEALTHY: " + "; ".join(problems),
+                file=sys.stderr,
+            )
+            print(_json.dumps(payload, indent=1, default=str),
+                  file=sys.stderr)
+            return 1
+        print(
+            "stream-bench healthy: zero drift, cache fresh across rolls, "
+            "steady-state epsilon bounded"
+        )
+    return 0
+
+
 def _cmd_bench_compare(args: argparse.Namespace) -> int:
     from repro.analysis.bench_compare import compare_bench, format_comparison
     from repro.serving.loadgen import read_bench_json
@@ -1122,6 +1358,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "cluster-serve": _cmd_cluster_serve,
         "cluster-bench": _cmd_cluster_bench,
         "chaos": _cmd_chaos,
+        "stream-serve": _cmd_stream_serve,
+        "stream-bench": _cmd_stream_bench,
         "lint": _cmd_lint,
         "bench-compare": _cmd_bench_compare,
     }

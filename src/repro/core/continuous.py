@@ -1,29 +1,33 @@
 """Continuous monitoring: standing queries over windowed data arrival.
 
-Extension beyond the paper's one-shot setting.  The paper's related-work
-section discusses long-term queries via continuous collection, and its own
-protocol already reuses one sample across queries and tops it up on
-demand.  This module closes the loop for *arriving* data: devices collect
-new readings over time, and rank-based samples are re-drawn per window.
+.. deprecated::
+    This module predates :mod:`repro.streaming` and is kept as a thin
+    compatibility wrapper over it.  New code should use the streaming
+    subsystem directly -- :func:`repro.streaming.build_streaming_cluster`
+    for the full sharded pipeline (bounded-memory window rings, per-epoch
+    budgets with expiry, crash-safe window journaling, cache
+    push-invalidation), or :mod:`repro.streaming.window` for the summary
+    primitives.  :class:`ContinuousMonitor` keeps every generation
+    forever and budgets against one lifetime ledger, which is exactly the
+    unbounded-spend failure mode the streaming subsystem exists to fix;
+    its API and seeded outputs remain bit-for-bit stable for existing
+    experiments.
 
-Design: each arrival window becomes a *generation* -- a frozen per-device
-sub-dataset sampled once at a rate calibrated for the standing accuracy
-target.  A window's per-device sample behaves exactly like a paper node
-(ranks are local to the window), so a standing query is answered by
-summing RankCounting estimates over all generations; with ``W`` windows of
-``k`` devices the variance bound is ``8·k·W/p²`` and Theorem 3.3 carries
-over with ``k_eff = k·W``.  Laplace noise is budgeted per release by the
-same optimization problem (3) against the *current* total size ``n``.
-
-This keeps local ranks immutable (no re-ranking storm when new data
-interleaves old values), which is exactly why the generation design is
-used in production incremental-sampling systems.
+Design (unchanged): each arrival window becomes a *generation* -- a
+frozen per-device sub-dataset sampled once at a rate calibrated for the
+standing accuracy target.  A generation is exactly a streaming
+:class:`~repro.streaming.window.EpochSummary` (ranks local to the window,
+one shared rate), so a standing query is answered by summing RankCounting
+estimates over all generations; with ``W`` windows of ``k`` devices the
+variance bound is ``8·k·W/p²`` and Theorem 3.3 carries over with
+``k_eff = k·W``.  Laplace noise is budgeted per release by the same
+optimization problem (3) against the *current* total size ``n``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -35,7 +39,12 @@ from repro.estimators.calibration import required_sampling_rate
 from repro.estimators.rank import RankCountingEstimator
 from repro.privacy.budget import BudgetAccountant
 from repro.privacy.laplace import sample_laplace
-from repro.privacy.optimizer import PrivacyPlan, optimize_privacy_plan
+from repro.privacy.optimizer import PrivacyPlan
+from repro.streaming.window import (
+    EpochSummary,
+    pooled_estimate,
+    pooled_plan,
+)
 
 __all__ = ["WindowRelease", "ContinuousMonitor"]
 
@@ -88,9 +97,8 @@ class ContinuousMonitor:
     def __post_init__(self) -> None:
         if self.k <= 0:
             raise ValueError("k must be a positive device count")
-        self._generations: List[List[NodeSample]] = []
+        self._generations: List[EpochSummary] = []
         self._generation_truth_nodes: List[List[NodeData]] = []
-        self._total_records = 0
         self._releases: List[WindowRelease] = []
         self._estimator = RankCountingEstimator()
 
@@ -105,12 +113,12 @@ class ContinuousMonitor:
     @property
     def total_records(self) -> int:
         """Total records across all windows."""
-        return self._total_records
+        return sum(g.record_count for g in self._generations)
 
     @property
     def effective_nodes(self) -> int:
         """``k_eff = k·W`` -- logical node count across generations."""
-        return sum(len(g) for g in self._generations)
+        return sum(len(g.samples) for g in self._generations)
 
     def ingest_window(self, values: np.ndarray) -> float:
         """Ingest one window of arrivals; returns the sampling rate used.
@@ -123,7 +131,7 @@ class ContinuousMonitor:
         values = np.asarray(values, dtype=np.float64)
         if len(values) == 0:
             raise ValueError("cannot ingest an empty window")
-        new_total = self._total_records + len(values)
+        new_total = self.total_records + len(values)
         k_eff = self.effective_nodes + self.k
         p = required_sampling_rate(
             self.spec.alpha * 0.5,
@@ -139,24 +147,18 @@ class ContinuousMonitor:
             node = NodeData(node_id=base_id + offset, values=shard)
             nodes.append(node)
             generation.append(node.sample(p, self.rng))
-        self._generations.append(generation)
+        self._generations.append(EpochSummary(
+            epoch=self.window_count,
+            samples=tuple(generation),
+            record_count=len(values),
+            rate=p,
+        ))
         self._generation_truth_nodes.append(nodes)
-        self._total_records = new_total
         return p
 
     # ------------------------------------------------------------------
     # release side
     # ------------------------------------------------------------------
-    def _pooled_samples(self) -> List[NodeSample]:
-        return [s for generation in self._generations for s in generation]
-
-    def _common_rate(self) -> float:
-        """The sparsest generation's rate bounds the certified accuracy."""
-        rates = [
-            s.p for generation in self._generations for s in generation
-        ]
-        return min(rates)
-
     def release(self) -> WindowRelease:
         """Produce one private release of the standing query.
 
@@ -169,21 +171,16 @@ class ContinuousMonitor:
         """
         if not self._generations:
             raise InsufficientSamplesError("no windows ingested yet")
-        samples = self._pooled_samples()
-        estimate = sum(
-            self._estimator.estimate(generation, self.query.low, self.query.high).estimate
-            for generation in self._generations
+        total = self.total_records
+        estimate = pooled_estimate(
+            self._generations, self._estimator, self.query.low, self.query.high
         )
-        plan = optimize_privacy_plan(
-            alpha=self.spec.alpha,
-            delta=self.spec.delta,
-            p=self._common_rate(),
-            k=len(samples),
-            n=self._total_records,
+        plan = pooled_plan(
+            self._generations, self.spec.alpha, self.spec.delta
         )
         noise = float(sample_laplace(plan.noise_scale, self.rng))
         raw = estimate + noise
-        released = float(min(max(raw, 0.0), float(self._total_records)))
+        released = float(min(max(raw, 0.0), float(total)))
         self.accountant.charge(
             self.query.dataset,
             plan.epsilon_prime,
@@ -191,7 +188,7 @@ class ContinuousMonitor:
         )
         record = WindowRelease(
             window_index=self.window_count,
-            total_records=self._total_records,
+            total_records=total,
             value=released,
             raw_value=raw,
             plan=plan,

@@ -21,7 +21,14 @@ from repro.datasets.partition import (
     partition_range_sharded,
     partition_round_robin,
 )
-from repro.datasets.streams import RecordStream, sliding_windows
+from repro.datasets.streams import (
+    RecordStream,
+    TimedBatch,
+    epoch_of,
+    epoch_slices,
+    sliding_time_windows,
+    sliding_windows,
+)
 from repro.datasets.synthetic import (
     clustered_values,
     gaussian_values,
@@ -41,6 +48,10 @@ __all__ = [
     "partition_range_sharded",
     "partition_round_robin",
     "RecordStream",
+    "TimedBatch",
+    "epoch_of",
+    "epoch_slices",
+    "sliding_time_windows",
     "sliding_windows",
     "uniform_values",
     "gaussian_values",

@@ -6,16 +6,45 @@ when accuracy demands grow.  These helpers model the arrival side: a
 :class:`RecordStream` replays a value column in timestamp order in batches,
 and :func:`sliding_windows` derives per-window sub-datasets so examples and
 tests can drive the broker with evolving data.
+
+**Window semantics.**  Every window in this module is half-open:
+
+* positional windows cover the index interval ``[start, start + window)``;
+* time windows and epochs cover the timestamp interval
+  ``[t0, t0 + length)`` -- a record stamped exactly at a boundary belongs
+  to the *next* window, never to both.
+
+That convention is what makes epoch bucketing in :mod:`repro.streaming`
+unambiguous: each record lives in exactly one epoch, so per-epoch privacy
+ledgers never double-charge a record's ε.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["RecordStream", "sliding_windows"]
+__all__ = [
+    "RecordStream",
+    "TimedBatch",
+    "epoch_of",
+    "epoch_slices",
+    "sliding_windows",
+    "sliding_time_windows",
+]
+
+
+@dataclass(frozen=True)
+class TimedBatch:
+    """One delivered batch: parallel values and (non-decreasing) timestamps."""
+
+    values: np.ndarray
+    timestamps: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.values)
 
 
 @dataclass
@@ -28,15 +57,36 @@ class RecordStream:
         The full value column to replay.
     batch_size:
         Records delivered per :meth:`next_batch` call.
+    timestamps:
+        Optional per-record arrival times, parallel to ``values`` and
+        non-decreasing.  When omitted, each record's timestamp is its
+        position (``0, 1, 2, ...``), which keeps purely positional callers
+        unchanged while letting windowed consumers bucket by time.
     """
 
     values: np.ndarray
     batch_size: int = 288  # one day of five-minute records
+    timestamps: Optional[np.ndarray] = None
 
     def __post_init__(self) -> None:
         self.values = np.asarray(self.values, dtype=np.float64)
         if self.batch_size <= 0:
             raise ValueError("batch_size must be positive")
+        if self.timestamps is None:
+            self.timestamps = np.arange(len(self.values), dtype=np.float64)
+        else:
+            self.timestamps = np.asarray(self.timestamps, dtype=np.float64)
+            if len(self.timestamps) != len(self.values):
+                raise ValueError(
+                    f"{len(self.timestamps)} timestamps for "
+                    f"{len(self.values)} values; they must be parallel"
+                )
+            if len(self.timestamps) and not np.all(
+                np.isfinite(self.timestamps)
+            ):
+                raise ValueError("timestamps must be finite")
+            if np.any(np.diff(self.timestamps) < 0):
+                raise ValueError("timestamps must be non-decreasing")
         self._cursor = 0
 
     @property
@@ -55,14 +105,68 @@ class RecordStream:
         self._cursor += len(batch)
         return batch
 
+    def next_timed_batch(self) -> TimedBatch:
+        """Return the next batch with its timestamps attached."""
+        start = self._cursor
+        values = self.next_batch()
+        return TimedBatch(
+            values=values,
+            timestamps=self.timestamps[start : start + len(values)],
+        )
+
     def batches(self) -> Iterator[np.ndarray]:
         """Iterate over all remaining batches."""
         while not self.exhausted:
             yield self.next_batch()
 
+    def timed_batches(self) -> Iterator[TimedBatch]:
+        """Iterate over all remaining batches with timestamps."""
+        while not self.exhausted:
+            yield self.next_timed_batch()
+
     def reset(self) -> None:
         """Rewind the stream to the beginning."""
         self._cursor = 0
+
+
+def epoch_of(timestamp: float, epoch_length: float, origin: float = 0.0) -> int:
+    """The epoch index owning ``timestamp``.
+
+    Epoch ``e`` covers the half-open interval
+    ``[origin + e·epoch_length, origin + (e + 1)·epoch_length)``, so a
+    record stamped exactly on a boundary belongs to the later epoch.
+    """
+    if epoch_length <= 0:
+        raise ValueError("epoch_length must be positive")
+    return int(np.floor((timestamp - origin) / epoch_length))
+
+
+def epoch_slices(
+    timestamps: np.ndarray,
+    epoch_length: float,
+    origin: float = 0.0,
+) -> List[Tuple[int, slice]]:
+    """Bucket sorted ``timestamps`` into half-open epochs.
+
+    Returns ``(epoch_index, slice)`` pairs, oldest epoch first; empty
+    epochs between occupied ones are not emitted.  Requires the timestamps
+    to be non-decreasing (as a :class:`RecordStream` guarantees).
+    """
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    if epoch_length <= 0:
+        raise ValueError("epoch_length must be positive")
+    if len(timestamps) == 0:
+        return []
+    if np.any(np.diff(timestamps) < 0):
+        raise ValueError("timestamps must be non-decreasing")
+    epochs = np.floor((timestamps - origin) / epoch_length).astype(np.int64)
+    out: List[Tuple[int, slice]] = []
+    start = 0
+    for i in range(1, len(epochs) + 1):
+        if i == len(epochs) or epochs[i] != epochs[start]:
+            out.append((int(epochs[start]), slice(start, i)))
+            start = i
+    return out
 
 
 def sliding_windows(
@@ -71,6 +175,13 @@ def sliding_windows(
     step: Optional[int] = None,
 ) -> List[np.ndarray]:
     """Split ``values`` into (possibly overlapping) sliding windows.
+
+    Window ``i`` covers the **half-open** index interval
+    ``[i·step, i·step + window)``: the element at index ``i·step + window``
+    is the first element *outside* window ``i``.  Iteration stops with the
+    first window that reaches the end of the data, so a tumbling split's
+    final window may be short and an overlapping split never emits a
+    trailing partial window that a longer stream would have completed.
 
     Parameters
     ----------
@@ -102,4 +213,49 @@ def sliding_windows(
         windows.append(chunk.copy())
         if start + window >= len(values):
             break
+    return windows
+
+
+def sliding_time_windows(
+    values: np.ndarray,
+    timestamps: np.ndarray,
+    window: float,
+    step: Optional[float] = None,
+    origin: Optional[float] = None,
+) -> List[np.ndarray]:
+    """Split timestamped ``values`` into half-open sliding *time* windows.
+
+    Window ``i`` holds the records whose timestamps fall in
+    ``[origin + i·step, origin + i·step + window)`` -- a record stamped
+    exactly at a window's end boundary belongs to the next window only.
+    ``origin`` defaults to the first timestamp.  Windows advance until the
+    last record has been covered; empty interior windows are kept (as empty
+    arrays) so positions stay aligned with wall-clock epochs.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    if len(values) != len(timestamps):
+        raise ValueError("values and timestamps must be parallel")
+    if window <= 0:
+        raise ValueError("window must be positive")
+    if step is None:
+        step = window
+    if step <= 0:
+        raise ValueError("step must be positive")
+    if len(values) == 0:
+        return []
+    if np.any(np.diff(timestamps) < 0):
+        raise ValueError("timestamps must be non-decreasing")
+    if origin is None:
+        origin = float(timestamps[0])
+    last = float(timestamps[-1])
+    windows: List[np.ndarray] = []
+    start = origin
+    while True:
+        lo = int(np.searchsorted(timestamps, start, side="left"))
+        hi = int(np.searchsorted(timestamps, start + window, side="left"))
+        windows.append(values[lo:hi].copy())
+        if start + window > last:
+            break
+        start += step
     return windows

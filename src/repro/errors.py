@@ -31,6 +31,9 @@ __all__ = [
     "DeadlineExceededError",
     "ClusterError",
     "ShardUnavailableError",
+    "StreamingError",
+    "StaleEpochError",
+    "IngestorCrashError",
 ]
 
 
@@ -161,3 +164,35 @@ class ClusterError(ReproError):
 class ShardUnavailableError(ClusterError):
     """A shard cannot answer: its primary station is down and no live
     replica can take over the gather step."""
+
+
+class StreamingError(ReproError):
+    """Base class for failures of the continuous-ingestion layer."""
+
+
+class StaleEpochError(StreamingError):
+    """A batch arrived for an epoch that is already sealed (or not yet
+    open).
+
+    Sealed epochs are immutable: their per-node samples were drawn at the
+    epoch's shared rate and journaled, so accepting late records would
+    silently break both the estimator's rate invariant and the window
+    log's bit-exact recovery guarantee.  Carries the offending and the
+    currently open epoch indexes for operator triage.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        epoch: int | None = None,
+        open_epoch: int | None = None,
+    ):
+        super().__init__(message)
+        self.epoch = epoch
+        self.open_epoch = open_epoch
+
+
+class IngestorCrashError(StreamingError):
+    """A (simulated) ingestor crash between journaling a roll and applying
+    it -- the chaos harness's mid-roll kill point.  Recovery replays the
+    window log, which already holds the sealed epoch."""

@@ -23,6 +23,7 @@ from repro.iot.messages import (
     Message,
     SampleReport,
     SampleRequest,
+    StreamReport,
     TopUpRequest,
     message_from_dict,
 )
@@ -53,6 +54,7 @@ __all__ = [
     "Message",
     "SampleReport",
     "SampleRequest",
+    "StreamReport",
     "TopUpRequest",
     "message_from_dict",
     "DeliveryRecord",

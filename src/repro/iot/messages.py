@@ -32,6 +32,7 @@ __all__ = [
     "SampleRequest",
     "TopUpRequest",
     "SampleReport",
+    "StreamReport",
     "Heartbeat",
     "Ack",
     "message_from_dict",
@@ -141,6 +142,39 @@ class SampleReport(Message):
 
 
 @dataclass(frozen=True)
+class StreamReport(Message):
+    """A streaming device's epoch shipment: one sealed epoch's sample.
+
+    Identical wire shape to :class:`SampleReport` plus the ``epoch`` index
+    the sample belongs to, so per-shard ingestors can bucket shipments
+    into the right window ring slot and reject stale epochs at the edge.
+    """
+
+    values: Tuple[float, ...] = ()
+    ranks: Tuple[int, ...] = ()
+    node_size: int = 0
+    p: float = 0.0
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.ranks):
+            raise ValueError("values and ranks must be parallel")
+        if self.node_size < 0:
+            raise ValueError("node_size must be non-negative")
+
+    @property
+    def sample_count(self) -> int:
+        """Number of ``(value, rank)`` pairs carried."""
+        return len(self.values)
+
+    def payload_bytes(self) -> int:
+        return (
+            self.sample_count * (VALUE_BYTES + RANK_BYTES)
+            + 3 * SCALAR_BYTES  # node_size, p, and the epoch index
+        )
+
+
+@dataclass(frozen=True)
 class Heartbeat(Message):
     """Periodic liveness beacon that can piggyback a few samples for free.
 
@@ -238,6 +272,7 @@ _MESSAGE_TYPES: Dict[str, Type[Message]] = {
         SampleRequest,
         TopUpRequest,
         SampleReport,
+        StreamReport,
         Heartbeat,
         Ack,
         AggregatedReport,

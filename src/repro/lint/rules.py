@@ -121,7 +121,11 @@ class DpBoundaryRule(Rule):
         "Theorem 3.5)."
     )
 
-    _MODULES = ("repro.core.broker", "repro.cluster.broker")
+    _MODULES = (
+        "repro.core.broker",
+        "repro.cluster.broker",
+        "repro.streaming.broker",
+    )
 
     def applies_to(self, ctx: FileContext) -> bool:
         return ctx.module in self._MODULES
@@ -679,7 +683,11 @@ class JournalBeforeReleaseRule(Rule):
         "crash release an answer whose ε-spend recovery cannot see."
     )
 
-    _MODULES = ("repro.core.broker", "repro.cluster.broker")
+    _MODULES = (
+        "repro.core.broker",
+        "repro.cluster.broker",
+        "repro.streaming.broker",
+    )
 
     def applies_to(self, ctx: FileContext) -> bool:
         return ctx.module in self._MODULES

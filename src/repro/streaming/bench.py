@@ -1,0 +1,301 @@
+"""The streaming benchmark: drive epochs through the full serving stack.
+
+One seeded run builds a :class:`~repro.streaming.runtime.StreamingCluster`,
+fronts its broker with the real :class:`~repro.serving.gateway.ServingGateway`
+(answer cache bound to the streaming station's commit feed), and then for
+every epoch: ingests a synthetic arrival burst, rolls the window, and
+serves a mixed-tier query workload -- each distinct ``(range, tier)``
+twice per epoch, so the cache must hit within an epoch and must *miss*
+after every roll.
+
+The payload records, per epoch and in summary, the invariants the CI
+smoke gate asserts:
+
+* **zero accounting drift** -- the budget accountant, billing ledger, and
+  per-epoch ledgers all agree with the sums recomputed from transactions
+  and window-log charges;
+* **bounded steady-state ε** -- once the window fills, the live per-epoch
+  spend stops growing with stream length (expired budget is reclaimed);
+* **cache correctness** -- hit rate is positive, yet no answer is ever
+  served stale across a roll (fresh noise after every commit);
+* **determinism** -- the whole run is a pure function of its seed, probed
+  by a value checksum stable across rebuilds.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple, cast
+
+import numpy as np
+
+from repro.core.query import AccuracySpec
+from repro.serving.gateway import ServingConfig, ServingGateway
+from repro.streaming.runtime import (
+    StreamingCluster,
+    StreamingConfig,
+    build_streaming_cluster,
+)
+from repro.streaming.window import window_checksum
+
+__all__ = ["run_streaming_bench", "streaming_bench_healthy"]
+
+#: Default mixed-tier products; all at or above the default floor
+#: ``(0.15, 0.5)`` (α no tighter, δ no stronger), so every tier is
+#: admissible and feasible from any floor-provisioned window.
+DEFAULT_TIERS: "Tuple[Tuple[float, float], ...]" = (
+    (0.15, 0.5),
+    (0.2, 0.4),
+    (0.3, 0.25),
+)
+
+
+def _workload_values(
+    rng: np.random.Generator, count: int, epoch: int
+) -> np.ndarray:
+    """One epoch's synthetic sensor burst over the [0, 100] domain.
+
+    A slow diurnal drift across epochs keeps per-epoch counts (and hence
+    rates, plans, and prices) genuinely epoch-dependent, like a real
+    air-quality feed.
+    """
+    center = 50.0 + 15.0 * np.sin(2.0 * np.pi * epoch / 12.0)
+    values = rng.normal(loc=center, scale=18.0, size=count)
+    return np.clip(values, 0.0, 100.0)
+
+
+def run_streaming_bench(
+    epochs: int = 8,
+    shards: int = 4,
+    devices_per_shard: int = 8,
+    window_epochs: int = 4,
+    arrivals_per_epoch: int = 1024,
+    ranges: int = 6,
+    tiers: "Optional[Sequence[Tuple[float, float]]]" = None,
+    floor: "Tuple[float, float]" = (0.15, 0.5),
+    consumers: int = 2,
+    seed: int = 13,
+) -> "Dict[str, Any]":
+    """Run the continuous pipeline for ``epochs`` epochs and audit it.
+
+    Deterministic: every rng (arrivals, device sampling, channel, broker
+    noise) derives from ``seed``, so two calls with equal arguments
+    produce bit-identical payloads up to wall-clock timing fields.
+    """
+    if epochs < 1:
+        raise ValueError("epochs must be positive")
+    tier_list = [AccuracySpec(a, d) for a, d in (tiers or DEFAULT_TIERS)]
+    cluster = build_streaming_cluster(StreamingConfig(
+        shards=shards,
+        devices_per_shard=devices_per_shard,
+        window_epochs=window_epochs,
+        floor=AccuracySpec(*floor),
+        seed=seed,
+        nominal_records=max(arrivals_per_epoch * window_epochs, 1),
+    ))
+    workload_rng = np.random.default_rng(seed * 7_919 + 1)
+    bounds = np.linspace(0.0, 100.0, ranges + 1)
+    query_ranges = [
+        (float(bounds[i]), float(bounds[i + 1])) for i in range(ranges)
+    ]
+    consumer_names = [f"consumer-{i}" for i in range(consumers)]
+
+    per_epoch: "List[Dict[str, Any]]" = []
+    answer_values: "List[float]" = []
+    last_value: "Dict[Tuple[float, float, float, float], Tuple[int, float]]" = {}
+    stale_answers = 0
+    completed = 0
+    failed = 0
+    hits_before = 0
+
+    started = time.perf_counter()
+    gateway = ServingGateway(
+        cast(Any, cluster.broker),
+        config=ServingConfig(
+            batch_window=0.0,
+            max_batch=64,
+            queue_depth=4096,
+        ),
+        telemetry=cluster.telemetry,
+    )
+    with gateway:
+        for epoch in range(epochs):
+            values = _workload_values(
+                workload_rng, arrivals_per_epoch, epoch
+            )
+            timestamps = epoch + np.arange(len(values)) / max(len(values), 1)
+            cluster.ingest(values, timestamps)
+            snapshot = cluster.roll()
+            rate = snapshot.epochs[-1].rate
+
+            # Two passes per (range, tier): pass 1 releases fresh, pass 2
+            # (submitted only after pass 1 fully resolves, from a second
+            # consumer) must replay from the answer cache at zero privacy
+            # cost -- which makes the hit count an exact, deterministic
+            # ``ranges`` per epoch rather than a scheduling accident.
+            # One consumer per pass keeps the broker's noise-draw order
+            # equal to submission order whatever the batch boundaries.
+            for pass_id in range(2):
+                consumer = consumer_names[pass_id % len(consumer_names)]
+                futures = []
+                for i, (low, high) in enumerate(query_ranges):
+                    spec = tier_list[(i + epoch) % len(tier_list)]
+                    futures.append((
+                        (low, high, spec.alpha, spec.delta),
+                        gateway.submit_range(
+                            low, high, spec.alpha, spec.delta,
+                            consumer=consumer,
+                        ),
+                    ))
+                for key, future in futures:
+                    try:
+                        answer = future.result(timeout=30.0)
+                    except Exception:  # repro-lint: shed -- counted in `failed`, gated by the health check
+                        failed += 1
+                        continue
+                    completed += 1
+                    answer_values.append(float(answer.value))
+                    seen = last_value.get(key)
+                    if seen is not None:
+                        seen_epoch, seen_raw = seen
+                        # Compare the *unclamped* noisy value: the clamped
+                        # release collides at the 0 / n boundaries, but an
+                        # identical raw draw across a roll can only mean
+                        # the cache replayed a stale window's answer.
+                        if seen_epoch != epoch and seen_raw == answer.raw_value:
+                            stale_answers += 1
+                    if seen is None or seen[0] != epoch:
+                        last_value[key] = (epoch, float(answer.raw_value))
+
+            stats = gateway.cache.stats if gateway.cache is not None else None
+            hits_total = stats.hits if stats is not None else 0
+            accountant = cluster.broker.epoch_accountant
+            per_epoch.append({
+                "epoch": epoch,
+                "rate": rate,
+                "occupancy": len(snapshot.epochs),
+                "window_records": snapshot.record_count,
+                "bucket_count": snapshot.node_count,
+                "store_version": snapshot.store_version,
+                "cache_hits": hits_total - hits_before,
+                "live_epsilon": accountant.live_total(cluster.config.dataset),
+                "window_epsilon": accountant.window_spent(
+                    cluster.config.dataset, list(snapshot.live_epochs)
+                ),
+                "reclaimed_total": accountant.reclaimed(
+                    cluster.config.dataset
+                ),
+            })
+            hits_before = hits_total
+    duration = time.perf_counter() - started
+
+    broker = cluster.broker
+    dataset = cluster.config.dataset
+    transactions = broker.ledger.transactions
+    expected_epsilon = float(
+        sum(t.epsilon_prime for t in transactions)
+    )
+    expected_revenue = float(sum(t.price for t in transactions))
+    epsilon_spent = broker.accountant.spent(dataset)
+    revenue = broker.ledger.total_revenue()
+
+    # Per-epoch ledgers recomputed from the journaled charge entries must
+    # agree with the live accountant (for every still-live epoch).
+    live_epochs = set(cluster.station.snapshot().live_epochs)
+    journaled: "Dict[int, float]" = {e: 0.0 for e in live_epochs}
+    for entry in cluster.window_log.entries():
+        if entry.kind != "charge":
+            continue
+        for e in entry.data["epochs"]:
+            if int(e) in journaled:
+                journaled[int(e)] += float(entry.data["epsilon"])
+    epoch_drift = max(
+        (
+            abs(
+                journaled[e]
+                - broker.epoch_accountant.spent(dataset, e)
+            )
+            for e in live_epochs
+        ),
+        default=0.0,
+    )
+
+    # Steady state: the live total at epoch e is a triangular sum of the
+    # last W epochs' per-epoch spends, so once every warmup epoch has
+    # been evicted (e >= 2W - 2 with a constant workload) it must stop
+    # growing -- expired budget is reclaimed on every roll.
+    live_series = [p["live_epsilon"] for p in per_epoch]
+    steady = live_series[max(2 * window_epochs - 2, 0):]
+    steady_state_bounded = bool(
+        len(steady) < 2
+        or max(steady) <= min(steady) * (1 + 1e-6)
+    )
+
+    stats = gateway.cache.stats if gateway.cache is not None else None
+    cache_hits = stats.hits if stats is not None else 0
+    lookups = (stats.hits + stats.misses) if stats is not None else 0
+    determinism_checksum = float(np.sum(np.asarray(answer_values)))
+
+    return {
+        "epochs": epochs,
+        "shards": shards,
+        "devices": cluster.device_count,
+        "window_epochs": window_epochs,
+        "arrivals_per_epoch": arrivals_per_epoch,
+        "ranges": ranges,
+        "tiers": [[t.alpha, t.delta] for t in tier_list],
+        "floor": list(floor),
+        "consumers": consumers,
+        "seed": seed,
+        "per_epoch": per_epoch,
+        "completed": completed,
+        "failed": failed,
+        "duration_s": duration,
+        "throughput_qps": completed / duration if duration > 0 else 0.0,
+        "cache_hits": cache_hits,
+        "cache_hit_rate": cache_hits / lookups if lookups else 0.0,
+        "stale_answers": stale_answers,
+        "epsilon_spent": epsilon_spent,
+        "expected_epsilon": expected_epsilon,
+        "epsilon_drift": epsilon_spent - expected_epsilon,
+        "revenue": revenue,
+        "expected_revenue": expected_revenue,
+        "revenue_drift": revenue - expected_revenue,
+        "epoch_epsilon_drift": epoch_drift,
+        "epsilon_reclaimed": broker.epoch_accountant.reclaimed(dataset),
+        "live_epsilon_final": live_series[-1],
+        "live_epsilon_peak": max(live_series),
+        "steady_state_bounded": steady_state_bounded,
+        "window_checksum": window_checksum(
+            cluster.station.snapshot().epochs
+        ),
+        "journal_checksum": cluster.window_log.checksum(),
+        "determinism_checksum": determinism_checksum,
+    }
+
+
+def streaming_bench_healthy(payload: "Dict[str, Any]") -> "List[str]":
+    """The CI smoke contract; returns the list of violated invariants."""
+    problems: "List[str]" = []
+    if not float(payload.get("throughput_qps", 0.0)) > 0:
+        problems.append("zero throughput")
+    if int(payload.get("failed", 1)) != 0:
+        problems.append(f"{payload.get('failed')} requests failed")
+    if abs(float(payload.get("epsilon_drift", 1.0))) >= 1e-6:
+        problems.append(f"epsilon drift {payload.get('epsilon_drift')}")
+    if abs(float(payload.get("revenue_drift", 1.0))) >= 1e-6:
+        problems.append(f"revenue drift {payload.get('revenue_drift')}")
+    if abs(float(payload.get("epoch_epsilon_drift", 1.0))) >= 1e-6:
+        problems.append(
+            f"epoch ledger drift {payload.get('epoch_epsilon_drift')}"
+        )
+    if not float(payload.get("cache_hit_rate", 0.0)) > 0:
+        problems.append("cache never hit")
+    if int(payload.get("stale_answers", 1)) != 0:
+        problems.append(f"{payload.get('stale_answers')} stale answers served")
+    if not payload.get("steady_state_bounded", False):
+        problems.append("live epsilon grew after the window filled")
+    if int(payload.get("epochs", 0)) > int(payload.get("window_epochs", 0)):
+        if not float(payload.get("epsilon_reclaimed", 0.0)) > 0:
+            problems.append("no budget was ever reclaimed by expiry")
+    return problems

@@ -1,0 +1,544 @@
+"""The streaming broker: windowed ``(α, δ)`` answers over live epochs.
+
+Same duck-typed trading surface as :class:`~repro.core.broker.DataBroker`
+and :class:`~repro.cluster.broker.ClusterBroker` (``quote`` /
+``answer`` / ``answer_batch`` / ``replay`` / ``routing_signature`` plus a
+``base_station`` exposing ``store_version`` and ``subscribe_commits``),
+so the serving gateway, answer cache, and admission controller all wire
+up unchanged.  The differences are what streaming forces:
+
+* the sample store is the **merged window** -- the last ``W`` sealed
+  epochs folded across shards (:class:`StreamingStation`) -- and its
+  fleet shape ``(k_eff, n, p)`` changes on every roll, so plans are
+  memoized on the full ``(α, δ, p, k, n)`` key rather than a fixed-fleet
+  ``(α, δ, p)``;
+* there is **no top-up**: sealed epochs are immutable, so feasibility is
+  guaranteed by policy -- the admission bands pin every sellable tier at
+  or above the calibration floor the epoch rates were provisioned for
+  (``min_alpha = floor.α``, ``max_delta = floor.δ``; feasibility is
+  monotone in both), and a window too young to support the floor fails
+  loudly with :class:`~repro.errors.InfeasiblePlanError`;
+* every release charges the lifetime accountant (audit trail, as
+  always) **and** the per-epoch
+  :class:`~repro.streaming.accounting.EpochBudgetAccountant`, journaling
+  the epoch charge to the window log pre-release so recovery rebuilds
+  both books.
+
+Trades are journaled to the standard
+:class:`~repro.durability.journal.TradeJournal` before any release
+(journal-before-release; this module is in lint rule RL006's scope), with
+``store_version`` = the window snapshot the answer was computed against.
+A roll that lands mid-batch cannot tear an answer: the batch runs
+entirely against the immutable epoch snapshot taken at entry, and the
+cache key (window id + store version, via :meth:`routing_signature`)
+ensures post-roll lookups miss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    ContextManager,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.policy import BrokerPolicy, PolicyViolationError
+from repro.core.query import AccuracySpec, PrivateAnswer, RangeQuery
+from repro.errors import (
+    InsufficientSamplesError,
+    PrivacyBudgetExceededError,
+    StreamingError,
+)
+from repro.estimators.base import RangeCountingEstimator
+from repro.estimators.rank import RankCountingEstimator
+from repro.pricing.functions import PricingFunction
+from repro.pricing.ledger import BillingLedger
+from repro.privacy.budget import BudgetAccountant
+from repro.privacy.laplace import sample_laplace_many
+from repro.privacy.optimizer import PrivacyPlan, optimize_privacy_plan
+from repro.streaming.accounting import EpochBudgetAccountant
+from repro.streaming.journal import WindowLog
+from repro.streaming.window import (
+    EpochSummary,
+    WindowSummary,
+    merge_epoch_summaries,
+    pooled_estimate_many,
+    pooled_rate,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
+    from repro.durability.journal import TradeJournal
+    from repro.serving.telemetry import MetricsRegistry
+
+__all__ = ["StreamingBroker", "StreamingStation", "WindowSnapshot"]
+
+
+@dataclass(frozen=True)
+class WindowSnapshot:
+    """An immutable view of the merged window at one store version.
+
+    Everything an answer needs: the live epochs (already merged across
+    shards), the monotone ``store_version`` the snapshot was taken at,
+    and the derived fleet shape.  Epoch summaries are immutable, so a
+    snapshot stays valid -- and keeps answering consistently -- even
+    while the station commits further rolls.
+    """
+
+    epochs: Tuple[EpochSummary, ...]
+    store_version: int
+
+    @property
+    def window_id(self) -> str:
+        """``w<floor>:<latest>`` -- the cache routing key of this window."""
+        if not self.epochs:
+            return "w-empty"
+        return f"w{self.epochs[0].epoch}:{self.epochs[-1].epoch}"
+
+    @property
+    def live_epochs(self) -> Tuple[int, ...]:
+        return tuple(s.epoch for s in self.epochs)
+
+    @property
+    def record_count(self) -> int:
+        return sum(s.record_count for s in self.epochs)
+
+    @property
+    def node_count(self) -> int:
+        return sum(s.node_count for s in self.epochs)
+
+
+class StreamingStation:
+    """The merged-window store: the streaming analogue of a base station.
+
+    Holds the cross-shard merged ring of live epochs, a monotone
+    ``store_version`` bumped on every committed roll, and the
+    ``subscribe_commits`` push channel the serving
+    :class:`~repro.serving.answer_cache.AnswerCache` binds to -- so every
+    window roll push-invalidates cached answers keyed on the previous
+    ``(window_id, store_version)``.
+    """
+
+    def __init__(self, window_epochs: int) -> None:
+        self._window = WindowSummary(window_epochs=window_epochs)
+        self._store_version = 0
+        self._lock = threading.Lock()
+        self._listeners: "List[Callable[[int], None]]" = []
+
+    @property
+    def window_epochs(self) -> int:
+        return self._window.window_epochs
+
+    @property
+    def store_version(self) -> int:
+        """Monotone commit counter; bumps once per committed roll."""
+        with self._lock:
+            return self._store_version
+
+    def subscribe_commits(self, callback: "Callable[[int], None]") -> None:
+        """Call ``callback(new_store_version)`` after every committed roll."""
+        with self._lock:
+            self._listeners.append(callback)
+
+    def commit_roll(
+        self, shard_summaries: "Sequence[EpochSummary]"
+    ) -> WindowSnapshot:
+        """Fold one epoch's per-shard summaries into the merged window.
+
+        All summaries must seal the *same* epoch; the merge is
+        order-independent (associative + commutative), the ring evicts
+        epochs leaving the window, the store version bumps, and commit
+        listeners fire with the new version (the cache-invalidation
+        push).  Returns the post-commit snapshot.
+        """
+        if not shard_summaries:
+            raise StreamingError("a roll needs at least one shard summary")
+        merged = shard_summaries[0]
+        for summary in shard_summaries[1:]:
+            merged = merge_epoch_summaries(merged, summary)
+        with self._lock:
+            self._window.add(merged)
+            self._store_version += 1
+            version = self._store_version
+            snapshot = WindowSnapshot(
+                epochs=self._window.epochs(), store_version=version
+            )
+            listeners = tuple(self._listeners)
+        for callback in listeners:
+            callback(version)
+        return snapshot
+
+    def snapshot(self) -> WindowSnapshot:
+        """The current merged window at its store version (atomic)."""
+        with self._lock:
+            return WindowSnapshot(
+                epochs=self._window.epochs(),
+                store_version=self._store_version,
+            )
+
+    def restore(
+        self, epochs: "Sequence[EpochSummary]", store_version: int
+    ) -> None:
+        """Adopt recovered window state (crash recovery path)."""
+        with self._lock:
+            self._window.clear()
+            for summary in sorted(epochs, key=lambda s: s.epoch):
+                self._window.add(summary)
+            self._store_version = store_version
+
+
+@dataclass
+class StreamingBroker:
+    """Answers priced, private range counting over the live window.
+
+    Parameters
+    ----------
+    station:
+        The merged-window store (also the cache-binding surface).
+    pricing:
+        Price sheet.  Streaming windows change ``n`` every roll, so the
+        sheet is calibrated against a *nominal* fleet size chosen at
+        provisioning time; prices are a market artifact, not an accuracy
+        certificate, and stay stable across rolls by design.
+    floor:
+        The accuracy floor epoch rates are provisioned for.  Admission
+        pins sellable tiers to ``α ≥ floor.α`` and ``δ ≤ floor.δ``
+        (feasibility is monotone in both), replacing the one-shot
+        broker's top-up escape hatch.
+    epoch_accountant:
+        Per-epoch ε ledgers with expiry (steady-state bound).
+    accountant:
+        Lifetime audit ledger (capacity ∞ by default) -- the books the
+        trade journal recovers, kept identical to the one-shot path.
+    window_log:
+        When set, every release's per-epoch charge is journaled for
+        bit-exact accountant recovery.
+    """
+
+    station: StreamingStation
+    pricing: PricingFunction
+    floor: AccuracySpec
+    dataset: str = "stream"
+    estimator: RangeCountingEstimator = field(default_factory=RankCountingEstimator)
+    ledger: BillingLedger = field(default_factory=BillingLedger)
+    accountant: BudgetAccountant = field(default_factory=BudgetAccountant)
+    epoch_accountant: EpochBudgetAccountant = field(
+        default_factory=EpochBudgetAccountant
+    )
+    # A broker is a process singleton; the fixed default seed is the
+    # documented determinism contract (tests pin golden answers to it).
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(7))  # repro-lint: disable=RL002
+    policy: Optional[BrokerPolicy] = None
+    planner_grid_points: int = 512
+    telemetry: "Optional[MetricsRegistry]" = None
+    journal: "Optional[TradeJournal]" = None
+    window_log: Optional[WindowLog] = None
+
+    def __post_init__(self) -> None:
+        if self.policy is None:
+            # The admission bands double as the feasibility certificate:
+            # every tier inside them is answerable from any window whose
+            # epochs were sealed at the floor-calibrated rate.
+            self.policy = BrokerPolicy(
+                min_alpha=self.floor.alpha,
+                max_delta=self.floor.delta,
+            )
+        # Window shape (k, n, p) changes across rolls, so plans memoize
+        # on the full shape key; bounded like the one-shot broker's memo.
+        self._plan_memo: "Dict[Tuple[float, float, float, int, int], PrivacyPlan]" = {}
+
+    # ------------------------------------------------------------------
+    # duck-typed broker surface
+    # ------------------------------------------------------------------
+    @property
+    def base_station(self) -> StreamingStation:
+        """Cache/gateway binding surface (store_version + subscribe_commits)."""
+        return self.station
+
+    def quote(self, spec: AccuracySpec) -> float:
+        """List price of an ``(α, δ)`` product (no data is touched)."""
+        return self.pricing.price(spec.alpha, spec.delta)
+
+    def routing_signature(self, query: RangeQuery, spec: AccuracySpec) -> str:
+        """The window id answers are currently derived from.
+
+        Folded into the serving cache key next to ``store_version``, so a
+        cached answer can only ever replay against the exact
+        ``(window_id, store_version)`` it was computed at -- the
+        invalidation contract the gateway relies on across rolls.
+        """
+        return self.station.snapshot().window_id
+
+    def _timer(self, name: str) -> "ContextManager[Any]":
+        if self.telemetry is None:
+            from contextlib import nullcontext
+
+            return nullcontext()
+        return self.telemetry.timer(name)
+
+    def _emit(self, name: str, amount: float = 1.0) -> None:
+        if self.telemetry is not None:
+            self.telemetry.inc(name, amount)
+
+    def _journal_trades(self, records: "List[Dict[str, Any]]") -> None:
+        """Commit trades to the write-ahead journal, pre-release (RL006)."""
+        if self.journal is not None:
+            self.journal.append_many(records)
+
+    def _plan(
+        self, spec: AccuracySpec, p: float, k: int, n: int
+    ) -> PrivacyPlan:
+        """Memoized problem-(3) solve for one window shape."""
+        key = (spec.alpha, spec.delta, p, k, n)
+        plan = self._plan_memo.get(key)
+        if plan is None:
+            plan = optimize_privacy_plan(
+                alpha=spec.alpha,
+                delta=spec.delta,
+                p=p,
+                k=k,
+                n=n,
+                grid_points=self.planner_grid_points,
+            )
+            if len(self._plan_memo) > 2048:
+                self._plan_memo.clear()
+            self._plan_memo[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    # replay (ε′ = 0 post-processing)
+    # ------------------------------------------------------------------
+    def replay(self, cached: PrivateAnswer, consumer: str) -> PrivateAnswer:
+        """Re-release a previously purchased answer to ``consumer``.
+
+        Post-processing: zero privacy cost (no accountant charge, no
+        epoch-ledger charge), billed at list price, journaled with
+        ε′ = 0 -- the same replay contract as the one-shot broker, so
+        the serving cache and gateway work unchanged.
+        """
+        spec = cached.spec
+        assert self.policy is not None
+        self.policy.admit(consumer, spec)
+        price = self.pricing.price(spec.alpha, spec.delta)
+        self._journal_trades([dict(
+            kind="replay",
+            consumer=consumer,
+            dataset=self.dataset,
+            low=cached.query.low,
+            high=cached.query.high,
+            alpha=spec.alpha,
+            delta=spec.delta,
+            epsilon_prime=0.0,
+            price=price,
+            store_version=self.station.store_version,
+            label=f"{consumer}:[{cached.query.low},{cached.query.high}]",
+        )])
+        self.policy.settle(consumer, 0.0)
+        txn = self.ledger.record(
+            consumer=consumer,
+            dataset=self.dataset,
+            alpha=spec.alpha,
+            delta=spec.delta,
+            price=price,
+            epsilon_prime=0.0,
+        )
+        self._emit("broker.replays")
+        return dataclasses.replace(
+            cached,
+            consumer=consumer,
+            price=price,
+            transaction_id=txn.transaction_id,
+        )
+
+    # ------------------------------------------------------------------
+    # answering
+    # ------------------------------------------------------------------
+    def answer(
+        self,
+        query: RangeQuery,
+        spec: AccuracySpec,
+        consumer: str = "anonymous",
+    ) -> PrivateAnswer:
+        """Scalar convenience wrapper over :meth:`answer_batch`."""
+        return self.answer_batch([query], [spec], consumer)[0]
+
+    def answer_batch(
+        self,
+        queries: "List[RangeQuery]",
+        spec: "AccuracySpec | Sequence[AccuracySpec]",
+        consumer: str = "anonymous",
+    ) -> "List[PrivateAnswer]":
+        """Answer a batch of window queries in one vectorized pass.
+
+        The batch runs against one atomic :class:`WindowSnapshot`: plans,
+        estimates, the journaled ``store_version`` and the per-epoch
+        charges all describe the same set of live epochs, even if a roll
+        commits while the batch is in flight (the snapshot's summaries
+        are immutable).  Admission is atomic across the policy's caps,
+        the lifetime accountant, *and* every covered epoch ledger -- the
+        batch completes in full or charges nothing.
+        """
+        if not queries:
+            raise ValueError("at least one query is required")
+        if isinstance(spec, AccuracySpec):
+            specs = [spec] * len(queries)
+        else:
+            specs = list(spec)
+            if len(specs) != len(queries):
+                raise ValueError(
+                    f"got {len(specs)} specs for {len(queries)} queries; "
+                    "pass one spec per query or a single shared spec"
+                )
+        for query in queries:
+            if query.dataset not in ("default", self.dataset):
+                raise ValueError(
+                    f"query targets dataset {query.dataset!r}, broker "
+                    f"serves {self.dataset!r}"
+                )
+        assert self.policy is not None
+        self.policy.admit_batch(consumer, specs)
+
+        snapshot = self.station.snapshot()
+        if snapshot.node_count == 0:
+            raise InsufficientSamplesError(
+                "window holds no samples yet; seal at least one non-empty "
+                "epoch before answering"
+            )
+        n = snapshot.record_count
+        k = snapshot.node_count
+        p = pooled_rate(snapshot.epochs)
+        live = list(snapshot.live_epochs)
+
+        # Plans and prices once per distinct tier (InfeasiblePlanError
+        # propagates: streaming has no top-up escape hatch).
+        tiers: "Dict[Tuple[float, float], AccuracySpec]" = {}
+        for qspec in specs:
+            tiers.setdefault((qspec.alpha, qspec.delta), qspec)
+        with self._timer("streaming.plan_s"):
+            plans = {
+                tier: self._plan(tier_spec, p, k, n)
+                for tier, tier_spec in tiers.items()
+            }
+            prices = {
+                tier: self.pricing.price(tier_spec.alpha, tier_spec.delta)
+                for tier, tier_spec in tiers.items()
+            }
+
+        # Atomic admission: per-consumer cap, lifetime budget, and every
+        # live epoch's ledger must fit the whole batch.
+        total_epsilon = float(sum(
+            plans[(s.alpha, s.delta)].epsilon_prime for s in specs
+        ))
+        if not self.policy.can_release(consumer, total_epsilon):
+            raise PolicyViolationError(
+                f"consumer {consumer!r} would exceed the per-consumer "
+                "privacy cap"
+            )
+        if not self.accountant.can_afford(self.dataset, total_epsilon):
+            raise PrivacyBudgetExceededError(
+                f"dataset {self.dataset!r}: batch of {len(queries)} "
+                f"releases (ε′={total_epsilon:.6g}) would exceed capacity "
+                f"{self.accountant.capacity:.6g}"
+            )
+        if not self.epoch_accountant.can_afford(
+            self.dataset, live, total_epsilon
+        ):
+            raise PrivacyBudgetExceededError(
+                f"dataset {self.dataset!r}: batch ε′={total_epsilon:.6g} "
+                f"would exceed the per-epoch capacity "
+                f"{self.epoch_accountant.capacity:.6g} on window epochs "
+                f"{live}"
+            )
+
+        with self._timer("streaming.estimate_s"):
+            ranges = [(q.low, q.high) for q in queries]
+            estimates = pooled_estimate_many(
+                snapshot.epochs, self.estimator, ranges
+            )
+        scales = np.asarray([
+            plans[(s.alpha, s.delta)].noise_scale for s in specs
+        ])
+        noise = sample_laplace_many(scales, self.rng)
+        raw_values = estimates + noise
+        released = np.clip(raw_values, 0.0, float(n))
+
+        # Journal-before-release: trades to the trade journal, epoch
+        # charges to the window log, then (and only then) the books.
+        journal_records: "List[Dict[str, Any]]" = []
+        sales: "List[Dict[str, Any]]" = []
+        charge_epsilons: "List[float]" = []
+        charge_labels: "List[str]" = []
+        for query, qspec in zip(queries, specs):
+            tier = (qspec.alpha, qspec.delta)
+            plan = plans[tier]
+            label = f"{consumer}:[{query.low},{query.high}]@{snapshot.window_id}"
+            charge_epsilons.append(plan.epsilon_prime)
+            charge_labels.append(label)
+            journal_records.append(dict(
+                kind="release",
+                consumer=consumer,
+                dataset=self.dataset,
+                low=query.low,
+                high=query.high,
+                alpha=qspec.alpha,
+                delta=qspec.delta,
+                epsilon_prime=plan.epsilon_prime,
+                price=prices[tier],
+                store_version=snapshot.store_version,
+                label=label,
+            ))
+            sales.append(dict(
+                consumer=consumer,
+                dataset=self.dataset,
+                alpha=qspec.alpha,
+                delta=qspec.delta,
+                price=prices[tier],
+                epsilon_prime=plan.epsilon_prime,
+            ))
+        with self._timer("streaming.charge_s"):
+            self._journal_trades(journal_records)
+            if self.window_log is not None:
+                for epsilon, label in zip(charge_epsilons, charge_labels):
+                    self.window_log.append_charge(
+                        self.dataset, live, epsilon, label
+                    )
+            for epsilon in charge_epsilons:
+                self.policy.settle(consumer, epsilon)
+            self.accountant.charge_many(
+                self.dataset, charge_epsilons, charge_labels
+            )
+            for epsilon, label in zip(charge_epsilons, charge_labels):
+                self.epoch_accountant.charge_window(
+                    self.dataset, live, epsilon, label
+                )
+            txns = self.ledger.record_many(sales)
+        self._emit("streaming.answers", len(queries))
+        self._emit("streaming.epsilon_spent", sum(charge_epsilons))
+        if self.telemetry is not None:
+            self.telemetry.observe("streaming.batch_width", len(queries))
+
+        answers: "List[PrivateAnswer]" = []
+        for i, (query, qspec) in enumerate(zip(queries, specs)):
+            tier = (qspec.alpha, qspec.delta)
+            answers.append(PrivateAnswer(
+                value=float(released[i]),
+                raw_value=float(raw_values[i]),
+                sample_estimate=float(estimates[i]),
+                query=query,
+                spec=qspec,
+                plan=plans[tier],
+                price=prices[tier],
+                consumer=consumer,
+                transaction_id=txns[i].transaction_id,
+            ))
+        return answers

@@ -1,0 +1,248 @@
+"""The window log: a write-ahead journal for streaming window state.
+
+The :class:`~repro.durability.journal.TradeJournal` makes *trades*
+recoverable; it says nothing about the window ring an ingestor crash can
+tear mid-roll.  The :class:`WindowLog` closes that gap with the same
+write-ahead discipline: every epoch seal appends a ``roll`` entry --
+carrying the sealed epoch's **full sample payload** -- before the ring
+mutates, and every window release appends a ``charge`` entry (per-epoch ε
+spend) before the epoch accountant mutates.  Replaying the log therefore
+rebuilds both the per-shard window rings and the per-epoch budget ledgers
+bit-exactly, even when the crash landed between the journal append and the
+in-memory apply (the chaos drill's kill point).
+
+Entries are JSONL, one per line, flushed per append, torn-tail tolerant on
+load -- the exact durability tier of the trade journal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import threading
+from pathlib import Path
+from typing import IO, Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import JournalError
+from repro.streaming.window import EpochSummary, WindowSummary
+
+__all__ = [
+    "WindowLog",
+    "WindowLogEntry",
+    "rebuild_window_state",
+    "STREAM_LOG_FORMAT",
+    "STREAM_LOG_VERSION",
+]
+
+STREAM_LOG_FORMAT = "repro.stream-journal"
+STREAM_LOG_VERSION = 1
+
+#: ``roll`` seals one shard's epoch (full sample payload); ``charge``
+#: records one window release's per-epoch ε spend.
+LOG_KINDS = ("roll", "charge")
+
+
+class WindowLogEntry:
+    """One logged streaming event; ``seq`` is assigned monotonically from 1."""
+
+    __slots__ = ("seq", "kind", "data")
+
+    def __init__(self, seq: int, kind: str, data: Mapping[str, Any]) -> None:
+        if kind not in LOG_KINDS:
+            raise JournalError(
+                f"unknown window-log entry kind {kind!r}; "
+                f"expected one of {LOG_KINDS}"
+            )
+        if seq < 1:
+            raise JournalError("seq must be >= 1")
+        self.seq = seq
+        self.kind = kind
+        self.data = dict(data)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "format": STREAM_LOG_FORMAT,
+            "version": STREAM_LOG_VERSION,
+            "seq": self.seq,
+            "kind": self.kind,
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, Any]) -> "WindowLogEntry":
+        if payload.get("format") != STREAM_LOG_FORMAT:
+            raise JournalError(
+                f"not a stream-journal payload: format={payload.get('format')!r}"
+            )
+        if payload.get("version") != STREAM_LOG_VERSION:
+            raise JournalError(
+                f"unsupported stream-journal version "
+                f"{payload.get('version')!r} (reader understands "
+                f"{STREAM_LOG_VERSION})"
+            )
+        return cls(
+            seq=int(payload["seq"]),
+            kind=str(payload["kind"]),
+            data=dict(payload["data"]),
+        )
+
+
+class WindowLog:
+    """Append-only, thread-safe write-ahead log of window rolls and charges.
+
+    In-memory by default; pass ``path`` to mirror appends to a JSONL file.
+    :meth:`load` re-opens a file after a crash, tolerating a torn final
+    line (the entry was never applied, by write-ahead ordering).
+    """
+
+    def __init__(self, path: "Optional[Union[str, Path]]" = None) -> None:
+        self._lock = threading.Lock()
+        self._entries: "List[WindowLogEntry]" = []  # guarded-by: _lock
+        self._next_seq = 1  # guarded-by: _lock
+        self._path: "Optional[Path]" = Path(path) if path is not None else None
+        self._file: "Optional[IO[str]]" = None
+        if self._path is not None:
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = self._path.open("a", encoding="utf-8")
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+    def append(self, kind: str, **data: Any) -> WindowLogEntry:
+        """Log one event; assigns the next ``seq`` and returns the entry."""
+        with self._lock:
+            entry = WindowLogEntry(self._next_seq, kind, data)
+            self._next_seq += 1
+            self._entries.append(entry)
+            if self._file is not None:
+                self._file.write(
+                    json.dumps(entry.to_payload(), sort_keys=True) + "\n"
+                )
+                self._file.flush()
+            return entry
+
+    def append_roll(self, shard_id: int, summary: EpochSummary) -> WindowLogEntry:
+        """Journal one shard's sealed epoch, pre-apply (write-ahead)."""
+        return self.append(
+            "roll", shard_id=int(shard_id), **summary.to_payload()
+        )
+
+    def append_charge(
+        self,
+        dataset: str,
+        epochs: "List[int]",
+        epsilon: float,
+        label: str,
+    ) -> WindowLogEntry:
+        """Journal one window release's per-epoch ε spend, pre-charge."""
+        return self.append(
+            "charge",
+            dataset=dataset,
+            epochs=[int(e) for e in epochs],
+            epsilon=float(epsilon),
+            label=label,
+        )
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+    def entries(self) -> "Tuple[WindowLogEntry, ...]":
+        with self._lock:
+            return tuple(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def path(self) -> "Optional[Path]":
+        return self._path
+
+    def checksum(self) -> str:
+        """SHA-256 over the canonical JSON of every entry (determinism probe)."""
+        digest = hashlib.sha256()
+        for entry in self.entries():
+            digest.update(
+                json.dumps(entry.to_payload(), sort_keys=True).encode("utf-8")
+            )
+        return digest.hexdigest()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+    def __enter__(self) -> "WindowLog":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: "Union[str, Path]") -> "WindowLog":
+        """Re-open a file-backed log after a crash (torn tail tolerated)."""
+        source = Path(path)
+        entries: "List[WindowLogEntry]" = []
+        if source.exists():
+            with source.open("r", encoding="utf-8") as handle:
+                lines = handle.read().splitlines()
+            for lineno, line in enumerate(lines, start=1):
+                if not line.strip():
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    if lineno == len(lines):
+                        # Torn tail: died mid-write; the event was never
+                        # applied (write-ahead), so dropping it is safe.
+                        break
+                    raise JournalError(
+                        f"{source}: corrupt stream-journal line {lineno}"
+                    ) from None
+                entries.append(WindowLogEntry.from_payload(payload))
+        log = cls(path=source)
+        with log._lock:
+            log._entries.extend(entries)
+            if entries:
+                log._next_seq = entries[-1].seq + 1
+        return log
+
+
+def rebuild_window_state(
+    entries: "Iterable[WindowLogEntry]",
+    window_epochs: int,
+) -> "Tuple[Dict[int, WindowSummary], List[WindowLogEntry]]":
+    """Replay a window log into per-shard window rings plus charge entries.
+
+    Returns ``(windows, charges)``: one rebuilt :class:`WindowSummary` per
+    shard id seen in ``roll`` entries -- containing exactly the live
+    epochs after every logged roll, ring eviction included -- and the
+    ``charge`` entries in log order (the caller replays those into its
+    :class:`~repro.streaming.accounting.EpochBudgetAccountant`).  Replay
+    is deterministic, so two logs with equal checksums rebuild bit-equal
+    window state.
+    """
+    windows: "Dict[int, WindowSummary]" = {}
+    charges: "List[WindowLogEntry]" = []
+    previous = 0
+    for entry in entries:
+        if entry.seq <= previous:
+            raise JournalError(
+                f"window log replay out of order: seq {entry.seq} "
+                f"after {previous}"
+            )
+        previous = entry.seq
+        if entry.kind == "charge":
+            charges.append(entry)
+            continue
+        data = dict(entry.data)
+        shard_id = int(data.pop("shard_id"))
+        summary = EpochSummary.from_payload(data)
+        windows.setdefault(
+            shard_id, WindowSummary(window_epochs=window_epochs)
+        ).add(summary)
+    return windows, charges

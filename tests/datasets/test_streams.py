@@ -5,7 +5,13 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.datasets.streams import RecordStream, sliding_windows
+from repro.datasets.streams import (
+    RecordStream,
+    epoch_of,
+    epoch_slices,
+    sliding_time_windows,
+    sliding_windows,
+)
 
 
 class TestRecordStream:
@@ -76,3 +82,100 @@ class TestSlidingWindows:
     def test_rejects_bad_step(self):
         with pytest.raises(ValueError):
             sliding_windows(np.arange(4, dtype=float), window=2, step=0)
+
+
+class TestTimestamps:
+    def test_default_timestamps_are_arrival_index(self):
+        stream = RecordStream(np.arange(5, dtype=float), batch_size=2)
+        batch = stream.next_timed_batch()
+        assert list(batch.timestamps) == [0.0, 1.0]
+
+    def test_timed_batches_carry_parallel_timestamps(self):
+        ts = np.array([0.0, 0.5, 1.0, 1.5, 2.0])
+        stream = RecordStream(
+            np.arange(5, dtype=float), batch_size=3, timestamps=ts
+        )
+        batches = list(stream.timed_batches())
+        assert [list(b.timestamps) for b in batches] == [
+            [0.0, 0.5, 1.0],
+            [1.5, 2.0],
+        ]
+        assert [list(b.values) for b in batches] == [
+            [0.0, 1.0, 2.0],
+            [3.0, 4.0],
+        ]
+
+    def test_rejects_non_monotone_timestamps(self):
+        with pytest.raises(ValueError):
+            RecordStream(
+                np.arange(3, dtype=float),
+                timestamps=np.array([0.0, 2.0, 1.0]),
+            )
+
+    def test_rejects_mismatched_timestamps(self):
+        with pytest.raises(ValueError):
+            RecordStream(
+                np.arange(3, dtype=float), timestamps=np.array([0.0, 1.0])
+            )
+
+
+class TestEpochGrid:
+    def test_epoch_of_is_half_open(self):
+        # Epoch e covers [e*L, (e+1)*L): the right edge belongs to the
+        # NEXT epoch, so each record lives in exactly one epoch.
+        assert epoch_of(0.0, 2.0) == 0
+        assert epoch_of(1.999, 2.0) == 0
+        assert epoch_of(2.0, 2.0) == 1
+        assert epoch_of(4.0, 2.0) == 2
+
+    def test_epoch_of_origin_shift(self):
+        assert epoch_of(10.0, 2.0, origin=10.0) == 0
+        assert epoch_of(9.999, 2.0, origin=10.0) == -1
+
+    def test_epoch_slices_cover_without_overlap(self):
+        ts = np.array([0.0, 0.5, 1.0, 1.5, 2.0, 3.0])
+        slices = epoch_slices(ts, epoch_length=1.0)
+        assert [(e, s.start, s.stop) for e, s in slices] == [
+            (0, 0, 2),
+            (1, 2, 4),
+            (2, 4, 5),
+            (3, 5, 6),
+        ]
+        # Every index appears in exactly one slice.
+        covered = [i for _, s in slices for i in range(s.start, s.stop)]
+        assert covered == list(range(len(ts)))
+
+
+class TestHalfOpenOverlap:
+    def test_explicit_overlap_is_half_open(self):
+        # Window i covers indexes [i*step, i*step + window): the element
+        # at the right edge is excluded from window i and opens window
+        # i+1's fresh territory -- so consecutive windows share exactly
+        # ``window - step`` elements, never ``window - step + 1``.
+        values = np.arange(8, dtype=float)
+        windows = sliding_windows(values, window=4, step=2)
+        assert [list(w) for w in windows] == [
+            [0.0, 1.0, 2.0, 3.0],
+            [2.0, 3.0, 4.0, 5.0],
+            [4.0, 5.0, 6.0, 7.0],
+        ]
+        for left, right in zip(windows, windows[1:]):
+            shared = set(left) & set(right)
+            assert len(shared) == 4 - 2
+
+    def test_time_windows_half_open_right_edge(self):
+        # A record exactly at start + window belongs to the next window.
+        ts = np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        values = ts.copy()
+        windows = sliding_time_windows(values, ts, window=2.0, step=2.0)
+        assert [list(w) for w in windows] == [
+            [0.0, 1.0],
+            [2.0, 3.0],
+            [4.0],
+        ]
+
+    def test_time_windows_keep_empty_interior(self):
+        ts = np.array([0.0, 5.0])
+        values = np.array([10.0, 20.0])
+        windows = sliding_time_windows(values, ts, window=1.0, step=1.0)
+        assert [list(w) for w in windows] == [[10.0], [], [], [], [], [20.0]]

@@ -1,0 +1,143 @@
+"""Unit tests for streaming devices, shard ingestors, and the cluster edge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import StaleEpochError
+from repro.streaming.ingest import ShardIngestor, StreamDevice
+from repro.streaming.runtime import StreamingConfig, build_streaming_cluster
+
+
+def make_ingestor(devices=2, window_epochs=3, seed=11):
+    return ShardIngestor(
+        shard_id=0,
+        devices=[
+            StreamDevice(node_id=i + 1, rng=np.random.default_rng(seed + i))
+            for i in range(devices)
+        ],
+        window_epochs=window_epochs,
+    )
+
+
+class TestStreamDevice:
+    def test_seal_drains_buffer(self):
+        device = StreamDevice(node_id=1, rng=np.random.default_rng(3))
+        device.absorb([1.0, 2.0, 3.0])
+        report = device.seal(0, rate=1.0)
+        assert report.node_size == 3
+        assert device.pending_count == 0
+        assert sorted(report.values) == [1.0, 2.0, 3.0]
+
+    def test_empty_seal_ships_empty_report(self):
+        device = StreamDevice(node_id=1, rng=np.random.default_rng(3))
+        report = device.seal(4, rate=0.5)
+        assert report.node_size == 0
+        assert report.values == ()
+        assert report.epoch == 4
+
+    def test_ranks_are_local_to_the_epoch(self):
+        device = StreamDevice(node_id=1, rng=np.random.default_rng(3))
+        device.absorb([30.0, 10.0, 20.0])
+        report = device.seal(0, rate=1.0)
+        by_value = dict(zip(report.values, report.ranks))
+        assert by_value == {10.0: 1, 20.0: 2, 30.0: 3}
+        # The next epoch ranks from scratch.
+        device.absorb([5.0])
+        assert device.seal(1, rate=1.0).ranks == (1,)
+
+
+class TestShardIngestor:
+    def test_round_robin_is_deterministic_across_batches(self):
+        # Two ingests whose combined arrivals equal one bigger ingest
+        # leave identical per-device buffers: the cursor persists.
+        a = make_ingestor()
+        a.ingest([1.0, 2.0, 3.0], [0.0, 0.0, 0.0])
+        a.ingest([4.0, 5.0], [0.0, 0.0])
+        b = make_ingestor()
+        b.ingest([1.0, 2.0, 3.0, 4.0, 5.0], [0.0] * 5)
+        for da, db in zip(a.devices, b.devices):
+            assert da._pending == db._pending
+
+    def test_rejects_late_batch_atomically(self):
+        ing = make_ingestor()
+        ing.ingest([1.0], [0.5])
+        ing.seal(rate=1.0)
+        assert ing.open_epoch == 1
+        # A mixed batch with one late record buffers NOTHING.
+        with pytest.raises(StaleEpochError):
+            ing.ingest([2.0, 3.0], [0.9, 1.1])
+        assert ing.pending_count == 0
+
+    def test_rejects_future_batch(self):
+        ing = make_ingestor()
+        with pytest.raises(StaleEpochError) as info:
+            ing.ingest([1.0], [5.0])
+        assert info.value.epoch == 5
+        assert info.value.open_epoch == 0
+
+    def test_empty_batch_is_a_noop(self):
+        ing = make_ingestor()
+        assert ing.ingest([], []) == 0
+        assert ing.pending_count == 0
+
+    def test_empty_epoch_seals_with_zero_rate(self):
+        ing = make_ingestor()
+        summary = ing.seal(rate=0.7)
+        assert summary.is_empty
+        assert summary.record_count == 0
+        assert summary.rate == 0.0  # no samples -> no rate claim
+        assert ing.open_epoch == 1
+
+    def test_seal_drops_empty_devices_keeps_nonzero_node_size(self):
+        ing = make_ingestor(devices=3)
+        # Only device 0 gets data (one record, round-robin from cursor 0).
+        ing.ingest([42.0], [0.0])
+        summary = ing.seal(rate=1.0)
+        assert summary.node_count == 1
+        assert summary.record_count == 1
+
+    def test_report_shipping_is_metered(self):
+        cluster = build_streaming_cluster(StreamingConfig(
+            shards=1, devices_per_shard=2, window_epochs=2,
+        ))
+        cluster.ingest([1.0, 2.0, 3.0, 4.0], [0.0, 0.1, 0.2, 0.3])
+        cluster.roll()
+        ingestor = cluster.ingestors[0]
+        assert ingestor.network is not None
+        # One StreamReport per device per roll.
+        assert ingestor.network.delivered_count == 2
+
+
+class TestClusterIngest:
+    def test_cluster_rejection_is_atomic_across_shards(self):
+        cluster = build_streaming_cluster(StreamingConfig(
+            shards=2, devices_per_shard=2, window_epochs=2,
+        ))
+        before = cluster.pending_count
+        with pytest.raises(StaleEpochError):
+            cluster.ingest([1.0, 2.0], [0.2, 7.5])
+        assert cluster.pending_count == before
+
+    def test_cluster_round_robin_over_shards(self):
+        cluster = build_streaming_cluster(StreamingConfig(
+            shards=2, devices_per_shard=1, window_epochs=2,
+        ))
+        cluster.ingest([1.0, 2.0, 3.0], [0.0, 0.1, 0.2])
+        assert cluster.ingestors[0].pending_count == 2
+        assert cluster.ingestors[1].pending_count == 1
+        # The cursor carries over to the next batch.
+        cluster.ingest([4.0], [0.3])
+        assert cluster.ingestors[1].pending_count == 2
+
+    def test_open_epoch_tracks_rolls(self):
+        cluster = build_streaming_cluster(StreamingConfig(
+            shards=2, devices_per_shard=1, window_epochs=2,
+        ))
+        assert cluster.open_epoch == 0
+        cluster.ingest([1.0], [0.5])
+        cluster.roll()
+        assert cluster.open_epoch == 1
+        for ing in cluster.ingestors:
+            assert ing.open_epoch == 1
