@@ -36,8 +36,13 @@ __all__ = [
 ]
 
 #: Key fragments that mark a machine/scheduler-dependent measurement.
+#: ``speedup`` (process/thread throughput ratio) and ``cores`` (host CPU
+#: count) come from the workers phase and vary by box exactly like raw
+#: timings do.
 _TIMING_PATTERN = re.compile(
-    r"(qps|throughput|duration|latency|_ms$|_s$|wall|elapsed)", re.IGNORECASE
+    r"(qps|throughput|duration|latency|_ms$|_s$|wall|elapsed|speedup"
+    r"|^cores$)",
+    re.IGNORECASE,
 )
 
 #: Absolute slack for deterministic metrics whose target is ≈ 0 (the

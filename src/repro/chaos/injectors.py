@@ -75,6 +75,7 @@ class FaultInjector:
             "heal_shard": self._heal_shard,
             "burst_loss": self._burst_loss,
             "heal_channel": self._heal_channel,
+            "kill_worker_process": self._kill_worker_process,
         }[event.kind]
         handler(event)
         self.telemetry.inc(f"chaos.{event.kind}")
@@ -87,6 +88,34 @@ class FaultInjector:
 
     def _restart_worker(self, event: FaultEvent) -> None:
         self.gateway.spawn_worker()
+
+    # ------------------------------------------------------------------ #
+    # shard worker processes (repro.workers)                             #
+    # ------------------------------------------------------------------ #
+    def _kill_worker_process(self, event: FaultEvent) -> None:
+        """SIGKILL one :mod:`repro.workers` shard worker process.
+
+        Deliberately non-cooperative: the worker gets no chance to flush
+        or reply.  The pool must absorb the crash transparently — respawn
+        and replay, or fall back to the bit-identical local estimator —
+        so the run's answers and books are unchanged.  Requires the
+        broker to be running the process execution backend.
+        """
+        import os
+        import signal
+
+        backend = getattr(self.gateway.broker, "_process_backend", None)
+        if backend is None:
+            raise ValueError(
+                "kill_worker_process needs the process execution backend "
+                "(broker.use_processes()); the broker is in threads mode"
+            )
+        pids = backend.worker_pids()
+        if not pids:
+            raise ValueError("process backend has no live workers to kill")
+        keys = sorted(pids)
+        victim = keys[event.target % len(keys)]
+        os.kill(pids[victim], signal.SIGKILL)
 
     # ------------------------------------------------------------------ #
     # broker crash + journal recovery                                    #

@@ -28,6 +28,10 @@ EVENT_KINDS = (
     "heal_shard",       # revive + re-sync that primary
     "burst_loss",       # flip a station channel into Gilbert-Elliott burst loss
     "heal_channel",     # restore the original channel
+    # SIGKILL one repro.workers shard worker *process* (non-cooperative;
+    # the pool respawns it or falls back to the bit-identical local
+    # estimator, so no restart pairing is needed).
+    "kill_worker_process",
 )
 
 #: Kinds that change which rng streams / routes serve subsequent trades;
@@ -139,6 +143,7 @@ class FaultSchedule:
         broker_crashes: int = 1,
         shard_partitions: int = 1,
         channel_bursts: int = 1,
+        worker_process_kills: int = 0,
     ) -> "FaultSchedule":
         """Build the canonical seeded schedule for a ``trades``-step run.
 
@@ -194,6 +199,15 @@ class FaultSchedule:
             events.append(
                 FaultEvent(step=off, kind="heal_channel", target=target)
             )
+
+        # Drawn last so existing same-seed schedules keep their exact
+        # event positions (and checksums) when this stays at its default.
+        for _ in range(worker_process_kills):
+            events.append(FaultEvent(
+                step=draw_step(0.1, 0.8),
+                kind="kill_worker_process",
+                target=int(rng.integers(0, shards)),
+            ))
 
         ordered = tuple(
             sorted(enumerate(events), key=lambda pair: (pair[1].step, pair[0]))

@@ -312,6 +312,8 @@ class ClusterBroker:
         # top-up naturally invalidates; bands are immutable post-build.
         self._route_cache: "Dict[Tuple[float, float, float, float, float], RoutePlan]" = {}  # guarded-by: _lock
         self._cost_cache: "Dict[Tuple[int, float, float, float], float]" = {}  # guarded-by: _lock
+        # Optional repro.workers process backend (None = threaded path).
+        self._process_backend = None  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # construction
@@ -791,6 +793,45 @@ class ClusterBroker:
             self._emit(f"cluster.shard{shard.shard_id}.failover_batches")
         return answers, degraded
 
+    # ------------------------------------------------------------------
+    # execution backend (repro.workers)
+    # ------------------------------------------------------------------
+    @property
+    def execution(self) -> str:
+        """``"threads"`` (default) or ``"processes"`` (worker backend live)."""
+        with self._lock:
+            return "processes" if self._process_backend is not None else "threads"
+
+    def use_processes(self) -> None:
+        """Attach the per-shard worker-process backend.  Idempotent.
+
+        Estimation moves to one spawned process per shard, fed by a
+        shared-memory sample store; planning, Laplace draws, journaling,
+        and all accounting stay in this process, so answers and books are
+        bit-identical to the threaded path for the same seeds.
+        """
+        from repro.workers.backend import ClusterProcessBackend
+
+        with self._lock:
+            if self._process_backend is not None:
+                return
+        backend = ClusterProcessBackend(telemetry=self.telemetry)
+        backend.attach(self.shards)
+        with self._lock:
+            self._process_backend = backend
+
+    def use_threads(self) -> None:
+        """Detach the process backend (restore in-process estimation).
+
+        Idempotent; shuts every worker down and unlinks every
+        shared-memory segment before returning.
+        """
+        with self._lock:
+            backend = self._process_backend
+            self._process_backend = None
+        if backend is not None:
+            backend.detach()
+
     def _fan_out(self, fn):
         """Apply ``fn`` to every shard, concurrently when ``s > 1``."""
         return self._fan_out_over(self.shards, fn)
@@ -806,10 +847,18 @@ class ClusterBroker:
         Small scatters (routing typically touches one or two shards)
         run inline: per-shard work is GIL-bound and far cheaper than a
         thread handoff, so the pool only pays off for wide broadcasts.
+        With the process backend attached the calculus flips -- a
+        shard's work is a pipe round-trip whose ``recv`` releases the
+        GIL, so even two-shard scatters overlap on separate cores and
+        every multi-item scatter goes through the pool.
         """
         if not items:
             return []
-        if len(items) <= _INLINE_SCATTER_MAX:
+        with self._lock:
+            inline_max = (
+                1 if self._process_backend is not None else _INLINE_SCATTER_MAX
+            )
+        if len(items) <= inline_max:
             return [fn(item) for item in items]
         with self._lock:
             if self._executor is None:

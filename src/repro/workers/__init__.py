@@ -1,0 +1,51 @@
+"""Multi-process shard worker runtime over a shared-memory sample store.
+
+The GIL caps every thread-based layer in this repo at one core.  This
+package escapes it for the one hot, *pure* computation in the serving
+path -- RankCounting estimation -- while leaving everything that touches
+RNG state, the ledger, the accountant, or the trade journal in the
+coordinator process, so accounting is bit-identical to the threaded path.
+
+The pieces:
+
+* :mod:`repro.workers.store` -- an immutable, versioned sample store laid
+  out in ``multiprocessing.shared_memory`` segments, published by a single
+  writer with a seqlock-style atomic version-bump commit protocol.
+* :mod:`repro.workers.worker` -- the spawn-safe worker process main loop.
+  Workers are read-only consumers of the store and never construct or
+  consume RNG state (enforced by RL002's strict mode over this package).
+* :mod:`repro.workers.pool` -- :class:`WorkerPool`, the coordinator-side
+  process manager: spawn, request/response over pipes, crash detection,
+  respawn + re-attach at the current ``store_version``.
+* :mod:`repro.workers.backend` -- glue that slots the pool behind the
+  existing duck-typed broker surfaces (``ClusterBroker.use_processes()``,
+  ``StreamingBroker.use_processes()``).
+
+See ``docs/WORKERS.md`` for the commit-protocol diagram and guidance on
+choosing threads vs processes.
+"""
+
+from repro.workers.backend import (
+    ClusterProcessBackend,
+    RemoteShardEstimator,
+    StreamingProcessBackend,
+)
+from repro.workers.pool import WorkerCrashError, WorkerPool
+from repro.workers.store import (
+    ControlBlock,
+    StorePublisher,
+    StoreReader,
+    TornStoreError,
+)
+
+__all__ = [
+    "ClusterProcessBackend",
+    "ControlBlock",
+    "RemoteShardEstimator",
+    "StorePublisher",
+    "StoreReader",
+    "StreamingProcessBackend",
+    "TornStoreError",
+    "WorkerCrashError",
+    "WorkerPool",
+]

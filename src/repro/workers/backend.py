@@ -1,0 +1,367 @@
+"""Process-execution backends behind the duck-typed broker surfaces.
+
+Two backends, one per broker shape:
+
+* :class:`ClusterProcessBackend` -- one worker process per shard.  Each
+  shard's primary station gets a :class:`StorePublisher` hooked to its
+  commit listeners (publish happens inside the same commit that bumps
+  ``store_version``, so the store a worker sees is never behind the
+  samples the coordinator planned against), and the shard's primary
+  estimator is wrapped in a :class:`RemoteShardEstimator` that forwards
+  batch estimation to the worker.
+* :class:`StreamingProcessBackend` -- one worker for the merged window.
+  Every committed roll republishes the whole window (one group per
+  epoch), and a pooled window estimate is a single worker round-trip.
+
+Both backends only ever offload the *pure* RankCounting computation;
+planning, Laplace draws, journaling, and accounting stay in the
+coordinator, so switching backends never changes an answer or a book
+entry (asserted by ``tests/workers/test_backend_identity.py``).  Every
+fallback path -- crashed worker, stale store, foreign estimator input --
+recomputes locally with the exact same estimator, trading throughput for
+the same bits.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Hashable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.estimators.base import EstimateResult, NodeSample
+from repro.estimators.rank import RankCountingEstimator
+from repro.workers.pool import WorkerCrashError, WorkerPool
+from repro.workers.store import StorePublisher
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.serving.telemetry import MetricsRegistry
+
+__all__ = [
+    "ClusterProcessBackend",
+    "RemoteShardEstimator",
+    "StreamingProcessBackend",
+]
+
+
+def _require_rank_counting(estimator: object) -> None:
+    """Workers always run RankCounting; refuse to shadow a custom estimator."""
+    if not isinstance(estimator, RankCountingEstimator):
+        raise ValueError(
+            "the process backend offloads RankCounting estimation; broker "
+            f"estimator {getattr(estimator, 'name', estimator)!r} is not "
+            "RankCountingEstimator"
+        )
+
+
+class _BackendCounters:
+    """Thread-safe offload/fallback tallies (tests assert offload happened)."""
+
+    def __init__(self, telemetry: "Optional[MetricsRegistry]" = None) -> None:
+        self._lock = threading.Lock()
+        self._telemetry = telemetry
+        self.offloads = 0
+        self.fallbacks = 0
+
+    def offload(self) -> None:
+        with self._lock:
+            self.offloads += 1
+        if self._telemetry is not None:
+            self._telemetry.inc("workers.offloads")
+
+    def fallback(self) -> None:
+        with self._lock:
+            self.fallbacks += 1
+        if self._telemetry is not None:
+            self._telemetry.inc("workers.fallbacks")
+
+
+class RemoteShardEstimator:
+    """Estimator proxy: batch estimation in a worker, everything else local.
+
+    Conforms to the :class:`~repro.estimators.base.RangeCountingEstimator`
+    protocol so it can sit in ``DataBroker.estimator`` unchanged.  The
+    scalar :meth:`estimate` path (quotes, planners, diagnostics) stays
+    local -- it is cold and needs the full :class:`EstimateResult`; the
+    hot vectorized :meth:`estimate_many` path forwards ``(store_version,
+    ranges)`` to the shard's worker.
+
+    The proxy only offloads when the ``samples`` argument is the
+    station's *current* committed sample list (cheap element-identity
+    check against the station's cache) -- a concurrent top-up between the
+    broker's read and this call falls back to local computation, which is
+    bit-identical anyway.
+    """
+
+    def __init__(
+        self,
+        pool: WorkerPool,
+        key: Hashable,
+        publisher: StorePublisher,
+        inner: RankCountingEstimator,
+        station: Any,
+        counters: Optional[_BackendCounters] = None,
+    ) -> None:
+        _require_rank_counting(inner)
+        self._pool = pool
+        self._key = key
+        self._publisher = publisher
+        self._inner = inner
+        self._station = station
+        self._counters = counters or _BackendCounters()
+
+    @property
+    def name(self) -> str:
+        return self._inner.name
+
+    @property
+    def inner(self) -> RankCountingEstimator:
+        """The wrapped local estimator (restored by ``use_threads``)."""
+        return self._inner
+
+    def estimate(
+        self, samples: Sequence[NodeSample], low: float, high: float
+    ) -> EstimateResult:
+        return self._inner.estimate(samples, low, high)
+
+    def _committed_version(self, samples: Sequence[NodeSample]) -> Optional[int]:
+        """The store version ``samples`` was committed at, or None.
+
+        None means the argument is not the station's current sample list
+        (a top-up raced in, or the caller passed foreign samples) and the
+        request must be computed locally.
+        """
+        station = self._station
+        try:
+            version = int(station.store_version)
+            current = station.samples()
+        except Exception:  # repro-lint: shed -- any station hiccup means fall back to local compute
+            return None
+        if len(current) != len(samples):
+            return None
+        for mine, theirs in zip(samples, current):
+            if mine is not theirs:
+                return None
+        if int(station.store_version) != version:
+            return None
+        return version
+
+    def estimate_many(
+        self,
+        samples: Sequence[NodeSample],
+        ranges: Sequence[Tuple[float, float]],
+    ) -> np.ndarray:
+        version = self._committed_version(samples)
+        if version is not None and self._ensure_published(version):
+            payload = (
+                "estimate_many", version, 0,
+                [(float(low), float(high)) for low, high in ranges],
+            )
+            totals = self._round_trip(version, payload)
+            if totals is not None:
+                self._counters.offload()
+                return totals
+        self._counters.fallback()
+        return self._inner.estimate_many(samples, ranges)
+
+    def _ensure_published(self, version: int) -> bool:
+        if self._publisher.version == version:
+            return True
+        self._publisher.republish()
+        return self._publisher.version == version
+
+    def _round_trip(
+        self, version: int, payload: Tuple[Any, ...]
+    ) -> Optional[np.ndarray]:
+        for attempt in range(2):
+            try:
+                reply = self._pool.request(self._key, payload)
+            except (WorkerCrashError, KeyError):
+                return None
+            if reply[0] == "ok":
+                return np.asarray(reply[1], dtype=np.float64)
+            if reply[0] == "stale" and attempt == 0:
+                # Worker never saw this version (e.g. it was respawned
+                # after the publish); push the store again and retry once.
+                if not self._ensure_published(version):
+                    return None
+                continue
+            return None
+        return None  # pragma: no cover - loop always returns
+
+
+class ClusterProcessBackend:
+    """Per-shard worker processes behind :class:`ClusterBroker`.
+
+    ``attach`` wraps every shard's primary estimator and starts its
+    worker; ``detach`` restores the original estimators, shuts the
+    workers down, and unlinks every shared-memory segment.  Replica
+    (failover) brokers intentionally stay local: degraded gathers are
+    rare and their values are identical either way.
+    """
+
+    def __init__(self, telemetry: "Optional[MetricsRegistry]" = None) -> None:
+        self.pool = WorkerPool()
+        self.counters = _BackendCounters(telemetry)
+        self._attached: "List[Tuple[Any, Any, StorePublisher]]" = []
+        self._active = False
+
+    @property
+    def shard_keys(self) -> List[Hashable]:
+        return [shard.shard_id for shard, _inner, _pub in self._attached]
+
+    def worker_pids(self) -> Dict[Hashable, Optional[int]]:
+        return self.pool.worker_pids()
+
+    def attach(self, shards: Sequence[Any]) -> None:
+        if self._active:
+            return
+        self._active = True
+        for shard in shards:
+            primary = shard.primary
+            _require_rank_counting(primary.estimator)
+            station = primary.base_station
+            publisher = StorePublisher(
+                lambda station=station: (
+                    station.store_version, [station.samples()]
+                )
+            )
+            try:
+                publisher.republish()
+            except Exception:  # repro-lint: shed -- station not collected yet; commit listener publishes later
+                pass
+            station.subscribe_commits(
+                lambda version, publisher=publisher, station=station:
+                self._on_commit(publisher, station, version)
+            )
+            self.pool.ensure_worker(shard.shard_id, publisher.control_name)
+            inner = primary.estimator
+            primary.estimator = RemoteShardEstimator(
+                pool=self.pool,
+                key=shard.shard_id,
+                publisher=publisher,
+                inner=inner,
+                station=station,
+                counters=self.counters,
+            )
+            self._attached.append((shard, inner, publisher))
+
+    def _on_commit(
+        self, publisher: StorePublisher, station: Any, version: int
+    ) -> None:
+        if not self._active:
+            return
+        try:
+            publisher.publish(version, [station.samples()])
+        except Exception:  # repro-lint: shed -- a publish failure must never break the commit path; estimate-time republish or local fallback covers it
+            pass
+
+    def detach(self) -> None:
+        """Restore local estimators and release every process/segment."""
+        if not self._active:
+            return
+        self._active = False
+        for shard, inner, publisher in self._attached:
+            if isinstance(shard.primary.estimator, RemoteShardEstimator):
+                shard.primary.estimator = inner
+            publisher.close()
+        self._attached.clear()
+        self.pool.close()
+
+
+class StreamingProcessBackend:
+    """One window worker behind :class:`StreamingBroker`.
+
+    The whole merged window is one store: group ``g`` holds epoch ``g``'s
+    samples (oldest first), so a pooled estimate -- the per-epoch sum
+    :func:`~repro.streaming.window.pooled_estimate_many` computes -- is a
+    single ``pooled_many`` round-trip.
+    """
+
+    KEY = "stream"
+
+    def __init__(
+        self,
+        station: Any,
+        estimator: object,
+        telemetry: "Optional[MetricsRegistry]" = None,
+    ) -> None:
+        _require_rank_counting(estimator)
+        self.station = station
+        self.pool = WorkerPool()
+        self.counters = _BackendCounters(telemetry)
+        self._active = True
+        self.publisher = StorePublisher(self._supply)
+        station.subscribe_commits(self._on_commit)
+        self.publisher.republish()
+        self.pool.ensure_worker(self.KEY, self.publisher.control_name)
+
+    def _supply(self) -> Tuple[int, List[List[NodeSample]]]:
+        snapshot = self.station.snapshot()
+        return (
+            snapshot.store_version,
+            [list(summary.samples) for summary in snapshot.epochs],
+        )
+
+    def _on_commit(self, version: int) -> None:
+        if not self._active:
+            return
+        try:
+            self.publisher.republish()
+        except Exception:  # repro-lint: shed -- a publish failure must never break the commit path; estimate-time republish or local fallback covers it
+            pass
+
+    def worker_pids(self) -> Dict[Hashable, Optional[int]]:
+        return self.pool.worker_pids()
+
+    def pooled_estimate_many(
+        self,
+        snapshot: Any,
+        ranges: Sequence[Tuple[float, float]],
+    ) -> Optional[np.ndarray]:
+        """Window estimate via the worker, or None to signal local fallback."""
+        version = int(snapshot.store_version)
+        if not self._ensure_published(version):
+            self.counters.fallback()
+            return None
+        payload = (
+            "pooled_many", version,
+            [(float(low), float(high)) for low, high in ranges],
+        )
+        for attempt in range(2):
+            try:
+                reply = self.pool.request(self.KEY, payload)
+            except WorkerCrashError:
+                break
+            if reply[0] == "ok":
+                self.counters.offload()
+                return np.asarray(reply[1], dtype=np.float64)
+            if reply[0] == "stale" and attempt == 0:
+                if not self._ensure_published(version):
+                    break
+                continue
+            break
+        self.counters.fallback()
+        return None
+
+    def _ensure_published(self, version: int) -> bool:
+        if self.publisher.version == version:
+            return True
+        self.publisher.republish()
+        return self.publisher.version == version
+
+    def close(self) -> None:
+        if not self._active:
+            return
+        self._active = False
+        self.publisher.close()
+        self.pool.close()

@@ -1,0 +1,201 @@
+"""Coordinator-side worker process manager.
+
+:class:`WorkerPool` owns one spawned worker process per key (a shard id,
+or ``"stream"`` for the streaming window worker).  Each worker gets a
+duplex pipe and the name of the control segment it should follow;
+requests are serialised per worker under a lock, while distinct workers
+serve concurrently -- the pipe ``recv`` releases the GIL, which is what
+lets the broker's thread fan-out overlap multi-core computation.
+
+Crash handling: a send/recv that hits a broken pipe (the worker was
+SIGKILLed, OOM-killed, or died on its own) triggers exactly one respawn;
+the fresh worker re-attaches the same control segment at the *current*
+``store_version`` and the request is replayed.  A second failure raises
+:class:`WorkerCrashError` so the caller can fall back to bit-identical
+local computation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, List, Optional, Tuple
+
+from repro.workers.worker import worker_main
+
+__all__ = ["WorkerCrashError", "WorkerHandle", "WorkerPool"]
+
+_JOIN_TIMEOUT_S = 2.0
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker died and its one respawn-and-replay attempt also failed."""
+
+
+@dataclass
+class WorkerHandle:
+    """One live worker process plus its coordinator-side plumbing.
+
+    ``process`` is a spawn-context ``Process``; ``conn`` the coordinator
+    end of its duplex pipe; ``lock`` serialises round-trips per worker.
+    (Typed ``Any``: the multiprocessing stubs name these differently
+    across versions.)
+    """
+
+    key: Hashable
+    control_name: str
+    process: Any
+    conn: Any
+    lock: Any = field(default_factory=threading.Lock)
+    respawns: int = 0
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class WorkerPool:
+    """Spawn, talk to, respawn, and reap per-key worker processes."""
+
+    def __init__(self) -> None:
+        self._ctx = multiprocessing.get_context("spawn")
+        self._workers: Dict[Hashable, WorkerHandle] = {}
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def __len__(self) -> int:
+        return len(self._workers)
+
+    @property
+    def keys(self) -> List[Hashable]:
+        return list(self._workers)
+
+    def worker_pids(self) -> Dict[Hashable, Optional[int]]:
+        """Live worker pids by key (chaos injection targets these)."""
+        return {key: handle.pid for key, handle in self._workers.items()}
+
+    def respawn_count(self, key: Hashable) -> int:
+        handle = self._workers.get(key)
+        return 0 if handle is None else handle.respawns
+
+    def ensure_worker(self, key: Hashable, control_name: str) -> WorkerHandle:
+        """Spawn (once) the worker for ``key`` following ``control_name``."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            handle = self._workers.get(key)
+            if handle is not None:
+                return handle
+            handle = self._spawn(key, control_name)
+            self._workers[key] = handle
+            return handle
+
+    def _spawn(self, key: Hashable, control_name: str) -> WorkerHandle:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(child_conn, control_name),
+            name=f"repro-worker-{key}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return WorkerHandle(
+            key=key,
+            control_name=control_name,
+            process=process,
+            conn=parent_conn,
+        )
+
+    def request(self, key: Hashable, payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
+        """Round-trip one request to ``key``'s worker, respawning once on crash.
+
+        The respawned worker re-attaches the control segment, so it serves
+        the current ``store_version`` without any coordinator-side state
+        transfer -- the store itself is the recovery point.
+        """
+        handle = self._workers.get(key)
+        if handle is None:
+            raise KeyError(f"no worker for key {key!r}")
+        with handle.lock:
+            try:
+                return self._round_trip(handle, payload)
+            except (BrokenPipeError, ConnectionResetError, EOFError, OSError):
+                replacement = self._respawn_locked(handle)
+                try:
+                    return self._round_trip(replacement, payload)
+                except (BrokenPipeError, ConnectionResetError,
+                        EOFError, OSError) as exc:
+                    raise WorkerCrashError(
+                        f"worker {key!r} died twice on one request"
+                    ) from exc
+
+    @staticmethod
+    def _round_trip(
+        handle: WorkerHandle, payload: Tuple[Any, ...]
+    ) -> Tuple[Any, ...]:
+        handle.conn.send(payload)
+        return tuple(handle.conn.recv())
+
+    def _respawn_locked(self, handle: WorkerHandle) -> WorkerHandle:
+        """Replace a dead worker in place (caller holds ``handle.lock``)."""
+        try:
+            handle.conn.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+        if handle.process.is_alive():  # pragma: no cover - raced exit
+            handle.process.terminate()
+        handle.process.join(_JOIN_TIMEOUT_S)
+        fresh = self._spawn(handle.key, handle.control_name)
+        handle.process = fresh.process
+        handle.conn = fresh.conn
+        handle.respawns += 1
+        return handle
+
+    def ping(self, key: Hashable) -> int:
+        """Liveness probe; returns the worker's pid."""
+        reply = self.request(key, ("ping",))
+        if reply[0] != "pong":  # pragma: no cover - protocol violation
+            raise RuntimeError(f"unexpected ping reply: {reply!r}")
+        return int(reply[1])
+
+    def close(self) -> None:
+        """Shut every worker down cooperatively, then forcefully.  Idempotent."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            workers = list(self._workers.values())
+            self._workers.clear()
+        for handle in workers:
+            with handle.lock:
+                try:
+                    handle.conn.send(("shutdown",))
+                    handle.conn.recv()
+                except (BrokenPipeError, ConnectionResetError,
+                        EOFError, OSError):
+                    pass
+                try:
+                    handle.conn.close()
+                except OSError:  # pragma: no cover - defensive
+                    pass
+                handle.process.join(_JOIN_TIMEOUT_S)
+                if handle.process.is_alive():
+                    handle.process.terminate()
+                    handle.process.join(_JOIN_TIMEOUT_S)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:  # repro-lint: shed -- GC-time close; interpreter may be tearing down
+            pass

@@ -1,0 +1,467 @@
+"""Versioned shared-memory sample store with an atomic publish protocol.
+
+One writer (the coordinator's journal/roll path) serialises the current
+sorted node samples into an immutable data segment, then flips a small
+*control* segment to point at it.  Readers in worker processes follow the
+control segment; the seqlock-style generation counter guarantees a reader
+can never act on a torn pointer:
+
+* a **data segment** is written completely before it is ever named in the
+  control block, and is never mutated afterwards;
+* the control block's ``generation`` word is bumped to an odd value before
+  the (version, segment-name) pair is rewritten and to the next even value
+  after -- a reader that observes an odd generation, or a generation that
+  changed across its read, discards the read and keeps serving the segment
+  it already has attached (the *old* version, never a torn one).
+
+Layout of a data segment (all integers little-endian int64)::
+
+    header   int64[8]   magic, layout, store_version, group_count,
+                        node_count, value_count, 0, 0
+    groups   int64[group_count, 2]   (node_offset, node_count)
+    nodes    int64[node_count, 4]    (node_id, node_size,
+                                      value_offset, sample_len)
+    rates    float64[node_count]     per-node sampling rate p
+    values   float64[value_count]    sorted sample values, per node
+    ranks    int64[value_count]      matching local ranks
+
+A *group* is one independently-estimable sample set: the single station
+sample list for a cluster shard, or one epoch of a streaming window (so a
+pooled window estimate is a sum over groups, all inside one worker
+round-trip).
+
+The publisher keeps the last two data segments alive so a reader that is
+one version behind can finish its current request before re-attaching.
+Segments are unlinked on :meth:`StorePublisher.close`; if the coordinator
+is SIGKILLed first, the ``multiprocessing`` resource tracker (a separate
+process that survives the kill) reaps every registered segment -- see
+``tests/workers/test_store_lifecycle.py``.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.estimators.base import NodeSample
+
+__all__ = [
+    "ControlBlock",
+    "StorePublisher",
+    "StoreReader",
+    "TornStoreError",
+    "serialize_groups",
+]
+
+_MAGIC = 0x52505257524B5331  # "RPRWRKS1"
+_LAYOUT = 1
+_HEADER_WORDS = 8
+_CONTROL_MAGIC = 0x52505257524B4331  # "RPRWRKC1"
+_CONTROL_SIZE = 512
+_NAME_CAP = 256
+
+
+class TornStoreError(RuntimeError):
+    """A control-block read never stabilised (writer stuck mid-publish)."""
+
+
+def _require_contiguous_int64(label: str, value: int) -> int:
+    if not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{label} must be an integer, got {type(value)!r}")
+    return int(value)
+
+
+def serialize_groups(
+    store_version: int, groups: Sequence[Sequence[NodeSample]]
+) -> bytes:
+    """Serialise sample groups into the immutable data-segment layout."""
+    store_version = _require_contiguous_int64("store_version", store_version)
+    group_rows: List[Tuple[int, int]] = []
+    node_rows: List[Tuple[int, int, int, int]] = []
+    rates: List[float] = []
+    value_parts: List[np.ndarray] = []
+    rank_parts: List[np.ndarray] = []
+    node_cursor = 0
+    value_cursor = 0
+    for group in groups:
+        group_rows.append((node_cursor, len(group)))
+        for sample in group:
+            sample_len = len(sample.values)
+            node_rows.append(
+                (int(sample.node_id), int(sample.node_size),
+                 value_cursor, sample_len)
+            )
+            rates.append(float(sample.p))
+            value_parts.append(np.asarray(sample.values, dtype=np.float64))
+            rank_parts.append(np.asarray(sample.ranks, dtype=np.int64))
+            node_cursor += 1
+            value_cursor += sample_len
+
+    header = np.array(
+        [_MAGIC, _LAYOUT, store_version, len(group_rows),
+         node_cursor, value_cursor, 0, 0],
+        dtype=np.int64,
+    )
+    group_table = np.array(group_rows, dtype=np.int64).reshape(-1, 2)
+    node_table = np.array(node_rows, dtype=np.int64).reshape(-1, 4)
+    rate_arr = np.array(rates, dtype=np.float64)
+    values = (
+        np.concatenate(value_parts) if value_parts
+        else np.zeros(0, dtype=np.float64)
+    )
+    ranks = (
+        np.concatenate(rank_parts) if rank_parts
+        else np.zeros(0, dtype=np.int64)
+    )
+    return b"".join(
+        part.tobytes()
+        for part in (header, group_table, node_table, rate_arr, values, ranks)
+    )
+
+
+def _parse_segment(
+    buf: memoryview,
+) -> Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Parse a data segment into (version, groups, nodes, rates, values, ranks).
+
+    Returned arrays are zero-copy views into ``buf``; callers must drop
+    them before closing the backing shared-memory segment.
+    """
+    header = np.frombuffer(buf, dtype=np.int64, count=_HEADER_WORDS)
+    if int(header[0]) != _MAGIC or int(header[1]) != _LAYOUT:
+        raise ValueError("shared-memory segment is not a repro sample store")
+    store_version = int(header[2])
+    group_count = int(header[3])
+    node_count = int(header[4])
+    value_count = int(header[5])
+    offset = _HEADER_WORDS * 8
+    groups = np.frombuffer(
+        buf, dtype=np.int64, count=group_count * 2, offset=offset
+    ).reshape(group_count, 2)
+    offset += group_count * 2 * 8
+    nodes = np.frombuffer(
+        buf, dtype=np.int64, count=node_count * 4, offset=offset
+    ).reshape(node_count, 4)
+    offset += node_count * 4 * 8
+    rates = np.frombuffer(buf, dtype=np.float64, count=node_count, offset=offset)
+    offset += node_count * 8
+    values = np.frombuffer(buf, dtype=np.float64, count=value_count, offset=offset)
+    offset += value_count * 8
+    ranks = np.frombuffer(buf, dtype=np.int64, count=value_count, offset=offset)
+    return store_version, groups, nodes, rates, values, ranks
+
+
+@dataclass(frozen=True)
+class ControlBlock:
+    """One stable read of the control segment."""
+
+    generation: int
+    version: int
+    segment_name: str
+
+
+class _ControlCodec:
+    """Pack/unpack the fixed-size control block.
+
+    Words (little-endian int64): magic, generation, version, name_len,
+    followed by up to ``_NAME_CAP`` bytes of UTF-8 segment name.
+    """
+
+    _HEAD = struct.Struct("<qqqq")
+
+    @classmethod
+    def write(cls, buf: memoryview, generation: int, version: int,
+              name: str) -> None:
+        raw = name.encode("utf-8")
+        if len(raw) > _NAME_CAP:
+            raise ValueError(f"segment name too long: {name!r}")
+        buf[: cls._HEAD.size] = cls._HEAD.pack(
+            _CONTROL_MAGIC, generation, version, len(raw)
+        )
+        buf[cls._HEAD.size: cls._HEAD.size + len(raw)] = raw
+
+    @classmethod
+    def write_generation(cls, buf: memoryview, generation: int) -> None:
+        buf[8:16] = struct.pack("<q", generation)
+
+    @classmethod
+    def read(cls, buf: memoryview) -> ControlBlock:
+        magic, generation, version, name_len = cls._HEAD.unpack(
+            bytes(buf[: cls._HEAD.size])
+        )
+        if magic != _CONTROL_MAGIC:
+            raise ValueError("segment is not a repro worker control block")
+        raw = bytes(buf[cls._HEAD.size: cls._HEAD.size + name_len])
+        return ControlBlock(
+            generation=generation,
+            version=version,
+            segment_name=raw.decode("utf-8"),
+        )
+
+
+class StorePublisher:
+    """Single-writer publisher of versioned sample stores.
+
+    ``supplier`` returns the current ``(store_version, groups)`` pair; it
+    is invoked by :meth:`republish` (the safety net a remote estimator
+    pulls when a worker reports a version it cannot serve).  Ordinary
+    publishes go through :meth:`publish`, hooked to the station's commit
+    listeners so the published version always equals ``store_version``
+    before any estimate is requested.
+    """
+
+    def __init__(
+        self,
+        supplier: Callable[[], Tuple[int, Sequence[Sequence[NodeSample]]]],
+        *,
+        keep_segments: int = 2,
+    ) -> None:
+        if keep_segments < 1:
+            raise ValueError("must keep at least the live segment")
+        self._supplier = supplier
+        self._keep = keep_segments
+        self._generation = 0
+        self._version: Optional[int] = None
+        self._segments: "Dict[int, shared_memory.SharedMemory]" = {}
+        self._closed = False
+        self._control = shared_memory.SharedMemory(
+            create=True, size=_CONTROL_SIZE
+        )
+        _ControlCodec.write(self._control.buf, 0, -1, "")
+
+    @property
+    def control_name(self) -> str:
+        """Name of the control segment workers attach to."""
+        return self._control.name
+
+    @property
+    def version(self) -> Optional[int]:
+        """Version of the most recently published store (None before any)."""
+        return self._version
+
+    @property
+    def segment_names(self) -> List[str]:
+        """Names of the data segments currently alive (newest last)."""
+        return [self._segments[v].name for v in sorted(self._segments)]
+
+    def publish(
+        self, store_version: int, groups: Sequence[Sequence[NodeSample]]
+    ) -> None:
+        """Write a new immutable data segment and atomically point at it."""
+        if self._closed:
+            return
+        if self._version is not None and store_version <= self._version:
+            # Republish of the live version (or a stale listener firing
+            # late): the store is immutable per version, nothing to do.
+            return
+        payload = serialize_groups(store_version, groups)
+        segment = shared_memory.SharedMemory(
+            create=True, size=max(len(payload), 1)
+        )
+        segment.buf[: len(payload)] = payload
+        # Seqlock flip: odd generation marks the pointer as in-flux; the
+        # even bump commits it.  A reader observing the odd value (or a
+        # changed value across its read) keeps its current segment.
+        self._generation += 1
+        _ControlCodec.write_generation(self._control.buf, self._generation)
+        _ControlCodec.write(
+            self._control.buf, self._generation, store_version, segment.name
+        )
+        self._generation += 1
+        _ControlCodec.write_generation(self._control.buf, self._generation)
+        self._segments[store_version] = segment
+        self._version = store_version
+        self._reap_old()
+
+    def republish(self) -> Optional[int]:
+        """Publish whatever the supplier currently holds; return its version."""
+        if self._closed:
+            return None
+        store_version, groups = self._supplier()
+        self.publish(store_version, groups)
+        return self._version
+
+    def begin_torn_publish(self) -> None:
+        """Leave the control block mid-publish (odd generation).
+
+        Test hook for the torn-read protocol: simulates a writer that died
+        between the two generation bumps.  :meth:`abort_torn_publish`
+        restores the committed state.
+        """
+        self._generation += 1
+        _ControlCodec.write_generation(self._control.buf, self._generation)
+
+    def abort_torn_publish(self) -> None:
+        """Complete a :meth:`begin_torn_publish` without changing the pointer."""
+        self._generation += 1
+        _ControlCodec.write_generation(self._control.buf, self._generation)
+
+    def _reap_old(self) -> None:
+        versions = sorted(self._segments)
+        while len(versions) > self._keep:
+            stale = versions.pop(0)
+            segment = self._segments.pop(stale)
+            segment.close()
+            segment.unlink()
+
+    def close(self) -> None:
+        """Unlink every segment this publisher owns.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for segment in self._segments.values():
+            segment.close()
+            segment.unlink()
+        self._segments.clear()
+        self._control.close()
+        self._control.unlink()
+
+    def __enter__(self) -> "StorePublisher":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC-order dependent
+        try:
+            self.close()
+        except Exception:  # repro-lint: shed -- GC-time close; interpreter may be tearing down
+            pass
+
+
+class StoreReader:
+    """Worker-side reader: follow the control block, parse data segments.
+
+    Never mutates shared memory and never touches RNG state.  A reader
+    holds at most one data segment attached; :meth:`refresh` re-reads the
+    control block and swaps segments only on a *stable* (even, unchanged)
+    generation pair, so a mid-publish reader keeps serving the old
+    version.
+    """
+
+    def __init__(self, control_name: str, *, spins: int = 64) -> None:
+        self._control = shared_memory.SharedMemory(name=control_name)
+        self._spins = spins
+        self._retired: List[shared_memory.SharedMemory] = []
+        self._segment: Optional[shared_memory.SharedMemory] = None
+        self._segment_name: Optional[str] = None
+        self._version: Optional[int] = None
+        self._groups: Optional[np.ndarray] = None
+        self._nodes: Optional[np.ndarray] = None
+        self._rates: Optional[np.ndarray] = None
+        self._values: Optional[np.ndarray] = None
+        self._ranks: Optional[np.ndarray] = None
+
+    @property
+    def version(self) -> Optional[int]:
+        """Version of the currently attached store (None before first attach)."""
+        return self._version
+
+    @property
+    def group_count(self) -> int:
+        return 0 if self._groups is None else int(len(self._groups))
+
+    def read_control(self) -> Optional[ControlBlock]:
+        """One stable read of the control block, or None if it never settles."""
+        for _ in range(self._spins):
+            before = _ControlCodec.read(self._control.buf)
+            if before.generation % 2 != 0:
+                continue
+            after = _ControlCodec.read(self._control.buf)
+            if after.generation == before.generation:
+                return before
+        return None
+
+    def refresh(self) -> Optional[int]:
+        """Re-read the control block; attach the current segment if it moved.
+
+        Returns the attached version (which is the *old* version when the
+        writer is mid-publish -- the torn-read guarantee).
+        """
+        block = self.read_control()
+        if block is None or block.version < 0:
+            return self._version
+        if block.version == self._version:
+            return self._version
+        try:
+            segment = shared_memory.SharedMemory(name=block.segment_name)
+        except FileNotFoundError:
+            # The writer advanced again and reaped this segment between our
+            # control read and the attach; the next refresh will land.
+            return self._version
+        self._detach_segment()
+        self._segment = segment
+        self._segment_name = block.segment_name
+        (self._version, self._groups, self._nodes, self._rates,
+         self._values, self._ranks) = _parse_segment(segment.buf)
+        return self._version
+
+    def group_samples(self, group_index: int) -> List[NodeSample]:
+        """Reconstruct one group's samples as zero-copy NodeSample views."""
+        if (
+            self._groups is None or self._nodes is None
+            or self._rates is None or self._values is None
+            or self._ranks is None
+        ):
+            raise RuntimeError("no store attached; call refresh() first")
+        node_offset, node_count = (
+            int(self._groups[group_index, 0]),
+            int(self._groups[group_index, 1]),
+        )
+        samples: List[NodeSample] = []
+        for row in range(node_offset, node_offset + node_count):
+            node_id, node_size, value_offset, sample_len = (
+                int(self._nodes[row, 0]), int(self._nodes[row, 1]),
+                int(self._nodes[row, 2]), int(self._nodes[row, 3]),
+            )
+            samples.append(
+                NodeSample(
+                    node_id=node_id,
+                    values=self._values[value_offset: value_offset + sample_len],
+                    ranks=self._ranks[value_offset: value_offset + sample_len],
+                    node_size=node_size,
+                    p=float(self._rates[row]),
+                )
+            )
+        return samples
+
+    def _detach_segment(self) -> None:
+        # Numpy views pin the mmap: close() raises BufferError while any
+        # NodeSample view handed out by group_samples() is still alive.
+        # Such segments are parked on a retired list and re-tried on the
+        # next detach, so a long-lived caller converges to zero leaks.
+        self._groups = None
+        self._nodes = None
+        self._rates = None
+        self._values = None
+        self._ranks = None
+        if self._segment is not None:
+            self._retired.append(self._segment)
+            self._segment = None
+            self._segment_name = None
+        still_pinned: List[shared_memory.SharedMemory] = []
+        for segment in self._retired:
+            try:
+                segment.close()
+            except BufferError:
+                still_pinned.append(segment)
+        self._retired = still_pinned
+
+    def close(self) -> None:
+        """Detach from all segments (never unlinks -- readers don't own them)."""
+        self._detach_segment()
+        self._version = None
+        try:
+            self._control.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+
+    def __enter__(self) -> "StoreReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

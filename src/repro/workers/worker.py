@@ -1,0 +1,134 @@
+"""Spawn-safe worker process main loop.
+
+A worker is a read-only estimation server: it attaches the control block
+named at spawn time, follows published store versions, and answers
+RankCounting batch estimates over pipe-delivered ``(version, ranges)``
+requests.  Everything stochastic -- Laplace draws, sampling top-ups,
+device channels -- stays in the coordinator, so this module must never
+construct or consume a numpy RNG (RL002 enforces a strict no-RNG rule
+over ``repro.workers``; see ``tests/lint/test_rules.py``).
+
+The request protocol (tuples over a duplex pipe):
+
+* ``("ping",)`` -> ``("pong", pid)``
+* ``("estimate_many", version, group_index, ranges)`` ->
+  ``("ok", totals)`` or ``("stale", attached_version)``
+* ``("pooled_many", version, ranges)`` -> per-group estimates summed
+  (one round-trip for a whole streaming window) -> same replies
+* ``("shutdown",)`` -> worker exits 0
+
+A worker that cannot see the requested version after bounded refresh
+retries answers ``("stale", ...)`` -- the coordinator then republishes
+and retries, or falls back to bit-identical local computation.  The loop
+exits on EOF so workers never outlive a dead coordinator.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import List, Sequence, Tuple
+
+from repro.estimators.rank import RankCountingEstimator
+from repro.workers.store import StoreReader
+
+__all__ = ["worker_main"]
+
+#: Bounded wait for a version the coordinator says it has published.
+_REFRESH_ATTEMPTS = 200
+_REFRESH_SLEEP_S = 0.0005
+
+
+def _await_version(reader: StoreReader, version: int) -> bool:
+    """Refresh until the reader serves ``version``; False if it never shows."""
+    if reader.refresh() == version:
+        return True
+    for _ in range(_REFRESH_ATTEMPTS):
+        time.sleep(_REFRESH_SLEEP_S)
+        if reader.refresh() == version:
+            return True
+    return False
+
+
+def _estimate_groups(
+    reader: StoreReader,
+    group_indices: Sequence[int],
+    ranges: Sequence[Tuple[float, float]],
+    skip_empty: bool,
+) -> List[float]:
+    """Sum RankCounting batch estimates over the requested groups.
+
+    Runs the exact same pure computation as the coordinator's
+    :meth:`RankCountingEstimator.estimate_many` (and, for the pooled
+    path, :func:`~repro.streaming.window.pooled_estimate_many`, which
+    skips sample-less epochs), so results are bit-identical to the
+    threaded path -- including the accumulation order.
+    """
+    estimator = RankCountingEstimator()
+    totals = [0.0] * len(ranges)
+    for group_index in group_indices:
+        samples = reader.group_samples(group_index)
+        if skip_empty and not samples:
+            continue
+        estimates = estimator.estimate_many(samples, ranges)
+        for i in range(len(ranges)):
+            totals[i] += float(estimates[i])
+    return totals
+
+
+def worker_main(conn: object, control_name: str) -> None:
+    """Entry point for a spawned worker process.
+
+    ``conn`` is the worker end of a duplex pipe; ``control_name`` names
+    the publisher's control segment.  Must stay importable at module
+    level -- spawn pickles the target by reference.
+    """
+    reader = StoreReader(control_name)
+    try:
+        while True:
+            try:
+                request = conn.recv()  # type: ignore[attr-defined]
+            except (EOFError, OSError):
+                break  # coordinator is gone; exit instead of lingering
+            op = request[0]
+            if op == "shutdown":
+                conn.send(("bye",))  # type: ignore[attr-defined]
+                break
+            if op == "ping":
+                conn.send(("pong", os.getpid()))  # type: ignore[attr-defined]
+                continue
+            try:
+                if op == "estimate_many":
+                    _, version, group_index, ranges = request
+                    if not _await_version(reader, version):
+                        conn.send(  # type: ignore[attr-defined]
+                            ("stale", reader.version)
+                        )
+                        continue
+                    totals = _estimate_groups(
+                        reader, [group_index], ranges, skip_empty=False
+                    )
+                elif op == "pooled_many":
+                    _, version, ranges = request
+                    if not _await_version(reader, version):
+                        conn.send(  # type: ignore[attr-defined]
+                            ("stale", reader.version)
+                        )
+                        continue
+                    totals = _estimate_groups(
+                        reader, range(reader.group_count), ranges,
+                        skip_empty=True,
+                    )
+                else:
+                    conn.send(("error", f"unknown op {op!r}"))  # type: ignore[attr-defined]
+                    continue
+            except Exception as exc:  # repro-lint: shed -- reported to the coordinator as an ('error', repr) reply
+                conn.send(("error", repr(exc)))  # type: ignore[attr-defined]
+                continue
+            conn.send(("ok", totals))  # type: ignore[attr-defined]
+    finally:
+        reader.close()
+        try:
+            conn.close()  # type: ignore[attr-defined]
+        except OSError:  # pragma: no cover - defensive
+            pass

@@ -37,6 +37,9 @@ class TestClassifyMetric:
             "phase.duration_s",
             "failover.recovery_wall",
             "warmup.elapsed",
+            # Workers-phase metrics that vary by host, not by code.
+            "workers.speedup",
+            "workers.cores",
         ],
     )
     def test_timing_paths(self, path):

@@ -30,7 +30,8 @@ RANGES = (
 )
 
 
-def build_chaos_stack(shards: int = 1, seed: int = 11, journal_path=None):
+def build_chaos_stack(shards: int = 1, seed: int = 11, journal_path=None,
+                      execution: str = "threads"):
     """A fresh seeded service + journal + determinism-contract gateway.
 
     Twin stacks (same arguments) are bit-identical, which is what the
@@ -49,6 +50,7 @@ def build_chaos_stack(shards: int = 1, seed: int = 11, journal_path=None):
             queue_depth=2048,
             workers=1,
             enable_cache=False,
+            execution=execution,
         )
     )
     return service, journal, gateway

@@ -18,6 +18,7 @@ MYPY_SCOPE = [
     "src/repro/privacy",
     "src/repro/pricing",
     "src/repro/core/policy.py",
+    "src/repro/workers",
 ]
 
 pytest.importorskip("mypy", reason="mypy is not installed; CI's lint job runs this")

@@ -1,0 +1,31 @@
+"""Shared helpers for the repro.workers tests.
+
+Sample fixtures are built through the real ``NodeData.sample`` path so
+serialized stores carry exactly what crosses the device network.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+import pytest
+
+from repro.estimators.base import NodeData, NodeSample
+
+
+def make_samples(seed: int, nodes: int = 4, size: int = 120,
+                 p: float = 0.5) -> List[NodeSample]:
+    """A deterministic list of Bernoulli(p) node samples."""
+    rng = np.random.default_rng(seed)
+    samples = []
+    for node_id in range(1, nodes + 1):
+        data = NodeData(node_id=node_id,
+                        values=rng.uniform(0.0, 100.0, size))
+        samples.append(data.sample(p, rng))
+    return samples
+
+
+@pytest.fixture
+def samples() -> List[NodeSample]:
+    return make_samples(seed=5)

@@ -1,0 +1,212 @@
+"""Threads vs processes must be bit-identical: answers, books, seeds.
+
+The process backend only relocates pure RankCounting arithmetic; Laplace
+draws, journaling, ledger transactions, and accountant charges stay in
+the coordinator.  Same seed therefore means same bits -- these tests are
+the machine check of that claim for both broker shapes, including under
+a worker SIGKILL mid-run.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.broker import ClusterBroker
+from repro.core.query import AccuracySpec, RangeQuery
+from repro.streaming.runtime import StreamingConfig, build_streaming_cluster
+
+SEED = 11
+QUERIES = [
+    (12.0, 55.0), (0.0, 90.0), (33.0, 34.0), (60.0, 88.0),
+    (5.0, 95.0), (40.0, 70.0),
+]
+TIERS = [AccuracySpec(0.1, 0.5), AccuracySpec(0.15, 0.6)]
+
+
+def _values() -> np.ndarray:
+    return np.random.default_rng(3).uniform(0.0, 100.0, 5000)
+
+
+def _cluster_answers(broker, rounds: int = 2):
+    queries = [RangeQuery(low=low, high=high) for low, high in QUERIES]
+    specs = [TIERS[i % len(TIERS)] for i in range(len(QUERIES))]
+    target = max(broker.planner.required_rate(spec) for spec in set(specs))
+    broker.ensure_rate(target)
+    answers = []
+    for _ in range(rounds):
+        answers.extend(broker.answer_batch(queries, specs, consumer="t"))
+    return answers
+
+
+def _assert_same_answers(threads, processes):
+    assert len(threads) == len(processes)
+    for a, b in zip(threads, processes):
+        assert a.value == b.value
+        assert a.price == b.price
+        assert a.plan.epsilon_prime == b.plan.epsilon_prime
+
+
+class TestClusterIdentity:
+    def test_same_seed_same_bits_and_offload_engaged(self):
+        values = _values()
+        control = ClusterBroker.from_values(
+            values, k=16, shards=2, seed=SEED
+        )
+        subject = ClusterBroker.from_values(
+            values, k=16, shards=2, seed=SEED
+        )
+        assert subject.execution == "threads"
+        subject.use_processes()
+        try:
+            assert subject.execution == "processes"
+            expected = _cluster_answers(control)
+            got = _cluster_answers(subject)
+            _assert_same_answers(expected, got)
+            # Zero accounting drift between backends.
+            assert subject.accountant.spent(subject.dataset) == \
+                control.accountant.spent(control.dataset)
+            assert subject.ledger.total_revenue() == \
+                control.ledger.total_revenue()
+            # And the fast path actually ran in workers.
+            backend = subject._process_backend
+            assert backend.counters.offloads > 0
+        finally:
+            subject.use_threads()
+        assert subject.execution == "threads"
+        assert subject._process_backend is None
+
+    def test_use_processes_is_idempotent_and_reversible(self):
+        broker = ClusterBroker.from_values(_values(), k=8, shards=2, seed=7)
+        original = [shard.primary.estimator for shard in broker.shards]
+        broker.use_processes()
+        backend = broker._process_backend
+        broker.use_processes()  # no-op
+        assert broker._process_backend is backend
+        broker.use_threads()
+        broker.use_threads()  # no-op
+        restored = [shard.primary.estimator for shard in broker.shards]
+        assert restored == original
+
+    def test_worker_sigkill_mid_run_keeps_bits_identical(self):
+        values = _values()
+        control = ClusterBroker.from_values(values, k=16, shards=2, seed=SEED)
+        subject = ClusterBroker.from_values(values, k=16, shards=2, seed=SEED)
+        subject.use_processes()
+        try:
+            queries = [RangeQuery(low=low, high=high) for low, high in QUERIES]
+            specs = [TIERS[i % len(TIERS)] for i in range(len(QUERIES))]
+            for broker in (control, subject):
+                target = max(
+                    broker.planner.required_rate(spec) for spec in set(specs)
+                )
+                broker.ensure_rate(target)
+            expected = control.answer_batch(queries, specs, consumer="t")
+            expected += control.answer_batch(queries, specs, consumer="t")
+            got = subject.answer_batch(queries, specs, consumer="t")
+            backend = subject._process_backend
+            pids = backend.worker_pids()
+            victim = pids[sorted(pids)[0]]
+            os.kill(victim, signal.SIGKILL)
+            time.sleep(0.05)
+            # Crash absorbed: respawn-and-replay (or local fallback),
+            # same bits either way.
+            got += subject.answer_batch(queries, specs, consumer="t")
+            _assert_same_answers(expected, got)
+            assert subject.accountant.spent(subject.dataset) == \
+                control.accountant.spent(control.dataset)
+        finally:
+            subject.use_threads()
+
+
+def _streamed(execution: str):
+    cluster = build_streaming_cluster(StreamingConfig(
+        shards=2, devices_per_shard=4, window_epochs=3, seed=SEED,
+    ))
+    if execution == "processes":
+        cluster.broker.use_processes()
+    rng = np.random.default_rng(21)
+    answers = []
+    try:
+        for epoch in range(4):
+            values = rng.uniform(0.0, 100.0, 400)
+            timestamps = np.full(400, epoch + 0.5)
+            cluster.ingest(values, timestamps)
+            cluster.roll()
+            queries = [RangeQuery(low=low, high=high)
+                       for low, high in QUERIES[:3]]
+            specs = [AccuracySpec(0.15, 0.5)] * 3
+            answers.extend(
+                cluster.broker.answer_batch(queries, specs, consumer="s")
+            )
+        spent = cluster.broker.epoch_accountant.live_total(
+            cluster.config.dataset
+        )
+        offloads = None
+        if execution == "processes":
+            offloads = cluster.broker._process_backend.counters.offloads
+        return answers, spent, offloads
+    finally:
+        cluster.broker.use_threads()
+
+
+class TestStreamingIdentity:
+    def test_windowed_runs_are_bit_identical_across_backends(self):
+        threads, spent_t, _ = _streamed("threads")
+        processes, spent_p, offloads = _streamed("processes")
+        _assert_same_answers(threads, processes)
+        assert spent_t == spent_p
+        assert offloads > 0
+
+
+class TestGatewayPlumbing:
+    def test_config_rejects_unknown_execution(self):
+        from repro.serving import ServingConfig
+
+        with pytest.raises(ValueError, match="execution"):
+            ServingConfig(execution="fibers")
+
+    def test_gateway_owns_backend_lifecycle(self):
+        from repro.serving import ServingConfig, ServingGateway
+
+        broker = ClusterBroker.from_values(_values(), k=8, shards=2, seed=7)
+        gateway = ServingGateway(
+            broker, config=ServingConfig(execution="processes")
+        )
+        assert broker.execution == "processes"
+        with gateway:
+            future = gateway.submit_range(10.0, 60.0, 0.1, 0.5, consumer="c")
+            assert future.result(timeout=30.0).value >= 0.0
+        # stop() detaches the backend the gateway attached.
+        assert broker.execution == "threads"
+
+    def test_gateway_leaves_pre_attached_backend_alone(self):
+        from repro.serving import ServingConfig, ServingGateway
+
+        broker = ClusterBroker.from_values(_values(), k=8, shards=2, seed=7)
+        broker.use_processes()
+        try:
+            gateway = ServingGateway(
+                broker, config=ServingConfig(execution="processes")
+            )
+            with gateway:
+                pass
+            # The broker attached its own backend; the gateway must not
+            # tear down what it does not own.
+            assert broker.execution == "processes"
+        finally:
+            broker.use_threads()
+
+    def test_threadless_broker_rejects_process_execution(self):
+        from repro.core.service import PrivateRangeCountingService
+        from repro.serving import ServingConfig
+
+        service = PrivateRangeCountingService.from_values(
+            _values(), k=8, seed=7
+        )
+        with pytest.raises(ValueError, match="process execution backend"):
+            service.serve(ServingConfig(execution="processes"))

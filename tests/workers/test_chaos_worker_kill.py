@@ -1,0 +1,85 @@
+"""Chaos fault ``kill_worker_process``: SIGKILL a shard worker mid-run.
+
+The worker crash is non-cooperative (no cleanup handler runs) and must
+be absorbed transparently: respawn-and-replay or bit-identical local
+fallback, so every chaos invariant still holds and the run stays
+deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import ChaosConfig, ChaosHarness, FaultSchedule
+from repro.chaos.schedule import FaultEvent
+from repro.serving import Workload
+from tests.chaos.conftest import RANGES, TIERS, build_chaos_stack
+
+TRADES = 40
+SEED = 29
+
+
+@pytest.fixture
+def workload() -> Workload:
+    return Workload(ranges=RANGES, tiers=TIERS)
+
+
+class TestWorkerKillFault:
+    def test_invariants_hold_under_worker_sigkill(self, workload):
+        service, journal, gateway = build_chaos_stack(
+            shards=2, execution="processes"
+        )
+        schedule = FaultSchedule.generate(
+            seed=SEED, trades=TRADES, shards=2, worker_process_kills=2,
+        )
+        assert sum(
+            1 for e in schedule.events if e.kind == "kill_worker_process"
+        ) == 2
+        harness = ChaosHarness(
+            gateway, journal, schedule, workload,
+            config=ChaosConfig(trades=TRADES, drain_every=8, timeout=30.0),
+        )
+        report = harness.run()
+        assert report.all_passed, report.failures
+        assert report.worker_process_kills == 2
+        assert report.invariant_no_underaccounting
+        assert report.invariant_zero_drift
+        assert report.invariant_all_resolved
+        assert report.epsilon_drift == pytest.approx(0.0, abs=1e-9)
+        assert report.to_payload()["worker_process_kills"] == 2
+
+    def test_default_schedule_has_no_worker_kills(self):
+        """Backward compatibility: same seed, same schedule as before the
+        fault existed -- the new draw happens last and defaults to zero."""
+        plain = FaultSchedule.generate(seed=SEED, trades=TRADES, shards=2)
+        assert all(
+            e.kind != "kill_worker_process" for e in plain.events
+        )
+        extended = FaultSchedule.generate(
+            seed=SEED, trades=TRADES, shards=2, worker_process_kills=1,
+        )
+        # The pre-existing events are untouched: worker kills are drawn
+        # last from the schedule RNG, so everything else keeps its exact
+        # step and target.
+        carried = tuple(
+            e for e in extended.events if e.kind != "kill_worker_process"
+        )
+        assert carried == plain.events
+        assert extended.checksum() != plain.checksum()
+
+    def test_threads_mode_rejects_the_fault(self, workload):
+        service, journal, gateway = build_chaos_stack(
+            shards=2, execution="threads"
+        )
+        schedule = FaultSchedule(
+            seed=SEED,
+            trades=TRADES,
+            events=[FaultEvent(step=1, kind="kill_worker_process", target=0)],
+        )
+        harness = ChaosHarness(
+            gateway, journal, schedule, workload,
+            config=ChaosConfig(trades=TRADES, drain_every=8, timeout=30.0),
+        )
+        with pytest.raises(ValueError, match="process execution backend"):
+            harness.run()
+        gateway.stop()

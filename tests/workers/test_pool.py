@@ -1,0 +1,152 @@
+"""Worker process pool: protocol round-trips, crash respawn, shutdown.
+
+These tests spawn real worker processes (spawn context), so they keep
+worker counts at one or two and reuse pools within a test.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.estimators.rank import RankCountingEstimator
+from repro.workers import StorePublisher, WorkerPool
+from tests.workers.conftest import make_samples
+
+RANGES = [(10.0, 40.0), (0.0, 100.0), (55.0, 56.0)]
+
+
+def _wait_dead(handle, timeout: float = 5.0) -> None:
+    """Wait until a worker's process object reports dead (reaps zombies)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if not handle.alive():
+            return
+        time.sleep(0.01)
+    raise TimeoutError(f"worker {handle.key!r} still alive")
+
+
+@pytest.fixture
+def stack(samples):
+    publisher = StorePublisher(lambda: (1, [samples]))
+    publisher.publish(1, [samples])
+    pool = WorkerPool()
+    pool.ensure_worker("s0", publisher.control_name)
+    yield publisher, pool
+    pool.close()
+    publisher.close()
+
+
+class TestProtocol:
+    def test_ping_reports_a_live_child_pid(self, stack):
+        publisher, pool = stack
+        pid = pool.ping("s0")
+        assert pid != os.getpid()
+        assert pool.worker_pids() == {"s0": pid}
+
+    def test_estimate_many_matches_local_bits(self, stack, samples):
+        publisher, pool = stack
+        reply = pool.request("s0", ("estimate_many", 1, 0, RANGES))
+        assert reply[0] == "ok"
+        local = RankCountingEstimator().estimate_many(samples, RANGES)
+        np.testing.assert_array_equal(
+            np.asarray(reply[1]), np.asarray(local)
+        )
+
+    def test_pooled_many_sums_groups_and_skips_empty(self):
+        g0 = make_samples(seed=1, nodes=2)
+        g1 = make_samples(seed=2, nodes=3)
+        groups = [g0, [], g1]
+        publisher = StorePublisher(lambda: (4, groups))
+        publisher.publish(4, groups)
+        pool = WorkerPool()
+        try:
+            pool.ensure_worker("w", publisher.control_name)
+            reply = pool.request("w", ("pooled_many", 4, RANGES))
+            assert reply[0] == "ok"
+            estimator = RankCountingEstimator()
+            expected = [0.0] * len(RANGES)
+            for group in (g0, g1):
+                part = estimator.estimate_many(group, RANGES)
+                for i in range(len(RANGES)):
+                    expected[i] += float(part[i])
+            assert list(reply[1]) == expected
+        finally:
+            pool.close()
+            publisher.close()
+
+    def test_unknown_version_answers_stale(self, stack):
+        publisher, pool = stack
+        reply = pool.request("s0", ("estimate_many", 99, 0, RANGES))
+        assert reply == ("stale", 1)
+
+    def test_version_bump_is_visible_across_processes(self, stack, samples):
+        publisher, pool = stack
+        fresh = make_samples(seed=77, nodes=2)
+        publisher.publish(2, [fresh])
+        reply = pool.request("s0", ("estimate_many", 2, 0, RANGES))
+        assert reply[0] == "ok"
+        local = RankCountingEstimator().estimate_many(fresh, RANGES)
+        np.testing.assert_array_equal(np.asarray(reply[1]), np.asarray(local))
+
+    def test_unknown_op_reports_error(self, stack):
+        publisher, pool = stack
+        reply = pool.request("s0", ("frobnicate",))
+        assert reply[0] == "error"
+
+
+class TestCrashRecovery:
+    def test_sigkill_respawns_and_replays(self, stack, samples):
+        publisher, pool = stack
+        handle = pool.ensure_worker("s0", publisher.control_name)
+        first_pid = pool.ping("s0")
+        os.kill(first_pid, signal.SIGKILL)
+        _wait_dead(handle)
+        # The next request rides the respawn transparently: the fresh
+        # worker re-attaches the control segment at the current version.
+        reply = pool.request("s0", ("estimate_many", 1, 0, RANGES))
+        assert reply[0] == "ok"
+        local = RankCountingEstimator().estimate_many(samples, RANGES)
+        np.testing.assert_array_equal(np.asarray(reply[1]), np.asarray(local))
+        assert pool.respawn_count("s0") == 1
+        assert pool.ping("s0") != first_pid
+
+    def test_request_for_unknown_key_raises(self, stack):
+        publisher, pool = stack
+        with pytest.raises(KeyError):
+            pool.request("nope", ("ping",))
+
+
+class TestShutdown:
+    def test_close_is_cooperative_and_idempotent(self, samples):
+        publisher = StorePublisher(lambda: (1, [samples]))
+        publisher.publish(1, [samples])
+        pool = WorkerPool()
+        try:
+            handle = pool.ensure_worker("w", publisher.control_name)
+            pool.ping("w")
+            pool.close()
+            _wait_dead(handle)
+            pool.close()
+            with pytest.raises(RuntimeError, match="closed"):
+                pool.ensure_worker("w2", publisher.control_name)
+        finally:
+            publisher.close()
+
+    def test_worker_exits_on_coordinator_eof(self, samples):
+        """A worker never outlives its pipe: EOF means exit, not linger."""
+        publisher = StorePublisher(lambda: (1, [samples]))
+        publisher.publish(1, [samples])
+        pool = WorkerPool()
+        try:
+            handle = pool.ensure_worker("w", publisher.control_name)
+            pool.ping("w")
+            handle.conn.close()
+            _wait_dead(handle)
+        finally:
+            pool.close()
+            publisher.close()

@@ -1,0 +1,173 @@
+"""Shared-memory store: serialization, publish protocol, torn reads.
+
+All in-process: one publisher and one reader in the same interpreter
+exercise the exact protocol worker processes follow (the cross-process
+versions live in ``test_store_lifecycle.py`` and ``test_pool.py``).
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.workers import StorePublisher, StoreReader
+from repro.workers.store import serialize_groups
+from tests.workers.conftest import make_samples
+
+
+def _static_supplier(version, groups):
+    return lambda: (version, groups)
+
+
+def assert_samples_equal(got, expected):
+    assert len(got) == len(expected)
+    for mine, theirs in zip(got, expected):
+        assert mine.node_id == theirs.node_id
+        assert mine.node_size == theirs.node_size
+        assert mine.p == theirs.p
+        np.testing.assert_array_equal(mine.values, theirs.values)
+        np.testing.assert_array_equal(mine.ranks, theirs.ranks)
+
+
+class TestSerialization:
+    def test_round_trip_through_shared_memory(self, samples):
+        with StorePublisher(_static_supplier(3, [samples])) as publisher:
+            publisher.publish(3, [samples])
+            with StoreReader(publisher.control_name) as reader:
+                assert reader.refresh() == 3
+                assert reader.group_count == 1
+                assert_samples_equal(reader.group_samples(0), samples)
+
+    def test_multi_group_layout(self):
+        groups = [make_samples(seed=1, nodes=2), [],
+                  make_samples(seed=2, nodes=3)]
+        with StorePublisher(_static_supplier(1, groups)) as publisher:
+            publisher.publish(1, groups)
+            with StoreReader(publisher.control_name) as reader:
+                reader.refresh()
+                assert reader.group_count == 3
+                assert_samples_equal(reader.group_samples(0), groups[0])
+                assert reader.group_samples(1) == []
+                assert_samples_equal(reader.group_samples(2), groups[2])
+
+    def test_rejects_foreign_payload(self):
+        payload = serialize_groups(1, [])
+        corrupted = b"\x00" * len(payload)
+        segment = shared_memory.SharedMemory(create=True, size=len(corrupted))
+        try:
+            segment.buf[:] = corrupted
+            from repro.workers.store import _parse_segment
+
+            with pytest.raises(ValueError, match="not a repro sample store"):
+                _parse_segment(segment.buf)
+        finally:
+            segment.close()
+            segment.unlink()
+
+
+class TestPublishProtocol:
+    def test_version_bump_is_visible_to_reader(self, samples):
+        with StorePublisher(_static_supplier(1, [samples])) as publisher:
+            publisher.publish(1, [samples[:2]])
+            with StoreReader(publisher.control_name) as reader:
+                assert reader.refresh() == 1
+                publisher.publish(2, [samples])
+                assert reader.refresh() == 2
+                assert_samples_equal(reader.group_samples(0), samples)
+
+    def test_stale_version_publish_is_a_no_op(self, samples):
+        with StorePublisher(_static_supplier(2, [samples])) as publisher:
+            publisher.publish(2, [samples])
+            names = publisher.segment_names
+            publisher.publish(1, [samples[:1]])  # late listener firing
+            publisher.publish(2, [samples[:1]])  # republish of live version
+            assert publisher.version == 2
+            assert publisher.segment_names == names
+
+    def test_keeps_last_two_segments(self, samples):
+        with StorePublisher(_static_supplier(1, [samples])) as publisher:
+            for version in (1, 2, 3):
+                publisher.publish(version, [samples])
+            assert len(publisher.segment_names) == 2
+            # The reaped segment is actually unlinked.
+            with StoreReader(publisher.control_name) as reader:
+                assert reader.refresh() == 3
+
+    def test_mid_publish_reader_keeps_old_version(self, samples):
+        """The torn-store guarantee: odd generation => serve the old store."""
+        with StorePublisher(_static_supplier(1, [samples])) as publisher:
+            publisher.publish(1, [samples])
+            reader = StoreReader(publisher.control_name, spins=4)
+            try:
+                assert reader.refresh() == 1
+                publisher.begin_torn_publish()
+                # The control block never settles, so the reader keeps
+                # serving version 1 -- never a torn pointer.
+                assert reader.read_control() is None
+                assert reader.refresh() == 1
+                assert_samples_equal(reader.group_samples(0), samples)
+                publisher.abort_torn_publish()
+                assert reader.refresh() == 1
+                publisher.publish(2, [samples[:1]])
+                assert reader.refresh() == 2
+            finally:
+                reader.close()
+
+    def test_republish_pulls_from_supplier(self, samples):
+        state = {"version": 1}
+        publisher = StorePublisher(
+            lambda: (state["version"], [samples])
+        )
+        try:
+            assert publisher.republish() == 1
+            state["version"] = 5
+            assert publisher.republish() == 5
+        finally:
+            publisher.close()
+
+
+class TestLifecycle:
+    def test_close_unlinks_everything(self, samples):
+        publisher = StorePublisher(_static_supplier(1, [samples]))
+        publisher.publish(1, [samples])
+        control = publisher.control_name
+        segments = publisher.segment_names
+        publisher.close()
+        for name in [control, *segments]:
+            with pytest.raises(FileNotFoundError):
+                shared_memory.SharedMemory(name=name)
+        publisher.close()  # idempotent
+        publisher.publish(2, [samples])  # and publish-after-close is a no-op
+
+    def test_reader_close_never_unlinks(self, samples):
+        with StorePublisher(_static_supplier(1, [samples])) as publisher:
+            publisher.publish(1, [samples])
+            reader = StoreReader(publisher.control_name)
+            reader.refresh()
+            reader.close()
+            # A second reader can still attach: the publisher owns the
+            # segments, readers only borrow them.
+            with StoreReader(publisher.control_name) as again:
+                assert again.refresh() == 1
+
+    def test_detach_survives_pinned_views(self, samples):
+        """Zero-copy views pin the mmap; detach parks and retries."""
+        with StorePublisher(_static_supplier(1, [samples])) as publisher:
+            publisher.publish(1, [samples])
+            reader = StoreReader(publisher.control_name)
+            reader.refresh()
+            held = reader.group_samples(0)  # pins the segment buffer
+            publisher.publish(2, [samples[:1]])
+            assert reader.refresh() == 2  # re-attach works despite the pin
+            assert len(reader._retired) == 1
+            del held
+            reader.close()
+            assert reader._retired == []
+
+    def test_reader_requires_attach_before_samples(self, samples):
+        with StorePublisher(_static_supplier(1, [samples])) as publisher:
+            with StoreReader(publisher.control_name) as reader:
+                with pytest.raises(RuntimeError, match="no store attached"):
+                    reader.group_samples(0)

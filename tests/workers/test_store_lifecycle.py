@@ -1,0 +1,128 @@
+"""Shared-memory cleanup on ungraceful coordinator death.
+
+The hard guarantee: segments never outlive the run, even when the
+coordinator is SIGKILLed with no chance to run ``close()``.  Python's
+``multiprocessing.resource_tracker`` is a separate process that survives
+the kill, notices the dying coordinator's pipe, and unlinks every
+registered segment -- this test proves that end to end with a real
+subprocess coordinator.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from multiprocessing import shared_memory
+from pathlib import Path
+
+import pytest
+
+REPO_SRC = Path(__file__).resolve().parents[2] / "src"
+
+COORDINATOR_SCRIPT = """\
+import sys
+
+from repro.estimators.base import NodeData
+from repro.workers import StorePublisher
+
+import numpy as np
+
+
+def main():
+    rng = np.random.default_rng(3)
+    samples = [
+        NodeData(node_id=i, values=rng.uniform(0.0, 50.0, 40)).sample(0.5, rng)
+        for i in range(1, 4)
+    ]
+    publisher = StorePublisher(lambda: (1, [samples]))
+    publisher.publish(1, [samples])
+    publisher.publish(2, [samples])
+    names = [publisher.control_name, *publisher.segment_names]
+    print(" ".join(names), flush=True)
+    # Never close: wait to be SIGKILLed.
+    import time
+    while True:
+        time.sleep(0.5)
+
+
+if __name__ == "__main__":
+    main()
+"""
+
+
+def _segment_exists(name: str) -> bool:
+    try:
+        segment = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    segment.close()
+    return True
+
+
+def test_resource_tracker_reaps_segments_after_coordinator_sigkill(tmp_path):
+    script = tmp_path / "coordinator.py"
+    script.write_text(COORDINATOR_SCRIPT)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    proc = subprocess.Popen(
+        [sys.executable, str(script)],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    try:
+        line = proc.stdout.readline().strip()
+        names = line.split()
+        assert len(names) == 3  # control + two data segments
+        for name in names:
+            assert _segment_exists(name), f"{name} was never created"
+        os.kill(proc.pid, signal.SIGKILL)
+        proc.wait(timeout=10)
+        # The coordinator never ran close(); its resource tracker must
+        # reap every registered segment once the process is gone.
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            if not any(_segment_exists(name) for name in names):
+                return
+            time.sleep(0.05)
+        leaked = [name for name in names if _segment_exists(name)]
+        pytest.fail(f"segments leaked after coordinator SIGKILL: {leaked}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.stdout.close()
+
+
+def test_clean_interpreter_exit_leaves_nothing(tmp_path):
+    """A coordinator that exits normally (no explicit close) also leaks
+    nothing: ``__del__``/tracker cleanup covers the forgotten-close path."""
+    script = tmp_path / "forgetful.py"
+    script.write_text(COORDINATOR_SCRIPT.replace(
+        "    # Never close: wait to be SIGKILLed.\n"
+        "    import time\n"
+        "    while True:\n"
+        "        time.sleep(0.5)\n",
+        "    sys.exit(0)\n",
+    ))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_SRC)
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+        timeout=60,
+    )
+    assert result.returncode == 0
+    names = result.stdout.strip().split()
+    assert len(names) == 3
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        if not any(_segment_exists(name) for name in names):
+            return
+        time.sleep(0.05)
+    leaked = [name for name in names if _segment_exists(name)]
+    pytest.fail(f"segments leaked after clean exit: {leaked}")
