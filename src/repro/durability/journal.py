@@ -153,7 +153,7 @@ class TradeJournal:
     :meth:`load` resumes the ``answer_id`` sequence where it left off.
     """
 
-    def __init__(self, path: "Optional[Union[str, Path]]" = None):
+    def __init__(self, path: "Optional[Union[str, Path]]" = None) -> None:
         self._lock = threading.Lock()
         self._entries: "List[JournalEntry]" = []  # guarded-by: _lock
         self._next_id = 1  # guarded-by: _lock

@@ -24,7 +24,12 @@ from repro.lint.findings import Finding
 __all__ = ["Baseline", "BASELINE_FORMAT", "BASELINE_VERSION"]
 
 BASELINE_FORMAT = "repro.lint-baseline"
-BASELINE_VERSION = 1
+#: v2: interprocedural findings fingerprint their trace's *source
+#: endpoint* in addition to the sink line (summary-hash versioning) so
+#: call-graph refactors between the endpoints never spuriously
+#: invalidate a suppression.  v1 files load unchanged -- intra-function
+#: fingerprints are computed identically in both versions.
+BASELINE_VERSION = 2
 
 
 class Baseline:

@@ -10,6 +10,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 from typing import List, Optional, Sequence
 
@@ -19,6 +20,7 @@ from repro.lint.engine import LintEngine, LintResult
 __all__ = ["add_lint_arguments", "run_lint", "main"]
 
 DEFAULT_BASELINE = ".lint-baseline.json"
+DEFAULT_CACHE_DIR = ".lint-cache"
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
@@ -38,7 +40,7 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -67,6 +69,54 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="write the report to this file as well as stdout",
     )
+    parser.add_argument(
+        "--interprocedural",
+        action="store_true",
+        help="run the whole-program rules (RL001i, RL007-RL009) over the "
+        "project call graph in addition to the per-file rules",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="parse files with this many threads (default: min(8, files))",
+    )
+    parser.add_argument(
+        "--cache",
+        action="store_true",
+        help="cache parsed ASTs and findings keyed by content hash",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=DEFAULT_CACHE_DIR,
+        help=f"cache directory relative to --root (default: {DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--bench-json",
+        default=None,
+        help="record wall-clock timing of the run to this JSON file",
+    )
+
+
+def _split_rules(only: List[str]) -> Optional[tuple]:
+    """Split ``--rules`` ids into (intra, project) lists; None if any id
+    is unknown to both registries."""
+    import repro.lint.rules  # noqa: F401  -- populate the registry
+    from repro.lint.engine import default_registry
+    from repro.lint.flow import project_registry
+
+    intra_ids = set(default_registry.rule_ids())
+    project_ids = set(project_registry.rule_ids())
+    intra = [rid for rid in only if rid in intra_ids]
+    project = [rid for rid in only if rid in project_ids]
+    unknown = [rid for rid in only if rid not in intra_ids | project_ids]
+    if unknown:
+        print(
+            f"repro lint: unknown rule id(s): {', '.join(unknown)}",
+            file=sys.stderr,
+        )
+        return None
+    return intra, project
 
 
 def run_lint(args: argparse.Namespace) -> int:
@@ -86,8 +136,61 @@ def run_lint(args: argparse.Namespace) -> int:
     import repro.lint.rules  # noqa: F401  -- populate the registry
     from repro.lint.engine import default_registry
 
-    engine = LintEngine(rules=default_registry.create(only=only))
-    result = engine.lint_paths(paths, root)
+    intra_only = only
+    project_only: Optional[List[str]] = None
+    if only is not None:
+        split = _split_rules(only)
+        if split is None:
+            return 2
+        intra_only, project_only = split
+
+    engine = LintEngine(
+        rules=default_registry.create(only=intra_only),
+        interprocedural=bool(getattr(args, "interprocedural", False)),
+        project_rules=project_only,
+    )
+
+    cache = None
+    if getattr(args, "cache", False):
+        from repro.lint.cache import LintCache
+
+        cache_dir = Path(args.cache_dir)
+        if not cache_dir.is_absolute():
+            cache_dir = root / cache_dir
+        salt = "|".join(sorted(rule.rule_id for rule in engine.rules))
+        if engine.interprocedural:
+            salt += "|interprocedural"
+        cache = LintCache(cache_dir, salt=salt)
+
+    started = time.perf_counter()
+    result = engine.lint_paths(
+        paths, root, jobs=getattr(args, "jobs", None), cache=cache
+    )
+    elapsed = time.perf_counter() - started
+
+    if getattr(args, "bench_json", None):
+        bench_path = Path(args.bench_json)
+        if not bench_path.is_absolute():
+            bench_path = root / bench_path
+        bench_path.write_text(
+            json.dumps(
+                {
+                    "bench": "lint",
+                    "seconds": round(elapsed, 4),
+                    "files_scanned": result.files_scanned,
+                    "findings": len(result.findings),
+                    "interprocedural": engine.interprocedural,
+                    "cache": {
+                        "enabled": cache is not None,
+                        "hits": getattr(cache, "hits", 0),
+                        "misses": getattr(cache, "misses", 0),
+                    },
+                },
+                indent=2,
+            )
+            + "\n",
+            encoding="utf-8",
+        )
 
     baseline_path = Path(args.baseline)
     if not baseline_path.is_absolute():
@@ -118,6 +221,12 @@ def run_lint(args: argparse.Namespace) -> int:
 def _render(
     fmt: str, result: LintResult, new: List, baselined: List
 ) -> str:
+    if fmt == "sarif":
+        from repro.lint.sarif import render_sarif
+
+        return render_sarif(
+            result.findings, (finding.fingerprint for finding in new)
+        )
     if fmt == "json":
         payload = {
             "format": "repro.lint-report",

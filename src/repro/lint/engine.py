@@ -15,12 +15,26 @@ and a test fixture tree ``<tmp>/repro/core/broker.py`` both resolve to
 from __future__ import annotations
 
 import ast
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.lint.findings import Finding
 from repro.lint.suppressions import CommentMap
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (flow imports us)
+    from repro.lint.cache import LintCache
 
 __all__ = [
     "FileContext",
@@ -32,6 +46,13 @@ __all__ = [
 ]
 
 _SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".pytest_cache", "build", "dist"}
+
+# ast.parse is not thread-safe on CPython 3.11: the AST constructor's
+# recursion-depth accounting lives in per-interpreter module state, so
+# two concurrent parses intermittently die with "SystemError: AST
+# constructor recursion depth mismatch".  Reads, tokenization and rule
+# checks still run in parallel; only the parse itself is serialized.
+_AST_PARSE_LOCK = threading.Lock()
 
 
 @dataclass
@@ -47,7 +68,8 @@ class FileContext:
 
     @classmethod
     def from_source(cls, source: str, rel_path: str, module: str) -> "FileContext":
-        tree = ast.parse(source, filename=rel_path)
+        with _AST_PARSE_LOCK:
+            tree = ast.parse(source, filename=rel_path)
         return cls(
             rel_path=rel_path,
             module=module,
@@ -152,18 +174,47 @@ def module_name(rel_path: Path) -> str:
 
 
 class LintEngine:
-    """Runs a set of rules over files or whole source trees."""
+    """Runs a set of rules over files or whole source trees.
 
-    def __init__(self, rules: Optional[Sequence[Rule]] = None) -> None:
+    With ``interprocedural=True``, :meth:`lint_paths` additionally runs
+    the whole-program rules of :mod:`repro.lint.flow` over the parsed
+    file set (single files via :meth:`lint_source` stay intra-only --
+    there is no project to analyse).  ``project_rules`` optionally
+    restricts which project rule ids run.
+    """
+
+    def __init__(
+        self,
+        rules: Optional[Sequence[Rule]] = None,
+        *,
+        interprocedural: bool = False,
+        project_rules: Optional[Sequence[str]] = None,
+    ) -> None:
         if rules is None:
             import repro.lint.rules  # noqa: F401  -- populates the registry
 
             rules = default_registry.create()
         self.rules: List[Rule] = list(rules)
+        self.interprocedural = interprocedural
+        self.project_rules = list(project_rules) if project_rules is not None else None
 
     # ------------------------------------------------------------------
     # single-file entry points
     # ------------------------------------------------------------------
+    def _check_ctx(self, ctx: FileContext) -> Tuple[List[Finding], int]:
+        """Intra-rule findings and suppression count for one context."""
+        findings: List[Finding] = []
+        suppressed = 0
+        for rule in self.rules:
+            if not rule.applies_to(ctx):
+                continue
+            for finding in rule.check(ctx):
+                if finding.rule_id in ctx.comments.disabled_rules(finding.line):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+        return findings, suppressed
+
     def lint_source(
         self, source: str, rel_path: str, result: Optional[LintResult] = None
     ) -> LintResult:
@@ -175,14 +226,9 @@ class LintEngine:
             result.parse_errors.append(f"{rel_path}: {exc.msg} (line {exc.lineno})")
             return result
         result.files_scanned += 1
-        for rule in self.rules:
-            if not rule.applies_to(ctx):
-                continue
-            for finding in rule.check(ctx):
-                if finding.rule_id in ctx.comments.disabled_rules(finding.line):
-                    result.suppressed += 1
-                else:
-                    result.findings.append(finding)
+        findings, suppressed = self._check_ctx(ctx)
+        result.findings.extend(findings)
+        result.suppressed += suppressed
         return result
 
     def lint_file(self, path: Path, root: Path, result: Optional[LintResult] = None) -> LintResult:
@@ -193,14 +239,127 @@ class LintEngine:
     # ------------------------------------------------------------------
     # tree walking
     # ------------------------------------------------------------------
-    def lint_paths(self, paths: Sequence[Path], root: Path) -> LintResult:
-        """Lint every ``.py`` file under each of ``paths`` (files or dirs)."""
+    def lint_paths(
+        self,
+        paths: Sequence[Path],
+        root: Path,
+        *,
+        jobs: Optional[int] = None,
+        cache: Optional["LintCache"] = None,
+    ) -> LintResult:
+        """Lint every ``.py`` file under each of ``paths`` (files or dirs).
+
+        Files are read and parsed in parallel (``jobs`` threads); the
+        optional content-hash ``cache`` short-circuits both the per-file
+        parse+intra-rule work and, when no file changed at all, the
+        whole interprocedural pass.
+        """
         result = LintResult()
+        file_list: List[Path] = []
         for path in paths:
-            for file_path in sorted(_iter_python_files(path)):
-                self.lint_file(file_path, root, result=result)
+            file_list.extend(sorted(_iter_python_files(path)))
+
+        entries = self._process_files(file_list, root, jobs=jobs, cache=cache)
+
+        files: Dict[str, FileContext] = {}
+        file_keys: Dict[str, str] = {}
+        for entry in entries:
+            if entry.error is not None:
+                result.parse_errors.append(entry.error)
+                continue
+            assert entry.ctx is not None
+            result.files_scanned += 1
+            result.findings.extend(entry.findings)
+            result.suppressed += entry.suppressed
+            files[entry.ctx.rel_path] = entry.ctx
+            if entry.key is not None:
+                file_keys[entry.ctx.rel_path] = entry.key
+
+        if self.interprocedural and files:
+            self._run_project_pass(result, files, file_keys, cache)
+
         result.findings.sort(key=lambda f: f.sort_key)
         return result
+
+    def _process_files(
+        self,
+        file_list: Sequence[Path],
+        root: Path,
+        *,
+        jobs: Optional[int],
+        cache: Optional["LintCache"],
+    ) -> List["_FileEntry"]:
+        worker_count = jobs if jobs is not None else min(8, len(file_list) or 1)
+        if worker_count <= 1 or len(file_list) <= 1:
+            return [self._process_one(path, root, cache) for path in file_list]
+        with ThreadPoolExecutor(max_workers=worker_count) as pool:
+            return list(
+                pool.map(lambda path: self._process_one(path, root, cache), file_list)
+            )
+
+    def _process_one(
+        self, path: Path, root: Path, cache: Optional["LintCache"]
+    ) -> "_FileEntry":
+        rel = path.resolve().relative_to(root.resolve()).as_posix()
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            return _FileEntry(error=f"{rel}: {exc}")
+        key: Optional[str] = None
+        if cache is not None:
+            key = cache.file_key(rel, source)
+            hit = cache.load_file(key)
+            if hit is not None:
+                return _FileEntry(
+                    ctx=hit.ctx,
+                    findings=hit.findings,
+                    suppressed=hit.suppressed,
+                    key=key,
+                )
+        try:
+            ctx = FileContext.from_source(source, rel, module_name(Path(rel)))
+        except SyntaxError as exc:
+            return _FileEntry(error=f"{rel}: {exc.msg} (line {exc.lineno})")
+        findings, suppressed = self._check_ctx(ctx)
+        if cache is not None and key is not None:
+            cache.store_file(key, ctx, findings, suppressed)
+        return _FileEntry(ctx=ctx, findings=findings, suppressed=suppressed, key=key)
+
+    def _run_project_pass(
+        self,
+        result: LintResult,
+        files: Dict[str, FileContext],
+        file_keys: Dict[str, str],
+        cache: Optional["LintCache"],
+    ) -> None:
+        from repro.lint.flow import run_project_rules
+
+        tree_key: Optional[str] = None
+        if cache is not None and len(file_keys) == len(files):
+            tree_key = cache.tree_key(file_keys)
+            payload = cache.load_tree(tree_key)
+            if payload is not None:
+                result.findings.extend(payload["findings"])
+                result.suppressed += int(payload["suppressed"])
+                return
+        findings, suppressed, _project = run_project_rules(
+            files, only=self.project_rules
+        )
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+        if cache is not None and tree_key is not None:
+            cache.store_tree(tree_key, findings, suppressed)
+
+
+@dataclass
+class _FileEntry:
+    """Per-file outcome of the (possibly parallel) parse+intra pass."""
+
+    ctx: Optional[FileContext] = None
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    key: Optional[str] = None
+    error: Optional[str] = None
 
 
 def _iter_python_files(path: Path) -> Iterable[Path]:

@@ -10,10 +10,33 @@ or down the file.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Tuple
 
-__all__ = ["Finding"]
+__all__ = ["Finding", "Hop"]
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One step of an interprocedural trace (sink-to-source order).
+
+    ``line_text`` feeds the fingerprint the same way a finding's own
+    line does: hops keep their identity when unrelated edits shift the
+    file, and only the *endpoints* of a trace are fingerprinted (see
+    :attr:`Finding.fingerprint`), so re-routing an intermediate call
+    never invalidates a baselined or suppressed finding.
+    """
+
+    path: str
+    line: int
+    note: str
+    line_text: str = ""
+
+    def render_text(self) -> str:
+        return f"{self.path}:{self.line}: {self.note}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"path": self.path, "line": self.line, "note": self.note}
 
 
 @dataclass(frozen=True)
@@ -42,6 +65,9 @@ class Finding:
     col: int
     message: str
     line_text: str = ""
+    #: Interprocedural call chain, sink first, taint/effect source last.
+    #: Empty for intra-function findings.
+    trace: Tuple[Hop, ...] = field(default=())
 
     @property
     def fingerprint(self) -> str:
@@ -52,8 +78,19 @@ class Finding:
         are inserted above them.  Duplicate fingerprints (the same
         offending text twice in one file) are handled multiset-style by
         the baseline.
+
+        Interprocedural findings additionally hash the trace's **source
+        endpoint** (final hop) only -- a summary-hash of the trace, not
+        the full call chain -- so refactors that add or re-route
+        intermediate calls never spuriously invalidate a baselined
+        suppression while a genuinely different source still reads as a
+        new finding.
         """
-        payload = "::".join((self.rule_id, self.path, self.line_text.strip()))
+        parts = [self.rule_id, self.path, self.line_text.strip()]
+        if self.trace:
+            source = self.trace[-1]
+            parts.extend((source.path, source.line_text.strip()))
+        payload = "::".join(parts)
         return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
 
     @property
@@ -61,12 +98,16 @@ class Finding:
         return (self.path, self.line, self.col, self.rule_id)
 
     def render_text(self) -> str:
-        """One-line ``path:line:col: RULE message`` rendering."""
-        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        """``path:line:col: RULE message`` plus indented trace hops."""
+        head = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if not self.trace:
+            return head
+        hops = "\n".join(f"    via {hop.render_text()}" for hop in self.trace)
+        return f"{head}\n{hops}"
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-serialisable payload (used by ``--format json``)."""
-        return {
+        payload: Dict[str, Any] = {
             "rule": self.rule_id,
             "path": self.path,
             "line": self.line,
@@ -74,3 +115,6 @@ class Finding:
             "message": self.message,
             "fingerprint": self.fingerprint,
         }
+        if self.trace:
+            payload["trace"] = [hop.to_dict() for hop in self.trace]
+        return payload

@@ -30,7 +30,7 @@ import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.query import AccuracySpec
 from repro.errors import RateLimitedError, ServiceOverloadedError
@@ -378,7 +378,7 @@ def run_open_loop(
 
     scheduler = EventScheduler()
 
-    def make_arrival(index: int):
+    def make_arrival(index: int) -> Callable[[], None]:
         (low, high), spec = workload.request(index)
         consumer = f"loadgen-{index % consumers}"
 

@@ -130,6 +130,91 @@ def test_head_tree_is_clean(capsys):
     capsys.readouterr()
 
 
+def test_head_tree_is_clean_interprocedurally(capsys):
+    """Meta-test: the whole-program rules (RL001i, RL007-RL009) raise no
+    findings over src/ and tests/ at HEAD."""
+    assert (
+        lint_main(
+            ["--root", str(REPO_ROOT), "src", "tests", "--interprocedural", "--fail-on-new"]
+        )
+        == 0
+    )
+    capsys.readouterr()
+
+
+def test_interprocedural_fixture_fails_via_cli(tmp_path, capsys):
+    root = _make_tree(
+        tmp_path,
+        "repro/core/broker.py",
+        textwrap.dedent(
+            """
+            class DataBroker:
+                def answer(self, query):
+                    estimate = self.estimator.estimate(samples, query.low, query.high)
+                    value = self._finish(estimate.estimate)
+                    self._journal_trades([dict(kind="release")])
+                    self.accountant.charge(self.dataset, 0.1)
+                    return PrivateAnswer(value=value)
+
+                def _finish(self, raw):
+                    return raw
+            """
+        ),
+    )
+    # Invisible without --interprocedural, fatal with it.
+    assert lint_main(["--root", str(root)]) == 0
+    assert lint_main(["--root", str(root), "--interprocedural"]) == 1
+    out = capsys.readouterr().out
+    assert "RL001i" in out
+    assert "    via " in out  # the call chain is printed
+
+
+def test_unknown_rule_id_exits_two(tmp_path, capsys):
+    root = _make_tree(tmp_path, "repro/serving/ok.py", "X = 1\n")
+    assert lint_main(["--root", str(root), "--rules", "RL999"]) == 2
+    assert "unknown rule id" in capsys.readouterr().err
+
+
+def test_rules_flag_splits_across_registries(tmp_path, capsys):
+    root = _make_tree(tmp_path, "repro/serving/bad.py", RL005_FIXTURE)
+    # A project-rule id is accepted alongside intra ids.
+    assert (
+        lint_main(
+            ["--root", str(root), "--interprocedural", "--rules", "RL005,RL009"]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "RL005" in out
+
+
+def test_bench_json_records_timing_and_cache_stats(tmp_path, capsys):
+    root = _make_tree(tmp_path, "repro/serving/ok.py", "X = 1\n")
+    bench = root / "BENCH_lint.json"
+    assert (
+        lint_main(
+            [
+                "--root",
+                str(root),
+                "--interprocedural",
+                "--cache",
+                "--bench-json",
+                str(bench),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    payload = json.loads(bench.read_text())
+    assert payload["bench"] == "lint"
+    assert payload["seconds"] >= 0
+    assert payload["files_scanned"] == 1
+    assert payload["interprocedural"] is True
+    assert payload["cache"]["enabled"] is True
+    assert payload["cache"]["misses"] == 1
+    assert (root / ".lint-cache").is_dir()
+
+
 def test_repro_cli_subcommand_dispatches(capsys):
     assert repro_main(["lint", "--root", str(REPO_ROOT), "--fail-on-new"]) == 0
     out = capsys.readouterr().out

@@ -18,7 +18,11 @@ MYPY_SCOPE = [
     "src/repro/privacy",
     "src/repro/pricing",
     "src/repro/core/policy.py",
+    "src/repro/cluster/planning.py",
+    "src/repro/streaming",
     "src/repro/workers",
+    "src/repro/serving",
+    "src/repro/durability",
 ]
 
 pytest.importorskip("mypy", reason="mypy is not installed; CI's lint job runs this")

@@ -57,7 +57,8 @@ class TestSerialization:
         corrupted = b"\x00" * len(payload)
         segment = shared_memory.SharedMemory(create=True, size=len(corrupted))
         try:
-            segment.buf[:] = corrupted
+            # Deliberately corrupting a scratch segment this test owns.
+            segment.buf[:] = corrupted  # repro-lint: disable=RL008
             from repro.workers.store import _parse_segment
 
             with pytest.raises(ValueError, match="not a repro sample store"):
@@ -137,7 +138,8 @@ class TestLifecycle:
         publisher.close()
         for name in [control, *segments]:
             with pytest.raises(FileNotFoundError):
-                shared_memory.SharedMemory(name=name)
+                # Attaching is the assertion: close() must have unlinked.
+                shared_memory.SharedMemory(name=name)  # repro-lint: disable=RL008
         publisher.close()  # idempotent
         publisher.publish(2, [samples])  # and publish-after-close is a no-op
 
