@@ -10,6 +10,7 @@ and every accepted request resolving.
 
 from repro.chaos.harness import ChaosConfig, ChaosHarness, ChaosReport
 from repro.chaos.injectors import FaultInjector, books_equal
+from repro.chaos.overload import OverloadHarness, OverloadReport
 from repro.chaos.schedule import (
     EVENT_KINDS,
     STREAM_AFFECTING,
@@ -21,6 +22,8 @@ __all__ = [
     "ChaosConfig",
     "ChaosHarness",
     "ChaosReport",
+    "OverloadHarness",
+    "OverloadReport",
     "FaultInjector",
     "books_equal",
     "EVENT_KINDS",

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import time
+from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -237,6 +238,10 @@ class ChaosHarness:
                 f"schedule.trades={schedule.trades}"
             )
         self.injector = FaultInjector(gateway, journal)
+        # Raw outcome of the last run (filled by _audit; lets subclasses
+        # layer further per-answer invariants on the same evidence).
+        self._last_resolved: "List[Tuple[_Pending, PrivateAnswer]]" = []
+        self._last_failed: "List[Tuple[_Pending, BaseException]]" = []
 
     # ------------------------------------------------------------------ #
     # run                                                                #
@@ -309,8 +314,8 @@ class ChaosHarness:
                 self.injector.apply(event)
 
             (low, high), spec = self.workload.request(step)
-            future = gateway.submit_range(
-                low, high, spec.alpha, spec.delta,
+            future = self._submit_one(
+                step, low, high, spec,
                 consumer=f"chaos-{step % config.consumers}",
             )
             pending.append(_Pending(
@@ -347,6 +352,53 @@ class ChaosHarness:
         )
         gateway.stop()
         return report
+
+    def _submit_one(
+        self,
+        step: int,
+        low: float,
+        high: float,
+        spec: Any,
+        consumer: str,
+    ) -> "Future[PrivateAnswer]":
+        """Submit one trade; a synchronous typed shed becomes a failed future.
+
+        A gateway under brownout level 4 sheds at ``submit`` (typed
+        :class:`~repro.errors.BrownoutShedError` with a retry-after)
+        before anything is queued or billed; the audit counts it like
+        any other typed failure, at the deterministic stream position it
+        happened.
+
+        An armed ``clock_jump`` is consumed here: the submit and the
+        manual-clock advance happen under one ``gateway.quiesce()``, so
+        exactly this step's trade sits queued when time moves -- the
+        deadline miss (or survival) is a pure function of the schedule
+        and the configured ``request_ttl``.
+        """
+        jump = getattr(self.injector, "pending_clock_jump", 0.0)
+        if jump > 0.0:
+            self.injector.pending_clock_jump = 0.0
+            with self.gateway.quiesce():
+                try:
+                    return self.gateway.submit_range(
+                        low, high, spec.alpha, spec.delta, consumer=consumer
+                    )
+                except ReproError as exc:
+                    future: "Future[PrivateAnswer]" = Future()
+                    future.set_exception(exc)
+                    return future
+                finally:
+                    # The jump lands even when the submit itself sheds:
+                    # armed time always passes at this stream position.
+                    self.gateway.clock.advance(jump)
+        try:
+            return self.gateway.submit_range(
+                low, high, spec.alpha, spec.delta, consumer=consumer
+            )
+        except ReproError as exc:
+            future = Future()
+            future.set_exception(exc)
+            return future
 
     # ------------------------------------------------------------------ #
     # audit                                                              #
@@ -397,10 +449,16 @@ class ChaosHarness:
             )
 
         # Invariant 2: zero drift against the serial expectation, and the
-        # journal alone reproduces the books bit-for-bit.
+        # journal alone reproduces the books bit-for-bit.  The expectation
+        # is priced at each answer's *delivered* spec (``answer.spec``):
+        # identical to the requested spec on a healthy run, and the
+        # honestly-billed weaker contract on a brownout-repriced one.
         expected_revenue, expected_epsilon = expected_accounting(
             self.gateway,
-            [((entry.low, entry.high), entry.spec) for entry, _ in resolved],
+            [
+                ((entry.low, entry.high), answer.spec)
+                for entry, answer in resolved
+            ],
         )
         inv_drift = (
             abs(epsilon_spent - expected_epsilon) <= _SUM_TOL
@@ -483,6 +541,10 @@ class ChaosHarness:
             checksum=self._checksum(resolved),
             duration_s=duration,
         )
+        # Stash the raw outcome for harness subclasses (the overload
+        # drill audits per-answer rung honesty on top of this report).
+        self._last_resolved = list(resolved)
+        self._last_failed = list(failed)
         return report
 
     def _checksum(
@@ -504,6 +566,12 @@ class ChaosHarness:
                 entry.high,
                 entry.spec.alpha,
                 entry.spec.delta,
+                # Delivered contract + rung: a brownout rung divergence
+                # between same-seed runs must change the digest even when
+                # it happens to price identically.
+                answer.spec.alpha,
+                answer.spec.delta,
+                answer.brownout_rung,
                 answer.value,
                 answer.price,
                 answer.plan.epsilon_prime,

@@ -26,6 +26,16 @@ from repro.serving.gateway import ServingGateway
 
 __all__ = ["FaultInjector", "books_equal"]
 
+#: Injected ingress latency for ``slow_shard`` -- roughly 10x a healthy
+#: sub-query on the drill's stack sizes, so breakers/hedging have a real
+#: straggler to route around while the drill still finishes quickly.
+SLOW_SHARD_LATENCY_S = 0.05
+
+#: Pool round-trip bound installed while any worker is SIGSTOPped; a
+#: stalled request sheds to the bit-identical local estimator instead of
+#: hanging the scatter.
+STALL_REQUEST_TIMEOUT_S = 0.25
+
 
 def books_equal(
     ledger_a: BillingLedger,
@@ -61,6 +71,13 @@ class FaultInjector:
         # Original channels stashed while a burst fault is active,
         # keyed by shard target.
         self._saved_channels: "Dict[int, List[Tuple[Any, Channel]]]" = {}
+        # SIGSTOPped worker pids by pool key, so resume targets the very
+        # process that was stalled even if the pool respawned others.
+        self._stalled: "Dict[Any, int]" = {}
+        #: Seconds of armed-but-unapplied manual-clock jump; the harness
+        #: consumes this under ``gateway.quiesce()`` around the step's
+        #: submit (see :meth:`_clock_jump`).
+        self.pending_clock_jump: float = 0.0
 
     # ------------------------------------------------------------------ #
     # dispatch                                                           #
@@ -76,6 +93,12 @@ class FaultInjector:
             "burst_loss": self._burst_loss,
             "heal_channel": self._heal_channel,
             "kill_worker_process": self._kill_worker_process,
+            "slow_shard": self._slow_shard,
+            "heal_slow_shard": self._heal_slow_shard,
+            "stall_worker": self._stall_worker,
+            "resume_worker": self._resume_worker,
+            "clock_jump": self._clock_jump,
+            "brownout_level": self._brownout_level,
         }[event.kind]
         handler(event)
         self.telemetry.inc(f"chaos.{event.kind}")
@@ -113,9 +136,101 @@ class FaultInjector:
         pids = backend.worker_pids()
         if not pids:
             raise ValueError("process backend has no live workers to kill")
-        keys = sorted(pids)
+        keys = sorted(pids, key=repr)
         victim = keys[event.target % len(keys)]
         os.kill(pids[victim], signal.SIGKILL)
+
+    def _backend(self) -> Any:
+        backend = getattr(self.gateway.broker, "_process_backend", None)
+        if backend is None:
+            raise ValueError(
+                "worker stall events need the process execution backend "
+                "(broker.use_processes()); the broker is in threads mode"
+            )
+        return backend
+
+    def _stall_worker(self, event: FaultEvent) -> None:
+        """SIGSTOP one shard worker: alive but unresponsive, not crashed.
+
+        The pool's ``request_timeout`` is installed alongside so stalled
+        round-trips shed to the bit-identical local estimator instead of
+        hanging the scatter; the worker's eventual late replies are
+        discarded by sequence tag after :meth:`_resume_worker`.
+        """
+        import os
+        import signal
+
+        backend = self._backend()
+        pids = backend.worker_pids()
+        if not pids:
+            raise ValueError("process backend has no live workers to stall")
+        keys = sorted(pids, key=repr)
+        victim = keys[event.target % len(keys)]
+        if victim in self._stalled:
+            return  # already stalled; idempotent
+        os.kill(pids[victim], signal.SIGSTOP)
+        self._stalled[victim] = pids[victim]
+        backend.pool.request_timeout = STALL_REQUEST_TIMEOUT_S
+
+    def _resume_worker(self, event: FaultEvent) -> None:
+        import os
+        import signal
+
+        backend = self._backend()
+        keys = sorted(backend.worker_pids(), key=repr)
+        if not keys:
+            return
+        victim = keys[event.target % len(keys)]
+        pid = self._stalled.pop(victim, None)
+        if pid is not None:
+            os.kill(pid, signal.SIGCONT)
+        if not self._stalled:
+            backend.pool.request_timeout = None
+
+    # ------------------------------------------------------------------ #
+    # shard latency + overload controls                                  #
+    # ------------------------------------------------------------------ #
+    def _slow_shard(self, event: FaultEvent) -> None:
+        self._shards()[event.target].injected_latency = SLOW_SHARD_LATENCY_S
+
+    def _heal_slow_shard(self, event: FaultEvent) -> None:
+        self._shards()[event.target].injected_latency = 0.0
+
+    def _clock_jump(self, event: FaultEvent) -> None:
+        """Arm a jump of the gateway's manual clock (``target`` = ms).
+
+        The advance itself is *deferred*: the harness applies it under
+        ``gateway.quiesce()`` around the step's own submit, so the jump
+        lands with a known queue (exactly this step's trade enqueued,
+        nothing mid-dispatch).  That is what makes a deadline storm
+        deterministic -- which requests expire is a pure function of the
+        schedule, not of how fast the dispatcher thread was running.
+        """
+        clock = self.gateway.clock
+        if getattr(clock, "advance", None) is None:
+            raise ValueError(
+                "clock_jump needs the gateway built on a ManualClock "
+                "(gateway.clock must expose advance())"
+            )
+        self.pending_clock_jump += event.target / 1000.0
+
+    def _brownout_level(self, event: FaultEvent) -> None:
+        """Pin the ladder at rung ``target`` (0 = back to normal service).
+
+        Every transition — descent included — stays *pinned*: handing
+        control back to ``observe`` mid-drill would let the rung depend
+        on breaker state, which follows measured wall-clock latency, and
+        same-seed checksums would then diverge on a loaded host.  (The
+        shed rung also refuses at submit, so no dispatch would ever feed
+        ``observe`` anyway.)  Organic hysteresis is covered by the
+        resilience unit tests, not the drill.
+        """
+        brownout = self.gateway.brownout
+        if brownout is None:
+            raise ValueError(
+                "brownout_level needs a gateway with a BrownoutController"
+            )
+        brownout.force(event.target)
 
     # ------------------------------------------------------------------ #
     # broker crash + journal recovery                                    #

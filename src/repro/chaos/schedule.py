@@ -32,6 +32,14 @@ EVENT_KINDS = (
     # the pool respawns it or falls back to the bit-identical local
     # estimator, so no restart pairing is needed).
     "kill_worker_process",
+    # --- overload faults (drawn last in ``generate`` so earlier
+    # same-seed schedules keep their exact events and checksums) ---
+    "slow_shard",       # inject ingress latency on a shard's gated lane
+    "heal_slow_shard",  # clear that injected latency
+    "stall_worker",     # SIGSTOP a shard worker process (stall, not crash)
+    "resume_worker",    # SIGCONT the stalled worker
+    "clock_jump",       # advance the gateway's manual clock (target = ms)
+    "brownout_level",   # pin the brownout ladder at rung ``target`` (0 = normal)
 )
 
 #: Kinds that change which rng streams / routes serve subsequent trades;
@@ -43,6 +51,11 @@ STREAM_AFFECTING = (
     "heal_shard",
     "burst_loss",
     "heal_channel",
+    # A clock jump expires queued deadlines and a brownout pin changes
+    # which rung serves every later trade; both must land with nothing
+    # in flight to stay at a reproducible stream position.
+    "clock_jump",
+    "brownout_level",
 )
 
 
@@ -96,6 +109,13 @@ class FaultSchedule:
             raise ValueError(
                 f"unmatched worker kills: {kills} kills but {restarts} restarts"
             )
+        stalls = sum(1 for e in self.events if e.kind == "stall_worker")
+        resumes = sum(1 for e in self.events if e.kind == "resume_worker")
+        if resumes < stalls:
+            raise ValueError(
+                f"unmatched worker stalls: {stalls} stalls but "
+                f"{resumes} resumes"
+            )
         for event in self.events:
             if event.step >= self.trades:
                 raise ValueError(
@@ -103,12 +123,20 @@ class FaultSchedule:
                     f"{self.trades}-trade horizon"
                 )
             if (
-                event.kind in ("partition_shard", "heal_shard")
+                event.kind in (
+                    "partition_shard", "heal_shard",
+                    "slow_shard", "heal_slow_shard",
+                )
                 and event.target >= self.shards
             ):
                 raise ValueError(
                     f"{event.kind} targets shard {event.target} but the "
                     f"schedule is built for {self.shards} shard(s)"
+                )
+            if event.kind == "brownout_level" and event.target > 4:
+                raise ValueError(
+                    f"brownout_level targets rung {event.target}; the "
+                    "ladder tops out at 4 (shed)"
                 )
 
     def at(self, step: int) -> Tuple[FaultEvent, ...]:
@@ -144,6 +172,10 @@ class FaultSchedule:
         shard_partitions: int = 1,
         channel_bursts: int = 1,
         worker_process_kills: int = 0,
+        slow_shards: int = 0,
+        worker_stalls: int = 0,
+        clock_jumps: int = 0,
+        brownout_pins: int = 0,
     ) -> "FaultSchedule":
         """Build the canonical seeded schedule for a ``trades``-step run.
 
@@ -208,6 +240,46 @@ class FaultSchedule:
                 kind="kill_worker_process",
                 target=int(rng.integers(0, shards)),
             ))
+
+        # Overload faults: appended after every earlier draw for the same
+        # reason -- zero-default arguments leave same-seed schedules (and
+        # their checksums) untouched.
+        for _ in range(slow_shards):
+            on = draw_step(0.05, 0.6)
+            heal = min(on + int(rng.integers(10, 30)), trades - 1)
+            target = int(rng.integers(0, shards))
+            events.append(
+                FaultEvent(step=on, kind="slow_shard", target=target)
+            )
+            events.append(
+                FaultEvent(step=heal, kind="heal_slow_shard", target=target)
+            )
+        for _ in range(worker_stalls):
+            on = draw_step(0.2, 0.7)
+            off = min(on + int(rng.integers(3, 10)), trades - 1)
+            target = int(rng.integers(0, shards))
+            events.append(
+                FaultEvent(step=on, kind="stall_worker", target=target)
+            )
+            events.append(
+                FaultEvent(step=off, kind="resume_worker", target=target)
+            )
+        for _ in range(clock_jumps):
+            events.append(FaultEvent(
+                step=draw_step(0.1, 0.9),
+                kind="clock_jump",
+                target=int(rng.integers(50, 500)),  # milliseconds
+            ))
+        for _ in range(brownout_pins):
+            on = draw_step(0.3, 0.8)
+            off = min(on + int(rng.integers(5, 15)), trades - 1)
+            level = int(rng.integers(1, 5))
+            events.append(
+                FaultEvent(step=on, kind="brownout_level", target=level)
+            )
+            events.append(
+                FaultEvent(step=off, kind="brownout_level", target=0)
+            )
 
         ordered = tuple(
             sorted(enumerate(events), key=lambda pair: (pair[1].step, pair[0]))

@@ -336,6 +336,16 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--json", metavar="PATH",
                        help="write a BENCH-format JSON report here")
     chaos.add_argument(
+        "--profile", default="standard",
+        choices=["standard", "overload"],
+        help="'standard' runs the crash-safety schedule; 'overload' adds "
+             "a limping shard, manual-clock deadline storms, and a "
+             "scheduled brownout-ladder sweep on a resilience-wired "
+             "gateway (deadlines, breakers, hedging, brownout), auditing "
+             "two extra invariants: no post-deadline release and "
+             "per-answer (α, δ) rung honesty",
+    )
+    chaos.add_argument(
         "--check-determinism",
         action="store_true",
         help="run the identical schedule twice on fresh stacks and "
@@ -344,8 +354,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument(
         "--assert-invariants",
         action="store_true",
-        help="exit 1 unless all three chaos invariants hold (and, with "
-             "--check-determinism, both runs agree) -- the CI contract",
+        help="exit 1 unless all chaos invariants hold (and, with "
+             "--check-determinism, both runs agree) -- the CI contract; "
+             "the overload profile additionally requires the drill to "
+             "have engaged (deadline expiries, sheds, repriced rungs)",
     )
 
     sserve = sub.add_parser(
@@ -1115,13 +1127,61 @@ def _cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+#: request_ttl of the overload profile's gateway.  Below the smallest
+#: generated clock_jump (50 ms), so every armed jump expires exactly the
+#: trade queued under it -- deterministic deadline storms.
+_OVERLOAD_TTL_S = 0.045
+
+
+def _overload_schedule(args: argparse.Namespace):
+    """The overload drill: generated faults + a scheduled ladder sweep.
+
+    The brownout sweep is explicit (2 -> 3 -> 4 -> back to 0 at fixed
+    stream fractions) rather than drawn, so every rung of the ladder --
+    widen, degrade, shed -- reliably engages on any seed.  The ladder is
+    pinned at rung 0 from step 0: left to ``observe``, its position
+    would follow the breaker-open fraction, which follows measured
+    wall-clock latency -- and same-seed checksums must not depend on
+    host speed.
+    """
+    from repro.chaos import FaultEvent, FaultSchedule
+
+    base = FaultSchedule.generate(
+        seed=args.seed, trades=args.trades, shards=args.shards,
+        worker_process_kills=1 if args.execution == "processes" else 0,
+        slow_shards=1,
+        worker_stalls=1 if args.execution == "processes" else 0,
+        clock_jumps=3,
+    )
+    sweep = [
+        FaultEvent(step=int(args.trades * frac), kind="brownout_level",
+                   target=level)
+        for frac, level in ((0.0, 0), (0.45, 2), (0.52, 3), (0.60, 4),
+                            (0.65, 0))
+    ]
+    merged = sorted(
+        enumerate(list(base.events) + sweep),
+        key=lambda pair: (pair[1].step, pair[0]),
+    )
+    return FaultSchedule(
+        events=tuple(event for _, event in merged),
+        seed=args.seed, trades=args.trades, shards=args.shards,
+    )
+
+
 def _run_chaos_once(args: argparse.Namespace, journal_path):
     """Build one fresh seeded stack and run the schedule through it."""
     from repro.analysis.metrics import make_workload
-    from repro.chaos import ChaosConfig, ChaosHarness, FaultSchedule
+    from repro.chaos import (
+        ChaosConfig,
+        ChaosHarness,
+        FaultSchedule,
+        OverloadHarness,
+    )
     from repro.durability.journal import TradeJournal
     from repro.serving import ServingConfig, Workload
 
+    overload = args.profile == "overload"
     tiers = _parse_tiers(args.tiers)
     data = generate_citypulse(record_count=args.records)
     service = PrivateRangeCountingService.from_citypulse(
@@ -1129,16 +1189,37 @@ def _run_chaos_once(args: argparse.Namespace, journal_path):
     )
     journal = TradeJournal(path=journal_path)
     service.broker.journal = journal
-    gateway = service.serve(
-        ServingConfig(
-            batch_window=0.0,
-            max_batch=64,
-            queue_depth=max(args.trades + 16, 1024),
-            workers=1,
-            enable_cache=False,
-            execution=args.execution,
-        )
+    config = ServingConfig(
+        batch_window=0.0,
+        max_batch=64,
+        queue_depth=max(args.trades + 16, 1024),
+        workers=1,
+        enable_cache=False,
+        request_ttl=_OVERLOAD_TTL_S if overload else None,
+        execution=args.execution,
     )
+    if overload:
+        from repro.cluster.health import ShardBreakerBoard
+        from repro.resilience import (
+            BrownoutController,
+            HedgePolicy,
+            ManualClock,
+        )
+        from repro.serving.gateway import ServingGateway
+
+        clock = ManualClock()
+        broker = service.broker
+        if hasattr(broker, "breakers"):
+            broker.breakers = ShardBreakerBoard(clock=clock)
+            broker.hedging = HedgePolicy()
+        gateway = ServingGateway(
+            broker=broker,
+            config=config,
+            brownout=BrownoutController(),
+            clock=clock,
+        )
+    else:
+        gateway = service.serve(config)
     values = service.truth.values
     workload = Workload(
         ranges=list(
@@ -1147,16 +1228,23 @@ def _run_chaos_once(args: argparse.Namespace, journal_path):
         ),
         tiers=tiers,
     )
-    schedule = FaultSchedule.generate(
-        seed=args.seed, trades=args.trades, shards=args.shards,
-        # Shard-worker SIGKILLs only make sense against the process
-        # backend; the injector refuses them in threads mode.
-        worker_process_kills=2 if args.execution == "processes" else 0,
-    )
-    harness = ChaosHarness(
-        gateway, journal, schedule, workload,
-        ChaosConfig(trades=args.trades, consumers=args.consumers),
-    )
+    if overload:
+        schedule = _overload_schedule(args)
+        harness: ChaosHarness = OverloadHarness(
+            gateway, journal, schedule, workload,
+            ChaosConfig(trades=args.trades, consumers=args.consumers),
+        )
+    else:
+        schedule = FaultSchedule.generate(
+            seed=args.seed, trades=args.trades, shards=args.shards,
+            # Shard-worker SIGKILLs only make sense against the process
+            # backend; the injector refuses them in threads mode.
+            worker_process_kills=2 if args.execution == "processes" else 0,
+        )
+        harness = ChaosHarness(
+            gateway, journal, schedule, workload,
+            ChaosConfig(trades=args.trades, consumers=args.consumers),
+        )
     try:
         return harness.run()
     finally:
@@ -1186,33 +1274,67 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     rows = [
         (key, value)
         for key, value in payload.items()
-        if key not in ("invariants", "recoveries_exact", "failures")
+        if key not in ("invariants", "recoveries_exact", "failures",
+                       "overload")
     ]
     rows.extend(
         (f"invariant.{name}", ok)
         for name, ok in payload["invariants"].items()
     )
+    overload = payload.get("overload")
+    all_failures = list(payload.get("failures", ()))
+    if overload is not None:
+        rows.extend(
+            (f"overload.{key}", value)
+            for key, value in overload.items()
+            if key not in ("invariants", "failures", "brownout_answers")
+        )
+        rows.extend(
+            (f"overload.rung.{rung}", count)
+            for rung, count in sorted(overload["brownout_answers"].items())
+        )
+        rows.extend(
+            (f"invariant.{name}", ok)
+            for name, ok in overload["invariants"].items()
+        )
+        all_failures.extend(overload["failures"])
     print(format_table(["metric", "value"], rows))
-    for failure in report.failures:
+    for failure in all_failures:
         print(f"  violation: {failure}")
     if args.json:
         write_bench_json(args.json, "chaos", payload)
         print(f"wrote {args.json}")
     if args.assert_invariants:
-        if not report.all_passed or deterministic is False:
+        problems = list(all_failures)
+        if deterministic is False:
+            problems.append("same-seed reruns diverged")
+        if overload is not None:
+            # The drill must have *engaged*: a run where no deadline
+            # expired, nothing shed, and no rung repriced would pass the
+            # invariants vacuously.
+            rungs = overload["brownout_answers"]
+            for name, happened in (
+                ("deadline expiries", overload["deadline_failures"] >= 1),
+                ("sheds", overload["sheds"] >= 1),
+                ("widen_alpha answers", rungs.get("widen_alpha", 0) > 0),
+                ("degrade_delta answers",
+                 rungs.get("degrade_delta", 0) > 0),
+            ):
+                if not happened:
+                    problems.append(f"overload drill never engaged: {name}")
+        if not report.all_passed or problems:
             print(
-                "chaos UNHEALTHY: "
-                + ("; ".join(report.failures) or "")
-                + ("" if deterministic is not False
-                   else "; same-seed reruns diverged"),
+                "chaos UNHEALTHY: " + ("; ".join(problems) or ""),
                 file=sys.stderr,
             )
             return 1
         print(
             "chaos healthy: all invariants held over "
-            f"{report.trades} trades ({report.worker_kills} worker kills, "
-            f"{report.broker_recoveries} broker recoveries, "
-            f"{report.degraded_answers} degraded answers)"
+            f"{payload['trades']} trades "
+            f"({payload['worker_kills']} worker kills, "
+            f"{payload['broker_recoveries']} broker recoveries, "
+            f"{payload['degraded_answers']} degraded answers)"
+            + (", overload drill engaged" if overload is not None else "")
             + (", deterministic across reruns" if deterministic else "")
         )
     return 0

@@ -42,13 +42,14 @@ import math
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.cluster.health import ShardHealthMonitor
+from repro.cluster.health import ShardBreakerBoard, ShardHealthMonitor
 from repro.cluster.planning import (
     RoutePlan,
     degraded_delta,
@@ -66,6 +67,8 @@ from repro.pricing.ledger import BillingLedger
 from repro.pricing.variance_model import VarianceModel
 from repro.privacy.budget import BudgetAccountant
 from repro.privacy.optimizer import PrivacyPlan
+from repro.resilience.deadline import check_deadline, current_deadline, deadline_scope
+from repro.resilience.hedging import HedgeLostRace, HedgePolicy
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.durability.journal import TradeJournal
@@ -291,6 +294,17 @@ class ClusterBroker:
     #: released or the cluster books mutate (RL006).  Shard-level books
     #: are internal transfer accounting and are not journaled.
     journal: "Optional[TradeJournal]" = None
+    #: Optional per-shard circuit breakers
+    #: (:class:`~repro.cluster.health.ShardBreakerBoard`).  An open
+    #: breaker routes that shard's sub-queries through the bypass lane
+    #: (skipping its congested ingress path); answers and books are
+    #: bit-identical either way.
+    breakers: "Optional[ShardBreakerBoard]" = None
+    #: Optional :class:`~repro.resilience.hedging.HedgePolicy`.  When
+    #: set, a straggling gated sub-query is re-issued on the bypass lane
+    #: after the lane's rolling-p95 trigger; an exactly-once claim
+    #: guarantees only the winning lane ever touches the shard broker.
+    hedging: "Optional[HedgePolicy]" = None
 
     def __post_init__(self) -> None:
         if not self.shards:
@@ -314,6 +328,13 @@ class ClusterBroker:
         self._cost_cache: "Dict[Tuple[int, float, float, float], float]" = {}  # guarded-by: _lock
         # Optional repro.workers process backend (None = threaded path).
         self._process_backend = None  # guarded-by: _lock
+        # Pre-scatter batch hook (the process backend's ``prime``):
+        # collapses co-hosted shards' sub-queries into one worker
+        # round-trip.  None when detached or per-shard workers.
+        self._primer = None  # guarded-by: _lock
+        # Lazy executor for hedged gated lanes; separate from the scatter
+        # pool so a wide scatter can never starve its own hedges.
+        self._hedge_executor: "Optional[ThreadPoolExecutor]" = None  # guarded-by: _lock
 
     # ------------------------------------------------------------------
     # construction
@@ -526,6 +547,9 @@ class ClusterBroker:
         """
         if not queries:
             raise ValueError("at least one query is required")
+        # Expired requests must not route, scatter, or bill (scope is
+        # installed by the serving gateway; no-op when absent).
+        check_deadline("cluster.answer_batch")
         if isinstance(spec, AccuracySpec):
             specs: "List[AccuracySpec]" = [spec] * len(queries)
         else:
@@ -563,16 +587,37 @@ class ClusterBroker:
             if shard_batches[j]
         ]
 
-        with self._timer("cluster.scatter_s"):
-            results = self._fan_out_over(
-                tasks,
-                lambda task: self._shard_answer(
+        # With co-hosted workers attached, answer every shard's
+        # sub-queries in one pipe round-trip per worker before the
+        # scatter; each shard's lane then consumes its primed totals
+        # without another hop.  Best-effort -- a miss (raced top-up,
+        # shard-cache hit filtering the batch) degrades to the normal
+        # per-shard round-trip, bit-identically.
+        with self._lock:
+            primer = self._primer
+        if primer is not None and len(tasks) > 1:
+            primer({
+                task[1].shard_id: [
+                    (queries[i].low, queries[i].high) for i in task[2]
+                ]
+                for task in tasks
+            })
+
+        # The fan-out may hop to pool threads; re-enter the caller's
+        # deadline scope there so shard-level checkpoints keep working.
+        request_deadline = current_deadline()
+
+        def scoped_shard_answer(task):
+            with deadline_scope(request_deadline):
+                return self._shard_answer(
                     task[1],
                     [queries[i] for i in task[2]],
                     [routes[i].spec_for(task[0]) for i in task[2]],
                     consumer,
-                ),
-            )
+                )
+
+        with self._timer("cluster.scatter_s"):
+            results = self._fan_out_over(tasks, scoped_shard_answer)
 
         answer_of: "Dict[Tuple[int, int], PrivateAnswer]" = {}
         degraded_by_shard: "Dict[int, bool]" = {}
@@ -629,6 +674,11 @@ class ClusterBroker:
                     f"merged releases (ε′={total_epsilon:.6g}) would exceed "
                     f"capacity {self.accountant.capacity:.6g}"
                 )
+            # Last pre-commit checkpoint: past here the consolidated trade
+            # is journaled and charged, so an expired deadline must abort
+            # now or never.  Shard-level books written by the scatter are
+            # internal transfer accounting and are reconciled by replay.
+            check_deadline("cluster.journal")
             store_version = self._station_view.store_version
             self._journal_trades([
                 dict(
@@ -777,6 +827,16 @@ class ClusterBroker:
             transaction_id=txn.transaction_id,
         )
 
+    def breaker_open_fraction(self) -> float:
+        """Share of shard lanes with a non-closed breaker (0.0 unwired).
+
+        Duck-typed overload signal for the serving gateway's brownout
+        ladder.
+        """
+        if self.breakers is None:
+            return 0.0
+        return self.breakers.open_fraction()
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
@@ -787,11 +847,107 @@ class ClusterBroker:
         shard_specs: "List[AccuracySpec]",
         consumer: str,
     ) -> "Tuple[List[PrivateAnswer], bool]":
-        with self._timer(f"cluster.shard{shard.shard_id}.answer_s"):
-            answers, degraded = shard.answer_batch(queries, shard_specs, consumer)
+        check_deadline(f"cluster.shard{shard.shard_id}.scatter")
+        breaker = (
+            self.breakers.for_shard(shard.shard_id)
+            if self.breakers is not None
+            else None
+        )
+        # Open breaker: cut the limping lane out — serve through the
+        # bypass (relief) lane, skipping the shard's congested ingress
+        # path.  Same broker, same RNG stream, bit-identical answer.
+        bypass = breaker is not None and not breaker.allow()
+        if bypass:
+            self._emit(f"cluster.shard{shard.shard_id}.breaker_bypasses")
+        hedge_after: "Optional[float]" = None
+        if self.hedging is not None and not bypass:
+            hedge_after = self.hedging.hedge_after(f"shard{shard.shard_id}")
+        start = time.perf_counter()
+        try:
+            if hedge_after is not None:
+                answers, degraded = self._hedged_answer(
+                    shard, queries, shard_specs, consumer, hedge_after
+                )
+            else:
+                with self._timer(f"cluster.shard{shard.shard_id}.answer_s"):
+                    answers, degraded = shard.answer_batch(
+                        queries, shard_specs, consumer, gate=not bypass
+                    )
+        except Exception:
+            if breaker is not None:
+                breaker.record_failure()
+            raise
+        latency = time.perf_counter() - start
+        if breaker is not None:
+            breaker.record_success(latency)
+            if self.breakers is not None:
+                self.breakers.publish()
+        if self.hedging is not None:
+            self.hedging.observe(f"shard{shard.shard_id}", latency)
         if degraded:
             self._emit(f"cluster.shard{shard.shard_id}.failover_batches")
         return answers, degraded
+
+    def _hedged_answer(
+        self,
+        shard: ShardRuntime,
+        queries: "List[RangeQuery]",
+        shard_specs: "List[AccuracySpec]",
+        consumer: str,
+        hedge_after: float,
+    ) -> "Tuple[List[PrivateAnswer], bool]":
+        """Race the gated lane against a bypass retry, exactly once.
+
+        Both lanes answer through the *same* shard broker, so whichever
+        wins produces the bit-identical result; the single ``claim``
+        token (taken before any broker work) guarantees the loser has no
+        side effects — nothing journaled twice, no RNG double-draw.
+        """
+        request_deadline = current_deadline()
+        cancel = threading.Event()
+        claim = threading.Lock()
+
+        def gated_lane() -> "Tuple[List[PrivateAnswer], bool]":
+            with deadline_scope(request_deadline):
+                with self._timer(f"cluster.shard{shard.shard_id}.answer_s"):
+                    return shard.answer_batch(
+                        queries, shard_specs, consumer,
+                        cancel=cancel, claim=claim,
+                    )
+
+        future = self._hedge_pool().submit(gated_lane)
+        try:
+            return future.result(timeout=hedge_after)
+        except FuturesTimeoutError:
+            pass
+        # Straggler: fire the hedge on the bypass lane.
+        self._emit(f"cluster.shard{shard.shard_id}.hedges")
+        try:
+            with self._timer(f"cluster.shard{shard.shard_id}.hedge_s"):
+                result = shard.answer_batch(
+                    queries, shard_specs, consumer, gate=False, claim=claim
+                )
+        except HedgeLostRace:
+            # The gated lane claimed first while the hedge spun up; its
+            # result is the only one that exists.
+            if self.hedging is not None:
+                self.hedging.record_hedge(won=False)
+            return future.result()
+        # Hedge won: wake the gated lane out of its ingress wait (it
+        # raises HedgeLostRace into its own future, which nobody reads).
+        cancel.set()
+        if self.hedging is not None:
+            self.hedging.record_hedge(won=True)
+        return result
+
+    def _hedge_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._hedge_executor is None:
+                self._hedge_executor = ThreadPoolExecutor(
+                    max_workers=max(2, len(self.shards)),
+                    thread_name_prefix="repro-hedge",
+                )
+            return self._hedge_executor
 
     # ------------------------------------------------------------------
     # execution backend (repro.workers)
@@ -802,13 +958,18 @@ class ClusterBroker:
         with self._lock:
             return "processes" if self._process_backend is not None else "threads"
 
-    def use_processes(self) -> None:
-        """Attach the per-shard worker-process backend.  Idempotent.
+    def use_processes(self, workers: "Optional[int]" = None) -> None:
+        """Attach the worker-process backend.  Idempotent.
 
-        Estimation moves to one spawned process per shard, fed by a
-        shared-memory sample store; planning, Laplace draws, journaling,
-        and all accounting stay in this process, so answers and books are
+        Estimation moves to spawned worker processes fed by shared-memory
+        sample stores; planning, Laplace draws, journaling, and all
+        accounting stay in this process, so answers and books are
         bit-identical to the threaded path for the same seeds.
+
+        ``workers`` (default: one per shard) round-robins shards onto
+        that many processes; co-hosted shards share one store and one
+        pre-scatter ``estimate_multi`` round-trip per batch (the
+        backend's ``prime`` hook) instead of a pipe round-trip each.
         """
         from repro.workers.backend import ClusterProcessBackend
 
@@ -816,9 +977,10 @@ class ClusterBroker:
             if self._process_backend is not None:
                 return
         backend = ClusterProcessBackend(telemetry=self.telemetry)
-        backend.attach(self.shards)
+        backend.attach(self.shards, workers=workers)
         with self._lock:
             self._process_backend = backend
+            self._primer = backend.prime
 
     def use_threads(self) -> None:
         """Detach the process backend (restore in-process estimation).
@@ -829,6 +991,7 @@ class ClusterBroker:
         with self._lock:
             backend = self._process_backend
             self._process_backend = None
+            self._primer = None
         if backend is not None:
             backend.detach()
 

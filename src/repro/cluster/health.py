@@ -11,21 +11,91 @@ the monitor declares the primary dead and flips the shard's routing to
 the replica.  Every failover is recorded as a :class:`FailoverEvent`
 and counted in the attached
 :class:`~repro.serving.telemetry.MetricsRegistry`.
+
+:class:`ShardBreakerBoard` complements the heartbeat monitor with
+*latency*-driven detection: one
+:class:`~repro.resilience.breaker.CircuitBreaker` per shard, fed by the
+cluster broker's scatter outcomes.  Heartbeats catch dead radios;
+breakers catch shards that are alive but limping, which heartbeats
+sail straight through.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.errors import DeliveryError
 from repro.iot.heartbeat import HeartbeatService
 from repro.cluster.shard import ShardRuntime
+from repro.resilience.breaker import BreakerConfig, CircuitBreaker
 
 if TYPE_CHECKING:  # pragma: no cover - types only
     from repro.serving.telemetry import MetricsRegistry
 
-__all__ = ["FailoverEvent", "ShardHealthMonitor"]
+__all__ = ["FailoverEvent", "ShardHealthMonitor", "ShardBreakerBoard"]
+
+
+class ShardBreakerBoard:
+    """One circuit breaker per shard lane, lazily created, shared config.
+
+    The board is advisory about *routing only*: an open breaker makes
+    the cluster broker serve that shard through the bypass (relief)
+    lane, which skips the shard's congested ingress path but runs the
+    very same broker — so answers and books are bit-identical whatever
+    the breaker state, and same-seed drill checksums never depend on
+    host timing.
+    """
+
+    def __init__(
+        self,
+        config: Optional[BreakerConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+        telemetry: "Optional[MetricsRegistry]" = None,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self.clock = clock
+        self.telemetry = telemetry
+        self._breakers: "Dict[int, CircuitBreaker]" = {}
+
+    def for_shard(self, shard_id: int) -> CircuitBreaker:
+        """The breaker guarding ``shard_id`` (created on first use)."""
+        breaker = self._breakers.get(shard_id)
+        if breaker is None:
+            breaker = CircuitBreaker(self.config, clock=self.clock)
+            self._breakers[shard_id] = breaker
+        return breaker
+
+    def states(self) -> "Dict[int, str]":
+        """Current state per attached shard."""
+        return {
+            shard_id: breaker.state
+            for shard_id, breaker in sorted(self._breakers.items())
+        }
+
+    def open_fraction(self) -> float:
+        """Share of attached lanes whose breaker is not closed.
+
+        Feeds the brownout ladder's ``breaker_open_fraction`` signal;
+        0.0 before any lane has been exercised.
+        """
+        if not self._breakers:
+            return 0.0
+        not_closed = sum(
+            1 for b in self._breakers.values() if b.state != "closed"
+        )
+        return not_closed / len(self._breakers)
+
+    def publish(self) -> None:
+        """Export per-shard breaker gauges to telemetry (if attached)."""
+        if self.telemetry is None:
+            return
+        for shard_id, breaker in self._breakers.items():
+            self.telemetry.set_gauge(
+                f"cluster.shard{shard_id}.breaker_open",
+                0.0 if breaker.state == "closed" else 1.0,
+            )
 
 
 @dataclass(frozen=True)

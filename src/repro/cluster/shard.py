@@ -22,6 +22,8 @@ sample, with fresh and independent noise randomness.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -47,6 +49,7 @@ from repro.iot.runtime import EventScheduler
 from repro.iot.topology import FlatTopology
 from repro.pricing.functions import InverseVariancePricing
 from repro.pricing.variance_model import VarianceModel
+from repro.resilience.hedging import HedgeLostRace
 
 __all__ = ["ShardRuntime", "build_shards", "PARTITION_STRATEGIES"]
 
@@ -124,6 +127,12 @@ class ShardRuntime:
     #: computed; routing decisions key their cache on the *current* store
     #: version, which can only be >= this.
     band_version: int = 0
+    #: Chaos knob: seconds of ingress latency injected ahead of every
+    #: *gated* answer attempt (``slow_shard`` fault).  Models a limping
+    #: shard whose default service path is congested; the bypass lane
+    #: (open breaker, hedge retry) skips the queue but runs the very
+    #: same broker, so injected latency never changes answers or books.
+    injected_latency: float = 0.0
 
     @property
     def primary_station(self) -> BaseStation:
@@ -166,6 +175,10 @@ class ShardRuntime:
         queries: "List[RangeQuery]",
         specs: "Sequence[AccuracySpec]",
         consumer: str,
+        *,
+        gate: bool = True,
+        cancel: "Optional[threading.Event]" = None,
+        claim: "Optional[threading.Lock]" = None,
     ) -> "Tuple[List[PrivateAnswer], bool]":
         """Answer on the primary, failing over to the replica mid-gather.
 
@@ -176,7 +189,28 @@ class ShardRuntime:
         retries once on the replica; broker rounds are transactional, so
         the aborted primary attempt left no partial store and no
         charges.
+
+        ``gate=False`` skips the injected ingress latency (the bypass /
+        relief lane used by open breakers and hedge retries).  ``cancel``
+        aborts a lane still waiting out the gate; ``claim`` is the
+        exactly-once token of a hedge race — the lane must win it
+        *before* touching the broker, so the losing lane provably has no
+        side effects (:class:`~repro.resilience.hedging.HedgeLostRace`).
         """
+        delay = self.injected_latency if gate else 0.0
+        if delay > 0.0:
+            if cancel is not None:
+                if cancel.wait(delay):
+                    raise HedgeLostRace(
+                        f"shard {self.shard_id}: gated lane cancelled by a "
+                        "winning hedge"
+                    )
+            else:
+                time.sleep(delay)
+        if claim is not None and not claim.acquire(blocking=False):
+            raise HedgeLostRace(
+                f"shard {self.shard_id}: lost the exactly-once hedge claim"
+            )
         if self.primary_alive:
             try:
                 return self.primary.answer_batch(queries, list(specs), consumer), False

@@ -34,6 +34,7 @@ from repro.pricing.functions import PricingFunction
 from repro.pricing.ledger import BillingLedger
 from repro.privacy.budget import BudgetAccountant
 from repro.privacy.laplace import sample_laplace, sample_laplace_many
+from repro.resilience.deadline import check_deadline
 
 if TYPE_CHECKING:  # pragma: no cover - types only, avoids an import cycle
     from repro.durability.journal import TradeJournal
@@ -340,6 +341,9 @@ class DataBroker:
         """
         if not queries:
             raise ValueError("at least one query is required")
+        # A request whose deadline already passed must not plan, estimate,
+        # or bill; the scope is installed by the serving gateway.
+        check_deadline("broker.answer_batch")
         if isinstance(spec, AccuracySpec):
             specs = [spec] * len(queries)
         else:
@@ -482,6 +486,9 @@ class DataBroker:
                 price=price,
                 epsilon_prime=epsilon_prime,
             ))
+        # Last pre-commit checkpoint: past here the trade is journaled and
+        # charged, so an expired deadline must abort *now* or not at all.
+        check_deadline("broker.journal")
         with self._timer("broker.batch.charge_s"):
             self._journal_trades(journal_records)
             for epsilon_prime in settle_epsilons:

@@ -100,6 +100,15 @@ class PrivateAnswer:
         Name of the purchasing consumer.
     transaction_id:
         Billing-ledger id, when the sale was recorded.
+    brownout_rung:
+        Which brownout rung (if any) the serving gateway applied before
+        dispatch: ``"none"``, ``"cache"``, ``"widen_alpha"``,
+        ``"degrade_delta"``.  ``spec`` is always the contract actually
+        delivered and billed; under a brownout it may be weaker than the
+        one requested.
+    requested_spec:
+        The originally requested ``(α, δ)`` tier when a brownout rung
+        served a weaker one; ``None`` when the answer matches the request.
     """
 
     value: float
@@ -111,6 +120,8 @@ class PrivateAnswer:
     price: float
     consumer: str = "anonymous"
     transaction_id: Optional[int] = None
+    brownout_rung: str = "none"
+    requested_spec: Optional[AccuracySpec] = None
 
     @property
     def epsilon_prime(self) -> float:

@@ -29,6 +29,7 @@ __all__ = [
     "QuotaExceededError",
     "GatewayClosedError",
     "DeadlineExceededError",
+    "BrownoutShedError",
     "ClusterError",
     "ShardUnavailableError",
     "StreamingError",
@@ -155,6 +156,21 @@ class DeadlineExceededError(ServingError):
     deadline-exceeded request is never billed and never spends privacy
     budget — it fails fast instead of riding a late batch.
     """
+
+
+class BrownoutShedError(ServingError):
+    """The gateway is at the top brownout rung and shed this request.
+
+    Like every serving refusal it fires before the broker touches data, so
+    a shed request is never billed and never spends privacy budget.  Carries
+    a ``retry_after`` hint (seconds) so well-behaved consumers back off for
+    at least one brownout evaluation window instead of hammering a gateway
+    that has already told them it is saturated.
+    """
+
+    def __init__(self, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class ClusterError(ReproError):

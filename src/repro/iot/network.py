@@ -53,11 +53,26 @@ class Network:
     max_retries:
         Additional attempts after the first before giving up.
     backoff_base:
-        Simulated seconds of exponential backoff before the first retry;
-        retry ``r`` waits ``backoff_base * backoff_factor**(r-1)``.  Set
+        Simulated seconds of backoff floor before the first retry.  Set
         to 0 to retry immediately (the pre-backoff behaviour).
     backoff_factor:
-        Multiplier between successive backoff waits (>= 1).
+        Multiplier between successive backoff waits (>= 1).  With jitter
+        enabled it only sets the cap
+        (``backoff_base * backoff_factor**max_retries``); with jitter
+        disabled, retry ``r`` waits the classic
+        ``backoff_base * backoff_factor**(r-1)``.
+    backoff_jitter:
+        Decorrelated jitter on the retry waits (default on): each wait
+        is drawn uniformly from ``[backoff_base, 3 * previous_wait]``
+        and clamped to the cap, so synchronized senders that lost the
+        same frame fan out instead of re-colliding on the next attempt.
+        Draws come from a dedicated seeded generator and happen **only
+        after a failed attempt**, so loss-free runs are bit-identical
+        with jitter on or off, and seeded channel streams (loss,
+        latency) are never perturbed either way.
+    backoff_seed:
+        Seed of the jitter generator; same-seed twin networks wait
+        identical jittered ladders.
     delivery_log_limit:
         Ring-buffer capacity of the per-message audit log.  Under
         sustained serving load the log would otherwise grow without
@@ -74,6 +89,8 @@ class Network:
     max_retries: int = 3
     backoff_base: float = 0.002
     backoff_factor: float = 2.0
+    backoff_jitter: bool = True
+    backoff_seed: int = 53
     delivery_log_limit: Optional[int] = 4096
 
     def __post_init__(self) -> None:
@@ -88,6 +105,9 @@ class Network:
         self._log: Deque[DeliveryRecord] = deque(maxlen=self.delivery_log_limit)
         self._delivered_count = 0
         self._attempt_count = 0
+        # Jitter draws ride their own generator so backoff never shifts
+        # the channel's seeded loss/latency streams.
+        self._backoff_rng = np.random.default_rng(self.backoff_seed)
 
     @property
     def deliveries(self) -> List[DeliveryRecord]:
@@ -114,15 +134,16 @@ class Network:
         Every attempt is charged to the meter (the radio transmits whether
         or not the frame survives), and every attempt — lost ones too —
         advances the simulated clock: a lost frame still burns
-        ``hops * base_latency`` of air time, and each retry waits an
-        exponentially growing backoff (``backoff_base`` doubling per
-        retry) before going back on the air.  Lost-frame air time is
-        deterministic (jitter models successful-delivery queueing and
-        draws no randomness here), so seeded channel streams are
-        unaffected by the clock accounting.  Raises
-        :class:`DeliveryError` — carrying attempts/hops/route context —
-        after ``1 + max_retries`` failed attempts or for unknown
-        endpoints.
+        ``hops * base_latency`` of air time, and each retry waits a
+        backoff — decorrelated-jittered by default, classic exponential
+        with ``backoff_jitter=False`` — before going back on the air.
+        Lost-frame air time is deterministic and jitter draws come from
+        the network's own seeded generator, only ever after a failed
+        attempt, so seeded channel streams are unaffected by the clock
+        accounting and loss-free runs are bit-identical regardless of the
+        jitter setting.  Raises :class:`DeliveryError` — carrying
+        attempts/hops/route context — after ``1 + max_retries`` failed
+        attempts or for unknown endpoints.
         """
         hops = self.topology.hops(message.sender, message.receiver)
         if hops == 0:
@@ -131,6 +152,8 @@ class Network:
             )
         attempts = 0
         wasted = 0.0  # simulated seconds spent on lost frames + backoff
+        backoff_cap = self.backoff_base * self.backoff_factor ** self.max_retries
+        previous_wait = self.backoff_base
         while attempts <= self.max_retries:
             attempts += 1
             self._attempt_count += 1
@@ -154,7 +177,16 @@ class Network:
             self.clock.advance(lost_air_time)
             wasted += lost_air_time
             if attempts <= self.max_retries and self.backoff_base > 0:
-                backoff = self.backoff_base * self.backoff_factor ** (attempts - 1)
+                if self.backoff_jitter:
+                    backoff = min(backoff_cap, float(self._backoff_rng.uniform(
+                        self.backoff_base, 3.0 * previous_wait
+                    )))
+                    previous_wait = backoff
+                else:
+                    backoff = (
+                        self.backoff_base
+                        * self.backoff_factor ** (attempts - 1)
+                    )
                 self.clock.advance(backoff)
                 wasted += backoff
         raise DeliveryError(

@@ -89,11 +89,15 @@ __all__ = [
 ]
 
 #: Modules whose ``answer*``/``replay*`` paths release answers (the same
-#: scope RL001/RL006 use).
+#: scope RL001/RL006 use).  ``repro.resilience`` is inside the scope
+#: because brownout/hedging helpers sit on the release path: any future
+#: ``answer*`` helper that moves there keeps the same static guarantees.
 BROKER_MODULES = (
     "repro.core.broker",
     "repro.cluster.broker",
     "repro.streaming.broker",
+    "repro.resilience.brownout",
+    "repro.resilience.hedging",
 )
 
 _EMPTY_TAINT = TaintSummary()

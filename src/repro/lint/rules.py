@@ -128,6 +128,8 @@ class DpBoundaryRule(Rule):
         "repro.core.broker",
         "repro.cluster.broker",
         "repro.streaming.broker",
+        "repro.resilience.brownout",
+        "repro.resilience.hedging",
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
@@ -734,6 +736,8 @@ class JournalBeforeReleaseRule(Rule):
         "repro.core.broker",
         "repro.cluster.broker",
         "repro.streaming.broker",
+        "repro.resilience.brownout",
+        "repro.resilience.hedging",
     )
 
     def applies_to(self, ctx: FileContext) -> bool:
@@ -774,17 +778,22 @@ class JournalBeforeReleaseRule(Rule):
 
     @staticmethod
     def _walk_own_scope(stmts: List[ast.stmt]) -> Iterator[ast.AST]:
-        """Walk the function body without descending into nested scopes."""
+        """Walk the function body without descending into nested scopes.
+
+        The guard must sit on the *yielded* node, not its children: a
+        nested ``def`` that is a direct statement of the body would
+        otherwise have its own body expanded, and a helper closure's
+        ``return`` would be misread as the answer function's release.
+        """
         stack: List[ast.AST] = list(stmts)
         while stack:
             node = stack.pop()
             yield node
-            for child in ast.iter_child_nodes(node):
-                if isinstance(
-                    child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
-                ):
-                    continue
-                stack.append(child)
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
 
     @staticmethod
     def _is_journal_call(node: ast.Call) -> bool:

@@ -1,0 +1,159 @@
+"""Per-shard circuit breakers over rolling error/latency windows.
+
+A breaker guards one shard lane (primary or replica).  It is *advisory
+about routing, never about accounting*: tripping a breaker changes which
+lane serves a sub-query, but the brokers that consult it still produce
+bit-identical answers for whichever lane runs — so same-seed drill
+checksums are unaffected by breaker state.
+
+States follow the classic three-way machine:
+
+``closed``
+    Normal service.  Failures and slow calls accumulate in a rolling
+    window; when the bad fraction crosses ``failure_threshold`` (with at
+    least ``min_calls`` observations) the breaker opens.
+``open``
+    The lane is cut out.  After ``cooldown`` seconds on the injected
+    clock the next ``allow()`` admits a single half-open probe.
+``half_open``
+    Exactly one probe in flight.  Success closes the breaker and clears
+    the window; failure (or a slow probe) re-opens it for another
+    cooldown.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Tuple
+
+__all__ = ["BreakerConfig", "CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs for one :class:`CircuitBreaker`.
+
+    ``latency_threshold`` classifies a successful-but-slow call as bad
+    for the purposes of the rolling window — the breaker exists mainly
+    to stop a *limping* shard, which returns correct answers late rather
+    than erroring.
+    """
+
+    window: int = 32
+    failure_threshold: float = 0.5
+    min_calls: int = 4
+    latency_threshold: float = 0.050
+    cooldown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.window < 1:
+            raise ValueError(f"window must be >= 1, got {self.window}")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError(
+                f"failure_threshold must be in (0, 1], got {self.failure_threshold}"
+            )
+        if self.min_calls < 1:
+            raise ValueError(f"min_calls must be >= 1, got {self.min_calls}")
+        if self.latency_threshold <= 0.0:
+            raise ValueError(
+                f"latency_threshold must be > 0, got {self.latency_threshold}"
+            )
+        if self.cooldown < 0.0:
+            raise ValueError(f"cooldown must be >= 0, got {self.cooldown}")
+
+
+class CircuitBreaker:
+    """One closed/open/half-open breaker with an injectable clock."""
+
+    def __init__(
+        self,
+        config: BreakerConfig | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or BreakerConfig()
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: rolling (ok, latency) observations, newest last
+        self._window: Deque[Tuple[bool, float]] = deque(
+            maxlen=self.config.window
+        )
+        self.open_count = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """Whether the guarded lane may serve the next sub-query.
+
+        From ``open``, the first call after the cooldown transitions to
+        ``half_open`` and admits exactly one probe; concurrent callers
+        during the probe are refused.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self.clock() - self._opened_at >= self.config.cooldown:
+                    self._state = HALF_OPEN
+                    self._probe_in_flight = True
+                    return True
+                return False
+            # half-open: one probe only
+            if not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self, latency: float) -> None:
+        """Record a completed call; slow successes count as bad."""
+        ok = latency < self.config.latency_threshold
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_in_flight = False
+                if ok:
+                    self._state = CLOSED
+                    self._window.clear()
+                else:
+                    self._reopen_locked()
+                return
+            self._window.append((ok, latency))
+            self._maybe_open_locked()
+
+    def record_failure(self) -> None:
+        """Record an errored call (delivery failure, crash, timeout)."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._probe_in_flight = False
+                self._reopen_locked()
+                return
+            self._window.append((False, float("inf")))
+            self._maybe_open_locked()
+
+    def record_slow(self) -> None:
+        """Record a call that lost a hedge race — slow by observation."""
+        self.record_success(float("inf"))
+
+    def _maybe_open_locked(self) -> None:
+        if self._state != CLOSED or len(self._window) < self.config.min_calls:
+            return
+        bad = sum(1 for ok, _ in self._window if not ok)
+        if bad / len(self._window) >= self.config.failure_threshold:
+            self._reopen_locked()
+
+    def _reopen_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self.clock()
+        self._window.clear()
+        self.open_count += 1

@@ -1,0 +1,241 @@
+"""The privacy-honest brownout ladder.
+
+Under sustained overload the gateway degrades service in explicit,
+metered rungs instead of letting queue time silently blow every
+deadline.  Each rung is *privacy-honest*: the ``(α, δ)`` the consumer
+receives is the one actually planned, delivered, and billed — a weaker
+contract is cheaper (smaller ε′, lower price), never a silent lie.
+
+Ladder (one level per rung, strictly increasing severity):
+
+====== ================= ==================================================
+level  rung              effect on a fresh (non-cached) request
+====== ================= ==================================================
+0      ``none``          normal service
+1      ``cache``         cache replays preferred (ε = 0); misses unchanged
+2      ``widen_alpha``   α ← min(α · widen_factor, alpha_max); re-quoted
+3      ``degrade_delta`` widened α *and* δ ← degraded via the replica-
+                         confidence factor; planned at the weaker target
+4      ``shed``          refuse with :class:`~repro.errors.BrownoutShedError`
+====== ================= ==================================================
+
+Level transitions use hysteresis — ``enter_after`` consecutive
+observations above a rung's pressure threshold to climb one level,
+``exit_after`` below to descend — so a single queue spike does not flap
+the ladder.  Deterministic drills pin the level with :meth:`force`.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.core.query import AccuracySpec
+
+__all__ = [
+    "OverloadSignals",
+    "BrownoutConfig",
+    "BrownoutDecision",
+    "BrownoutController",
+    "RUNGS",
+]
+
+#: rung name per ladder level, index == level
+RUNGS: Tuple[str, ...] = ("none", "cache", "widen_alpha", "degrade_delta", "shed")
+
+
+@dataclass(frozen=True)
+class OverloadSignals:
+    """One sample of the gateway's overload indicators, each in [0, 1].
+
+    ``queue_fraction`` is queue depth over capacity,
+    ``breaker_open_fraction`` the share of shard lanes with an open
+    breaker, and ``deadline_miss_rate`` the recent fraction of dispatches
+    that expired in queue.
+    """
+
+    queue_fraction: float = 0.0
+    breaker_open_fraction: float = 0.0
+    deadline_miss_rate: float = 0.0
+
+    @property
+    def pressure(self) -> float:
+        """The ladder's scalar input: the worst of the three signals."""
+        return max(
+            self.queue_fraction,
+            self.breaker_open_fraction,
+            self.deadline_miss_rate,
+        )
+
+
+@dataclass(frozen=True)
+class BrownoutConfig:
+    """Thresholds and degradation parameters for the ladder.
+
+    ``thresholds[i]`` is the pressure at which level ``i + 1`` becomes
+    the target.  ``widen_factor``/``alpha_max`` bound the α rung inside
+    the tier's admission band; ``delta_confidence`` is the same factor
+    the cluster layer uses for replica failovers
+    (:func:`repro.cluster.planning.degraded_delta`).
+    """
+
+    thresholds: Tuple[float, float, float, float] = (0.25, 0.50, 0.75, 0.90)
+    enter_after: int = 2
+    exit_after: int = 8
+    widen_factor: float = 1.5
+    alpha_max: float = 0.5
+    delta_confidence: float = 0.9
+    retry_after: float = 0.1
+
+    def __post_init__(self) -> None:
+        if len(self.thresholds) != len(RUNGS) - 1:
+            raise ValueError(
+                f"need {len(RUNGS) - 1} thresholds, got {len(self.thresholds)}"
+            )
+        if list(self.thresholds) != sorted(self.thresholds):
+            raise ValueError("thresholds must be non-decreasing")
+        if self.enter_after < 1 or self.exit_after < 1:
+            raise ValueError("hysteresis counts must be >= 1")
+        if self.widen_factor < 1.0:
+            raise ValueError(f"widen_factor must be >= 1, got {self.widen_factor}")
+        if not 0.0 < self.alpha_max < 1.0:
+            raise ValueError(f"alpha_max must be in (0, 1), got {self.alpha_max}")
+        if not 0.0 < self.delta_confidence <= 1.0:
+            raise ValueError(
+                f"delta_confidence must be in (0, 1], got {self.delta_confidence}"
+            )
+        if self.retry_after < 0.0:
+            raise ValueError(f"retry_after must be >= 0, got {self.retry_after}")
+
+
+@dataclass(frozen=True)
+class BrownoutDecision:
+    """What the ladder did to one fresh request.
+
+    ``served`` is the spec to actually plan/price/deliver (``None`` only
+    for the ``shed`` rung).  ``requested`` echoes the original spec when
+    the served one differs, for answer provenance.
+    """
+
+    level: int
+    rung: str
+    served: Optional[AccuracySpec]
+    requested: Optional[AccuracySpec] = None
+
+
+class BrownoutController:
+    """Hysteresis-driven ladder position plus per-request decisions."""
+
+    def __init__(self, config: Optional[BrownoutConfig] = None) -> None:
+        self.config = config or BrownoutConfig()
+        self._lock = threading.Lock()
+        self._level = 0
+        self._pinned = False
+        self._above_streak = 0
+        self._below_streak = 0
+        self.decisions = {rung: 0 for rung in RUNGS}
+
+    @property
+    def level(self) -> int:
+        with self._lock:
+            return self._level
+
+    def force(self, level: int) -> None:
+        """Pin the ladder at ``level`` (drills); ``observe`` is ignored."""
+        if not 0 <= level < len(RUNGS):
+            raise ValueError(f"level must be in [0, {len(RUNGS) - 1}], got {level}")
+        with self._lock:
+            self._level = level
+            self._pinned = True
+            self._above_streak = 0
+            self._below_streak = 0
+
+    def release(self) -> None:
+        """Unpin a forced level; ``observe`` resumes control."""
+        with self._lock:
+            self._pinned = False
+
+    def observe(self, signals: OverloadSignals) -> int:
+        """Feed one overload sample; returns the (possibly new) level.
+
+        The ladder moves at most one rung per observation: up after
+        ``enter_after`` consecutive samples whose pressure clears the
+        next rung's threshold, down after ``exit_after`` consecutive
+        samples below the current rung's.
+        """
+        with self._lock:
+            if self._pinned:
+                return self._level
+            pressure = signals.pressure
+            can_climb = (
+                self._level < len(RUNGS) - 1
+                and pressure >= self.config.thresholds[self._level]
+            )
+            can_descend = (
+                self._level > 0
+                and pressure < self.config.thresholds[self._level - 1]
+            )
+            if can_climb:
+                self._above_streak += 1
+                self._below_streak = 0
+                if self._above_streak >= self.config.enter_after:
+                    self._level += 1
+                    self._above_streak = 0
+            elif can_descend:
+                self._below_streak += 1
+                self._above_streak = 0
+                if self._below_streak >= self.config.exit_after:
+                    self._level -= 1
+                    self._below_streak = 0
+            else:
+                self._above_streak = 0
+                self._below_streak = 0
+            return self._level
+
+    def maybe_shed(self) -> Optional[float]:
+        """Submit-time fast path: retry-after seconds at the shed rung,
+        ``None`` below it.  Counts the shed decision when it fires."""
+        with self._lock:
+            if self._level < len(RUNGS) - 1:
+                return None
+            self.decisions["shed"] = self.decisions.get("shed", 0) + 1
+            return self.config.retry_after
+
+    def decide(self, spec: AccuracySpec) -> BrownoutDecision:
+        """The ladder's treatment of one fresh (cache-missed) request.
+
+        Widening never *tightens* a contract: if the tier's α already
+        exceeds ``alpha_max`` the spec passes through unchanged, and δ
+        degradation always lowers δ.  The served spec re-enters the
+        normal quote → admit → plan path, so pricing and ε′ follow the
+        delivered contract automatically.
+        """
+        with self._lock:
+            level = self._level
+        rung = RUNGS[level]
+        if level >= 4:
+            self._count(rung)
+            return BrownoutDecision(level=level, rung=rung, served=None)
+        if level <= 1:
+            # level 1 ("cache") only biases replay preference at the
+            # gateway; a fresh request is served at full contract.
+            self._count("none" if level == 0 else rung)
+            return BrownoutDecision(level=level, rung=rung, served=spec)
+        alpha = min(max(spec.alpha * self.config.widen_factor, spec.alpha),
+                    max(self.config.alpha_max, spec.alpha))
+        delta = spec.delta
+        if level >= 3:
+            delta = spec.delta * self.config.delta_confidence
+        served = AccuracySpec(alpha=alpha, delta=delta)
+        if served == spec:
+            self._count("none")
+            return BrownoutDecision(level=level, rung="none", served=spec)
+        self._count(rung)
+        return BrownoutDecision(
+            level=level, rung=rung, served=served, requested=spec
+        )
+
+    def _count(self, rung: str) -> None:
+        with self._lock:
+            self.decisions[rung] = self.decisions.get(rung, 0) + 1

@@ -1,0 +1,94 @@
+"""Latency-percentile hedging triggers for straggler sub-queries.
+
+The policy tracks a rolling latency window per shard lane and answers
+one question: *how long should the gather wait before re-issuing this
+sub-query on the bypass lane?*  Cold lanes (fewer than ``min_samples``
+observations) return ``None`` — hedging stays off until there is enough
+signal to tell a straggler from normal variance, which also keeps
+deterministic drills hedge-free during warm-up.
+
+Exactly-once semantics live at the call site (``ClusterBroker``): both
+lanes race for a single claim before touching the broker, so the loser
+is cancelled without advancing RNG, journal, or ledger state.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from collections import deque
+from typing import Deque, Dict, Optional
+
+__all__ = ["HedgePolicy", "HedgeLostRace"]
+
+
+class HedgeLostRace(Exception):
+    """Internal control flow: this lane lost the exactly-once claim.
+
+    Raised by a hedged lane that was cancelled or beaten to the claim
+    before touching the broker — the lane has had **no** side effects
+    (no RNG draw, no journal append, no charge).  Deliberately not a
+    :class:`~repro.errors.ReproError`: it must never escape the hedging
+    call site into consumer-visible error handling.
+    """
+
+
+class HedgePolicy:
+    """Per-key rolling latency quantiles driving hedge timeouts."""
+
+    def __init__(
+        self,
+        window: int = 64,
+        quantile: float = 0.95,
+        multiplier: float = 2.0,
+        min_samples: int = 8,
+        floor: float = 0.001,
+    ) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        if not 0.0 < quantile < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {quantile}")
+        if multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {multiplier}")
+        if min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {min_samples}")
+        if floor <= 0.0:
+            raise ValueError(f"floor must be > 0, got {floor}")
+        self.window = window
+        self.quantile = quantile
+        self.multiplier = multiplier
+        self.min_samples = min_samples
+        self.floor = floor
+        self._lock = threading.Lock()
+        self._latencies: Dict[str, Deque[float]] = {}
+        self.hedges_fired = 0
+        self.hedges_won = 0
+
+    def observe(self, key: str, latency: float) -> None:
+        """Record one completed sub-query latency for ``key``."""
+        if not math.isfinite(latency) or latency < 0.0:
+            return
+        with self._lock:
+            lane = self._latencies.get(key)
+            if lane is None:
+                lane = deque(maxlen=self.window)
+                self._latencies[key] = lane
+            lane.append(latency)
+
+    def hedge_after(self, key: str) -> Optional[float]:
+        """Seconds to wait before hedging ``key``; ``None`` while cold."""
+        with self._lock:
+            lane = self._latencies.get(key)
+            if lane is None or len(lane) < self.min_samples:
+                return None
+            ordered = sorted(lane)
+        # nearest-rank quantile over the rolling window
+        rank = min(len(ordered) - 1, int(math.ceil(self.quantile * len(ordered))) - 1)
+        return max(self.floor, ordered[max(rank, 0)] * self.multiplier)
+
+    def record_hedge(self, won: bool) -> None:
+        """Count a fired hedge and whether the hedge lane won the race."""
+        with self._lock:
+            self.hedges_fired += 1
+            if won:
+                self.hedges_won += 1

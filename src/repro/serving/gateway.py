@@ -39,23 +39,31 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future
 from contextlib import contextmanager
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass, replace
+from typing import Callable, Deque, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.broker import DataBroker
 from repro.core.query import AccuracySpec, PrivateAnswer, RangeQuery
 from repro.errors import (
+    BrownoutShedError,
     DeadlineExceededError,
     GatewayClosedError,
     ServiceOverloadedError,
 )
+from repro.resilience.brownout import BrownoutController, OverloadSignals
+from repro.resilience.deadline import Deadline, deadline_scope
 from repro.serving.admission import AdmissionController
 from repro.serving.answer_cache import AnswerCache
 from repro.serving.telemetry import MetricsRegistry
 
 __all__ = ["ServingConfig", "ServingGateway"]
+
+#: Window (dispatched requests) over which the deadline-miss rate that
+#: feeds the brownout ladder is measured.
+_MISS_RATE_WINDOW = 128
 
 
 @dataclass(frozen=True)
@@ -133,16 +141,34 @@ class ServingConfig:
 
 
 class _Request:
-    __slots__ = ("query", "spec", "consumer", "future", "enqueued_at")
+    __slots__ = (
+        "query",
+        "spec",
+        "consumer",
+        "future",
+        "enqueued_at",
+        "deadline",
+        "admitted_price",
+    )
 
     def __init__(
-        self, query: RangeQuery, spec: AccuracySpec, consumer: str
+        self,
+        query: RangeQuery,
+        spec: AccuracySpec,
+        consumer: str,
+        admitted_price: float = 0.0,
+        deadline: Optional[Deadline] = None,
     ) -> None:
         self.query = query
         self.spec = spec
         self.consumer = consumer
         self.future: "Future[PrivateAnswer]" = Future()
         self.enqueued_at = time.perf_counter()
+        #: the quote reserved with admission at submit time; released
+        #: verbatim on finish/fail so a brownout-repriced answer can never
+        #: strand or over-release a reservation.
+        self.admitted_price = admitted_price
+        self.deadline = deadline
 
 
 #: Queue sentinel telling a worker to exit.
@@ -174,6 +200,15 @@ class ServingGateway:
     admission:
         Optional :class:`AdmissionController`; its ledger defaults to the
         broker's billing ledger.
+    brownout:
+        Optional :class:`~repro.resilience.brownout.BrownoutController`.
+        When present the gateway feeds it overload signals at every
+        dispatch and applies its ladder decisions to fresh requests;
+        omitted means no brownout (current behaviour, bit-identical).
+    clock:
+        Monotonic-seconds callable used for request deadlines; defaults
+        to ``time.monotonic``.  Deterministic drills inject a manual
+        clock so deadline misses land identically in same-seed reruns.
     """
 
     def __init__(
@@ -183,9 +218,16 @@ class ServingGateway:
         telemetry: Optional[MetricsRegistry] = None,
         cache: Optional[AnswerCache] = None,
         admission: Optional[AdmissionController] = None,
+        brownout: Optional[BrownoutController] = None,
+        clock: Optional[Callable[[], float]] = None,
     ) -> None:
         self.broker = broker
         self.config = config or ServingConfig()
+        self.brownout = brownout
+        self.clock: Callable[[], float] = clock or time.monotonic
+        #: rolling outcome of recent dispatched requests (True = expired
+        #: in queue); guarded by the dispatch lock.
+        self._miss_window: Deque[bool] = deque(maxlen=_MISS_RATE_WINDOW)
         self.telemetry = telemetry if telemetry is not None else MetricsRegistry()
         if broker.telemetry is None:
             broker.telemetry = self.telemetry
@@ -358,10 +400,24 @@ class ServingGateway:
         # is caught anyway -- stop() drains the queue and fails leftovers.
         if self._closed:  # repro-lint: disable=RL003
             raise GatewayClosedError("gateway is stopped")
+        if self.brownout is not None:
+            retry_after = self.brownout.maybe_shed()
+            if retry_after is not None:
+                self.telemetry.inc("gateway.brownout.shed")
+                raise BrownoutShedError(
+                    "gateway is at the shed brownout rung; retry after "
+                    f"{retry_after:.3f}s",
+                    retry_after=retry_after,
+                )
         price = self.broker.quote(spec)
         if self.admission is not None:
             self.admission.admit(consumer, price)
-        request = _Request(query, spec, consumer)
+        deadline: Optional[Deadline] = None
+        if self.config.request_ttl is not None:
+            deadline = Deadline.after(self.config.request_ttl, clock=self.clock)
+        request = _Request(
+            query, spec, consumer, admitted_price=price, deadline=deadline
+        )
         try:
             self._queue.put_nowait(request)
         except queue.Full:
@@ -473,26 +529,25 @@ class ServingGateway:
     def _dispatch_locked(self, batch: "List[_Request]") -> None:
         self.telemetry.observe("gateway.batch_width", len(batch))
 
-        # 0. Deadline check: requests past their TTL fail fast, before
-        #    any billing or budget is touched.
-        ttl = self.config.request_ttl
-        if ttl is not None:
-            now = time.perf_counter()
-            fresh_enough: List[_Request] = []
-            for request in batch:
-                waited = now - request.enqueued_at
-                if waited > ttl:
-                    self.telemetry.inc("gateway.deadline_exceeded")
-                    self._fail(request, DeadlineExceededError(
-                        f"request from {request.consumer!r} waited "
-                        f"{waited:.3f}s in the queue, past its "
-                        f"{ttl:.3f}s deadline"
-                    ))
-                else:
-                    fresh_enough.append(request)
-            batch = fresh_enough
-            if not batch:
-                return
+        # 0. Deadline check: requests past their deadline fail fast,
+        #    before any billing or budget is touched.
+        fresh_enough: List[_Request] = []
+        for request in batch:
+            if request.deadline is not None and request.deadline.expired():
+                self._miss_window.append(True)
+                self.telemetry.inc("gateway.deadline_exceeded")
+                self._fail(request, DeadlineExceededError(
+                    f"request from {request.consumer!r} sat in the queue "
+                    f"{-request.deadline.remaining():.3f}s past its "
+                    "deadline"
+                ))
+            else:
+                self._miss_window.append(False)
+                fresh_enough.append(request)
+        batch = fresh_enough
+        self._observe_overload()
+        if not batch:
+            return
 
         store_version = self.broker.base_station.store_version
         pending: List[_Request] = []
@@ -545,24 +600,74 @@ class ServingGateway:
         else:
             fresh = pending
 
+        # 2b. Brownout ladder: a fresh request may be served at an
+        #     explicitly weaker contract (wider α, lower reported δ).
+        #     The served spec re-enters the normal plan/price path, so
+        #     the weaker contract is the one journaled and billed; the
+        #     answer carries both specs for provenance.
+        served_specs: List[AccuracySpec] = [r.spec for r in fresh]
+        rungs: List[str] = ["none"] * len(fresh)
+        shed: List[bool] = [False] * len(fresh)
+        if self.brownout is not None:
+            for idx, request in enumerate(fresh):
+                decision = self.brownout.decide(request.spec)
+                if decision.served is None:
+                    # The ladder climbed to shed while this request sat
+                    # queued.  Refuse it now: never billed, never planned.
+                    shed[idx] = True
+                    self.telemetry.inc("gateway.brownout.shed")
+                    self._fail(request, BrownoutShedError(
+                        "gateway reached the shed brownout rung while the "
+                        "request was queued",
+                        retry_after=self.brownout.config.retry_after,
+                    ))
+                else:
+                    served_specs[idx] = decision.served
+                    rungs[idx] = decision.rung if decision.served != request.spec else "none"
+
         # 3. Fresh releases: group by consumer (accounting is per
         #    consumer) preserving arrival order, one answer_batch each.
+        #    Each group dispatches under the earliest member deadline so
+        #    downstream layers (cluster fan-out, worker pipes) can fail
+        #    fast before journaling -- no answer in the group is ever
+        #    released past its own deadline.
         fresh_answers: "List[Optional[PrivateAnswer]]" = [None] * len(fresh)
         groups: "Dict[str, List[int]]" = {}
         for idx, request in enumerate(fresh):
-            groups.setdefault(request.consumer, []).append(idx)
+            if not shed[idx]:
+                groups.setdefault(request.consumer, []).append(idx)
         for consumer, indices in groups.items():
             queries = [fresh[i].query for i in indices]
-            specs = [fresh[i].spec for i in indices]
+            specs = [served_specs[i] for i in indices]
+            deadlines = [
+                fresh[i].deadline
+                for i in indices
+                if fresh[i].deadline is not None
+            ]
+            group_deadline = (
+                min(deadlines, key=lambda d: d.expires_at)
+                if deadlines
+                else None
+            )
             try:
-                answers = self.broker.answer_batch(
-                    queries, specs, consumer=consumer
-                )
+                with deadline_scope(group_deadline):
+                    answers = self.broker.answer_batch(
+                        queries, specs, consumer=consumer
+                    )
             except Exception as exc:  # repro-lint: shed -- fail the whole group atomically
+                if isinstance(exc, DeadlineExceededError):
+                    self.telemetry.inc("gateway.deadline_exceeded")
                 for i in indices:
                     self._fail(fresh[i], exc)
                 continue
             for i, answer in zip(indices, answers):
+                if rungs[i] != "none":
+                    self.telemetry.inc(f"gateway.brownout.{rungs[i]}")
+                    answer = replace(
+                        answer,
+                        brownout_rung=rungs[i],
+                        requested_spec=fresh[i].spec,
+                    )
                 fresh_answers[i] = answer
 
         # 4. Populate the cache at the *post-dispatch* store version (a
@@ -571,7 +676,10 @@ class ServingGateway:
         if self.cache is not None:
             post_version = self.broker.base_station.store_version
             for request, answer in zip(fresh, fresh_answers):
-                if answer is not None:
+                # Brownout-degraded releases are never cached: once the
+                # ladder descends, an identical request must get its full
+                # contract again, not a replay of the weakened one.
+                if answer is not None and answer.brownout_rung == "none":
                     # Recompute the signature: a mid-dispatch top-up can
                     # flip the route, and future lookups key against the
                     # post-dispatch state.
@@ -602,6 +710,29 @@ class ServingGateway:
             else:
                 self._replay(request, source)
 
+    def _observe_overload(self) -> None:
+        """Feed one overload sample to the brownout ladder (if attached)."""
+        if self.brownout is None:
+            return
+        open_fraction_fn = getattr(
+            self.broker, "breaker_open_fraction", None
+        )
+        miss_rate = (
+            sum(self._miss_window) / len(self._miss_window)
+            if self._miss_window
+            else 0.0
+        )
+        level = self.brownout.observe(OverloadSignals(
+            queue_fraction=min(
+                1.0, self._queue.qsize() / self.config.queue_depth
+            ),
+            breaker_open_fraction=(
+                float(open_fraction_fn()) if open_fraction_fn else 0.0
+            ),
+            deadline_miss_rate=miss_rate,
+        ))
+        self.telemetry.set_gauge("gateway.brownout_level", level)
+
     def _replay(self, request: _Request, cached: PrivateAnswer) -> None:
         try:
             answer = self.broker.replay(cached, request.consumer)
@@ -609,11 +740,22 @@ class ServingGateway:
             self._fail(request, exc)
             return
         self.telemetry.inc("gateway.cache_replays")
+        if self.brownout is not None and self.brownout.level >= 1:
+            # Rung 1: cache-preferred service under pressure.  A replay
+            # costs ε = 0 by construction; annotate so operators can see
+            # the ladder working in answer provenance.
+            self.telemetry.inc("gateway.brownout.cache")
+            answer = replace(answer, brownout_rung="cache")
         self._finish(request, answer)
 
     def _finish(self, request: _Request, answer: PrivateAnswer) -> None:
         if self.admission is not None:
-            self.admission.release(request.consumer, answer.price)
+            self.admission.release(request.consumer, request.admitted_price)
+        if request.deadline is not None and request.deadline.expired():
+            # Invariant detector, not control flow: dispatch checks and
+            # broker-side deadline checkpoints should make this
+            # impossible; the overload drill asserts it stays zero.
+            self.telemetry.inc("gateway.post_deadline_release")
         self.telemetry.inc("gateway.served")
         self.telemetry.observe(
             "gateway.latency_s", time.perf_counter() - request.enqueued_at
@@ -622,8 +764,6 @@ class ServingGateway:
 
     def _fail(self, request: _Request, exc: Exception) -> None:
         if self.admission is not None:
-            self.admission.release(
-                request.consumer, self.broker.quote(request.spec)
-            )
+            self.admission.release(request.consumer, request.admitted_price)
         self.telemetry.inc("gateway.failed")
         request.future.set_exception(exc)

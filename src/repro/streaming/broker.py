@@ -67,6 +67,7 @@ from repro.pricing.ledger import BillingLedger
 from repro.privacy.budget import BudgetAccountant
 from repro.privacy.laplace import sample_laplace_many
 from repro.privacy.optimizer import PrivacyPlan, optimize_privacy_plan
+from repro.resilience.deadline import check_deadline
 from repro.streaming.accounting import EpochBudgetAccountant
 from repro.streaming.journal import WindowLog
 from repro.streaming.window import (
@@ -441,6 +442,9 @@ class StreamingBroker:
         """
         if not queries:
             raise ValueError("at least one query is required")
+        # Expired requests must not snapshot, plan, or bill (deadline
+        # scope installed by the serving gateway, no-op otherwise).
+        check_deadline("streaming.answer_batch")
         if isinstance(spec, AccuracySpec):
             specs = [spec] * len(queries)
         else:
@@ -554,6 +558,8 @@ class StreamingBroker:
                 price=prices[tier],
                 epsilon_prime=plan.epsilon_prime,
             ))
+        # Last pre-commit checkpoint before the journal/charge sequence.
+        check_deadline("streaming.journal")
         with self._timer("streaming.charge_s"):
             self._journal_trades(journal_records)
             if self.window_log is not None:

@@ -2,13 +2,18 @@
 
 Two backends, one per broker shape:
 
-* :class:`ClusterProcessBackend` -- one worker process per shard.  Each
-  shard's primary station gets a :class:`StorePublisher` hooked to its
-  commit listeners (publish happens inside the same commit that bumps
-  ``store_version``, so the store a worker sees is never behind the
-  samples the coordinator planned against), and the shard's primary
-  estimator is wrapped in a :class:`RemoteShardEstimator` that forwards
-  batch estimation to the worker.
+* :class:`ClusterProcessBackend` -- worker processes behind the cluster
+  broker.  By default one worker per shard: each shard's primary station
+  gets a :class:`StorePublisher` hooked to its commit listeners (publish
+  happens inside the same commit that bumps ``store_version``, so the
+  store a worker sees is never behind the samples the coordinator
+  planned against), and the shard's primary estimator is wrapped in a
+  :class:`RemoteShardEstimator` that forwards batch estimation to the
+  worker.  With ``attach(shards, workers=N)`` several shards share one
+  worker through a *shared* store (one group per member shard, version =
+  sum of member ``store_version``\\ s) -- and the broker's pre-scatter
+  :meth:`ClusterProcessBackend.prime` hook collapses those shards'
+  sub-queries into a single ``estimate_multi`` pipe round-trip.
 * :class:`StreamingProcessBackend` -- one worker for the merged window.
   Every committed roll republishes the whole window (one group per
   epoch), and a pooled window estimate is a single worker round-trip.
@@ -100,6 +105,15 @@ class RemoteShardEstimator:
     check against the station's cache) -- a concurrent top-up between the
     broker's read and this call falls back to local computation, which is
     bit-identical anyway.
+
+    When several shards share one worker, ``group_index`` names this
+    shard's group in the shared store and ``version_stations`` lists
+    every member station (in group order); the published version is the
+    *sum* of member ``store_version``\\ s, so any member's top-up
+    invalidates the whole group's store exactly once.  A pre-scatter
+    :meth:`prime_store` deposit (one ``estimate_multi`` round-trip for
+    all co-hosted shards) is consumed here without a second round-trip
+    when its ``(version, ranges)`` key still matches.
     """
 
     def __init__(
@@ -110,6 +124,8 @@ class RemoteShardEstimator:
         inner: RankCountingEstimator,
         station: Any,
         counters: Optional[_BackendCounters] = None,
+        group_index: int = 0,
+        version_stations: Optional[Sequence[Any]] = None,
     ) -> None:
         _require_rank_counting(inner)
         self._pool = pool
@@ -118,6 +134,14 @@ class RemoteShardEstimator:
         self._inner = inner
         self._station = station
         self._counters = counters or _BackendCounters()
+        self._group_index = int(group_index)
+        self._version_stations = (
+            list(version_stations) if version_stations is not None else None
+        )
+        # One-slot prime buffer: (key, totals) deposited by the backend's
+        # pre-scatter batch round-trip, consumed by the next matching
+        # estimate_many on this shard's scatter thread.
+        self._primed: Optional[Tuple[Tuple[int, Tuple[Tuple[float, float], ...]], np.ndarray]] = None
 
     @property
     def name(self) -> str:
@@ -153,7 +177,41 @@ class RemoteShardEstimator:
                 return None
         if int(station.store_version) != version:
             return None
-        return version
+        if self._version_stations is None:
+            return version
+        # Shared store: the published version sums every member's
+        # store_version.  A peer commit racing this sum just makes the
+        # worker answer "stale" (republish-and-retry, then local
+        # fallback) -- this shard's group samples are pinned by the
+        # identity check above either way.
+        try:
+            combined = sum(
+                int(peer.store_version) for peer in self._version_stations
+            )
+        except Exception:  # repro-lint: shed -- any station hiccup means fall back to local compute
+            return None
+        if int(station.store_version) != version:
+            return None
+        return combined
+
+    def prime_store(
+        self,
+        version: int,
+        ranges: Sequence[Tuple[float, float]],
+        totals: Sequence[float],
+    ) -> None:
+        """Deposit pre-scattered worker totals for ``(version, ranges)``.
+
+        Called by :meth:`ClusterProcessBackend.prime` on the gather
+        thread *before* the scatter fans out; the deposit is single-use
+        and only served while the committed version still matches, so a
+        racing top-up silently degrades to the normal round-trip.
+        """
+        key = (
+            int(version),
+            tuple((float(low), float(high)) for low, high in ranges),
+        )
+        self._primed = (key, np.asarray(totals, dtype=np.float64))
 
     def estimate_many(
         self,
@@ -161,15 +219,22 @@ class RemoteShardEstimator:
         ranges: Sequence[Tuple[float, float]],
     ) -> np.ndarray:
         version = self._committed_version(samples)
-        if version is not None and self._ensure_published(version):
-            payload = (
-                "estimate_many", version, 0,
-                [(float(low), float(high)) for low, high in ranges],
-            )
-            totals = self._round_trip(version, payload)
-            if totals is not None:
-                self._counters.offload()
-                return totals
+        ranges_f = [(float(low), float(high)) for low, high in ranges]
+        if version is not None:
+            primed = self._primed
+            if primed is not None:
+                self._primed = None
+                if primed[0] == (version, tuple(ranges_f)):
+                    self._counters.offload()
+                    return primed[1].copy()
+            if self._ensure_published(version):
+                payload = (
+                    "estimate_many", version, self._group_index, ranges_f,
+                )
+                totals = self._round_trip(version, payload)
+                if totals is not None:
+                    self._counters.offload()
+                    return totals
         self._counters.fallback()
         return self._inner.estimate_many(samples, ranges)
 
@@ -199,82 +264,209 @@ class RemoteShardEstimator:
         return None  # pragma: no cover - loop always returns
 
 
-class ClusterProcessBackend:
-    """Per-shard worker processes behind :class:`ClusterBroker`.
+class _WorkerGroup:
+    """One worker process serving one or more shards through one store."""
 
-    ``attach`` wraps every shard's primary estimator and starts its
-    worker; ``detach`` restores the original estimators, shuts the
+    def __init__(
+        self,
+        key: Hashable,
+        publisher: StorePublisher,
+        shards: List[Any],
+        stations: List[Any],
+    ) -> None:
+        self.key = key
+        self.publisher = publisher
+        self.shards = shards
+        self.stations = stations
+        self.proxies: "List[RemoteShardEstimator]" = []
+
+    def version(self) -> int:
+        return sum(int(station.store_version) for station in self.stations)
+
+    def ensure_published(self, version: int) -> bool:
+        if self.publisher.version == version:
+            return True
+        self.publisher.republish()
+        return self.publisher.version == version
+
+
+class ClusterProcessBackend:
+    """Worker processes behind :class:`ClusterBroker`.
+
+    ``attach`` wraps every shard's primary estimator and starts the
+    workers; ``detach`` restores the original estimators, shuts the
     workers down, and unlinks every shared-memory segment.  Replica
     (failover) brokers intentionally stay local: degraded gathers are
     rare and their values are identical either way.
+
+    ``workers=N`` (default: one per shard) round-robins shards onto
+    ``N`` workers.  Co-hosted shards publish through one *shared* store
+    -- one group per member shard, version = sum of member
+    ``store_version``\\ s -- and :meth:`prime` answers all of their
+    sub-queries in a single ``estimate_multi`` pipe round-trip before
+    the broker's scatter fans out.
     """
 
     def __init__(self, telemetry: "Optional[MetricsRegistry]" = None) -> None:
         self.pool = WorkerPool()
         self.counters = _BackendCounters(telemetry)
-        self._attached: "List[Tuple[Any, Any, StorePublisher]]" = []
+        self._attached: "List[Tuple[Any, Any]]" = []
+        self._groups: "List[_WorkerGroup]" = []
         self._active = False
 
     @property
     def shard_keys(self) -> List[Hashable]:
-        return [shard.shard_id for shard, _inner, _pub in self._attached]
+        return [shard.shard_id for shard, _inner in self._attached]
 
     def worker_pids(self) -> Dict[Hashable, Optional[int]]:
         return self.pool.worker_pids()
 
-    def attach(self, shards: Sequence[Any]) -> None:
+    def attach(
+        self, shards: Sequence[Any], workers: Optional[int] = None
+    ) -> None:
         if self._active:
             return
         self._active = True
-        for shard in shards:
-            primary = shard.primary
-            _require_rank_counting(primary.estimator)
-            station = primary.base_station
-            publisher = StorePublisher(
-                lambda station=station: (
-                    station.store_version, [station.samples()]
+        count = (
+            len(shards) if workers is None
+            else max(1, min(int(workers), len(shards)))
+        )
+        buckets: "List[List[Any]]" = [[] for _ in range(count)]
+        for index, shard in enumerate(shards):
+            buckets[index % count].append(shard)
+        for bucket_index, members in enumerate(buckets):
+            if not members:
+                continue
+            for shard in members:
+                _require_rank_counting(shard.primary.estimator)
+            stations = [shard.primary.base_station for shard in members]
+            if len(members) == 1:
+                key: Hashable = members[0].shard_id
+                station = stations[0]
+                publisher = StorePublisher(
+                    lambda station=station: (
+                        station.store_version, [station.samples()]
+                    )
                 )
-            )
+            else:
+                key = f"group{bucket_index}"
+                publisher = StorePublisher(
+                    lambda stations=stations: (
+                        sum(int(s.store_version) for s in stations),
+                        [s.samples() for s in stations],
+                    )
+                )
+            group = _WorkerGroup(key, publisher, list(members), stations)
             try:
                 publisher.republish()
             except Exception:  # repro-lint: shed -- station not collected yet; commit listener publishes later
                 pass
-            station.subscribe_commits(
-                lambda version, publisher=publisher, station=station:
-                self._on_commit(publisher, station, version)
-            )
-            self.pool.ensure_worker(shard.shard_id, publisher.control_name)
-            inner = primary.estimator
-            primary.estimator = RemoteShardEstimator(
-                pool=self.pool,
-                key=shard.shard_id,
-                publisher=publisher,
-                inner=inner,
-                station=station,
-                counters=self.counters,
-            )
-            self._attached.append((shard, inner, publisher))
+            for station in stations:
+                station.subscribe_commits(
+                    lambda version, group=group, station=station:
+                    self._on_commit(group, station, version)
+                )
+            self.pool.ensure_worker(key, publisher.control_name)
+            for member_index, shard in enumerate(members):
+                primary = shard.primary
+                inner = primary.estimator
+                proxy = RemoteShardEstimator(
+                    pool=self.pool,
+                    key=key,
+                    publisher=publisher,
+                    inner=inner,
+                    station=primary.base_station,
+                    counters=self.counters,
+                    group_index=member_index,
+                    version_stations=(
+                        stations if len(members) > 1 else None
+                    ),
+                )
+                primary.estimator = proxy
+                group.proxies.append(proxy)
+                self._attached.append((shard, inner))
+            self._groups.append(group)
 
     def _on_commit(
-        self, publisher: StorePublisher, station: Any, version: int
+        self, group: _WorkerGroup, station: Any, version: int
     ) -> None:
         if not self._active:
             return
         try:
-            publisher.publish(version, [station.samples()])
+            if len(group.stations) == 1:
+                group.publisher.publish(version, [station.samples()])
+            else:
+                # Shared store: re-read every member so the combined
+                # version the supply computes includes this commit.
+                group.publisher.republish()
         except Exception:  # repro-lint: shed -- a publish failure must never break the commit path; estimate-time republish or local fallback covers it
             pass
+
+    def prime(
+        self,
+        ranges_by_shard: "Dict[int, Sequence[Tuple[float, float]]]",
+    ) -> None:
+        """Batch co-hosted shards' sub-queries into one round-trip each.
+
+        For every worker serving two or more of the shards named in
+        ``ranges_by_shard``, one ``estimate_multi`` request fetches all
+        of their batch totals at once; each member proxy's
+        :meth:`RemoteShardEstimator.prime_store` deposit is then served
+        locally when the scatter reaches that shard.  Best-effort: any
+        mismatch (raced commit, shard-broker cache partially filtering
+        the batch, worker stall) falls back to the normal per-shard
+        round-trip with bit-identical results.
+        """
+        if not self._active:
+            return
+        for group in self._groups:
+            members = [
+                (member_index, shard, proxy)
+                for member_index, (shard, proxy)
+                in enumerate(zip(group.shards, group.proxies))
+                if ranges_by_shard.get(shard.shard_id)
+            ]
+            if len(members) < 2:
+                continue
+            version = group.version()
+            if not group.ensure_published(version):
+                continue
+            payload = (
+                "estimate_multi", version,
+                [
+                    (
+                        member_index,
+                        [
+                            (float(low), float(high))
+                            for low, high in ranges_by_shard[shard.shard_id]
+                        ],
+                    )
+                    for member_index, shard, _proxy in members
+                ],
+            )
+            try:
+                reply = self.pool.request(group.key, payload)
+            except (WorkerCrashError, KeyError):
+                continue
+            if reply[0] != "ok":
+                continue
+            for (_, shard, proxy), totals in zip(members, reply[1]):
+                proxy.prime_store(
+                    version, ranges_by_shard[shard.shard_id], totals
+                )
 
     def detach(self) -> None:
         """Restore local estimators and release every process/segment."""
         if not self._active:
             return
         self._active = False
-        for shard, inner, publisher in self._attached:
+        for shard, inner in self._attached:
             if isinstance(shard.primary.estimator, RemoteShardEstimator):
                 shard.primary.estimator = inner
-            publisher.close()
+        for group in self._groups:
+            group.publisher.close()
         self._attached.clear()
+        self._groups.clear()
         self.pool.close()
 
 

@@ -13,24 +13,51 @@ the fresh worker re-attaches the same control segment at the *current*
 ``store_version`` and the request is replayed.  A second failure raises
 :class:`WorkerCrashError` so the caller can fall back to bit-identical
 local computation.
+
+Stall handling is deliberately different: with :attr:`WorkerPool.
+request_timeout` set, a worker that does not reply in time raises
+:class:`WorkerTimeoutError` *without* a respawn -- a stalled worker
+(SIGSTOP, scheduler starvation, page-cache storm) is usually alive and
+holding the shared-memory store attached; killing it would turn a
+latency blip into a cold respawn.  Requests are sequence-tagged so the
+stale reply a resumed worker eventually sends is recognised and
+discarded instead of being mistaken for the next request's answer.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Hashable, List, Optional, Tuple
 
+from repro.resilience.deadline import check_deadline
 from repro.workers.worker import worker_main
 
-__all__ = ["WorkerCrashError", "WorkerHandle", "WorkerPool"]
+__all__ = [
+    "WorkerCrashError",
+    "WorkerHandle",
+    "WorkerPool",
+    "WorkerTimeoutError",
+]
 
 _JOIN_TIMEOUT_S = 2.0
 
 
 class WorkerCrashError(RuntimeError):
     """A worker died and its one respawn-and-replay attempt also failed."""
+
+
+class WorkerTimeoutError(WorkerCrashError):
+    """A worker failed to reply within the pool's request timeout.
+
+    Subclasses :class:`WorkerCrashError` so every existing fallback path
+    (bit-identical local computation) also absorbs stalls -- but the
+    pool does **not** respawn on timeout: the worker is likely stalled
+    rather than dead, and its late reply is discarded by sequence tag
+    on the next round-trip.
+    """
 
 
 @dataclass
@@ -49,6 +76,9 @@ class WorkerHandle:
     conn: Any
     lock: Any = field(default_factory=threading.Lock)
     respawns: int = 0
+    #: Monotonic per-handle request tag; replies carrying an older tag
+    #: are leftovers from timed-out requests and are discarded.
+    seq: int = 0
 
     @property
     def pid(self) -> Optional[int]:
@@ -66,6 +96,12 @@ class WorkerPool:
         self._workers: Dict[Hashable, WorkerHandle] = {}
         self._lock = threading.Lock()
         self._closed = False
+        #: Seconds to wait for any reply before raising
+        #: :class:`WorkerTimeoutError` (no respawn).  ``None`` (default)
+        #: waits forever -- the pre-stall behaviour.  Chaos drills set
+        #: this when injecting SIGSTOP stalls so coordinators shed to
+        #: local computation instead of hanging.
+        self.request_timeout: Optional[float] = None
 
     def __len__(self) -> int:
         return len(self._workers)
@@ -111,23 +147,37 @@ class WorkerPool:
             conn=parent_conn,
         )
 
-    def request(self, key: Hashable, payload: Tuple[Any, ...]) -> Tuple[Any, ...]:
+    def request(
+        self,
+        key: Hashable,
+        payload: Tuple[Any, ...],
+        timeout: Optional[float] = None,
+    ) -> Tuple[Any, ...]:
         """Round-trip one request to ``key``'s worker, respawning once on crash.
 
         The respawned worker re-attaches the control segment, so it serves
         the current ``store_version`` without any coordinator-side state
         transfer -- the store itself is the recovery point.
+
+        ``timeout`` (default: the pool's :attr:`request_timeout`) bounds
+        the wait for a reply; exceeding it raises
+        :class:`WorkerTimeoutError` without a respawn.  An ambient
+        request deadline (installed by the serving gateway) is checked
+        *before* the send, so an already-expired request never queues
+        pipe work.
         """
+        check_deadline("workers.request")
         handle = self._workers.get(key)
         if handle is None:
             raise KeyError(f"no worker for key {key!r}")
+        wait = self.request_timeout if timeout is None else timeout
         with handle.lock:
             try:
-                return self._round_trip(handle, payload)
+                return self._round_trip(handle, payload, wait)
             except (BrokenPipeError, ConnectionResetError, EOFError, OSError):
                 replacement = self._respawn_locked(handle)
                 try:
-                    return self._round_trip(replacement, payload)
+                    return self._round_trip(replacement, payload, wait)
                 except (BrokenPipeError, ConnectionResetError,
                         EOFError, OSError) as exc:
                     raise WorkerCrashError(
@@ -136,10 +186,27 @@ class WorkerPool:
 
     @staticmethod
     def _round_trip(
-        handle: WorkerHandle, payload: Tuple[Any, ...]
+        handle: WorkerHandle,
+        payload: Tuple[Any, ...],
+        timeout: Optional[float],
     ) -> Tuple[Any, ...]:
-        handle.conn.send(payload)
-        return tuple(handle.conn.recv())
+        handle.seq += 1
+        seq = handle.seq
+        handle.conn.send((seq, payload))
+        limit = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if limit is not None:
+                remaining = limit - time.monotonic()
+                if remaining <= 0.0 or not handle.conn.poll(remaining):
+                    raise WorkerTimeoutError(
+                        f"worker {handle.key!r} did not reply within "
+                        f"{timeout:.3f}s (stall suspected; not respawning)"
+                    )
+            tag, reply = handle.conn.recv()
+            if tag == seq:
+                return tuple(reply)
+            # An older tag is the late answer to a request that already
+            # timed out; drop it and keep waiting for ours.
 
     def _respawn_locked(self, handle: WorkerHandle) -> WorkerHandle:
         """Replace a dead worker in place (caller holds ``handle.lock``)."""
@@ -174,8 +241,15 @@ class WorkerPool:
         for handle in workers:
             with handle.lock:
                 try:
-                    handle.conn.send(("shutdown",))
-                    handle.conn.recv()
+                    handle.seq += 1
+                    handle.conn.send((handle.seq, ("shutdown",)))
+                    # Drain stale replies (timed-out requests) until the
+                    # shutdown ack or the bounded wait runs out; a worker
+                    # stalled under SIGSTOP never acks and is reaped below.
+                    while handle.conn.poll(_JOIN_TIMEOUT_S):
+                        tag, _reply = handle.conn.recv()
+                        if tag == handle.seq:
+                            break
                 except (BrokenPipeError, ConnectionResetError,
                         EOFError, OSError):
                     pass
@@ -186,6 +260,11 @@ class WorkerPool:
                 handle.process.join(_JOIN_TIMEOUT_S)
                 if handle.process.is_alive():
                     handle.process.terminate()
+                    handle.process.join(_JOIN_TIMEOUT_S)
+                if handle.process.is_alive():  # pragma: no cover - stalled worker
+                    # SIGTERM is not delivered to a SIGSTOPped process;
+                    # SIGKILL reaps it regardless of run state.
+                    handle.process.kill()
                     handle.process.join(_JOIN_TIMEOUT_S)
 
     def __enter__(self) -> "WorkerPool":

@@ -8,11 +8,20 @@ device channels -- stays in the coordinator, so this module must never
 construct or consume a numpy RNG (RL002 enforces a strict no-RNG rule
 over ``repro.workers``; see ``tests/lint/test_rules.py``).
 
-The request protocol (tuples over a duplex pipe):
+The request protocol (tuples over a duplex pipe).  Every message is
+sequence-tagged: the coordinator sends ``(seq, payload)`` and the worker
+echoes the tag in its reply ``(seq, reply)``.  Tags let the coordinator
+discard the late reply of a request it has already given up on (a
+stalled worker resumed by SIGCONT answers eventually; without tags that
+stale reply would be mistaken for the answer to the *next* request).
 
 * ``("ping",)`` -> ``("pong", pid)``
 * ``("estimate_many", version, group_index, ranges)`` ->
   ``("ok", totals)`` or ``("stale", attached_version)``
+* ``("estimate_multi", version, group_ranges)`` where ``group_ranges``
+  is ``[(group_index, ranges), ...]`` -> ``("ok", [totals, ...])``, one
+  totals list per requested group -- several shards' sub-queries in one
+  round-trip when those shards share a worker
 * ``("pooled_many", version, ranges)`` -> per-group estimates summed
   (one round-trip for a whole streaming window) -> same replies
 * ``("shutdown",)`` -> worker exits 0
@@ -87,32 +96,48 @@ def worker_main(conn: object, control_name: str) -> None:
     try:
         while True:
             try:
-                request = conn.recv()  # type: ignore[attr-defined]
+                seq, request = conn.recv()  # type: ignore[attr-defined]
             except (EOFError, OSError):
                 break  # coordinator is gone; exit instead of lingering
             op = request[0]
             if op == "shutdown":
-                conn.send(("bye",))  # type: ignore[attr-defined]
+                conn.send((seq, ("bye",)))  # type: ignore[attr-defined]
                 break
             if op == "ping":
-                conn.send(("pong", os.getpid()))  # type: ignore[attr-defined]
+                conn.send(  # type: ignore[attr-defined]
+                    (seq, ("pong", os.getpid()))
+                )
                 continue
             try:
+                totals: object
                 if op == "estimate_many":
                     _, version, group_index, ranges = request
                     if not _await_version(reader, version):
                         conn.send(  # type: ignore[attr-defined]
-                            ("stale", reader.version)
+                            (seq, ("stale", reader.version))
                         )
                         continue
                     totals = _estimate_groups(
                         reader, [group_index], ranges, skip_empty=False
                     )
+                elif op == "estimate_multi":
+                    _, version, group_ranges = request
+                    if not _await_version(reader, version):
+                        conn.send(  # type: ignore[attr-defined]
+                            (seq, ("stale", reader.version))
+                        )
+                        continue
+                    totals = [
+                        _estimate_groups(
+                            reader, [group_index], ranges, skip_empty=False
+                        )
+                        for group_index, ranges in group_ranges
+                    ]
                 elif op == "pooled_many":
                     _, version, ranges = request
                     if not _await_version(reader, version):
                         conn.send(  # type: ignore[attr-defined]
-                            ("stale", reader.version)
+                            (seq, ("stale", reader.version))
                         )
                         continue
                     totals = _estimate_groups(
@@ -120,12 +145,16 @@ def worker_main(conn: object, control_name: str) -> None:
                         skip_empty=True,
                     )
                 else:
-                    conn.send(("error", f"unknown op {op!r}"))  # type: ignore[attr-defined]
+                    conn.send(  # type: ignore[attr-defined]
+                        (seq, ("error", f"unknown op {op!r}"))
+                    )
                     continue
             except Exception as exc:  # repro-lint: shed -- reported to the coordinator as an ('error', repr) reply
-                conn.send(("error", repr(exc)))  # type: ignore[attr-defined]
+                conn.send(  # type: ignore[attr-defined]
+                    (seq, ("error", repr(exc)))
+                )
                 continue
-            conn.send(("ok", totals))  # type: ignore[attr-defined]
+            conn.send((seq, ("ok", totals)))  # type: ignore[attr-defined]
     finally:
         reader.close()
         try:

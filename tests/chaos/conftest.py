@@ -14,6 +14,7 @@ from repro.core.query import AccuracySpec
 from repro.core.service import PrivateRangeCountingService
 from repro.durability.journal import TradeJournal
 from repro.serving import ServingConfig, Workload
+from repro.serving.gateway import ServingGateway
 
 RECORDS = 3_000
 DEVICES = 8
@@ -52,6 +53,50 @@ def build_chaos_stack(shards: int = 1, seed: int = 11, journal_path=None,
             enable_cache=False,
             execution=execution,
         )
+    )
+    return service, journal, gateway
+
+
+def build_overload_stack(shards: int = 2, seed: int = 11, journal_path=None,
+                         execution: str = "threads",
+                         request_ttl: float = 0.25):
+    """A resilience-wired stack for the overload drill.
+
+    Same determinism contract as :func:`build_chaos_stack`, plus: a
+    :class:`ManualClock` shared by deadlines and breakers (time moves
+    only at ``clock_jump`` events), a ``request_ttl``, per-shard circuit
+    breakers, hedged sub-queries, and a brownout ladder.
+    """
+    from repro.cluster.health import ShardBreakerBoard
+    from repro.resilience import (
+        BrownoutController,
+        HedgePolicy,
+        ManualClock,
+    )
+
+    values = np.random.default_rng(0).uniform(0.0, 200.0, RECORDS)
+    service = PrivateRangeCountingService.from_values(
+        values, k=DEVICES, seed=seed, shards=shards
+    )
+    journal = TradeJournal(path=journal_path)
+    broker = service.broker
+    broker.journal = journal
+    clock = ManualClock()
+    broker.breakers = ShardBreakerBoard(clock=clock)
+    broker.hedging = HedgePolicy()
+    gateway = ServingGateway(
+        broker=broker,
+        config=ServingConfig(
+            batch_window=0.0,
+            max_batch=64,
+            queue_depth=2048,
+            workers=1,
+            enable_cache=False,
+            request_ttl=request_ttl,
+            execution=execution,
+        ),
+        brownout=BrownoutController(),
+        clock=clock,
     )
     return service, journal, gateway
 

@@ -2,8 +2,12 @@
 
 Uses a channel that loses every frame so the full retry ladder runs
 deterministically: the simulated clock must advance by the lost air time
-of every attempt plus the exponential backoff between retries, and the
-final :class:`DeliveryError` must carry the route context.
+of every attempt plus the backoff between retries, and the final
+:class:`DeliveryError` must carry the route context.  Backoff comes in
+two flavours — classic exponential (``backoff_jitter=False``) and the
+default decorrelated jitter, whose draws are seeded, bounded by
+``[backoff_base, cap]``, and happen only after failed attempts (so
+loss-free runs stay bit-identical with jitter on or off).
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ def make_network(**kwargs) -> Network:
         max_retries=2,
         backoff_base=0.002,
         backoff_factor=2.0,
+        backoff_jitter=False,
     )
     defaults.update(kwargs)
     return Network(**defaults)
@@ -99,6 +104,64 @@ class TestClockAccounting:
         record = net.send(REQUEST)
         assert record.attempts == 1
         assert net.clock.now == pytest.approx(0.01)
+
+
+class TestDecorrelatedJitter:
+    def test_jittered_waits_bounded_and_deterministic(self):
+        twins = [
+            make_network(backoff_jitter=True, max_retries=3,
+                         backoff_base=0.001)
+            for _ in range(2)
+        ]
+        for net in twins:
+            with pytest.raises(DeliveryError):
+                net.send(REQUEST)
+        # Twin seeded networks waited the identical jittered ladder.
+        assert twins[0].clock.now == twins[1].clock.now
+        # Total backoff stays within [base, cap] per retry.
+        air_time = 4 * 0.01
+        total_backoff = twins[0].clock.now - air_time
+        cap = 0.001 * 2.0 ** 3
+        assert 3 * 0.001 <= total_backoff <= 3 * cap
+
+    def test_distinct_seeds_decorrelate(self):
+        a = make_network(backoff_jitter=True, backoff_seed=1)
+        b = make_network(backoff_jitter=True, backoff_seed=2)
+        for net in (a, b):
+            with pytest.raises(DeliveryError):
+                net.send(REQUEST)
+        assert a.clock.now != b.clock.now
+
+    def test_loss_free_send_draws_no_jitter(self):
+        """A successful first attempt must not touch the jitter stream:
+        loss-free runs are bit-identical with jitter on or off."""
+        nets = [
+            Network(
+                topology=FlatTopology.with_devices(1),
+                channel=Channel(
+                    base_latency=0.01, jitter=0.0,
+                    rng=np.random.default_rng(0),
+                ),
+                backoff_base=0.002,
+                backoff_jitter=jittered,
+            )
+            for jittered in (True, False)
+        ]
+        records = [net.send(REQUEST) for net in nets]
+        assert records[0].latency == records[1].latency
+        assert nets[0].clock.now == nets[1].clock.now
+        # The jittered network's generator was never advanced.
+        fresh = np.random.default_rng(nets[0].backoff_seed)
+        assert nets[0]._backoff_rng.uniform() == fresh.uniform()
+
+    def test_failed_attempt_air_time_still_accounted(self):
+        net = make_network(backoff_jitter=True)
+        with pytest.raises(DeliveryError):
+            net.send(REQUEST)
+        # 3 lost frames burn hops * base_latency each, jitter or not.
+        assert net.clock.now >= 3 * 0.01 + 2 * 0.002
+        assert net.attempt_count == 3
+        assert net.meter.total_messages == 3
 
 
 class TestValidation:

@@ -14,6 +14,7 @@ from repro.lint import LintEngine, default_registry
 from repro.lint.flow import run_project_rules
 
 BROKER = "src/repro/core/broker.py"
+CLUSTER = "src/repro/cluster/broker.py"
 WORKER = "src/repro/workers/worker.py"
 TELEMETRY = "src/repro/serving/telemetry.py"
 
@@ -58,6 +59,32 @@ MUTATION_RL007 = {
             "                plan.epsilon_prime,\n"
             '                label=f"{consumer}:[{query.low},{query.high}]",\n'
             "            )\n"
+            "\n"
+            "    def answer_batch(",
+        ),
+    ]
+}
+
+#: The hedged duplicate-release bug: a refactor moves the cluster batch
+#: settle/charge into a helper that skips the accountant whenever a
+#: hedge won the race -- on the (wrong) theory that the losing lane
+#: already billed.  The hedge's exactly-once claim means the loser never
+#: touched the books, so the hedged branch releases answers uncharged.
+MUTATION_RL007_HEDGE = {
+    CLUSTER: [
+        (
+            "            for q_spec, eps in zip(specs, epsilons):\n"
+            "                self.policy.settle(consumer, eps)\n"
+            "            self.accountant.charge_many(self.dataset, epsilons, labels)\n",
+            "            self._settle_and_bill(consumer, specs, epsilons, labels)\n",
+        ),
+        (
+            "    def answer_batch(",
+            "    def _settle_and_bill(self, consumer, specs, epsilons, labels):\n"
+            "        for q_spec, eps in zip(specs, epsilons):\n"
+            "            self.policy.settle(consumer, eps)\n"
+            "        if self.hedging is None or self.hedging.hedges_won == 0:\n"
+            "            self.accountant.charge_many(self.dataset, epsilons, labels)\n"
             "\n"
             "    def answer_batch(",
         ),
@@ -155,6 +182,27 @@ def test_rl007_conditional_charge_in_callee(mutated_project):
 
 def test_rl007_mutation_is_invisible_to_intra_rules():
     assert _intra_findings(MUTATION_RL007, ["RL001", "RL006"]) == []
+
+
+# ----------------------------------------------------------------------
+# (b') RL007: hedged duplicate release -- charge skipped when a hedge won
+# ----------------------------------------------------------------------
+def test_rl007_hedged_duplicate_release_is_caught(mutated_project):
+    findings, _, _ = mutated_project(MUTATION_RL007_HEDGE, only=["RL007"])
+    assert [f.rule_id for f in findings] == ["RL007"]
+    finding = findings[0]
+    assert finding.path == CLUSTER
+    assert "accountant is never charged" in finding.message
+    assert "on every path of the callee" in finding.message
+    notes = [hop.note for hop in finding.trace]
+    assert any(
+        "_settle_and_bill" in note and "some of its paths" in note
+        for note in notes
+    )
+
+
+def test_rl007_hedged_mutation_is_invisible_to_intra_rules():
+    assert _intra_findings(MUTATION_RL007_HEDGE, ["RL001", "RL006"]) == []
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,7 @@ MYPY_SCOPE = [
     "src/repro/workers",
     "src/repro/serving",
     "src/repro/durability",
+    "src/repro/resilience",
 ]
 
 pytest.importorskip("mypy", reason="mypy is not installed; CI's lint job runs this")

@@ -1,0 +1,132 @@
+"""The per-lane circuit breaker state machine on a manual clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.health import ShardBreakerBoard
+from repro.resilience import ManualClock
+from repro.resilience.breaker import BreakerConfig, CircuitBreaker
+
+
+def make_breaker(**overrides) -> "tuple[CircuitBreaker, ManualClock]":
+    clock = ManualClock()
+    defaults = dict(
+        window=8, failure_threshold=0.5, min_calls=4,
+        latency_threshold=0.050, cooldown=1.0,
+    )
+    defaults.update(overrides)
+    return CircuitBreaker(BreakerConfig(**defaults), clock=clock), clock
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("window", 0),
+        ("failure_threshold", 0.0),
+        ("failure_threshold", 1.5),
+        ("min_calls", 0),
+        ("latency_threshold", 0.0),
+        ("cooldown", -1.0),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            BreakerConfig(**{field: value})
+
+
+class TestStateMachine:
+    def test_stays_closed_below_min_calls(self):
+        breaker, _ = make_breaker()
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_opens_on_failure_fraction(self):
+        breaker, _ = make_breaker()
+        breaker.record_success(0.001)
+        breaker.record_success(0.001)
+        breaker.record_failure()
+        breaker.record_failure()  # 2/4 bad == threshold
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.open_count == 1
+
+    def test_slow_successes_count_as_bad(self):
+        breaker, _ = make_breaker()
+        for _ in range(4):
+            breaker.record_success(0.2)  # above latency_threshold
+        assert breaker.state == "open"
+
+    def test_fast_successes_keep_it_closed(self):
+        breaker, _ = make_breaker()
+        for _ in range(20):
+            breaker.record_success(0.001)
+        assert breaker.state == "closed"
+
+    def test_cooldown_admits_single_half_open_probe(self):
+        breaker, clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure()
+        assert not breaker.allow()
+        clock.advance(0.5)
+        assert not breaker.allow()  # cooldown not elapsed
+        clock.advance(0.5)
+        assert breaker.allow()      # the probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # concurrent caller refused
+
+    def test_fast_probe_closes_and_clears_window(self):
+        breaker, clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success(0.001)
+        assert breaker.state == "closed"
+        # Window cleared: the old failures don't count against new calls.
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # only 3 calls in window
+
+    def test_slow_probe_reopens_for_another_cooldown(self):
+        breaker, clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success(0.5)  # slow probe
+        assert breaker.state == "open"
+        assert breaker.open_count == 2
+        assert not breaker.allow()
+
+    def test_failed_probe_reopens(self):
+        breaker, clock = make_breaker()
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+
+
+class TestShardBreakerBoard:
+    def test_lazily_creates_one_breaker_per_lane(self):
+        board = ShardBreakerBoard(clock=ManualClock())
+        assert board.for_shard(0) is board.for_shard(0)
+        assert board.for_shard(0) is not board.for_shard(1)
+        assert board.states() == {0: "closed", 1: "closed"}
+
+    def test_open_fraction(self):
+        board = ShardBreakerBoard(
+            BreakerConfig(min_calls=2, failure_threshold=0.5),
+            clock=ManualClock(),
+        )
+        assert board.open_fraction() == 0.0  # unexercised
+        board.for_shard(0)
+        board.for_shard(1)
+        assert board.open_fraction() == 0.0
+        board.for_shard(0).record_failure()
+        board.for_shard(0).record_failure()
+        assert board.for_shard(0).state == "open"
+        assert board.open_fraction() == 0.5

@@ -1,0 +1,181 @@
+"""The brownout ladder: hysteresis, pinning, and privacy-honest math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import AccuracySpec
+from repro.resilience import BrownoutController
+from repro.resilience.brownout import (
+    RUNGS,
+    BrownoutConfig,
+    OverloadSignals,
+)
+
+SPEC = AccuracySpec(alpha=0.1, delta=0.5)
+
+
+def make_controller(**overrides) -> BrownoutController:
+    defaults = dict(enter_after=2, exit_after=3)
+    defaults.update(overrides)
+    return BrownoutController(BrownoutConfig(**defaults))
+
+
+def calm() -> OverloadSignals:
+    return OverloadSignals()
+
+
+def pressure(value: float) -> OverloadSignals:
+    return OverloadSignals(queue_fraction=value)
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(thresholds=(0.5, 0.25, 0.75, 0.9)),  # not sorted
+        dict(thresholds=(0.5, 0.75, 0.9)),        # wrong arity
+        dict(enter_after=0),
+        dict(exit_after=0),
+        dict(widen_factor=0.9),
+        dict(alpha_max=1.0),
+        dict(delta_confidence=0.0),
+        dict(retry_after=-1.0),
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BrownoutConfig(**kwargs)
+
+
+class TestSignals:
+    def test_pressure_is_the_worst_signal(self):
+        signals = OverloadSignals(
+            queue_fraction=0.2,
+            breaker_open_fraction=0.9,
+            deadline_miss_rate=0.4,
+        )
+        assert signals.pressure == 0.9
+
+
+class TestHysteresis:
+    def test_climbs_one_rung_after_enter_streak(self):
+        ladder = make_controller()
+        assert ladder.observe(pressure(0.3)) == 0  # streak 1
+        assert ladder.observe(pressure(0.3)) == 1  # streak 2 -> climb
+        assert ladder.level == 1
+
+    def test_single_spike_does_not_climb(self):
+        ladder = make_controller()
+        ladder.observe(pressure(0.9))
+        assert ladder.observe(calm()) == 0
+
+    def test_climbs_at_most_one_rung_per_observation(self):
+        ladder = make_controller()
+        for _ in range(4):
+            ladder.observe(pressure(1.0))
+        assert ladder.level == 2  # two climbs, not a jump to 4
+
+    def test_descends_after_exit_streak(self):
+        ladder = make_controller()
+        ladder.force(2)
+        ladder.release()
+        for _ in range(2):
+            assert ladder.observe(calm()) == 2
+        assert ladder.observe(calm()) == 1  # third calm sample descends
+
+    def test_mid_band_pressure_holds_level(self):
+        ladder = make_controller()
+        ladder.force(2)
+        ladder.release()
+        # Above the descend bound (thresholds[1] = 0.5), below the climb
+        # bound (thresholds[2] = 0.75): the ladder holds.
+        for _ in range(10):
+            assert ladder.observe(pressure(0.6)) == 2
+
+
+class TestPinning:
+    def test_force_pins_against_observe(self):
+        ladder = make_controller()
+        ladder.force(3)
+        for _ in range(10):
+            assert ladder.observe(calm()) == 3
+        assert ladder.level == 3
+
+    def test_release_resumes_observe_control(self):
+        ladder = make_controller()
+        ladder.force(1)
+        ladder.release()
+        for _ in range(3):
+            ladder.observe(calm())
+        assert ladder.level == 0
+
+    def test_force_validates_level(self):
+        with pytest.raises(ValueError):
+            make_controller().force(len(RUNGS))
+
+
+class TestDecisions:
+    def test_level0_serves_verbatim(self):
+        ladder = make_controller()
+        decision = ladder.decide(SPEC)
+        assert decision.rung == "none"
+        assert decision.served == SPEC
+        assert decision.requested is None
+
+    def test_level1_cache_rung_leaves_fresh_requests_alone(self):
+        ladder = make_controller()
+        ladder.force(1)
+        decision = ladder.decide(SPEC)
+        assert decision.served == SPEC
+
+    def test_widen_alpha_math(self):
+        ladder = make_controller(widen_factor=1.5, alpha_max=0.5)
+        ladder.force(2)
+        decision = ladder.decide(SPEC)
+        assert decision.rung == "widen_alpha"
+        assert decision.served.alpha == pytest.approx(0.15)
+        assert decision.served.delta == SPEC.delta
+        assert decision.requested == SPEC
+
+    def test_widen_clamps_to_alpha_max(self):
+        ladder = make_controller(widen_factor=10.0, alpha_max=0.5)
+        ladder.force(2)
+        assert ladder.decide(SPEC).served.alpha == 0.5
+
+    def test_widen_never_tightens_wide_tiers(self):
+        ladder = make_controller(widen_factor=1.5, alpha_max=0.5)
+        ladder.force(2)
+        wide = AccuracySpec(alpha=0.7, delta=0.5)  # already past alpha_max
+        decision = ladder.decide(wide)
+        assert decision.served == wide
+        assert decision.rung == "none"  # unchanged spec -> honest rung
+
+    def test_degrade_delta_math(self):
+        ladder = make_controller(
+            widen_factor=1.5, alpha_max=0.5, delta_confidence=0.9
+        )
+        ladder.force(3)
+        decision = ladder.decide(SPEC)
+        assert decision.rung == "degrade_delta"
+        assert decision.served.alpha == pytest.approx(0.15)
+        assert decision.served.delta == pytest.approx(0.45)
+
+    def test_shed_rung_returns_no_spec(self):
+        ladder = make_controller()
+        ladder.force(4)
+        decision = ladder.decide(SPEC)
+        assert decision.served is None
+        assert decision.rung == "shed"
+
+    def test_maybe_shed_only_at_top_rung(self):
+        ladder = make_controller(retry_after=0.25)
+        assert ladder.maybe_shed() is None
+        ladder.force(4)
+        assert ladder.maybe_shed() == 0.25
+        assert ladder.decisions["shed"] == 1
+
+    def test_decisions_are_counted_per_rung(self):
+        ladder = make_controller()
+        ladder.decide(SPEC)
+        ladder.force(2)
+        ladder.decide(SPEC)
+        assert ladder.decisions["none"] == 1
+        assert ladder.decisions["widen_alpha"] == 1

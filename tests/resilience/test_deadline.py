@@ -1,0 +1,107 @@
+"""Deadlines, the manual clock, and thread-local scope propagation."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import DeadlineExceededError
+from repro.resilience import (
+    Deadline,
+    ManualClock,
+    check_deadline,
+    current_deadline,
+    deadline_scope,
+)
+
+
+class TestManualClock:
+    def test_only_moves_when_told(self):
+        clock = ManualClock()
+        assert clock() == 0.0
+        clock.advance(1.5)
+        assert clock() == 1.5
+        assert clock() == 1.5
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-0.1)
+
+    def test_custom_start(self):
+        assert ManualClock(start=10.0)() == 10.0
+
+
+class TestDeadline:
+    def test_after_on_manual_clock(self):
+        clock = ManualClock()
+        deadline = Deadline.after(0.25, clock=clock)
+        assert not deadline.expired()
+        assert deadline.remaining() == 0.25
+        clock.advance(0.25)
+        assert not deadline.expired()  # boundary: exactly at expiry
+        clock.advance(0.001)
+        assert deadline.expired()
+        assert deadline.remaining() < 0.0
+
+    def test_negative_ttl_rejected(self):
+        with pytest.raises(ValueError):
+            Deadline.after(-1.0)
+
+
+class TestScope:
+    def test_no_scope_means_no_deadline(self):
+        assert current_deadline() is None
+        check_deadline("test.no_scope")  # no-op
+
+    def test_scope_installs_and_restores(self):
+        clock = ManualClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        with deadline_scope(deadline):
+            assert current_deadline() is deadline
+        assert current_deadline() is None
+
+    def test_none_scope_is_transparent(self):
+        clock = ManualClock()
+        outer = Deadline.after(1.0, clock=clock)
+        with deadline_scope(outer):
+            with deadline_scope(None):
+                assert current_deadline() is outer
+
+    def test_innermost_scope_wins_and_nests(self):
+        clock = ManualClock()
+        outer = Deadline.after(2.0, clock=clock)
+        inner = Deadline.after(1.0, clock=clock)
+        with deadline_scope(outer):
+            with deadline_scope(inner):
+                assert current_deadline() is inner
+            assert current_deadline() is outer
+
+    def test_check_deadline_raises_with_stage(self):
+        clock = ManualClock()
+        deadline = Deadline.after(0.1, clock=clock)
+        with deadline_scope(deadline):
+            check_deadline("broker.journal")
+            clock.advance(0.2)
+            with pytest.raises(DeadlineExceededError, match="broker.journal"):
+                check_deadline("broker.journal")
+
+    def test_scope_is_thread_local(self):
+        clock = ManualClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        seen = []
+        with deadline_scope(deadline):
+            thread = threading.Thread(
+                target=lambda: seen.append(current_deadline())
+            )
+            thread.start()
+            thread.join()
+        assert seen == [None]
+
+    def test_scope_restored_after_exception(self):
+        clock = ManualClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        with pytest.raises(RuntimeError):
+            with deadline_scope(deadline):
+                raise RuntimeError("boom")
+        assert current_deadline() is None

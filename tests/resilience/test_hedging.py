@@ -1,0 +1,83 @@
+"""Latency-percentile hedge triggers and exactly-once bookkeeping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.resilience import HedgePolicy
+from repro.resilience.hedging import HedgeLostRace
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(window=0),
+        dict(quantile=0.0),
+        dict(quantile=1.0),
+        dict(multiplier=0.5),
+        dict(min_samples=0),
+        dict(floor=0.0),
+    ])
+    def test_bad_values_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            HedgePolicy(**kwargs)
+
+
+class TestHedgeAfter:
+    def test_cold_lane_never_hedges(self):
+        policy = HedgePolicy(min_samples=8)
+        assert policy.hedge_after("shard0") is None
+        for _ in range(7):
+            policy.observe("shard0", 0.01)
+        assert policy.hedge_after("shard0") is None
+
+    def test_warm_lane_uses_quantile_times_multiplier(self):
+        policy = HedgePolicy(min_samples=4, quantile=0.5, multiplier=2.0)
+        for latency in (0.010, 0.020, 0.030, 0.040):
+            policy.observe("shard0", latency)
+        # nearest-rank p50 of 4 samples is the 2nd (0.020); x2 = 0.040
+        assert policy.hedge_after("shard0") == pytest.approx(0.040)
+
+    def test_floor_applies(self):
+        policy = HedgePolicy(min_samples=2, floor=0.005)
+        policy.observe("shard0", 0.0001)
+        policy.observe("shard0", 0.0001)
+        assert policy.hedge_after("shard0") == 0.005
+
+    def test_rolling_window_forgets_old_latencies(self):
+        policy = HedgePolicy(window=4, min_samples=4, quantile=0.5,
+                             multiplier=1.0, floor=1e-6)
+        for _ in range(4):
+            policy.observe("shard0", 1.0)
+        for _ in range(4):
+            policy.observe("shard0", 0.01)
+        assert policy.hedge_after("shard0") == pytest.approx(0.01)
+
+    def test_lanes_are_independent(self):
+        policy = HedgePolicy(min_samples=2)
+        policy.observe("shard0", 0.01)
+        policy.observe("shard0", 0.01)
+        assert policy.hedge_after("shard0") is not None
+        assert policy.hedge_after("shard1") is None
+
+    def test_bogus_latencies_ignored(self):
+        policy = HedgePolicy(min_samples=1)
+        policy.observe("shard0", float("nan"))
+        policy.observe("shard0", float("inf"))
+        policy.observe("shard0", -1.0)
+        assert policy.hedge_after("shard0") is None
+
+
+class TestBookkeeping:
+    def test_record_hedge_counts_fires_and_wins(self):
+        policy = HedgePolicy()
+        policy.record_hedge(won=True)
+        policy.record_hedge(won=False)
+        policy.record_hedge(won=True)
+        assert policy.hedges_fired == 3
+        assert policy.hedges_won == 2
+
+    def test_lost_race_is_not_a_consumer_error(self):
+        # HedgeLostRace is internal control flow; it must never surface
+        # through the typed consumer-facing error taxonomy.
+        assert not issubclass(HedgeLostRace, ReproError)

@@ -7,7 +7,9 @@ import time
 import pytest
 
 from repro.errors import DeadlineExceededError
+from repro.resilience import ManualClock
 from repro.serving import ServingConfig
+from repro.serving.gateway import ServingGateway
 
 from .conftest import TIERS
 
@@ -113,3 +115,87 @@ class TestQuiesce:
                 assert not future.done()
             answer = future.result(timeout=5.0)
             assert answer.plan.epsilon_prime > 0
+
+
+class TestQuiesceDeadlineRace:
+    """``quiesce()`` racing in-flight deadline expiry on a manual clock.
+
+    The hold window is exactly where the race lives: requests accepted
+    before the clock jump must fail fast on release (never billed),
+    while requests accepted after it carry fresh deadlines and survive.
+    """
+
+    def make_gateway(
+        self, service, ttl: float = 0.25
+    ) -> "tuple[ServingGateway, ManualClock]":
+        clock = ManualClock()
+        gateway = ServingGateway(
+            broker=service.broker,
+            config=ServingConfig(
+                batch_window=0.0, workers=1, enable_cache=False,
+                request_ttl=ttl,
+            ),
+            clock=clock,
+        )
+        return gateway, clock
+
+    def test_requests_expired_under_quiesce_fail_on_release(self, service):
+        gateway, clock = self.make_gateway(service)
+        with gateway:
+            with gateway.quiesce():
+                stale = [
+                    gateway.submit_range(0.0, 50.0 + i, ALPHA, DELTA)
+                    for i in range(3)
+                ]
+                clock.advance(0.3)  # past every held deadline
+                fresh = gateway.submit_range(0.0, 99.0, ALPHA, DELTA)
+            for future in stale:
+                with pytest.raises(DeadlineExceededError):
+                    future.result(timeout=5.0)
+            answer = fresh.result(timeout=5.0)
+            assert answer.plan.epsilon_prime > 0
+            counters = gateway.telemetry.snapshot()["counters"]
+            assert counters["gateway.deadline_exceeded"] == 3
+            assert "gateway.post_deadline_release" not in counters
+        # Only the fresh request ever reached the books.
+        assert len(service.broker.ledger) == 1
+        assert service.broker.accountant.spent(
+            service.broker.dataset
+        ) == pytest.approx(answer.plan.epsilon_prime)
+
+    def test_boundary_deadline_survives_quiesce(self, service):
+        # Advance to *exactly* the TTL: the deadline contract is strict
+        # (`clock() > expires_at`), so the held request must still serve.
+        gateway, clock = self.make_gateway(service, ttl=0.25)
+        with gateway:
+            with gateway.quiesce():
+                future = gateway.submit_range(0.0, 50.0, ALPHA, DELTA)
+                clock.advance(0.25)
+            answer = future.result(timeout=5.0)
+            assert answer.plan.epsilon_prime > 0
+            counters = gateway.telemetry.snapshot()["counters"]
+            assert "gateway.deadline_exceeded" not in counters
+        assert len(service.broker.ledger) == 1
+
+    def test_quiesce_against_inflight_submit_is_always_clean(self, service):
+        # Submit *before* entering quiesce: the dispatcher may or may
+        # not pick the request up before the hold lands.  Either way the
+        # outcome must be clean -- served answer backed by a ledger row,
+        # or a fail-fast expiry the books never saw.  Never a release
+        # after the deadline.
+        gateway, clock = self.make_gateway(service)
+        with gateway:
+            future = gateway.submit_range(0.0, 50.0, ALPHA, DELTA)
+            with gateway.quiesce():
+                clock.advance(0.3)
+            try:
+                answer = future.result(timeout=5.0)
+                assert answer.plan.epsilon_prime > 0
+                assert len(service.broker.ledger) == 1
+            except DeadlineExceededError:
+                assert len(service.broker.ledger) == 0
+                assert service.broker.accountant.spent(
+                    service.broker.dataset
+                ) == 0.0
+            counters = gateway.telemetry.snapshot()["counters"]
+            assert "gateway.post_deadline_release" not in counters

@@ -162,6 +162,66 @@ class TestStreamingIdentity:
         assert spent_t == spent_p
         assert offloads > 0
 
+    def test_worker_respawn_during_mid_publish_window_roll(self):
+        """SIGKILL the window worker just before a roll commits.
+
+        The roll's commit hook republishes the new store version against
+        a dead worker, so the very next estimate hits a broken pipe
+        mid-publish.  The pool must respawn the worker, which re-attaches
+        the control segment at the *new* version -- answers and epoch
+        accounting stay bit-identical to a threads control, with no
+        local fallback needed.
+        """
+        def run(execution: str, kill_before_epoch: int = 2):
+            cluster = build_streaming_cluster(StreamingConfig(
+                shards=2, devices_per_shard=4, window_epochs=3, seed=SEED,
+            ))
+            if execution == "processes":
+                cluster.broker.use_processes()
+            backend = cluster.broker._process_backend
+            rng = np.random.default_rng(21)
+            answers = []
+            try:
+                for epoch in range(4):
+                    values = rng.uniform(0.0, 100.0, 400)
+                    timestamps = np.full(400, epoch + 0.5)
+                    cluster.ingest(values, timestamps)
+                    if backend is not None and epoch == kill_before_epoch:
+                        victim = backend.worker_pids()[backend.KEY]
+                        os.kill(victim, signal.SIGKILL)
+                        time.sleep(0.05)
+                    cluster.roll()
+                    queries = [RangeQuery(low=low, high=high)
+                               for low, high in QUERIES[:3]]
+                    specs = [AccuracySpec(0.15, 0.5)] * 3
+                    answers.extend(cluster.broker.answer_batch(
+                        queries, specs, consumer="s"
+                    ))
+                spent = cluster.broker.epoch_accountant.live_total(
+                    cluster.config.dataset
+                )
+                stats = None
+                if backend is not None:
+                    # Captured before use_threads() tears the pool down.
+                    stats = (
+                        backend.pool.respawn_count(backend.KEY),
+                        backend.counters.fallbacks,
+                        backend.counters.offloads,
+                    )
+                return answers, spent, stats
+            finally:
+                cluster.broker.use_threads()
+
+        threads, spent_t, _ = run("threads")
+        processes, spent_p, stats = run("processes")
+        _assert_same_answers(threads, processes)
+        assert spent_t == spent_p
+        # The crash was absorbed by respawn-and-replay, not local fallback.
+        respawns, fallbacks, offloads = stats
+        assert respawns == 1
+        assert fallbacks == 0
+        assert offloads > 0
+
 
 class TestGatewayPlumbing:
     def test_config_rejects_unknown_execution(self):

@@ -1,0 +1,231 @@
+"""Co-hosted workers and the batched pipe protocol: same bits, fewer hops.
+
+``attach(shards, workers=N)`` puts several shards behind one worker and
+lets the cluster broker answer all of their sub-queries in a single
+``estimate_multi`` round-trip.  Bit-identity is the contract: grouped,
+per-shard, and threaded execution must produce the same answers, prices,
+and books for the same seeds.  The stall tests pin the sequence-tag
+story: a timed-out request raises without a respawn and its late reply
+is discarded, never served to the next request.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster.broker import ClusterBroker
+from repro.core.query import AccuracySpec, RangeQuery
+from repro.estimators.rank import RankCountingEstimator
+from repro.workers import StorePublisher, WorkerPool
+from repro.workers.pool import WorkerTimeoutError
+from tests.workers.conftest import make_samples
+
+SEED = 11
+QUERIES = [
+    (12.0, 55.0), (0.0, 90.0), (33.0, 34.0), (60.0, 88.0),
+    (5.0, 95.0), (40.0, 70.0),
+]
+TIERS = [AccuracySpec(0.1, 0.5), AccuracySpec(0.15, 0.6)]
+RANGES = [(10.0, 40.0), (0.0, 100.0), (55.0, 56.0)]
+
+
+def _values() -> np.ndarray:
+    return np.random.default_rng(3).uniform(0.0, 100.0, 5000)
+
+
+def _answers(broker, rounds: int = 2):
+    queries = [RangeQuery(low=low, high=high) for low, high in QUERIES]
+    specs = [TIERS[i % len(TIERS)] for i in range(len(QUERIES))]
+    target = max(broker.planner.required_rate(spec) for spec in set(specs))
+    broker.ensure_rate(target)
+    answers = []
+    for _ in range(rounds):
+        answers.extend(broker.answer_batch(queries, specs, consumer="t"))
+    return answers
+
+
+def _assert_same_answers(expected, got):
+    assert len(expected) == len(got)
+    for a, b in zip(expected, got):
+        assert a.value == b.value
+        assert a.price == b.price
+        assert a.plan.epsilon_prime == b.plan.epsilon_prime
+
+
+class TestEstimateMultiProtocol:
+    def test_multi_group_round_trip_matches_local_bits(self):
+        g0 = make_samples(seed=1, nodes=2)
+        g1 = make_samples(seed=2, nodes=3)
+        publisher = StorePublisher(lambda: (7, [g0, g1]))
+        publisher.publish(7, [g0, g1])
+        pool = WorkerPool()
+        try:
+            pool.ensure_worker("w", publisher.control_name)
+            other = [(20.0, 60.0)]
+            reply = pool.request(
+                "w", ("estimate_multi", 7, [(0, RANGES), (1, other)])
+            )
+            assert reply[0] == "ok"
+            estimator = RankCountingEstimator()
+            np.testing.assert_array_equal(
+                np.asarray(reply[1][0]),
+                np.asarray(estimator.estimate_many(g0, RANGES)),
+            )
+            np.testing.assert_array_equal(
+                np.asarray(reply[1][1]),
+                np.asarray(estimator.estimate_many(g1, other)),
+            )
+        finally:
+            pool.close()
+            publisher.close()
+
+    def test_estimate_multi_unknown_version_is_stale(self):
+        samples = make_samples(seed=5)
+        publisher = StorePublisher(lambda: (1, [samples]))
+        publisher.publish(1, [samples])
+        pool = WorkerPool()
+        try:
+            pool.ensure_worker("w", publisher.control_name)
+            reply = pool.request("w", ("estimate_multi", 99, [(0, RANGES)]))
+            assert reply == ("stale", 1)
+        finally:
+            pool.close()
+            publisher.close()
+
+
+class TestGroupedWorkerIdentity:
+    def test_cohosted_shards_same_bits_one_round_trip_per_batch(self):
+        values = _values()
+        control = ClusterBroker.from_values(values, k=16, shards=2, seed=SEED)
+        subject = ClusterBroker.from_values(values, k=16, shards=2, seed=SEED)
+        subject.use_processes(workers=1)
+        try:
+            backend = subject._process_backend
+            assert len(backend.pool) == 1  # both shards behind one worker
+            # Count pipe round-trips by op to prove batching engages.
+            ops = []
+            original = backend.pool.request
+
+            def counting(key, payload, timeout=None):
+                ops.append(payload[0])
+                return original(key, payload, timeout)
+
+            backend.pool.request = counting
+            expected = _answers(control)
+            got = _answers(subject)
+            _assert_same_answers(expected, got)
+            assert subject.accountant.spent(subject.dataset) == \
+                control.accountant.spent(control.dataset)
+            assert subject.ledger.total_revenue() == \
+                control.ledger.total_revenue()
+            assert backend.counters.offloads > 0
+            # The primed batches replaced the per-shard estimate_many
+            # hops: every scatter answered through estimate_multi.
+            assert ops.count("estimate_multi") > 0
+            assert ops.count("estimate_many") == 0
+        finally:
+            subject.use_threads()
+
+    def test_grouped_matches_pershards_workers(self):
+        values = _values()
+        grouped = ClusterBroker.from_values(values, k=16, shards=2, seed=SEED)
+        per_shard = ClusterBroker.from_values(values, k=16, shards=2, seed=SEED)
+        grouped.use_processes(workers=1)
+        per_shard.use_processes()
+        try:
+            _assert_same_answers(_answers(per_shard), _answers(grouped))
+        finally:
+            grouped.use_threads()
+            per_shard.use_threads()
+
+    def test_shared_store_follows_member_topups(self):
+        """A top-up on one co-hosted shard invalidates the shared store
+        exactly once and the next batch still offloads fresh bits."""
+        values = _values()
+        control = ClusterBroker.from_values(values, k=16, shards=2, seed=SEED)
+        subject = ClusterBroker.from_values(values, k=16, shards=2, seed=SEED)
+        subject.use_processes(workers=1)
+        try:
+            queries = [RangeQuery(low=low, high=high) for low, high in QUERIES]
+            specs = [TIERS[0]] * len(QUERIES)
+            for broker in (control, subject):
+                broker.ensure_rate(broker.planner.required_rate(TIERS[0]))
+            expected = control.answer_batch(queries, specs, consumer="t")
+            got = subject.answer_batch(queries, specs, consumer="t")
+            # Force a mid-run top-up (store_version bump on every shard).
+            tighter = AccuracySpec(0.05, 0.5)
+            for broker in (control, subject):
+                broker.ensure_rate(broker.planner.required_rate(tighter))
+            expected += control.answer_batch(
+                queries, [tighter] * len(QUERIES), consumer="t"
+            )
+            before = subject._process_backend.counters.offloads
+            got += subject.answer_batch(
+                queries, [tighter] * len(QUERIES), consumer="t"
+            )
+            _assert_same_answers(expected, got)
+            assert subject._process_backend.counters.offloads > before
+        finally:
+            subject.use_threads()
+
+
+class TestStallTimeout:
+    def _stack(self, samples):
+        publisher = StorePublisher(lambda: (1, [samples]))
+        publisher.publish(1, [samples])
+        pool = WorkerPool()
+        pool.ensure_worker("s0", publisher.control_name)
+        return publisher, pool
+
+    def test_stalled_worker_times_out_without_respawn(self):
+        samples = make_samples(seed=5)
+        publisher, pool = self._stack(samples)
+        try:
+            pid = pool.ping("s0")
+            os.kill(pid, signal.SIGSTOP)
+            try:
+                pool.request_timeout = 0.2
+                with pytest.raises(WorkerTimeoutError):
+                    pool.request("s0", ("estimate_many", 1, 0, RANGES))
+                # Stall, not crash: the worker was left alone.
+                assert pool.respawn_count("s0") == 0
+                assert pool.worker_pids()["s0"] == pid
+            finally:
+                os.kill(pid, signal.SIGCONT)
+        finally:
+            pool.request_timeout = None
+            pool.close()
+            publisher.close()
+
+    def test_late_reply_is_discarded_by_sequence_tag(self):
+        samples = make_samples(seed=5)
+        publisher, pool = self._stack(samples)
+        try:
+            pid = pool.ping("s0")
+            os.kill(pid, signal.SIGSTOP)
+            pool.request_timeout = 0.2
+            with pytest.raises(WorkerTimeoutError):
+                pool.request("s0", ("estimate_many", 1, 0, RANGES))
+            os.kill(pid, signal.SIGCONT)
+            # Give the resumed worker time to flush its stale reply into
+            # the pipe, then issue a different request: the stale
+            # ("ok", totals) must not be served as this ping's answer.
+            time.sleep(0.2)
+            pool.request_timeout = 5.0
+            assert pool.ping("s0") == pid
+            reply = pool.request("s0", ("estimate_many", 1, 0, RANGES))
+            assert reply[0] == "ok"
+            local = RankCountingEstimator().estimate_many(samples, RANGES)
+            np.testing.assert_array_equal(
+                np.asarray(reply[1]), np.asarray(local)
+            )
+            assert pool.respawn_count("s0") == 0
+        finally:
+            pool.request_timeout = None
+            pool.close()
+            publisher.close()
